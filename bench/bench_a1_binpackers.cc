@@ -1,0 +1,80 @@
+// Ablation A1 — the bin packer inside the schema constructions.
+//
+// The paper's algorithms are parametric in the packing heuristic. This
+// ablation measures how NF/FF/BF/WF/FFD/BFD propagate into the final
+// schema size: z = x(x-1)/2 amplifies every extra bin quadratically,
+// so decreasing-order packers (FFD/BFD) matter more here than in
+// ordinary bin packing.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "binpack/algorithms.h"
+#include "binpack/bounds.h"
+#include "core/a2a.h"
+#include "core/bounds.h"
+#include "util/table.h"
+#include "workload/sizes.h"
+
+namespace {
+
+using namespace msp;
+using benchutil::EvaluateA2A;
+
+void PrintAblation(const std::string& dist,
+                   const std::vector<InputSize>& sizes, InputSize q) {
+  auto instance = A2AInstance::Create(sizes, q);
+  const A2ALowerBounds lb = A2ALowerBounds::Compute(*instance);
+  const uint64_t bin_lb = bp::LowerBoundL2(sizes, q / 2);
+
+  TablePrinter table("A1: bin packer ablation, " + dist +
+                     " sizes (m = 2000, q = " +
+                     TablePrinter::Fmt(uint64_t{q}) + ")");
+  table.SetHeader({"packer", "bins @ q/2", "bin LB", "schema z", "z LB",
+                   "z-ratio", "comm"});
+  for (bp::Algorithm packer : bp::kAllAlgorithms) {
+    const bp::Packing packing = bp::Pack(sizes, q / 2, packer);
+    A2AOptions options;
+    options.bin_packer = packer;
+    const auto eval =
+        EvaluateA2A(*instance, lb, A2AAlgorithm::kBinPackPairing, options);
+    if (!eval.has_value()) continue;
+    table.AddRow({bp::AlgorithmName(packer),
+                  TablePrinter::Fmt(uint64_t{packing.num_bins()}),
+                  TablePrinter::Fmt(bin_lb),
+                  TablePrinter::Fmt(eval->reducers),
+                  TablePrinter::Fmt(lb.reducers),
+                  TablePrinter::Fmt(eval->reducer_ratio, 2),
+                  TablePrinter::Fmt(eval->communication)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_PackOnly(benchmark::State& state) {
+  const auto sizes = wl::ZipfSizes(2'000, 2, 500, 1.2, 55);
+  const bp::Algorithm packer =
+      bp::kAllAlgorithms[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(bp::AlgorithmName(packer));
+  for (auto _ : state) {
+    auto packing = bp::Pack(sizes, 500, packer);
+    benchmark::DoNotOptimize(packing);
+  }
+}
+BENCHMARK(BM_PackOnly)->DenseRange(0, 5);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAblation("uniform", wl::UniformSizes(2'000, 1, 500, 54), 1'000);
+  PrintAblation("zipf", wl::ZipfSizes(2'000, 2, 500, 1.2, 55), 1'000);
+  std::cout << "Expected shape: FFD/BFD produce the fewest bins, and the\n"
+               "quadratic pairing amplifies the difference; NF is the\n"
+               "worst by a clear margin.\n\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Experiment F2 — tradeoff (iii): reducer capacity q vs communication
+// cost (and replication rate) for the A2A problem.
+//
+// Expected shape: communication ~ W * 2W/q — inversely proportional to
+// q — hugging the replication lower bound within ~2x; the naive
+// pair-per-reducer baseline pays (m-1) copies of every input
+// regardless of q.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/a2a.h"
+#include "core/bounds.h"
+#include "core/schema.h"
+#include "util/table.h"
+#include "workload/sizes.h"
+
+namespace {
+
+using namespace msp;
+using benchutil::EvaluateA2A;
+
+constexpr std::size_t kNumInputs = 2'000;
+
+void PrintCommVsQ() {
+  const auto sizes = wl::UniformSizes(kNumInputs, 1, 100, 42);
+  uint64_t total = 0;
+  for (auto w : sizes) total += w;
+
+  TablePrinter table(
+      "F2: communication cost vs capacity q (m = 2000, uniform sizes "
+      "1..100, W = total input size)");
+  table.SetHeader({"q", "comm (pairing)", "comm LB", "ratio",
+                   "repl rate", "naive comm"});
+  for (InputSize q : {210u, 300u, 420u, 600u, 900u, 1'400u, 2'000u, 3'000u,
+                      4'500u, 7'000u}) {
+    auto instance = A2AInstance::Create(sizes, q);
+    if (!instance.has_value() || !instance->IsFeasible()) continue;
+    const A2ALowerBounds lb = A2ALowerBounds::Compute(*instance);
+    const auto pairing =
+        EvaluateA2A(*instance, lb, A2AAlgorithm::kBinPackPairing);
+    if (!pairing.has_value()) continue;
+    // Naive: every input participates in m-1 pair reducers.
+    const uint64_t naive_comm = total * (kNumInputs - 1);
+    table.AddRow({TablePrinter::Fmt(uint64_t{q}),
+                  TablePrinter::Fmt(pairing->communication),
+                  TablePrinter::Fmt(lb.communication),
+                  TablePrinter::Fmt(pairing->comm_ratio, 2),
+                  TablePrinter::Fmt(pairing->replication, 2),
+                  TablePrinter::Fmt(naive_comm)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: communication decays like 1/q (replication\n"
+               "rate ~ 2W/q), within ~2x of the replication lower bound;\n"
+               "naive is constant at W*(m-1), thousands of times larger.\n\n";
+}
+
+void BM_SchemaStatsCompute(benchmark::State& state) {
+  const auto sizes = wl::UniformSizes(kNumInputs, 1, 100, 42);
+  auto instance = A2AInstance::Create(sizes, 900);
+  const auto schema = SolveA2ABinPackPairing(*instance);
+  for (auto _ : state) {
+    auto stats = SchemaStats::Compute(*instance, *schema);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_SchemaStatsCompute)->Unit(benchmark::kMillisecond);
+
+void BM_A2ALowerBounds(benchmark::State& state) {
+  const auto sizes = wl::UniformSizes(
+      static_cast<std::size_t>(state.range(0)), 1, 100, 42);
+  auto instance = A2AInstance::Create(sizes, 900);
+  for (auto _ : state) {
+    auto lb = A2ALowerBounds::Compute(*instance);
+    benchmark::DoNotOptimize(lb);
+  }
+}
+BENCHMARK(BM_A2ALowerBounds)->Arg(2'000)->Arg(20'000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintCommVsQ();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

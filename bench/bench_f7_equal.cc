@@ -1,0 +1,100 @@
+// Experiment F7 — the equal-sized special case: the grouping
+// construction vs the Schönheim covering bound.
+//
+// With unit sizes and k = q inputs per reducer, the mapping schema is a
+// covering design C(m, k, 2). Expected shape: the grouping technique
+// stays within ~2x of Schönheim across m and k (the paper's equal-size
+// guarantee), and the exact solver confirms tightness on toy sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/a2a.h"
+#include "core/bounds.h"
+#include "core/exact.h"
+#include "util/table.h"
+#include "workload/sizes.h"
+
+namespace {
+
+using namespace msp;
+using benchutil::EvaluateA2A;
+
+void PrintEqualTable() {
+  TablePrinter table(
+      "F7: equal-sized inputs (w = 1): grouping vs Schönheim bound");
+  table.SetHeader({"m", "k=q", "grouping z", "Schönheim LB", "ratio",
+                   "pairing z"});
+  for (std::size_t m : {32u, 64u, 128u, 512u, 2'048u}) {
+    for (uint64_t k : {4u, 8u, 16u, 64u}) {
+      if (k >= m) continue;
+      auto instance =
+          A2AInstance::Create(wl::EqualSizes(m, 1), k);
+      const A2ALowerBounds lb = A2ALowerBounds::Compute(*instance);
+      const auto grouping =
+          EvaluateA2A(*instance, lb, A2AAlgorithm::kEqualGrouping);
+      const auto pairing =
+          EvaluateA2A(*instance, lb, A2AAlgorithm::kBinPackPairing);
+      if (!grouping.has_value()) continue;
+      table.AddRow({TablePrinter::Fmt(uint64_t{m}),
+                    TablePrinter::Fmt(uint64_t{k}),
+                    TablePrinter::Fmt(grouping->reducers),
+                    TablePrinter::Fmt(lb.schonheim),
+                    benchutil::RatioString(grouping->reducers, lb.schonheim),
+                    pairing ? TablePrinter::Fmt(pairing->reducers) : "-"});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: ratio hovers around 2 (the grouping\n"
+               "technique's guarantee) and approaches it from below for\n"
+               "large m/k.\n\n";
+}
+
+void PrintExactComparison() {
+  TablePrinter table(
+      "F7b: exact covering numbers on toy sizes vs grouping");
+  table.SetHeader({"m", "k", "exact z", "grouping z", "Schönheim"});
+  struct Case {
+    std::size_t m;
+    uint64_t k;
+  };
+  for (const Case c : {Case{4, 2}, Case{5, 2}, Case{6, 3}, Case{7, 3}}) {
+    auto instance = A2AInstance::Create(wl::EqualSizes(c.m, 1), c.k);
+    const auto exact =
+        ExactMinReducersA2A(*instance, {.max_nodes = 40'000'000});
+    const auto grouping = SolveA2AEqualGrouping(*instance);
+    const A2ALowerBounds lb = A2ALowerBounds::Compute(*instance);
+    table.AddRow(
+        {TablePrinter::Fmt(uint64_t{c.m}), TablePrinter::Fmt(uint64_t{c.k}),
+         exact ? TablePrinter::Fmt(uint64_t{exact->schema.num_reducers()})
+               : "budget",
+         grouping ? TablePrinter::Fmt(uint64_t{grouping->num_reducers()})
+                  : "-",
+         TablePrinter::Fmt(lb.schonheim)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_EqualGrouping(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  auto instance = A2AInstance::Create(wl::EqualSizes(m, 1), 16);
+  for (auto _ : state) {
+    auto schema = SolveA2AEqualGrouping(*instance);
+    benchmark::DoNotOptimize(schema);
+  }
+}
+BENCHMARK(BM_EqualGrouping)->Arg(512)->Arg(2'048);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintEqualTable();
+  PrintExactComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "bench_util.h"
+
+#include "core/validate.h"
+#include "util/check.h"
+#include "util/table.h"
+
+namespace msp::benchutil {
+
+namespace {
+
+SolverEval ScoreSchema(const SchemaStats& stats, uint64_t lb_reducers,
+                       uint64_t lb_comm) {
+  SolverEval eval;
+  eval.reducers = stats.num_reducers;
+  eval.communication = stats.communication_cost;
+  eval.max_load = stats.max_load;
+  eval.replication = stats.replication_rate;
+  eval.reducer_ratio =
+      lb_reducers == 0 ? 0.0
+                       : static_cast<double>(stats.num_reducers) /
+                             static_cast<double>(lb_reducers);
+  eval.comm_ratio = lb_comm == 0
+                        ? 0.0
+                        : static_cast<double>(stats.communication_cost) /
+                              static_cast<double>(lb_comm);
+  return eval;
+}
+
+}  // namespace
+
+std::optional<SolverEval> EvaluateA2A(const A2AInstance& instance,
+                                      const A2ALowerBounds& lb,
+                                      A2AAlgorithm algorithm,
+                                      const A2AOptions& options) {
+  const auto schema = SolveA2A(instance, algorithm, options);
+  if (!schema.has_value()) return std::nullopt;
+  // Benches always run on validated schemas: a broken construction must
+  // fail loudly, not produce a pretty table.
+  const ValidationResult valid = ValidateA2A(instance, *schema);
+  MSP_CHECK(valid.ok) << A2AAlgorithmName(algorithm) << ": " << valid.error;
+  return ScoreSchema(SchemaStats::Compute(instance, *schema), lb.reducers,
+                     lb.communication);
+}
+
+std::optional<SolverEval> EvaluateX2Y(const X2YInstance& instance,
+                                      const X2YLowerBounds& lb,
+                                      X2YAlgorithm algorithm,
+                                      const X2YOptions& options) {
+  const auto schema = SolveX2Y(instance, algorithm, options);
+  if (!schema.has_value()) return std::nullopt;
+  const ValidationResult valid = ValidateX2Y(instance, *schema);
+  MSP_CHECK(valid.ok) << X2YAlgorithmName(algorithm) << ": " << valid.error;
+  return ScoreSchema(SchemaStats::Compute(instance, *schema), lb.reducers,
+                     lb.communication);
+}
+
+std::string RatioString(uint64_t value, uint64_t bound) {
+  if (bound == 0) return "-";
+  return TablePrinter::Fmt(
+      static_cast<double>(value) / static_cast<double>(bound), 2);
+}
+
+}  // namespace msp::benchutil

@@ -1,0 +1,50 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench binary prints its paper-style tables on stdout (the
+// regenerated "table/figure") and then runs google-benchmark timing
+// series for the hot paths. See DESIGN.md for the experiment index.
+
+#ifndef MSP_BENCH_BENCH_UTIL_H_
+#define MSP_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/a2a.h"
+#include "core/bounds.h"
+#include "core/instance.h"
+#include "core/schema.h"
+#include "core/x2y.h"
+
+namespace msp::benchutil {
+
+/// Evaluation of one solver against one instance.
+struct SolverEval {
+  uint64_t reducers = 0;
+  uint64_t communication = 0;
+  uint64_t max_load = 0;
+  double replication = 0.0;
+  double reducer_ratio = 0.0;  // reducers / LB reducers
+  double comm_ratio = 0.0;     // communication / LB communication
+};
+
+/// Runs an A2A solver and scores it against the instance bounds.
+/// Returns nullopt when the solver is inapplicable.
+std::optional<SolverEval> EvaluateA2A(const A2AInstance& instance,
+                                      const A2ALowerBounds& lb,
+                                      A2AAlgorithm algorithm,
+                                      const A2AOptions& options = {});
+
+/// Runs an X2Y solver and scores it against the instance bounds.
+std::optional<SolverEval> EvaluateX2Y(const X2YInstance& instance,
+                                      const X2YLowerBounds& lb,
+                                      X2YAlgorithm algorithm,
+                                      const X2YOptions& options = {});
+
+/// "1.43" or "inf" guard for ratios.
+std::string RatioString(uint64_t value, uint64_t bound);
+
+}  // namespace msp::benchutil
+
+#endif  // MSP_BENCH_BENCH_UTIL_H_

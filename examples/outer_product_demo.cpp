@@ -1,0 +1,54 @@
+// Outer-product demo: compute u ⊗ v through an X2Y mapping schema and
+// report the schema costs for several capacities.
+//
+//   $ ./outer_product_demo [vector_length]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "join/outer_product.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace msp;
+
+  const std::size_t n =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 256;
+
+  Rng rng(5);
+  std::vector<double> u(n);
+  std::vector<double> v(n);
+  for (auto& x : u) x = rng.UniformDouble();
+  for (auto& x : v) x = rng.UniformDouble();
+
+  std::cout << "block outer product of two length-" << n << " vectors\n\n";
+  TablePrinter table("capacity sweep (block = 16 elements)");
+  table.SetHeader({"q", "reducers", "tiles", "comm", "repl", "max load",
+                   "complete"});
+  for (InputSize q : {32u, 64u, 128u, 256u, 512u}) {
+    join::OuterProductConfig config;
+    config.u_block = 16;
+    config.v_block = 16;
+    config.capacity = q;
+    const auto result = join::BlockOuterProduct(u, v, config);
+    if (!result.has_value()) {
+      table.AddRow({TablePrinter::Fmt(uint64_t{q}), "-", "-", "-", "-", "-",
+                    "no schema"});
+      continue;
+    }
+    bool complete = true;
+    for (double entry : result->matrix) {
+      if (entry != entry) complete = false;  // NaN => missing tile
+    }
+    table.AddRow({TablePrinter::Fmt(uint64_t{q}),
+                  TablePrinter::Fmt(result->schema_stats.num_reducers),
+                  TablePrinter::Fmt(result->tile_computations),
+                  TablePrinter::Fmt(result->schema_stats.communication_cost),
+                  TablePrinter::Fmt(result->schema_stats.replication_rate, 2),
+                  TablePrinter::Fmt(result->schema_stats.max_load),
+                  complete ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Skew join demo: join two Zipf-keyed relations on the simulator and
+// compare plain hash partitioning against the capacity-aware schema
+// join (the paper's motivating scenario).
+//
+//   $ ./skew_join_demo [tuples_per_relation] [capacity_bytes]
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "join/skew_join.h"
+#include "util/table.h"
+#include "workload/relations.h"
+
+int main(int argc, char** argv) {
+  using namespace msp;
+
+  const std::size_t tuples =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 4'000;
+  const uint64_t capacity =
+      argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 8'000;
+
+  wl::RelationConfig rc;
+  rc.num_tuples = tuples;
+  rc.num_keys = 500;
+  rc.key_skew = 1.4;  // strong heavy hitters
+  rc.payload_lo = 16;
+  rc.payload_hi = 64;
+  rc.seed = 7;
+  const auto r = wl::MakeSkewedRelation(rc);
+  rc.seed = 8;
+  const auto s = wl::MakeSkewedRelation(rc);
+
+  const auto hot = wl::KeyHistogram(r);
+  std::cout << "R and S: " << tuples << " tuples each, 500 keys, "
+            << "Zipf(1.4); hottest key appears " << hot[0].second
+            << " times in R\n\n";
+
+  join::SkewJoinConfig config;
+  config.capacity = capacity;
+  config.hash_reducers = 16;
+  config.engine.num_workers = 4;
+
+  const join::SkewJoinResult hash = join::HashJoinMapReduce(r, s, config);
+  const auto skew = join::SkewJoinMapReduce(r, s, config);
+  if (!skew.has_value()) {
+    std::cerr << "no schema exists for q = " << capacity << "\n";
+    return 1;
+  }
+  const auto reference = join::NestedLoopJoin(r, s);
+
+  TablePrinter table("hash partitioning vs capacity-aware skew join");
+  table.SetHeader({"metric", "hash join", "skew join (schemas)"});
+  auto row = [&](const std::string& name, const std::string& a,
+                 const std::string& b) { table.AddRow({name, a, b}); };
+  row("output triples", TablePrinter::Fmt(uint64_t{hash.triples.size()}),
+      TablePrinter::Fmt(uint64_t{skew->triples.size()}));
+  row("correct vs reference", hash.triples == reference ? "yes" : "NO",
+      skew->triples == reference ? "yes" : "NO");
+  row("reducers", TablePrinter::Fmt(hash.metrics.num_reducers),
+      TablePrinter::Fmt(skew->metrics.num_reducers));
+  row("heavy keys given schemas", "0",
+      TablePrinter::Fmt(uint64_t{skew->heavy_keys}));
+  row("max reducer bytes", TablePrinter::Fmt(hash.metrics.max_reducer_bytes),
+      TablePrinter::Fmt(skew->metrics.max_reducer_bytes));
+  // Hash buckets may aggregate several *light* keys above q in both
+  // variants; the paper's guarantee is about the per-heavy-key schema
+  // reducers, so report that slice separately.
+  uint64_t schema_max = 0;
+  for (std::size_t i = config.hash_reducers;
+       i < skew->metrics.reducer_bytes.size(); ++i) {
+    schema_max = std::max(schema_max, skew->metrics.reducer_bytes[i]);
+  }
+  row("max heavy-key reducer bytes", "= max reducer bytes",
+      TablePrinter::Fmt(schema_max));
+  row("capacity q", TablePrinter::Fmt(capacity), TablePrinter::Fmt(capacity));
+  row("heavy-key reducer over q?",
+      hash.metrics.max_reducer_bytes > capacity ? "YES" : "no",
+      schema_max > capacity ? "YES" : "no");
+  row("shuffle bytes", TablePrinter::Fmt(hash.metrics.shuffle_bytes),
+      TablePrinter::Fmt(skew->metrics.shuffle_bytes));
+  row("reducer peak/mean load",
+      TablePrinter::Fmt(hash.metrics.reducer_peak_to_mean, 2),
+      TablePrinter::Fmt(skew->metrics.reducer_peak_to_mean, 2));
+  table.Print(std::cout);
+
+  std::cout << "\nThe hash join funnels every heavy hitter into one "
+               "reducer (capacity blown, no parallelism); the schema "
+               "join spreads each heavy key across capacity-bounded "
+               "reducers at the price of extra communication.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Classic online and offline bin-packing heuristics.
+//
+// All algorithms run in O(n log n): FirstFit uses a segment tree over
+// bin residual capacities, BestFit/WorstFit use an ordered multiset.
+// FirstFitDecreasing (the default throughout the mapping-schema
+// algorithms) sorts by decreasing size and then runs FirstFit; its
+// classic guarantee FFD(I) <= (11/9) OPT(I) + 6/9 carries into the
+// schema-size bounds.
+
+#ifndef MSP_BINPACK_ALGORITHMS_H_
+#define MSP_BINPACK_ALGORITHMS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "binpack/packing.h"
+
+namespace msp::bp {
+
+/// Which packing heuristic to run.
+enum class Algorithm {
+  kNextFit,             // keep one open bin
+  kFirstFit,            // leftmost bin that fits
+  kBestFit,             // tightest bin that fits
+  kWorstFit,            // emptiest bin that fits
+  kFirstFitDecreasing,  // sort desc, then first fit
+  kBestFitDecreasing,   // sort desc, then best fit
+};
+
+/// All algorithms, in a stable order (for sweeps/ablations).
+inline constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kNextFit,          Algorithm::kFirstFit,
+    Algorithm::kBestFit,          Algorithm::kWorstFit,
+    Algorithm::kFirstFitDecreasing, Algorithm::kBestFitDecreasing,
+};
+
+/// Human-readable name ("FFD", "BF", ...).
+std::string AlgorithmName(Algorithm algorithm);
+
+/// Packs `sizes` into bins of `capacity` with the chosen heuristic.
+/// Requires every size to satisfy 0 < size <= capacity (checked).
+Packing Pack(const std::vector<uint64_t>& sizes, uint64_t capacity,
+             Algorithm algorithm);
+
+}  // namespace msp::bp
+
+#endif  // MSP_BINPACK_ALGORITHMS_H_

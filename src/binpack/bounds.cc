@@ -1,0 +1,76 @@
+#include "binpack/bounds.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace msp::bp {
+
+uint64_t LowerBoundL1(const std::vector<uint64_t>& sizes, uint64_t capacity) {
+  MSP_CHECK_GT(capacity, 0u);
+  Uint128 total = 0;
+  for (uint64_t w : sizes) total += w;
+  return CeilDiv128(total, capacity);
+}
+
+uint64_t LowerBoundL2(const std::vector<uint64_t>& sizes, uint64_t capacity) {
+  MSP_CHECK_GT(capacity, 0u);
+  if (sizes.empty()) return 0;
+  std::vector<uint64_t> sorted = sizes;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+
+  // prefix[i] = sum of the i smallest sizes.
+  std::vector<Uint128> prefix(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + sorted[i];
+  auto range_sum = [&](std::size_t lo, std::size_t hi) -> Uint128 {
+    // Sum of sorted[lo..hi) by index.
+    return prefix[hi] - prefix[lo];
+  };
+  // First index with size > v (== count of sizes <= v).
+  auto upper = [&](uint64_t v) -> std::size_t {
+    return static_cast<std::size_t>(
+        std::upper_bound(sorted.begin(), sorted.end(), v) - sorted.begin());
+  };
+  // First index with size >= v.
+  auto lower = [&](uint64_t v) -> std::size_t {
+    return static_cast<std::size_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), v) - sorted.begin());
+  };
+
+  uint64_t best = LowerBoundL1(sizes, capacity);
+  // Candidate thresholds: 0 and each distinct size <= capacity / 2.
+  std::vector<uint64_t> thresholds = {0};
+  for (uint64_t w : sorted) {
+    if (w <= capacity / 2 && (thresholds.empty() || thresholds.back() != w)) {
+      thresholds.push_back(w);
+    }
+  }
+  for (uint64_t k : thresholds) {
+    // J1: size > capacity - k.  J2: capacity/2 < size <= capacity - k.
+    // J3: k <= size <= capacity/2.
+    const std::size_t j1_begin = upper(capacity - k);
+    const std::size_t half_end = upper(capacity / 2);
+    const std::size_t j2_begin = half_end;
+    const std::size_t j2_end = std::max(j1_begin, half_end);
+    const std::size_t j3_begin = lower(k);
+    const std::size_t j3_end = std::min(half_end, n);
+
+    const uint64_t n1 = static_cast<uint64_t>(n - j1_begin);
+    const uint64_t n2 = static_cast<uint64_t>(j2_end - j2_begin);
+    const Uint128 sum2 = range_sum(j2_begin, j2_end);
+    const Uint128 sum3 =
+        j3_begin < j3_end ? range_sum(j3_begin, j3_end) : Uint128{0};
+
+    const Uint128 slack_in_j2_bins = Uint128{n2} * capacity - sum2;
+    uint64_t extra = 0;
+    if (sum3 > slack_in_j2_bins) {
+      extra = CeilDiv128(sum3 - slack_in_j2_bins, capacity);
+    }
+    best = std::max(best, n1 + n2 + extra);
+  }
+  return best;
+}
+
+}  // namespace msp::bp

@@ -1,0 +1,26 @@
+// Lower bounds on the optimal number of bins.
+//
+// L1 is the capacity (area) bound ceil(sum / c). L2 is Martello &
+// Toth's bound, which partitions items around a threshold k and counts
+// bins forced by large items. Both are used to certify near-optimality
+// of the heuristics in tests and benchmarks.
+
+#ifndef MSP_BINPACK_BOUNDS_H_
+#define MSP_BINPACK_BOUNDS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace msp::bp {
+
+/// ceil(total size / capacity).
+uint64_t LowerBoundL1(const std::vector<uint64_t>& sizes, uint64_t capacity);
+
+/// Martello-Toth L2 bound: max over thresholds k of the number of
+/// bins forced by items larger than capacity - k, corrected by the
+/// volume of items of size in [k, capacity - k]. Always >= L1.
+uint64_t LowerBoundL2(const std::vector<uint64_t>& sizes, uint64_t capacity);
+
+}  // namespace msp::bp
+
+#endif  // MSP_BINPACK_BOUNDS_H_

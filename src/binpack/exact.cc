@@ -1,0 +1,154 @@
+#include "binpack/exact.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "binpack/algorithms.h"
+#include "binpack/bounds.h"
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace msp::bp {
+
+namespace {
+
+// Depth-first branch and bound over items in decreasing size order.
+// Symmetry breaking: an item may open at most one new bin, and among
+// existing bins, bins with identical residual are tried only once.
+class ExactSearch {
+ public:
+  ExactSearch(std::vector<uint64_t> sorted_sizes, uint64_t capacity,
+              uint64_t max_nodes)
+      : sizes_(std::move(sorted_sizes)),
+        capacity_(capacity),
+        max_nodes_(max_nodes) {
+    suffix_sum_.resize(sizes_.size() + 1, 0);
+    for (std::size_t i = sizes_.size(); i > 0; --i) {
+      suffix_sum_[i - 1] = suffix_sum_[i] + sizes_[i - 1];
+    }
+  }
+
+  // Returns true if search completed within the node budget.
+  bool Run(uint64_t initial_upper_bound, uint64_t lower_bound) {
+    best_bins_ = initial_upper_bound;
+    lower_bound_ = lower_bound;
+    assignment_.assign(sizes_.size(), 0);
+    residuals_.clear();
+    aborted_ = false;
+    Dfs(0);
+    return !aborted_;
+  }
+
+  uint64_t best_bins() const { return best_bins_; }
+  const std::vector<uint32_t>& best_assignment() const {
+    return best_assignment_;
+  }
+  uint64_t nodes() const { return nodes_; }
+
+ private:
+  void Dfs(std::size_t item) {
+    if (aborted_) return;
+    if (++nodes_ > max_nodes_) {
+      aborted_ = true;
+      return;
+    }
+    if (residuals_.size() >= best_bins_) return;  // can't improve
+    if (item == sizes_.size()) {
+      best_bins_ = residuals_.size();
+      best_assignment_ = assignment_;
+      return;
+    }
+    // Volume-based completion bound: remaining volume must fit in the
+    // open residual space plus new bins.
+    Uint128 open_space = 0;
+    for (uint64_t r : residuals_) open_space += r;
+    const Uint128 remaining = suffix_sum_[item];
+    uint64_t completion = residuals_.size();
+    if (remaining > open_space) {
+      completion += CeilDiv128(remaining - open_space, capacity_);
+    }
+    if (completion >= best_bins_) return;
+
+    const uint64_t w = sizes_[item];
+    // Try existing bins, skipping duplicate residuals at this node.
+    uint64_t last_residual_tried = ~uint64_t{0};
+    for (std::size_t b = 0; b < residuals_.size(); ++b) {
+      if (residuals_[b] < w) continue;
+      if (residuals_[b] == last_residual_tried) continue;
+      last_residual_tried = residuals_[b];
+      residuals_[b] -= w;
+      assignment_[item] = static_cast<uint32_t>(b);
+      Dfs(item + 1);
+      residuals_[b] += w;
+      if (aborted_) return;
+      if (best_bins_ == lower_bound_) return;  // proven optimal
+    }
+    // Try a new bin.
+    residuals_.push_back(capacity_ - w);
+    assignment_[item] = static_cast<uint32_t>(residuals_.size() - 1);
+    Dfs(item + 1);
+    residuals_.pop_back();
+  }
+
+  std::vector<uint64_t> sizes_;  // decreasing
+  uint64_t capacity_;
+  uint64_t max_nodes_;
+  std::vector<Uint128> suffix_sum_;
+
+  std::vector<uint64_t> residuals_;
+  std::vector<uint32_t> assignment_;
+  std::vector<uint32_t> best_assignment_;
+  uint64_t best_bins_ = 0;
+  uint64_t lower_bound_ = 0;
+  uint64_t nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+std::optional<ExactResult> PackExact(const std::vector<uint64_t>& sizes,
+                                     uint64_t capacity, uint64_t max_nodes) {
+  MSP_CHECK_GT(capacity, 0u);
+  for (uint64_t w : sizes) {
+    MSP_CHECK_GT(w, 0u);
+    MSP_CHECK_LE(w, capacity);
+  }
+  if (sizes.empty()) {
+    return ExactResult{Packing{capacity, {}}, 0};
+  }
+
+  // Order items by decreasing size, remembering original indices.
+  std::vector<ItemIndex> order(sizes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](ItemIndex a, ItemIndex b) {
+    return sizes[a] > sizes[b];
+  });
+  std::vector<uint64_t> sorted(sizes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) sorted[i] = sizes[order[i]];
+
+  // Seed the upper bound with FFD.
+  const Packing ffd = Pack(sizes, capacity, Algorithm::kFirstFitDecreasing);
+  const uint64_t lb = LowerBoundL2(sizes, capacity);
+
+  ExactSearch search(sorted, capacity, max_nodes);
+  if (!search.Run(/*initial_upper_bound=*/ffd.num_bins(),
+                  /*lower_bound=*/lb)) {
+    return std::nullopt;
+  }
+
+  Packing packing;
+  packing.capacity = capacity;
+  if (search.best_assignment().empty() && ffd.num_bins() <= search.best_bins()) {
+    // FFD was already optimal and the search never improved on it.
+    packing = ffd;
+  } else {
+    packing.bins.resize(search.best_bins());
+    const auto& assignment = search.best_assignment();
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+      packing.bins[assignment[i]].push_back(order[i]);
+    }
+  }
+  return ExactResult{std::move(packing), search.nodes()};
+}
+
+}  // namespace msp::bp

@@ -1,0 +1,32 @@
+// Exact bin packing by branch and bound.
+//
+// Only practical for small instances (n up to ~24); used to certify
+// heuristic quality in tests and the T2 optimality-gap experiment.
+
+#ifndef MSP_BINPACK_EXACT_H_
+#define MSP_BINPACK_EXACT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "binpack/packing.h"
+
+namespace msp::bp {
+
+/// Result of an exact search.
+struct ExactResult {
+  Packing packing;          // an optimal packing
+  uint64_t nodes_explored;  // search effort
+};
+
+/// Finds a minimum-bin packing, exploring at most `max_nodes` branch
+/// nodes. Returns nullopt if the node budget is exhausted before
+/// optimality is proven. Items must satisfy 0 < size <= capacity.
+std::optional<ExactResult> PackExact(const std::vector<uint64_t>& sizes,
+                                     uint64_t capacity,
+                                     uint64_t max_nodes = 50'000'000);
+
+}  // namespace msp::bp
+
+#endif  // MSP_BINPACK_EXACT_H_

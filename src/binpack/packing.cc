@@ -1,0 +1,50 @@
+#include "binpack/packing.h"
+
+#include <sstream>
+
+namespace msp::bp {
+
+uint64_t Packing::BinLoad(const std::vector<uint64_t>& sizes,
+                          std::size_t b) const {
+  uint64_t load = 0;
+  for (ItemIndex i : bins[b]) load += sizes[i];
+  return load;
+}
+
+bool IsValidPacking(const std::vector<uint64_t>& sizes,
+                    const Packing& packing, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  std::vector<int> seen(sizes.size(), 0);
+  for (std::size_t b = 0; b < packing.bins.size(); ++b) {
+    uint64_t load = 0;
+    if (packing.bins[b].empty()) return fail("empty bin present");
+    for (ItemIndex i : packing.bins[b]) {
+      if (i >= sizes.size()) {
+        std::ostringstream os;
+        os << "item index " << i << " out of range";
+        return fail(os.str());
+      }
+      ++seen[i];
+      load += sizes[i];
+    }
+    if (load > packing.capacity) {
+      std::ostringstream os;
+      os << "bin " << b << " overflows: load " << load << " > capacity "
+         << packing.capacity;
+      return fail(os.str());
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (seen[i] != 1) {
+      std::ostringstream os;
+      os << "item " << i << " packed " << seen[i] << " times";
+      return fail(os.str());
+    }
+  }
+  return true;
+}
+
+}  // namespace msp::bp

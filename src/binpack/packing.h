@@ -1,0 +1,43 @@
+// Bin-packing data model.
+//
+// The paper's mapping-schema algorithms reduce to bin packing: inputs
+// are packed into bins of capacity q/2 (A2A) or a capacity split of q
+// (X2Y), and reducers are formed from bin pairs. This library is a
+// standalone, fully tested bin-packing implementation.
+
+#ifndef MSP_BINPACK_PACKING_H_
+#define MSP_BINPACK_PACKING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msp::bp {
+
+/// Index of an item in the caller's size array.
+using ItemIndex = uint32_t;
+
+/// The result of packing items into capacity-bounded bins.
+///
+/// `bins[b]` lists the indices of the items placed in bin `b`. A
+/// Packing produced by this library always satisfies: every item index
+/// appears in exactly one bin, and every bin's load is <= capacity.
+struct Packing {
+  uint64_t capacity = 0;
+  std::vector<std::vector<ItemIndex>> bins;
+
+  std::size_t num_bins() const { return bins.size(); }
+
+  /// Sum of `sizes[i]` over the items in bin `b`.
+  uint64_t BinLoad(const std::vector<uint64_t>& sizes, std::size_t b) const;
+};
+
+/// Returns true when `packing` is a valid packing of all `sizes.size()`
+/// items: disjoint cover of all indices, every bin within capacity.
+/// On failure `error` (if non-null) receives a human-readable reason.
+bool IsValidPacking(const std::vector<uint64_t>& sizes,
+                    const Packing& packing, std::string* error);
+
+}  // namespace msp::bp
+
+#endif  // MSP_BINPACK_PACKING_H_

@@ -1,0 +1,293 @@
+#include "cli/commands.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "cli/sizes_io.h"
+#include "core/a2a.h"
+#include "core/bounds.h"
+#include "core/improve.h"
+#include "core/instance.h"
+#include "core/schema.h"
+#include "core/schema_io.h"
+#include "core/validate.h"
+#include "core/x2y.h"
+#include "util/table.h"
+#include "workload/sizes.h"
+
+namespace msp::cli {
+
+namespace {
+
+// Reads --sizes=<path> into an A2A instance with --q=<capacity>.
+std::optional<A2AInstance> LoadA2A(const ArgParser& parser,
+                                   std::ostream& err) {
+  const std::string path = parser.GetString("sizes");
+  if (path.empty()) {
+    err << "error: --sizes=<file> is required\n";
+    return std::nullopt;
+  }
+  std::string io_error;
+  const auto sizes = ReadSizesFile(path, &io_error);
+  if (!sizes.has_value()) {
+    err << "error: " << io_error << "\n";
+    return std::nullopt;
+  }
+  const auto q = parser.GetUint("q", 0);
+  if (!q.has_value() || *q == 0) {
+    err << "error: --q=<capacity> is required and must be positive\n";
+    return std::nullopt;
+  }
+  auto instance = A2AInstance::Create(*sizes, *q);
+  if (!instance.has_value()) {
+    err << "error: invalid instance (zero size or an input larger than "
+           "q)\n";
+    return std::nullopt;
+  }
+  return instance;
+}
+
+std::optional<MappingSchema> LoadSchema(const std::string& path,
+                                        std::ostream& err) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    err << "error: cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto schema = SchemaFromText(buffer.str());
+  if (!schema.has_value()) {
+    err << "error: " << path << " is not a valid mapping-schema v1 file\n";
+  }
+  return schema;
+}
+
+int CmdGen(const ArgParser& parser, std::ostream& out, std::ostream& err) {
+  const auto m = parser.GetUint("m", 1000);
+  const auto lo = parser.GetUint("lo", 1);
+  const auto hi = parser.GetUint("hi", 100);
+  const auto seed = parser.GetUint("seed", 1);
+  const auto skew = parser.GetDouble("skew", 1.2);
+  const std::string dist = parser.GetString("dist", "uniform");
+  if (!m || !lo || !hi || !seed || !skew || *lo == 0 || *lo > *hi) {
+    err << "error: bad --m/--lo/--hi/--seed/--skew\n";
+    return 2;
+  }
+  std::vector<InputSize> sizes;
+  if (dist == "uniform") {
+    sizes = wl::UniformSizes(*m, *lo, *hi, *seed);
+  } else if (dist == "zipf") {
+    sizes = wl::ZipfSizes(*m, *lo, *hi, *skew, *seed);
+  } else if (dist == "equal") {
+    sizes = wl::EqualSizes(*m, *hi);
+  } else if (dist == "normal") {
+    const double mean = static_cast<double>(*lo + *hi) / 2;
+    sizes = wl::NormalSizes(*m, mean, mean / 3, *lo, *hi, *seed);
+  } else {
+    err << "error: unknown --dist '" << dist
+        << "' (uniform|zipf|equal|normal)\n";
+    return 2;
+  }
+  for (InputSize w : sizes) out << w << "\n";
+  return 0;
+}
+
+int CmdBounds(const ArgParser& parser, std::ostream& out, std::ostream& err) {
+  const auto instance = LoadA2A(parser, err);
+  if (!instance.has_value()) return 2;
+  if (!instance->IsFeasible()) {
+    out << "infeasible: the two largest inputs exceed q together\n";
+    return 1;
+  }
+  const A2ALowerBounds lb = A2ALowerBounds::Compute(*instance);
+  TablePrinter table("lower bounds");
+  table.SetHeader({"bound", "value"});
+  table.AddRow({"pair-mass reducers", TablePrinter::Fmt(lb.pair_mass)});
+  table.AddRow({"pair-count reducers", TablePrinter::Fmt(lb.pair_count)});
+  table.AddRow({"replication reducers", TablePrinter::Fmt(lb.replication)});
+  if (lb.schonheim > 0) {
+    table.AddRow({"Schonheim reducers", TablePrinter::Fmt(lb.schonheim)});
+  }
+  table.AddRow({"reducers (max)", TablePrinter::Fmt(lb.reducers)});
+  table.AddRow({"communication", TablePrinter::Fmt(lb.communication)});
+  table.Print(out);
+  return 0;
+}
+
+std::optional<A2AAlgorithm> ParseA2AAlgorithm(const std::string& name) {
+  if (name == "auto") return std::nullopt;  // handled by caller
+  for (A2AAlgorithm algo :
+       {A2AAlgorithm::kSingleReducer, A2AAlgorithm::kNaiveAllPairs,
+        A2AAlgorithm::kEqualGrouping, A2AAlgorithm::kBinPackPairing,
+        A2AAlgorithm::kBinPackTriples, A2AAlgorithm::kBigSmall,
+        A2AAlgorithm::kGreedyCover}) {
+    if (A2AAlgorithmName(algo) == name) return algo;
+  }
+  return std::nullopt;
+}
+
+int CmdSolveA2A(const ArgParser& parser, std::ostream& out,
+                std::ostream& err) {
+  const auto instance = LoadA2A(parser, err);
+  if (!instance.has_value()) return 2;
+  const std::string algo_name = parser.GetString("algorithm", "auto");
+  std::optional<MappingSchema> schema;
+  if (algo_name == "auto") {
+    schema = SolveA2AAuto(*instance);
+  } else {
+    const auto algo = ParseA2AAlgorithm(algo_name);
+    if (!algo.has_value()) {
+      err << "error: unknown --algorithm '" << algo_name << "'\n";
+      return 2;
+    }
+    schema = SolveA2A(*instance, *algo);
+  }
+  if (!schema.has_value()) {
+    err << "no schema: instance infeasible or algorithm inapplicable\n";
+    return 1;
+  }
+  const SchemaStats stats = SchemaStats::Compute(*instance, *schema);
+  err << "reducers=" << stats.num_reducers
+      << " communication=" << stats.communication_cost
+      << " replication=" << stats.replication_rate
+      << " max_load=" << stats.max_load << "\n";
+  out << SchemaToText(*schema);
+  return 0;
+}
+
+int CmdSolveX2Y(const ArgParser& parser, std::ostream& out,
+                std::ostream& err) {
+  const std::string x_path = parser.GetString("x-sizes");
+  const std::string y_path = parser.GetString("y-sizes");
+  if (x_path.empty() || y_path.empty()) {
+    err << "error: --x-sizes=<file> and --y-sizes=<file> are required\n";
+    return 2;
+  }
+  std::string io_error;
+  const auto x_sizes = ReadSizesFile(x_path, &io_error);
+  if (!x_sizes.has_value()) {
+    err << "error: " << io_error << "\n";
+    return 2;
+  }
+  const auto y_sizes = ReadSizesFile(y_path, &io_error);
+  if (!y_sizes.has_value()) {
+    err << "error: " << io_error << "\n";
+    return 2;
+  }
+  const auto q = parser.GetUint("q", 0);
+  if (!q.has_value() || *q == 0) {
+    err << "error: --q=<capacity> is required\n";
+    return 2;
+  }
+  auto instance = X2YInstance::Create(*x_sizes, *y_sizes, *q);
+  if (!instance.has_value()) {
+    err << "error: invalid instance\n";
+    return 2;
+  }
+  const auto schema = SolveX2YAuto(*instance);
+  if (!schema.has_value()) {
+    err << "no schema: instance infeasible\n";
+    return 1;
+  }
+  const SchemaStats stats = SchemaStats::Compute(*instance, *schema);
+  err << "reducers=" << stats.num_reducers
+      << " communication=" << stats.communication_cost << "\n";
+  out << SchemaToText(*schema);
+  return 0;
+}
+
+int CmdValidate(const ArgParser& parser, std::ostream& out,
+                std::ostream& err) {
+  const auto instance = LoadA2A(parser, err);
+  if (!instance.has_value()) return 2;
+  const std::string schema_path = parser.GetString("schema");
+  if (schema_path.empty()) {
+    err << "error: --schema=<file> is required\n";
+    return 2;
+  }
+  const auto schema = LoadSchema(schema_path, err);
+  if (!schema.has_value()) return 2;
+  const ValidationResult result = ValidateA2A(*instance, *schema);
+  if (result.ok) {
+    out << "valid: covers " << result.covered_outputs << "/"
+        << result.required_outputs << " outputs\n";
+    return 0;
+  }
+  out << "INVALID: " << result.error << "\n";
+  return 1;
+}
+
+int CmdImprove(const ArgParser& parser, std::ostream& out,
+               std::ostream& err) {
+  const auto instance = LoadA2A(parser, err);
+  if (!instance.has_value()) return 2;
+  const std::string schema_path = parser.GetString("schema");
+  if (schema_path.empty()) {
+    err << "error: --schema=<file> is required\n";
+    return 2;
+  }
+  auto schema = LoadSchema(schema_path, err);
+  if (!schema.has_value()) return 2;
+  const ValidationResult valid = ValidateA2A(*instance, *schema);
+  if (!valid.ok) {
+    err << "error: input schema is invalid: " << valid.error << "\n";
+    return 1;
+  }
+  const ImproveStats merged = MergeReducers(*instance, &*schema);
+  const uint64_t pruned = PruneRedundantCopiesA2A(*instance, &*schema);
+  err << "merges=" << merged.merges << " pruned_copies=" << pruned
+      << " reducers=" << merged.reducers_before << "->"
+      << schema->num_reducers() << "\n";
+  out << SchemaToText(*schema);
+  return 0;
+}
+
+}  // namespace
+
+void PrintUsage(std::ostream& out) {
+  out << "mspctl — mapping schema toolbox "
+         "(Afrati et al., EDBT 2015 reproduction)\n"
+         "\n"
+         "usage: mspctl <command> [options]\n"
+         "\n"
+         "commands:\n"
+         "  gen        --m=N --dist=uniform|zipf|equal|normal --lo=L --hi=H\n"
+         "             [--skew=S] [--seed=K]        write sizes to stdout\n"
+         "  bounds     --sizes=FILE --q=Q           print lower bounds\n"
+         "  solve-a2a  --sizes=FILE --q=Q [--algorithm=NAME]\n"
+         "             write schema to stdout, stats to stderr\n"
+         "  solve-x2y  --x-sizes=FILE --y-sizes=FILE --q=Q\n"
+         "  validate   --sizes=FILE --q=Q --schema=FILE\n"
+         "  improve    --sizes=FILE --q=Q --schema=FILE\n"
+         "\n"
+         "a2a algorithms: auto single-reducer naive-all-pairs "
+         "equal-grouping\n"
+         "  binpack-pairing binpack-triples big-small greedy-cover\n";
+}
+
+int RunCommand(const ArgParser& parser, std::ostream& out,
+               std::ostream& err) {
+  if (parser.positional().empty()) {
+    PrintUsage(err);
+    return 2;
+  }
+  const std::string& command = parser.positional()[0];
+  if (command == "gen") return CmdGen(parser, out, err);
+  if (command == "bounds") return CmdBounds(parser, out, err);
+  if (command == "solve-a2a") return CmdSolveA2A(parser, out, err);
+  if (command == "solve-x2y") return CmdSolveX2Y(parser, out, err);
+  if (command == "validate") return CmdValidate(parser, out, err);
+  if (command == "improve") return CmdImprove(parser, out, err);
+  if (command == "help") {
+    PrintUsage(out);
+    return 0;
+  }
+  err << "error: unknown command '" << command << "'\n";
+  PrintUsage(err);
+  return 2;
+}
+
+}  // namespace msp::cli

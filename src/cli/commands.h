@@ -1,0 +1,32 @@
+// Implementations of the mspctl subcommands, factored out of main()
+// so they are unit-testable (they write to a caller-provided stream
+// and return a process exit code).
+//
+// Subcommands:
+//   gen       — generate a sizes file (uniform/zipf/equal/normal)
+//   bounds    — print the lower bounds for an instance
+//   solve-a2a — construct an A2A schema and print it (v1 text format)
+//   solve-x2y — construct an X2Y schema from two sizes files
+//   validate  — check a schema file against an instance
+//   improve   — run the merge/prune post-optimizer on a schema file
+
+#ifndef MSP_CLI_COMMANDS_H_
+#define MSP_CLI_COMMANDS_H_
+
+#include <iosfwd>
+
+#include "util/flags.h"
+
+namespace msp::cli {
+
+/// Dispatches `parser.positional()[0]` to a subcommand. Returns the
+/// process exit code; diagnostics go to `err`, results to `out`.
+int RunCommand(const ArgParser& parser, std::ostream& out,
+               std::ostream& err);
+
+/// Prints the global usage text.
+void PrintUsage(std::ostream& out);
+
+}  // namespace msp::cli
+
+#endif  // MSP_CLI_COMMANDS_H_

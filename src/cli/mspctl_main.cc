@@ -1,0 +1,12 @@
+// Entry point of the mspctl command-line tool; all logic lives in
+// cli/commands.{h,cc} so it is unit-testable.
+
+#include <iostream>
+
+#include "cli/commands.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  const msp::ArgParser parser(argc, argv);
+  return msp::cli::RunCommand(parser, std::cout, std::cerr);
+}

@@ -1,0 +1,56 @@
+#include "cli/sizes_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace msp::cli {
+
+std::optional<std::vector<InputSize>> ParseSizes(std::istream& in,
+                                                 std::string* error) {
+  std::vector<InputSize> sizes;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string token;
+    while (tokens >> token) {
+      std::istringstream value(token);
+      uint64_t w = 0;
+      value >> w;
+      if (value.fail() || !value.eof() || w == 0) {
+        if (error != nullptr) {
+          std::ostringstream os;
+          os << "line " << line_no << ": invalid size '" << token
+             << "' (want a positive integer)";
+          *error = os.str();
+        }
+        return std::nullopt;
+      }
+      sizes.push_back(w);
+    }
+  }
+  return sizes;
+}
+
+std::optional<std::vector<InputSize>> ReadSizesFile(const std::string& path,
+                                                    std::string* error) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return ParseSizes(in, error);
+}
+
+bool WriteSizesFile(const std::string& path,
+                    const std::vector<InputSize>& sizes) {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  for (InputSize w : sizes) out << w << "\n";
+  return out.good();
+}
+
+}  // namespace msp::cli

@@ -1,0 +1,36 @@
+// Reading and writing input-size files for the command-line tools.
+//
+// Format: one positive integer per line; blank lines and '#' comments
+// are ignored. This is the interchange format between `mspctl gen`
+// and the solver subcommands.
+
+#ifndef MSP_CLI_SIZES_IO_H_
+#define MSP_CLI_SIZES_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace msp::cli {
+
+/// Parses sizes from a stream. Returns nullopt (and fills `error`) on
+/// the first malformed or non-positive entry.
+std::optional<std::vector<InputSize>> ParseSizes(std::istream& in,
+                                                 std::string* error);
+
+/// Reads sizes from a file path ("-" = stdin not supported here; the
+/// tool layers that). Returns nullopt on unreadable file or parse
+/// error.
+std::optional<std::vector<InputSize>> ReadSizesFile(const std::string& path,
+                                                    std::string* error);
+
+/// Writes sizes, one per line.
+bool WriteSizesFile(const std::string& path,
+                    const std::vector<InputSize>& sizes);
+
+}  // namespace msp::cli
+
+#endif  // MSP_CLI_SIZES_IO_H_

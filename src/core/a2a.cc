@@ -1,0 +1,359 @@
+#include "core/a2a.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace msp {
+
+namespace {
+
+// Builds one reducer per pair of groups; pairs inside a group are
+// covered because whole groups travel together. `groups[g]` lists the
+// input ids of group g. With a single group, emits one reducer holding
+// it (covering its internal pairs).
+MappingSchema PairGroups(const std::vector<std::vector<InputId>>& groups) {
+  MappingSchema schema;
+  if (groups.empty()) return schema;
+  if (groups.size() == 1) {
+    if (groups[0].size() >= 2) schema.AddReducer(groups[0]);
+    return schema;
+  }
+  for (std::size_t a = 0; a < groups.size(); ++a) {
+    for (std::size_t b = a + 1; b < groups.size(); ++b) {
+      Reducer reducer = groups[a];
+      reducer.insert(reducer.end(), groups[b].begin(), groups[b].end());
+      schema.AddReducer(std::move(reducer));
+    }
+  }
+  return schema;
+}
+
+// Converts a bin packing over a subset of inputs (`ids[i]` is the
+// caller-visible id of packed item i) into id groups.
+std::vector<std::vector<InputId>> BinsToGroups(
+    const bp::Packing& packing, const std::vector<InputId>& ids) {
+  std::vector<std::vector<InputId>> groups;
+  groups.reserve(packing.bins.size());
+  for (const auto& bin : packing.bins) {
+    std::vector<InputId> group;
+    group.reserve(bin.size());
+    for (bp::ItemIndex item : bin) group.push_back(ids[item]);
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+std::vector<InputId> AllIds(std::size_t m) {
+  std::vector<InputId> ids(m);
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+}  // namespace
+
+std::string A2AAlgorithmName(A2AAlgorithm algorithm) {
+  switch (algorithm) {
+    case A2AAlgorithm::kSingleReducer:
+      return "single-reducer";
+    case A2AAlgorithm::kNaiveAllPairs:
+      return "naive-all-pairs";
+    case A2AAlgorithm::kEqualGrouping:
+      return "equal-grouping";
+    case A2AAlgorithm::kBinPackPairing:
+      return "binpack-pairing";
+    case A2AAlgorithm::kBinPackTriples:
+      return "binpack-triples";
+    case A2AAlgorithm::kBigSmall:
+      return "big-small";
+    case A2AAlgorithm::kGreedyCover:
+      return "greedy-cover";
+  }
+  return "unknown";
+}
+
+std::optional<MappingSchema> SolveA2A(const A2AInstance& instance,
+                                      A2AAlgorithm algorithm,
+                                      const A2AOptions& options) {
+  switch (algorithm) {
+    case A2AAlgorithm::kSingleReducer:
+      return SolveA2ASingleReducer(instance);
+    case A2AAlgorithm::kNaiveAllPairs:
+      return SolveA2ANaiveAllPairs(instance);
+    case A2AAlgorithm::kEqualGrouping:
+      return SolveA2AEqualGrouping(instance);
+    case A2AAlgorithm::kBinPackPairing:
+      return SolveA2ABinPackPairing(instance, options);
+    case A2AAlgorithm::kBinPackTriples:
+      return SolveA2ABinPackTriples(instance, options);
+    case A2AAlgorithm::kBigSmall:
+      return SolveA2ABigSmall(instance, options);
+    case A2AAlgorithm::kGreedyCover:
+      return SolveA2AGreedyCover(instance);
+  }
+  return std::nullopt;
+}
+
+std::optional<MappingSchema> SolveA2ASingleReducer(const A2AInstance& in) {
+  MappingSchema schema;
+  if (in.num_inputs() < 2) return schema;
+  if (in.total_size() > in.capacity()) return std::nullopt;
+  schema.AddReducer(AllIds(in.num_inputs()));
+  return schema;
+}
+
+std::optional<MappingSchema> SolveA2ANaiveAllPairs(const A2AInstance& in) {
+  MappingSchema schema;
+  if (in.num_inputs() < 2) return schema;
+  if (!in.IsFeasible()) return std::nullopt;
+  const std::size_t m = in.num_inputs();
+  schema.reducers.reserve(PairCount(m));
+  for (InputId i = 0; i < m; ++i) {
+    for (InputId j = i + 1; j < m; ++j) {
+      schema.AddReducer({i, j});
+    }
+  }
+  return schema;
+}
+
+std::optional<MappingSchema> SolveA2AEqualGrouping(const A2AInstance& in) {
+  if (in.num_inputs() < 2) return MappingSchema{};
+  if (!in.AllSizesEqual()) return std::nullopt;
+  const InputSize w = in.size(0);
+  const uint64_t k = in.capacity() / w;  // inputs per full reducer
+  if (k < 2) return std::nullopt;        // no pair fits together
+  const uint64_t group_size = std::max<uint64_t>(1, k / 2);
+
+  std::vector<std::vector<InputId>> groups;
+  std::vector<InputId> current;
+  for (InputId i = 0; i < in.num_inputs(); ++i) {
+    current.push_back(i);
+    if (current.size() == group_size) {
+      groups.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) groups.push_back(std::move(current));
+  return PairGroups(groups);
+}
+
+std::optional<MappingSchema> SolveA2ABinPackPairing(const A2AInstance& in,
+                                                    const A2AOptions& options) {
+  if (in.num_inputs() < 2) return MappingSchema{};
+  const uint64_t half = in.capacity() / 2;
+  if (half == 0 || in.max_size() > half) return std::nullopt;
+  const bp::Packing packing =
+      bp::Pack(in.sizes(), half, options.bin_packer);
+  return PairGroups(BinsToGroups(packing, AllIds(in.num_inputs())));
+}
+
+std::optional<MappingSchema> SolveA2ABinPackTriples(
+    const A2AInstance& in, const A2AOptions& options) {
+  return SolveA2ABinPackKGroups(in, 3, options);
+}
+
+std::optional<MappingSchema> SolveA2ABinPackKGroups(
+    const A2AInstance& in, int bins_per_reducer, const A2AOptions& options) {
+  if (bins_per_reducer < 2) return std::nullopt;
+  if (in.num_inputs() < 2) return MappingSchema{};
+  const std::size_t k = static_cast<std::size_t>(bins_per_reducer);
+  const uint64_t part = in.capacity() / k;
+  if (part == 0 || in.max_size() > part) return std::nullopt;
+  const bp::Packing packing = bp::Pack(in.sizes(), part, options.bin_packer);
+  const auto groups = BinsToGroups(packing, AllIds(in.num_inputs()));
+  const std::size_t x = groups.size();
+  if (x <= k) {
+    // All bins fit in one reducer (x * part <= k * part <= q).
+    Reducer reducer;
+    for (const auto& group : groups) {
+      reducer.insert(reducer.end(), group.begin(), group.end());
+    }
+    MappingSchema schema;
+    if (reducer.size() >= 2) schema.AddReducer(std::move(reducer));
+    return schema;
+  }
+  if (k == 2) return PairGroups(groups);
+
+  // Greedy cover of the complete graph on bins by k-cliques: seed a
+  // clique with the first uncovered pair, then repeatedly add the bin
+  // covering the most still-uncovered pairs against the clique.
+  std::vector<std::vector<bool>> covered(x, std::vector<bool>(x, false));
+  auto is_covered = [&](std::size_t a, std::size_t b) {
+    return covered[std::min(a, b)][std::max(a, b)];
+  };
+  auto mark = [&](std::size_t a, std::size_t b) {
+    covered[std::min(a, b)][std::max(a, b)] = true;
+  };
+  MappingSchema schema;
+  std::vector<std::size_t> clique;
+  for (std::size_t a = 0; a < x; ++a) {
+    for (std::size_t b = a + 1; b < x; ++b) {
+      if (is_covered(a, b)) continue;
+      clique = {a, b};
+      while (clique.size() < k) {
+        std::size_t best_c = x;
+        int best_gain = 0;
+        for (std::size_t c = 0; c < x; ++c) {
+          if (std::find(clique.begin(), clique.end(), c) != clique.end()) {
+            continue;
+          }
+          int gain = 0;
+          for (std::size_t member : clique) {
+            if (!is_covered(member, c)) ++gain;
+          }
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_c = c;
+          }
+        }
+        if (best_c == x) break;  // nothing new to cover
+        clique.push_back(best_c);
+      }
+      Reducer reducer;
+      for (std::size_t member : clique) {
+        reducer.insert(reducer.end(), groups[member].begin(),
+                       groups[member].end());
+      }
+      for (std::size_t i = 0; i < clique.size(); ++i) {
+        for (std::size_t j = i + 1; j < clique.size(); ++j) {
+          mark(clique[i], clique[j]);
+        }
+      }
+      schema.AddReducer(std::move(reducer));
+    }
+  }
+  return schema;
+}
+
+std::optional<MappingSchema> SolveA2ABigSmall(const A2AInstance& in,
+                                              const A2AOptions& options) {
+  if (in.num_inputs() < 2) return MappingSchema{};
+  if (!in.IsFeasible()) return std::nullopt;
+  const uint64_t q = in.capacity();
+  const uint64_t half = q / 2;
+
+  std::vector<InputId> bigs;
+  std::vector<InputId> smalls;
+  std::vector<InputSize> small_sizes;
+  for (InputId i = 0; i < in.num_inputs(); ++i) {
+    if (in.size(i) > half) {
+      bigs.push_back(i);
+    } else {
+      smalls.push_back(i);
+      small_sizes.push_back(in.size(i));
+    }
+  }
+  if (bigs.empty()) return SolveA2ABinPackPairing(in, options);
+
+  MappingSchema schema;
+  // Big-big pairs: feasibility guarantees each pair fits together.
+  for (std::size_t a = 0; a < bigs.size(); ++a) {
+    for (std::size_t b = a + 1; b < bigs.size(); ++b) {
+      schema.AddReducer({bigs[a], bigs[b]});
+    }
+  }
+  // Big-small pairs: pack the smalls into the residual capacity left by
+  // each big input and pair the big with every such bin.
+  for (InputId big : bigs) {
+    if (smalls.empty()) break;
+    const uint64_t residual = q - in.size(big);
+    const bp::Packing packing =
+        bp::Pack(small_sizes, residual, options.bin_packer);
+    for (const auto& bin : packing.bins) {
+      Reducer reducer = {big};
+      for (bp::ItemIndex item : bin) reducer.push_back(smalls[item]);
+      schema.AddReducer(std::move(reducer));
+    }
+  }
+  // Small-small pairs via bin pairing at capacity q/2.
+  if (smalls.size() >= 2) {
+    const bp::Packing packing =
+        bp::Pack(small_sizes, half, options.bin_packer);
+    MappingSchema small_schema =
+        PairGroups(BinsToGroups(packing, smalls));
+    for (auto& reducer : small_schema.reducers) {
+      schema.AddReducer(std::move(reducer));
+    }
+  }
+  return schema;
+}
+
+std::optional<MappingSchema> SolveA2AGreedyCover(const A2AInstance& in) {
+  const std::size_t m = in.num_inputs();
+  if (m < 2) return MappingSchema{};
+  if (!in.IsFeasible()) return std::nullopt;
+  const uint64_t q = in.capacity();
+
+  MappingSchema schema;
+  std::vector<uint64_t> loads;
+  // reducers_of[i] = reducers currently containing input i.
+  std::vector<std::vector<uint32_t>> reducers_of(m);
+  // covered[] over the triangular pair layout.
+  std::vector<bool> covered(PairCount(m), false);
+  auto pair_index = [m](uint64_t i, uint64_t j) {
+    return i * (m - 1) - i * (i - 1) / 2 + (j - i - 1);
+  };
+  // Adds input `id` to reducer r, marking all newly covered pairs.
+  auto add_to_reducer = [&](uint32_t r, InputId id) {
+    for (InputId other : schema.reducers[r]) {
+      const uint64_t p = other < id ? pair_index(other, id)
+                                    : pair_index(id, other);
+      covered[p] = true;
+    }
+    schema.reducers[r].push_back(id);
+    loads[r] += in.size(id);
+    reducers_of[id].push_back(r);
+  };
+
+  for (InputId i = 0; i < m; ++i) {
+    for (InputId j = i + 1; j < m; ++j) {
+      if (covered[pair_index(i, j)]) continue;
+      bool placed = false;
+      // Prefer extending a reducer that already holds one endpoint.
+      for (uint32_t r : reducers_of[i]) {
+        if (loads[r] + in.size(j) <= q) {
+          add_to_reducer(r, j);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        for (uint32_t r : reducers_of[j]) {
+          if (loads[r] + in.size(i) <= q) {
+            add_to_reducer(r, i);
+            placed = true;
+            break;
+          }
+        }
+      }
+      if (!placed) {
+        schema.AddReducer({});
+        loads.push_back(0);
+        const uint32_t r = static_cast<uint32_t>(schema.num_reducers() - 1);
+        add_to_reducer(r, i);
+        add_to_reducer(r, j);
+      }
+    }
+  }
+  return schema;
+}
+
+std::optional<MappingSchema> SolveA2AAuto(const A2AInstance& in,
+                                          const A2AOptions& options) {
+  if (in.num_inputs() < 2) return MappingSchema{};
+  if (!in.IsFeasible()) return std::nullopt;
+  if (in.total_size() <= in.capacity()) return SolveA2ASingleReducer(in);
+  if (in.AllSizesEqual()) {
+    auto schema = SolveA2AEqualGrouping(in);
+    if (schema.has_value()) return schema;
+  }
+  if (in.max_size() <= in.capacity() / 2) {
+    return SolveA2ABinPackPairing(in, options);
+  }
+  return SolveA2ABigSmall(in, options);
+}
+
+}  // namespace msp

@@ -1,0 +1,97 @@
+// Mapping-schema construction algorithms for the A2A problem.
+//
+// The A2A mapping schema problem is NP-complete (paper, Sec. "Mapping
+// Schema"), so the library ships the paper's approximation algorithms
+// plus baselines:
+//
+//  * kSingleReducer    — everything in one reducer when W <= q.
+//  * kNaiveAllPairs    — one reducer per pair; maximal parallelism and
+//                        maximal communication (baseline).
+//  * kEqualGrouping    — equal-sized inputs: split the m inputs into
+//                        groups of floor(k/2), k = floor(q/w), one
+//                        reducer per pair of groups (~2x optimal).
+//  * kBinPackPairing   — different sizes, all w_i <= q/2: bin-pack into
+//                        bins of capacity floor(q/2) and use one
+//                        reducer per pair of bins.
+//  * kBinPackTriples   — extension: sizes <= q/3, pack into q/3-bins
+//                        and cover all bin pairs by bin triples
+//                        (greedy), trading bigger reducers for fewer
+//                        of them.
+//  * kBigSmall         — general sizes: inputs larger than q/2 get
+//                        dedicated reducers against bins of the small
+//                        inputs packed to the residual capacity;
+//                        small-small pairs fall back to kBinPackPairing.
+//  * kGreedyCover      — pair-stream first-fit covering (baseline).
+//
+// All solvers return schemas that pass ValidateA2A, or nullopt when the
+// algorithm's precondition (or instance feasibility) fails.
+
+#ifndef MSP_CORE_A2A_H_
+#define MSP_CORE_A2A_H_
+
+#include <optional>
+#include <string>
+
+#include "binpack/algorithms.h"
+#include "core/instance.h"
+#include "core/schema.h"
+
+namespace msp {
+
+/// Selects an A2A schema-construction algorithm.
+enum class A2AAlgorithm {
+  kSingleReducer,
+  kNaiveAllPairs,
+  kEqualGrouping,
+  kBinPackPairing,
+  kBinPackTriples,
+  kBigSmall,
+  kGreedyCover,
+};
+
+/// Options shared by the A2A solvers.
+struct A2AOptions {
+  /// Bin-packing heuristic used wherever the algorithm packs inputs.
+  bp::Algorithm bin_packer = bp::Algorithm::kFirstFitDecreasing;
+};
+
+/// Human-readable algorithm name.
+std::string A2AAlgorithmName(A2AAlgorithm algorithm);
+
+/// Dispatches to the requested solver.
+std::optional<MappingSchema> SolveA2A(const A2AInstance& instance,
+                                      A2AAlgorithm algorithm,
+                                      const A2AOptions& options = {});
+
+/// Individual solvers (see enum above for semantics).
+std::optional<MappingSchema> SolveA2ASingleReducer(const A2AInstance& in);
+std::optional<MappingSchema> SolveA2ANaiveAllPairs(const A2AInstance& in);
+std::optional<MappingSchema> SolveA2AEqualGrouping(const A2AInstance& in);
+std::optional<MappingSchema> SolveA2ABinPackPairing(
+    const A2AInstance& in, const A2AOptions& options = {});
+std::optional<MappingSchema> SolveA2ABinPackTriples(
+    const A2AInstance& in, const A2AOptions& options = {});
+std::optional<MappingSchema> SolveA2ABigSmall(const A2AInstance& in,
+                                              const A2AOptions& options = {});
+std::optional<MappingSchema> SolveA2AGreedyCover(const A2AInstance& in);
+
+/// Generalization of pairing/triples: pack inputs into bins of
+/// capacity floor(q/k) and cover all bin pairs greedily with groups of
+/// at most k bins (each group is one reducer of load <= q). Larger k
+/// needs smaller inputs (max size <= q/k) but covers pairs more
+/// densely: the reducer count approaches the pair-mass lower bound as
+/// k grows. k = 2 reproduces kBinPackPairing, k = 3 kBinPackTriples.
+std::optional<MappingSchema> SolveA2ABinPackKGroups(
+    const A2AInstance& in, int bins_per_reducer,
+    const A2AOptions& options = {});
+
+/// Picks the best applicable paper algorithm for the instance: equal
+/// grouping for equal sizes, bin-pack pairing when all inputs are
+/// small, big-small otherwise; falls back to single reducer when
+/// everything fits. This is the recommended entry point for users.
+std::optional<MappingSchema> SolveA2AAuto(const A2AInstance& in,
+                                          const A2AOptions& options = {});
+
+}  // namespace msp
+
+#endif  // MSP_CORE_A2A_H_

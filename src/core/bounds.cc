@@ -1,0 +1,144 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace msp {
+
+uint64_t MaxInputsWithinBudget(const std::vector<InputSize>& sizes,
+                               uint64_t budget) {
+  std::vector<InputSize> sorted = sizes;
+  std::sort(sorted.begin(), sorted.end());
+  uint64_t count = 0;
+  Uint128 used = 0;
+  for (InputSize w : sorted) {
+    if (used + w > budget) break;
+    used += w;
+    ++count;
+  }
+  return count;
+}
+
+A2ALowerBounds A2ALowerBounds::Compute(const A2AInstance& instance) {
+  A2ALowerBounds lb;
+  const std::size_t m = instance.num_inputs();
+  if (m < 2) return lb;
+  MSP_CHECK(instance.IsFeasible())
+      << "lower bounds are undefined for infeasible instances";
+  const uint64_t q = instance.capacity();
+  const Uint128 total = instance.total_size();
+
+  // Pair mass: P = (W^2 - sum w_i^2) / 2; per-reducer coverage <= q^2/2.
+  Uint128 sum_sq = 0;
+  for (InputSize w : instance.sizes()) sum_sq += Uint128{w} * w;
+  const Uint128 two_p = total * total - sum_sq;  // == 2P
+  lb.pair_mass = CeilDiv128(two_p, Uint128{q} * q);
+
+  // Pair count.
+  const uint64_t k_max = MaxInputsWithinBudget(instance.sizes(), q);
+  if (k_max >= 2) {
+    lb.pair_count = CeilDiv(PairCount(m), PairCount(k_max));
+  } else {
+    lb.pair_count = PairCount(m);  // one pair per reducer at best
+  }
+
+  // Replication / communication.
+  Uint128 comm = 0;
+  for (InputSize w : instance.sizes()) {
+    const Uint128 partners = total - w;  // size of everything i must meet
+    const uint64_t room = q - w;         // per-copy partner budget
+    uint64_t copies = 1;
+    if (partners > 0) {
+      MSP_CHECK_GT(room, 0u);  // guaranteed by feasibility for m >= 2
+      copies = std::max<uint64_t>(1, CeilDiv128(partners, room));
+    }
+    comm += Uint128{w} * copies;
+  }
+  lb.communication = CeilDiv128(comm, 1);
+  lb.replication = CeilDiv128(comm, q);
+
+  // Schönheim covering bound for equal sizes.
+  if (instance.AllSizesEqual()) {
+    const uint64_t k = q / instance.size(0);
+    if (k >= 2) {
+      const uint64_t inner = CeilDiv(m - 1, k - 1);
+      lb.schonheim = CeilDiv(m * inner, k);
+    }
+  }
+
+  lb.reducers = std::max({lb.pair_mass, lb.pair_count, lb.replication,
+                          lb.schonheim, uint64_t{1}});
+  return lb;
+}
+
+X2YLowerBounds X2YLowerBounds::Compute(const X2YInstance& instance) {
+  X2YLowerBounds lb;
+  const std::size_t m = instance.num_x();
+  const std::size_t n = instance.num_y();
+  if (m == 0 || n == 0) return lb;
+  MSP_CHECK(instance.IsFeasible())
+      << "lower bounds are undefined for infeasible instances";
+  const uint64_t q = instance.capacity();
+
+  // Pair mass: M = W_X * W_Y; a reducer with a units of X and b of Y
+  // (a + b <= q) covers mass a*b <= q^2/4.
+  const Uint128 mass = Uint128{instance.total_x_size()} *
+                       instance.total_y_size();
+  const Uint128 per_reducer = Uint128{q} * q / 4;
+  lb.pair_mass = per_reducer == 0 ? mass == 0 ? 0 : 1
+                                  : CeilDiv128(mass, per_reducer);
+
+  // Pair count: maximize (#x)(#y) over smallest-first prefixes with
+  // total size <= q.
+  std::vector<InputSize> xs = instance.x_sizes();
+  std::vector<InputSize> ys = instance.y_sizes();
+  std::sort(xs.begin(), xs.end());
+  std::sort(ys.begin(), ys.end());
+  std::vector<Uint128> px(xs.size() + 1, 0);
+  for (std::size_t i = 0; i < xs.size(); ++i) px[i + 1] = px[i] + xs[i];
+  std::vector<Uint128> py(ys.size() + 1, 0);
+  for (std::size_t j = 0; j < ys.size(); ++j) py[j + 1] = py[j] + ys[j];
+  uint64_t best_product = 0;
+  std::size_t b = ys.size();
+  for (std::size_t a = 1; a <= xs.size(); ++a) {
+    if (px[a] > q) break;
+    while (b > 0 && px[a] + py[b] > q) --b;
+    if (b == 0) break;
+    best_product = std::max<uint64_t>(best_product, a * b);
+  }
+  const uint64_t outputs = instance.NumOutputs();
+  lb.pair_count =
+      best_product == 0 ? outputs : CeilDiv(outputs, best_product);
+
+  // Replication / communication.
+  Uint128 comm = 0;
+  for (InputSize w : instance.x_sizes()) {
+    const uint64_t room = q - w;
+    uint64_t copies = 1;
+    if (instance.total_y_size() > 0) {
+      MSP_CHECK_GT(room, 0u);
+      copies = std::max<uint64_t>(1, CeilDiv128(instance.total_y_size(), room));
+    }
+    comm += Uint128{w} * copies;
+  }
+  for (InputSize w : instance.y_sizes()) {
+    const uint64_t room = q - w;
+    uint64_t copies = 1;
+    if (instance.total_x_size() > 0) {
+      MSP_CHECK_GT(room, 0u);
+      copies = std::max<uint64_t>(1, CeilDiv128(instance.total_x_size(), room));
+    }
+    comm += Uint128{w} * copies;
+  }
+  lb.communication = CeilDiv128(comm, 1);
+  lb.replication = CeilDiv128(comm, q);
+
+  lb.reducers =
+      std::max({lb.pair_mass, lb.pair_count, lb.replication, uint64_t{1}});
+  return lb;
+}
+
+}  // namespace msp

@@ -1,0 +1,64 @@
+// Lower bounds on reducers and communication for both problems.
+//
+// These are the paper's yardsticks: every heuristic is compared against
+// the maximum of the applicable bounds, and the benchmark tables report
+// the measured approximation ratio alg/LB.
+//
+// A2A bounds (m >= 2, feasible instance, W = total size):
+//  * pair-mass:   a reducer of load L covers pair mass < L^2/2 <= q^2/2;
+//                 total mass P = (W^2 - sum w_i^2)/2, so z >= 2P/q^2.
+//  * pair-count:  a reducer holds at most k_max inputs (max number of
+//                 smallest inputs fitting in q), covering <= C(k_max,2)
+//                 of the C(m,2) pairs.
+//  * replication: input i meets partners of total size W - w_i, at most
+//                 q - w_i per reducer copy, so it needs
+//                 r_i >= ceil((W - w_i)/(q - w_i)) copies; communication
+//                 >= sum w_i * r_i and z >= that / q.
+//  * Schönheim (equal sizes w, k = floor(q/w) >= 2): the schema is a
+//                 covering design, so z >= ceil(m/k * ceil((m-1)/(k-1))).
+//
+// X2Y bounds mirror these with pair mass W_X * W_Y (<= q^2/4 coverable
+// per reducer) and per-side replication r_xi >= ceil(W_Y / (q - w_i)).
+
+#ifndef MSP_CORE_BOUNDS_H_
+#define MSP_CORE_BOUNDS_H_
+
+#include <cstdint>
+
+#include "core/instance.h"
+
+namespace msp {
+
+/// Collection of A2A lower bounds. All values are lower bounds on any
+/// valid mapping schema for the instance; `reducers` is their maximum.
+struct A2ALowerBounds {
+  uint64_t pair_mass = 0;
+  uint64_t pair_count = 0;
+  uint64_t replication = 0;   // reducers implied by communication bound
+  uint64_t schonheim = 0;     // 0 when sizes are not all equal
+  uint64_t reducers = 0;      // max of the above (>= 1 when m >= 2)
+  uint64_t communication = 0; // lower bound on total size units moved
+
+  static A2ALowerBounds Compute(const A2AInstance& instance);
+};
+
+/// Collection of X2Y lower bounds; same conventions as A2ALowerBounds.
+struct X2YLowerBounds {
+  uint64_t pair_mass = 0;
+  uint64_t pair_count = 0;
+  uint64_t replication = 0;
+  uint64_t reducers = 0;
+  uint64_t communication = 0;
+
+  static X2YLowerBounds Compute(const X2YInstance& instance);
+};
+
+/// Max number of inputs (taking the smallest first) whose sizes fit in
+/// `budget`. Helper exposed for tests; also used by the pair-count
+/// bounds.
+uint64_t MaxInputsWithinBudget(const std::vector<InputSize>& sizes,
+                               uint64_t budget);
+
+}  // namespace msp
+
+#endif  // MSP_CORE_BOUNDS_H_

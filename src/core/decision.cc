@@ -1,0 +1,27 @@
+#include "core/decision.h"
+
+namespace msp {
+
+DecisionAnswer ExistsSchemaA2A(const A2AInstance& instance, uint64_t z,
+                               const ExactOptions& options) {
+  if (instance.num_inputs() < 2) return DecisionAnswer::kYes;
+  if (!instance.IsFeasible()) return DecisionAnswer::kNo;
+  const auto exact = ExactMinReducersA2A(instance, options);
+  if (!exact.has_value()) return DecisionAnswer::kUnknown;
+  return exact->schema.num_reducers() <= z ? DecisionAnswer::kYes
+                                           : DecisionAnswer::kNo;
+}
+
+DecisionAnswer ExistsSchemaX2Y(const X2YInstance& instance, uint64_t z,
+                               const ExactOptions& options) {
+  if (instance.num_x() == 0 || instance.num_y() == 0) {
+    return DecisionAnswer::kYes;
+  }
+  if (!instance.IsFeasible()) return DecisionAnswer::kNo;
+  const auto exact = ExactMinReducersX2Y(instance, options);
+  if (!exact.has_value()) return DecisionAnswer::kUnknown;
+  return exact->schema.num_reducers() <= z ? DecisionAnswer::kYes
+                                           : DecisionAnswer::kNo;
+}
+
+}  // namespace msp

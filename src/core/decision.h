@@ -1,0 +1,34 @@
+// The decision variants of the mapping schema problems — the form in
+// which the paper proves NP-completeness: "given z reducers of
+// capacity q, does a valid mapping schema exist?"
+//
+// These wrap the exact branch-and-bound search with a reducer budget,
+// so they are exponential like the optimization variant; they exist
+// for completeness of the API and for the T2 experiment.
+
+#ifndef MSP_CORE_DECISION_H_
+#define MSP_CORE_DECISION_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "core/exact.h"
+#include "core/instance.h"
+
+namespace msp {
+
+/// Three-valued answer: the search can prove either way or run out of
+/// node budget.
+enum class DecisionAnswer { kYes, kNo, kUnknown };
+
+/// Does a valid A2A schema with at most `z` reducers exist?
+DecisionAnswer ExistsSchemaA2A(const A2AInstance& instance, uint64_t z,
+                               const ExactOptions& options = {});
+
+/// Does a valid X2Y schema with at most `z` reducers exist?
+DecisionAnswer ExistsSchemaX2Y(const X2YInstance& instance, uint64_t z,
+                               const ExactOptions& options = {});
+
+}  // namespace msp
+
+#endif  // MSP_CORE_DECISION_H_

@@ -1,0 +1,206 @@
+#include "core/exact.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/a2a.h"
+#include "core/validate.h"
+#include "core/x2y.h"
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace msp {
+
+namespace {
+
+// Generic branch-and-bound over "outputs" — the list of required pairs.
+// Works for both problems: the only problem-specific parts are the
+// input sizes and the list of required pairs.
+class SchemaSearch {
+ public:
+  SchemaSearch(std::vector<InputSize> sizes, uint64_t capacity,
+               std::vector<std::pair<InputId, InputId>> required_pairs,
+               uint64_t max_nodes)
+      : sizes_(std::move(sizes)),
+        capacity_(capacity),
+        pairs_(std::move(required_pairs)),
+        max_nodes_(max_nodes) {
+    pair_of_.assign(sizes_.size(),
+                    std::vector<int>(sizes_.size(), -1));
+    for (std::size_t p = 0; p < pairs_.size(); ++p) {
+      pair_of_[pairs_[p].first][pairs_[p].second] = static_cast<int>(p);
+      pair_of_[pairs_[p].second][pairs_[p].first] = static_cast<int>(p);
+    }
+  }
+
+  // Runs the search seeded with `upper_bound_schema` (a valid schema).
+  // Returns false when the node budget was exhausted.
+  bool Run(const MappingSchema& upper_bound_schema) {
+    best_schema_ = upper_bound_schema;
+    best_count_ = upper_bound_schema.num_reducers();
+    covered_.assign(pairs_.size(), 0);
+    reducers_.clear();
+    loads_.clear();
+    aborted_ = false;
+    Dfs(0);
+    return !aborted_;
+  }
+
+  const MappingSchema& best_schema() const { return best_schema_; }
+  uint64_t nodes() const { return nodes_; }
+
+ private:
+  void Dfs(std::size_t next_pair_hint) {
+    if (aborted_) return;
+    if (++nodes_ > max_nodes_) {
+      aborted_ = true;
+      return;
+    }
+    if (reducers_.size() >= best_count_) return;
+    // Find the first uncovered pair.
+    std::size_t p = next_pair_hint;
+    while (p < pairs_.size() && covered_[p] > 0) ++p;
+    if (p == pairs_.size()) {
+      best_count_ = reducers_.size();
+      best_schema_.reducers = reducers_;
+      return;
+    }
+    const InputId i = pairs_[p].first;
+    const InputId j = pairs_[p].second;
+    const InputSize wi = sizes_[i];
+    const InputSize wj = sizes_[j];
+
+    for (std::size_t r = 0; r < reducers_.size(); ++r) {
+      const bool has_i =
+          std::find(reducers_[r].begin(), reducers_[r].end(), i) !=
+          reducers_[r].end();
+      const bool has_j =
+          std::find(reducers_[r].begin(), reducers_[r].end(), j) !=
+          reducers_[r].end();
+      if (has_i && has_j) continue;  // would already cover p
+      if (has_i && loads_[r] + wj <= capacity_) {
+        auto undo = AddMemberTracked(r, j);
+        Dfs(p);
+        UndoTracked(r, j, undo);
+        if (aborted_) return;
+      } else if (has_j && loads_[r] + wi <= capacity_) {
+        auto undo = AddMemberTracked(r, i);
+        Dfs(p);
+        UndoTracked(r, i, undo);
+        if (aborted_) return;
+      } else if (!has_i && !has_j && loads_[r] + wi + wj <= capacity_) {
+        auto undo_i = AddMemberTracked(r, i);
+        auto undo_j = AddMemberTracked(r, j);
+        Dfs(p);
+        UndoTracked(r, j, undo_j);
+        UndoTracked(r, i, undo_i);
+        if (aborted_) return;
+      }
+    }
+    // Open a fresh reducer {i, j}.
+    reducers_.emplace_back();
+    loads_.push_back(0);
+    auto undo_i = AddMemberTracked(reducers_.size() - 1, i);
+    auto undo_j = AddMemberTracked(reducers_.size() - 1, j);
+    Dfs(p);
+    UndoTracked(reducers_.size() - 1, j, undo_j);
+    UndoTracked(reducers_.size() - 1, i, undo_i);
+    reducers_.pop_back();
+    loads_.pop_back();
+  }
+
+  // Tracked add/remove: records which required pairs had their
+  // coverage counter touched so the undo is exact.
+  std::vector<int> AddMemberTracked(std::size_t r, InputId id) {
+    std::vector<int> touched;
+    for (InputId other : reducers_[r]) {
+      const int p = pair_of_[id][other];
+      if (p >= 0) {
+        ++covered_[p];
+        touched.push_back(p);
+      }
+    }
+    reducers_[r].push_back(id);
+    loads_[r] += sizes_[id];
+    return touched;
+  }
+
+  void UndoTracked(std::size_t r, InputId id, const std::vector<int>& touched) {
+    MSP_DCHECK(!reducers_[r].empty() && reducers_[r].back() == id);
+    reducers_[r].pop_back();
+    loads_[r] -= sizes_[id];
+    for (int p : touched) --covered_[p];
+  }
+
+  std::vector<InputSize> sizes_;
+  uint64_t capacity_;
+  std::vector<std::pair<InputId, InputId>> pairs_;
+  uint64_t max_nodes_;
+  std::vector<std::vector<int>> pair_of_;
+
+  std::vector<Reducer> reducers_;
+  std::vector<uint64_t> loads_;
+  std::vector<int> covered_;  // coverage counters per required pair
+  MappingSchema best_schema_;
+  std::size_t best_count_ = 0;
+  uint64_t nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+std::optional<ExactSchemaResult> ExactMinReducersA2A(
+    const A2AInstance& instance, const ExactOptions& options) {
+  if (!instance.IsFeasible()) return std::nullopt;
+  if (instance.num_inputs() < 2) {
+    return ExactSchemaResult{MappingSchema{}, 0};
+  }
+  // Seed upper bound with the best heuristic schema.
+  std::optional<MappingSchema> seed = SolveA2AAuto(instance);
+  MSP_CHECK(seed.has_value());
+  auto greedy = SolveA2AGreedyCover(instance);
+  if (greedy.has_value() && greedy->num_reducers() < seed->num_reducers()) {
+    seed = std::move(greedy);
+  }
+
+  std::vector<std::pair<InputId, InputId>> pairs;
+  const std::size_t m = instance.num_inputs();
+  pairs.reserve(PairCount(m));
+  for (InputId i = 0; i < m; ++i) {
+    for (InputId j = i + 1; j < m; ++j) pairs.push_back({i, j});
+  }
+  SchemaSearch search(instance.sizes(), instance.capacity(), std::move(pairs),
+                      options.max_nodes);
+  if (!search.Run(*seed)) return std::nullopt;
+  MSP_DCHECK(ValidateA2A(instance, search.best_schema()).ok);
+  return ExactSchemaResult{search.best_schema(), search.nodes()};
+}
+
+std::optional<ExactSchemaResult> ExactMinReducersX2Y(
+    const X2YInstance& instance, const ExactOptions& options) {
+  if (!instance.IsFeasible()) return std::nullopt;
+  if (instance.num_x() == 0 || instance.num_y() == 0) {
+    return ExactSchemaResult{MappingSchema{}, 0};
+  }
+  std::optional<MappingSchema> seed = SolveX2YAuto(instance);
+  MSP_CHECK(seed.has_value());
+
+  std::vector<InputSize> sizes = instance.x_sizes();
+  sizes.insert(sizes.end(), instance.y_sizes().begin(),
+               instance.y_sizes().end());
+  std::vector<std::pair<InputId, InputId>> pairs;
+  pairs.reserve(instance.NumOutputs());
+  for (std::size_t i = 0; i < instance.num_x(); ++i) {
+    for (std::size_t j = 0; j < instance.num_y(); ++j) {
+      pairs.push_back({instance.XId(i), instance.YId(j)});
+    }
+  }
+  SchemaSearch search(std::move(sizes), instance.capacity(), std::move(pairs),
+                      options.max_nodes);
+  if (!search.Run(*seed)) return std::nullopt;
+  MSP_DCHECK(ValidateX2Y(instance, search.best_schema()).ok);
+  return ExactSchemaResult{search.best_schema(), search.nodes()};
+}
+
+}  // namespace msp

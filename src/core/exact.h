@@ -1,0 +1,49 @@
+// Exact minimum-reducer solvers by branch and bound.
+//
+// Both mapping schema problems are NP-complete (the paper's central
+// intractability result), so these solvers are exponential and only
+// practical for toy instances (roughly m <= 9 for A2A, m*n <= 20 for
+// X2Y). They exist to measure the optimality gap of the heuristics
+// (experiment T2) and to demonstrate the blow-up empirically.
+//
+// The search branches on the first uncovered output pair: the pair can
+// be covered by extending any existing reducer (adding one or both
+// endpoints, capacity permitting) or by opening a fresh reducer with
+// exactly the two endpoints. This enumeration visits every irredundant
+// schema, hence finds the optimum.
+
+#ifndef MSP_CORE_EXACT_H_
+#define MSP_CORE_EXACT_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "core/instance.h"
+#include "core/schema.h"
+
+namespace msp {
+
+/// Result of an exact search.
+struct ExactSchemaResult {
+  MappingSchema schema;     // an optimal schema
+  uint64_t nodes_explored = 0;
+};
+
+/// Options controlling the exponential search.
+struct ExactOptions {
+  /// Abort (returning nullopt) after this many branch nodes.
+  uint64_t max_nodes = 20'000'000;
+};
+
+/// Minimum-reducer schema for an A2A instance, or nullopt when the
+/// instance is infeasible or the node budget is exhausted.
+std::optional<ExactSchemaResult> ExactMinReducersA2A(
+    const A2AInstance& instance, const ExactOptions& options = {});
+
+/// Minimum-reducer schema for an X2Y instance; same conventions.
+std::optional<ExactSchemaResult> ExactMinReducersX2Y(
+    const X2YInstance& instance, const ExactOptions& options = {});
+
+}  // namespace msp
+
+#endif  // MSP_CORE_EXACT_H_

@@ -1,0 +1,180 @@
+#include "core/improve.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.h"
+
+namespace msp {
+
+namespace {
+
+uint64_t ReducerLoad(const std::vector<InputSize>& sizes,
+                     const Reducer& reducer) {
+  uint64_t load = 0;
+  for (InputId id : reducer) load += sizes[id];
+  return load;
+}
+
+// Load of the union of two reducers (duplicates unified).
+uint64_t UnionLoad(const std::vector<InputSize>& sizes, const Reducer& a,
+                   const Reducer& b) {
+  // Both inputs are kept sorted by the caller.
+  uint64_t load = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a[i] < b[j])) {
+      load += sizes[a[i++]];
+    } else if (i == a.size() || b[j] < a[i]) {
+      load += sizes[b[j++]];
+    } else {
+      load += sizes[a[i++]];
+      ++j;
+    }
+  }
+  return load;
+}
+
+Reducer MergeSorted(const Reducer& a, const Reducer& b) {
+  Reducer merged;
+  merged.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(merged));
+  return merged;
+}
+
+}  // namespace
+
+ImproveStats MergeReducers(const std::vector<InputSize>& sizes,
+                           InputSize capacity, MappingSchema* schema) {
+  MSP_CHECK(schema != nullptr);
+  ImproveStats stats;
+  stats.reducers_before = schema->num_reducers();
+  for (const Reducer& r : schema->reducers) {
+    stats.communication_before += ReducerLoad(sizes, r);
+  }
+
+  // Work on sorted reducers, lightest first; try to fold each reducer
+  // into the best (tightest-fitting) later partner.
+  std::vector<Reducer> reducers = schema->reducers;
+  for (Reducer& r : reducers) std::sort(r.begin(), r.end());
+  std::sort(reducers.begin(), reducers.end(),
+            [&](const Reducer& a, const Reducer& b) {
+              return ReducerLoad(sizes, a) < ReducerLoad(sizes, b);
+            });
+
+  std::vector<bool> dead(reducers.size(), false);
+  for (std::size_t i = 0; i < reducers.size(); ++i) {
+    if (dead[i]) continue;
+    // Find the partner whose union load is largest but still <= q
+    // (tightest packing leaves the most room elsewhere).
+    std::size_t best_j = reducers.size();
+    uint64_t best_union = 0;
+    for (std::size_t j = i + 1; j < reducers.size(); ++j) {
+      if (dead[j]) continue;
+      const uint64_t u = UnionLoad(sizes, reducers[i], reducers[j]);
+      if (u <= capacity && u >= best_union) {
+        best_union = u;
+        best_j = j;
+      }
+    }
+    if (best_j != reducers.size()) {
+      reducers[best_j] = MergeSorted(reducers[i], reducers[best_j]);
+      dead[i] = true;
+      ++stats.merges;
+    }
+  }
+
+  MappingSchema merged;
+  for (std::size_t i = 0; i < reducers.size(); ++i) {
+    if (!dead[i]) merged.AddReducer(std::move(reducers[i]));
+  }
+  *schema = std::move(merged);
+
+  stats.reducers_after = schema->num_reducers();
+  for (const Reducer& r : schema->reducers) {
+    stats.communication_after += ReducerLoad(sizes, r);
+  }
+  return stats;
+}
+
+ImproveStats MergeReducers(const A2AInstance& instance,
+                           MappingSchema* schema) {
+  return MergeReducers(instance.sizes(), instance.capacity(), schema);
+}
+
+ImproveStats MergeReducers(const X2YInstance& instance,
+                           MappingSchema* schema) {
+  std::vector<InputSize> sizes = instance.x_sizes();
+  sizes.insert(sizes.end(), instance.y_sizes().begin(),
+               instance.y_sizes().end());
+  return MergeReducers(sizes, instance.capacity(), schema);
+}
+
+uint64_t PruneRedundantCopiesA2A(const A2AInstance& instance,
+                                 MappingSchema* schema) {
+  MSP_CHECK(schema != nullptr);
+  const std::size_t m = instance.num_inputs();
+  if (m < 2) return 0;
+  // cover_count[pair] = how many reducers cover the pair.
+  auto pair_index = [m](uint64_t i, uint64_t j) {
+    return i * (m - 1) - i * (i - 1) / 2 + (j - i - 1);
+  };
+  std::vector<uint32_t> cover(m * (m - 1) / 2, 0);
+  for (const Reducer& reducer : *&schema->reducers) {
+    for (std::size_t a = 0; a < reducer.size(); ++a) {
+      for (std::size_t b = a + 1; b < reducer.size(); ++b) {
+        const InputId lo = std::min(reducer[a], reducer[b]);
+        const InputId hi = std::max(reducer[a], reducer[b]);
+        ++cover[pair_index(lo, hi)];
+      }
+    }
+  }
+
+  uint64_t removed = 0;
+  for (Reducer& reducer : schema->reducers) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t a = 0; a < reducer.size(); ++a) {
+        // `a` is removable if every pair (a, other) in this reducer is
+        // covered at least twice.
+        bool removable = !reducer.empty() && reducer.size() > 1;
+        for (std::size_t b = 0; removable && b < reducer.size(); ++b) {
+          if (b == a) continue;
+          const InputId lo = std::min(reducer[a], reducer[b]);
+          const InputId hi = std::max(reducer[a], reducer[b]);
+          if (cover[pair_index(lo, hi)] < 2) removable = false;
+        }
+        if (!removable) continue;
+        for (std::size_t b = 0; b < reducer.size(); ++b) {
+          if (b == a) continue;
+          const InputId lo = std::min(reducer[a], reducer[b]);
+          const InputId hi = std::max(reducer[a], reducer[b]);
+          --cover[pair_index(lo, hi)];
+        }
+        reducer.erase(reducer.begin() + static_cast<std::ptrdiff_t>(a));
+        ++removed;
+        changed = true;
+        break;
+      }
+    }
+  }
+  // Drop reducers that became empty or singleton: they cover no pair,
+  // so their remaining copies are redundant too.
+  std::vector<Reducer> kept;
+  for (Reducer& reducer : schema->reducers) {
+    if (reducer.size() >= 2) {
+      kept.push_back(std::move(reducer));
+    } else {
+      removed += reducer.size();
+    }
+  }
+  schema->reducers = std::move(kept);
+  return removed;
+}
+
+}  // namespace msp

@@ -1,0 +1,53 @@
+// Post-optimization of mapping schemas.
+//
+// The constructive algorithms sometimes leave "mergeable" reducers:
+// two reducers whose union of inputs still fits in q can be collapsed
+// into one, strictly reducing the reducer count and never breaking
+// coverage (a merged reducer covers a superset of the pairs). This
+// greedy merge pass is the library's ablation A3: how much of the gap
+// to the lower bound is recoverable by local optimization.
+
+#ifndef MSP_CORE_IMPROVE_H_
+#define MSP_CORE_IMPROVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schema.h"
+
+namespace msp {
+
+/// Statistics of one improvement pass.
+struct ImproveStats {
+  uint64_t merges = 0;             // reducer pairs collapsed
+  uint64_t reducers_before = 0;
+  uint64_t reducers_after = 0;
+  uint64_t communication_before = 0;
+  uint64_t communication_after = 0;
+};
+
+/// Greedily merges reducers of `schema` while the merged input set
+/// fits within `capacity`. `size_of(id)` must return the size of
+/// input `id`. Duplicate inputs across merged reducers are unified
+/// (which can also shrink communication). Deterministic: repeatedly
+/// merges the lightest reducer into the best-fitting partner.
+ImproveStats MergeReducers(const std::vector<InputSize>& sizes,
+                           InputSize capacity, MappingSchema* schema);
+
+/// Convenience overloads for the two instance types.
+ImproveStats MergeReducers(const A2AInstance& instance,
+                           MappingSchema* schema);
+ImproveStats MergeReducers(const X2YInstance& instance,
+                           MappingSchema* schema);
+
+/// Removes inputs that cover no *new* pair in their reducer — i.e.,
+/// every pair (input, other-member) is already covered elsewhere.
+/// Reduces communication without changing coverage. Returns the
+/// number of copies removed. Only valid for A2A coverage semantics.
+uint64_t PruneRedundantCopiesA2A(const A2AInstance& instance,
+                                 MappingSchema* schema);
+
+}  // namespace msp
+
+#endif  // MSP_CORE_IMPROVE_H_

@@ -1,0 +1,87 @@
+#include "core/instance.h"
+
+#include <algorithm>
+
+#include "util/math_util.h"
+
+namespace msp {
+
+namespace {
+
+bool SizesValid(const std::vector<InputSize>& sizes, InputSize capacity) {
+  if (capacity == 0) return false;
+  for (InputSize w : sizes) {
+    if (w == 0 || w > capacity) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<A2AInstance> A2AInstance::Create(std::vector<InputSize> sizes,
+                                               InputSize capacity) {
+  if (!SizesValid(sizes, capacity)) return std::nullopt;
+  return A2AInstance(std::move(sizes), capacity);
+}
+
+A2AInstance::A2AInstance(std::vector<InputSize> sizes, InputSize capacity)
+    : sizes_(std::move(sizes)), capacity_(capacity) {
+  min_size_ = capacity_;
+  for (InputSize w : sizes_) {
+    total_size_ += w;
+    min_size_ = std::min(min_size_, w);
+    if (w >= max_size_) {
+      second_max_size_ = max_size_;
+      max_size_ = w;
+    } else if (w > second_max_size_) {
+      second_max_size_ = w;
+    }
+  }
+  if (sizes_.empty()) min_size_ = 0;
+}
+
+bool A2AInstance::AllSizesEqual() const {
+  return sizes_.empty() || min_size_ == max_size_;
+}
+
+bool A2AInstance::IsFeasible() const {
+  if (sizes_.size() < 2) return true;
+  return max_size_ + second_max_size_ <= capacity_;
+}
+
+uint64_t A2AInstance::NumOutputs() const { return PairCount(sizes_.size()); }
+
+std::optional<X2YInstance> X2YInstance::Create(
+    std::vector<InputSize> x_sizes, std::vector<InputSize> y_sizes,
+    InputSize capacity) {
+  if (!SizesValid(x_sizes, capacity) || !SizesValid(y_sizes, capacity)) {
+    return std::nullopt;
+  }
+  return X2YInstance(std::move(x_sizes), std::move(y_sizes), capacity);
+}
+
+X2YInstance::X2YInstance(std::vector<InputSize> x_sizes,
+                         std::vector<InputSize> y_sizes, InputSize capacity)
+    : x_sizes_(std::move(x_sizes)),
+      y_sizes_(std::move(y_sizes)),
+      capacity_(capacity) {
+  for (InputSize w : x_sizes_) {
+    total_x_ += w;
+    max_x_ = std::max(max_x_, w);
+  }
+  for (InputSize w : y_sizes_) {
+    total_y_ += w;
+    max_y_ = std::max(max_y_, w);
+  }
+}
+
+bool X2YInstance::IsFeasible() const {
+  if (x_sizes_.empty() || y_sizes_.empty()) return true;
+  return max_x_ + max_y_ <= capacity_;
+}
+
+uint64_t X2YInstance::NumOutputs() const {
+  return static_cast<uint64_t>(x_sizes_.size()) * y_sizes_.size();
+}
+
+}  // namespace msp

@@ -1,0 +1,128 @@
+// Problem instances for the two mapping-schema problems of the paper:
+//
+//  * A2AInstance — "all-to-all": m inputs with sizes w_1..w_m and a
+//    reducer capacity q; every pair of inputs is an output.
+//  * X2YInstance — "X-to-Y": disjoint sets X (sizes w_1..w_m) and Y
+//    (sizes w'_1..w'_n); every cross pair (x_i, y_j) is an output.
+//
+// Instances are immutable after creation and validate their invariants
+// at construction (positive sizes, positive capacity, every input fits
+// in a reducer by itself).
+
+#ifndef MSP_CORE_INSTANCE_H_
+#define MSP_CORE_INSTANCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace msp {
+
+/// Identifies an input. For X2Y instances the ids are global: X inputs
+/// occupy [0, num_x) and Y inputs occupy [num_x, num_x + num_y).
+using InputId = uint32_t;
+
+/// Size of an input, in the same unit as the reducer capacity q.
+using InputSize = uint64_t;
+
+/// An instance of the A2A mapping schema problem.
+class A2AInstance {
+ public:
+  /// Validates and builds an instance. Returns nullopt when `capacity`
+  /// is zero, any size is zero, or any size exceeds `capacity`
+  /// (an input that cannot be placed in any reducer).
+  static std::optional<A2AInstance> Create(std::vector<InputSize> sizes,
+                                           InputSize capacity);
+
+  std::size_t num_inputs() const { return sizes_.size(); }
+  InputSize capacity() const { return capacity_; }
+  InputSize size(InputId i) const { return sizes_[i]; }
+  const std::vector<InputSize>& sizes() const { return sizes_; }
+
+  /// Sum of all input sizes (W in the paper).
+  InputSize total_size() const { return total_size_; }
+  InputSize max_size() const { return max_size_; }
+  InputSize min_size() const { return min_size_; }
+
+  /// True when all inputs have the same size (the paper's special case
+  /// with the grouping construction).
+  bool AllSizesEqual() const;
+
+  /// A mapping schema exists (with unlimited reducers) iff every pair
+  /// fits together, i.e., the two largest inputs sum to <= q.
+  bool IsFeasible() const;
+
+  /// Number of unordered pairs of inputs, m(m-1)/2.
+  uint64_t NumOutputs() const;
+
+ private:
+  A2AInstance(std::vector<InputSize> sizes, InputSize capacity);
+
+  std::vector<InputSize> sizes_;
+  InputSize capacity_;
+  InputSize total_size_ = 0;
+  InputSize max_size_ = 0;
+  InputSize min_size_ = 0;
+  InputSize second_max_size_ = 0;
+};
+
+/// An instance of the X2Y mapping schema problem.
+class X2YInstance {
+ public:
+  /// Validates and builds an instance; same invariants as A2A, applied
+  /// to both sides.
+  static std::optional<X2YInstance> Create(std::vector<InputSize> x_sizes,
+                                           std::vector<InputSize> y_sizes,
+                                           InputSize capacity);
+
+  std::size_t num_x() const { return x_sizes_.size(); }
+  std::size_t num_y() const { return y_sizes_.size(); }
+  std::size_t num_inputs() const { return num_x() + num_y(); }
+  InputSize capacity() const { return capacity_; }
+
+  InputSize x_size(std::size_t i) const { return x_sizes_[i]; }
+  InputSize y_size(std::size_t j) const { return y_sizes_[j]; }
+  const std::vector<InputSize>& x_sizes() const { return x_sizes_; }
+  const std::vector<InputSize>& y_sizes() const { return y_sizes_; }
+
+  /// Global id of the i-th X input (== i).
+  InputId XId(std::size_t i) const { return static_cast<InputId>(i); }
+  /// Global id of the j-th Y input (== num_x + j).
+  InputId YId(std::size_t j) const {
+    return static_cast<InputId>(x_sizes_.size() + j);
+  }
+  /// True when `id` refers to an X input.
+  bool IsX(InputId id) const { return id < x_sizes_.size(); }
+  /// Size of the input with global id `id`.
+  InputSize SizeOf(InputId id) const {
+    return IsX(id) ? x_sizes_[id] : y_sizes_[id - x_sizes_.size()];
+  }
+
+  InputSize total_x_size() const { return total_x_; }
+  InputSize total_y_size() const { return total_y_; }
+  InputSize max_x_size() const { return max_x_; }
+  InputSize max_y_size() const { return max_y_; }
+
+  /// Feasible (with unlimited reducers) iff the largest X and largest Y
+  /// inputs fit together: max_x + max_y <= q.
+  bool IsFeasible() const;
+
+  /// Number of outputs, m * n.
+  uint64_t NumOutputs() const;
+
+ private:
+  X2YInstance(std::vector<InputSize> x_sizes, std::vector<InputSize> y_sizes,
+              InputSize capacity);
+
+  std::vector<InputSize> x_sizes_;
+  std::vector<InputSize> y_sizes_;
+  InputSize capacity_;
+  InputSize total_x_ = 0;
+  InputSize total_y_ = 0;
+  InputSize max_x_ = 0;
+  InputSize max_y_ = 0;
+};
+
+}  // namespace msp
+
+#endif  // MSP_CORE_INSTANCE_H_

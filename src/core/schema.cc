@@ -1,0 +1,81 @@
+#include "core/schema.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/summary_stats.h"
+
+namespace msp {
+
+namespace {
+
+template <typename SizeOfFn>
+SchemaStats ComputeImpl(std::size_t num_inputs, uint64_t total_size,
+                        const MappingSchema& schema, SizeOfFn size_of) {
+  SchemaStats stats;
+  stats.num_reducers = schema.num_reducers();
+  if (schema.reducers.empty()) return stats;
+
+  std::vector<uint64_t> loads;
+  loads.reserve(schema.reducers.size());
+  uint64_t copies = 0;
+  for (const Reducer& reducer : schema.reducers) {
+    uint64_t load = 0;
+    for (InputId id : reducer) load += size_of(id);
+    loads.push_back(load);
+    copies += reducer.size();
+    stats.max_inputs_per_reducer =
+        std::max<uint64_t>(stats.max_inputs_per_reducer, reducer.size());
+  }
+  const SummaryStats load_stats = SummaryStats::Compute(loads);
+  stats.communication_cost = static_cast<uint64_t>(load_stats.sum());
+  stats.max_load = static_cast<uint64_t>(load_stats.max());
+  stats.min_load = static_cast<uint64_t>(load_stats.min());
+  stats.mean_load = load_stats.mean();
+  stats.load_cv = load_stats.CoefficientOfVariation();
+  stats.peak_to_mean = load_stats.PeakToMeanRatio();
+  if (total_size > 0) {
+    stats.replication_rate =
+        static_cast<double>(stats.communication_cost) / total_size;
+  }
+  if (num_inputs > 0) {
+    stats.mean_copies_per_input =
+        static_cast<double>(copies) / static_cast<double>(num_inputs);
+  }
+  return stats;
+}
+
+}  // namespace
+
+SchemaStats SchemaStats::Compute(const A2AInstance& instance,
+                                 const MappingSchema& schema) {
+  return ComputeImpl(instance.num_inputs(), instance.total_size(), schema,
+                     [&](InputId id) {
+                       MSP_CHECK_LT(id, instance.num_inputs());
+                       return instance.size(id);
+                     });
+}
+
+SchemaStats SchemaStats::Compute(const X2YInstance& instance,
+                                 const MappingSchema& schema) {
+  return ComputeImpl(instance.num_inputs(),
+                     instance.total_x_size() + instance.total_y_size(), schema,
+                     [&](InputId id) {
+                       MSP_CHECK_LT(id, instance.num_inputs());
+                       return instance.SizeOf(id);
+                     });
+}
+
+std::vector<uint32_t> ComputeReplication(const MappingSchema& schema,
+                                         std::size_t num_inputs) {
+  std::vector<uint32_t> replication(num_inputs, 0);
+  for (const Reducer& reducer : schema.reducers) {
+    for (InputId id : reducer) {
+      MSP_CHECK_LT(id, num_inputs);
+      ++replication[id];
+    }
+  }
+  return replication;
+}
+
+}  // namespace msp

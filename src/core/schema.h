@@ -1,0 +1,66 @@
+// Mapping schemas: the assignment of inputs to reducers.
+//
+// A MappingSchema is a list of reducers; each reducer lists the ids of
+// the inputs assigned to it. The same input may (and usually must)
+// appear in many reducers — that replication is exactly the
+// communication cost the paper reasons about.
+
+#ifndef MSP_CORE_SCHEMA_H_
+#define MSP_CORE_SCHEMA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace msp {
+
+/// One reducer's input list.
+using Reducer = std::vector<InputId>;
+
+/// An assignment of inputs to reducers.
+struct MappingSchema {
+  std::vector<Reducer> reducers;
+
+  std::size_t num_reducers() const { return reducers.size(); }
+
+  /// Appends a reducer and returns its index.
+  std::size_t AddReducer(Reducer reducer) {
+    reducers.push_back(std::move(reducer));
+    return reducers.size() - 1;
+  }
+};
+
+/// Load and replication statistics of a schema. Communication cost is
+/// measured as in the paper: the total number of size units moved from
+/// the map phase to the reduce phase (each copy of input i costs w_i).
+struct SchemaStats {
+  uint64_t num_reducers = 0;
+  uint64_t communication_cost = 0;  // sum over reducers of their loads
+  uint64_t max_load = 0;            // heaviest reducer
+  uint64_t min_load = 0;            // lightest reducer
+  double mean_load = 0.0;
+  double load_cv = 0.0;            // coefficient of variation of loads
+  double peak_to_mean = 0.0;       // max_load / mean_load
+  double replication_rate = 0.0;   // communication_cost / total input size
+  double mean_copies_per_input = 0.0;
+  uint64_t max_inputs_per_reducer = 0;
+
+  /// Computes stats of `schema` against the sizes of `instance`.
+  static SchemaStats Compute(const A2AInstance& instance,
+                             const MappingSchema& schema);
+  /// X2Y overload (uses global-id sizes).
+  static SchemaStats Compute(const X2YInstance& instance,
+                             const MappingSchema& schema);
+};
+
+/// Number of reducers each input appears in ("replication vector").
+/// result[i] == 0 means input i is never assigned. The paper's
+/// replication lower bound states that in any valid A2A schema,
+/// result[i] >= ceil((W - w_i) / (q - w_i)).
+std::vector<uint32_t> ComputeReplication(const MappingSchema& schema,
+                                         std::size_t num_inputs);
+
+}  // namespace msp
+
+#endif  // MSP_CORE_SCHEMA_H_

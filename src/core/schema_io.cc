@@ -1,0 +1,79 @@
+#include "core/schema_io.h"
+
+#include <cstdint>
+#include <sstream>
+
+namespace msp {
+
+namespace {
+
+constexpr char kHeader[] = "mapping-schema v1";
+
+// Strips a trailing comment and surrounding whitespace.
+std::string CleanLine(const std::string& line) {
+  std::string cleaned = line;
+  const auto hash = cleaned.find('#');
+  if (hash != std::string::npos) cleaned.erase(hash);
+  const auto begin = cleaned.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = cleaned.find_last_not_of(" \t\r");
+  return cleaned.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+std::string SchemaToText(const MappingSchema& schema) {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  out << "reducers " << schema.num_reducers() << "\n";
+  for (const Reducer& reducer : schema.reducers) {
+    for (std::size_t i = 0; i < reducer.size(); ++i) {
+      if (i != 0) out << ' ';
+      out << reducer[i];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::optional<MappingSchema> SchemaFromText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+
+  // Header.
+  do {
+    if (!std::getline(in, line)) return std::nullopt;
+    line = CleanLine(line);
+  } while (line.empty());
+  if (line != kHeader) return std::nullopt;
+
+  // Reducer count.
+  do {
+    if (!std::getline(in, line)) return std::nullopt;
+    line = CleanLine(line);
+  } while (line.empty());
+  std::istringstream count_line(line);
+  std::string tag;
+  uint64_t expected = 0;
+  count_line >> tag >> expected;
+  if (count_line.fail() || tag != "reducers") return std::nullopt;
+
+  MappingSchema schema;
+  while (std::getline(in, line)) {
+    line = CleanLine(line);
+    if (line.empty()) continue;
+    std::istringstream ids(line);
+    Reducer reducer;
+    uint64_t id;
+    while (ids >> id) {
+      if (id > ~InputId{0}) return std::nullopt;
+      reducer.push_back(static_cast<InputId>(id));
+    }
+    if (!ids.eof()) return std::nullopt;  // non-numeric token
+    schema.AddReducer(std::move(reducer));
+  }
+  if (schema.num_reducers() != expected) return std::nullopt;
+  return schema;
+}
+
+}  // namespace msp

@@ -1,0 +1,30 @@
+// Plain-text serialization of mapping schemas.
+//
+// Format (line-oriented, '#' comments allowed):
+//   mapping-schema v1
+//   reducers <z>
+//   <id> <id> ...        # one line per reducer, input ids
+//
+// Useful for exporting schemas to external MapReduce drivers and for
+// storing regression fixtures.
+
+#ifndef MSP_CORE_SCHEMA_IO_H_
+#define MSP_CORE_SCHEMA_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "core/schema.h"
+
+namespace msp {
+
+/// Serializes `schema` into the v1 text format.
+std::string SchemaToText(const MappingSchema& schema);
+
+/// Parses the v1 text format. Returns nullopt on malformed input
+/// (wrong header, reducer-count mismatch, non-numeric ids).
+std::optional<MappingSchema> SchemaFromText(const std::string& text);
+
+}  // namespace msp
+
+#endif  // MSP_CORE_SCHEMA_IO_H_

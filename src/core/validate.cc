@@ -1,0 +1,150 @@
+#include "core/validate.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace msp {
+
+namespace {
+
+// Index of the unordered pair (i, j), i < j, in a flat triangular
+// layout over m elements.
+inline uint64_t PairIndex(uint64_t i, uint64_t j, uint64_t m) {
+  MSP_DCHECK(i < j);
+  // Offset of row i = sum_{r<i} (m-1-r) = i*m - i - i*(i-1)/2.
+  return i * (m - 1) - i * (i - 1) / 2 + (j - i - 1);
+}
+
+// Shared structural checks: ids in range, no duplicates within a
+// reducer, loads within capacity. Returns an error string or empty.
+template <typename SizeOfFn>
+std::string CheckStructure(const MappingSchema& schema, std::size_t num_inputs,
+                           uint64_t capacity, SizeOfFn size_of) {
+  std::vector<uint32_t> last_seen(num_inputs, ~uint32_t{0});
+  for (std::size_t r = 0; r < schema.reducers.size(); ++r) {
+    uint64_t load = 0;
+    for (InputId id : schema.reducers[r]) {
+      if (id >= num_inputs) {
+        std::ostringstream os;
+        os << "reducer " << r << " references unknown input " << id;
+        return os.str();
+      }
+      if (last_seen[id] == r) {
+        std::ostringstream os;
+        os << "reducer " << r << " contains input " << id << " twice";
+        return os.str();
+      }
+      last_seen[id] = static_cast<uint32_t>(r);
+      load += size_of(id);
+    }
+    if (load > capacity) {
+      std::ostringstream os;
+      os << "reducer " << r << " exceeds capacity: load " << load << " > q "
+         << capacity;
+      return os.str();
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+ValidationResult ValidateA2A(const A2AInstance& instance,
+                             const MappingSchema& schema) {
+  const std::size_t m = instance.num_inputs();
+  std::string structural =
+      CheckStructure(schema, m, instance.capacity(),
+                     [&](InputId id) { return instance.size(id); });
+  if (!structural.empty()) return ValidationResult::Fail(structural);
+
+  const uint64_t required = instance.NumOutputs();
+  if (m < 2) return ValidationResult::Ok(0, required);
+
+  std::vector<bool> covered(required, false);
+  uint64_t covered_count = 0;
+  for (const Reducer& reducer : schema.reducers) {
+    Reducer sorted = reducer;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t a = 0; a < sorted.size(); ++a) {
+      for (std::size_t b = a + 1; b < sorted.size(); ++b) {
+        const uint64_t p = PairIndex(sorted[a], sorted[b], m);
+        if (!covered[p]) {
+          covered[p] = true;
+          ++covered_count;
+        }
+      }
+    }
+  }
+  if (covered_count != required) {
+    // Report the first missing pair to aid debugging.
+    for (uint64_t i = 0; i < m; ++i) {
+      for (uint64_t j = i + 1; j < m; ++j) {
+        if (!covered[PairIndex(i, j, m)]) {
+          std::ostringstream os;
+          os << "pair (" << i << ", " << j << ") never meets in a reducer ("
+             << covered_count << "/" << required << " covered)";
+          return ValidationResult::Fail(os.str(), covered_count, required);
+        }
+      }
+    }
+  }
+  return ValidationResult::Ok(covered_count, required);
+}
+
+ValidationResult ValidateX2Y(const X2YInstance& instance,
+                             const MappingSchema& schema) {
+  const std::size_t m = instance.num_x();
+  const std::size_t n = instance.num_y();
+  std::string structural =
+      CheckStructure(schema, instance.num_inputs(), instance.capacity(),
+                     [&](InputId id) { return instance.SizeOf(id); });
+  if (!structural.empty()) return ValidationResult::Fail(structural);
+
+  const uint64_t required = instance.NumOutputs();
+  if (required == 0) return ValidationResult::Ok(0, 0);
+
+  std::vector<bool> covered(required, false);
+  uint64_t covered_count = 0;
+  std::vector<InputId> xs;
+  std::vector<InputId> ys;
+  for (const Reducer& reducer : schema.reducers) {
+    xs.clear();
+    ys.clear();
+    for (InputId id : reducer) {
+      if (instance.IsX(id)) {
+        xs.push_back(id);
+      } else {
+        ys.push_back(static_cast<InputId>(id - m));
+      }
+    }
+    for (InputId x : xs) {
+      for (InputId y : ys) {
+        const uint64_t p = static_cast<uint64_t>(x) * n + y;
+        if (!covered[p]) {
+          covered[p] = true;
+          ++covered_count;
+        }
+      }
+    }
+  }
+  if (covered_count != required) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!covered[i * n + j]) {
+          std::ostringstream os;
+          os << "cross pair (x" << i << ", y" << j
+             << ") never meets in a reducer (" << covered_count << "/"
+             << required << " covered)";
+          return ValidationResult::Fail(os.str(), covered_count, required);
+        }
+      }
+    }
+  }
+  return ValidationResult::Ok(covered_count, required);
+}
+
+}  // namespace msp

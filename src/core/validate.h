@@ -1,0 +1,53 @@
+// Mapping-schema validity checking.
+//
+// A schema is valid (Definition in the paper) when
+//  (1) every reducer's load is within the capacity q, and
+//  (2) every output's two inputs meet in at least one reducer:
+//      A2A — every unordered pair of inputs;
+//      X2Y — every (x, y) cross pair.
+//
+// The checkers are exhaustive (bitset over all pairs) and are the
+// oracle for every algorithm test and for the end-to-end joins.
+
+#ifndef MSP_CORE_VALIDATE_H_
+#define MSP_CORE_VALIDATE_H_
+
+#include <string>
+
+#include "core/instance.h"
+#include "core/schema.h"
+
+namespace msp {
+
+/// Outcome of a validation run.
+struct ValidationResult {
+  bool ok = false;
+  std::string error;  // empty when ok
+
+  /// Pairs that met in at least one reducer (for coverage reporting).
+  uint64_t covered_outputs = 0;
+  /// Total outputs the instance requires.
+  uint64_t required_outputs = 0;
+
+  static ValidationResult Ok(uint64_t covered, uint64_t required) {
+    return {true, "", covered, required};
+  }
+  static ValidationResult Fail(std::string why, uint64_t covered = 0,
+                               uint64_t required = 0) {
+    return {false, std::move(why), covered, required};
+  }
+};
+
+/// Checks schema validity for an A2A instance.
+ValidationResult ValidateA2A(const A2AInstance& instance,
+                             const MappingSchema& schema);
+
+/// Checks schema validity for an X2Y instance (ids are global; see
+/// X2YInstance). Pairs within the same side are not required, but
+/// capacity still applies to every input placed in a reducer.
+ValidationResult ValidateX2Y(const X2YInstance& instance,
+                             const MappingSchema& schema);
+
+}  // namespace msp
+
+#endif  // MSP_CORE_VALIDATE_H_

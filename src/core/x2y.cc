@@ -1,0 +1,253 @@
+#include "core/x2y.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+
+namespace msp {
+
+namespace {
+
+// One reducer per (X-bin, Y-bin) pair. `x_groups` / `y_groups` hold
+// global input ids.
+MappingSchema CrossGroups(const std::vector<std::vector<InputId>>& x_groups,
+                          const std::vector<std::vector<InputId>>& y_groups) {
+  MappingSchema schema;
+  for (const auto& xg : x_groups) {
+    for (const auto& yg : y_groups) {
+      Reducer reducer = xg;
+      reducer.insert(reducer.end(), yg.begin(), yg.end());
+      schema.AddReducer(std::move(reducer));
+    }
+  }
+  return schema;
+}
+
+std::vector<std::vector<InputId>> PackSide(
+    const std::vector<InputSize>& sizes, const std::vector<InputId>& ids,
+    uint64_t capacity, bp::Algorithm packer) {
+  const bp::Packing packing = bp::Pack(sizes, capacity, packer);
+  std::vector<std::vector<InputId>> groups;
+  groups.reserve(packing.bins.size());
+  for (const auto& bin : packing.bins) {
+    std::vector<InputId> group;
+    group.reserve(bin.size());
+    for (bp::ItemIndex item : bin) group.push_back(ids[item]);
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+std::vector<InputId> SideIds(std::size_t count, InputId base) {
+  std::vector<InputId> ids(count);
+  std::iota(ids.begin(), ids.end(), base);
+  return ids;
+}
+
+}  // namespace
+
+std::string X2YAlgorithmName(X2YAlgorithm algorithm) {
+  switch (algorithm) {
+    case X2YAlgorithm::kSingleReducer:
+      return "single-reducer";
+    case X2YAlgorithm::kNaiveCross:
+      return "naive-cross";
+    case X2YAlgorithm::kBinPackCross:
+      return "binpack-cross";
+    case X2YAlgorithm::kBinPackCrossTuned:
+      return "binpack-cross-tuned";
+    case X2YAlgorithm::kBigSmall:
+      return "big-small";
+  }
+  return "unknown";
+}
+
+std::optional<MappingSchema> SolveX2Y(const X2YInstance& instance,
+                                      X2YAlgorithm algorithm,
+                                      const X2YOptions& options) {
+  switch (algorithm) {
+    case X2YAlgorithm::kSingleReducer:
+      return SolveX2YSingleReducer(instance);
+    case X2YAlgorithm::kNaiveCross:
+      return SolveX2YNaiveCross(instance);
+    case X2YAlgorithm::kBinPackCross:
+      return SolveX2YBinPackCross(instance, options);
+    case X2YAlgorithm::kBinPackCrossTuned:
+      return SolveX2YBinPackCrossTuned(instance, options);
+    case X2YAlgorithm::kBigSmall:
+      return SolveX2YBigSmall(instance, options);
+  }
+  return std::nullopt;
+}
+
+std::optional<MappingSchema> SolveX2YSingleReducer(const X2YInstance& in) {
+  MappingSchema schema;
+  if (in.num_x() == 0 || in.num_y() == 0) return schema;
+  if (in.total_x_size() + in.total_y_size() > in.capacity()) {
+    return std::nullopt;
+  }
+  Reducer reducer;
+  for (std::size_t i = 0; i < in.num_x(); ++i) reducer.push_back(in.XId(i));
+  for (std::size_t j = 0; j < in.num_y(); ++j) reducer.push_back(in.YId(j));
+  schema.AddReducer(std::move(reducer));
+  return schema;
+}
+
+std::optional<MappingSchema> SolveX2YNaiveCross(const X2YInstance& in) {
+  MappingSchema schema;
+  if (in.num_x() == 0 || in.num_y() == 0) return schema;
+  if (!in.IsFeasible()) return std::nullopt;
+  schema.reducers.reserve(in.num_x() * in.num_y());
+  for (std::size_t i = 0; i < in.num_x(); ++i) {
+    for (std::size_t j = 0; j < in.num_y(); ++j) {
+      schema.AddReducer({in.XId(i), in.YId(j)});
+    }
+  }
+  return schema;
+}
+
+std::optional<MappingSchema> SolveX2YBinPackCross(const X2YInstance& in,
+                                                  const X2YOptions& options) {
+  if (in.num_x() == 0 || in.num_y() == 0) return MappingSchema{};
+  const uint64_t q = in.capacity();
+  const uint64_t x_cap = options.x_capacity == 0 ? q / 2 : options.x_capacity;
+  if (x_cap == 0 || x_cap >= q) return std::nullopt;
+  const uint64_t y_cap = q - x_cap;
+  if (in.max_x_size() > x_cap || in.max_y_size() > y_cap) {
+    return std::nullopt;
+  }
+  const auto x_groups = PackSide(in.x_sizes(), SideIds(in.num_x(), 0), x_cap,
+                                 options.bin_packer);
+  const auto y_groups =
+      PackSide(in.y_sizes(),
+               SideIds(in.num_y(), static_cast<InputId>(in.num_x())), y_cap,
+               options.bin_packer);
+  return CrossGroups(x_groups, y_groups);
+}
+
+std::optional<MappingSchema> SolveX2YBinPackCrossTuned(
+    const X2YInstance& in, const X2YOptions& options) {
+  if (in.num_x() == 0 || in.num_y() == 0) return MappingSchema{};
+  if (!in.IsFeasible()) return std::nullopt;
+  const uint64_t q = in.capacity();
+  // Feasible splits c must satisfy max_x <= c and max_y <= q - c.
+  const uint64_t c_lo = std::max<uint64_t>(1, in.max_x_size());
+  const uint64_t c_hi = q - in.max_y_size();
+  if (c_lo > c_hi) return std::nullopt;
+
+  // Candidate splits: an even grid over [c_lo, c_hi] plus the default
+  // q/2 (so the tuned variant never loses to the fixed split).
+  std::vector<uint64_t> candidates;
+  const int steps = std::max(2, options.tuning_steps);
+  for (int s = 0; s < steps; ++s) {
+    candidates.push_back(c_lo +
+                         (c_hi - c_lo) * static_cast<uint64_t>(s) /
+                             (steps - 1));
+  }
+  if (q / 2 >= c_lo && q / 2 <= c_hi) candidates.push_back(q / 2);
+
+  std::optional<MappingSchema> best;
+  std::size_t best_reducers = 0;
+  for (uint64_t c : candidates) {
+    X2YOptions attempt = options;
+    attempt.x_capacity = c;
+    auto schema = SolveX2YBinPackCross(in, attempt);
+    if (!schema.has_value()) continue;
+    if (!best.has_value() || schema->num_reducers() < best_reducers) {
+      best_reducers = schema->num_reducers();
+      best = std::move(schema);
+    }
+  }
+  return best;
+}
+
+std::optional<MappingSchema> SolveX2YBigSmall(const X2YInstance& in,
+                                              const X2YOptions& options) {
+  if (in.num_x() == 0 || in.num_y() == 0) return MappingSchema{};
+  if (!in.IsFeasible()) return std::nullopt;
+  const uint64_t q = in.capacity();
+  const uint64_t half = q / 2;
+
+  std::vector<InputId> big_x;
+  std::vector<InputId> small_x_ids;
+  std::vector<InputSize> small_x_sizes;
+  for (std::size_t i = 0; i < in.num_x(); ++i) {
+    if (in.x_size(i) > half) {
+      big_x.push_back(in.XId(i));
+    } else {
+      small_x_ids.push_back(in.XId(i));
+      small_x_sizes.push_back(in.x_size(i));
+    }
+  }
+  std::vector<InputId> big_y;
+  std::vector<InputId> small_y_ids;
+  std::vector<InputSize> small_y_sizes;
+  for (std::size_t j = 0; j < in.num_y(); ++j) {
+    if (in.y_size(j) > half) {
+      big_y.push_back(in.YId(j));
+    } else {
+      small_y_ids.push_back(in.YId(j));
+      small_y_sizes.push_back(in.y_size(j));
+    }
+  }
+
+  MappingSchema schema;
+  // Each big X input meets the whole of Y, packed into its residual
+  // capacity. This covers (big X) x (all Y), including big Y inputs
+  // (feasibility guarantees each such pair fits).
+  std::vector<InputSize> all_y_sizes = in.y_sizes();
+  std::vector<InputId> all_y_ids = SideIds(in.num_y(),
+                                           static_cast<InputId>(in.num_x()));
+  for (InputId bx : big_x) {
+    const uint64_t residual = q - in.SizeOf(bx);
+    const auto y_groups =
+        PackSide(all_y_sizes, all_y_ids, residual, options.bin_packer);
+    for (const auto& yg : y_groups) {
+      Reducer reducer = {bx};
+      reducer.insert(reducer.end(), yg.begin(), yg.end());
+      schema.AddReducer(std::move(reducer));
+    }
+  }
+  // Each big Y input meets the small X inputs (big X already handled).
+  for (InputId by : big_y) {
+    if (small_x_ids.empty()) break;
+    const uint64_t residual = q - in.SizeOf(by);
+    const auto x_groups =
+        PackSide(small_x_sizes, small_x_ids, residual, options.bin_packer);
+    for (const auto& xg : x_groups) {
+      Reducer reducer = xg;
+      reducer.push_back(by);
+      schema.AddReducer(std::move(reducer));
+    }
+  }
+  // Small x small via bin-pack cross at q/2 : q - q/2.
+  if (!small_x_ids.empty() && !small_y_ids.empty()) {
+    const auto x_groups =
+        PackSide(small_x_sizes, small_x_ids, half, options.bin_packer);
+    const auto y_groups =
+        PackSide(small_y_sizes, small_y_ids, q - half, options.bin_packer);
+    MappingSchema cross = CrossGroups(x_groups, y_groups);
+    for (auto& reducer : cross.reducers) {
+      schema.AddReducer(std::move(reducer));
+    }
+  }
+  return schema;
+}
+
+std::optional<MappingSchema> SolveX2YAuto(const X2YInstance& in,
+                                          const X2YOptions& options) {
+  if (in.num_x() == 0 || in.num_y() == 0) return MappingSchema{};
+  if (!in.IsFeasible()) return std::nullopt;
+  if (in.total_x_size() + in.total_y_size() <= in.capacity()) {
+    return SolveX2YSingleReducer(in);
+  }
+  const uint64_t half = in.capacity() / 2;
+  if (in.max_x_size() <= half && in.max_y_size() <= half) {
+    return SolveX2YBinPackCrossTuned(in, options);
+  }
+  return SolveX2YBigSmall(in, options);
+}
+
+}  // namespace msp

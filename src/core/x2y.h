@@ -1,0 +1,77 @@
+// Mapping-schema construction algorithms for the X2Y problem.
+//
+// Every (x, y) cross pair must meet in a reducer. The X2Y mapping
+// schema problem is NP-complete; the paper's approximation scheme packs
+// each side into bins and assigns one reducer per bin pair:
+//
+//  * kSingleReducer     — one reducer when W_X + W_Y <= q.
+//  * kNaiveCross        — one reducer per (x, y) pair (baseline).
+//  * kBinPackCross      — pack X into bins of capacity c and Y into
+//                         bins of capacity q - c (default c = q/2);
+//                         one reducer per (X-bin, Y-bin).
+//  * kBinPackCrossTuned — sweeps the capacity split c to minimize
+//                         x(c) * y(c); pays off when W_X >> W_Y, the
+//                         typical skew-join shape.
+//  * kBigSmall          — inputs above q/2 on either side get dedicated
+//                         reducers against the other side packed into
+//                         the residual capacity.
+
+#ifndef MSP_CORE_X2Y_H_
+#define MSP_CORE_X2Y_H_
+
+#include <optional>
+#include <string>
+
+#include "binpack/algorithms.h"
+#include "core/instance.h"
+#include "core/schema.h"
+
+namespace msp {
+
+/// Selects an X2Y schema-construction algorithm.
+enum class X2YAlgorithm {
+  kSingleReducer,
+  kNaiveCross,
+  kBinPackCross,
+  kBinPackCrossTuned,
+  kBigSmall,
+};
+
+/// Options shared by the X2Y solvers.
+struct X2YOptions {
+  /// Bin packer used on both sides.
+  bp::Algorithm bin_packer = bp::Algorithm::kFirstFitDecreasing;
+  /// Capacity reserved for the X side in kBinPackCross; 0 means q/2.
+  /// The Y side receives q - x_capacity.
+  InputSize x_capacity = 0;
+  /// Number of candidate splits evaluated by kBinPackCrossTuned.
+  int tuning_steps = 33;
+};
+
+/// Human-readable algorithm name.
+std::string X2YAlgorithmName(X2YAlgorithm algorithm);
+
+/// Dispatches to the requested solver.
+std::optional<MappingSchema> SolveX2Y(const X2YInstance& instance,
+                                      X2YAlgorithm algorithm,
+                                      const X2YOptions& options = {});
+
+/// Individual solvers (see enum above).
+std::optional<MappingSchema> SolveX2YSingleReducer(const X2YInstance& in);
+std::optional<MappingSchema> SolveX2YNaiveCross(const X2YInstance& in);
+std::optional<MappingSchema> SolveX2YBinPackCross(
+    const X2YInstance& in, const X2YOptions& options = {});
+std::optional<MappingSchema> SolveX2YBinPackCrossTuned(
+    const X2YInstance& in, const X2YOptions& options = {});
+std::optional<MappingSchema> SolveX2YBigSmall(const X2YInstance& in,
+                                              const X2YOptions& options = {});
+
+/// Picks the best applicable algorithm: single reducer when everything
+/// fits, tuned bin-pack cross when all inputs are <= q/2, big-small
+/// otherwise.
+std::optional<MappingSchema> SolveX2YAuto(const X2YInstance& in,
+                                          const X2YOptions& options = {});
+
+}  // namespace msp
+
+#endif  // MSP_CORE_X2Y_H_

@@ -1,0 +1,64 @@
+// Little-endian serialization helpers shared by the join applications.
+//
+// Values crossing the simulated shuffle are real byte strings, so the
+// engine's communication accounting measures genuine payload sizes.
+
+#ifndef MSP_JOIN_CODEC_H_
+#define MSP_JOIN_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/check.h"
+
+namespace msp::join {
+
+/// Appends a little-endian 64-bit value to `out`.
+inline void PutU64(std::string* out, uint64_t v) {
+  char bytes[8];
+  std::memcpy(bytes, &v, 8);
+  out->append(bytes, 8);
+}
+
+/// Appends a little-endian 32-bit value to `out`.
+inline void PutU32(std::string* out, uint32_t v) {
+  char bytes[4];
+  std::memcpy(bytes, &v, 4);
+  out->append(bytes, 4);
+}
+
+/// Reads a little-endian 64-bit value at `offset`.
+inline uint64_t GetU64(const std::string& in, std::size_t offset) {
+  MSP_DCHECK(offset + 8 <= in.size());
+  uint64_t v;
+  std::memcpy(&v, in.data() + offset, 8);
+  return v;
+}
+
+/// Reads a little-endian 32-bit value at `offset`.
+inline uint32_t GetU32(const std::string& in, std::size_t offset) {
+  MSP_DCHECK(offset + 4 <= in.size());
+  uint32_t v;
+  std::memcpy(&v, in.data() + offset, 4);
+  return v;
+}
+
+/// Appends a double (IEEE-754 bits) to `out`.
+inline void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutU64(out, bits);
+}
+
+/// Reads a double at `offset`.
+inline double GetF64(const std::string& in, std::size_t offset) {
+  const uint64_t bits = GetU64(in, offset);
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+}  // namespace msp::join
+
+#endif  // MSP_JOIN_CODEC_H_

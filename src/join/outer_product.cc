@@ -1,0 +1,82 @@
+#include "join/outer_product.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/validate.h"
+#include "util/check.h"
+
+namespace msp::join {
+
+namespace {
+
+struct Block {
+  std::size_t begin = 0;
+  std::size_t length = 0;
+};
+
+std::vector<Block> SplitBlocks(std::size_t total, std::size_t block_len) {
+  std::vector<Block> blocks;
+  for (std::size_t begin = 0; begin < total; begin += block_len) {
+    blocks.push_back({begin, std::min(block_len, total - begin)});
+  }
+  return blocks;
+}
+
+}  // namespace
+
+std::optional<OuterProductResult> BlockOuterProduct(
+    const std::vector<double>& u, const std::vector<double>& v,
+    const OuterProductConfig& config) {
+  MSP_CHECK_GT(config.u_block, 0u);
+  MSP_CHECK_GT(config.v_block, 0u);
+  OuterProductResult result;
+  result.rows = u.size();
+  result.cols = v.size();
+  if (u.empty() || v.empty()) return result;
+
+  const std::vector<Block> u_blocks = SplitBlocks(u.size(), config.u_block);
+  const std::vector<Block> v_blocks = SplitBlocks(v.size(), config.v_block);
+  std::vector<InputSize> x_sizes;
+  x_sizes.reserve(u_blocks.size());
+  for (const Block& b : u_blocks) x_sizes.push_back(b.length);
+  std::vector<InputSize> y_sizes;
+  y_sizes.reserve(v_blocks.size());
+  for (const Block& b : v_blocks) y_sizes.push_back(b.length);
+
+  auto instance = X2YInstance::Create(x_sizes, y_sizes, config.capacity);
+  if (!instance.has_value()) return std::nullopt;
+  auto schema = SolveX2YAuto(*instance, config.x2y);
+  if (!schema.has_value()) return std::nullopt;
+  MSP_DCHECK(ValidateX2Y(*instance, *schema).ok);
+  result.schema_stats = SchemaStats::Compute(*instance, *schema);
+
+  result.matrix.assign(u.size() * v.size(),
+                       std::numeric_limits<double>::quiet_NaN());
+  for (const Reducer& reducer : schema->reducers) {
+    std::vector<std::size_t> us;
+    std::vector<std::size_t> vs;
+    for (InputId id : reducer) {
+      if (instance->IsX(id)) {
+        us.push_back(id);
+      } else {
+        vs.push_back(id - instance->num_x());
+      }
+    }
+    for (std::size_t ub : us) {
+      for (std::size_t vb : vs) {
+        ++result.tile_computations;
+        const Block& bu = u_blocks[ub];
+        const Block& bv = v_blocks[vb];
+        for (std::size_t i = bu.begin; i < bu.begin + bu.length; ++i) {
+          for (std::size_t j = bv.begin; j < bv.begin + bv.length; ++j) {
+            result.matrix[i * v.size() + j] = u[i] * v[j];
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace msp::join

@@ -1,0 +1,48 @@
+// Block outer (tensor) product via an X2Y mapping schema — the
+// paper's third example of the X2Y problem.
+//
+// Vectors u and v are split into blocks (the inputs; block length =
+// input size). Every (u-block, v-block) pair must meet in a reducer to
+// produce its tile of the matrix u ⊗ v. Coverage of the mapping schema
+// is exactly "every matrix entry gets computed".
+
+#ifndef MSP_JOIN_OUTER_PRODUCT_H_
+#define MSP_JOIN_OUTER_PRODUCT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/schema.h"
+#include "core/x2y.h"
+
+namespace msp::join {
+
+/// Result of a block outer product.
+struct OuterProductResult {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> matrix;   // row-major, rows x cols
+  SchemaStats schema_stats;     // of the X2Y schema used
+  uint64_t tile_computations = 0;  // (u-block, v-block) tiles evaluated
+};
+
+/// Configuration: block length and reducer capacity (in vector
+/// elements). Blocks at the tail may be shorter.
+struct OuterProductConfig {
+  std::size_t u_block = 16;
+  std::size_t v_block = 16;
+  InputSize capacity = 256;
+  X2YOptions x2y;
+};
+
+/// Computes u ⊗ v through an X2Y mapping schema. Returns nullopt when
+/// no schema exists for the chosen blocking (a u-block plus a v-block
+/// exceed the capacity).
+std::optional<OuterProductResult> BlockOuterProduct(
+    const std::vector<double>& u, const std::vector<double>& v,
+    const OuterProductConfig& config);
+
+}  // namespace msp::join
+
+#endif  // MSP_JOIN_OUTER_PRODUCT_H_

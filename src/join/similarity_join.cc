@@ -1,0 +1,167 @@
+#include "join/similarity_join.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+
+#include "core/validate.h"
+#include "join/codec.h"
+#include "mapreduce/schema_partitioner.h"
+#include "util/check.h"
+
+namespace msp::join {
+
+namespace {
+
+uint64_t PairKey(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+// Serialized document: [u32 id][u32 count][count * u32 token].
+std::string EncodeDocument(const wl::Document& doc) {
+  std::string value;
+  value.reserve(8 + 4 * doc.tokens.size());
+  PutU32(&value, doc.id);
+  PutU32(&value, static_cast<uint32_t>(doc.tokens.size()));
+  for (uint32_t t : doc.tokens) PutU32(&value, t);
+  return value;
+}
+
+wl::Document DecodeDocument(const std::string& value) {
+  wl::Document doc;
+  doc.id = GetU32(value, 0);
+  const uint32_t count = GetU32(value, 4);
+  doc.tokens.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    doc.tokens[i] = GetU32(value, 8 + 4 * i);
+  }
+  return doc;
+}
+
+// Scores the pairs owned by this reducer. Ownership: the schema's
+// first reducer containing both endpoints (precomputed), so every pair
+// is emitted exactly once across the whole job.
+class SimilarityReducer : public mr::GroupReducer {
+ public:
+  SimilarityReducer(const std::unordered_map<uint64_t, uint32_t>* owner,
+                    double threshold, std::atomic<uint64_t>* comparisons)
+      : owner_(owner), threshold_(threshold), comparisons_(comparisons) {}
+
+  void Reduce(mr::ReducerIndex reducer, const mr::KeyValueList& group,
+              mr::KeyValueList* out) const override {
+    std::vector<wl::Document> docs;
+    docs.reserve(group.size());
+    for (const mr::KeyValue& kv : group) docs.push_back(DecodeDocument(kv.value));
+    std::sort(docs.begin(), docs.end(),
+              [](const wl::Document& a, const wl::Document& b) {
+                return a.id < b.id;
+              });
+    uint64_t scored = 0;
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+      for (std::size_t j = i + 1; j < docs.size(); ++j) {
+        const auto it = owner_->find(PairKey(docs[i].id, docs[j].id));
+        MSP_CHECK(it != owner_->end());
+        if (it->second != reducer) continue;  // another reducer owns it
+        ++scored;
+        const double sim = wl::Jaccard(docs[i], docs[j]);
+        if (sim >= threshold_) {
+          mr::KeyValue kv;
+          kv.key = PairKey(docs[i].id, docs[j].id);
+          PutF64(&kv.value, sim);
+          out->push_back(std::move(kv));
+        }
+      }
+    }
+    comparisons_->fetch_add(scored, std::memory_order_relaxed);
+  }
+
+ private:
+  const std::unordered_map<uint64_t, uint32_t>* owner_;
+  double threshold_;
+  std::atomic<uint64_t>* comparisons_;
+};
+
+}  // namespace
+
+std::optional<SimilarityJoinResult> SimilarityJoinMapReduce(
+    const std::vector<wl::Document>& documents,
+    const SimilarityJoinConfig& config) {
+  // The instance: one input per document, size = token count. Document
+  // ids must equal their positions (they double as input ids).
+  std::vector<InputSize> sizes;
+  sizes.reserve(documents.size());
+  for (std::size_t i = 0; i < documents.size(); ++i) {
+    MSP_CHECK_EQ(documents[i].id, i) << "document ids must be 0..n-1";
+    sizes.push_back(std::max<InputSize>(1, documents[i].size()));
+  }
+  auto instance = A2AInstance::Create(sizes, config.capacity);
+  if (!instance.has_value()) return std::nullopt;
+  auto schema = SolveA2AAuto(*instance, config.a2a);
+  if (!schema.has_value()) return std::nullopt;
+  MSP_DCHECK(ValidateA2A(*instance, *schema).ok);
+
+  // Pair ownership: first reducer covering each pair.
+  std::unordered_map<uint64_t, uint32_t> owner;
+  for (std::size_t r = 0; r < schema->reducers.size(); ++r) {
+    Reducer sorted = schema->reducers[r];
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t a = 0; a < sorted.size(); ++a) {
+      for (std::size_t b = a + 1; b < sorted.size(); ++b) {
+        owner.emplace(PairKey(sorted[a], sorted[b]),
+                      static_cast<uint32_t>(r));
+      }
+    }
+  }
+
+  // Inputs: one record per document, keyed by document id.
+  mr::KeyValueList inputs;
+  inputs.reserve(documents.size());
+  for (const auto& doc : documents) {
+    inputs.push_back({doc.id, EncodeDocument(doc)});
+  }
+
+  SimilarityJoinResult result;
+  result.schema_stats = SchemaStats::Compute(*instance, *schema);
+  std::atomic<uint64_t> comparisons{0};
+  mr::IdentityMapper mapper;
+  mr::SchemaPartitioner partitioner(*schema, documents.size());
+  SimilarityReducer reducer(&owner, config.threshold, &comparisons);
+  mr::MapReduceEngine engine(config.engine);
+  mr::KeyValueList output;
+  result.metrics = engine.Run(inputs, mapper, partitioner, reducer, &output);
+  result.comparisons = comparisons.load();
+
+  result.pairs.reserve(output.size());
+  for (const mr::KeyValue& kv : output) {
+    SimilarityPair pair;
+    pair.a = static_cast<uint32_t>(kv.key >> 32);
+    pair.b = static_cast<uint32_t>(kv.key & 0xFFFFFFFFu);
+    pair.similarity = GetF64(kv.value, 0);
+    result.pairs.push_back(pair);
+  }
+  std::sort(result.pairs.begin(), result.pairs.end(),
+            [](const SimilarityPair& x, const SimilarityPair& y) {
+              return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+            });
+  return result;
+}
+
+std::vector<SimilarityPair> SimilarityJoinNaive(
+    const std::vector<wl::Document>& documents, double threshold) {
+  std::vector<SimilarityPair> pairs;
+  for (std::size_t i = 0; i < documents.size(); ++i) {
+    for (std::size_t j = i + 1; j < documents.size(); ++j) {
+      const double sim = wl::Jaccard(documents[i], documents[j]);
+      if (sim >= threshold) {
+        pairs.push_back({documents[i].id, documents[j].id, sim});
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const SimilarityPair& x, const SimilarityPair& y) {
+              return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+            });
+  return pairs;
+}
+
+}  // namespace msp::join

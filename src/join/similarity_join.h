@@ -1,0 +1,64 @@
+// All-pairs similarity join on the MapReduce simulator (the paper's
+// first motivating application of the A2A problem).
+//
+// Every pair of documents must be compared (no LSH shortcuts — the
+// premise of the paper), so the job needs a mapping schema: documents
+// are assigned to reducers such that every pair meets somewhere, no
+// reducer exceeds the capacity q (in tokens), and each pair is scored
+// by exactly one owner reducer.
+
+#ifndef MSP_JOIN_SIMILARITY_JOIN_H_
+#define MSP_JOIN_SIMILARITY_JOIN_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/a2a.h"
+#include "core/schema.h"
+#include "mapreduce/engine.h"
+#include "workload/documents.h"
+
+namespace msp::join {
+
+/// One scored pair (a < b) with similarity >= the threshold.
+struct SimilarityPair {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  double similarity = 0.0;
+
+  friend bool operator==(const SimilarityPair&, const SimilarityPair&) =
+      default;
+};
+
+/// Configuration of the MapReduce similarity join.
+struct SimilarityJoinConfig {
+  double threshold = 0.5;        // Jaccard threshold t
+  InputSize capacity = 1'000;    // reducer capacity q, in tokens
+  A2AOptions a2a;                // schema-construction options
+  mr::EngineConfig engine;       // simulator configuration
+};
+
+/// Everything a run produces: the matches plus the cost measurements
+/// the paper's tradeoffs are about.
+struct SimilarityJoinResult {
+  std::vector<SimilarityPair> pairs;  // sorted by (a, b)
+  SchemaStats schema_stats;           // of the mapping schema used
+  mr::JobMetrics metrics;             // engine measurements
+  uint64_t comparisons = 0;           // pairs actually scored
+};
+
+/// Runs the join on the simulator. Returns nullopt when no mapping
+/// schema exists (two documents exceed q together) or a document
+/// exceeds q alone.
+std::optional<SimilarityJoinResult> SimilarityJoinMapReduce(
+    const std::vector<wl::Document>& documents,
+    const SimilarityJoinConfig& config);
+
+/// Reference implementation: direct nested loop over all pairs.
+std::vector<SimilarityPair> SimilarityJoinNaive(
+    const std::vector<wl::Document>& documents, double threshold);
+
+}  // namespace msp::join
+
+#endif  // MSP_JOIN_SIMILARITY_JOIN_H_

@@ -1,0 +1,273 @@
+#include "join/skew_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "core/validate.h"
+#include "join/codec.h"
+#include "util/check.h"
+
+namespace msp::join {
+
+namespace {
+
+// Record layout: [u8 side][u64 other][u64 key][padding to payload].
+constexpr std::size_t kHeaderBytes = 17;
+constexpr char kSideR = 'R';
+constexpr char kSideS = 'S';
+
+std::string EncodeTuple(char side, const wl::Tuple& tuple) {
+  std::string value;
+  value.reserve(kHeaderBytes + tuple.payload_size);
+  value.push_back(side);
+  PutU64(&value, tuple.other);
+  PutU64(&value, tuple.key);
+  value.append(tuple.payload_size, '\0');  // simulated payload body
+  return value;
+}
+
+struct DecodedTuple {
+  char side;
+  uint64_t other;
+  uint64_t key;
+};
+
+DecodedTuple DecodeTuple(const std::string& value) {
+  DecodedTuple t;
+  t.side = value[0];
+  t.other = GetU64(value, 1);
+  t.key = GetU64(value, 9);
+  return t;
+}
+
+std::string EncodeTriple(const JoinTriple& triple) {
+  std::string value;
+  value.reserve(24);
+  PutU64(&value, triple.a);
+  PutU64(&value, triple.b);
+  PutU64(&value, triple.c);
+  return value;
+}
+
+JoinTriple DecodeTriple(const std::string& value) {
+  return {GetU64(value, 0), GetU64(value, 8), GetU64(value, 16)};
+}
+
+// Routes tuples by a precomputed per-tuple target table. Tuple records
+// are keyed by their global tuple index (R tuples first, then S).
+class TableRoutingPartitioner : public mr::Partitioner {
+ public:
+  TableRoutingPartitioner(std::vector<std::vector<mr::ReducerIndex>> routes,
+                          mr::ReducerIndex num_reducers)
+      : routes_(std::move(routes)), num_reducers_(num_reducers) {}
+
+  void Route(uint64_t key,
+             std::vector<mr::ReducerIndex>* out) const override {
+    MSP_CHECK_LT(key, routes_.size());
+    out->insert(out->end(), routes_[key].begin(), routes_[key].end());
+  }
+  mr::ReducerIndex num_reducers() const override { return num_reducers_; }
+
+ private:
+  std::vector<std::vector<mr::ReducerIndex>> routes_;
+  mr::ReducerIndex num_reducers_;
+};
+
+// Joins the records delivered to a reducer. Hash-region reducers group
+// by join key first; schema-region reducers hold tuples of one heavy
+// key and cross R x S directly (each cross pair meets in exactly one
+// reducer because each tuple lives in exactly one bin per side).
+class JoinReducer : public mr::GroupReducer {
+ public:
+  explicit JoinReducer(uint32_t hash_reducers)
+      : hash_reducers_(hash_reducers) {}
+
+  void Reduce(mr::ReducerIndex reducer, const mr::KeyValueList& group,
+              mr::KeyValueList* out) const override {
+    if (reducer < hash_reducers_) {
+      // Group by join key, then cross within each key.
+      std::unordered_map<uint64_t, std::pair<std::vector<DecodedTuple>,
+                                             std::vector<DecodedTuple>>>
+          by_key;
+      for (const mr::KeyValue& kv : group) {
+        const DecodedTuple t = DecodeTuple(kv.value);
+        auto& sides = by_key[t.key];
+        (t.side == kSideR ? sides.first : sides.second).push_back(t);
+      }
+      for (const auto& [key, sides] : by_key) {
+        EmitCross(key, sides.first, sides.second, out);
+      }
+      return;
+    }
+    // Schema region: all records share one heavy key.
+    std::vector<DecodedTuple> rs;
+    std::vector<DecodedTuple> ss;
+    for (const mr::KeyValue& kv : group) {
+      const DecodedTuple t = DecodeTuple(kv.value);
+      MSP_DCHECK(group.empty() || t.key == DecodeTuple(group[0].value).key);
+      (t.side == kSideR ? rs : ss).push_back(t);
+    }
+    if (!rs.empty() && !ss.empty()) {
+      EmitCross(rs[0].key, rs, ss, out);
+    }
+  }
+
+ private:
+  static void EmitCross(uint64_t key, const std::vector<DecodedTuple>& rs,
+                        const std::vector<DecodedTuple>& ss,
+                        mr::KeyValueList* out) {
+    for (const DecodedTuple& r : rs) {
+      for (const DecodedTuple& s : ss) {
+        JoinTriple triple{r.other, key, s.other};
+        out->push_back({key, EncodeTriple(triple)});
+      }
+    }
+  }
+
+  uint32_t hash_reducers_;
+};
+
+SkewJoinResult RunJob(const wl::Relation& r, const wl::Relation& s,
+                      const SkewJoinConfig& config,
+                      std::vector<std::vector<mr::ReducerIndex>> routes,
+                      mr::ReducerIndex num_reducers) {
+  SkewJoinResult result;
+  mr::KeyValueList inputs;
+  inputs.reserve(r.size() + s.size());
+  uint64_t tuple_id = 0;
+  for (const wl::Tuple& t : r.tuples) {
+    inputs.push_back({tuple_id++, EncodeTuple(kSideR, t)});
+  }
+  for (const wl::Tuple& t : s.tuples) {
+    inputs.push_back({tuple_id++, EncodeTuple(kSideS, t)});
+  }
+
+  mr::IdentityMapper mapper;
+  TableRoutingPartitioner partitioner(std::move(routes), num_reducers);
+  JoinReducer reducer(config.hash_reducers);
+  mr::EngineConfig engine_config = config.engine;
+  engine_config.reducer_capacity = config.capacity;
+  mr::MapReduceEngine engine(engine_config);
+  mr::KeyValueList output;
+  result.metrics = engine.Run(inputs, mapper, partitioner, reducer, &output);
+
+  result.triples.reserve(output.size());
+  for (const mr::KeyValue& kv : output) {
+    result.triples.push_back(DecodeTriple(kv.value));
+  }
+  std::sort(result.triples.begin(), result.triples.end());
+  return result;
+}
+
+}  // namespace
+
+uint64_t TupleRecordBytes(const wl::Tuple& tuple) {
+  return kHeaderBytes + tuple.payload_size;
+}
+
+std::optional<SkewJoinResult> SkewJoinMapReduce(const wl::Relation& r,
+                                                const wl::Relation& s,
+                                                const SkewJoinConfig& config) {
+  MSP_CHECK_GT(config.hash_reducers, 0u);
+  const std::size_t num_tuples = r.size() + s.size();
+
+  // Per-key tuple lists (global tuple ids; R first, then S).
+  struct KeyTuples {
+    std::vector<uint64_t> r_ids;
+    std::vector<InputSize> r_sizes;
+    std::vector<uint64_t> s_ids;
+    std::vector<InputSize> s_sizes;
+    uint64_t total_bytes = 0;
+  };
+  std::unordered_map<uint64_t, KeyTuples> by_key;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    auto& kt = by_key[r.tuples[i].key];
+    kt.r_ids.push_back(i);
+    kt.r_sizes.push_back(TupleRecordBytes(r.tuples[i]));
+    kt.total_bytes += kt.r_sizes.back();
+  }
+  for (std::size_t j = 0; j < s.size(); ++j) {
+    auto& kt = by_key[s.tuples[j].key];
+    kt.s_ids.push_back(r.size() + j);
+    kt.s_sizes.push_back(TupleRecordBytes(s.tuples[j]));
+    kt.total_bytes += kt.s_sizes.back();
+  }
+
+  std::vector<std::vector<mr::ReducerIndex>> routes(num_tuples);
+  mr::ReducerIndex next_reducer = config.hash_reducers;
+  SkewJoinResult result;
+
+  for (auto& [key, kt] : by_key) {
+    const bool heavy = kt.total_bytes > config.capacity;
+    if (!heavy) {
+      const mr::ReducerIndex target = static_cast<mr::ReducerIndex>(
+          mr::HashPartitioner::Mix(key) % config.hash_reducers);
+      for (uint64_t id : kt.r_ids) routes[id].push_back(target);
+      for (uint64_t id : kt.s_ids) routes[id].push_back(target);
+      continue;
+    }
+    ++result.heavy_keys;
+    // A heavy key with one side empty joins to nothing: drop it.
+    if (kt.r_ids.empty() || kt.s_ids.empty()) continue;
+    auto instance =
+        X2YInstance::Create(kt.r_sizes, kt.s_sizes, config.capacity);
+    if (!instance.has_value()) return std::nullopt;
+    auto schema = SolveX2YAuto(*instance, config.x2y);
+    if (!schema.has_value()) return std::nullopt;
+    MSP_DCHECK(ValidateX2Y(*instance, *schema).ok);
+    // Translate schema-local ids to global tuple ids and route.
+    for (std::size_t local_r = 0; local_r < schema->reducers.size();
+         ++local_r) {
+      const mr::ReducerIndex target =
+          next_reducer + static_cast<mr::ReducerIndex>(local_r);
+      for (InputId id : schema->reducers[local_r]) {
+        const uint64_t global =
+            instance->IsX(id) ? kt.r_ids[id]
+                              : kt.s_ids[id - instance->num_x()];
+        routes[global].push_back(target);
+      }
+    }
+    next_reducer += static_cast<mr::ReducerIndex>(schema->num_reducers());
+    result.schema_reducers += schema->num_reducers();
+  }
+
+  SkewJoinResult run =
+      RunJob(r, s, config, std::move(routes), next_reducer);
+  run.heavy_keys = result.heavy_keys;
+  run.schema_reducers = result.schema_reducers;
+  return run;
+}
+
+SkewJoinResult HashJoinMapReduce(const wl::Relation& r, const wl::Relation& s,
+                                 const SkewJoinConfig& config) {
+  MSP_CHECK_GT(config.hash_reducers, 0u);
+  const std::size_t num_tuples = r.size() + s.size();
+  std::vector<std::vector<mr::ReducerIndex>> routes(num_tuples);
+  uint64_t tuple_id = 0;
+  for (const wl::Tuple& t : r.tuples) {
+    routes[tuple_id++].push_back(static_cast<mr::ReducerIndex>(
+        mr::HashPartitioner::Mix(t.key) % config.hash_reducers));
+  }
+  for (const wl::Tuple& t : s.tuples) {
+    routes[tuple_id++].push_back(static_cast<mr::ReducerIndex>(
+        mr::HashPartitioner::Mix(t.key) % config.hash_reducers));
+  }
+  return RunJob(r, s, config, std::move(routes), config.hash_reducers);
+}
+
+std::vector<JoinTriple> NestedLoopJoin(const wl::Relation& r,
+                                       const wl::Relation& s) {
+  std::unordered_map<uint64_t, std::vector<uint64_t>> s_by_key;
+  for (const wl::Tuple& t : s.tuples) s_by_key[t.key].push_back(t.other);
+  std::vector<JoinTriple> triples;
+  for (const wl::Tuple& t : r.tuples) {
+    auto it = s_by_key.find(t.key);
+    if (it == s_by_key.end()) continue;
+    for (uint64_t c : it->second) triples.push_back({t.other, t.key, c});
+  }
+  std::sort(triples.begin(), triples.end());
+  return triples;
+}
+
+}  // namespace msp::join

@@ -1,0 +1,78 @@
+// Skew join of R(A, B) and S(B, C) on the MapReduce simulator (the
+// paper's second motivating application, of the X2Y problem).
+//
+// Light join keys (whose tuples fit within one reducer's capacity) are
+// hash-partitioned as usual. Each heavy hitter key gets its own X2Y
+// mapping schema: X = the key's R-tuples, Y = its S-tuples, and every
+// cross pair must meet in some capacity-bounded reducer.
+//
+// The baseline HashJoinMapReduce routes everything by hash — the heavy
+// key lands on one reducer, blowing through the capacity. Comparing
+// the two is experiment F4.
+
+#ifndef MSP_JOIN_SKEW_JOIN_H_
+#define MSP_JOIN_SKEW_JOIN_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/x2y.h"
+#include "mapreduce/engine.h"
+#include "workload/relations.h"
+
+namespace msp::join {
+
+/// One join output row (a, b, c).
+struct JoinTriple {
+  uint64_t a = 0;
+  uint64_t b = 0;  // the join key
+  uint64_t c = 0;
+
+  friend bool operator==(const JoinTriple&, const JoinTriple&) = default;
+  friend auto operator<=>(const JoinTriple&, const JoinTriple&) = default;
+};
+
+/// Configuration of the skew join.
+struct SkewJoinConfig {
+  /// Reducer capacity q in bytes (tuple header + payload).
+  uint64_t capacity = 4'096;
+  /// Number of hash reducers for the light keys.
+  uint32_t hash_reducers = 16;
+  X2YOptions x2y;            // schema construction for heavy keys
+  mr::EngineConfig engine;   // simulator configuration
+};
+
+/// Run results: the join output plus the cost measurements.
+struct SkewJoinResult {
+  std::vector<JoinTriple> triples;  // sorted
+  mr::JobMetrics metrics;
+  std::size_t heavy_keys = 0;       // keys given a mapping schema
+  uint64_t schema_reducers = 0;     // reducers added for heavy keys
+};
+
+/// Serialized byte size of a tuple record (header + payload). The
+/// X2Y instances use the same size, so engine-level capacity checks
+/// match the schema-level guarantee.
+uint64_t TupleRecordBytes(const wl::Tuple& tuple);
+
+/// Runs the capacity-aware skew join. Returns nullopt when some heavy
+/// key admits no schema (a single R-tuple and S-tuple together exceed
+/// q).
+std::optional<SkewJoinResult> SkewJoinMapReduce(const wl::Relation& r,
+                                                const wl::Relation& s,
+                                                const SkewJoinConfig& config);
+
+/// Baseline: plain hash partitioning on the join key with
+/// `config.hash_reducers` reducers. Always produces the correct join;
+/// its metrics exhibit the skew (capacity violations, load imbalance).
+SkewJoinResult HashJoinMapReduce(const wl::Relation& r, const wl::Relation& s,
+                                 const SkewJoinConfig& config);
+
+/// Reference implementation: in-memory hash join (exact output).
+std::vector<JoinTriple> NestedLoopJoin(const wl::Relation& r,
+                                       const wl::Relation& s);
+
+}  // namespace msp::join
+
+#endif  // MSP_JOIN_SKEW_JOIN_H_

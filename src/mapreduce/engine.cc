@@ -1,0 +1,193 @@
+#include "mapreduce/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/summary_stats.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace msp::mr {
+
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+uint64_t HashPartitioner::Mix(uint64_t key) { return Mix64(key); }
+
+void HashPartitioner::Route(uint64_t key,
+                            std::vector<ReducerIndex>* out) const {
+  MSP_CHECK_GT(num_reducers_, 0u);
+  out->push_back(static_cast<ReducerIndex>(Mix(key) % num_reducers_));
+}
+
+MapReduceEngine::MapReduceEngine(EngineConfig config) : config_(config) {
+  if (config_.num_workers == 0) {
+    config_.num_workers = std::max<std::size_t>(
+        1, std::thread::hardware_concurrency());
+  }
+  if (config_.map_batch_size == 0) config_.map_batch_size = 1;
+}
+
+JobMetrics MapReduceEngine::Run(const KeyValueList& inputs,
+                                const Mapper& mapper,
+                                const Partitioner& partitioner,
+                                const GroupReducer& reducer,
+                                KeyValueList* output) const {
+  return Run(inputs, mapper, partitioner, /*combiner=*/nullptr, reducer,
+             output);
+}
+
+JobMetrics MapReduceEngine::Run(const KeyValueList& inputs,
+                                const Mapper& mapper,
+                                const Partitioner& partitioner,
+                                const Combiner* combiner,
+                                const GroupReducer& reducer,
+                                KeyValueList* output) const {
+  MSP_CHECK(output != nullptr);
+  JobMetrics metrics;
+  metrics.input_records = inputs.size();
+  metrics.num_reducers = partitioner.num_reducers();
+  Stopwatch total_timer;
+
+  // ---- Map phase -------------------------------------------------
+  Stopwatch phase_timer;
+  const std::size_t num_batches =
+      inputs.empty()
+          ? 0
+          : (inputs.size() + config_.map_batch_size - 1) /
+                config_.map_batch_size;
+  std::vector<KeyValueList> map_outputs(num_batches);
+  {
+    ThreadPool pool(config_.num_workers);
+    for (std::size_t b = 0; b < num_batches; ++b) {
+      pool.Submit([&, b] {
+        const std::size_t begin = b * config_.map_batch_size;
+        const std::size_t end =
+            std::min(begin + config_.map_batch_size, inputs.size());
+        for (std::size_t i = begin; i < end; ++i) {
+          mapper.Map(inputs[i], &map_outputs[b]);
+        }
+      });
+    }
+    pool.Wait();
+  }
+  for (const auto& batch : map_outputs) {
+    metrics.map_output_records += batch.size();
+  }
+  metrics.map_seconds = phase_timer.ElapsedSeconds();
+
+  // ---- Shuffle phase ---------------------------------------------
+  phase_timer.Reset();
+  const std::size_t num_reducers = partitioner.num_reducers();
+  std::vector<KeyValueList> groups(num_reducers);
+  metrics.reducer_bytes.assign(num_reducers, 0);
+  {
+    // Route batches in parallel into per-batch target lists (running
+    // the map-side combiner if configured), then merge serially per
+    // reducer (deterministic order: batch-major, reducer-minor).
+    std::vector<std::vector<std::pair<ReducerIndex, KeyValue>>> routed(
+        num_batches);
+    ThreadPool pool(config_.num_workers);
+    for (std::size_t b = 0; b < num_batches; ++b) {
+      pool.Submit([&, b] {
+        std::vector<ReducerIndex> targets;
+        if (combiner == nullptr) {
+          for (const KeyValue& kv : map_outputs[b]) {
+            targets.clear();
+            partitioner.Route(kv.key, &targets);
+            for (ReducerIndex r : targets) {
+              MSP_CHECK_LT(r, num_reducers);
+              routed[b].push_back({r, kv});
+            }
+          }
+          return;
+        }
+        // Combiner path: gather this batch's records per reducer,
+        // pre-aggregate, then enqueue the shrunken groups.
+        std::map<ReducerIndex, KeyValueList> local;
+        for (const KeyValue& kv : map_outputs[b]) {
+          targets.clear();
+          partitioner.Route(kv.key, &targets);
+          for (ReducerIndex r : targets) {
+            MSP_CHECK_LT(r, num_reducers);
+            local[r].push_back(kv);
+          }
+        }
+        for (auto& [r, group] : local) {
+          combiner->Combine(r, &group);
+          for (KeyValue& kv : group) {
+            routed[b].push_back({r, std::move(kv)});
+          }
+        }
+      });
+    }
+    pool.Wait();
+    for (auto& batch : routed) {
+      for (auto& [r, kv] : batch) {
+        metrics.reducer_bytes[r] += kv.SizeBytes();
+        ++metrics.shuffle_records;
+        metrics.shuffle_bytes += kv.SizeBytes();
+        groups[r].push_back(std::move(kv));
+      }
+    }
+  }
+  metrics.shuffle_seconds = phase_timer.ElapsedSeconds();
+
+  // ---- Reduce phase ----------------------------------------------
+  phase_timer.Reset();
+  std::vector<KeyValueList> reduce_outputs(num_reducers);
+  {
+    ThreadPool pool(config_.num_workers);
+    for (std::size_t r = 0; r < num_reducers; ++r) {
+      if (groups[r].empty()) continue;
+      pool.Submit([&, r] {
+        reducer.Reduce(static_cast<ReducerIndex>(r), groups[r],
+                       &reduce_outputs[r]);
+      });
+    }
+    pool.Wait();
+  }
+  for (auto& out : reduce_outputs) {
+    metrics.output_records += out.size();
+    output->insert(output->end(), std::make_move_iterator(out.begin()),
+                   std::make_move_iterator(out.end()));
+  }
+  metrics.reduce_seconds = phase_timer.ElapsedSeconds();
+
+  // ---- Summary ----------------------------------------------------
+  std::vector<uint64_t> non_empty;
+  for (std::size_t r = 0; r < num_reducers; ++r) {
+    if (!groups[r].empty()) {
+      non_empty.push_back(metrics.reducer_bytes[r]);
+      if (config_.reducer_capacity != 0 &&
+          metrics.reducer_bytes[r] > config_.reducer_capacity) {
+        metrics.capacity_violated = true;
+      }
+    }
+  }
+  metrics.non_empty_reducers = non_empty.size();
+  if (!non_empty.empty()) {
+    const SummaryStats stats = SummaryStats::Compute(non_empty);
+    metrics.max_reducer_bytes = static_cast<uint64_t>(stats.max());
+    metrics.mean_reducer_bytes = stats.mean();
+    metrics.reducer_peak_to_mean = stats.PeakToMeanRatio();
+  }
+  metrics.total_seconds = total_timer.ElapsedSeconds();
+  return metrics;
+}
+
+}  // namespace msp::mr

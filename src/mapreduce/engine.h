@@ -1,0 +1,64 @@
+// The in-memory MapReduce execution engine.
+//
+// A job runs in three phases, all parallel on a worker pool:
+//   map     — Mapper::Map over input records,
+//   shuffle — Partitioner::Route fan-out into per-reducer groups, with
+//             byte-accurate communication accounting,
+//   reduce  — GroupReducer::Reduce over each non-empty reducer group.
+//
+// This engine is the substitute for a cluster deployment (see
+// DESIGN.md): the quantities the paper reasons about — number of
+// reducers, bytes shuffled, per-reducer load, achievable parallelism —
+// are measured exactly.
+
+#ifndef MSP_MAPREDUCE_ENGINE_H_
+#define MSP_MAPREDUCE_ENGINE_H_
+
+#include <cstdint>
+
+#include "mapreduce/job.h"
+#include "mapreduce/metrics.h"
+#include "mapreduce/types.h"
+
+namespace msp::mr {
+
+/// Engine configuration.
+struct EngineConfig {
+  /// Worker threads for the map and reduce phases (0 = hardware
+  /// concurrency).
+  std::size_t num_workers = 0;
+  /// Reducer capacity q in bytes; when non-zero the engine flags (but
+  /// does not abort on) reducers whose delivered bytes exceed it.
+  uint64_t reducer_capacity = 0;
+  /// Records per map task (granularity of map parallelism).
+  std::size_t map_batch_size = 1024;
+};
+
+/// Executes MapReduce jobs. Stateless between runs; safe to reuse.
+class MapReduceEngine {
+ public:
+  explicit MapReduceEngine(EngineConfig config = {});
+
+  /// Runs one job over `inputs`. Output records from all reducers are
+  /// appended to `output` (order unspecified but deterministic given
+  /// the same config). Returns the run's metrics.
+  JobMetrics Run(const KeyValueList& inputs, const Mapper& mapper,
+                 const Partitioner& partitioner, const GroupReducer& reducer,
+                 KeyValueList* output) const;
+
+  /// As above, with an optional map-side Combiner applied to each map
+  /// task's per-reducer record group before the shuffle (`combiner`
+  /// may be null).
+  JobMetrics Run(const KeyValueList& inputs, const Mapper& mapper,
+                 const Partitioner& partitioner, const Combiner* combiner,
+                 const GroupReducer& reducer, KeyValueList* output) const;
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  EngineConfig config_;
+};
+
+}  // namespace msp::mr
+
+#endif  // MSP_MAPREDUCE_ENGINE_H_

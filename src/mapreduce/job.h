@@ -1,0 +1,97 @@
+// User-facing interfaces of the MapReduce simulator: Mapper, the
+// routing Partitioner, and the GroupReducer.
+//
+// The paper's "reducer" is a single application of the reduce function
+// to one key with its values; the engine models this as one
+// GroupReducer::Reduce call per reducer index. Replication — the heart
+// of mapping schemas — happens in the Partitioner, which may route one
+// intermediate record to many reducers.
+
+#ifndef MSP_MAPREDUCE_JOB_H_
+#define MSP_MAPREDUCE_JOB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mapreduce/types.h"
+
+namespace msp::mr {
+
+/// Transforms one input record into intermediate records.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  /// Appends intermediate records for `input` to `out`. Must be
+  /// thread-compatible: the engine calls Map concurrently on distinct
+  /// inputs with distinct `out` buffers.
+  virtual void Map(const KeyValue& input, KeyValueList* out) const = 0;
+};
+
+/// A Mapper that forwards its input unchanged (common for joins where
+/// the inputs are already keyed records).
+class IdentityMapper : public Mapper {
+ public:
+  void Map(const KeyValue& input, KeyValueList* out) const override {
+    out->push_back(input);
+  }
+};
+
+/// Routes an intermediate record to one or more reducers.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Appends the target reducer indices for a record with `key` to
+  /// `out`. Must be deterministic and thread-compatible.
+  virtual void Route(uint64_t key, std::vector<ReducerIndex>* out) const = 0;
+
+  /// Total number of reducers this partitioner routes into.
+  virtual ReducerIndex num_reducers() const = 0;
+};
+
+/// Classic hash partitioning: every key goes to exactly one reducer.
+class HashPartitioner : public Partitioner {
+ public:
+  explicit HashPartitioner(ReducerIndex num_reducers)
+      : num_reducers_(num_reducers) {}
+
+  void Route(uint64_t key, std::vector<ReducerIndex>* out) const override;
+  ReducerIndex num_reducers() const override { return num_reducers_; }
+
+  /// The mixing function used (splitmix64 finalizer); exposed so tests
+  /// can predict routing.
+  static uint64_t Mix(uint64_t key);
+
+ private:
+  ReducerIndex num_reducers_;
+};
+
+/// Consumes one reducer's whole input group and emits output records.
+class GroupReducer {
+ public:
+  virtual ~GroupReducer() = default;
+
+  /// Processes the records routed to `reducer`. Called once per
+  /// non-empty reducer, concurrently across reducers.
+  virtual void Reduce(ReducerIndex reducer, const KeyValueList& group,
+                      KeyValueList* out) const = 0;
+};
+
+/// Optional map-side pre-aggregation: invoked on each map task's
+/// records bound for one reducer, before they cross the shuffle.
+/// Shrinking `group` in place reduces the measured communication cost
+/// (exactly like a Hadoop combiner). Must be semantically idempotent
+/// with respect to the GroupReducer.
+class Combiner {
+ public:
+  virtual ~Combiner() = default;
+
+  /// May rewrite `group` (e.g., pre-sum counts). Called concurrently
+  /// on distinct groups.
+  virtual void Combine(ReducerIndex reducer, KeyValueList* group) const = 0;
+};
+
+}  // namespace msp::mr
+
+#endif  // MSP_MAPREDUCE_JOB_H_

@@ -1,0 +1,32 @@
+#include "mapreduce/metrics.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace msp::mr {
+
+uint64_t LptMakespan(const std::vector<uint64_t>& costs,
+                     std::size_t workers) {
+  if (costs.empty()) return 0;
+  if (workers == 0) workers = 1;
+  std::vector<uint64_t> sorted = costs;
+  std::sort(sorted.begin(), sorted.end(), std::greater<uint64_t>());
+  // Min-heap of worker finish times.
+  std::priority_queue<uint64_t, std::vector<uint64_t>,
+                      std::greater<uint64_t>>
+      finish;
+  for (std::size_t w = 0; w < workers; ++w) finish.push(0);
+  for (uint64_t cost : sorted) {
+    uint64_t earliest = finish.top();
+    finish.pop();
+    finish.push(earliest + cost);
+  }
+  uint64_t makespan = 0;
+  while (!finish.empty()) {
+    makespan = std::max(makespan, finish.top());
+    finish.pop();
+  }
+  return makespan;
+}
+
+}  // namespace msp::mr

@@ -1,0 +1,49 @@
+// Metrics collected by one engine run.
+//
+// `shuffle_bytes` is the paper's communication cost: the total size of
+// all record copies delivered to reducers. Load-balance numbers feed
+// the parallelism tradeoff (tradeoff (ii) of the paper).
+
+#ifndef MSP_MAPREDUCE_METRICS_H_
+#define MSP_MAPREDUCE_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace msp::mr {
+
+/// Counters and timings of a single job execution.
+struct JobMetrics {
+  uint64_t input_records = 0;
+  uint64_t map_output_records = 0;
+  uint64_t shuffle_records = 0;  // record copies after routing
+  uint64_t shuffle_bytes = 0;    // communication cost
+  uint64_t output_records = 0;
+
+  uint64_t num_reducers = 0;
+  uint64_t non_empty_reducers = 0;
+  uint64_t max_reducer_bytes = 0;
+  double mean_reducer_bytes = 0.0;  // over non-empty reducers
+  double reducer_peak_to_mean = 0.0;
+
+  /// True when some reducer received more bytes than the configured
+  /// capacity (only meaningful when a capacity was configured).
+  bool capacity_violated = false;
+
+  double map_seconds = 0.0;
+  double shuffle_seconds = 0.0;
+  double reduce_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  /// Per-reducer delivered bytes (index == reducer index).
+  std::vector<uint64_t> reducer_bytes;
+};
+
+/// Deterministic makespan of scheduling `costs` on `workers` machines
+/// with Longest-Processing-Time-first. Used to report hardware-
+/// independent parallelism numbers in the benches.
+uint64_t LptMakespan(const std::vector<uint64_t>& costs, std::size_t workers);
+
+}  // namespace msp::mr
+
+#endif  // MSP_MAPREDUCE_METRICS_H_

@@ -1,0 +1,27 @@
+#include "mapreduce/schema_partitioner.h"
+
+#include "util/check.h"
+
+namespace msp::mr {
+
+SchemaPartitioner::SchemaPartitioner(const MappingSchema& schema,
+                                     std::size_t num_inputs,
+                                     ReducerIndex base)
+    : reducers_of_input_(num_inputs),
+      num_reducers_(base + static_cast<ReducerIndex>(schema.num_reducers())) {
+  for (std::size_t r = 0; r < schema.reducers.size(); ++r) {
+    for (InputId id : schema.reducers[r]) {
+      MSP_CHECK_LT(id, num_inputs);
+      reducers_of_input_[id].push_back(base + static_cast<ReducerIndex>(r));
+    }
+  }
+}
+
+void SchemaPartitioner::Route(uint64_t key,
+                              std::vector<ReducerIndex>* out) const {
+  if (key >= reducers_of_input_.size()) return;
+  const auto& targets = reducers_of_input_[key];
+  out->insert(out->end(), targets.begin(), targets.end());
+}
+
+}  // namespace msp::mr

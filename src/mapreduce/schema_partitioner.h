@@ -1,0 +1,38 @@
+// Partitioner driven by a mapping schema.
+//
+// This is the bridge between the paper's combinatorial object (the
+// mapping schema) and the execution engine: intermediate records are
+// keyed by input id, and each input id is routed to every reducer the
+// schema assigned it to.
+
+#ifndef MSP_MAPREDUCE_SCHEMA_PARTITIONER_H_
+#define MSP_MAPREDUCE_SCHEMA_PARTITIONER_H_
+
+#include <vector>
+
+#include "core/schema.h"
+#include "mapreduce/job.h"
+
+namespace msp::mr {
+
+/// Routes input id k to every reducer containing k in the schema.
+/// Keys outside [0, num_inputs) are dropped (routed nowhere).
+class SchemaPartitioner : public Partitioner {
+ public:
+  /// `num_inputs` bounds the id space; `base` offsets all reducer
+  /// indices (useful when a schema occupies a slice of a larger job,
+  /// as in skew join).
+  SchemaPartitioner(const MappingSchema& schema, std::size_t num_inputs,
+                    ReducerIndex base = 0);
+
+  void Route(uint64_t key, std::vector<ReducerIndex>* out) const override;
+  ReducerIndex num_reducers() const override { return num_reducers_; }
+
+ private:
+  std::vector<std::vector<ReducerIndex>> reducers_of_input_;
+  ReducerIndex num_reducers_;
+};
+
+}  // namespace msp::mr
+
+#endif  // MSP_MAPREDUCE_SCHEMA_PARTITIONER_H_

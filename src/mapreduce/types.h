@@ -1,0 +1,34 @@
+// Core record types of the MapReduce simulator.
+//
+// The engine is deliberately concrete (64-bit logical keys, string
+// payloads): the paper's cost model counts bytes moved between the map
+// and reduce phases, and `value.size()` is exactly that unit.
+
+#ifndef MSP_MAPREDUCE_TYPES_H_
+#define MSP_MAPREDUCE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msp::mr {
+
+/// Index of a reducer within a job.
+using ReducerIndex = uint32_t;
+
+/// One record. `key` is the logical key the partitioner routes on
+/// (e.g., an input id or a join key); `value` is the payload whose
+/// size is charged as communication.
+struct KeyValue {
+  uint64_t key = 0;
+  std::string value;
+
+  uint64_t SizeBytes() const { return value.size(); }
+};
+
+/// A list of records.
+using KeyValueList = std::vector<KeyValue>;
+
+}  // namespace msp::mr
+
+#endif  // MSP_MAPREDUCE_TYPES_H_

@@ -1,0 +1,36 @@
+// Minimal CSV emission for experiment results.
+//
+// Bench binaries optionally mirror their tables into CSV files (under
+// the working directory) so results can be re-plotted without re-running.
+
+#ifndef MSP_UTIL_CSV_WRITER_H_
+#define MSP_UTIL_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace msp {
+
+/// Writes rows of cells as RFC-4180-ish CSV. Quotes cells containing
+/// commas, quotes, or newlines.
+class CsvWriter {
+ public:
+  /// Opens `path` for (over)writing. Check ok() before use.
+  explicit CsvWriter(const std::string& path);
+
+  /// True when the underlying file opened successfully.
+  bool ok() const { return out_.good(); }
+
+  /// Writes one row.
+  void WriteRow(const std::vector<std::string>& cells);
+
+ private:
+  static std::string Escape(const std::string& cell);
+
+  std::ofstream out_;
+};
+
+}  // namespace msp
+
+#endif  // MSP_UTIL_CSV_WRITER_H_

@@ -1,0 +1,52 @@
+// Minimal command-line argument parsing for the tools and examples.
+//
+// Supported syntax:  --name=value   --name value   --flag   positional
+// Unrecognized "--" options are collected so commands can reject them.
+
+#ifndef MSP_UTIL_FLAGS_H_
+#define MSP_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace msp {
+
+/// Parses argv into named options and positional arguments.
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// Positional arguments in order (argv[0] excluded).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// True when --name was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// Value of --name as a string, or `fallback` when absent.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+
+  /// Value of --name parsed as unsigned; `fallback` when absent.
+  /// Returns nullopt on a malformed number (caller reports the error).
+  std::optional<uint64_t> GetUint(const std::string& name,
+                                  uint64_t fallback) const;
+
+  /// Value of --name parsed as double; same conventions as GetUint.
+  std::optional<double> GetDouble(const std::string& name,
+                                  double fallback) const;
+
+  /// Names of all --options seen, for strict commands that want to
+  /// reject unknown ones.
+  std::vector<std::string> OptionNames() const;
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace msp
+
+#endif  // MSP_UTIL_FLAGS_H_

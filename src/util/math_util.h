@@ -1,0 +1,38 @@
+// Small integer-math helpers shared across the libraries.
+//
+// Pair-mass computations can exceed 64 bits (total size W up to 2^40
+// and W^2 terms appear in the lower bounds), so the helpers below work
+// in unsigned 128-bit arithmetic where needed.
+
+#ifndef MSP_UTIL_MATH_UTIL_H_
+#define MSP_UTIL_MATH_UTIL_H_
+
+#include <cstdint>
+
+namespace msp {
+
+/// Unsigned 128-bit integer used internally for pair-mass arithmetic.
+using Uint128 = unsigned __int128;
+
+/// Returns ceil(a / b). Requires b > 0.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) {
+  return a == 0 ? 0 : (a - 1) / b + 1;
+}
+
+/// Returns ceil(a / b) in 128-bit arithmetic, saturated to uint64.
+constexpr uint64_t CeilDiv128(Uint128 a, Uint128 b) {
+  if (a == 0) return 0;
+  Uint128 r = (a - 1) / b + 1;
+  constexpr Uint128 kMax64 = ~uint64_t{0};
+  return r > kMax64 ? ~uint64_t{0} : static_cast<uint64_t>(r);
+}
+
+/// Returns n * (n - 1) / 2 — the number of unordered pairs of n items —
+/// without intermediate overflow for n < 2^63.
+constexpr uint64_t PairCount(uint64_t n) {
+  return (n % 2 == 0) ? (n / 2) * (n - 1) : n * ((n - 1) / 2);
+}
+
+}  // namespace msp
+
+#endif  // MSP_UTIL_MATH_UTIL_H_

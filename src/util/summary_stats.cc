@@ -1,0 +1,52 @@
+#include "util/summary_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace msp {
+
+SummaryStats SummaryStats::Compute(const std::vector<double>& samples) {
+  MSP_CHECK(!samples.empty());
+  SummaryStats s;
+  s.sorted_ = samples;
+  std::sort(s.sorted_.begin(), s.sorted_.end());
+  s.count_ = samples.size();
+  s.min_ = s.sorted_.front();
+  s.max_ = s.sorted_.back();
+  double sum = 0.0;
+  for (double v : s.sorted_) sum += v;
+  s.sum_ = sum;
+  s.mean_ = sum / static_cast<double>(s.count_);
+  double sq = 0.0;
+  for (double v : s.sorted_) sq += (v - s.mean_) * (v - s.mean_);
+  s.stddev_ = std::sqrt(sq / static_cast<double>(s.count_));
+  return s;
+}
+
+SummaryStats SummaryStats::Compute(const std::vector<uint64_t>& samples) {
+  std::vector<double> d(samples.begin(), samples.end());
+  return Compute(d);
+}
+
+double SummaryStats::Percentile(double p) const {
+  MSP_CHECK_GE(p, 0.0);
+  MSP_CHECK_LE(p, 100.0);
+  if (count_ == 1) return sorted_[0];
+  const double rank = p / 100.0 * static_cast<double>(count_ - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, count_ - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+double SummaryStats::CoefficientOfVariation() const {
+  return mean_ == 0.0 ? 0.0 : stddev_ / mean_;
+}
+
+double SummaryStats::PeakToMeanRatio() const {
+  return mean_ == 0.0 ? 0.0 : max_ / mean_;
+}
+
+}  // namespace msp

@@ -1,0 +1,53 @@
+// Descriptive statistics over numeric samples (loads, sizes, latencies).
+//
+// Used by schema statistics and the MapReduce engine metrics to report
+// load balance: mean/max/percentiles and the coefficient of variation.
+
+#ifndef MSP_UTIL_SUMMARY_STATS_H_
+#define MSP_UTIL_SUMMARY_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace msp {
+
+/// Immutable summary of a non-empty numeric sample.
+class SummaryStats {
+ public:
+  /// Computes the summary; `samples` may be in any order.
+  static SummaryStats Compute(const std::vector<double>& samples);
+  /// Convenience overload for integral samples.
+  static SummaryStats Compute(const std::vector<uint64_t>& samples);
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return mean_; }
+  double sum() const { return sum_; }
+  double stddev() const { return stddev_; }
+  std::size_t count() const { return count_; }
+
+  /// Linear-interpolated percentile; `p` in [0, 100].
+  double Percentile(double p) const;
+
+  /// stddev / mean (0 when mean == 0). A load-imbalance measure.
+  double CoefficientOfVariation() const;
+
+  /// max / mean (1.0 == perfectly balanced). The paper's parallelism
+  /// discussions reduce to how far this is above 1.
+  double PeakToMeanRatio() const;
+
+ private:
+  SummaryStats() = default;
+
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double sum_ = 0.0;
+  double stddev_ = 0.0;
+  std::size_t count_ = 0;
+  std::vector<double> sorted_;
+};
+
+}  // namespace msp
+
+#endif  // MSP_UTIL_SUMMARY_STATS_H_

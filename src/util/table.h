@@ -1,0 +1,47 @@
+// Column-aligned plain-text tables for experiment output.
+//
+// Every bench binary prints its paper-style tables through TablePrinter
+// so the stdout of `for b in build/bench/*; do $b; done` reads like the
+// paper's evaluation section.
+
+#ifndef MSP_UTIL_TABLE_H_
+#define MSP_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace msp {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; may be empty.
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before adding rows.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table to `out`.
+  void Print(std::ostream& out) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double with `digits` fractional digits.
+  static std::string Fmt(double value, int digits = 2);
+  /// Formats an integer with thousands separators (1,234,567).
+  static std::string Fmt(uint64_t value);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace msp
+
+#endif  // MSP_UTIL_TABLE_H_

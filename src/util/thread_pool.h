@@ -1,0 +1,57 @@
+// Fixed-size thread pool used by the MapReduce engine's map and reduce
+// phases. Tasks are std::function<void()>; Wait() blocks until the
+// queue is drained and all workers are idle.
+
+#ifndef MSP_UTIL_THREAD_POOL_H_
+#define MSP_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace msp {
+
+/// A minimal work-queue thread pool.
+///
+/// Usage:
+///   ThreadPool pool(8);
+///   for (...) pool.Submit([&] { ... });
+///   pool.Wait();   // barrier; pool is reusable afterwards
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace msp
+
+#endif  // MSP_UTIL_THREAD_POOL_H_

@@ -1,0 +1,39 @@
+// Wall-clock stopwatch for benchmarks and engine metrics.
+
+#ifndef MSP_UTIL_TIMER_H_
+#define MSP_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace msp {
+
+/// Measures elapsed wall-clock time. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in integer microseconds.
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace msp
+
+#endif  // MSP_UTIL_TIMER_H_

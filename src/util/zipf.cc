@@ -1,0 +1,36 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace msp {
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double s) : n_(n), s_(s) {
+  MSP_CHECK_GE(n, 1u);
+  MSP_CHECK_GE(s, 0.0);
+  cdf_.resize(n_);
+  double total = 0.0;
+  for (uint64_t k = 1; k <= n_; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), s_);
+    cdf_[k - 1] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDistribution::Pmf(uint64_t k) const {
+  MSP_CHECK_GE(k, 1u);
+  MSP_CHECK_LE(k, n_);
+  if (k == 1) return cdf_[0];
+  return cdf_[k - 1] - cdf_[k - 2];
+}
+
+}  // namespace msp

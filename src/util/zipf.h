@@ -1,0 +1,41 @@
+// Zipf-distributed sampling over {1, ..., n}.
+//
+// P(k) ∝ 1 / k^s. Used to synthesize heavy-hitter join keys and skewed
+// input-size distributions, which are the paper's motivating workloads.
+
+#ifndef MSP_UTIL_ZIPF_H_
+#define MSP_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace msp {
+
+/// Samples from a Zipf(s) distribution on {1..n} by inverting a
+/// precomputed CDF (O(log n) per sample, O(n) setup). Suitable for
+/// n up to a few tens of millions.
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1; `s` is the skew exponent (s = 0 is uniform).
+  ZipfDistribution(uint64_t n, double s);
+
+  /// Returns a sample in [1, n].
+  uint64_t Sample(Rng* rng) const;
+
+  /// Returns P(X = k) for k in [1, n].
+  double Pmf(uint64_t k) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[k-1] = P(X <= k)
+};
+
+}  // namespace msp
+
+#endif  // MSP_UTIL_ZIPF_H_

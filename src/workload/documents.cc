@@ -1,0 +1,57 @@
+#include "workload/documents.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+#include "workload/sizes.h"
+
+namespace msp::wl {
+
+std::vector<Document> MakeDocuments(const DocumentConfig& config) {
+  MSP_CHECK_GE(config.min_tokens, 1u);
+  MSP_CHECK_LE(config.min_tokens, config.max_tokens);
+  MSP_CHECK_GE(config.vocabulary, config.max_tokens)
+      << "vocabulary too small for the largest document";
+  Rng rng(config.seed);
+  uint64_t derived_seed = config.seed;
+  const std::vector<InputSize> lengths =
+      ZipfSizes(config.count, config.min_tokens, config.max_tokens,
+                config.length_skew, SplitMix64(&derived_seed));
+  ZipfDistribution token_dist(config.vocabulary, config.token_skew);
+
+  std::vector<Document> documents(config.count);
+  for (std::size_t d = 0; d < config.count; ++d) {
+    documents[d].id = static_cast<uint32_t>(d);
+    std::set<uint32_t> tokens;
+    while (tokens.size() < lengths[d]) {
+      tokens.insert(static_cast<uint32_t>(token_dist.Sample(&rng) - 1));
+    }
+    documents[d].tokens.assign(tokens.begin(), tokens.end());
+  }
+  return documents;
+}
+
+double Jaccard(const Document& a, const Document& b) {
+  if (a.tokens.empty() && b.tokens.empty()) return 1.0;
+  std::size_t intersection = 0;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < a.tokens.size() && ib < b.tokens.size()) {
+    if (a.tokens[ia] == b.tokens[ib]) {
+      ++intersection;
+      ++ia;
+      ++ib;
+    } else if (a.tokens[ia] < b.tokens[ib]) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  const std::size_t uni = a.tokens.size() + b.tokens.size() - intersection;
+  return uni == 0 ? 1.0 : static_cast<double>(intersection) / uni;
+}
+
+}  // namespace msp::wl

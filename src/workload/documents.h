@@ -1,0 +1,42 @@
+// Synthetic documents for the similarity-join workload.
+//
+// A document is a sorted set of token ids. Its "size" (for reducer
+// capacity purposes) is its token count. Lengths follow a heavy-tailed
+// distribution, so documents are genuinely different-sized inputs.
+
+#ifndef MSP_WORKLOAD_DOCUMENTS_H_
+#define MSP_WORKLOAD_DOCUMENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace msp::wl {
+
+/// One document: a strictly increasing list of token ids.
+struct Document {
+  uint32_t id = 0;
+  std::vector<uint32_t> tokens;
+
+  std::size_t size() const { return tokens.size(); }
+};
+
+/// Parameters for document synthesis.
+struct DocumentConfig {
+  std::size_t count = 100;        // number of documents
+  uint32_t vocabulary = 10'000;   // token universe
+  std::size_t min_tokens = 4;     // smallest document
+  std::size_t max_tokens = 64;    // largest document
+  double length_skew = 1.0;       // Zipf skew of the length distribution
+  double token_skew = 0.8;        // Zipf skew of token popularity
+  uint64_t seed = 1;
+};
+
+/// Generates `config.count` documents.
+std::vector<Document> MakeDocuments(const DocumentConfig& config);
+
+/// Jaccard similarity |a ∩ b| / |a ∪ b| of two token sets.
+double Jaccard(const Document& a, const Document& b);
+
+}  // namespace msp::wl
+
+#endif  // MSP_WORKLOAD_DOCUMENTS_H_

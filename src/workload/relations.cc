@@ -1,0 +1,50 @@
+#include "workload/relations.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace msp::wl {
+
+uint64_t Relation::TotalPayload() const {
+  uint64_t total = 0;
+  for (const Tuple& t : tuples) total += t.payload_size;
+  return total;
+}
+
+Relation MakeSkewedRelation(const RelationConfig& config) {
+  MSP_CHECK_GE(config.num_keys, 1u);
+  MSP_CHECK_GT(config.payload_lo, 0u);
+  MSP_CHECK_LE(config.payload_lo, config.payload_hi);
+  Rng rng(config.seed);
+  ZipfDistribution keys(config.num_keys, config.key_skew);
+  Relation relation;
+  relation.tuples.resize(config.num_tuples);
+  for (std::size_t i = 0; i < config.num_tuples; ++i) {
+    Tuple& t = relation.tuples[i];
+    t.other = (config.seed << 32) ^ i;  // unique per tuple
+    t.key = keys.Sample(&rng);
+    t.payload_size = static_cast<uint32_t>(
+        rng.UniformInRange(config.payload_lo, config.payload_hi));
+  }
+  return relation;
+}
+
+std::vector<std::pair<uint64_t, std::size_t>> KeyHistogram(
+    const Relation& relation) {
+  std::unordered_map<uint64_t, std::size_t> counts;
+  for (const Tuple& t : relation.tuples) ++counts[t.key];
+  std::vector<std::pair<uint64_t, std::size_t>> histogram(counts.begin(),
+                                                          counts.end());
+  std::sort(histogram.begin(), histogram.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  return histogram;
+}
+
+}  // namespace msp::wl

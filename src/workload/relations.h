@@ -1,0 +1,53 @@
+// Synthetic relations for the skew-join workload.
+//
+// R(A, B) joins S(B, C) on B. Join keys follow a Zipf distribution, so
+// a handful of B-values are heavy hitters — the situation the paper's
+// X2Y problem addresses. Tuples carry variable-size payloads, making
+// the per-key X2Y instances genuinely different-sized.
+
+#ifndef MSP_WORKLOAD_RELATIONS_H_
+#define MSP_WORKLOAD_RELATIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace msp::wl {
+
+/// One tuple of R(A, B) or S(B, C): `other` is the non-join attribute
+/// (A or C), `key` is the join attribute B, and `payload_size` models
+/// the tuple's width in bytes.
+struct Tuple {
+  uint64_t other = 0;
+  uint64_t key = 0;
+  uint32_t payload_size = 1;
+};
+
+/// A bag of tuples.
+struct Relation {
+  std::vector<Tuple> tuples;
+
+  std::size_t size() const { return tuples.size(); }
+  uint64_t TotalPayload() const;
+};
+
+/// Parameters for relation synthesis.
+struct RelationConfig {
+  std::size_t num_tuples = 10'000;
+  uint64_t num_keys = 1'000;      // distinct join-key universe
+  double key_skew = 1.2;          // Zipf skew of join keys
+  uint32_t payload_lo = 8;        // min payload bytes
+  uint32_t payload_hi = 64;       // max payload bytes
+  uint64_t seed = 1;
+};
+
+/// Generates a relation; `other` values are unique per tuple so join
+/// outputs can be verified exactly.
+Relation MakeSkewedRelation(const RelationConfig& config);
+
+/// The multiset of join keys and their frequencies, descending.
+std::vector<std::pair<uint64_t, std::size_t>> KeyHistogram(
+    const Relation& relation);
+
+}  // namespace msp::wl
+
+#endif  // MSP_WORKLOAD_RELATIONS_H_

@@ -1,0 +1,56 @@
+#include "workload/sizes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace msp::wl {
+
+std::vector<InputSize> EqualSizes(std::size_t m, InputSize w) {
+  MSP_CHECK_GT(w, 0u);
+  return std::vector<InputSize>(m, w);
+}
+
+std::vector<InputSize> UniformSizes(std::size_t m, InputSize lo, InputSize hi,
+                                    uint64_t seed) {
+  MSP_CHECK_GT(lo, 0u);
+  MSP_CHECK_LE(lo, hi);
+  Rng rng(seed);
+  std::vector<InputSize> sizes(m);
+  for (auto& w : sizes) w = rng.UniformInRange(lo, hi);
+  return sizes;
+}
+
+std::vector<InputSize> ZipfSizes(std::size_t m, InputSize lo, InputSize hi,
+                                 double skew, uint64_t seed) {
+  MSP_CHECK_GT(lo, 0u);
+  MSP_CHECK_LE(lo, hi);
+  Rng rng(seed);
+  const uint64_t ranks = std::max<uint64_t>(1, hi / lo);
+  ZipfDistribution zipf(ranks, skew);
+  std::vector<InputSize> sizes(m);
+  for (auto& w : sizes) {
+    w = std::min<InputSize>(hi, lo * zipf.Sample(&rng));
+  }
+  return sizes;
+}
+
+std::vector<InputSize> NormalSizes(std::size_t m, double mean, double stddev,
+                                   InputSize lo, InputSize hi, uint64_t seed) {
+  MSP_CHECK_GT(lo, 0u);
+  MSP_CHECK_LE(lo, hi);
+  Rng rng(seed);
+  std::vector<InputSize> sizes(m);
+  for (auto& w : sizes) {
+    const double v = std::round(rng.Normal(mean, stddev));
+    const double clamped =
+        std::clamp(v, static_cast<double>(lo), static_cast<double>(hi));
+    w = static_cast<InputSize>(clamped);
+  }
+  return sizes;
+}
+
+}  // namespace msp::wl

@@ -1,0 +1,36 @@
+// Input-size distributions for the assignment experiments.
+//
+// All generators are deterministic in the seed. Sizes are strictly
+// positive and clamped so the generated instance is always feasible
+// for the requested capacity semantics (callers still pick q).
+
+#ifndef MSP_WORKLOAD_SIZES_H_
+#define MSP_WORKLOAD_SIZES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace msp::wl {
+
+/// m copies of the same size w (the paper's equal-sized special case).
+std::vector<InputSize> EqualSizes(std::size_t m, InputSize w);
+
+/// Uniform integer sizes in [lo, hi].
+std::vector<InputSize> UniformSizes(std::size_t m, InputSize lo, InputSize hi,
+                                    uint64_t seed);
+
+/// Heavy-tailed sizes: w = min(hi, lo * r) with r ~ Zipf(s) over
+/// ranks 1..hi/lo. Most inputs are near `lo`; a few reach `hi` — the
+/// "different-sized inputs" regime that motivates the paper.
+std::vector<InputSize> ZipfSizes(std::size_t m, InputSize lo, InputSize hi,
+                                 double skew, uint64_t seed);
+
+/// Normal(mean, stddev) rounded and clamped into [lo, hi].
+std::vector<InputSize> NormalSizes(std::size_t m, double mean, double stddev,
+                                   InputSize lo, InputSize hi, uint64_t seed);
+
+}  // namespace msp::wl
+
+#endif  // MSP_WORKLOAD_SIZES_H_

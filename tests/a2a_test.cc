@@ -1,0 +1,325 @@
+// Tests for the A2A schema-construction algorithms.
+
+#include <vector>
+
+#include "core/a2a.h"
+#include "core/bounds.h"
+#include "core/instance.h"
+#include "core/schema.h"
+#include "core/validate.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+#include "workload/sizes.h"
+
+namespace msp {
+namespace {
+
+A2AInstance MakeA2A(std::vector<InputSize> sizes, InputSize q) {
+  auto instance = A2AInstance::Create(std::move(sizes), q);
+  EXPECT_TRUE(instance.has_value());
+  return *instance;
+}
+
+TEST(SingleReducerTest, FitsWhenTotalWithinCapacity) {
+  const A2AInstance in = MakeA2A({2, 3, 4}, 9);
+  const auto schema = SolveA2ASingleReducer(in);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_EQ(schema->num_reducers(), 1u);
+  EXPECT_TRUE(ValidateA2A(in, *schema).ok);
+}
+
+TEST(SingleReducerTest, RefusesWhenTotalExceedsCapacity) {
+  const A2AInstance in = MakeA2A({2, 3, 5}, 9);
+  EXPECT_FALSE(SolveA2ASingleReducer(in).has_value());
+}
+
+TEST(NaiveAllPairsTest, OneReducerPerPair) {
+  const A2AInstance in = MakeA2A({4, 4, 4, 4}, 8);
+  const auto schema = SolveA2ANaiveAllPairs(in);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_EQ(schema->num_reducers(), 6u);
+  EXPECT_TRUE(ValidateA2A(in, *schema).ok);
+}
+
+TEST(NaiveAllPairsTest, RefusesInfeasible) {
+  const A2AInstance in = MakeA2A({5, 5, 4}, 9);
+  EXPECT_FALSE(SolveA2ANaiveAllPairs(in).has_value());
+}
+
+TEST(EqualGroupingTest, RefusesUnequalSizes) {
+  const A2AInstance in = MakeA2A({4, 5}, 20);
+  EXPECT_FALSE(SolveA2AEqualGrouping(in).has_value());
+}
+
+TEST(EqualGroupingTest, RefusesWhenNoPairFits) {
+  const A2AInstance in = MakeA2A({4, 4}, 7);  // k = 1
+  EXPECT_FALSE(SolveA2AEqualGrouping(in).has_value());
+}
+
+TEST(EqualGroupingTest, UsesGroupPairReducers) {
+  // m = 8 inputs of size 1, q = 4 -> k = 4, groups of 2, g = 4 groups,
+  // z = C(4,2) = 6 reducers of load 4.
+  const A2AInstance in = MakeA2A(std::vector<InputSize>(8, 1), 4);
+  const auto schema = SolveA2AEqualGrouping(in);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_EQ(schema->num_reducers(), 6u);
+  EXPECT_TRUE(ValidateA2A(in, *schema).ok);
+  const SchemaStats stats = SchemaStats::Compute(in, *schema);
+  EXPECT_EQ(stats.max_load, 4u);
+}
+
+TEST(EqualGroupingTest, SingleGroupCollapsesToOneReducer) {
+  const A2AInstance in = MakeA2A(std::vector<InputSize>(2, 1), 8);
+  const auto schema = SolveA2AEqualGrouping(in);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_EQ(schema->num_reducers(), 1u);
+  EXPECT_TRUE(ValidateA2A(in, *schema).ok);
+}
+
+TEST(EqualGroupingTest, OddKUsesFloorHalfGroups) {
+  // q = 5, w = 1 -> k = 5, group size 2; reducers hold 4 <= 5.
+  const A2AInstance in = MakeA2A(std::vector<InputSize>(10, 1), 5);
+  const auto schema = SolveA2AEqualGrouping(in);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_TRUE(ValidateA2A(in, *schema).ok);
+  const SchemaStats stats = SchemaStats::Compute(in, *schema);
+  EXPECT_LE(stats.max_load, 5u);
+}
+
+TEST(EqualGroupingTest, WithinTwiceTheScheonheimBound) {
+  for (std::size_t m : {16u, 40u, 100u}) {
+    for (uint64_t k : {4u, 8u, 20u}) {
+      const A2AInstance in = MakeA2A(std::vector<InputSize>(m, 1), k);
+      const auto schema = SolveA2AEqualGrouping(in);
+      ASSERT_TRUE(schema.has_value());
+      ASSERT_TRUE(ValidateA2A(in, *schema).ok);
+      const A2ALowerBounds lb = A2ALowerBounds::Compute(in);
+      EXPECT_LE(schema->num_reducers(), 3 * lb.reducers)
+          << "m=" << m << " k=" << k;
+    }
+  }
+}
+
+TEST(BinPackPairingTest, RefusesBigInputs) {
+  const A2AInstance in = MakeA2A({6, 3}, 10);  // 6 > q/2
+  EXPECT_FALSE(SolveA2ABinPackPairing(in).has_value());
+}
+
+TEST(BinPackPairingTest, PairsBins) {
+  // Sizes pack into 3 bins of capacity 5: z = 3 reducers.
+  const A2AInstance in = MakeA2A({5, 5, 5}, 10);
+  const auto schema = SolveA2ABinPackPairing(in);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_EQ(schema->num_reducers(), 3u);
+  EXPECT_TRUE(ValidateA2A(in, *schema).ok);
+}
+
+TEST(BinPackPairingTest, SingleBinBecomesOneReducer) {
+  const A2AInstance in = MakeA2A({2, 2}, 10);
+  const auto schema = SolveA2ABinPackPairing(in);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_EQ(schema->num_reducers(), 1u);
+  EXPECT_TRUE(ValidateA2A(in, *schema).ok);
+}
+
+TEST(BinPackTriplesTest, RefusesWhenTooBig) {
+  const A2AInstance in = MakeA2A({4, 2}, 10);  // 4 > q/3
+  EXPECT_FALSE(SolveA2ABinPackTriples(in).has_value());
+}
+
+TEST(BinPackTriplesTest, ValidAndUsesTriples) {
+  const A2AInstance in = MakeA2A(std::vector<InputSize>(30, 1), 6);
+  const auto schema = SolveA2ABinPackTriples(in);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_TRUE(ValidateA2A(in, *schema).ok);
+  // Triples of q/3-bins beat pairs of q/2-bins here: compare.
+  const auto pair_schema = SolveA2ABinPackPairing(in);
+  ASSERT_TRUE(pair_schema.has_value());
+  EXPECT_LT(schema->num_reducers(), pair_schema->num_reducers());
+}
+
+TEST(BigSmallTest, FallsBackToPairingWithoutBigs) {
+  const A2AInstance in = MakeA2A({3, 3, 3, 3}, 10);
+  const auto big_small = SolveA2ABigSmall(in);
+  const auto pairing = SolveA2ABinPackPairing(in);
+  ASSERT_TRUE(big_small.has_value());
+  ASSERT_TRUE(pairing.has_value());
+  EXPECT_EQ(big_small->num_reducers(), pairing->num_reducers());
+}
+
+TEST(BigSmallTest, HandlesOneBigManySmalls) {
+  // Big input 7 with q = 10: smalls pack into bins of 3 for it.
+  const A2AInstance in = MakeA2A({7, 1, 1, 1, 1, 1, 1}, 10);
+  const auto schema = SolveA2ABigSmall(in);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_TRUE(ValidateA2A(in, *schema).ok);
+}
+
+TEST(BigSmallTest, HandlesMultipleBigs) {
+  const A2AInstance in = MakeA2A({6, 6, 6, 2, 2, 2, 2}, 12);
+  const auto schema = SolveA2ABigSmall(in);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_TRUE(ValidateA2A(in, *schema).ok);
+}
+
+TEST(BigSmallTest, RefusesInfeasible) {
+  const A2AInstance in = MakeA2A({7, 7}, 12);
+  EXPECT_FALSE(SolveA2ABigSmall(in).has_value());
+}
+
+TEST(BigSmallTest, OnlyBigs) {
+  const A2AInstance in = MakeA2A({6, 6, 6}, 12);
+  const auto schema = SolveA2ABigSmall(in);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_EQ(schema->num_reducers(), 3u);  // one per big pair
+  EXPECT_TRUE(ValidateA2A(in, *schema).ok);
+}
+
+TEST(GreedyCoverTest, ProducesValidSchemas) {
+  const A2AInstance in = MakeA2A({4, 3, 2, 5, 1, 2}, 10);
+  const auto schema = SolveA2AGreedyCover(in);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_TRUE(ValidateA2A(in, *schema).ok);
+}
+
+TEST(AutoTest, PicksSingleReducerWhenEverythingFits) {
+  const A2AInstance in = MakeA2A({1, 2, 3}, 10);
+  const auto schema = SolveA2AAuto(in);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_EQ(schema->num_reducers(), 1u);
+}
+
+TEST(AutoTest, NulloptOnInfeasible) {
+  const A2AInstance in = MakeA2A({9, 9}, 10);
+  EXPECT_FALSE(SolveA2AAuto(in).has_value());
+}
+
+TEST(AutoTest, HandlesTrivialInstances) {
+  EXPECT_TRUE(SolveA2AAuto(MakeA2A({}, 10)).has_value());
+  EXPECT_TRUE(SolveA2AAuto(MakeA2A({7}, 10)).has_value());
+}
+
+// ---------------------------------------------------------------
+// Property tests: every applicable algorithm yields a valid schema on
+// random instances, and the paper algorithms stay near the lower
+// bound.
+// ---------------------------------------------------------------
+
+struct A2APropertyParam {
+  const char* name;
+  uint64_t seed;
+  InputSize lo;
+  InputSize hi;     // relative to q/2 (hi <= q/2 keeps all inputs small)
+  double zipf_skew; // < 0 means uniform sizes
+};
+
+class A2APropertyTest : public ::testing::TestWithParam<A2APropertyParam> {};
+
+TEST_P(A2APropertyTest, AlgorithmsProduceValidNearOptimalSchemas) {
+  const A2APropertyParam param = GetParam();
+  Rng rng(param.seed);
+  for (int round = 0; round < 8; ++round) {
+    const uint64_t q = 100 + rng.UniformInt(400);
+    const std::size_t m = 2 + rng.UniformInt(60);
+    std::vector<InputSize> sizes;
+    const InputSize hi = std::max<InputSize>(1, q / 2 * param.hi / 100);
+    const InputSize lo = std::max<InputSize>(1, std::min<InputSize>(
+                                                    param.lo, hi));
+    if (param.zipf_skew < 0) {
+      sizes = wl::UniformSizes(m, lo, hi, rng.Next());
+    } else {
+      sizes = wl::ZipfSizes(m, lo, hi, param.zipf_skew, rng.Next());
+    }
+    auto in = A2AInstance::Create(sizes, q);
+    ASSERT_TRUE(in.has_value());
+    ASSERT_TRUE(in->IsFeasible());
+    const A2ALowerBounds lb = A2ALowerBounds::Compute(*in);
+
+    const auto pairing = SolveA2ABinPackPairing(*in);
+    ASSERT_TRUE(pairing.has_value());
+    const ValidationResult vp = ValidateA2A(*in, *pairing);
+    ASSERT_TRUE(vp.ok) << vp.error;
+
+    const auto big_small = SolveA2ABigSmall(*in);
+    ASSERT_TRUE(big_small.has_value());
+    const ValidationResult vb = ValidateA2A(*in, *big_small);
+    ASSERT_TRUE(vb.ok) << vb.error;
+
+    const auto greedy = SolveA2AGreedyCover(*in);
+    ASSERT_TRUE(greedy.has_value());
+    ASSERT_TRUE(ValidateA2A(*in, *greedy).ok);
+
+    const auto chosen = SolveA2AAuto(*in);
+    ASSERT_TRUE(chosen.has_value());
+    ASSERT_TRUE(ValidateA2A(*in, *chosen).ok);
+
+    // Near-optimality: the bin-packing construction stays within a
+    // small constant of the lower bound (paper's headline claim). The
+    // constant here is generous to keep the test robust on tiny
+    // instances; the benches measure the actual ratios.
+    if (lb.reducers >= 10) {
+      EXPECT_LE(pairing->num_reducers(), 6 * lb.reducers);
+      EXPECT_LE(chosen->num_reducers(), 6 * lb.reducers);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeDistributions, A2APropertyTest,
+    ::testing::Values(
+        A2APropertyParam{"uniform_small", 501, 1, 100, -1.0},
+        A2APropertyParam{"uniform_tiny", 502, 1, 10, -1.0},
+        A2APropertyParam{"zipf_mild", 503, 1, 100, 0.8},
+        A2APropertyParam{"zipf_heavy", 504, 1, 100, 1.5},
+        A2APropertyParam{"near_half", 505, 60, 100, -1.0}),
+    [](const ::testing::TestParamInfo<A2APropertyParam>& info) {
+      return info.param.name;
+    });
+
+TEST(A2AGeneralSizesPropertyTest, BigSmallHandlesBigInputs) {
+  Rng rng(701);
+  for (int round = 0; round < 10; ++round) {
+    const uint64_t q = 100 + rng.UniformInt(100);
+    const std::size_t m = 2 + rng.UniformInt(30);
+    // Sizes up to q/2 plus some bigs up to q - (max small so far).
+    std::vector<InputSize> sizes = wl::UniformSizes(m, 1, q / 2, rng.Next());
+    const std::size_t num_bigs = rng.UniformInt(4);
+    for (std::size_t b = 0; b < num_bigs; ++b) {
+      sizes.push_back(q / 2 + 1 + rng.UniformInt(q / 4));
+    }
+    auto in = A2AInstance::Create(sizes, q);
+    ASSERT_TRUE(in.has_value());
+    if (!in->IsFeasible()) continue;
+    const auto schema = SolveA2ABigSmall(*in);
+    ASSERT_TRUE(schema.has_value());
+    const ValidationResult v = ValidateA2A(*in, *schema);
+    ASSERT_TRUE(v.ok) << v.error;
+  }
+}
+
+TEST(A2AAlgorithmNameTest, AllNamed) {
+  EXPECT_EQ(A2AAlgorithmName(A2AAlgorithm::kSingleReducer), "single-reducer");
+  EXPECT_EQ(A2AAlgorithmName(A2AAlgorithm::kNaiveAllPairs), "naive-all-pairs");
+  EXPECT_EQ(A2AAlgorithmName(A2AAlgorithm::kEqualGrouping), "equal-grouping");
+  EXPECT_EQ(A2AAlgorithmName(A2AAlgorithm::kBinPackPairing),
+            "binpack-pairing");
+  EXPECT_EQ(A2AAlgorithmName(A2AAlgorithm::kBinPackTriples),
+            "binpack-triples");
+  EXPECT_EQ(A2AAlgorithmName(A2AAlgorithm::kBigSmall), "big-small");
+  EXPECT_EQ(A2AAlgorithmName(A2AAlgorithm::kGreedyCover), "greedy-cover");
+}
+
+TEST(A2ADispatchTest, MatchesDirectCalls) {
+  const A2AInstance in = MakeA2A({3, 3, 3, 3}, 12);
+  for (A2AAlgorithm algo :
+       {A2AAlgorithm::kSingleReducer, A2AAlgorithm::kNaiveAllPairs,
+        A2AAlgorithm::kEqualGrouping, A2AAlgorithm::kBinPackPairing,
+        A2AAlgorithm::kBigSmall, A2AAlgorithm::kGreedyCover}) {
+    const auto schema = SolveA2A(in, algo);
+    ASSERT_TRUE(schema.has_value()) << A2AAlgorithmName(algo);
+    EXPECT_TRUE(ValidateA2A(in, *schema).ok) << A2AAlgorithmName(algo);
+  }
+}
+
+}  // namespace
+}  // namespace msp

@@ -1,0 +1,245 @@
+// Unit and property tests for the bin-packing library.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "binpack/algorithms.h"
+#include "binpack/bounds.h"
+#include "binpack/exact.h"
+#include "binpack/packing.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace msp::bp {
+namespace {
+
+TEST(PackingTest, BinLoad) {
+  Packing packing;
+  packing.capacity = 10;
+  packing.bins = {{0, 2}, {1}};
+  const std::vector<uint64_t> sizes = {3, 9, 4};
+  EXPECT_EQ(packing.BinLoad(sizes, 0), 7u);
+  EXPECT_EQ(packing.BinLoad(sizes, 1), 9u);
+}
+
+TEST(PackingTest, ValidationAcceptsGoodPacking) {
+  Packing packing;
+  packing.capacity = 10;
+  packing.bins = {{0, 1}, {2}};
+  std::string error;
+  EXPECT_TRUE(IsValidPacking({5, 5, 10}, packing, &error)) << error;
+}
+
+TEST(PackingTest, ValidationRejectsOverflow) {
+  Packing packing;
+  packing.capacity = 9;
+  packing.bins = {{0, 1}, {2}};
+  std::string error;
+  EXPECT_FALSE(IsValidPacking({5, 5, 9}, packing, &error));
+  EXPECT_NE(error.find("overflow"), std::string::npos);
+}
+
+TEST(PackingTest, ValidationRejectsMissingItem) {
+  Packing packing;
+  packing.capacity = 10;
+  packing.bins = {{0}};
+  std::string error;
+  EXPECT_FALSE(IsValidPacking({1, 1}, packing, &error));
+}
+
+TEST(PackingTest, ValidationRejectsDuplicateItem) {
+  Packing packing;
+  packing.capacity = 10;
+  packing.bins = {{0, 1}, {1}};
+  std::string error;
+  EXPECT_FALSE(IsValidPacking({1, 1}, packing, &error));
+}
+
+TEST(PackingTest, ValidationRejectsEmptyBin) {
+  Packing packing;
+  packing.capacity = 10;
+  packing.bins = {{0, 1}, {}};
+  std::string error;
+  EXPECT_FALSE(IsValidPacking({1, 1}, packing, &error));
+}
+
+TEST(AlgorithmsTest, NamesAreUnique) {
+  std::vector<std::string> names;
+  for (Algorithm a : kAllAlgorithms) names.push_back(AlgorithmName(a));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(AlgorithmsTest, EmptyInput) {
+  for (Algorithm a : kAllAlgorithms) {
+    const Packing packing = Pack({}, 10, a);
+    EXPECT_EQ(packing.num_bins(), 0u) << AlgorithmName(a);
+  }
+}
+
+TEST(AlgorithmsTest, SingleItem) {
+  for (Algorithm a : kAllAlgorithms) {
+    const Packing packing = Pack({7}, 10, a);
+    EXPECT_EQ(packing.num_bins(), 1u) << AlgorithmName(a);
+  }
+}
+
+TEST(AlgorithmsTest, PerfectFitPairs) {
+  // Items pair up exactly: FFD should find the 3-bin optimum.
+  const std::vector<uint64_t> sizes = {7, 3, 6, 4, 5, 5};
+  const Packing ffd = Pack(sizes, 10, Algorithm::kFirstFitDecreasing);
+  EXPECT_EQ(ffd.num_bins(), 3u);
+}
+
+TEST(AlgorithmsTest, NextFitKeepsOrder) {
+  // NextFit never revisits a closed bin: after 7 opens bin 1, item 2
+  // (size 4) cannot return to bin 0 under NF but can under FF.
+  const std::vector<uint64_t> sizes = {6, 7, 4};
+  const Packing nf = Pack(sizes, 10, Algorithm::kNextFit);
+  EXPECT_EQ(nf.num_bins(), 3u);
+  const Packing ff = Pack(sizes, 10, Algorithm::kFirstFit);
+  EXPECT_EQ(ff.num_bins(), 2u);  // 4 joins the 6
+}
+
+TEST(AlgorithmsTest, BestFitPrefersTightBin) {
+  // After 7 and 5 open two bins (residuals 3 and 5), item 3 goes to the
+  // residual-3 bin under BF but to the first (residual-3) bin under FF
+  // as well; distinguish with residuals 4 and 3.
+  const std::vector<uint64_t> sizes = {6, 7, 3};
+  const Packing bf = Pack(sizes, 10, Algorithm::kBestFit);
+  ASSERT_EQ(bf.num_bins(), 2u);
+  // BF puts item 2 (size 3) with item 1 (size 7): residual 3 beats 4.
+  EXPECT_EQ(bf.bins[1], (std::vector<ItemIndex>{1, 2}));
+}
+
+TEST(AlgorithmsTest, WorstFitPrefersEmptyBin) {
+  const std::vector<uint64_t> sizes = {6, 7, 3};
+  const Packing wf = Pack(sizes, 10, Algorithm::kWorstFit);
+  ASSERT_EQ(wf.num_bins(), 2u);
+  // WF puts item 2 (size 3) with item 0 (size 6): residual 4 beats 3.
+  EXPECT_EQ(wf.bins[0], (std::vector<ItemIndex>{0, 2}));
+}
+
+TEST(AlgorithmsTest, FfdClassicWorstCaseStaysWithinBound) {
+  // Classic FFD stressor: sizes around c/2 and c/4.
+  std::vector<uint64_t> sizes;
+  for (int i = 0; i < 6; ++i) sizes.push_back(51);
+  for (int i = 0; i < 6; ++i) sizes.push_back(27);
+  for (int i = 0; i < 6; ++i) sizes.push_back(26);
+  for (int i = 0; i < 12; ++i) sizes.push_back(23);
+  const Packing ffd = Pack(sizes, 100, Algorithm::kFirstFitDecreasing);
+  const uint64_t lb = LowerBoundL2(sizes, 100);
+  EXPECT_LE(ffd.num_bins(), (11 * lb) / 9 + 1);
+}
+
+struct PackerParam {
+  Algorithm algorithm;
+  uint64_t seed;
+};
+
+class PackerPropertyTest : public ::testing::TestWithParam<PackerParam> {};
+
+TEST_P(PackerPropertyTest, RandomInstancesAreValidAndBounded) {
+  const PackerParam param = GetParam();
+  Rng rng(param.seed);
+  for (int round = 0; round < 20; ++round) {
+    const uint64_t capacity = 50 + rng.UniformInt(200);
+    const std::size_t n = 1 + rng.UniformInt(120);
+    std::vector<uint64_t> sizes(n);
+    for (auto& w : sizes) w = 1 + rng.UniformInt(capacity);
+    const Packing packing = Pack(sizes, capacity, param.algorithm);
+    std::string error;
+    ASSERT_TRUE(IsValidPacking(sizes, packing, &error))
+        << AlgorithmName(param.algorithm) << ": " << error;
+    const uint64_t l1 = LowerBoundL1(sizes, capacity);
+    const uint64_t l2 = LowerBoundL2(sizes, capacity);
+    EXPECT_GE(l2, l1);
+    EXPECT_GE(packing.num_bins(), l2);
+    // Any Any-Fit heuristic is within 2x of L1 (each pair of
+    // consecutive bins holds > capacity together); NextFit included.
+    EXPECT_LE(packing.num_bins(), 2 * std::max<uint64_t>(l1, 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPackers, PackerPropertyTest,
+    ::testing::Values(PackerParam{Algorithm::kNextFit, 101},
+                      PackerParam{Algorithm::kFirstFit, 102},
+                      PackerParam{Algorithm::kBestFit, 103},
+                      PackerParam{Algorithm::kWorstFit, 104},
+                      PackerParam{Algorithm::kFirstFitDecreasing, 105},
+                      PackerParam{Algorithm::kBestFitDecreasing, 106}),
+    [](const ::testing::TestParamInfo<PackerParam>& info) {
+      return AlgorithmName(info.param.algorithm) +
+             std::to_string(info.index);
+    });
+
+TEST(BoundsTest, L1SimpleCases) {
+  EXPECT_EQ(LowerBoundL1({}, 10), 0u);
+  EXPECT_EQ(LowerBoundL1({10}, 10), 1u);
+  EXPECT_EQ(LowerBoundL1({5, 5, 1}, 10), 2u);
+}
+
+TEST(BoundsTest, L2DominatesL1OnLargeItems) {
+  // Three items of size 6 with capacity 10: L1 = 2 but L2 = 3 (no two
+  // can share a bin).
+  const std::vector<uint64_t> sizes = {6, 6, 6};
+  EXPECT_EQ(LowerBoundL1(sizes, 10), 2u);
+  EXPECT_EQ(LowerBoundL2(sizes, 10), 3u);
+}
+
+TEST(BoundsTest, L2ExactOnHalfPlusOne) {
+  // Items just over half capacity cannot pair: L2 must count them all.
+  std::vector<uint64_t> sizes(9, 51);
+  EXPECT_EQ(LowerBoundL2(sizes, 100), 9u);
+}
+
+TEST(ExactTest, EmptyInstance) {
+  const auto result = PackExact({}, 10);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->packing.num_bins(), 0u);
+}
+
+TEST(ExactTest, FindsKnownOptimum) {
+  // {6,6,6,4,4,4} with c=10 packs as three (6,4) bins.
+  const auto result = PackExact({6, 6, 6, 4, 4, 4}, 10);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->packing.num_bins(), 3u);
+  std::string error;
+  EXPECT_TRUE(IsValidPacking({6, 6, 6, 4, 4, 4}, result->packing, &error))
+      << error;
+}
+
+TEST(ExactTest, BeatsFfdWhenFfdIsSuboptimal) {
+  // Classic instance where FFD uses one bin more than optimal:
+  // c = 10, items {5,5,4,4,3,3,3,3}: optimal 3 bins
+  // (5+5, 4+3+3, 4+3+3); FFD opens 4.
+  const std::vector<uint64_t> sizes = {5, 5, 4, 4, 3, 3, 3, 3};
+  const Packing ffd = Pack(sizes, 10, Algorithm::kFirstFitDecreasing);
+  EXPECT_EQ(ffd.num_bins(), 4u);
+  const auto exact = PackExact(sizes, 10);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->packing.num_bins(), 3u);
+}
+
+TEST(ExactTest, RandomInstancesMatchBoundsAndValidate) {
+  Rng rng(2024);
+  for (int round = 0; round < 15; ++round) {
+    const uint64_t capacity = 20 + rng.UniformInt(50);
+    const std::size_t n = 2 + rng.UniformInt(11);
+    std::vector<uint64_t> sizes(n);
+    for (auto& w : sizes) w = 1 + rng.UniformInt(capacity);
+    const auto exact = PackExact(sizes, capacity);
+    ASSERT_TRUE(exact.has_value());
+    std::string error;
+    ASSERT_TRUE(IsValidPacking(sizes, exact->packing, &error)) << error;
+    EXPECT_GE(exact->packing.num_bins(), LowerBoundL2(sizes, capacity));
+    // The optimum can never beat every heuristic... but must be <= FFD.
+    const Packing ffd = Pack(sizes, capacity, Algorithm::kFirstFitDecreasing);
+    EXPECT_LE(exact->packing.num_bins(), ffd.num_bins());
+  }
+}
+
+}  // namespace
+}  // namespace msp::bp

@@ -1,0 +1,129 @@
+// Tests for the reducer/communication lower bounds.
+//
+// The key property: every bound must be dominated by the true optimum.
+// We certify this against the exact solvers on small instances and
+// against hand-computed values.
+
+#include "core/bounds.h"
+#include "core/exact.h"
+#include "core/instance.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace msp {
+namespace {
+
+TEST(MaxInputsWithinBudgetTest, TakesSmallestFirst) {
+  EXPECT_EQ(MaxInputsWithinBudget({5, 1, 3, 2}, 6), 3u);  // 1+2+3
+  EXPECT_EQ(MaxInputsWithinBudget({5, 1, 3, 2}, 1), 1u);
+  EXPECT_EQ(MaxInputsWithinBudget({5, 4}, 3), 0u);
+  EXPECT_EQ(MaxInputsWithinBudget({}, 3), 0u);
+}
+
+TEST(A2ABoundsTest, TrivialInstance) {
+  const auto in = A2AInstance::Create({5}, 10);
+  const A2ALowerBounds lb = A2ALowerBounds::Compute(*in);
+  EXPECT_EQ(lb.reducers, 0u);
+}
+
+TEST(A2ABoundsTest, EqualSizedHandComputed) {
+  // m = 6 inputs of size 1, q = 2: every reducer holds one pair, so
+  // 15 reducers are necessary. All bounds must agree on >= 15... the
+  // pair-count bound reaches exactly 15.
+  const auto in = A2AInstance::Create(std::vector<InputSize>(6, 1), 2);
+  const A2ALowerBounds lb = A2ALowerBounds::Compute(*in);
+  EXPECT_EQ(lb.pair_count, 15u);
+  EXPECT_GE(lb.reducers, 15u);
+}
+
+TEST(A2ABoundsTest, SchonheimMatchesKnownCoveringNumbers) {
+  // C(7,3,2) = 7 (the Fano plane); Schönheim gives ceil(7/3*ceil(6/2))
+  // = ceil(7) = 7.
+  const auto in = A2AInstance::Create(std::vector<InputSize>(7, 1), 3);
+  const A2ALowerBounds lb = A2ALowerBounds::Compute(*in);
+  EXPECT_EQ(lb.schonheim, 7u);
+}
+
+TEST(A2ABoundsTest, ReplicationBoundOnSkewedSizes) {
+  // One input of size 9 with q = 10 can host partners of size 1 per
+  // copy; with 5 partner units it needs ceil(5/1) = 5 copies.
+  const auto in = A2AInstance::Create({9, 1, 1, 1, 1, 1}, 10);
+  const A2ALowerBounds lb = A2ALowerBounds::Compute(*in);
+  // comm >= 9*5 (big input) + 5 smalls * 1 copy... at least 50.
+  EXPECT_GE(lb.communication, 50u);
+  EXPECT_GE(lb.replication, 5u);
+}
+
+TEST(A2ABoundsTest, BoundsNeverExceedExactOptimum) {
+  Rng rng(31);
+  for (int round = 0; round < 12; ++round) {
+    const uint64_t q = 8 + rng.UniformInt(12);
+    const std::size_t m = 3 + rng.UniformInt(4);  // 3..6 inputs
+    std::vector<InputSize> sizes(m);
+    for (auto& w : sizes) w = 1 + rng.UniformInt(q / 2);
+    auto in = A2AInstance::Create(sizes, q);
+    ASSERT_TRUE(in.has_value());
+    if (!in->IsFeasible()) continue;
+    const auto exact = ExactMinReducersA2A(*in, {.max_nodes = 4'000'000});
+    if (!exact.has_value()) continue;  // budget exhausted: skip
+    const A2ALowerBounds lb = A2ALowerBounds::Compute(*in);
+    EXPECT_LE(lb.reducers, exact->schema.num_reducers())
+        << "q=" << q << " m=" << m;
+  }
+}
+
+TEST(X2YBoundsTest, TrivialWhenOneSideEmpty) {
+  const auto in = X2YInstance::Create({5}, {}, 10);
+  const X2YLowerBounds lb = X2YLowerBounds::Compute(*in);
+  EXPECT_EQ(lb.reducers, 0u);
+}
+
+TEST(X2YBoundsTest, PairMassHandComputed) {
+  // W_X = W_Y = 10, q = 10: per-reducer coverage <= 25, mass = 100,
+  // so z >= 4.
+  const auto in = X2YInstance::Create(std::vector<InputSize>(10, 1),
+                                      std::vector<InputSize>(10, 1), 10);
+  const X2YLowerBounds lb = X2YLowerBounds::Compute(*in);
+  EXPECT_GE(lb.pair_mass, 4u);
+}
+
+TEST(X2YBoundsTest, PairCountHandComputed) {
+  // 4 x-inputs and 4 y-inputs of size 1, q = 4: best reducer covers
+  // a*b with a+b <= 4 -> 4 pairs; 16 outputs -> z >= 4.
+  const auto in = X2YInstance::Create(std::vector<InputSize>(4, 1),
+                                      std::vector<InputSize>(4, 1), 4);
+  const X2YLowerBounds lb = X2YLowerBounds::Compute(*in);
+  EXPECT_EQ(lb.pair_count, 4u);
+}
+
+TEST(X2YBoundsTest, ReplicationAsymmetric) {
+  // X side is one big input of size 8, q = 10: it must meet W_Y = 6
+  // with 2 units of room per copy -> 3 copies, comm >= 24 + y-side.
+  const auto in =
+      X2YInstance::Create({8}, std::vector<InputSize>(6, 1), 10);
+  const X2YLowerBounds lb = X2YLowerBounds::Compute(*in);
+  EXPECT_GE(lb.communication, 24u + 6u);
+}
+
+TEST(X2YBoundsTest, BoundsNeverExceedExactOptimum) {
+  Rng rng(37);
+  for (int round = 0; round < 12; ++round) {
+    const uint64_t q = 8 + rng.UniformInt(10);
+    const std::size_t m = 2 + rng.UniformInt(3);
+    const std::size_t n = 2 + rng.UniformInt(3);
+    std::vector<InputSize> xs(m);
+    std::vector<InputSize> ys(n);
+    for (auto& w : xs) w = 1 + rng.UniformInt(q / 2);
+    for (auto& w : ys) w = 1 + rng.UniformInt(q / 2);
+    auto in = X2YInstance::Create(xs, ys, q);
+    ASSERT_TRUE(in.has_value());
+    if (!in->IsFeasible()) continue;
+    const auto exact = ExactMinReducersX2Y(*in, {.max_nodes = 4'000'000});
+    if (!exact.has_value()) continue;
+    const X2YLowerBounds lb = X2YLowerBounds::Compute(*in);
+    EXPECT_LE(lb.reducers, exact->schema.num_reducers());
+  }
+}
+
+}  // namespace
+}  // namespace msp

@@ -1,0 +1,203 @@
+// Tests for the mspctl subcommand implementations (sizes file parsing
+// and end-to-end command flows through temp files).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+#include "cli/sizes_io.h"
+#include "gtest/gtest.h"
+#include "util/flags.h"
+
+namespace msp::cli {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/msp_cli_" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+struct CommandResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CommandResult RunCli(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "mspctl");
+  const ArgParser parser(static_cast<int>(argv.size()), argv.data());
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = RunCommand(parser, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(SizesIoTest, ParsesPlainAndCommented) {
+  std::istringstream in("5\n# comment\n7 9\n\n3 # trailing\n");
+  std::string error;
+  const auto sizes = ParseSizes(in, &error);
+  ASSERT_TRUE(sizes.has_value()) << error;
+  EXPECT_EQ(*sizes, (std::vector<InputSize>{5, 7, 9, 3}));
+}
+
+TEST(SizesIoTest, RejectsZeroAndGarbage) {
+  std::string error;
+  std::istringstream zero("1\n0\n");
+  EXPECT_FALSE(ParseSizes(zero, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  std::istringstream garbage("1\ntwo\n");
+  EXPECT_FALSE(ParseSizes(garbage, &error).has_value());
+}
+
+TEST(SizesIoTest, FileRoundTrip) {
+  const std::string path = TempPath("roundtrip.sizes");
+  ASSERT_TRUE(WriteSizesFile(path, {4, 5, 6}));
+  std::string error;
+  const auto sizes = ReadSizesFile(path, &error);
+  ASSERT_TRUE(sizes.has_value()) << error;
+  EXPECT_EQ(*sizes, (std::vector<InputSize>{4, 5, 6}));
+  std::remove(path.c_str());
+}
+
+TEST(SizesIoTest, MissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(ReadSizesFile("/nonexistent/xyz.sizes", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(CommandsTest, NoCommandPrintsUsage) {
+  const CommandResult result = RunCli({});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("usage:"), std::string::npos);
+}
+
+TEST(CommandsTest, UnknownCommandFails) {
+  const CommandResult result = RunCli({"frobnicate"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CommandsTest, HelpSucceeds) {
+  const CommandResult result = RunCli({"help"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("mspctl"), std::string::npos);
+}
+
+TEST(CommandsTest, GenProducesParsableSizes) {
+  const CommandResult result =
+      RunCli({"gen", "--m=50", "--dist=zipf", "--lo=2", "--hi=40",
+           "--seed=9"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  std::istringstream in(result.out);
+  std::string error;
+  const auto sizes = ParseSizes(in, &error);
+  ASSERT_TRUE(sizes.has_value()) << error;
+  EXPECT_EQ(sizes->size(), 50u);
+}
+
+TEST(CommandsTest, GenRejectsBadDistribution) {
+  const CommandResult result = RunCli({"gen", "--dist=cauchy"});
+  EXPECT_EQ(result.code, 2);
+}
+
+TEST(CommandsTest, SolveValidateImproveFlow) {
+  // gen -> solve-a2a -> validate -> improve, through real files.
+  const std::string sizes_path = TempPath("flow.sizes");
+  WriteFile(sizes_path, "40 35 30 25\n20 15 10 5\n");
+
+  const CommandResult solved = RunCli(
+      {"solve-a2a", "--sizes", sizes_path.c_str(), "--q=100",
+       "--algorithm=naive-all-pairs"});
+  ASSERT_EQ(solved.code, 0) << solved.err;
+  EXPECT_NE(solved.err.find("reducers=28"), std::string::npos);
+
+  const std::string schema_path = TempPath("flow.schema");
+  WriteFile(schema_path, solved.out);
+
+  const CommandResult valid = RunCli({"validate", "--sizes", sizes_path.c_str(),
+                                   "--q=100", "--schema",
+                                   schema_path.c_str()});
+  EXPECT_EQ(valid.code, 0) << valid.out;
+  EXPECT_NE(valid.out.find("valid"), std::string::npos);
+
+  const CommandResult improved =
+      RunCli({"improve", "--sizes", sizes_path.c_str(), "--q=100", "--schema",
+           schema_path.c_str()});
+  ASSERT_EQ(improved.code, 0) << improved.err;
+  // The naive 28-reducer schema is mergeable; write it back and
+  // re-validate.
+  const std::string improved_path = TempPath("flow2.schema");
+  WriteFile(improved_path, improved.out);
+  const CommandResult revalid =
+      RunCli({"validate", "--sizes", sizes_path.c_str(), "--q=100", "--schema",
+           improved_path.c_str()});
+  EXPECT_EQ(revalid.code, 0) << revalid.out;
+
+  std::remove(sizes_path.c_str());
+  std::remove(schema_path.c_str());
+  std::remove(improved_path.c_str());
+}
+
+TEST(CommandsTest, ValidateDetectsBrokenSchema) {
+  const std::string sizes_path = TempPath("broken.sizes");
+  WriteFile(sizes_path, "5 5 5\n");
+  const std::string schema_path = TempPath("broken.schema");
+  WriteFile(schema_path, "mapping-schema v1\nreducers 1\n0 1\n");
+  const CommandResult result =
+      RunCli({"validate", "--sizes", sizes_path.c_str(), "--q=100", "--schema",
+           schema_path.c_str()});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.out.find("INVALID"), std::string::npos);
+  std::remove(sizes_path.c_str());
+  std::remove(schema_path.c_str());
+}
+
+TEST(CommandsTest, BoundsOnInfeasibleInstance) {
+  const std::string sizes_path = TempPath("infeasible.sizes");
+  WriteFile(sizes_path, "90 90\n");
+  const CommandResult result =
+      RunCli({"bounds", "--sizes", sizes_path.c_str(), "--q=100"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.out.find("infeasible"), std::string::npos);
+  std::remove(sizes_path.c_str());
+}
+
+TEST(CommandsTest, BoundsPrintsTable) {
+  const std::string sizes_path = TempPath("bounds.sizes");
+  WriteFile(sizes_path, "10 10 10 10 10 10\n");
+  const CommandResult result =
+      RunCli({"bounds", "--sizes", sizes_path.c_str(), "--q=30"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("reducers (max)"), std::string::npos);
+  std::remove(sizes_path.c_str());
+}
+
+TEST(CommandsTest, SolveX2YFlow) {
+  const std::string x_path = TempPath("x.sizes");
+  const std::string y_path = TempPath("y.sizes");
+  WriteFile(x_path, "5 5 5 5\n");
+  WriteFile(y_path, "3 3\n");
+  const CommandResult result =
+      RunCli({"solve-x2y", "--x-sizes", x_path.c_str(), "--y-sizes",
+           y_path.c_str(), "--q=16"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("mapping-schema v1"), std::string::npos);
+  std::remove(x_path.c_str());
+  std::remove(y_path.c_str());
+}
+
+TEST(CommandsTest, MissingRequiredOptions) {
+  EXPECT_EQ(RunCli({"solve-a2a"}).code, 2);
+  EXPECT_EQ(RunCli({"solve-x2y", "--q=10"}).code, 2);
+  EXPECT_EQ(RunCli({"validate", "--q=10"}).code, 2);
+}
+
+}  // namespace
+}  // namespace msp::cli

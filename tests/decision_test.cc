@@ -1,0 +1,52 @@
+// Tests for the NP-complete decision variants.
+
+#include "core/decision.h"
+#include "core/instance.h"
+#include "gtest/gtest.h"
+
+namespace msp {
+namespace {
+
+TEST(DecisionA2ATest, TrivialYes) {
+  auto in = A2AInstance::Create({5}, 10);
+  EXPECT_EQ(ExistsSchemaA2A(*in, 0), DecisionAnswer::kYes);
+}
+
+TEST(DecisionA2ATest, InfeasibleIsNoForAnyZ) {
+  auto in = A2AInstance::Create({9, 9}, 10);
+  EXPECT_EQ(ExistsSchemaA2A(*in, 1'000'000), DecisionAnswer::kNo);
+}
+
+TEST(DecisionA2ATest, ThresholdAtOptimum) {
+  // 4 unit inputs, q = 2: optimum is 6 reducers.
+  auto in = A2AInstance::Create(std::vector<InputSize>(4, 1), 2);
+  EXPECT_EQ(ExistsSchemaA2A(*in, 5), DecisionAnswer::kNo);
+  EXPECT_EQ(ExistsSchemaA2A(*in, 6), DecisionAnswer::kYes);
+  EXPECT_EQ(ExistsSchemaA2A(*in, 7), DecisionAnswer::kYes);
+}
+
+TEST(DecisionA2ATest, BudgetExhaustionIsUnknown) {
+  auto in = A2AInstance::Create(std::vector<InputSize>(8, 1), 3);
+  EXPECT_EQ(ExistsSchemaA2A(*in, 11, {.max_nodes = 5}),
+            DecisionAnswer::kUnknown);
+}
+
+TEST(DecisionX2YTest, TrivialYes) {
+  auto in = X2YInstance::Create({}, {}, 10);
+  EXPECT_EQ(ExistsSchemaX2Y(*in, 0), DecisionAnswer::kYes);
+}
+
+TEST(DecisionX2YTest, InfeasibleIsNo) {
+  auto in = X2YInstance::Create({6}, {5}, 10);
+  EXPECT_EQ(ExistsSchemaX2Y(*in, 100), DecisionAnswer::kNo);
+}
+
+TEST(DecisionX2YTest, ThresholdAtOptimum) {
+  // 2x2 grid of size-5 inputs, q = 10: optimum 4.
+  auto in = X2YInstance::Create({5, 5}, {5, 5}, 10);
+  EXPECT_EQ(ExistsSchemaX2Y(*in, 3), DecisionAnswer::kNo);
+  EXPECT_EQ(ExistsSchemaX2Y(*in, 4), DecisionAnswer::kYes);
+}
+
+}  // namespace
+}  // namespace msp

@@ -1,0 +1,153 @@
+// Stress and interplay tests for the MapReduce engine: heavier jobs,
+// replication + combiner interaction, batching edge cases, and
+// determinism under varying parallelism.
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "core/a2a.h"
+#include "core/instance.h"
+#include "gtest/gtest.h"
+#include "mapreduce/engine.h"
+#include "mapreduce/job.h"
+#include "mapreduce/schema_partitioner.h"
+#include "workload/sizes.h"
+
+namespace msp::mr {
+namespace {
+
+class EchoReducer : public GroupReducer {
+ public:
+  void Reduce(ReducerIndex r, const KeyValueList& group,
+              KeyValueList* out) const override {
+    uint64_t bytes = 0;
+    for (const KeyValue& kv : group) bytes += kv.SizeBytes();
+    out->push_back({r, std::to_string(bytes)});
+  }
+};
+
+TEST(EngineStressTest, TenThousandRecordsAcrossBatchSizes) {
+  KeyValueList inputs;
+  for (uint64_t i = 0; i < 10'000; ++i) {
+    inputs.push_back({i, std::string(1 + i % 13, 'v')});
+  }
+  IdentityMapper mapper;
+  HashPartitioner partitioner(32);
+  EchoReducer reducer;
+
+  std::vector<std::string> reference;
+  for (std::size_t batch : {1u, 7u, 1024u, 20'000u}) {
+    MapReduceEngine engine({.num_workers = 3, .map_batch_size = batch});
+    KeyValueList output;
+    const JobMetrics metrics =
+        engine.Run(inputs, mapper, partitioner, reducer, &output);
+    EXPECT_EQ(metrics.input_records, 10'000u);
+    EXPECT_EQ(metrics.shuffle_records, 10'000u);
+    EXPECT_EQ(metrics.non_empty_reducers, 32u);
+    std::vector<std::string> flat;
+    for (const auto& kv : output) {
+      flat.push_back(std::to_string(kv.key) + "=" + kv.value);
+    }
+    std::sort(flat.begin(), flat.end());
+    if (reference.empty()) {
+      reference = flat;
+    } else {
+      EXPECT_EQ(flat, reference) << "batch=" << batch;
+    }
+  }
+}
+
+TEST(EngineStressTest, HighReplicationSchemaJob) {
+  // A schema with heavy replication: equal grouping with small k.
+  const std::size_t m = 256;
+  auto instance = A2AInstance::Create(wl::EqualSizes(m, 1), 4);
+  auto schema = SolveA2AEqualGrouping(*instance);
+  ASSERT_TRUE(schema.has_value());
+
+  KeyValueList inputs;
+  for (std::size_t i = 0; i < m; ++i) inputs.push_back({i, "z"});
+  IdentityMapper mapper;
+  SchemaPartitioner partitioner(*schema, m);
+  EchoReducer reducer;
+  MapReduceEngine engine({.num_workers = 4});
+  KeyValueList output;
+  const JobMetrics metrics =
+      engine.Run(inputs, mapper, partitioner, reducer, &output);
+  // Every group pairs with g-1 others; replication = g - 1 = 127.
+  EXPECT_EQ(metrics.shuffle_records, m * 127u);
+  EXPECT_EQ(metrics.non_empty_reducers, schema->num_reducers());
+  EXPECT_EQ(output.size(), schema->num_reducers());
+}
+
+// A combiner that drops every record (extreme but legal): reducers
+// then see empty groups and produce nothing.
+class DropAllCombiner : public Combiner {
+ public:
+  void Combine(ReducerIndex, KeyValueList* group) const override {
+    group->clear();
+  }
+};
+
+TEST(EngineStressTest, CombinerMayDropEverything) {
+  KeyValueList inputs = {{0, "abc"}, {1, "def"}};
+  IdentityMapper mapper;
+  HashPartitioner partitioner(2);
+  EchoReducer reducer;
+  DropAllCombiner combiner;
+  MapReduceEngine engine({.num_workers = 2});
+  KeyValueList output;
+  const JobMetrics metrics =
+      engine.Run(inputs, mapper, partitioner, &combiner, reducer, &output);
+  EXPECT_EQ(metrics.shuffle_records, 0u);
+  EXPECT_EQ(metrics.shuffle_bytes, 0u);
+  EXPECT_TRUE(output.empty());
+}
+
+// Mapper that emits multiple records per input (fan-out), stressing
+// the map_output accounting.
+class FanOutMapper : public Mapper {
+ public:
+  void Map(const KeyValue& input, KeyValueList* out) const override {
+    for (int copy = 0; copy < 5; ++copy) {
+      out->push_back({input.key * 5 + copy, input.value});
+    }
+  }
+};
+
+TEST(EngineStressTest, MapperFanOutAccounting) {
+  KeyValueList inputs;
+  for (uint64_t i = 0; i < 100; ++i) inputs.push_back({i, "xy"});
+  FanOutMapper mapper;
+  HashPartitioner partitioner(8);
+  EchoReducer reducer;
+  MapReduceEngine engine({.num_workers = 2});
+  KeyValueList output;
+  const JobMetrics metrics =
+      engine.Run(inputs, mapper, partitioner, reducer, &output);
+  EXPECT_EQ(metrics.map_output_records, 500u);
+  EXPECT_EQ(metrics.shuffle_records, 500u);
+  EXPECT_EQ(metrics.shuffle_bytes, 1000u);
+}
+
+TEST(EngineStressTest, SingleWorkerMatchesManyWorkersUnderCombiner) {
+  KeyValueList inputs;
+  for (uint64_t i = 0; i < 2'000; ++i) {
+    inputs.push_back({i % 37, std::string(3, 'a' + i % 26)});
+  }
+  IdentityMapper mapper;
+  HashPartitioner partitioner(5);
+  EchoReducer reducer;
+  DropAllCombiner combiner;  // deterministic regardless of batching
+  auto run = [&](std::size_t workers) {
+    MapReduceEngine engine({.num_workers = workers, .map_batch_size = 64});
+    KeyValueList output;
+    return engine.Run(inputs, mapper, partitioner, &combiner, reducer,
+                      &output)
+        .shuffle_records;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+}  // namespace
+}  // namespace msp::mr

@@ -1,0 +1,147 @@
+// Tests for the exact minimum-reducer solvers.
+//
+// These certify three things: (1) the exact schemas are valid, (2) they
+// match hand-computed optima, and (3) no heuristic ever beats them —
+// i.e., the search really is exhaustive over irredundant schemas.
+
+#include <vector>
+
+#include "core/a2a.h"
+#include "core/bounds.h"
+#include "core/exact.h"
+#include "core/instance.h"
+#include "core/validate.h"
+#include "core/x2y.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace msp {
+namespace {
+
+TEST(ExactA2ATest, TrivialInstances) {
+  auto in = A2AInstance::Create({5}, 10);
+  const auto result = ExactMinReducersA2A(*in);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->schema.num_reducers(), 0u);
+}
+
+TEST(ExactA2ATest, InfeasibleReturnsNullopt) {
+  auto in = A2AInstance::Create({9, 9}, 10);
+  EXPECT_FALSE(ExactMinReducersA2A(*in).has_value());
+}
+
+TEST(ExactA2ATest, SingleReducerOptimum) {
+  auto in = A2AInstance::Create({2, 3, 4}, 9);
+  const auto result = ExactMinReducersA2A(*in);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->schema.num_reducers(), 1u);
+}
+
+TEST(ExactA2ATest, EqualSizesKnownOptimum) {
+  // 4 inputs of size 1, q = 2: each reducer covers one pair -> 6.
+  auto in = A2AInstance::Create(std::vector<InputSize>(4, 1), 2);
+  const auto result = ExactMinReducersA2A(*in);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->schema.num_reducers(), 6u);
+  EXPECT_TRUE(ValidateA2A(*in, result->schema).ok);
+}
+
+TEST(ExactA2ATest, FanoPlaneCover) {
+  // 7 inputs of size 1, q = 3: the Fano plane covers all pairs with 7
+  // triples, and 7 is optimal (Schönheim).
+  auto in = A2AInstance::Create(std::vector<InputSize>(7, 1), 3);
+  const auto result = ExactMinReducersA2A(*in, {.max_nodes = 50'000'000});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->schema.num_reducers(), 7u);
+  EXPECT_TRUE(ValidateA2A(*in, result->schema).ok);
+}
+
+TEST(ExactA2ATest, HeuristicsNeverBeatExact) {
+  Rng rng(41);
+  for (int round = 0; round < 10; ++round) {
+    const uint64_t q = 6 + rng.UniformInt(10);
+    const std::size_t m = 3 + rng.UniformInt(4);
+    std::vector<InputSize> sizes(m);
+    for (auto& w : sizes) w = 1 + rng.UniformInt(q / 2);
+    auto in = A2AInstance::Create(sizes, q);
+    ASSERT_TRUE(in.has_value());
+    if (!in->IsFeasible()) continue;
+    const auto exact = ExactMinReducersA2A(*in, {.max_nodes = 4'000'000});
+    if (!exact.has_value()) continue;
+    ASSERT_TRUE(ValidateA2A(*in, exact->schema).ok);
+    for (A2AAlgorithm algo :
+         {A2AAlgorithm::kBinPackPairing, A2AAlgorithm::kBigSmall,
+          A2AAlgorithm::kGreedyCover}) {
+      const auto heuristic = SolveA2A(*in, algo);
+      if (!heuristic.has_value()) continue;
+      EXPECT_GE(heuristic->num_reducers(), exact->schema.num_reducers())
+          << A2AAlgorithmName(algo);
+    }
+  }
+}
+
+TEST(ExactA2ATest, NodeBudgetExhaustionReturnsNullopt) {
+  auto in = A2AInstance::Create(std::vector<InputSize>(8, 1), 3);
+  EXPECT_FALSE(ExactMinReducersA2A(*in, {.max_nodes = 10}).has_value());
+}
+
+TEST(ExactX2YTest, TrivialInstances) {
+  auto in = X2YInstance::Create({5}, {}, 10);
+  const auto result = ExactMinReducersX2Y(*in);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->schema.num_reducers(), 0u);
+}
+
+TEST(ExactX2YTest, SingleReducerOptimum) {
+  auto in = X2YInstance::Create({2, 2}, {3}, 10);
+  const auto result = ExactMinReducersX2Y(*in);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->schema.num_reducers(), 1u);
+}
+
+TEST(ExactX2YTest, GridKnownOptimum) {
+  // 2 x-inputs of 5 and 2 y-inputs of 5, q = 10: every reducer holds
+  // one cross pair -> 4 reducers.
+  auto in = X2YInstance::Create({5, 5}, {5, 5}, 10);
+  const auto result = ExactMinReducersX2Y(*in);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->schema.num_reducers(), 4u);
+}
+
+TEST(ExactX2YTest, HeuristicsNeverBeatExact) {
+  Rng rng(43);
+  for (int round = 0; round < 10; ++round) {
+    const uint64_t q = 6 + rng.UniformInt(8);
+    const std::size_t m = 2 + rng.UniformInt(3);
+    const std::size_t n = 2 + rng.UniformInt(3);
+    std::vector<InputSize> xs(m);
+    std::vector<InputSize> ys(n);
+    for (auto& w : xs) w = 1 + rng.UniformInt(q / 2);
+    for (auto& w : ys) w = 1 + rng.UniformInt(q / 2);
+    auto in = X2YInstance::Create(xs, ys, q);
+    ASSERT_TRUE(in.has_value());
+    if (!in->IsFeasible()) continue;
+    const auto exact = ExactMinReducersX2Y(*in, {.max_nodes = 4'000'000});
+    if (!exact.has_value()) continue;
+    ASSERT_TRUE(ValidateX2Y(*in, exact->schema).ok);
+    for (X2YAlgorithm algo :
+         {X2YAlgorithm::kBinPackCross, X2YAlgorithm::kBinPackCrossTuned,
+          X2YAlgorithm::kBigSmall}) {
+      const auto heuristic = SolveX2Y(*in, algo);
+      if (!heuristic.has_value()) continue;
+      EXPECT_GE(heuristic->num_reducers(), exact->schema.num_reducers())
+          << X2YAlgorithmName(algo);
+    }
+  }
+}
+
+TEST(ExactX2YTest, OptimumAtLeastLowerBound) {
+  auto in = X2YInstance::Create({3, 3, 3}, {2, 2, 2}, 8);
+  const auto exact = ExactMinReducersX2Y(*in);
+  ASSERT_TRUE(exact.has_value());
+  const X2YLowerBounds lb = X2YLowerBounds::Compute(*in);
+  EXPECT_GE(exact->schema.num_reducers(), lb.reducers);
+}
+
+}  // namespace
+}  // namespace msp

@@ -1,0 +1,73 @@
+// Tests for the command-line argument parser.
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/flags.h"
+
+namespace msp {
+namespace {
+
+ArgParser Parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParserTest, PositionalArguments) {
+  const ArgParser parser = Parse({"solve", "extra"});
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "solve");
+  EXPECT_EQ(parser.positional()[1], "extra");
+}
+
+TEST(ArgParserTest, EqualsSyntax) {
+  const ArgParser parser = Parse({"--q=100", "--dist=zipf"});
+  EXPECT_EQ(parser.GetUint("q", 0), 100u);
+  EXPECT_EQ(parser.GetString("dist"), "zipf");
+}
+
+TEST(ArgParserTest, SpaceSyntax) {
+  const ArgParser parser = Parse({"--q", "100", "cmd"});
+  EXPECT_EQ(parser.GetUint("q", 0), 100u);
+  ASSERT_EQ(parser.positional().size(), 1u);
+  EXPECT_EQ(parser.positional()[0], "cmd");
+}
+
+TEST(ArgParserTest, BareFlag) {
+  const ArgParser parser = Parse({"--verbose", "--q=5"});
+  EXPECT_TRUE(parser.Has("verbose"));
+  EXPECT_EQ(parser.GetString("verbose"), "");
+  EXPECT_FALSE(parser.Has("quiet"));
+}
+
+TEST(ArgParserTest, Fallbacks) {
+  const ArgParser parser = Parse({});
+  EXPECT_EQ(parser.GetUint("missing", 7), 7u);
+  EXPECT_EQ(parser.GetDouble("missing", 1.5), 1.5);
+  EXPECT_EQ(parser.GetString("missing", "x"), "x");
+}
+
+TEST(ArgParserTest, MalformedNumbersAreNullopt) {
+  const ArgParser parser = Parse({"--q=12x", "--s=abc"});
+  EXPECT_FALSE(parser.GetUint("q", 0).has_value());
+  EXPECT_FALSE(parser.GetDouble("s", 0).has_value());
+}
+
+TEST(ArgParserTest, DoubleParsing) {
+  const ArgParser parser = Parse({"--skew=1.25"});
+  EXPECT_DOUBLE_EQ(*parser.GetDouble("skew", 0), 1.25);
+}
+
+TEST(ArgParserTest, OptionNames) {
+  const ArgParser parser = Parse({"--b=2", "--a=1"});
+  const auto names = parser.OptionNames();
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));  // sorted map
+}
+
+TEST(ArgParserTest, LastOccurrenceWins) {
+  const ArgParser parser = Parse({"--q=1", "--q=2"});
+  EXPECT_EQ(parser.GetUint("q", 0), 2u);
+}
+
+}  // namespace
+}  // namespace msp

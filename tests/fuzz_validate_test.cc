@@ -1,0 +1,150 @@
+// Mutation ("fuzz") tests for the validators: start from a schema that
+// is valid by construction, apply a random semantic-breaking mutation,
+// and require the validator to catch it. This guards the guard.
+
+#include <algorithm>
+#include <vector>
+
+#include "core/a2a.h"
+#include "core/instance.h"
+#include "core/schema.h"
+#include "core/validate.h"
+#include "core/x2y.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+#include "workload/sizes.h"
+
+namespace msp {
+namespace {
+
+// Removes one occurrence of input `id` everywhere except one reducer,
+// then removes it from that one too if a pair would survive — the
+// simplest way to guarantee a specific pair loses coverage: drop a
+// whole reducer instead when it uniquely covers some pair.
+enum class Mutation {
+  kDropReducer,
+  kDropInputCopy,
+  kInflateLoad,     // duplicate the heaviest reducer's members
+  kForeignInput,    // reference an out-of-range id
+};
+
+TEST(FuzzValidateA2ATest, MutationsAreCaughtOrHarmless) {
+  Rng rng(9090);
+  int caught = 0;
+  int harmless = 0;
+  for (int round = 0; round < 60; ++round) {
+    const uint64_t q = 40 + rng.UniformInt(80);
+    const std::size_t m = 6 + rng.UniformInt(20);
+    const auto sizes = wl::UniformSizes(m, 1, q / 2, rng.Next());
+    auto in = A2AInstance::Create(sizes, q);
+    ASSERT_TRUE(in.has_value());
+    auto schema = SolveA2ABigSmall(*in);
+    ASSERT_TRUE(schema.has_value());
+    ASSERT_TRUE(ValidateA2A(*in, *schema).ok);
+    if (schema->reducers.empty()) continue;
+
+    const auto mutation = static_cast<Mutation>(rng.UniformInt(4));
+    MappingSchema mutated = *schema;
+    bool must_fail = false;
+    switch (mutation) {
+      case Mutation::kDropReducer: {
+        const std::size_t r = rng.UniformInt(mutated.reducers.size());
+        mutated.reducers.erase(mutated.reducers.begin() +
+                               static_cast<std::ptrdiff_t>(r));
+        // Dropping a reducer may or may not break coverage (another
+        // reducer might cover the same pairs).
+        break;
+      }
+      case Mutation::kDropInputCopy: {
+        const std::size_t r = rng.UniformInt(mutated.reducers.size());
+        if (mutated.reducers[r].empty()) continue;
+        const std::size_t i = rng.UniformInt(mutated.reducers[r].size());
+        mutated.reducers[r].erase(mutated.reducers[r].begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+      case Mutation::kInflateLoad: {
+        // Duplicate a reducer's contents into another until it bursts.
+        std::size_t heaviest = 0;
+        uint64_t best = 0;
+        for (std::size_t r = 0; r < mutated.reducers.size(); ++r) {
+          uint64_t load = 0;
+          for (InputId id : mutated.reducers[r]) load += in->size(id);
+          if (load > best) {
+            best = load;
+            heaviest = r;
+          }
+        }
+        // Append every input not yet present until load > q.
+        uint64_t load = best;
+        for (InputId id = 0; id < m && load <= q; ++id) {
+          auto& reducer = mutated.reducers[heaviest];
+          if (std::find(reducer.begin(), reducer.end(), id) ==
+              reducer.end()) {
+            reducer.push_back(id);
+            load += in->size(id);
+          }
+        }
+        must_fail = load > q;
+        break;
+      }
+      case Mutation::kForeignInput: {
+        mutated.reducers[0].push_back(static_cast<InputId>(m + 5));
+        must_fail = true;
+        break;
+      }
+    }
+    const ValidationResult result = ValidateA2A(*in, mutated);
+    if (must_fail) {
+      EXPECT_FALSE(result.ok) << "mutation " << static_cast<int>(mutation)
+                              << " escaped the validator";
+    }
+    if (!result.ok) {
+      ++caught;
+      EXPECT_FALSE(result.error.empty());
+    } else {
+      ++harmless;
+    }
+  }
+  // The mutations are aggressive: most rounds must trip the validator.
+  EXPECT_GT(caught, harmless);
+}
+
+TEST(FuzzValidateX2YTest, DroppedCrossPairsAreCaught) {
+  Rng rng(8181);
+  int caught = 0;
+  for (int round = 0; round < 40; ++round) {
+    const uint64_t q = 40 + rng.UniformInt(60);
+    const auto xs = wl::UniformSizes(3 + rng.UniformInt(10), 1, q / 2,
+                                     rng.Next());
+    const auto ys = wl::UniformSizes(3 + rng.UniformInt(10), 1, q / 2,
+                                     rng.Next());
+    auto in = X2YInstance::Create(xs, ys, q);
+    ASSERT_TRUE(in.has_value());
+    auto schema = SolveX2YBinPackCross(*in);
+    ASSERT_TRUE(schema.has_value());
+    ASSERT_TRUE(ValidateX2Y(*in, *schema).ok);
+    if (schema->reducers.empty()) continue;
+    // In a bin-cross schema every reducer uniquely covers its cross
+    // pairs, so dropping any non-trivial reducer MUST break coverage.
+    MappingSchema mutated = *schema;
+    const std::size_t r = rng.UniformInt(mutated.reducers.size());
+    const Reducer dropped = mutated.reducers[r];
+    bool has_x = false;
+    bool has_y = false;
+    for (InputId id : dropped) {
+      (in->IsX(id) ? has_x : has_y) = true;
+    }
+    mutated.reducers.erase(mutated.reducers.begin() +
+                           static_cast<std::ptrdiff_t>(r));
+    const ValidationResult result = ValidateX2Y(*in, mutated);
+    if (has_x && has_y) {
+      EXPECT_FALSE(result.ok);
+      if (!result.ok) ++caught;
+    }
+  }
+  EXPECT_GT(caught, 20);
+}
+
+}  // namespace
+}  // namespace msp

@@ -1,0 +1,134 @@
+// Tests for the schema post-optimizer (merging and copy pruning).
+//
+// Invariant under test: improvement passes never invalidate a schema
+// and never increase its reducer count or communication cost.
+
+#include "core/a2a.h"
+#include "core/improve.h"
+#include "core/instance.h"
+#include "core/schema.h"
+#include "core/validate.h"
+#include "core/x2y.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+#include "workload/sizes.h"
+
+namespace msp {
+namespace {
+
+TEST(MergeReducersTest, CollapsesMergeablePair) {
+  auto instance = A2AInstance::Create({2, 2, 2, 2}, 10);
+  MappingSchema schema;
+  schema.AddReducer({0, 1});
+  schema.AddReducer({2, 3});
+  schema.AddReducer({0, 2});
+  schema.AddReducer({1, 3});
+  schema.AddReducer({0, 3});
+  schema.AddReducer({1, 2});
+  ASSERT_TRUE(ValidateA2A(*instance, schema).ok);
+  const ImproveStats stats = MergeReducers(*instance, &schema);
+  EXPECT_GT(stats.merges, 0u);
+  EXPECT_LT(stats.reducers_after, stats.reducers_before);
+  EXPECT_TRUE(ValidateA2A(*instance, schema).ok);
+  // All four inputs fit in one reducer (8 <= 10): fully collapsible.
+  EXPECT_EQ(schema.num_reducers(), 1u);
+}
+
+TEST(MergeReducersTest, RespectsCapacity) {
+  auto instance = A2AInstance::Create({5, 5, 5}, 10);
+  MappingSchema schema;
+  schema.AddReducer({0, 1});
+  schema.AddReducer({0, 2});
+  schema.AddReducer({1, 2});
+  const ImproveStats stats = MergeReducers(*instance, &schema);
+  EXPECT_EQ(stats.merges, 0u);  // any union would exceed q
+  EXPECT_EQ(schema.num_reducers(), 3u);
+  EXPECT_TRUE(ValidateA2A(*instance, schema).ok);
+}
+
+TEST(MergeReducersTest, UnifiesDuplicatesAcrossMerge) {
+  auto instance = A2AInstance::Create({3, 3, 3}, 9);
+  MappingSchema schema;
+  schema.AddReducer({0, 1});
+  schema.AddReducer({1, 2});  // shares input 1
+  const ImproveStats stats = MergeReducers(*instance, &schema);
+  EXPECT_EQ(stats.merges, 1u);
+  ASSERT_EQ(schema.num_reducers(), 1u);
+  EXPECT_EQ(schema.reducers[0], (Reducer{0, 1, 2}));
+  // Communication shrank: 12 -> 9 (input 1 no longer duplicated).
+  EXPECT_EQ(stats.communication_before, 12u);
+  EXPECT_EQ(stats.communication_after, 9u);
+}
+
+TEST(MergeReducersTest, NeverWorsensRandomSchemas) {
+  Rng rng(1212);
+  for (int round = 0; round < 10; ++round) {
+    const uint64_t q = 60 + rng.UniformInt(100);
+    const auto sizes =
+        wl::UniformSizes(10 + rng.UniformInt(40), 1, q / 2, rng.Next());
+    auto instance = A2AInstance::Create(sizes, q);
+    ASSERT_TRUE(instance.has_value());
+    auto schema = SolveA2AGreedyCover(*instance);
+    ASSERT_TRUE(schema.has_value());
+    const SchemaStats before = SchemaStats::Compute(*instance, *schema);
+    const ImproveStats stats = MergeReducers(*instance, &*schema);
+    const SchemaStats after = SchemaStats::Compute(*instance, *schema);
+    EXPECT_TRUE(ValidateA2A(*instance, *schema).ok);
+    EXPECT_LE(after.num_reducers, before.num_reducers);
+    EXPECT_LE(after.communication_cost, before.communication_cost);
+    EXPECT_EQ(stats.reducers_after, after.num_reducers);
+  }
+}
+
+TEST(MergeReducersTest, WorksOnX2YSchemas) {
+  auto instance = X2YInstance::Create({2, 2}, {2, 2}, 10);
+  auto schema = SolveX2YNaiveCross(*instance);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_EQ(schema->num_reducers(), 4u);
+  MergeReducers(*instance, &*schema);
+  EXPECT_TRUE(ValidateX2Y(*instance, *schema).ok);
+  EXPECT_LT(schema->num_reducers(), 4u);  // 8 total units fit in one
+}
+
+TEST(PruneRedundantCopiesTest, RemovesUselessCopy) {
+  auto instance = A2AInstance::Create({2, 2, 2}, 10);
+  MappingSchema schema;
+  schema.AddReducer({0, 1, 2});  // covers everything
+  schema.AddReducer({0, 1});     // fully redundant
+  const uint64_t removed = PruneRedundantCopiesA2A(*instance, &schema);
+  EXPECT_GE(removed, 2u);
+  EXPECT_TRUE(ValidateA2A(*instance, schema).ok);
+  EXPECT_EQ(schema.num_reducers(), 1u);
+}
+
+TEST(PruneRedundantCopiesTest, KeepsNecessaryCopies) {
+  auto instance = A2AInstance::Create({5, 5, 5}, 10);
+  MappingSchema schema;
+  schema.AddReducer({0, 1});
+  schema.AddReducer({0, 2});
+  schema.AddReducer({1, 2});
+  EXPECT_EQ(PruneRedundantCopiesA2A(*instance, &schema), 0u);
+  EXPECT_EQ(schema.num_reducers(), 3u);
+  EXPECT_TRUE(ValidateA2A(*instance, schema).ok);
+}
+
+TEST(PruneRedundantCopiesTest, NeverInvalidatesRandomSchemas) {
+  Rng rng(3434);
+  for (int round = 0; round < 10; ++round) {
+    const uint64_t q = 40 + rng.UniformInt(60);
+    const auto sizes =
+        wl::UniformSizes(8 + rng.UniformInt(25), 1, q / 2, rng.Next());
+    auto instance = A2AInstance::Create(sizes, q);
+    ASSERT_TRUE(instance.has_value());
+    auto schema = SolveA2ABigSmall(*instance);
+    ASSERT_TRUE(schema.has_value());
+    const SchemaStats before = SchemaStats::Compute(*instance, *schema);
+    PruneRedundantCopiesA2A(*instance, &*schema);
+    const SchemaStats after = SchemaStats::Compute(*instance, *schema);
+    EXPECT_TRUE(ValidateA2A(*instance, *schema).ok);
+    EXPECT_LE(after.communication_cost, before.communication_cost);
+  }
+}
+
+}  // namespace
+}  // namespace msp

@@ -1,0 +1,122 @@
+// Tests for problem instances and schema statistics.
+
+#include <optional>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schema.h"
+#include "gtest/gtest.h"
+
+namespace msp {
+namespace {
+
+TEST(A2AInstanceTest, CreateRejectsZeroCapacity) {
+  EXPECT_FALSE(A2AInstance::Create({1, 2}, 0).has_value());
+}
+
+TEST(A2AInstanceTest, CreateRejectsZeroSize) {
+  EXPECT_FALSE(A2AInstance::Create({1, 0, 2}, 10).has_value());
+}
+
+TEST(A2AInstanceTest, CreateRejectsOversizedInput) {
+  EXPECT_FALSE(A2AInstance::Create({1, 11}, 10).has_value());
+}
+
+TEST(A2AInstanceTest, CreateAcceptsEmpty) {
+  const auto instance = A2AInstance::Create({}, 10);
+  ASSERT_TRUE(instance.has_value());
+  EXPECT_EQ(instance->num_inputs(), 0u);
+  EXPECT_TRUE(instance->IsFeasible());
+  EXPECT_EQ(instance->NumOutputs(), 0u);
+}
+
+TEST(A2AInstanceTest, Aggregates) {
+  const auto instance = A2AInstance::Create({3, 7, 5}, 12);
+  ASSERT_TRUE(instance.has_value());
+  EXPECT_EQ(instance->total_size(), 15u);
+  EXPECT_EQ(instance->max_size(), 7u);
+  EXPECT_EQ(instance->min_size(), 3u);
+  EXPECT_EQ(instance->NumOutputs(), 3u);
+  EXPECT_FALSE(instance->AllSizesEqual());
+}
+
+TEST(A2AInstanceTest, FeasibilityIsTwoLargestFit) {
+  // 7 + 5 = 12 <= 12: feasible.
+  EXPECT_TRUE(A2AInstance::Create({3, 7, 5}, 12)->IsFeasible());
+  // 7 + 6 = 13 > 12: infeasible even though each fits alone.
+  EXPECT_FALSE(A2AInstance::Create({3, 7, 6}, 12)->IsFeasible());
+  // A single input is always feasible.
+  EXPECT_TRUE(A2AInstance::Create({12}, 12)->IsFeasible());
+}
+
+TEST(A2AInstanceTest, EqualSizesDetected) {
+  EXPECT_TRUE(A2AInstance::Create({4, 4, 4}, 12)->AllSizesEqual());
+  EXPECT_FALSE(A2AInstance::Create({4, 4, 5}, 12)->AllSizesEqual());
+}
+
+TEST(X2YInstanceTest, CreateValidatesBothSides) {
+  EXPECT_FALSE(X2YInstance::Create({1, 0}, {1}, 10).has_value());
+  EXPECT_FALSE(X2YInstance::Create({1}, {11}, 10).has_value());
+  EXPECT_TRUE(X2YInstance::Create({1}, {10}, 10).has_value());
+}
+
+TEST(X2YInstanceTest, GlobalIdLayout) {
+  const auto in = X2YInstance::Create({2, 3}, {4, 5, 6}, 10);
+  ASSERT_TRUE(in.has_value());
+  EXPECT_EQ(in->num_inputs(), 5u);
+  EXPECT_EQ(in->XId(1), 1u);
+  EXPECT_EQ(in->YId(0), 2u);
+  EXPECT_TRUE(in->IsX(0));
+  EXPECT_TRUE(in->IsX(1));
+  EXPECT_FALSE(in->IsX(2));
+  EXPECT_EQ(in->SizeOf(1), 3u);
+  EXPECT_EQ(in->SizeOf(4), 6u);
+}
+
+TEST(X2YInstanceTest, FeasibilityIsMaxPlusMax) {
+  EXPECT_TRUE(X2YInstance::Create({6}, {4}, 10)->IsFeasible());
+  EXPECT_FALSE(X2YInstance::Create({6}, {5}, 10)->IsFeasible());
+  // One side empty: trivially feasible (no outputs).
+  EXPECT_TRUE(X2YInstance::Create({10}, {}, 10)->IsFeasible());
+}
+
+TEST(X2YInstanceTest, OutputsAreCrossPairs) {
+  const auto in = X2YInstance::Create({1, 1, 1}, {1, 1}, 10);
+  EXPECT_EQ(in->NumOutputs(), 6u);
+}
+
+TEST(SchemaStatsTest, EmptySchema) {
+  const auto in = A2AInstance::Create({1, 2}, 10);
+  const SchemaStats stats = SchemaStats::Compute(*in, MappingSchema{});
+  EXPECT_EQ(stats.num_reducers, 0u);
+  EXPECT_EQ(stats.communication_cost, 0u);
+}
+
+TEST(SchemaStatsTest, CommunicationCountsCopies) {
+  const auto in = A2AInstance::Create({3, 4, 5}, 12);
+  MappingSchema schema;
+  schema.AddReducer({0, 1});     // load 7
+  schema.AddReducer({0, 2});     // load 8
+  schema.AddReducer({1, 2});     // load 9
+  const SchemaStats stats = SchemaStats::Compute(*in, schema);
+  EXPECT_EQ(stats.num_reducers, 3u);
+  EXPECT_EQ(stats.communication_cost, 24u);  // each input sent twice
+  EXPECT_EQ(stats.max_load, 9u);
+  EXPECT_EQ(stats.min_load, 7u);
+  EXPECT_DOUBLE_EQ(stats.mean_load, 8.0);
+  EXPECT_DOUBLE_EQ(stats.replication_rate, 2.0);  // 24 / 12
+  EXPECT_DOUBLE_EQ(stats.mean_copies_per_input, 2.0);
+  EXPECT_EQ(stats.max_inputs_per_reducer, 2u);
+}
+
+TEST(SchemaStatsTest, X2YUsesGlobalSizes) {
+  const auto in = X2YInstance::Create({2}, {3}, 10);
+  MappingSchema schema;
+  schema.AddReducer({0, 1});
+  const SchemaStats stats = SchemaStats::Compute(*in, schema);
+  EXPECT_EQ(stats.communication_cost, 5u);
+  EXPECT_EQ(stats.max_load, 5u);
+}
+
+}  // namespace
+}  // namespace msp

@@ -1,0 +1,140 @@
+// Cross-module integration tests: schemas drive real engine runs, and
+// the engine-level measurements match the schema-level predictions.
+
+#include <atomic>
+#include <string>
+
+#include "core/a2a.h"
+#include "core/bounds.h"
+#include "core/instance.h"
+#include "core/schema.h"
+#include "core/validate.h"
+#include "gtest/gtest.h"
+#include "join/similarity_join.h"
+#include "join/skew_join.h"
+#include "mapreduce/engine.h"
+#include "mapreduce/schema_partitioner.h"
+#include "workload/documents.h"
+#include "workload/relations.h"
+#include "workload/sizes.h"
+
+namespace msp {
+namespace {
+
+// Engine-level shuffle bytes must equal the schema's communication
+// cost when records are sized like the instance's inputs.
+TEST(IntegrationTest, ShuffleBytesEqualSchemaCommunicationCost) {
+  const auto sizes = wl::UniformSizes(120, 1, 40, 99);
+  auto instance = A2AInstance::Create(sizes, 100);
+  ASSERT_TRUE(instance.has_value());
+  const auto schema = SolveA2AAuto(*instance);
+  ASSERT_TRUE(schema.has_value());
+  const SchemaStats stats = SchemaStats::Compute(*instance, *schema);
+
+  mr::KeyValueList inputs;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    inputs.push_back({i, std::string(sizes[i], 'x')});
+  }
+  mr::IdentityMapper mapper;
+  mr::SchemaPartitioner partitioner(*schema, sizes.size());
+  class NullReducer : public mr::GroupReducer {
+   public:
+    void Reduce(mr::ReducerIndex, const mr::KeyValueList&,
+                mr::KeyValueList*) const override {}
+  } reducer;
+  mr::MapReduceEngine engine({.num_workers = 4, .reducer_capacity = 100});
+  mr::KeyValueList output;
+  const mr::JobMetrics metrics =
+      engine.Run(inputs, mapper, partitioner, reducer, &output);
+
+  EXPECT_EQ(metrics.shuffle_bytes, stats.communication_cost);
+  EXPECT_EQ(metrics.max_reducer_bytes, stats.max_load);
+  EXPECT_FALSE(metrics.capacity_violated);
+  EXPECT_GE(metrics.shuffle_bytes,
+            A2ALowerBounds::Compute(*instance).communication);
+}
+
+// The three tradeoffs of the paper, observed end to end on the
+// similarity join: shrinking q raises reducers and communication.
+TEST(IntegrationTest, TradeoffsVisibleEndToEnd) {
+  wl::DocumentConfig dc;
+  dc.count = 90;
+  dc.vocabulary = 600;
+  dc.min_tokens = 2;
+  dc.max_tokens = 40;
+  dc.seed = 7;
+  const auto docs = wl::MakeDocuments(dc);
+
+  uint64_t prev_reducers = 0;
+  uint64_t prev_comm = 0;
+  bool first = true;
+  for (InputSize q : {5000u, 800u, 200u, 100u}) {
+    join::SimilarityJoinConfig config;
+    config.threshold = 0.4;
+    config.capacity = q;
+    const auto result = join::SimilarityJoinMapReduce(docs, config);
+    ASSERT_TRUE(result.has_value()) << "q=" << q;
+    EXPECT_EQ(result->pairs, join::SimilarityJoinNaive(docs, 0.4));
+    if (!first) {
+      EXPECT_GE(result->schema_stats.num_reducers, prev_reducers);
+      EXPECT_GE(result->schema_stats.communication_cost, prev_comm);
+    }
+    prev_reducers = result->schema_stats.num_reducers;
+    prev_comm = result->schema_stats.communication_cost;
+    first = false;
+  }
+}
+
+// Skew join and similarity join agree with their references under a
+// shared engine configuration (stress of the whole stack).
+TEST(IntegrationTest, JoinsAgreeWithReferencesUnderOneWorker) {
+  wl::RelationConfig rc;
+  rc.num_tuples = 400;
+  rc.num_keys = 30;
+  rc.key_skew = 1.4;
+  rc.seed = 21;
+  const auto r = wl::MakeSkewedRelation(rc);
+  rc.seed = 22;
+  const auto s = wl::MakeSkewedRelation(rc);
+  join::SkewJoinConfig config;
+  config.capacity = 1500;
+  config.hash_reducers = 3;
+  config.engine.num_workers = 1;
+  const auto join_result = join::SkewJoinMapReduce(r, s, config);
+  ASSERT_TRUE(join_result.has_value());
+  EXPECT_EQ(join_result->triples, join::NestedLoopJoin(r, s));
+}
+
+// Replication predicted by the schema equals observed record fan-out.
+TEST(IntegrationTest, ReplicationRateObservable) {
+  const auto sizes = wl::EqualSizes(64, 1);
+  auto instance = A2AInstance::Create(sizes, 8);
+  ASSERT_TRUE(instance.has_value());
+  const auto schema = SolveA2AEqualGrouping(*instance);
+  ASSERT_TRUE(schema.has_value());
+  const SchemaStats stats = SchemaStats::Compute(*instance, *schema);
+
+  mr::KeyValueList inputs;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    inputs.push_back({i, "x"});
+  }
+  mr::IdentityMapper mapper;
+  mr::SchemaPartitioner partitioner(*schema, sizes.size());
+  class NullReducer : public mr::GroupReducer {
+   public:
+    void Reduce(mr::ReducerIndex, const mr::KeyValueList&,
+                mr::KeyValueList*) const override {}
+  } reducer;
+  mr::MapReduceEngine engine;
+  mr::KeyValueList output;
+  const mr::JobMetrics metrics =
+      engine.Run(inputs, mapper, partitioner, reducer, &output);
+  // Each of the 64 unit-size inputs is copied `replication_rate` times
+  // on average.
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(metrics.shuffle_records) / inputs.size(),
+      stats.replication_rate);
+}
+
+}  // namespace
+}  // namespace msp

@@ -1,0 +1,245 @@
+// Tests for the MapReduce engine, partitioners, and metrics.
+
+#include <atomic>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schema.h"
+#include "gtest/gtest.h"
+#include "mapreduce/engine.h"
+#include "mapreduce/job.h"
+#include "mapreduce/metrics.h"
+#include "mapreduce/schema_partitioner.h"
+#include "mapreduce/types.h"
+
+namespace msp::mr {
+namespace {
+
+// Splits value strings into words keyed by word hash (toy word count).
+class WordSplitMapper : public Mapper {
+ public:
+  void Map(const KeyValue& input, KeyValueList* out) const override {
+    std::string word;
+    for (char c : input.value + " ") {
+      if (c == ' ') {
+        if (!word.empty()) {
+          uint64_t h = 1469598103934665603ull;
+          for (char wc : word) h = (h ^ wc) * 1099511628211ull;
+          out->push_back({h, word});
+          word.clear();
+        }
+      } else {
+        word.push_back(c);
+      }
+    }
+  }
+};
+
+// Emits "<word> <count>" per distinct word in the group.
+class CountReducer : public GroupReducer {
+ public:
+  void Reduce(ReducerIndex /*reducer*/, const KeyValueList& group,
+              KeyValueList* out) const override {
+    std::map<std::string, int> counts;
+    for (const KeyValue& kv : group) ++counts[kv.value];
+    for (const auto& [word, count] : counts) {
+      out->push_back({0, word + " " + std::to_string(count)});
+    }
+  }
+};
+
+TEST(HashPartitionerTest, RoutesDeterministically) {
+  HashPartitioner partitioner(8);
+  std::vector<ReducerIndex> a;
+  std::vector<ReducerIndex> b;
+  partitioner.Route(12345, &a);
+  partitioner.Route(12345, &b);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a[0], 8u);
+}
+
+TEST(HashPartitionerTest, SpreadsKeys) {
+  HashPartitioner partitioner(16);
+  std::vector<int> hits(16, 0);
+  for (uint64_t k = 0; k < 1600; ++k) {
+    std::vector<ReducerIndex> out;
+    partitioner.Route(k, &out);
+    ++hits[out[0]];
+  }
+  for (int h : hits) EXPECT_GT(h, 50);  // roughly uniform
+}
+
+TEST(SchemaPartitionerTest, RoutesToAllAssignedReducers) {
+  MappingSchema schema;
+  schema.AddReducer({0, 1});
+  schema.AddReducer({0, 2});
+  SchemaPartitioner partitioner(schema, 3);
+  std::vector<ReducerIndex> out;
+  partitioner.Route(0, &out);
+  EXPECT_EQ(out, (std::vector<ReducerIndex>{0, 1}));
+  out.clear();
+  partitioner.Route(2, &out);
+  EXPECT_EQ(out, (std::vector<ReducerIndex>{1}));
+}
+
+TEST(SchemaPartitionerTest, BaseOffsetsIndices) {
+  MappingSchema schema;
+  schema.AddReducer({0});
+  SchemaPartitioner partitioner(schema, 1, /*base=*/10);
+  EXPECT_EQ(partitioner.num_reducers(), 11u);
+  std::vector<ReducerIndex> out;
+  partitioner.Route(0, &out);
+  EXPECT_EQ(out, (std::vector<ReducerIndex>{10}));
+}
+
+TEST(SchemaPartitionerTest, UnknownKeysDropped) {
+  MappingSchema schema;
+  schema.AddReducer({0});
+  SchemaPartitioner partitioner(schema, 1);
+  std::vector<ReducerIndex> out;
+  partitioner.Route(99, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EngineTest, WordCountEndToEnd) {
+  KeyValueList inputs = {{0, "the quick brown fox"},
+                         {1, "the lazy dog"},
+                         {2, "the quick dog"}};
+  WordSplitMapper mapper;
+  HashPartitioner partitioner(4);
+  CountReducer reducer;
+  MapReduceEngine engine({.num_workers = 4});
+  KeyValueList output;
+  const JobMetrics metrics =
+      engine.Run(inputs, mapper, partitioner, reducer, &output);
+
+  std::map<std::string, int> counts;
+  for (const KeyValue& kv : output) {
+    const auto space = kv.value.rfind(' ');
+    counts[kv.value.substr(0, space)] =
+        std::stoi(kv.value.substr(space + 1));
+  }
+  EXPECT_EQ(counts["the"], 3);
+  EXPECT_EQ(counts["quick"], 2);
+  EXPECT_EQ(counts["dog"], 2);
+  EXPECT_EQ(counts["fox"], 1);
+  EXPECT_EQ(counts["lazy"], 1);
+  EXPECT_EQ(counts["brown"], 1);
+
+  EXPECT_EQ(metrics.input_records, 3u);
+  EXPECT_EQ(metrics.map_output_records, 10u);  // 10 words
+  EXPECT_EQ(metrics.shuffle_records, 10u);
+  EXPECT_EQ(metrics.num_reducers, 4u);
+}
+
+TEST(EngineTest, ShuffleBytesCountReplication) {
+  // One record of 10 bytes routed to 3 reducers = 30 shuffle bytes.
+  MappingSchema schema;
+  schema.AddReducer({0});
+  schema.AddReducer({0});
+  schema.AddReducer({0});
+  SchemaPartitioner partitioner(schema, 1);
+  IdentityMapper mapper;
+  class NullReducer : public GroupReducer {
+   public:
+    void Reduce(ReducerIndex, const KeyValueList&,
+                KeyValueList*) const override {}
+  } reducer;
+  MapReduceEngine engine({.num_workers = 2});
+  KeyValueList output;
+  const JobMetrics metrics = engine.Run({{0, std::string(10, 'x')}}, mapper,
+                                        partitioner, reducer, &output);
+  EXPECT_EQ(metrics.shuffle_records, 3u);
+  EXPECT_EQ(metrics.shuffle_bytes, 30u);
+  EXPECT_EQ(metrics.non_empty_reducers, 3u);
+  EXPECT_EQ(metrics.max_reducer_bytes, 10u);
+}
+
+TEST(EngineTest, CapacityViolationFlagged) {
+  IdentityMapper mapper;
+  HashPartitioner partitioner(1);
+  class NullReducer : public GroupReducer {
+   public:
+    void Reduce(ReducerIndex, const KeyValueList&,
+                KeyValueList*) const override {}
+  } reducer;
+  MapReduceEngine engine({.num_workers = 1, .reducer_capacity = 5});
+  KeyValueList output;
+  const JobMetrics metrics = engine.Run({{0, std::string(10, 'x')}}, mapper,
+                                        partitioner, reducer, &output);
+  EXPECT_TRUE(metrics.capacity_violated);
+}
+
+TEST(EngineTest, EmptyInput) {
+  IdentityMapper mapper;
+  HashPartitioner partitioner(4);
+  class NullReducer : public GroupReducer {
+   public:
+    void Reduce(ReducerIndex, const KeyValueList&,
+                KeyValueList*) const override {}
+  } reducer;
+  MapReduceEngine engine;
+  KeyValueList output;
+  const JobMetrics metrics =
+      engine.Run({}, mapper, partitioner, reducer, &output);
+  EXPECT_EQ(metrics.input_records, 0u);
+  EXPECT_EQ(metrics.non_empty_reducers, 0u);
+  EXPECT_TRUE(output.empty());
+}
+
+TEST(EngineTest, DeterministicAcrossWorkerCounts) {
+  KeyValueList inputs;
+  for (uint64_t i = 0; i < 500; ++i) {
+    inputs.push_back({i, std::string(1 + i % 7, 'a' + i % 26)});
+  }
+  IdentityMapper mapper;
+  HashPartitioner partitioner(8);
+  class EchoReducer : public GroupReducer {
+   public:
+    void Reduce(ReducerIndex r, const KeyValueList& group,
+                KeyValueList* out) const override {
+      for (const KeyValue& kv : group) out->push_back({r, kv.value});
+    }
+  } reducer;
+
+  auto run = [&](std::size_t workers) {
+    MapReduceEngine engine({.num_workers = workers});
+    KeyValueList output;
+    engine.Run(inputs, mapper, partitioner, reducer, &output);
+    std::vector<std::string> flat;
+    for (const auto& kv : output) {
+      flat.push_back(std::to_string(kv.key) + ":" + kv.value);
+    }
+    return flat;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(LptMakespanTest, HandComputed) {
+  // Jobs {5,4,3,3,3} on 2 workers: LPT gives makespan 9 (5+3+... let's
+  // see: w1: 5,3 -> 8; w2: 4,3,3 -> 10... LPT: 5->w1, 4->w2, 3->w2(7),
+  // 3->w1(8), 3->w2(10)? no: after 5,4: loads 5,4; 3->w2 (7); 3->w1
+  // (8); 3->w2 (10). makespan 10? alternative optimal is 9. LPT = 10.
+  EXPECT_EQ(LptMakespan({5, 4, 3, 3, 3}, 2), 10u);
+  EXPECT_EQ(LptMakespan({5, 4, 3, 3, 3}, 1), 18u);
+  EXPECT_EQ(LptMakespan({5, 4, 3, 3, 3}, 5), 5u);
+  EXPECT_EQ(LptMakespan({}, 3), 0u);
+}
+
+TEST(LptMakespanTest, NeverBelowBounds) {
+  const std::vector<uint64_t> costs = {9, 8, 7, 6, 5, 4, 3, 2, 1};
+  const uint64_t total = std::accumulate(costs.begin(), costs.end(), 0ull);
+  for (std::size_t w = 1; w <= 4; ++w) {
+    const uint64_t makespan = LptMakespan(costs, w);
+    EXPECT_GE(makespan, (total + w - 1) / w);
+    EXPECT_GE(makespan, 9u);  // longest job
+    EXPECT_LE(makespan, total);
+  }
+}
+
+}  // namespace
+}  // namespace msp::mr

@@ -1,0 +1,110 @@
+// Tests for the block outer product on X2Y schemas: full coverage of
+// the result matrix is exactly schema validity.
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "join/outer_product.h"
+#include "util/rng.h"
+
+namespace msp::join {
+namespace {
+
+std::vector<double> RandomVector(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.UniformDouble() * 10 - 5;
+  return v;
+}
+
+void ExpectExactOuterProduct(const std::vector<double>& u,
+                             const std::vector<double>& v,
+                             const OuterProductResult& result) {
+  ASSERT_EQ(result.rows, u.size());
+  ASSERT_EQ(result.cols, v.size());
+  ASSERT_EQ(result.matrix.size(), u.size() * v.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    for (std::size_t j = 0; j < v.size(); ++j) {
+      const double expected = u[i] * v[j];
+      const double got = result.matrix[i * v.size() + j];
+      ASSERT_FALSE(std::isnan(got)) << "entry (" << i << "," << j
+                                    << ") never computed";
+      EXPECT_DOUBLE_EQ(got, expected);
+    }
+  }
+}
+
+TEST(OuterProductTest, SmallExact) {
+  const std::vector<double> u = {1, 2, 3};
+  const std::vector<double> v = {4, 5};
+  OuterProductConfig config;
+  config.u_block = 2;
+  config.v_block = 1;
+  config.capacity = 8;
+  const auto result = BlockOuterProduct(u, v, config);
+  ASSERT_TRUE(result.has_value());
+  ExpectExactOuterProduct(u, v, *result);
+}
+
+TEST(OuterProductTest, EveryEntryComputedUnderTightCapacity) {
+  const auto u = RandomVector(64, 1);
+  const auto v = RandomVector(48, 2);
+  OuterProductConfig config;
+  config.u_block = 8;
+  config.v_block = 8;
+  config.capacity = 16;  // exactly one u-block + one v-block
+  const auto result = BlockOuterProduct(u, v, config);
+  ASSERT_TRUE(result.has_value());
+  ExpectExactOuterProduct(u, v, *result);
+  EXPECT_LE(result->schema_stats.max_load, 16u);
+}
+
+TEST(OuterProductTest, UnevenTailBlocks) {
+  const auto u = RandomVector(13, 3);  // blocks 5,5,3
+  const auto v = RandomVector(7, 4);   // blocks 4,3
+  OuterProductConfig config;
+  config.u_block = 5;
+  config.v_block = 4;
+  config.capacity = 9;
+  const auto result = BlockOuterProduct(u, v, config);
+  ASSERT_TRUE(result.has_value());
+  ExpectExactOuterProduct(u, v, *result);
+}
+
+TEST(OuterProductTest, EmptyVector) {
+  const auto result =
+      BlockOuterProduct({}, {1.0, 2.0}, OuterProductConfig{});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->matrix.empty());
+}
+
+TEST(OuterProductTest, NulloptWhenBlocksCannotPair) {
+  OuterProductConfig config;
+  config.u_block = 10;
+  config.v_block = 10;
+  config.capacity = 15;  // 10 + 10 > 15
+  EXPECT_FALSE(
+      BlockOuterProduct(RandomVector(20, 5), RandomVector(20, 6), config)
+          .has_value());
+}
+
+TEST(OuterProductTest, LargerCapacityUsesFewerReducers) {
+  const auto u = RandomVector(128, 7);
+  const auto v = RandomVector(128, 8);
+  auto reducers_at = [&](InputSize q) {
+    OuterProductConfig config;
+    config.u_block = 4;
+    config.v_block = 4;
+    config.capacity = q;
+    const auto result = BlockOuterProduct(u, v, config);
+    EXPECT_TRUE(result.has_value());
+    ExpectExactOuterProduct(u, v, *result);
+    return result->schema_stats.num_reducers;
+  };
+  EXPECT_GT(reducers_at(16), reducers_at(64));
+  EXPECT_GT(reducers_at(64), reducers_at(256));
+}
+
+}  // namespace
+}  // namespace msp::join

@@ -1,0 +1,197 @@
+// Tests for the RNG, Zipf sampler, and small math/stat utilities.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+#include "util/summary_stats.h"
+#include "util/zipf.h"
+
+namespace msp {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllResidues) {
+  Rng rng(11);
+  std::vector<int> seen(7, 0);
+  for (int i = 0; i < 2000; ++i) ++seen[rng.UniformInt(7)];
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(RngTest, UniformInRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.UniformInRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, NormalHasRoughlyRightMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(17);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(values, shuffled);
+}
+
+TEST(ZipfTest, UniformWhenSkewZero) {
+  ZipfDistribution zipf(4, 0.0);
+  for (uint64_t k = 1; k <= 4; ++k) {
+    EXPECT_NEAR(zipf.Pmf(k), 0.25, 1e-12);
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(100, 1.2);
+  double total = 0.0;
+  for (uint64_t k = 1; k <= 100; ++k) total += zipf.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, SkewFavorsSmallRanks) {
+  ZipfDistribution zipf(1000, 1.5);
+  EXPECT_GT(zipf.Pmf(1), 10 * zipf.Pmf(10));
+  Rng rng(23);
+  int rank_one = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (zipf.Sample(&rng) == 1) ++rank_one;
+  }
+  // P(rank 1) is large under s = 1.5.
+  EXPECT_GT(rank_one, 500);
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  ZipfDistribution zipf(17, 0.7);
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = zipf.Sample(&rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 17u);
+  }
+}
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 5), 0u);
+  EXPECT_EQ(CeilDiv(1, 5), 1u);
+  EXPECT_EQ(CeilDiv(5, 5), 1u);
+  EXPECT_EQ(CeilDiv(6, 5), 2u);
+  EXPECT_EQ(CeilDiv(10, 5), 2u);
+}
+
+TEST(MathUtilTest, CeilDiv128Saturates) {
+  const Uint128 huge = Uint128(~uint64_t{0}) * 3;
+  EXPECT_EQ(CeilDiv128(huge, 1), ~uint64_t{0});
+  EXPECT_EQ(CeilDiv128(huge, 4), (Uint128(~uint64_t{0}) * 3 + 3) / 4);
+}
+
+TEST(MathUtilTest, PairCount) {
+  EXPECT_EQ(PairCount(0), 0u);
+  EXPECT_EQ(PairCount(1), 0u);
+  EXPECT_EQ(PairCount(2), 1u);
+  EXPECT_EQ(PairCount(5), 10u);
+  EXPECT_EQ(PairCount(1000), 499500u);
+}
+
+TEST(SummaryStatsTest, BasicMoments) {
+  const std::vector<double> samples = {1, 2, 3, 4, 5};
+  const SummaryStats s = SummaryStats::Compute(samples);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.0), 1e-12);
+  EXPECT_EQ(s.count(), 5u);
+}
+
+TEST(SummaryStatsTest, Percentiles) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(i);
+  const SummaryStats s = SummaryStats::Compute(samples);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(99), 99.01, 0.1);
+}
+
+TEST(SummaryStatsTest, LoadBalanceRatios) {
+  const SummaryStats balanced = SummaryStats::Compute(
+      std::vector<double>{10, 10, 10, 10});
+  EXPECT_DOUBLE_EQ(balanced.PeakToMeanRatio(), 1.0);
+  EXPECT_DOUBLE_EQ(balanced.CoefficientOfVariation(), 0.0);
+
+  const SummaryStats skewed = SummaryStats::Compute(
+      std::vector<double>{1, 1, 1, 97});
+  EXPECT_NEAR(skewed.PeakToMeanRatio(), 97.0 / 25.0, 1e-12);
+  EXPECT_GT(skewed.CoefficientOfVariation(), 1.0);
+}
+
+}  // namespace
+}  // namespace msp

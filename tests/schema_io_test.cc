@@ -1,0 +1,67 @@
+// Tests for mapping-schema text serialization.
+
+#include "core/schema.h"
+#include "core/schema_io.h"
+#include "gtest/gtest.h"
+
+namespace msp {
+namespace {
+
+TEST(SchemaIoTest, RoundTrip) {
+  MappingSchema schema;
+  schema.AddReducer({0, 1, 2});
+  schema.AddReducer({3});
+  schema.AddReducer({0, 4});
+  const std::string text = SchemaToText(schema);
+  const auto parsed = SchemaFromText(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->reducers, schema.reducers);
+}
+
+TEST(SchemaIoTest, EmptySchemaRoundTrip) {
+  const auto parsed = SchemaFromText(SchemaToText(MappingSchema{}));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_reducers(), 0u);
+}
+
+TEST(SchemaIoTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# exported by tool X\n"
+      "mapping-schema v1\n"
+      "\n"
+      "reducers 2   # two of them\n"
+      "0 1  # first\n"
+      "\n"
+      "2 3\n";
+  const auto parsed = SchemaFromText(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->num_reducers(), 2u);
+  EXPECT_EQ(parsed->reducers[0], (Reducer{0, 1}));
+  EXPECT_EQ(parsed->reducers[1], (Reducer{2, 3}));
+}
+
+TEST(SchemaIoTest, RejectsWrongHeader) {
+  EXPECT_FALSE(SchemaFromText("mapping-schema v2\nreducers 0\n").has_value());
+  EXPECT_FALSE(SchemaFromText("").has_value());
+}
+
+TEST(SchemaIoTest, RejectsCountMismatch) {
+  EXPECT_FALSE(
+      SchemaFromText("mapping-schema v1\nreducers 2\n0 1\n").has_value());
+  EXPECT_FALSE(
+      SchemaFromText("mapping-schema v1\nreducers 0\n0 1\n").has_value());
+}
+
+TEST(SchemaIoTest, RejectsGarbageIds) {
+  EXPECT_FALSE(
+      SchemaFromText("mapping-schema v1\nreducers 1\n0 x 1\n").has_value());
+}
+
+TEST(SchemaIoTest, RejectsMissingCountLine) {
+  EXPECT_FALSE(SchemaFromText("mapping-schema v1\n").has_value());
+  EXPECT_FALSE(SchemaFromText("mapping-schema v1\nbuckets 1\n0\n")
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace msp

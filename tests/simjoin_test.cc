@@ -1,0 +1,117 @@
+// End-to-end tests for the MapReduce similarity join: the simulated
+// job must produce exactly the naive all-pairs result, under schemas
+// with genuinely different-sized documents.
+
+#include "gtest/gtest.h"
+#include "join/similarity_join.h"
+#include "workload/documents.h"
+
+namespace msp::join {
+namespace {
+
+std::vector<wl::Document> MakeCorpus(std::size_t count, uint64_t seed,
+                                     std::size_t max_tokens = 48) {
+  wl::DocumentConfig config;
+  config.count = count;
+  config.vocabulary = 400;
+  config.min_tokens = 2;
+  config.max_tokens = max_tokens;
+  config.length_skew = 1.0;
+  config.seed = seed;
+  return wl::MakeDocuments(config);
+}
+
+TEST(SimilarityJoinTest, MatchesNaiveOnSmallCorpus) {
+  const auto docs = MakeCorpus(60, 11);
+  SimilarityJoinConfig config;
+  config.threshold = 0.2;
+  config.capacity = 200;
+  config.engine.num_workers = 4;
+  const auto result = SimilarityJoinMapReduce(docs, config);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->pairs, SimilarityJoinNaive(docs, 0.2));
+}
+
+TEST(SimilarityJoinTest, EveryPairComparedExactlyOnce) {
+  const auto docs = MakeCorpus(40, 13);
+  SimilarityJoinConfig config;
+  config.threshold = 2.0;  // nothing passes; we only count comparisons
+  config.capacity = 150;
+  const auto result = SimilarityJoinMapReduce(docs, config);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->comparisons, 40u * 39 / 2);
+  EXPECT_TRUE(result->pairs.empty());
+}
+
+TEST(SimilarityJoinTest, CapacityRespectedByScehma) {
+  const auto docs = MakeCorpus(80, 17);
+  SimilarityJoinConfig config;
+  config.threshold = 0.5;
+  config.capacity = 120;
+  const auto result = SimilarityJoinMapReduce(docs, config);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LE(result->schema_stats.max_load, 120u);
+}
+
+TEST(SimilarityJoinTest, FailsWhenNoSchemaExists) {
+  // Two documents whose combined size exceeds q.
+  std::vector<wl::Document> docs(2);
+  docs[0].id = 0;
+  docs[1].id = 1;
+  for (uint32_t t = 0; t < 60; ++t) docs[0].tokens.push_back(t);
+  for (uint32_t t = 100; t < 160; ++t) docs[1].tokens.push_back(t);
+  SimilarityJoinConfig config;
+  config.capacity = 100;  // 60 + 60 > 100
+  EXPECT_FALSE(SimilarityJoinMapReduce(docs, config).has_value());
+}
+
+struct CapacitySweepParam {
+  InputSize capacity;
+  uint64_t seed;
+};
+
+class SimilarityJoinSweep
+    : public ::testing::TestWithParam<CapacitySweepParam> {};
+
+TEST_P(SimilarityJoinSweep, CorrectAcrossCapacities) {
+  const auto param = GetParam();
+  const auto docs = MakeCorpus(50, param.seed);
+  SimilarityJoinConfig config;
+  config.threshold = 0.15;
+  config.capacity = param.capacity;
+  const auto result = SimilarityJoinMapReduce(docs, config);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->pairs, SimilarityJoinNaive(docs, 0.15));
+  EXPECT_LE(result->schema_stats.max_load, param.capacity);
+  // Smaller capacity -> more reducers (tradeoff (i) of the paper).
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Capacities, SimilarityJoinSweep,
+    ::testing::Values(CapacitySweepParam{110, 19},
+                      CapacitySweepParam{200, 19},
+                      CapacitySweepParam{400, 19},
+                      CapacitySweepParam{1600, 19},
+                      CapacitySweepParam{100000, 19}),
+    [](const ::testing::TestParamInfo<CapacitySweepParam>& info) {
+      std::string name = "q";
+      name += std::to_string(info.param.capacity);
+      return name;
+    });
+
+TEST(SimilarityJoinTest, ReducersGrowAsCapacityShrinks) {
+  const auto docs = MakeCorpus(70, 23);
+  auto reducers_at = [&](InputSize q) {
+    SimilarityJoinConfig config;
+    config.threshold = 0.3;
+    config.capacity = q;
+    const auto result = SimilarityJoinMapReduce(docs, config);
+    EXPECT_TRUE(result.has_value());
+    return result->schema_stats.num_reducers;
+  };
+  EXPECT_GE(reducers_at(120), reducers_at(480));
+  EXPECT_GE(reducers_at(480), reducers_at(100000));
+}
+
+}  // namespace
+}  // namespace msp::join

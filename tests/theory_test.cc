@@ -1,0 +1,161 @@
+// Theorem-grounded property tests.
+//
+// These tests check that the *theory* implemented in core/bounds is
+// consistent with every valid schema the library can produce:
+//  (1) per-input replication bound: any valid A2A schema assigns input
+//      i to at least ceil((W - w_i) / (q - w_i)) reducers;
+//  (2) exhaustive tiny-instance certification: over ALL instances in a
+//      small grid, exact optimum >= every lower bound and <= every
+//      applicable heuristic.
+
+#include <vector>
+
+#include "core/a2a.h"
+#include "core/bounds.h"
+#include "core/exact.h"
+#include "core/instance.h"
+#include "core/schema.h"
+#include "core/validate.h"
+#include "core/x2y.h"
+#include "gtest/gtest.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+#include "workload/sizes.h"
+
+namespace msp {
+namespace {
+
+uint64_t ReplicationFloor(const A2AInstance& in, InputId i) {
+  const Uint128 partners = Uint128{in.total_size()} - in.size(i);
+  if (partners == 0) return 0;
+  return CeilDiv128(partners, in.capacity() - in.size(i));
+}
+
+TEST(ReplicationTheoremTest, EverySchemaRespectsPerInputFloor) {
+  Rng rng(515);
+  for (int round = 0; round < 12; ++round) {
+    const uint64_t q = 50 + rng.UniformInt(150);
+    const std::size_t m = 4 + rng.UniformInt(40);
+    const auto sizes = wl::ZipfSizes(m, 1, q / 2, 1.0, rng.Next());
+    auto in = A2AInstance::Create(sizes, q);
+    ASSERT_TRUE(in.has_value());
+    for (A2AAlgorithm algo :
+         {A2AAlgorithm::kBinPackPairing, A2AAlgorithm::kBigSmall,
+          A2AAlgorithm::kGreedyCover, A2AAlgorithm::kEqualGrouping}) {
+      const auto schema = SolveA2A(*in, algo);
+      if (!schema.has_value()) continue;
+      ASSERT_TRUE(ValidateA2A(*in, *schema).ok);
+      const auto replication = ComputeReplication(*schema, m);
+      for (InputId i = 0; i < m; ++i) {
+        EXPECT_GE(replication[i], ReplicationFloor(*in, i))
+            << A2AAlgorithmName(algo) << " input " << i;
+      }
+    }
+  }
+}
+
+TEST(ReplicationTheoremTest, X2YSideFloors) {
+  // In any valid X2Y schema, x_i needs >= ceil(W_Y / (q - w_i)) copies.
+  auto in = X2YInstance::Create({8, 2}, std::vector<InputSize>(6, 1), 10);
+  ASSERT_TRUE(in.has_value());
+  const auto schema = SolveX2YAuto(*in);
+  ASSERT_TRUE(schema.has_value());
+  ASSERT_TRUE(ValidateX2Y(*in, *schema).ok);
+  const auto replication = ComputeReplication(*schema, in->num_inputs());
+  // x0 (size 8): room 2 per copy, must meet W_Y = 6 -> >= 3 copies.
+  EXPECT_GE(replication[0], 3u);
+}
+
+// Exhaustive certification over a small instance grid. This is not a
+// random sweep: every combination is checked, so a regression in any
+// bound or construction on tiny inputs cannot hide.
+TEST(ExhaustiveTinyInstanceTest, BoundsHeuristicsAndExactAgree) {
+  int certified = 0;
+  for (uint64_t q = 2; q <= 8; ++q) {
+    // All size multisets of length 3..4 with entries in {1, 2, 3}.
+    std::vector<std::vector<InputSize>> combos;
+    for (InputSize a = 1; a <= 3; ++a) {
+      for (InputSize b = a; b <= 3; ++b) {
+        for (InputSize c = b; c <= 3; ++c) {
+          combos.push_back({a, b, c});
+          for (InputSize d = c; d <= 3; ++d) {
+            combos.push_back({a, b, c, d});
+          }
+        }
+      }
+    }
+    for (const auto& sizes : combos) {
+      auto in = A2AInstance::Create(sizes, q);
+      if (!in.has_value()) continue;  // a size exceeds q
+      if (!in->IsFeasible()) {
+        // Every solver must refuse; the exact solver must agree.
+        EXPECT_FALSE(SolveA2AAuto(*in).has_value());
+        EXPECT_FALSE(ExactMinReducersA2A(*in).has_value());
+        continue;
+      }
+      const auto exact = ExactMinReducersA2A(*in, {.max_nodes = 2'000'000});
+      ASSERT_TRUE(exact.has_value());
+      ASSERT_TRUE(ValidateA2A(*in, exact->schema).ok);
+      const uint64_t optimum = exact->schema.num_reducers();
+      const A2ALowerBounds lb = A2ALowerBounds::Compute(*in);
+      EXPECT_LE(lb.reducers, optimum)
+          << "q=" << q << " sizes={" << sizes[0] << "," << sizes[1] << ","
+          << sizes[2] << (sizes.size() > 3 ? ",..." : "") << "}";
+      for (A2AAlgorithm algo :
+           {A2AAlgorithm::kSingleReducer, A2AAlgorithm::kNaiveAllPairs,
+            A2AAlgorithm::kEqualGrouping, A2AAlgorithm::kBinPackPairing,
+            A2AAlgorithm::kBigSmall, A2AAlgorithm::kGreedyCover}) {
+        const auto schema = SolveA2A(*in, algo);
+        if (!schema.has_value()) continue;
+        ASSERT_TRUE(ValidateA2A(*in, *schema).ok) << A2AAlgorithmName(algo);
+        EXPECT_GE(schema->num_reducers(), optimum) << A2AAlgorithmName(algo);
+      }
+      ++certified;
+    }
+  }
+  // The grid must actually exercise a substantial number of instances.
+  EXPECT_GT(certified, 100);
+}
+
+TEST(ExhaustiveTinyInstanceTest, X2YGrid) {
+  int certified = 0;
+  for (uint64_t q = 2; q <= 5; ++q) {
+    for (InputSize a = 1; a <= 2; ++a) {
+      for (InputSize b = 1; b <= 2; ++b) {
+        for (InputSize c = 1; c <= 2; ++c) {
+          for (InputSize d = 1; d <= 2; ++d) {
+            auto in = X2YInstance::Create({a, b}, {c, d}, q);
+            if (!in.has_value()) continue;
+            if (!in->IsFeasible()) {
+              EXPECT_FALSE(SolveX2YAuto(*in).has_value());
+              continue;
+            }
+            const auto exact =
+                ExactMinReducersX2Y(*in, {.max_nodes = 1'000'000});
+            ASSERT_TRUE(exact.has_value());
+            const uint64_t optimum = exact->schema.num_reducers();
+            const X2YLowerBounds lb = X2YLowerBounds::Compute(*in);
+            EXPECT_LE(lb.reducers, optimum);
+            for (X2YAlgorithm algo :
+                 {X2YAlgorithm::kSingleReducer, X2YAlgorithm::kNaiveCross,
+                  X2YAlgorithm::kBinPackCross,
+                  X2YAlgorithm::kBinPackCrossTuned,
+                  X2YAlgorithm::kBigSmall}) {
+              const auto schema = SolveX2Y(*in, algo);
+              if (!schema.has_value()) continue;
+              ASSERT_TRUE(ValidateX2Y(*in, *schema).ok)
+                  << X2YAlgorithmName(algo);
+              EXPECT_GE(schema->num_reducers(), optimum)
+                  << X2YAlgorithmName(algo);
+            }
+            ++certified;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(certified, 30);
+}
+
+}  // namespace
+}  // namespace msp

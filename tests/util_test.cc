@@ -1,0 +1,95 @@
+// Tests for the thread pool, table printer, and CSV writer.
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <latch>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "util/csv_writer.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace msp {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturns) {
+  ThreadPool pool(3);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, TasksCanBeInFlightSimultaneously) {
+  // Two tasks rendezvous on a latch: this only completes if the pool
+  // really runs them on distinct threads (works on any core count).
+  ThreadPool pool(4);
+  std::latch rendezvous(2);
+  std::atomic<int> met{0};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&] {
+      rendezvous.arrive_and_wait();
+      met.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(met.load(), 2);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table("demo");
+  table.SetHeader({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "12345"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(text.find("| long-name | 12345 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::Fmt(uint64_t{1234567}), "1,234,567");
+  EXPECT_EQ(TablePrinter::Fmt(uint64_t{12}), "12");
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+}
+
+TEST(CsvWriterTest, EscapesSpecialCells) {
+  const std::string path = ::testing::TempDir() + "/msp_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    ASSERT_TRUE(csv.ok());
+    csv.WriteRow({"a", "b,c", "d\"e", "multi\nline"});
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "a,\"b,c\",\"d\"\"e\",\"multi\nline\"\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace msp

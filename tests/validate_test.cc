@@ -1,0 +1,126 @@
+// Tests for the schema validity checkers (the oracle everything else
+// relies on).
+
+#include "core/instance.h"
+#include "core/schema.h"
+#include "core/validate.h"
+#include "gtest/gtest.h"
+
+namespace msp {
+namespace {
+
+A2AInstance MakeA2A(std::vector<InputSize> sizes, InputSize q) {
+  auto instance = A2AInstance::Create(std::move(sizes), q);
+  EXPECT_TRUE(instance.has_value());
+  return *instance;
+}
+
+X2YInstance MakeX2Y(std::vector<InputSize> x, std::vector<InputSize> y,
+                    InputSize q) {
+  auto instance = X2YInstance::Create(std::move(x), std::move(y), q);
+  EXPECT_TRUE(instance.has_value());
+  return *instance;
+}
+
+TEST(ValidateA2ATest, AcceptsCompleteSchema) {
+  const A2AInstance in = MakeA2A({3, 3, 3}, 9);
+  MappingSchema schema;
+  schema.AddReducer({0, 1, 2});
+  const ValidationResult result = ValidateA2A(in, schema);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.covered_outputs, 3u);
+  EXPECT_EQ(result.required_outputs, 3u);
+}
+
+TEST(ValidateA2ATest, RejectsMissingPair) {
+  const A2AInstance in = MakeA2A({3, 3, 3}, 9);
+  MappingSchema schema;
+  schema.AddReducer({0, 1});
+  schema.AddReducer({0, 2});
+  const ValidationResult result = ValidateA2A(in, schema);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("(1, 2)"), std::string::npos);
+  EXPECT_EQ(result.covered_outputs, 2u);
+}
+
+TEST(ValidateA2ATest, RejectsCapacityOverflow) {
+  const A2AInstance in = MakeA2A({5, 5, 5}, 9);
+  MappingSchema schema;
+  schema.AddReducer({0, 1, 2});  // load 15 > 9
+  const ValidationResult result = ValidateA2A(in, schema);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("capacity"), std::string::npos);
+}
+
+TEST(ValidateA2ATest, RejectsUnknownInput) {
+  const A2AInstance in = MakeA2A({3, 3}, 9);
+  MappingSchema schema;
+  schema.AddReducer({0, 5});
+  EXPECT_FALSE(ValidateA2A(in, schema).ok);
+}
+
+TEST(ValidateA2ATest, RejectsDuplicateWithinReducer) {
+  const A2AInstance in = MakeA2A({3, 3}, 9);
+  MappingSchema schema;
+  schema.AddReducer({0, 0, 1});
+  EXPECT_FALSE(ValidateA2A(in, schema).ok);
+}
+
+TEST(ValidateA2ATest, TrivialInstances) {
+  // m < 2: no outputs; the empty schema is valid.
+  EXPECT_TRUE(ValidateA2A(MakeA2A({}, 5), MappingSchema{}).ok);
+  EXPECT_TRUE(ValidateA2A(MakeA2A({4}, 5), MappingSchema{}).ok);
+}
+
+TEST(ValidateA2ATest, PairCoveredTwiceCountsOnce) {
+  const A2AInstance in = MakeA2A({2, 2}, 9);
+  MappingSchema schema;
+  schema.AddReducer({0, 1});
+  schema.AddReducer({0, 1});
+  const ValidationResult result = ValidateA2A(in, schema);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.covered_outputs, 1u);
+}
+
+TEST(ValidateX2YTest, AcceptsCompleteSchema) {
+  const X2YInstance in = MakeX2Y({2, 2}, {3}, 10);
+  MappingSchema schema;
+  schema.AddReducer({0, 1, 2});  // both x with the y
+  const ValidationResult result = ValidateX2Y(in, schema);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.covered_outputs, 2u);
+}
+
+TEST(ValidateX2YTest, SameSidePairsNotRequired) {
+  const X2YInstance in = MakeX2Y({2, 2}, {3}, 10);
+  MappingSchema schema;
+  schema.AddReducer({0, 2});
+  schema.AddReducer({1, 2});
+  EXPECT_TRUE(ValidateX2Y(in, schema).ok);
+}
+
+TEST(ValidateX2YTest, RejectsMissingCrossPair) {
+  const X2YInstance in = MakeX2Y({2, 2}, {3, 3}, 10);
+  MappingSchema schema;
+  schema.AddReducer({0, 2});
+  schema.AddReducer({1, 3});
+  const ValidationResult result = ValidateX2Y(in, schema);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.covered_outputs, 2u);
+  EXPECT_EQ(result.required_outputs, 4u);
+}
+
+TEST(ValidateX2YTest, RejectsCapacityOverflow) {
+  const X2YInstance in = MakeX2Y({6}, {5}, 10);
+  MappingSchema schema;
+  schema.AddReducer({0, 1});  // 11 > 10
+  EXPECT_FALSE(ValidateX2Y(in, schema).ok);
+}
+
+TEST(ValidateX2YTest, EmptySideIsTriviallyValid) {
+  const X2YInstance in = MakeX2Y({4, 4}, {}, 10);
+  EXPECT_TRUE(ValidateX2Y(in, MappingSchema{}).ok);
+}
+
+}  // namespace
+}  // namespace msp

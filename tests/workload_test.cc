@@ -1,0 +1,140 @@
+// Tests for workload generators.
+
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "workload/documents.h"
+#include "workload/relations.h"
+#include "workload/sizes.h"
+
+namespace msp::wl {
+namespace {
+
+TEST(SizesTest, EqualSizes) {
+  const auto sizes = EqualSizes(5, 7);
+  EXPECT_EQ(sizes.size(), 5u);
+  for (auto w : sizes) EXPECT_EQ(w, 7u);
+}
+
+TEST(SizesTest, UniformInRangeAndDeterministic) {
+  const auto a = UniformSizes(1000, 3, 9, 42);
+  const auto b = UniformSizes(1000, 3, 9, 42);
+  EXPECT_EQ(a, b);
+  for (auto w : a) {
+    EXPECT_GE(w, 3u);
+    EXPECT_LE(w, 9u);
+  }
+  EXPECT_NE(a, UniformSizes(1000, 3, 9, 43));
+}
+
+TEST(SizesTest, ZipfHeavyTail) {
+  const auto sizes = ZipfSizes(20000, 1, 1000, 1.5, 7);
+  for (auto w : sizes) {
+    EXPECT_GE(w, 1u);
+    EXPECT_LE(w, 1000u);
+  }
+  // Most inputs are small; at least one grows large.
+  const std::size_t small =
+      std::count_if(sizes.begin(), sizes.end(), [](auto w) { return w <= 4; });
+  EXPECT_GT(small, sizes.size() / 2);
+  EXPECT_GT(*std::max_element(sizes.begin(), sizes.end()), 100u);
+}
+
+TEST(SizesTest, NormalClamped) {
+  const auto sizes = NormalSizes(5000, 50, 30, 10, 90, 11);
+  for (auto w : sizes) {
+    EXPECT_GE(w, 10u);
+    EXPECT_LE(w, 90u);
+  }
+}
+
+TEST(DocumentsTest, RespectsConfig) {
+  DocumentConfig config;
+  config.count = 200;
+  config.vocabulary = 500;
+  config.min_tokens = 3;
+  config.max_tokens = 40;
+  config.seed = 5;
+  const auto docs = MakeDocuments(config);
+  ASSERT_EQ(docs.size(), 200u);
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_EQ(docs[i].id, i);
+    EXPECT_GE(docs[i].size(), 3u);
+    EXPECT_LE(docs[i].size(), 40u);
+    // Tokens sorted, unique, within vocabulary.
+    EXPECT_TRUE(std::is_sorted(docs[i].tokens.begin(), docs[i].tokens.end()));
+    EXPECT_EQ(std::adjacent_find(docs[i].tokens.begin(),
+                                 docs[i].tokens.end()),
+              docs[i].tokens.end());
+    for (auto t : docs[i].tokens) EXPECT_LT(t, 500u);
+  }
+}
+
+TEST(DocumentsTest, Deterministic) {
+  DocumentConfig config;
+  config.count = 50;
+  config.seed = 9;
+  const auto a = MakeDocuments(config);
+  const auto b = MakeDocuments(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tokens, b[i].tokens);
+  }
+}
+
+TEST(JaccardTest, HandComputed) {
+  Document a{0, {1, 2, 3, 4}};
+  Document b{1, {3, 4, 5, 6}};
+  EXPECT_DOUBLE_EQ(Jaccard(a, b), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(Jaccard(a, a), 1.0);
+  Document empty{2, {}};
+  EXPECT_DOUBLE_EQ(Jaccard(a, empty), 0.0);
+  EXPECT_DOUBLE_EQ(Jaccard(empty, empty), 1.0);
+}
+
+TEST(RelationsTest, RespectsConfigAndDeterministic) {
+  RelationConfig config;
+  config.num_tuples = 5000;
+  config.num_keys = 100;
+  config.key_skew = 1.2;
+  config.payload_lo = 8;
+  config.payload_hi = 64;
+  config.seed = 3;
+  const Relation r = MakeSkewedRelation(config);
+  ASSERT_EQ(r.size(), 5000u);
+  std::set<uint64_t> others;
+  for (const Tuple& t : r.tuples) {
+    EXPECT_GE(t.key, 1u);
+    EXPECT_LE(t.key, 100u);
+    EXPECT_GE(t.payload_size, 8u);
+    EXPECT_LE(t.payload_size, 64u);
+    others.insert(t.other);
+  }
+  EXPECT_EQ(others.size(), 5000u);  // unique witnesses
+  const Relation again = MakeSkewedRelation(config);
+  EXPECT_EQ(r.tuples.size(), again.tuples.size());
+  EXPECT_EQ(r.TotalPayload(), again.TotalPayload());
+}
+
+TEST(RelationsTest, ZipfKeysProduceHeavyHitter) {
+  RelationConfig config;
+  config.num_tuples = 20000;
+  config.num_keys = 1000;
+  config.key_skew = 1.3;
+  config.seed = 17;
+  const Relation r = MakeSkewedRelation(config);
+  const auto histogram = KeyHistogram(r);
+  ASSERT_FALSE(histogram.empty());
+  // The hottest key dominates the mean frequency by a wide margin.
+  const double mean =
+      static_cast<double>(r.size()) / static_cast<double>(histogram.size());
+  EXPECT_GT(static_cast<double>(histogram[0].second), 20 * mean);
+  // Histogram is sorted descending.
+  for (std::size_t i = 1; i < histogram.size(); ++i) {
+    EXPECT_GE(histogram[i - 1].second, histogram[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace msp::wl

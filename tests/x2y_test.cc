@@ -1,0 +1,233 @@
+// Tests for the X2Y schema-construction algorithms.
+
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/instance.h"
+#include "core/schema.h"
+#include "core/validate.h"
+#include "core/x2y.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+#include "workload/sizes.h"
+
+namespace msp {
+namespace {
+
+X2YInstance MakeX2Y(std::vector<InputSize> x, std::vector<InputSize> y,
+                    InputSize q) {
+  auto instance = X2YInstance::Create(std::move(x), std::move(y), q);
+  EXPECT_TRUE(instance.has_value());
+  return *instance;
+}
+
+TEST(X2YSingleReducerTest, FitsWhenBothSidesFit) {
+  const X2YInstance in = MakeX2Y({2, 2}, {3}, 10);
+  const auto schema = SolveX2YSingleReducer(in);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_EQ(schema->num_reducers(), 1u);
+  EXPECT_TRUE(ValidateX2Y(in, *schema).ok);
+}
+
+TEST(X2YSingleReducerTest, RefusesOverflow) {
+  const X2YInstance in = MakeX2Y({6, 2}, {3}, 10);
+  EXPECT_FALSE(SolveX2YSingleReducer(in).has_value());
+}
+
+TEST(X2YNaiveCrossTest, OneReducerPerCrossPair) {
+  const X2YInstance in = MakeX2Y({5, 5}, {5, 5, 5}, 10);
+  const auto schema = SolveX2YNaiveCross(in);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_EQ(schema->num_reducers(), 6u);
+  EXPECT_TRUE(ValidateX2Y(in, *schema).ok);
+}
+
+TEST(X2YBinPackCrossTest, BinPairGrid) {
+  // X: 4 inputs of 5 -> 2 bins of cap 5... wait cap is q/2 = 5, so one
+  // input per bin -> 4 bins; Y: 2 inputs of 5 -> 2 bins; z = 8.
+  const X2YInstance in = MakeX2Y({5, 5, 5, 5}, {5, 5}, 10);
+  const auto schema = SolveX2YBinPackCross(in);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_EQ(schema->num_reducers(), 8u);
+  EXPECT_TRUE(ValidateX2Y(in, *schema).ok);
+}
+
+TEST(X2YBinPackCrossTest, PacksSmallInputsTogether) {
+  // 8 x-inputs of 1 pack into one cap-5 bin... 8 > 5, two bins; 2
+  // y-inputs of 1 -> one bin; z = 2.
+  const X2YInstance in = MakeX2Y(std::vector<InputSize>(8, 1),
+                                 std::vector<InputSize>(2, 1), 10);
+  const auto schema = SolveX2YBinPackCross(in);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_EQ(schema->num_reducers(), 2u);
+  EXPECT_TRUE(ValidateX2Y(in, *schema).ok);
+}
+
+TEST(X2YBinPackCrossTest, RespectsExplicitSplit) {
+  const X2YInstance in = MakeX2Y({7}, {2, 2}, 10);
+  X2YOptions options;
+  options.x_capacity = 7;  // leaves 3 for Y
+  const auto schema = SolveX2YBinPackCross(in, options);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_TRUE(ValidateX2Y(in, *schema).ok);
+  // Default split q/2 = 5 would refuse (7 > 5).
+  EXPECT_FALSE(SolveX2YBinPackCross(in).has_value());
+}
+
+TEST(X2YBinPackCrossTunedTest, BeatsOrMatchesDefaultSplit) {
+  // Asymmetric mass: W_X = 60, W_Y = 6, q = 20.
+  const X2YInstance in = MakeX2Y(std::vector<InputSize>(30, 2),
+                                 std::vector<InputSize>(6, 1), 20);
+  const auto fixed = SolveX2YBinPackCross(in);
+  const auto tuned = SolveX2YBinPackCrossTuned(in);
+  ASSERT_TRUE(fixed.has_value());
+  ASSERT_TRUE(tuned.has_value());
+  EXPECT_TRUE(ValidateX2Y(in, *tuned).ok);
+  EXPECT_LE(tuned->num_reducers(), fixed->num_reducers());
+}
+
+TEST(X2YBigSmallTest, HandlesBigXInputs) {
+  const X2YInstance in = MakeX2Y({7, 2, 2}, {3, 2, 1}, 10);
+  const auto schema = SolveX2YBigSmall(in);
+  ASSERT_TRUE(schema.has_value());
+  const ValidationResult v = ValidateX2Y(in, *schema);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST(X2YBigSmallTest, HandlesBigYInputs) {
+  const X2YInstance in = MakeX2Y({3, 2, 1}, {8, 2, 2}, 12);
+  const auto schema = SolveX2YBigSmall(in);
+  ASSERT_TRUE(schema.has_value());
+  const ValidationResult v = ValidateX2Y(in, *schema);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST(X2YBigSmallTest, BigOnBothSidesIsInfeasible) {
+  // w_x > q/2 and w_y > q/2 would put their pair above q, so any
+  // feasible instance has big inputs on at most one side.
+  const auto in = X2YInstance::Create({7, 2}, {6, 1}, 10);
+  ASSERT_TRUE(in.has_value());
+  EXPECT_FALSE(in->IsFeasible());
+  EXPECT_FALSE(SolveX2YBigSmall(*in).has_value());
+}
+
+TEST(X2YBigSmallTest, RefusesInfeasible) {
+  const X2YInstance in = MakeX2Y({7}, {6}, 10);
+  EXPECT_FALSE(SolveX2YBigSmall(in).has_value());
+}
+
+TEST(X2YAutoTest, TrivialInstances) {
+  EXPECT_TRUE(SolveX2YAuto(MakeX2Y({}, {}, 10)).has_value());
+  EXPECT_TRUE(SolveX2YAuto(MakeX2Y({5}, {}, 10)).has_value());
+}
+
+TEST(X2YAutoTest, PicksSingleReducerWhenEverythingFits) {
+  const X2YInstance in = MakeX2Y({2}, {3}, 10);
+  const auto schema = SolveX2YAuto(in);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_EQ(schema->num_reducers(), 1u);
+}
+
+TEST(X2YDispatchTest, MatchesDirectCalls) {
+  const X2YInstance in = MakeX2Y({3, 3}, {4, 4}, 10);
+  for (X2YAlgorithm algo :
+       {X2YAlgorithm::kNaiveCross, X2YAlgorithm::kBinPackCross,
+        X2YAlgorithm::kBinPackCrossTuned, X2YAlgorithm::kBigSmall}) {
+    const auto schema = SolveX2Y(in, algo);
+    ASSERT_TRUE(schema.has_value()) << X2YAlgorithmName(algo);
+    EXPECT_TRUE(ValidateX2Y(in, *schema).ok) << X2YAlgorithmName(algo);
+  }
+}
+
+struct X2YPropertyParam {
+  const char* name;
+  uint64_t seed;
+  double x_skew;  // < 0 = uniform
+  double y_skew;
+  std::size_t max_m;
+  std::size_t max_n;
+};
+
+class X2YPropertyTest : public ::testing::TestWithParam<X2YPropertyParam> {};
+
+TEST_P(X2YPropertyTest, AlgorithmsProduceValidNearOptimalSchemas) {
+  const X2YPropertyParam param = GetParam();
+  Rng rng(param.seed);
+  for (int round = 0; round < 8; ++round) {
+    const uint64_t q = 60 + rng.UniformInt(200);
+    const std::size_t m = 1 + rng.UniformInt(param.max_m);
+    const std::size_t n = 1 + rng.UniformInt(param.max_n);
+    auto make_sizes = [&](std::size_t count, double skew) {
+      return skew < 0 ? wl::UniformSizes(count, 1, q / 2, rng.Next())
+                      : wl::ZipfSizes(count, 1, q / 2, skew, rng.Next());
+    };
+    auto in = X2YInstance::Create(make_sizes(m, param.x_skew),
+                                  make_sizes(n, param.y_skew), q);
+    ASSERT_TRUE(in.has_value());
+    ASSERT_TRUE(in->IsFeasible());
+    const X2YLowerBounds lb = X2YLowerBounds::Compute(*in);
+
+    const auto cross = SolveX2YBinPackCross(*in);
+    ASSERT_TRUE(cross.has_value());
+    ASSERT_TRUE(ValidateX2Y(*in, *cross).ok);
+
+    const auto tuned = SolveX2YBinPackCrossTuned(*in);
+    ASSERT_TRUE(tuned.has_value());
+    ASSERT_TRUE(ValidateX2Y(*in, *tuned).ok);
+    EXPECT_LE(tuned->num_reducers(), cross->num_reducers());
+
+    const auto big_small = SolveX2YBigSmall(*in);
+    ASSERT_TRUE(big_small.has_value());
+    ASSERT_TRUE(ValidateX2Y(*in, *big_small).ok);
+
+    const auto chosen = SolveX2YAuto(*in);
+    ASSERT_TRUE(chosen.has_value());
+    ASSERT_TRUE(ValidateX2Y(*in, *chosen).ok);
+
+    if (lb.reducers >= 10) {
+      // The bin-pair construction is within a small constant of
+      // optimal; generous factor for robustness on small instances.
+      EXPECT_LE(tuned->num_reducers(), 8 * lb.reducers);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeDistributions, X2YPropertyTest,
+    ::testing::Values(
+        X2YPropertyParam{"uniform_balanced", 601, -1.0, -1.0, 40, 40},
+        X2YPropertyParam{"zipf_balanced", 602, 1.2, 1.2, 40, 40},
+        X2YPropertyParam{"asymmetric_counts", 603, -1.0, -1.0, 80, 6},
+        X2YPropertyParam{"zipf_x_only", 604, 1.5, -1.0, 60, 20}),
+    [](const ::testing::TestParamInfo<X2YPropertyParam>& info) {
+      return info.param.name;
+    });
+
+TEST(X2YGeneralSizesPropertyTest, BigSmallHandlesBigInputs) {
+  Rng rng(801);
+  for (int round = 0; round < 10; ++round) {
+    const uint64_t q = 100 + rng.UniformInt(100);
+    std::vector<InputSize> xs =
+        wl::UniformSizes(1 + rng.UniformInt(20), 1, q / 2, rng.Next());
+    std::vector<InputSize> ys =
+        wl::UniformSizes(1 + rng.UniformInt(20), 1, q / 2, rng.Next());
+    // Add big inputs on random sides.
+    for (std::size_t b = 0; b < 3; ++b) {
+      auto& side = rng.Bernoulli(0.5) ? xs : ys;
+      side.push_back(q / 2 + 1 + rng.UniformInt(q / 5));
+    }
+    auto in = X2YInstance::Create(xs, ys, q);
+    ASSERT_TRUE(in.has_value());
+    if (!in->IsFeasible()) continue;
+    const auto schema = SolveX2YBigSmall(*in);
+    ASSERT_TRUE(schema.has_value());
+    const ValidationResult v = ValidateX2Y(*in, *schema);
+    ASSERT_TRUE(v.ok) << v.error;
+    const auto chosen = SolveX2YAuto(*in);
+    ASSERT_TRUE(chosen.has_value());
+    ASSERT_TRUE(ValidateX2Y(*in, *chosen).ok);
+  }
+}
+
+}  // namespace
+}  // namespace msp
