@@ -2,7 +2,8 @@
 //
 // Every bench binary prints its paper-style tables on stdout (the
 // regenerated "table/figure") and then runs google-benchmark timing
-// series for the hot paths. See DESIGN.md for the experiment index.
+// series for the hot paths. See bench/README.md for the experiment
+// index (what each binary reproduces and how to run it).
 
 #ifndef MSP_BENCH_BENCH_UTIL_H_
 #define MSP_BENCH_BENCH_UTIL_H_

@@ -1,7 +1,8 @@
 // Bin-packing data model.
 //
-// The paper's mapping-schema algorithms reduce to bin packing: inputs
-// are packed into bins of capacity q/2 (A2A) or a capacity split of q
+// The paper's mapping-schema algorithms (Afrati et al., EDBT 2015,
+// Sec. "Different-Sized Inputs") reduce to bin packing: inputs are
+// packed into bins of capacity q/2 (A2A) or a capacity split of q
 // (X2Y), and reducers are formed from bin pairs. This library is a
 // standalone, fully tested bin-packing implementation.
 

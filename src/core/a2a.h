@@ -25,6 +25,24 @@
 //
 // All solvers return schemas that pass ValidateA2A, or nullopt when the
 // algorithm's precondition (or instance feasibility) fails.
+//
+// Paper map (Afrati et al., EDBT 2015; extended arXiv:1507.04461):
+//  * NP-completeness of the A2A mapping schema problem — the paper's
+//    first intractability theorem (Sec. "Intractability"); motivates
+//    every approximation below.
+//  * kEqualGrouping — the grouping technique of Sec. "The A2A Mapping
+//    Schema Problem for Equal-Sized Inputs"; uses at most ~2x the
+//    optimal number of reducers.
+//  * kBinPackPairing — the bin-packing-based approximation of Sec.
+//    "The A2A Mapping Schema Problem for Different-Sized Inputs"
+//    (inputs of size <= q/2 packed into bins of capacity q/2, one
+//    reducer per bin pair).
+//  * kBigSmall — the same section's extension to instances with
+//    inputs larger than q/2.
+//  * kBinPackTriples / SolveA2ABinPackKGroups — this library's
+//    generalization of the pairing construction (not in the paper):
+//    k bins of capacity q/k per reducer, approaching the pair-mass
+//    lower bound as k grows.
 
 #ifndef MSP_CORE_A2A_H_
 #define MSP_CORE_A2A_H_

@@ -19,6 +19,16 @@
 //
 // X2Y bounds mirror these with pair mass W_X * W_Y (<= q^2/4 coverable
 // per reducer) and per-side replication r_xi >= ceil(W_Y / (q - w_i)).
+//
+// Paper map (Afrati et al., EDBT 2015; extended arXiv:1507.04461):
+// the pair-mass and replication arguments implement the reducer- and
+// communication-cost lower bounds of the paper's Sec. "Lower Bounds"
+// (intuition: a reducer of capacity q covers at most q^2/2 of A2A pair
+// mass, q^2/4 of X2Y pair mass, and input i needs enough copies to
+// meet W - w_i worth of partners at q - w_i per copy). The Schönheim
+// bound specializes the equal-sized case, where any valid schema is a
+// covering design C(m, k, 2) — the yardstick for the paper's grouping
+// construction. The pair-count bound is this library's addition.
 
 #ifndef MSP_CORE_BOUNDS_H_
 #define MSP_CORE_BOUNDS_H_

@@ -1,6 +1,7 @@
 // The decision variants of the mapping schema problems — the form in
-// which the paper proves NP-completeness: "given z reducers of
-// capacity q, does a valid mapping schema exist?"
+// which the paper proves NP-completeness (Afrati et al., EDBT 2015;
+// extended arXiv:1507.04461, Sec. "Intractability"): "given z
+// reducers of capacity q, does a valid mapping schema exist?"
 //
 // These wrap the exact branch-and-bound search with a reducer budget,
 // so they are exponential like the optimization variant; they exist

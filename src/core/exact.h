@@ -1,10 +1,14 @@
 // Exact minimum-reducer solvers by branch and bound.
 //
-// Both mapping schema problems are NP-complete (the paper's central
-// intractability result), so these solvers are exponential and only
-// practical for toy instances (roughly m <= 9 for A2A, m*n <= 20 for
-// X2Y). They exist to measure the optimality gap of the heuristics
-// (experiment T2) and to demonstrate the blow-up empirically.
+// Both mapping schema problems are NP-complete — the central
+// intractability theorems of the paper (Afrati et al., EDBT 2015;
+// extended arXiv:1507.04461, Sec. "Intractability": reductions from
+// partition-style problems for A2A and X2Y alike) — so these solvers
+// are exponential and only practical for toy instances (roughly
+// m <= 9 for A2A, m*n <= 20 for X2Y). They exist to measure the
+// optimality gap of the heuristics (experiment T2) and to demonstrate
+// the blow-up empirically; the polynomial constructions in a2a.h /
+// x2y.h are the paper's answer for real instance sizes.
 //
 // The search branches on the first uncovered output pair: the pair can
 // be covered by extending any existing reducer (adding one or both

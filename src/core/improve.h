@@ -5,7 +5,9 @@
 // into one, strictly reducing the reducer count and never breaking
 // coverage (a merged reducer covers a superset of the pairs). This
 // greedy merge pass is the library's ablation A3: how much of the gap
-// to the lower bound is recoverable by local optimization.
+// to the lower bound is recoverable by local optimization. It is not
+// part of the paper's constructions — it quantifies how tight they
+// already are (see bench/bench_a3_improve.cc).
 
 #ifndef MSP_CORE_IMPROVE_H_
 #define MSP_CORE_IMPROVE_H_

@@ -8,6 +8,13 @@
 // Instances are immutable after creation and validate their invariants
 // at construction (positive sizes, positive capacity, every input fits
 // in a reducer by itself).
+//
+// These are the two problem shapes defined in the paper (Afrati et
+// al., EDBT 2015; extended arXiv:1507.04461, Sec. "Mapping Schema and
+// the Tradeoffs"): inputs of different sizes, a reducer capacity q
+// that bounds the sum of sizes any reducer may receive, and a set of
+// required outputs — all C(m,2) pairs for A2A, all m*n cross pairs
+// for X2Y.
 
 #ifndef MSP_CORE_INSTANCE_H_
 #define MSP_CORE_INSTANCE_H_

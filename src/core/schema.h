@@ -4,6 +4,17 @@
 // the inputs assigned to it. The same input may (and usually must)
 // appear in many reducers — that replication is exactly the
 // communication cost the paper reasons about.
+//
+// Paper map (Afrati et al., EDBT 2015; extended arXiv:1507.04461):
+// MappingSchema is the paper's central definition (Sec. "Mapping
+// Schema and the Tradeoffs": an assignment of inputs to reducers such
+// that no reducer exceeds capacity q and every output's inputs meet
+// at some reducer — validity itself is checked by validate.h).
+// SchemaStats measures the quantities the paper's tradeoffs range
+// over: number of reducers (degree of parallelism), total
+// communication cost, and per-reducer load balance. ComputeReplication
+// evaluates the replication vector r_i bounded below in Sec. "Lower
+// Bounds".
 
 #ifndef MSP_CORE_SCHEMA_H_
 #define MSP_CORE_SCHEMA_H_

@@ -6,7 +6,9 @@
 //   <id> <id> ...        # one line per reducer, input ids
 //
 // Useful for exporting schemas to external MapReduce drivers and for
-// storing regression fixtures.
+// storing regression fixtures. This is the interchange format between
+// the mspctl subcommands (solve-a2a/solve-x2y emit it; validate and
+// improve consume it).
 
 #ifndef MSP_CORE_SCHEMA_IO_H_
 #define MSP_CORE_SCHEMA_IO_H_

@@ -1,6 +1,7 @@
 // Mapping-schema validity checking.
 //
-// A schema is valid (Definition in the paper) when
+// A schema is valid (the paper's definition of a mapping schema,
+// Sec. "Mapping Schema and the Tradeoffs") when
 //  (1) every reducer's load is within the capacity q, and
 //  (2) every output's two inputs meet in at least one reducer:
 //      A2A — every unordered pair of inputs;

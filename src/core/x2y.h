@@ -15,6 +15,14 @@
 //  * kBigSmall          — inputs above q/2 on either side get dedicated
 //                         reducers against the other side packed into
 //                         the residual capacity.
+//
+// Paper map (Afrati et al., EDBT 2015; extended arXiv:1507.04461):
+// the X2Y problem and its NP-completeness are the paper's second
+// problem shape (Sec. "Intractability"); kBinPackCross implements the
+// bin-packing-based approximation of Sec. "The X2Y Mapping Schema
+// Problem" (pack each side separately, cross the bins), with kBigSmall
+// as the same section's general-sizes extension. The tuned capacity
+// split is this library's addition, evaluated in ablation A2.
 
 #ifndef MSP_CORE_X2Y_H_
 #define MSP_CORE_X2Y_H_

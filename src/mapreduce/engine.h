@@ -7,7 +7,7 @@
 //   reduce  — GroupReducer::Reduce over each non-empty reducer group.
 //
 // This engine is the substitute for a cluster deployment (see
-// DESIGN.md): the quantities the paper reasons about — number of
+// docs/ARCHITECTURE.md): the quantities the paper reasons about — number of
 // reducers, bytes shuffled, per-reducer load, achievable parallelism —
 // are measured exactly.
 
