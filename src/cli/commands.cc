@@ -14,6 +14,7 @@
 #include "core/schema_io.h"
 #include "core/validate.h"
 #include "core/x2y.h"
+#include "planner/service.h"
 #include "util/table.h"
 #include "workload/sizes.h"
 
@@ -45,6 +46,38 @@ std::optional<A2AInstance> LoadA2A(const ArgParser& parser,
     err << "error: invalid instance (zero size or an input larger than "
            "q)\n";
     return std::nullopt;
+  }
+  return instance;
+}
+
+// Reads --x-sizes/--y-sizes/--q into an X2Y instance.
+std::optional<X2YInstance> LoadX2Y(const ArgParser& parser,
+                                   std::ostream& err) {
+  const std::string x_path = parser.GetString("x-sizes");
+  const std::string y_path = parser.GetString("y-sizes");
+  if (x_path.empty() || y_path.empty()) {
+    err << "error: --x-sizes=<file> and --y-sizes=<file> are required\n";
+    return std::nullopt;
+  }
+  std::string io_error;
+  const auto x_sizes = ReadSizesFile(x_path, &io_error);
+  if (!x_sizes.has_value()) {
+    err << "error: " << io_error << "\n";
+    return std::nullopt;
+  }
+  const auto y_sizes = ReadSizesFile(y_path, &io_error);
+  if (!y_sizes.has_value()) {
+    err << "error: " << io_error << "\n";
+    return std::nullopt;
+  }
+  const auto q = parser.GetUint("q", 0);
+  if (!q.has_value() || *q == 0) {
+    err << "error: --q=<capacity> is required\n";
+    return std::nullopt;
+  }
+  auto instance = X2YInstance::Create(*x_sizes, *y_sizes, *q);
+  if (!instance.has_value()) {
+    err << "error: invalid instance\n";
   }
   return instance;
 }
@@ -160,33 +193,8 @@ int CmdSolveA2A(const ArgParser& parser, std::ostream& out,
 
 int CmdSolveX2Y(const ArgParser& parser, std::ostream& out,
                 std::ostream& err) {
-  const std::string x_path = parser.GetString("x-sizes");
-  const std::string y_path = parser.GetString("y-sizes");
-  if (x_path.empty() || y_path.empty()) {
-    err << "error: --x-sizes=<file> and --y-sizes=<file> are required\n";
-    return 2;
-  }
-  std::string io_error;
-  const auto x_sizes = ReadSizesFile(x_path, &io_error);
-  if (!x_sizes.has_value()) {
-    err << "error: " << io_error << "\n";
-    return 2;
-  }
-  const auto y_sizes = ReadSizesFile(y_path, &io_error);
-  if (!y_sizes.has_value()) {
-    err << "error: " << io_error << "\n";
-    return 2;
-  }
-  const auto q = parser.GetUint("q", 0);
-  if (!q.has_value() || *q == 0) {
-    err << "error: --q=<capacity> is required\n";
-    return 2;
-  }
-  auto instance = X2YInstance::Create(*x_sizes, *y_sizes, *q);
-  if (!instance.has_value()) {
-    err << "error: invalid instance\n";
-    return 2;
-  }
+  const auto instance = LoadX2Y(parser, err);
+  if (!instance.has_value()) return 2;
   const auto schema = SolveX2YAuto(*instance);
   if (!schema.has_value()) {
     err << "no schema: instance infeasible\n";
@@ -245,6 +253,83 @@ int CmdImprove(const ArgParser& parser, std::ostream& out,
   return 0;
 }
 
+// Renders the portfolio scoreboard of a plan result.
+void PrintScoreboard(const planner::PlanResult& result, std::ostream& err) {
+  if (result.scoreboard.empty()) return;
+  // Scoreboard values are in canonical (gcd-scaled) size units; the
+  // summary line above reports the de-canonicalized (original) costs.
+  TablePrinter table("portfolio scoreboard (canonical units)");
+  table.SetHeader({"algorithm", "reducers", "communication", "merged away",
+                   "micros"});
+  for (const planner::AlgorithmScore& score : result.scoreboard) {
+    if (!score.produced) {
+      table.AddRow({score.name, "-", "-", "-",
+                    TablePrinter::Fmt(score.micros)});
+      continue;
+    }
+    table.AddRow({score.name, TablePrinter::Fmt(score.reducers),
+                  TablePrinter::Fmt(score.communication),
+                  TablePrinter::Fmt(score.merged_away),
+                  TablePrinter::Fmt(score.micros)});
+  }
+  table.Print(err);
+}
+
+// plan — run the PlannerService (canonicalization + plan cache +
+// portfolio) on an A2A instance (--sizes) or X2Y pair
+// (--x-sizes/--y-sizes). --repeat demonstrates the warm cache path.
+int CmdPlan(const ArgParser& parser, std::ostream& out, std::ostream& err) {
+  const auto shards = parser.GetUint("cache-shards", 8);
+  const auto portfolio = parser.GetUint("portfolio", 1);
+  const auto budget_ms = parser.GetDouble("budget-ms", 0.0);
+  const auto repeat = parser.GetUint("repeat", 2);
+  if (!shards || *shards == 0 || !portfolio || !budget_ms || !repeat ||
+      *repeat == 0) {
+    err << "error: bad --cache-shards/--portfolio/--budget-ms/--repeat\n";
+    return 2;
+  }
+
+  planner::PlannerConfig config;
+  config.cache_shards = *shards;
+  planner::PlanOptions opts;
+  opts.use_portfolio = *portfolio != 0;
+  opts.budget_ms = *budget_ms;
+
+  const bool x2y = parser.Has("x-sizes") || parser.Has("y-sizes");
+  std::optional<A2AInstance> a2a;
+  std::optional<X2YInstance> xy;
+  if (x2y) {
+    xy = LoadX2Y(parser, err);
+    if (!xy.has_value()) return 2;
+  } else {
+    a2a = LoadA2A(parser, err);
+    if (!a2a.has_value()) return 2;
+  }
+
+  planner::PlannerService service(config);
+  planner::PlanResult result;
+  planner::PlanResult cold;  // first call, the one with the scoreboard
+  for (uint64_t i = 0; i < *repeat; ++i) {
+    result = x2y ? service.Plan(*xy, opts) : service.Plan(*a2a, opts);
+    if (i == 0) cold = result;
+    // Infeasible plans are never cached; repeating would just re-solve.
+    if (!result.schema.has_value()) break;
+  }
+  if (!result.schema.has_value()) {
+    err << "no schema: instance infeasible\n";
+    return 1;
+  }
+  err << "algorithm=" << result.algorithm
+      << " reducers=" << result.stats.num_reducers
+      << " communication=" << result.stats.communication_cost
+      << " cache_hit=" << (result.cache_hit ? 1 : 0)
+      << " plan_micros=" << result.plan_micros << "\n";
+  PrintScoreboard(cold, err);
+  service.PrintStats(err);
+  out << SchemaToText(*result.schema);
+  return 0;
+}
+
 }  // namespace
 
 void PrintUsage(std::ostream& out) {
@@ -262,6 +347,10 @@ void PrintUsage(std::ostream& out) {
          "  solve-x2y  --x-sizes=FILE --y-sizes=FILE --q=Q\n"
          "  validate   --sizes=FILE --q=Q --schema=FILE\n"
          "  improve    --sizes=FILE --q=Q --schema=FILE\n"
+         "  plan       --sizes=FILE --q=Q   (or --x-sizes/--y-sizes)\n"
+         "             [--portfolio=0|1] [--cache-shards=N]\n"
+         "             [--budget-ms=MS] [--repeat=N]\n"
+         "             planning service: canonicalize, cache, portfolio\n"
          "\n"
          "a2a algorithms: auto single-reducer naive-all-pairs "
          "equal-grouping\n"
@@ -281,6 +370,7 @@ int RunCommand(const ArgParser& parser, std::ostream& out,
   if (command == "solve-x2y") return CmdSolveX2Y(parser, out, err);
   if (command == "validate") return CmdValidate(parser, out, err);
   if (command == "improve") return CmdImprove(parser, out, err);
+  if (command == "plan") return CmdPlan(parser, out, err);
   if (command == "help") {
     PrintUsage(out);
     return 0;

@@ -9,6 +9,8 @@
 //   solve-x2y — construct an X2Y schema from two sizes files
 //   validate  — check a schema file against an instance
 //   improve   — run the merge/prune post-optimizer on a schema file
+//   plan      — solve through the PlannerService (canonicalization,
+//               plan cache, algorithm portfolio)
 
 #ifndef MSP_CLI_COMMANDS_H_
 #define MSP_CLI_COMMANDS_H_

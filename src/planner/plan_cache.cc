@@ -1,0 +1,76 @@
+#include "planner/plan_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace msp::planner {
+
+PlanCache::PlanCache(std::size_t num_shards, std::size_t capacity_per_shard)
+    : capacity_per_shard_(std::max<std::size_t>(1, capacity_per_shard)) {
+  num_shards = std::max<std::size_t>(1, num_shards);
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(const PlanKey& key) {
+  Shard& shard = ShardFor(HashPlanKey(key));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.counters.misses;
+    return nullptr;
+  }
+  ++shard.counters.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->plan;
+}
+
+void PlanCache::Insert(const PlanKey& key,
+                       std::shared_ptr<const CachedPlan> plan) {
+  MSP_CHECK(plan != nullptr);
+  Shard& shard = ShardFor(HashPlanKey(key));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->plan = std::move(plan);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.counters.replacements;
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(plan)});
+  shard.index.emplace(key, shard.lru.begin());
+  ++shard.counters.insertions;
+  if (shard.index.size() > capacity_per_shard_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.counters.evictions;
+  }
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->counters.hits;
+    total.misses += shard->counters.misses;
+    total.insertions += shard->counters.insertions;
+    total.replacements += shard->counters.replacements;
+    total.evictions += shard->counters.evictions;
+    total.entries += shard->index.size();
+  }
+  return total;
+}
+
+void PlanCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace msp::planner

@@ -1,0 +1,101 @@
+// Sharded LRU cache of solved plans, keyed by canonical instance.
+//
+// The cache is the planner's warm path: a hit returns a previously
+// solved canonical schema without running any construction algorithm.
+// Shards are independent mutex-protected LRU lists selected by the key
+// hash, so concurrent planners contend only when they race on the same
+// shard. Counters are updated under the shard lock, which makes the
+// aggregate statistics exact (hits + misses == lookups, insertions -
+// evictions - replacements == entries) even under heavy concurrency.
+
+#ifndef MSP_PLANNER_PLAN_CACHE_H_
+#define MSP_PLANNER_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/schema.h"
+#include "planner/canonical.h"
+
+namespace msp::planner {
+
+/// A solved plan for one canonical instance. Immutable once cached;
+/// shared_ptr lets readers keep it alive past an eviction.
+struct CachedPlan {
+  MappingSchema schema;  // over canonical ids
+  std::string algorithm;
+  uint64_t num_reducers = 0;
+  uint64_t communication = 0;  // in canonical (scaled) size units
+};
+
+/// Aggregate cache counters. Exact: every field is mutated under a
+/// shard lock and the snapshot sums over all shards.
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;    // new keys added
+  uint64_t replacements = 0;  // existing keys overwritten
+  uint64_t evictions = 0;     // entries dropped by the LRU policy
+  uint64_t entries = 0;       // currently cached
+};
+
+/// Thread-safe sharded LRU map: PlanKey -> CachedPlan.
+class PlanCache {
+ public:
+  /// `num_shards` independent shards (at least 1) of
+  /// `capacity_per_shard` entries each (at least 1).
+  PlanCache(std::size_t num_shards, std::size_t capacity_per_shard);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached plan and refreshes its recency, or nullptr on
+  /// a miss.
+  std::shared_ptr<const CachedPlan> Lookup(const PlanKey& key);
+
+  /// Inserts (or replaces) the plan for `key`, evicting the shard's
+  /// least-recently-used entry when the shard is full.
+  void Insert(const PlanKey& key, std::shared_ptr<const CachedPlan> plan);
+
+  /// Exact aggregate counters.
+  PlanCacheStats stats() const;
+
+  /// Drops every entry (counters other than `entries` are preserved).
+  void Clear();
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t capacity_per_shard() const { return capacity_per_shard_; }
+
+ private:
+  struct Entry {
+    PlanKey key;
+    std::shared_ptr<const CachedPlan> plan;
+  };
+  struct KeyHash {
+    std::size_t operator()(const PlanKey& key) const {
+      return static_cast<std::size_t>(HashPlanKey(key));
+    }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<PlanKey, std::list<Entry>::iterator, KeyHash> index;
+    PlanCacheStats counters;  // `entries` tracked as index.size()
+  };
+
+  Shard& ShardFor(uint64_t hash) {
+    return *shards_[hash % shards_.size()];
+  }
+
+  std::size_t capacity_per_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace msp::planner
+
+#endif  // MSP_PLANNER_PLAN_CACHE_H_

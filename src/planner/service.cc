@@ -1,0 +1,222 @@
+#include "planner/service.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <memory>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "core/a2a.h"
+#include "core/x2y.h"
+#include "util/summary_stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace msp::planner {
+
+namespace {
+
+std::size_t ResolveThreads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 4;
+}
+
+std::optional<MappingSchema> SolveAuto(const A2AInstance& in) {
+  return SolveA2AAuto(in);
+}
+std::optional<MappingSchema> SolveAuto(const X2YInstance& in) {
+  return SolveX2YAuto(in);
+}
+
+constexpr bool IsA2A(const A2AInstance*) { return true; }
+constexpr bool IsA2A(const X2YInstance*) { return false; }
+
+}  // namespace
+
+PlannerService::PlannerService(const PlannerConfig& config)
+    : config_(config),
+      pool_(ResolveThreads(config.num_threads)),
+      cache_(config.cache_shards, config.cache_capacity_per_shard) {}
+
+template <typename Instance>
+PlanResult PlannerService::PlanImpl(const Instance& instance,
+                                    const PlanOptions& opts,
+                                    ThreadPool* pool) {
+  Stopwatch watch;
+  PlanResult result;
+  bool used_portfolio = false;
+
+  const auto canonical = Canonicalize(instance);
+  const PlanKey key = MakeKey(canonical.instance);
+
+  if (auto cached = cache_.Lookup(key)) {
+    // Warm path: no solving, just rewrite the canonical schema back to
+    // the original ids.
+    result.cache_hit = true;
+    result.algorithm = cached->algorithm;
+    result.schema = Decanonicalize(canonical.original_ids, cached->schema);
+  } else {
+    std::optional<MappingSchema> canonical_schema;
+    const bool portfolio =
+        opts.use_portfolio && (opts.budget_ms <= 0.0 ||
+                               opts.budget_ms >= config_.portfolio_min_budget_ms);
+    if (portfolio) {
+      used_portfolio = true;
+      PortfolioResult run = RunPortfolio(canonical.instance, pool);
+      result.scoreboard = std::move(run.scoreboard);
+      result.algorithm = run.best_algorithm;
+      canonical_schema = std::move(run.best);
+    } else {
+      canonical_schema = SolveAuto(canonical.instance);
+      if (canonical_schema.has_value()) {
+        ApplyMergePass(canonical.instance, &*canonical_schema);
+        result.algorithm = "auto";
+      }
+    }
+    if (canonical_schema.has_value()) {
+      auto plan = std::make_shared<CachedPlan>();
+      const SchemaStats canonical_stats =
+          SchemaStats::Compute(canonical.instance, *canonical_schema);
+      plan->algorithm = result.algorithm;
+      plan->num_reducers = canonical_stats.num_reducers;
+      plan->communication = canonical_stats.communication_cost;
+      plan->schema = *canonical_schema;
+      cache_.Insert(key, std::move(plan));
+      result.schema =
+          Decanonicalize(canonical.original_ids, *canonical_schema);
+    }
+  }
+
+  if (result.schema.has_value()) {
+    result.stats = SchemaStats::Compute(instance, *result.schema);
+  }
+  result.plan_micros = watch.ElapsedMicros();
+  RecordPlan(result, IsA2A(&instance), used_portfolio);
+  return result;
+}
+
+template <typename Instance>
+std::vector<PlanResult> PlannerService::PlanManyImpl(
+    const std::vector<Instance>& instances, const PlanOptions& opts) {
+  std::vector<PlanResult> results(instances.size());
+  if (instances.empty()) return results;
+  // One pool task per request; each solves inline (no nested portfolio
+  // submissions, so pool workers never block on each other). A per-call
+  // latch rather than ThreadPool::Wait() keeps concurrent batches
+  // independent.
+  std::mutex mu;
+  std::condition_variable done;
+  std::size_t remaining = instances.size();
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    pool_.Submit([&, i] {
+      results[i] = PlanImpl(instances[i], opts, /*pool=*/nullptr);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done.wait(lock, [&] { return remaining == 0; });
+  return results;
+}
+
+PlanResult PlannerService::Plan(const A2AInstance& instance,
+                                const PlanOptions& opts) {
+  return PlanImpl(instance, opts, &pool_);
+}
+
+PlanResult PlannerService::Plan(const X2YInstance& instance,
+                                const PlanOptions& opts) {
+  return PlanImpl(instance, opts, &pool_);
+}
+
+std::vector<PlanResult> PlannerService::PlanMany(
+    const std::vector<A2AInstance>& instances, const PlanOptions& opts) {
+  return PlanManyImpl(instances, opts);
+}
+
+std::vector<PlanResult> PlannerService::PlanMany(
+    const std::vector<X2YInstance>& instances, const PlanOptions& opts) {
+  return PlanManyImpl(instances, opts);
+}
+
+void PlannerService::RecordPlan(const PlanResult& result, bool is_a2a,
+                                bool used_portfolio) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++counters_.plans;
+  if (is_a2a) {
+    ++counters_.a2a_plans;
+  } else {
+    ++counters_.x2y_plans;
+  }
+  if (!result.schema.has_value()) ++counters_.infeasible;
+  if (!result.cache_hit && result.schema.has_value()) {
+    if (used_portfolio) {
+      ++counters_.portfolio_runs;
+    } else {
+      ++counters_.auto_runs;
+    }
+  }
+  const double micros = static_cast<double>(result.plan_micros);
+  if (latency_us_.size() < config_.max_latency_samples) {
+    latency_us_.push_back(micros);
+  } else if (!latency_us_.empty()) {
+    latency_us_[latency_next_] = micros;
+    latency_next_ = (latency_next_ + 1) % latency_us_.size();
+  }
+}
+
+PlannerStats PlannerService::stats() const {
+  PlannerStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snapshot = counters_;
+  }
+  const PlanCacheStats cache = cache_.stats();
+  snapshot.cache_hits = cache.hits;
+  snapshot.cache_misses = cache.misses;
+  snapshot.cache_insertions = cache.insertions;
+  snapshot.cache_replacements = cache.replacements;
+  snapshot.cache_evictions = cache.evictions;
+  snapshot.cache_entries = cache.entries;
+  return snapshot;
+}
+
+void PlannerService::PrintStats(std::ostream& out) const {
+  const PlannerStats s = stats();
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    latencies = latency_us_;
+  }
+
+  TablePrinter table("planner stats");
+  table.SetHeader({"counter", "value"});
+  table.AddRow({"plans", TablePrinter::Fmt(s.plans)});
+  table.AddRow({"a2a / x2y", TablePrinter::Fmt(s.a2a_plans) + " / " +
+                                 TablePrinter::Fmt(s.x2y_plans)});
+  table.AddRow({"cache hits", TablePrinter::Fmt(s.cache_hits)});
+  table.AddRow({"cache misses", TablePrinter::Fmt(s.cache_misses)});
+  const uint64_t lookups = s.cache_hits + s.cache_misses;
+  table.AddRow({"hit rate",
+                lookups == 0
+                    ? "-"
+                    : TablePrinter::Fmt(static_cast<double>(s.cache_hits) /
+                                        static_cast<double>(lookups))});
+  table.AddRow({"cache entries", TablePrinter::Fmt(s.cache_entries)});
+  table.AddRow({"cache evictions", TablePrinter::Fmt(s.cache_evictions)});
+  table.AddRow({"portfolio runs", TablePrinter::Fmt(s.portfolio_runs)});
+  table.AddRow({"auto runs", TablePrinter::Fmt(s.auto_runs)});
+  table.AddRow({"infeasible", TablePrinter::Fmt(s.infeasible)});
+  if (!latencies.empty()) {
+    const SummaryStats lat = SummaryStats::Compute(latencies);
+    table.AddRow({"plan us (mean)", TablePrinter::Fmt(lat.mean())});
+    table.AddRow({"plan us (p50)", TablePrinter::Fmt(lat.Percentile(50))});
+    table.AddRow({"plan us (p95)", TablePrinter::Fmt(lat.Percentile(95))});
+    table.AddRow({"plan us (max)", TablePrinter::Fmt(lat.max())});
+  }
+  table.Print(out);
+}
+
+}  // namespace msp::planner

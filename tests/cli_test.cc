@@ -197,6 +197,75 @@ TEST(CommandsTest, MissingRequiredOptions) {
   EXPECT_EQ(RunCli({"solve-a2a"}).code, 2);
   EXPECT_EQ(RunCli({"solve-x2y", "--q=10"}).code, 2);
   EXPECT_EQ(RunCli({"validate", "--q=10"}).code, 2);
+  EXPECT_EQ(RunCli({"plan"}).code, 2);
+  EXPECT_EQ(RunCli({"plan", "--x-sizes=/nope", "--q=10"}).code, 2);
+}
+
+TEST(CommandsTest, PlanA2AFlow) {
+  const std::string sizes_path = TempPath("plan.sizes");
+  WriteFile(sizes_path, "40 35 30 25\n20 15 10 5\n");
+  const CommandResult result =
+      RunCli({"plan", "--sizes", sizes_path.c_str(), "--q=100"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  // Default --repeat=2: the reported (last) plan is a cache hit and the
+  // cold run's scoreboard plus the service stats go to stderr.
+  EXPECT_NE(result.err.find("cache_hit=1"), std::string::npos);
+  EXPECT_NE(result.err.find("portfolio scoreboard"), std::string::npos);
+  EXPECT_NE(result.err.find("planner stats"), std::string::npos);
+
+  // The emitted schema must validate against the instance.
+  const std::string schema_path = TempPath("plan.schema");
+  WriteFile(schema_path, result.out);
+  const CommandResult valid =
+      RunCli({"validate", "--sizes", sizes_path.c_str(), "--q=100",
+              "--schema", schema_path.c_str()});
+  EXPECT_EQ(valid.code, 0) << valid.out;
+  std::remove(sizes_path.c_str());
+  std::remove(schema_path.c_str());
+}
+
+TEST(CommandsTest, PlanX2YFlow) {
+  const std::string x_path = TempPath("plan_x.sizes");
+  const std::string y_path = TempPath("plan_y.sizes");
+  WriteFile(x_path, "5 5 5 5\n");
+  WriteFile(y_path, "3 3\n");
+  const CommandResult result =
+      RunCli({"plan", "--x-sizes", x_path.c_str(), "--y-sizes",
+              y_path.c_str(), "--q=16", "--cache-shards=2"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("mapping-schema v1"), std::string::npos);
+  EXPECT_NE(result.err.find("algorithm="), std::string::npos);
+  std::remove(x_path.c_str());
+  std::remove(y_path.c_str());
+}
+
+TEST(CommandsTest, PlanBudgetFallsBackToAuto) {
+  const std::string sizes_path = TempPath("plan_budget.sizes");
+  WriteFile(sizes_path, "9 8 7 6 5 4 3 2\n");
+  const CommandResult result =
+      RunCli({"plan", "--sizes", sizes_path.c_str(), "--q=20",
+              "--budget-ms=0.01", "--repeat=1"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.err.find("algorithm=auto"), std::string::npos);
+  // The auto fallback runs no portfolio, so there is no scoreboard.
+  EXPECT_EQ(result.err.find("portfolio scoreboard"), std::string::npos);
+  std::remove(sizes_path.c_str());
+}
+
+TEST(CommandsTest, PlanInfeasibleInstanceFails) {
+  const std::string sizes_path = TempPath("plan_infeasible.sizes");
+  WriteFile(sizes_path, "90 90\n");
+  const CommandResult result =
+      RunCli({"plan", "--sizes", sizes_path.c_str(), "--q=100"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("infeasible"), std::string::npos);
+  std::remove(sizes_path.c_str());
+}
+
+TEST(CommandsTest, PlanListedInHelp) {
+  const CommandResult result = RunCli({"help"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("plan"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,142 @@
+// Tests for the sharded LRU plan cache: hit/miss/eviction semantics,
+// exact counters, and a multi-threaded stress run over overlapping
+// keys verifying stats consistency.
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "planner/plan_cache.h"
+
+namespace msp::planner {
+namespace {
+
+PlanKey KeyFor(uint64_t id, InputSize capacity = 100) {
+  PlanKey key;
+  key.kind = PlanKey::kA2A;
+  key.capacity = capacity;
+  key.sizes = {id + 1, id + 2, id + 3};
+  return key;
+}
+
+std::shared_ptr<const CachedPlan> PlanFor(uint64_t id) {
+  auto plan = std::make_shared<CachedPlan>();
+  plan->algorithm = "test";
+  plan->num_reducers = id;
+  return plan;
+}
+
+TEST(PlanCacheTest, MissThenHit) {
+  PlanCache cache(/*num_shards=*/4, /*capacity_per_shard=*/8);
+  const PlanKey key = KeyFor(1);
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  cache.Insert(key, PlanFor(1));
+  const auto hit = cache.Lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->num_reducers, 1u);
+
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(PlanCacheTest, ReplacementKeepsOneEntry) {
+  PlanCache cache(1, 8);
+  cache.Insert(KeyFor(1), PlanFor(1));
+  cache.Insert(KeyFor(1), PlanFor(2));
+  const auto hit = cache.Lookup(KeyFor(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->num_reducers, 2u);
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.replacements, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsed) {
+  // Single shard of capacity 2 makes the LRU order observable.
+  PlanCache cache(1, 2);
+  cache.Insert(KeyFor(1), PlanFor(1));
+  cache.Insert(KeyFor(2), PlanFor(2));
+  ASSERT_NE(cache.Lookup(KeyFor(1)), nullptr);  // refresh key 1
+  cache.Insert(KeyFor(3), PlanFor(3));          // evicts key 2
+  EXPECT_NE(cache.Lookup(KeyFor(1)), nullptr);
+  EXPECT_EQ(cache.Lookup(KeyFor(2)), nullptr);
+  EXPECT_NE(cache.Lookup(KeyFor(3)), nullptr);
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(PlanCacheTest, ClearDropsEntries) {
+  PlanCache cache(2, 4);
+  cache.Insert(KeyFor(1), PlanFor(1));
+  cache.Insert(KeyFor(2), PlanFor(2));
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.Lookup(KeyFor(1)), nullptr);
+}
+
+TEST(PlanCacheTest, ShardAndCapacityFloorsAtOne) {
+  PlanCache cache(0, 0);
+  EXPECT_EQ(cache.num_shards(), 1u);
+  EXPECT_EQ(cache.capacity_per_shard(), 1u);
+  cache.Insert(KeyFor(1), PlanFor(1));
+  cache.Insert(KeyFor(2), PlanFor(2));
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+// Many threads hammer a small overlapping key space. Afterwards the
+// counters must balance exactly: every lookup is a hit or a miss, and
+// live entries equal insertions minus evictions.
+TEST(PlanCacheStressTest, CountersExactUnderConcurrency) {
+  constexpr std::size_t kThreads = 8;
+  constexpr uint64_t kOpsPerThread = 20'000;
+  constexpr uint64_t kKeySpace = 64;  // overlapping across threads
+  PlanCache cache(/*num_shards=*/4, /*capacity_per_shard=*/8);
+
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> lookups(kThreads, 0);
+  std::vector<uint64_t> inserts(kThreads, 0);
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Cheap deterministic per-thread LCG; no shared state.
+      uint64_t state = 0x9e3779b97f4a7c15ull * (t + 1);
+      for (uint64_t op = 0; op < kOpsPerThread; ++op) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const uint64_t id = (state >> 33) % kKeySpace;
+        const PlanKey key = KeyFor(id);
+        if (auto hit = cache.Lookup(key)) {
+          // Cached plans are immutable; reading is always safe.
+          EXPECT_EQ(hit->num_reducers, id);
+        } else {
+          cache.Insert(key, PlanFor(id));
+          ++inserts[t];
+        }
+        ++lookups[t];
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  uint64_t total_lookups = 0;
+  for (uint64_t n : lookups) total_lookups += n;
+
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, total_lookups);
+  EXPECT_EQ(stats.insertions + stats.replacements,
+            inserts[0] + inserts[1] + inserts[2] + inserts[3] + inserts[4] +
+                inserts[5] + inserts[6] + inserts[7]);
+  EXPECT_EQ(stats.entries, stats.insertions - stats.evictions);
+  EXPECT_LE(stats.entries, 4u * 8u);
+  EXPECT_GT(stats.hits, 0u);
+}
+
+}  // namespace
+}  // namespace msp::planner

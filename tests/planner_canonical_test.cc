@@ -1,0 +1,148 @@
+// Tests for instance canonicalization: canonical form invariants, key
+// equality across the equivalence class, and the round-trip property
+// canonicalize -> solve -> de-canonicalize == valid for the original.
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "core/a2a.h"
+#include "core/validate.h"
+#include "core/x2y.h"
+#include "gtest/gtest.h"
+#include "planner/canonical.h"
+#include "workload/sizes.h"
+
+namespace msp::planner {
+namespace {
+
+TEST(CanonicalA2ATest, SortsDescendingAndScalesByGcd) {
+  const auto in = A2AInstance::Create({6, 18, 12, 6}, 30).value();
+  const CanonicalA2A canonical = Canonicalize(in);
+  // gcd(6, 18, 12, 6, 30) = 6.
+  EXPECT_EQ(canonical.scale, 6u);
+  EXPECT_EQ(canonical.instance.capacity(), 5u);
+  EXPECT_EQ(canonical.instance.sizes(), (std::vector<InputSize>{3, 2, 1, 1}));
+  // original_ids maps canonical positions back: 18 was input 1, 12 was
+  // input 2, and the two 6s keep their relative order (stable sort).
+  EXPECT_EQ(canonical.original_ids, (std::vector<InputId>{1, 2, 0, 3}));
+}
+
+TEST(CanonicalA2ATest, GcdIncludesCapacity) {
+  // gcd of the sizes alone is 4, but q = 10 limits the scale to 2.
+  const auto in = A2AInstance::Create({4, 8}, 10).value();
+  const CanonicalA2A canonical = Canonicalize(in);
+  EXPECT_EQ(canonical.scale, 2u);
+  EXPECT_EQ(canonical.instance.capacity(), 5u);
+  EXPECT_EQ(canonical.instance.sizes(), (std::vector<InputSize>{4, 2}));
+}
+
+TEST(CanonicalA2ATest, EquivalentInstancesShareOneKey) {
+  const auto base = A2AInstance::Create({5, 3, 8, 2}, 11).value();
+  const auto permuted = A2AInstance::Create({2, 8, 3, 5}, 11).value();
+  const auto scaled = A2AInstance::Create({35, 21, 56, 14}, 77).value();
+  const PlanKey key = MakeKey(Canonicalize(base).instance);
+  EXPECT_EQ(key, MakeKey(Canonicalize(permuted).instance));
+  EXPECT_EQ(key, MakeKey(Canonicalize(scaled).instance));
+  EXPECT_EQ(HashPlanKey(key),
+            HashPlanKey(MakeKey(Canonicalize(scaled).instance)));
+}
+
+TEST(CanonicalA2ATest, DifferentCapacityOrSizesChangeTheKey) {
+  const auto a = A2AInstance::Create({5, 3, 2}, 11).value();
+  const auto b = A2AInstance::Create({5, 3, 2}, 12).value();
+  const auto c = A2AInstance::Create({5, 3, 3}, 11).value();
+  EXPECT_NE(MakeKey(Canonicalize(a).instance),
+            MakeKey(Canonicalize(b).instance));
+  EXPECT_NE(MakeKey(Canonicalize(a).instance),
+            MakeKey(Canonicalize(c).instance));
+}
+
+TEST(CanonicalA2ATest, A2AAndX2YKeysNeverCollide) {
+  const auto a2a = A2AInstance::Create({3, 2, 1}, 6).value();
+  const auto x2y = X2YInstance::Create({3}, {2, 1}, 6).value();
+  const PlanKey ka = MakeKey(Canonicalize(a2a).instance);
+  const PlanKey kx = MakeKey(Canonicalize(x2y).instance);
+  EXPECT_NE(ka, kx);
+}
+
+TEST(CanonicalX2YTest, MirroredSidesCanonicalizeIdentically) {
+  const auto ab = X2YInstance::Create({9, 4}, {6, 6, 2}, 15).value();
+  const auto ba = X2YInstance::Create({6, 6, 2}, {9, 4}, 15).value();
+  const CanonicalX2Y cab = Canonicalize(ab);
+  const CanonicalX2Y cba = Canonicalize(ba);
+  EXPECT_EQ(MakeKey(cab.instance), MakeKey(cba.instance));
+  EXPECT_NE(cab.swapped, cba.swapped);
+}
+
+TEST(CanonicalX2YTest, DecanonicalizeRemapsGlobalIds) {
+  // Y side {8, 10} is lexicographically larger sorted, so it becomes
+  // canonical X.
+  const auto in = X2YInstance::Create({4, 6}, {8, 10}, 16).value();
+  const CanonicalX2Y canonical = Canonicalize(in);
+  ASSERT_TRUE(canonical.swapped);
+  // gcd(4, 6, 8, 10, 16) = 2.
+  EXPECT_EQ(canonical.scale, 2u);
+  EXPECT_EQ(canonical.instance.x_sizes(), (std::vector<InputSize>{5, 4}));
+  EXPECT_EQ(canonical.instance.y_sizes(), (std::vector<InputSize>{3, 2}));
+
+  // A canonical reducer pairing canonical-X0 (=orig Y1, global id 3)
+  // with canonical-Y0 (=orig X1, global id 1).
+  MappingSchema canonical_schema;
+  canonical_schema.AddReducer({0, 2});
+  const MappingSchema original =
+      Decanonicalize(canonical.original_ids, canonical_schema);
+  ASSERT_EQ(original.num_reducers(), 1u);
+  EXPECT_EQ(original.reducers[0], (Reducer{1, 3}));
+}
+
+// Property: canonicalize -> solve the canonical instance -> rewrite the
+// schema back yields a schema that is valid for the ORIGINAL instance
+// (oracle: validate.h), across random feasible instances.
+TEST(CanonicalRoundTripTest, A2ASolveOnCanonicalIsValidForOriginal) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto sizes = wl::ZipfSizes(60, 2, 40, 1.3, seed);
+    const InputSize q = 100;
+    const auto in = A2AInstance::Create(sizes, q).value();
+    const CanonicalA2A canonical = Canonicalize(in);
+    const auto schema = SolveA2AAuto(canonical.instance);
+    ASSERT_TRUE(schema.has_value()) << "seed " << seed;
+    const MappingSchema original =
+        Decanonicalize(canonical.original_ids, *schema);
+    const ValidationResult valid = ValidateA2A(in, original);
+    EXPECT_TRUE(valid.ok) << "seed " << seed << ": " << valid.error;
+  }
+}
+
+TEST(CanonicalRoundTripTest, X2YSolveOnCanonicalIsValidForOriginal) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto x = wl::ZipfSizes(40, 2, 30, 1.2, seed);
+    const auto y = wl::UniformSizes(25, 2, 30, seed + 1000);
+    const InputSize q = 80;
+    const auto in = X2YInstance::Create(x, y, q).value();
+    const CanonicalX2Y canonical = Canonicalize(in);
+    const auto schema = SolveX2YAuto(canonical.instance);
+    ASSERT_TRUE(schema.has_value()) << "seed " << seed;
+    const MappingSchema original =
+        Decanonicalize(canonical.original_ids, *schema);
+    const ValidationResult valid = ValidateX2Y(in, original);
+    EXPECT_TRUE(valid.ok) << "seed " << seed << ": " << valid.error;
+  }
+}
+
+// Scaled instances must solve to schemas with identical structure: the
+// canonical instances are bitwise equal, so the solver output is too.
+TEST(CanonicalRoundTripTest, ScaledInstancesShareCanonicalSolve) {
+  const auto base = A2AInstance::Create({7, 5, 4, 3, 2}, 12).value();
+  std::vector<InputSize> scaled_sizes;
+  for (InputSize w : base.sizes()) scaled_sizes.push_back(w * 9);
+  const auto scaled = A2AInstance::Create(scaled_sizes, 12 * 9).value();
+  const CanonicalA2A cb = Canonicalize(base);
+  const CanonicalA2A cs = Canonicalize(scaled);
+  EXPECT_EQ(cb.instance.sizes(), cs.instance.sizes());
+  EXPECT_EQ(cb.instance.capacity(), cs.instance.capacity());
+  EXPECT_EQ(cs.scale, 9u * cb.scale);
+}
+
+}  // namespace
+}  // namespace msp::planner
