@@ -1,0 +1,229 @@
+// Experiment O1 — the online assignment subsystem: per-update latency,
+// churn, and quality gap of three strategies replaying the same seeded
+// update traces (arrivals, departures, resizes, capacity retunes):
+//
+//  * incremental — local repair + drift-policy re-plans deployed via
+//    the min-move delta (the online subsystem's intended mode);
+//  * replan-every — a full re-plan after every update, deployed from
+//    scratch (the offline "just re-run the paper's algorithm" answer);
+//  * plan-once — pure local repair, never re-planning.
+//
+// Expected shape: incremental moves orders of magnitude fewer bytes
+// than replan-every while staying within the policy's drift bound of
+// the fresh plan's reducer count; plan-once is cheapest per update but
+// its quality gap grows with trace length.
+//
+// Results are mirrored to bench_o1_online.csv in the working
+// directory.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "online/assigner.h"
+#include "online/policy.h"
+#include "online/trace.h"
+#include "util/csv_writer.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "workload/updates.h"
+
+namespace {
+
+using namespace msp;
+
+struct TraceShape {
+  std::string name;
+  wl::TraceConfig config;
+};
+
+std::vector<TraceShape> MakeShapes() {
+  wl::TraceConfig a2a_small;
+  a2a_small.initial_inputs = 40;
+  a2a_small.steps = 400;
+  a2a_small.seed = 31;
+  wl::TraceConfig a2a_large = a2a_small;
+  a2a_large.initial_inputs = 200;
+  a2a_large.steps = 600;
+  a2a_large.seed = 32;
+  wl::TraceConfig x2y = a2a_small;
+  x2y.x2y = true;
+  x2y.initial_inputs = 80;
+  x2y.steps = 400;
+  x2y.seed = 33;
+  return {
+      {"a2a m0=40 steps=400", a2a_small},
+      {"a2a m0=200 steps=600", a2a_large},
+      {"x2y m0=80 steps=400", x2y},
+  };
+}
+
+struct Strategy {
+  std::string name;
+  std::shared_ptr<online::ReplanPolicy> policy;
+  bool full_reassign = false;
+};
+
+std::vector<Strategy> MakeStrategies() {
+  return {
+      {"incremental",
+       std::make_shared<online::DriftThresholdPolicy>(1.5, 2.0, 128), false},
+      {"replan-every", std::make_shared<online::AlwaysReplanPolicy>(), true},
+      {"plan-once", std::make_shared<online::NeverReplanPolicy>(), false},
+  };
+}
+
+struct ReplayOutcome {
+  double mean_update_us = 0;
+  online::OnlineTotals totals;
+  online::QualitySnapshot quality;
+};
+
+ReplayOutcome Replay(const online::UpdateTrace& trace,
+                     const Strategy& strategy) {
+  online::OnlineConfig config;
+  config.x2y = trace.x2y;
+  config.capacity = trace.initial_capacity;
+  config.policy = strategy.policy;
+  config.full_reassign_on_replan = strategy.full_reassign;
+  config.plan_options.use_portfolio = false;
+  online::OnlineAssigner assigner(config);
+  Stopwatch watch;
+  for (const online::Update& update : trace.updates) {
+    assigner.Apply(update);
+  }
+  ReplayOutcome outcome;
+  outcome.mean_update_us =
+      static_cast<double>(watch.ElapsedMicros()) /
+      static_cast<double>(trace.updates.size());
+  outcome.totals = assigner.totals();
+  outcome.quality = assigner.Quality();
+  return outcome;
+}
+
+void PrintComparisonTable(CsvWriter* csv) {
+  TablePrinter table(
+      "O1: online strategies — latency, churn, and quality per trace");
+  table.SetHeader({"trace", "strategy", "us/update", "inputs moved",
+                   "bytes moved", "replans", "z", "z/LB"});
+  csv->WriteRow({"table", "trace", "strategy", "us_per_update",
+                 "inputs_moved", "bytes_moved", "replans", "reducers",
+                 "reducers_over_lb"});
+  for (const TraceShape& shape : MakeShapes()) {
+    const online::UpdateTrace trace = wl::GenerateTrace(shape.config);
+    for (const Strategy& strategy : MakeStrategies()) {
+      const ReplayOutcome outcome = Replay(trace, strategy);
+      const double gap =
+          outcome.quality.lb_reducers == 0
+              ? 0.0
+              : static_cast<double>(outcome.quality.live_reducers) /
+                    static_cast<double>(outcome.quality.lb_reducers);
+      table.AddRow({shape.name, strategy.name,
+                    TablePrinter::Fmt(outcome.mean_update_us, 1),
+                    TablePrinter::Fmt(outcome.totals.churn.inputs_moved),
+                    TablePrinter::Fmt(outcome.totals.churn.bytes_moved),
+                    TablePrinter::Fmt(outcome.totals.replans),
+                    TablePrinter::Fmt(outcome.quality.live_reducers),
+                    TablePrinter::Fmt(gap)});
+      csv->WriteRow(
+          {"O1", shape.name, strategy.name,
+           TablePrinter::Fmt(outcome.mean_update_us, 1),
+           std::to_string(outcome.totals.churn.inputs_moved),
+           std::to_string(outcome.totals.churn.bytes_moved),
+           std::to_string(outcome.totals.replans),
+           std::to_string(outcome.quality.live_reducers),
+           TablePrinter::Fmt(gap)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nExpected shape: incremental moves far fewer inputs/bytes than\n"
+         "replan-every (which rebuilds the assignment each update) while\n"
+         "keeping z within the drift bound; plan-once never replans, so\n"
+         "its z/LB gap is the largest and grows with the trace.\n\n";
+}
+
+void BM_IncrementalUpdate(benchmark::State& state) {
+  wl::TraceConfig config;
+  config.initial_inputs = static_cast<std::size_t>(state.range(0));
+  config.steps = 200;
+  config.seed = 41;
+  const online::UpdateTrace trace = wl::GenerateTrace(config);
+  for (auto _ : state) {
+    online::OnlineConfig online_config;
+    online_config.capacity = trace.initial_capacity;
+    online_config.policy =
+        std::make_shared<online::DriftThresholdPolicy>(1.5, 2.0, 128);
+    online_config.plan_options.use_portfolio = false;
+    online::OnlineAssigner assigner(online_config);
+    for (const online::Update& update : trace.updates) {
+      auto result = assigner.Apply(update);
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(trace.updates.size()));
+}
+BENCHMARK(BM_IncrementalUpdate)->Arg(40)->Arg(200);
+
+void BM_ReplanEveryUpdate(benchmark::State& state) {
+  wl::TraceConfig config;
+  config.initial_inputs = static_cast<std::size_t>(state.range(0));
+  config.steps = 200;
+  config.seed = 42;
+  const online::UpdateTrace trace = wl::GenerateTrace(config);
+  for (auto _ : state) {
+    online::OnlineConfig online_config;
+    online_config.capacity = trace.initial_capacity;
+    online_config.policy = std::make_shared<online::AlwaysReplanPolicy>();
+    online_config.full_reassign_on_replan = true;
+    online_config.plan_options.use_portfolio = false;
+    online::OnlineAssigner assigner(online_config);
+    for (const online::Update& update : trace.updates) {
+      auto result = assigner.Apply(update);
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(trace.updates.size()));
+}
+BENCHMARK(BM_ReplanEveryUpdate)->Arg(40)->Arg(200);
+
+void BM_MinMoveDelta(benchmark::State& state) {
+  // Delta between two fresh plans of neighboring instances — the cost
+  // of the escalation path's bookkeeping.
+  wl::TraceConfig config;
+  config.initial_inputs = static_cast<std::size_t>(state.range(0));
+  config.steps = 1;
+  config.seed = 43;
+  const online::UpdateTrace trace = wl::GenerateTrace(config);
+  online::OnlineConfig online_config;
+  online_config.capacity = trace.initial_capacity;
+  online_config.policy = std::make_shared<online::NeverReplanPolicy>();
+  online::OnlineAssigner assigner(online_config);
+  for (const online::Update& update : trace.updates) assigner.Apply(update);
+  const MappingSchema schema = assigner.Schema();
+  std::vector<InputSize> sizes;
+  for (InputId id = 0; id < trace.updates.size(); ++id) {
+    sizes.push_back(assigner.is_alive(id) ? assigner.size_of(id) : 1);
+  }
+  for (auto _ : state) {
+    auto delta = online::MinMoveDelta(sizes, schema, schema);
+    benchmark::DoNotOptimize(delta);
+  }
+}
+BENCHMARK(BM_MinMoveDelta)->Arg(100)->Arg(400);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CsvWriter csv("bench_o1_online.csv");
+  PrintComparisonTable(&csv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,9 +1,12 @@
 #include "cli/commands.h"
 
+#include <algorithm>
 #include <fstream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "cli/sizes_io.h"
 #include "core/a2a.h"
@@ -14,9 +17,14 @@
 #include "core/schema_io.h"
 #include "core/validate.h"
 #include "core/x2y.h"
+#include "online/assigner.h"
+#include "online/policy.h"
+#include "online/trace.h"
 #include "planner/service.h"
 #include "util/table.h"
+#include "util/timer.h"
 #include "workload/sizes.h"
+#include "workload/updates.h"
 
 namespace msp::cli {
 
@@ -277,7 +285,9 @@ void PrintScoreboard(const planner::PlanResult& result, std::ostream& err) {
 
 // plan — run the PlannerService (canonicalization + plan cache +
 // portfolio) on an A2A instance (--sizes) or X2Y pair
-// (--x-sizes/--y-sizes). --repeat demonstrates the warm cache path.
+// (--x-sizes/--y-sizes). --repeat demonstrates the warm cache path;
+// --stats prints the service counters (hit rate, portfolio vs auto
+// runs) after all repeats.
 int CmdPlan(const ArgParser& parser, std::ostream& out, std::ostream& err) {
   const auto shards = parser.GetUint("cache-shards", 8);
   const auto portfolio = parser.GetUint("portfolio", 1);
@@ -325,8 +335,221 @@ int CmdPlan(const ArgParser& parser, std::ostream& out, std::ostream& err) {
       << " cache_hit=" << (result.cache_hit ? 1 : 0)
       << " plan_micros=" << result.plan_micros << "\n";
   PrintScoreboard(cold, err);
-  service.PrintStats(err);
+  if (parser.Has("stats")) service.PrintStats(err);
   out << SchemaToText(*result.schema);
+  return 0;
+}
+
+// Ceiling on --initial/--steps: keeps a wrapped-negative value
+// (strtoull turns "-1" into 2^64-1) from hanging the generator.
+// Capacity is capped at online::kMaxCapacity for the same reason.
+constexpr uint64_t kMaxTraceEvents = 10'000'000;
+
+// gen-trace — emit a seeded update trace (arrival/departure/resize/
+// retune stream with Zipf sizes) for `mspctl online` and the online
+// benchmarks.
+int CmdGenTrace(const ArgParser& parser, std::ostream& out,
+                std::ostream& err) {
+  const std::string kind = parser.GetString("kind", "a2a");
+  if (kind != "a2a" && kind != "x2y") {
+    err << "error: --kind must be a2a or x2y\n";
+    return 2;
+  }
+  wl::TraceConfig config;
+  config.x2y = kind == "x2y";
+  const auto initial = parser.GetUint("initial", config.initial_inputs);
+  const auto steps = parser.GetUint("steps", config.steps);
+  const auto q = parser.GetUint("q", config.capacity);
+  const auto lo = parser.GetUint("lo", config.lo);
+  const auto hi = parser.GetUint("hi", config.hi);
+  const auto skew = parser.GetDouble("skew", config.skew);
+  const auto seed = parser.GetUint("seed", config.seed);
+  const auto p_add = parser.GetDouble("p-add", config.p_add);
+  const auto p_remove = parser.GetDouble("p-remove", config.p_remove);
+  const auto p_resize = parser.GetDouble("p-resize", config.p_resize);
+  if (!initial || !steps || !q || !lo || !hi || !skew || !seed || !p_add ||
+      !p_remove || !p_resize || *q < 2 || *lo == 0 || *lo > *hi ||
+      *lo > *q / 2 || *skew < 0.0 || *p_add < 0.0 || *p_remove < 0.0 ||
+      *p_resize < 0.0 || *p_add + *p_remove + *p_resize > 1.0 ||
+      *initial > kMaxTraceEvents || *steps > kMaxTraceEvents ||
+      *q > online::kMaxCapacity) {
+    err << "error: bad gen-trace options (need 2<=q<=10^18, 0<lo<=hi, "
+           "q>=2*lo so a pair of lo-sized inputs fits, skew>=0, "
+           "0<=p-add+p-remove+p-resize<=1, initial/steps <= 10^7)\n";
+    return 2;
+  }
+  config.initial_inputs = *initial;
+  config.steps = *steps;
+  config.capacity = *q;
+  config.lo = *lo;
+  config.hi = *hi;
+  config.skew = *skew;
+  config.seed = *seed;
+  config.p_add = *p_add;
+  config.p_remove = *p_remove;
+  config.p_resize = *p_resize;
+  out << online::TraceToText(wl::GenerateTrace(config));
+  return 0;
+}
+
+// online — replay an update trace through the OnlineAssigner and
+// report churn, repair-vs-replan counts, and live quality against the
+// lower bounds. Every intermediate schema is checked against the
+// validate oracle every --validate-every updates (0 disables).
+int CmdOnline(const ArgParser& parser, std::ostream& out, std::ostream& err) {
+  const std::string trace_path = parser.GetString("trace");
+  if (trace_path.empty()) {
+    err << "error: --trace=<file> is required (see mspctl gen-trace)\n";
+    return 2;
+  }
+  std::ifstream in(trace_path);
+  if (!in.good()) {
+    err << "error: cannot open " << trace_path << "\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string parse_error;
+  const auto trace = online::TraceFromText(buffer.str(), &parse_error);
+  if (!trace.has_value()) {
+    err << "error: " << trace_path << ": " << parse_error << "\n";
+    return 2;
+  }
+
+  const std::string policy_name = parser.GetString("policy", "drift");
+  const auto threshold = parser.GetDouble("replan-threshold", 1.5);
+  const auto every_n = parser.GetUint("every-n", 64);
+  const auto validate_every = parser.GetUint("validate-every", 1);
+  const auto portfolio = parser.GetUint("portfolio", 0);
+  if (!threshold || !every_n || !validate_every || !portfolio ||
+      *threshold < 1.0 || *every_n == 0) {
+    err << "error: bad --replan-threshold/--every-n/--validate-every "
+           "(threshold >= 1.0, every-n > 0)\n";
+    return 2;
+  }
+
+  online::OnlineConfig config;
+  config.x2y = trace->x2y;
+  config.capacity = trace->initial_capacity;
+  config.policy = online::MakePolicy(policy_name, *threshold, *every_n);
+  config.plan_options.use_portfolio = *portfolio != 0;
+  if (config.policy == nullptr) {
+    err << "error: unknown --policy '" << policy_name
+        << "' (drift|never|always|every-n)\n";
+    return 2;
+  }
+
+  online::OnlineAssigner assigner(config);
+  uint64_t max_update_us = 0;
+  uint64_t replay_us = 0;
+  uint64_t skipped = 0;
+  std::size_t step = 0;
+  // Trace ids number every `add` line in order, but the assigner only
+  // issues ids to *applied* adds — after a rejected add the two would
+  // silently drift apart, so remove/resize targets are translated
+  // through this map (nullopt = the add was rejected).
+  std::vector<std::optional<InputId>> live_of_trace;
+  for (const online::Update& trace_update : trace->updates) {
+    ++step;
+    online::Update update = trace_update;
+    if (update.kind == online::UpdateKind::kRemoveInput ||
+        update.kind == online::UpdateKind::kResizeInput) {
+      if (update.id >= live_of_trace.size() ||
+          !live_of_trace[update.id].has_value()) {
+        ++skipped;
+        err << "warning: step " << step
+            << " skipped: targets an unknown or rejected input\n";
+        continue;
+      }
+      update.id = *live_of_trace[update.id];
+    }
+    Stopwatch watch;
+    const online::UpdateResult result = assigner.Apply(update);
+    const uint64_t us = watch.ElapsedMicros();
+    if (result.applied) {  // the latency rows average applied updates
+      replay_us += us;
+      max_update_us = std::max(max_update_us, us);
+    }
+    if (update.kind == online::UpdateKind::kAddInput) {
+      live_of_trace.push_back(result.applied ? result.new_id : std::nullopt);
+    }
+    if (!result.applied) {
+      err << "warning: step " << step << " rejected: " << result.error
+          << "\n";
+    }
+    if (*validate_every != 0 && step % *validate_every == 0) {
+      std::string validate_error;
+      if (!assigner.ValidateNow(&validate_error)) {
+        err << "INVALID schema after step " << step << ": "
+            << validate_error << "\n";
+        return 1;
+      }
+    }
+  }
+
+  const online::OnlineTotals& totals = assigner.totals();
+  TablePrinter replay("online replay (" + config.policy->name() + ")");
+  replay.SetHeader({"metric", "value"});
+  replay.AddRow({"updates applied", TablePrinter::Fmt(totals.updates)});
+  replay.AddRow({"updates rejected", TablePrinter::Fmt(totals.rejected)});
+  if (skipped > 0) {
+    replay.AddRow({"steps skipped (bad id)", TablePrinter::Fmt(skipped)});
+  }
+  replay.AddRow({"local repairs", TablePrinter::Fmt(totals.repairs)});
+  replay.AddRow({"full re-plans", TablePrinter::Fmt(totals.replans)});
+  replay.AddRow(
+      {"mean update us",
+       TablePrinter::Fmt(totals.updates == 0
+                             ? 0.0
+                             : static_cast<double>(replay_us) /
+                                   static_cast<double>(totals.updates))});
+  replay.AddRow({"max update us", TablePrinter::Fmt(max_update_us)});
+  replay.Print(err);
+
+  TablePrinter churn("churn");
+  churn.SetHeader({"metric", "value"});
+  churn.AddRow({"inputs moved", TablePrinter::Fmt(totals.churn.inputs_moved)});
+  churn.AddRow(
+      {"inputs dropped", TablePrinter::Fmt(totals.churn.inputs_dropped)});
+  churn.AddRow({"bytes moved", TablePrinter::Fmt(totals.churn.bytes_moved)});
+  churn.AddRow(
+      {"reducers created", TablePrinter::Fmt(totals.churn.reducers_created)});
+  churn.AddRow({"reducers destroyed",
+                TablePrinter::Fmt(totals.churn.reducers_destroyed)});
+  churn.Print(err);
+
+  const online::QualitySnapshot quality = assigner.Quality();
+  TablePrinter quality_table("final quality vs lower bounds");
+  quality_table.SetHeader({"metric", "live", "lower bound", "ratio"});
+  if (quality.bounds_available) {
+    const auto ratio = [](uint64_t live, uint64_t lb) {
+      return lb == 0 ? std::string("-")
+                     : TablePrinter::Fmt(static_cast<double>(live) /
+                                         static_cast<double>(lb));
+    };
+    quality_table.AddRow({"reducers",
+                          TablePrinter::Fmt(quality.live_reducers),
+                          TablePrinter::Fmt(quality.lb_reducers),
+                          ratio(quality.live_reducers, quality.lb_reducers)});
+    quality_table.AddRow(
+        {"communication", TablePrinter::Fmt(quality.live_communication),
+         TablePrinter::Fmt(quality.lb_communication),
+         ratio(quality.live_communication, quality.lb_communication)});
+  } else {
+    quality_table.AddRow({"instance too small to bound", "-", "-", "-"});
+  }
+  quality_table.Print(err);
+  std::string final_error;
+  const bool final_valid = assigner.ValidateNow(&final_error);
+  err << "final: inputs=" << assigner.num_inputs()
+      << " capacity=" << assigner.capacity()
+      << " reducers=" << assigner.Schema().num_reducers()
+      << " valid=" << (final_valid ? "yes" : "NO") << "\n";
+  if (!final_valid) {
+    err << "INVALID final schema: " << final_error << "\n";
+    return 1;
+  }
+  out << SchemaToText(assigner.Schema());
   return 0;
 }
 
@@ -349,13 +572,55 @@ void PrintUsage(std::ostream& out) {
          "  improve    --sizes=FILE --q=Q --schema=FILE\n"
          "  plan       --sizes=FILE --q=Q   (or --x-sizes/--y-sizes)\n"
          "             [--portfolio=0|1] [--cache-shards=N]\n"
-         "             [--budget-ms=MS] [--repeat=N]\n"
+         "             [--budget-ms=MS] [--repeat=N] [--stats]\n"
          "             planning service: canonicalize, cache, portfolio\n"
+         "  gen-trace  --kind=a2a|x2y [--initial=M] [--steps=N] [--q=Q]\n"
+         "             [--lo=L] [--hi=H] [--skew=S] [--seed=K]\n"
+         "             [--p-add=P] [--p-remove=P] [--p-resize=P]\n"
+         "             write an update trace to stdout\n"
+         "  online     --trace=FILE [--policy=drift|never|always|every-n]\n"
+         "             [--replan-threshold=R] [--every-n=N]\n"
+         "             [--validate-every=N] [--portfolio=0|1]\n"
+         "             replay a trace through the online assigner\n"
          "\n"
          "a2a algorithms: auto single-reducer naive-all-pairs "
          "equal-grouping\n"
          "  binpack-pairing binpack-triples big-small greedy-cover\n";
 }
+
+namespace {
+
+// Dispatch table with each command's accepted --options. Misspelled
+// flags silently falling back to defaults would produce wrong
+// experiment data with no hint, so every command is strict.
+struct CommandSpec {
+  const char* name;
+  int (*run)(const ArgParser&, std::ostream&, std::ostream&);
+  std::vector<std::string> flags;
+};
+
+const std::vector<CommandSpec>& Commands() {
+  static const std::vector<CommandSpec> kCommands = {
+      {"gen", CmdGen, {"m", "lo", "hi", "seed", "skew", "dist"}},
+      {"bounds", CmdBounds, {"sizes", "q"}},
+      {"solve-a2a", CmdSolveA2A, {"sizes", "q", "algorithm"}},
+      {"solve-x2y", CmdSolveX2Y, {"x-sizes", "y-sizes", "q"}},
+      {"validate", CmdValidate, {"sizes", "q", "schema"}},
+      {"improve", CmdImprove, {"sizes", "q", "schema"}},
+      {"plan", CmdPlan,
+       {"sizes", "x-sizes", "y-sizes", "q", "cache-shards", "portfolio",
+        "budget-ms", "repeat", "stats"}},
+      {"gen-trace", CmdGenTrace,
+       {"kind", "initial", "steps", "q", "lo", "hi", "skew", "seed",
+        "p-add", "p-remove", "p-resize"}},
+      {"online", CmdOnline,
+       {"trace", "policy", "replan-threshold", "every-n",
+        "validate-every", "portfolio"}},
+  };
+  return kCommands;
+}
+
+}  // namespace
 
 int RunCommand(const ArgParser& parser, std::ostream& out,
                std::ostream& err) {
@@ -364,16 +629,21 @@ int RunCommand(const ArgParser& parser, std::ostream& out,
     return 2;
   }
   const std::string& command = parser.positional()[0];
-  if (command == "gen") return CmdGen(parser, out, err);
-  if (command == "bounds") return CmdBounds(parser, out, err);
-  if (command == "solve-a2a") return CmdSolveA2A(parser, out, err);
-  if (command == "solve-x2y") return CmdSolveX2Y(parser, out, err);
-  if (command == "validate") return CmdValidate(parser, out, err);
-  if (command == "improve") return CmdImprove(parser, out, err);
-  if (command == "plan") return CmdPlan(parser, out, err);
   if (command == "help") {
     PrintUsage(out);
     return 0;
+  }
+  for (const CommandSpec& spec : Commands()) {
+    if (command != spec.name) continue;
+    for (const std::string& name : parser.OptionNames()) {
+      if (std::find(spec.flags.begin(), spec.flags.end(), name) ==
+          spec.flags.end()) {
+        err << "error: unknown option --" << name << " for '" << command
+            << "' (see mspctl help)\n";
+        return 2;
+      }
+    }
+    return spec.run(parser, out, err);
   }
   err << "error: unknown command '" << command << "'\n";
   PrintUsage(err);

@@ -1,0 +1,344 @@
+#include "online/assigner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/bounds.h"
+#include "core/improve.h"
+#include "core/validate.h"
+#include "util/check.h"
+
+namespace msp::online {
+
+namespace {
+
+// Adds the full-reassignment churn of deploying `schema` from scratch.
+void CountFullDeploy(const std::vector<InputSize>& sizes,
+                     const MappingSchema& schema, ChurnStats* churn) {
+  churn->reducers_created += schema.num_reducers();
+  for (const Reducer& reducer : schema.reducers) {
+    for (InputId id : reducer) {
+      ++churn->inputs_moved;
+      churn->bytes_moved += sizes[id];
+    }
+  }
+}
+
+}  // namespace
+
+OnlineAssigner::OnlineAssigner(const OnlineConfig& config)
+    : config_(config),
+      policy_(config.policy ? config.policy
+                            : std::make_shared<DriftThresholdPolicy>()),
+      planner_(std::make_unique<planner::PlannerService>(config.planner)) {
+  MSP_CHECK_GT(config.capacity, 0u) << "OnlineConfig.capacity must be set";
+  MSP_CHECK_LE(config.capacity, kMaxCapacity)
+      << "capacity above 10^18 would let feasibility sums wrap uint64";
+  state_.x2y = config.x2y;
+  state_.capacity = config.capacity;
+}
+
+UpdateResult OnlineAssigner::Apply(const Update& update) {
+  switch (update.kind) {
+    case UpdateKind::kAddInput:
+      return AddInput(update.value, update.side);
+    case UpdateKind::kRemoveInput:
+      return RemoveInput(update.id);
+    case UpdateKind::kResizeInput:
+      return ResizeInput(update.id, update.value);
+    case UpdateKind::kSetCapacity:
+      return SetCapacity(update.value);
+  }
+  return Reject("unknown update kind");
+}
+
+UpdateResult OnlineAssigner::AddInput(InputSize size, Side side) {
+  if (size == 0) return Reject("input size must be positive");
+  if (size > state_.capacity) return Reject("input larger than capacity");
+  if (!config_.x2y) side = Side::kX;
+  // Per-pair feasibility: the new input must fit next to its largest
+  // (current or future peer on the other side) partner.
+  InputSize max_partner = 0;
+  for (InputId j : state_.alive_ids) {
+    if (config_.x2y && state_.sides[j] == side) continue;
+    max_partner = std::max(max_partner, state_.sizes[j]);
+  }
+  if (max_partner > 0 && size + max_partner > state_.capacity) {
+    return Reject("pair would exceed capacity: no reducer could cover it");
+  }
+
+  const InputId id = static_cast<InputId>(state_.sizes.size());
+  state_.sizes.push_back(size);
+  state_.sides.push_back(side);
+  state_.alive.push_back(true);
+  state_.RegisterAlive(id);
+
+  UpdateResult result;
+  result.applied = true;
+  result.new_id = id;
+  RepairAdd(&state_, id, &result.churn);
+  FinishUpdate(&result);
+  return result;
+}
+
+UpdateResult OnlineAssigner::RemoveInput(InputId id) {
+  if (!is_alive(id)) return Reject("unknown or departed input id");
+  UpdateResult result;
+  result.applied = true;
+  RepairRemove(&state_, id, &result.churn);
+  FinishUpdate(&result);
+  return result;
+}
+
+UpdateResult OnlineAssigner::ResizeInput(InputId id, InputSize size) {
+  if (!is_alive(id)) return Reject("unknown or departed input id");
+  if (size == 0) return Reject("input size must be positive");
+  if (size > state_.capacity) return Reject("input larger than capacity");
+  InputSize max_partner = 0;
+  for (InputId j : state_.alive_ids) {
+    if (j == id) continue;
+    if (config_.x2y && state_.sides[j] == state_.sides[id]) continue;
+    max_partner = std::max(max_partner, state_.sizes[j]);
+  }
+  if (max_partner > 0 && size + max_partner > state_.capacity) {
+    return Reject("pair would exceed capacity: no reducer could cover it");
+  }
+  UpdateResult result;
+  result.applied = true;
+  RepairResize(&state_, id, size, &result.churn);
+  FinishUpdate(&result);
+  return result;
+}
+
+UpdateResult OnlineAssigner::SetCapacity(InputSize capacity) {
+  if (capacity == 0) return Reject("capacity must be positive");
+  if (capacity > kMaxCapacity) {
+    return Reject("capacity above the 10^18 limit");
+  }
+  InputSize max_x = 0;
+  InputSize max_y = 0;  // A2A: second-largest overall
+  for (InputId j : state_.alive_ids) {
+    const InputSize w = state_.sizes[j];
+    if (!config_.x2y || state_.sides[j] == Side::kX) {
+      if (!config_.x2y) {
+        if (w >= max_x) {
+          max_y = max_x;
+          max_x = w;
+        } else {
+          max_y = std::max(max_y, w);
+        }
+      } else {
+        max_x = std::max(max_x, w);
+      }
+    } else {
+      max_y = std::max(max_y, w);
+    }
+  }
+  if (std::max(max_x, max_y) > capacity) {
+    return Reject("capacity below an alive input's size");
+  }
+  if (max_x > 0 && max_y > 0 && max_x + max_y > capacity) {
+    return Reject("capacity below the largest required pair");
+  }
+  UpdateResult result;
+  result.applied = true;
+  RepairCapacity(&state_, capacity, &result.churn);
+  FinishUpdate(&result);
+  return result;
+}
+
+UpdateResult OnlineAssigner::Compact() {
+  UpdateResult result;
+  result.applied = true;
+  const MappingSchema before = state_.ToSchema();
+  MappingSchema merged = before;
+  MergeReducers(state_.sizes, state_.capacity, &merged);
+  result.churn = MinMoveDelta(state_.sizes, before, merged).ToChurn();
+  state_.ResetSchema(merged);
+  totals_.churn += result.churn;
+  return result;
+}
+
+UpdateResult OnlineAssigner::Reject(std::string why) {
+  ++totals_.rejected;
+  UpdateResult result;
+  result.error = std::move(why);
+  return result;
+}
+
+void OnlineAssigner::FinishUpdate(UpdateResult* result) {
+  ++updates_since_replan_;
+  MaybeReplan(result);
+  ++totals_.updates;
+  totals_.churn += result->churn;
+  if (result->replanned) {
+    ++totals_.replans;
+  } else {
+    ++totals_.repairs;
+  }
+}
+
+void OnlineAssigner::MaybeReplan(UpdateResult* result) {
+  PolicySignals signals;
+  signals.num_inputs = state_.num_alive();
+  signals.live_reducers = state_.reducers.size();
+  for (InputSize load : state_.loads) signals.live_communication += load;
+  signals.updates_since_replan = updates_since_replan_;
+  // The dense rebuild and lower bounds are the expensive part of the
+  // signals; compute them only for policies that read them, and keep
+  // the view for the Plan call below.
+  std::optional<DenseView> dense;
+  if (policy_->needs_bounds()) {
+    dense.emplace(BuildDense());
+    const QualitySnapshot quality = QualityFrom(*dense);
+    signals.lb_reducers = quality.lb_reducers;
+    signals.lb_communication = quality.lb_communication;
+  }
+  if (!policy_->ShouldReplan(signals)) return;
+
+  if (!dense.has_value()) dense.emplace(BuildDense());
+  if (!dense->usable()) return;
+  const planner::PlanResult plan =
+      dense->a2a.has_value()
+          ? planner_->Plan(*dense->a2a, config_.plan_options)
+          : planner_->Plan(*dense->x2y, config_.plan_options);
+  if (!plan.schema.has_value()) return;  // cannot happen on feasible state
+
+  // The planner was consulted: the drift clock restarts whether or not
+  // the fresh plan is deployed.
+  updates_since_replan_ = 0;
+  if (!config_.full_reassign_on_replan) {
+    // Deploy only a strictly better plan. When repair already matches
+    // what a fresh construction achieves, the drift is structural (the
+    // solver's own approximation gap) and swapping schemas would be
+    // pure churn. The baselines (full reassign) keep their
+    // replan-every-update semantics and always deploy.
+    const uint64_t fresh_reducers = plan.schema->num_reducers();
+    const bool better =
+        fresh_reducers < signals.live_reducers ||
+        (fresh_reducers == signals.live_reducers &&
+         plan.stats.communication_cost < signals.live_communication);
+    if (!better) return;
+  }
+
+  // The plan is over dense ids; rewrite it to live ids.
+  MappingSchema fresh;
+  fresh.reducers.reserve(plan.schema->num_reducers());
+  for (const Reducer& reducer : plan.schema->reducers) {
+    Reducer live;
+    live.reserve(reducer.size());
+    for (InputId dense_id : reducer) {
+      live.push_back(dense->live_of_dense[dense_id]);
+    }
+    std::sort(live.begin(), live.end());
+    fresh.reducers.push_back(std::move(live));
+  }
+  DeployReplanned(fresh, result);
+}
+
+void OnlineAssigner::DeployReplanned(const MappingSchema& fresh_live,
+                                     UpdateResult* result) {
+  ChurnStats replan_churn;
+  if (config_.full_reassign_on_replan) {
+    for (const Reducer& reducer : state_.reducers) {
+      replan_churn.inputs_dropped += reducer.size();
+    }
+    replan_churn.reducers_destroyed += state_.reducers.size();
+    CountFullDeploy(state_.sizes, fresh_live, &replan_churn);
+  } else {
+    replan_churn =
+        MinMoveDelta(state_.sizes, state_.ToSchema(), fresh_live).ToChurn();
+  }
+  state_.ResetSchema(fresh_live);
+  result->churn += replan_churn;
+  result->replanned = true;
+}
+
+OnlineAssigner::DenseView OnlineAssigner::BuildDense() const {
+  DenseView view;
+  std::vector<InputSize> x_sizes;
+  std::vector<InputSize> y_sizes;
+  std::vector<InputId> x_live;
+  std::vector<InputId> y_live;
+  // Ascending id order keeps the dense projection (and with it every
+  // downstream plan) identical regardless of the removal history that
+  // shaped the unordered alive index.
+  std::vector<InputId> ordered = state_.alive_ids;
+  std::sort(ordered.begin(), ordered.end());
+  for (InputId id : ordered) {
+    if (config_.x2y && state_.sides[id] == Side::kY) {
+      y_sizes.push_back(state_.sizes[id]);
+      y_live.push_back(id);
+    } else {
+      x_sizes.push_back(state_.sizes[id]);
+      x_live.push_back(id);
+    }
+  }
+  if (!config_.x2y) {
+    view.a2a = A2AInstance::Create(std::move(x_sizes), state_.capacity);
+    view.live_of_dense = std::move(x_live);
+    return view;
+  }
+  view.x2y = X2YInstance::Create(std::move(x_sizes), std::move(y_sizes),
+                                 state_.capacity);
+  view.live_of_dense = std::move(x_live);
+  view.live_of_dense.insert(view.live_of_dense.end(), y_live.begin(),
+                            y_live.end());
+  return view;
+}
+
+bool OnlineAssigner::ValidateNow(std::string* error) const {
+  const DenseView dense = BuildDense();
+  if (!dense.usable()) {
+    if (error != nullptr) *error = "live instance failed to build";
+    return false;
+  }
+  std::vector<InputId> dense_of(state_.sizes.size(), ~InputId{0});
+  for (InputId d = 0; d < dense.live_of_dense.size(); ++d) {
+    dense_of[dense.live_of_dense[d]] = d;
+  }
+  MappingSchema dense_schema;
+  dense_schema.reducers.reserve(state_.reducers.size());
+  for (const Reducer& reducer : state_.reducers) {
+    Reducer mapped;
+    mapped.reserve(reducer.size());
+    for (InputId id : reducer) {
+      if (dense_of[id] == ~InputId{0}) {
+        if (error != nullptr) *error = "schema references a dead input";
+        return false;
+      }
+      mapped.push_back(dense_of[id]);
+    }
+    dense_schema.reducers.push_back(std::move(mapped));
+  }
+  const ValidationResult result =
+      dense.a2a.has_value() ? ValidateA2A(*dense.a2a, dense_schema)
+                            : ValidateX2Y(*dense.x2y, dense_schema);
+  if (!result.ok && error != nullptr) *error = result.error;
+  return result.ok;
+}
+
+QualitySnapshot OnlineAssigner::Quality() const {
+  return QualityFrom(BuildDense());
+}
+
+QualitySnapshot OnlineAssigner::QualityFrom(const DenseView& dense) const {
+  QualitySnapshot snapshot;
+  snapshot.live_reducers = state_.reducers.size();
+  for (InputSize load : state_.loads) snapshot.live_communication += load;
+  if (dense.a2a.has_value() && dense.a2a->num_inputs() >= 2) {
+    const A2ALowerBounds lb = A2ALowerBounds::Compute(*dense.a2a);
+    snapshot.bounds_available = true;
+    snapshot.lb_reducers = lb.reducers;
+    snapshot.lb_communication = lb.communication;
+  } else if (dense.x2y.has_value() && dense.x2y->num_x() >= 1 &&
+             dense.x2y->num_y() >= 1) {
+    const X2YLowerBounds lb = X2YLowerBounds::Compute(*dense.x2y);
+    snapshot.bounds_available = true;
+    snapshot.lb_reducers = lb.reducers;
+    snapshot.lb_communication = lb.communication;
+  }
+  return snapshot;
+}
+
+}  // namespace msp::online

@@ -1,0 +1,172 @@
+// OnlineAssigner — a live, always-valid mapping schema under updates.
+//
+// The paper's algorithms answer "which schema, for this size vector
+// and q" once; the assigner keeps the answer *continuously* correct
+// while the instance evolves: inputs arrive (AddInput), depart
+// (RemoveInput), change size (ResizeInput), and the reducer capacity
+// is retuned (SetCapacity). Every update is absorbed by the local
+// repair engine (repair.h) with exact churn accounting; after each
+// repair a pluggable policy (policy.h) compares the live schema
+// against the paper's lower bounds and may escalate to a full
+// PlannerService re-plan, deployed through the minimum-move delta
+// (delta.h) so unchanged reducers keep their data.
+//
+//   OnlineConfig config;
+//   config.capacity = 100;
+//   OnlineAssigner assigner(config);
+//   auto a = assigner.AddInput(30);         // a.new_id == 0
+//   auto b = assigner.AddInput(40);         // covers pair (0, 1)
+//   assigner.ResizeInput(*a.new_id, 55);    // local repair
+//   assigner.RemoveInput(*b.new_id);
+//   assert(assigner.ValidateNow());          // oracle-checked validity
+//
+// Updates that would make the instance infeasible (an input larger
+// than q, a pair that fits in no reducer, a capacity below an alive
+// input) are rejected — `UpdateResult::applied` is false and the live
+// schema is untouched, so the validity invariant never breaks.
+//
+// Not thread-safe: one assigner serves one instance's update stream
+// (shard across assigners for parallel serving).
+
+#ifndef MSP_ONLINE_ASSIGNER_H_
+#define MSP_ONLINE_ASSIGNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schema.h"
+#include "online/delta.h"
+#include "online/policy.h"
+#include "online/repair.h"
+#include "online/trace.h"
+#include "planner/service.h"
+
+namespace msp::online {
+
+/// Construction-time configuration.
+struct OnlineConfig {
+  /// Problem shape: false = A2A (every pair), true = X2Y (cross pairs).
+  bool x2y = false;
+  /// Initial reducer capacity q. Must be positive.
+  InputSize capacity = 0;
+  /// Escalation policy; null selects DriftThresholdPolicy defaults.
+  std::shared_ptr<ReplanPolicy> policy;
+  /// When true, a re-plan counts every copy of the fresh schema as
+  /// moved (the naive "reassign everything" deployment) instead of the
+  /// minimum-move delta. Used by the churn baselines.
+  bool full_reassign_on_replan = false;
+  /// Configuration of the internally-owned PlannerService. The default
+  /// single worker keeps per-assigner overhead small.
+  planner::PlannerConfig planner = {.num_threads = 1};
+  /// Plan options for escalated re-plans.
+  planner::PlanOptions plan_options;
+};
+
+/// Outcome of one update.
+struct UpdateResult {
+  bool applied = false;    // false: rejected, state untouched
+  bool replanned = false;  // policy escalated after the repair
+  std::optional<InputId> new_id;  // AddInput only
+  ChurnStats churn;        // exact churn of this update (repair + replan)
+  std::string error;       // why the update was rejected
+};
+
+/// Live quality snapshot against the paper's lower bounds.
+/// `bounds_available` is false when the instance is too small to bound
+/// (fewer than 2 inputs, or an empty X2Y side).
+struct QualitySnapshot {
+  bool bounds_available = false;
+  uint64_t live_reducers = 0;
+  uint64_t live_communication = 0;
+  uint64_t lb_reducers = 0;
+  uint64_t lb_communication = 0;
+};
+
+/// Lifetime counters of an assigner.
+struct OnlineTotals {
+  uint64_t updates = 0;   // applied updates
+  uint64_t rejected = 0;  // infeasible/unknown-id updates refused
+  uint64_t repairs = 0;   // updates absorbed by local repair only
+  uint64_t replans = 0;   // policy escalations to a full re-plan
+  ChurnStats churn;       // exact cumulative churn
+};
+
+/// See the file comment. All mutating calls are sequential.
+class OnlineAssigner {
+ public:
+  explicit OnlineAssigner(const OnlineConfig& config);
+
+  OnlineAssigner(const OnlineAssigner&) = delete;
+  OnlineAssigner& operator=(const OnlineAssigner&) = delete;
+
+  /// Applies one trace event (AddInput ignores `update.id`; the
+  /// assigned id is returned in `UpdateResult::new_id`).
+  UpdateResult Apply(const Update& update);
+
+  /// Convenience wrappers over Apply.
+  UpdateResult AddInput(InputSize size, Side side = Side::kX);
+  UpdateResult RemoveInput(InputId id);
+  UpdateResult ResizeInput(InputId id, InputSize size);
+  UpdateResult SetCapacity(InputSize capacity);
+
+  /// Runs the full MergeReducers pass over the live schema, churn
+  /// accounted through the min-move delta. Never breaks validity.
+  UpdateResult Compact();
+
+  /// The live schema over live (sparse, never-reused) input ids.
+  MappingSchema Schema() const { return state_.ToSchema(); }
+
+  InputSize capacity() const { return state_.capacity; }
+  std::size_t num_inputs() const { return state_.num_alive(); }
+  bool is_alive(InputId id) const {
+    return id < state_.alive.size() && state_.alive[id];
+  }
+  InputSize size_of(InputId id) const { return state_.sizes[id]; }
+
+  /// Checks the live schema against the ValidateA2A/ValidateX2Y
+  /// oracle (on the dense projection of the live instance). Returns
+  /// true when valid; fills `*error` otherwise.
+  bool ValidateNow(std::string* error = nullptr) const;
+
+  /// Live quality vs the paper's lower bounds.
+  QualitySnapshot Quality() const;
+
+  const OnlineTotals& totals() const { return totals_; }
+  const OnlineConfig& config() const { return config_; }
+
+  /// Planner used for escalated re-plans (exposes PrintStats etc.).
+  planner::PlannerService& planner() { return *planner_; }
+
+ private:
+  /// Dense projection: live ids compacted to [0, m) so the immutable
+  /// instance types, the validate oracle, and the planner apply.
+  struct DenseView {
+    std::optional<A2AInstance> a2a;
+    std::optional<X2YInstance> x2y;
+    std::vector<InputId> live_of_dense;  // dense id -> live id
+    bool usable() const { return a2a.has_value() || x2y.has_value(); }
+  };
+  DenseView BuildDense() const;
+  QualitySnapshot QualityFrom(const DenseView& dense) const;
+
+  UpdateResult Reject(std::string why);
+  void FinishUpdate(UpdateResult* result);
+  void MaybeReplan(UpdateResult* result);
+  void DeployReplanned(const MappingSchema& fresh_live,
+                       UpdateResult* result);
+
+  OnlineConfig config_;
+  LiveState state_;
+  std::shared_ptr<ReplanPolicy> policy_;
+  std::unique_ptr<planner::PlannerService> planner_;
+  OnlineTotals totals_;
+  uint64_t updates_since_replan_ = 0;
+};
+
+}  // namespace msp::online
+
+#endif  // MSP_ONLINE_ASSIGNER_H_

@@ -1,0 +1,119 @@
+#include "online/delta.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace msp::online {
+
+namespace {
+
+struct Candidate {
+  InputSize overlap = 0;
+  uint32_t from = 0;
+  uint32_t to = 0;
+};
+
+std::vector<Reducer> SortedReducers(const MappingSchema& schema) {
+  std::vector<Reducer> reducers = schema.reducers;
+  for (Reducer& r : reducers) std::sort(r.begin(), r.end());
+  return reducers;
+}
+
+// Copies in `a` missing from `b` (both sorted): count and total bytes.
+void Difference(const std::vector<InputSize>& sizes, const Reducer& a,
+                const Reducer& b, uint64_t* count, uint64_t* bytes) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size()) {
+    if (j == b.size() || a[i] < b[j]) {
+      ++*count;
+      *bytes += sizes[a[i]];
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
+DeltaStats MinMoveDelta(const std::vector<InputSize>& sizes,
+                        const MappingSchema& from, const MappingSchema& to) {
+  const std::vector<Reducer> old_reducers = SortedReducers(from);
+  const std::vector<Reducer> new_reducers = SortedReducers(to);
+  DeltaStats delta;
+
+  // Inverted index: input id -> old reducers holding a copy.
+  std::unordered_map<InputId, std::vector<uint32_t>> held_by;
+  for (uint32_t r = 0; r < old_reducers.size(); ++r) {
+    for (InputId id : old_reducers[r]) held_by[id].push_back(r);
+  }
+
+  // Overlap bytes for every (old, new) reducer pair sharing an input.
+  // A dense scratch accumulator (reset via the touched list) keeps
+  // this linear in the number of co-occurrences.
+  std::vector<Candidate> candidates;
+  std::vector<InputSize> overlap_with(old_reducers.size(), 0);
+  std::vector<uint32_t> touched;
+  for (uint32_t t = 0; t < new_reducers.size(); ++t) {
+    for (InputId id : new_reducers[t]) {
+      const auto it = held_by.find(id);
+      if (it == held_by.end()) continue;
+      for (uint32_t f : it->second) {
+        if (overlap_with[f] == 0) touched.push_back(f);
+        overlap_with[f] += sizes[id];
+      }
+    }
+    for (uint32_t f : touched) {
+      candidates.push_back({overlap_with[f], f, t});
+      overlap_with[f] = 0;
+    }
+    touched.clear();
+  }
+
+  // Greedy maximum-overlap matching, deterministic tie-breaks.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.overlap != b.overlap) return a.overlap > b.overlap;
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  std::vector<uint32_t> match_of_new(new_reducers.size(), ~uint32_t{0});
+  std::vector<bool> old_taken(old_reducers.size(), false);
+  for (const Candidate& c : candidates) {
+    if (old_taken[c.from] || match_of_new[c.to] != ~uint32_t{0}) continue;
+    old_taken[c.from] = true;
+    match_of_new[c.to] = c.from;
+    ++delta.reducers_matched;
+  }
+
+  for (uint32_t t = 0; t < new_reducers.size(); ++t) {
+    if (match_of_new[t] == ~uint32_t{0}) {
+      ++delta.reducers_created;
+      for (InputId id : new_reducers[t]) {
+        ++delta.inputs_moved;
+        delta.bytes_moved += sizes[id];
+      }
+      continue;
+    }
+    const Reducer& old_r = old_reducers[match_of_new[t]];
+    Difference(sizes, new_reducers[t], old_r, &delta.inputs_moved,
+               &delta.bytes_moved);
+    uint64_t dropped_bytes = 0;  // bytes of dropped copies are not churn
+    Difference(sizes, old_r, new_reducers[t], &delta.inputs_dropped,
+               &dropped_bytes);
+  }
+  for (uint32_t f = 0; f < old_reducers.size(); ++f) {
+    if (old_taken[f]) continue;
+    ++delta.reducers_destroyed;
+    delta.inputs_dropped += old_reducers[f].size();
+  }
+  return delta;
+}
+
+}  // namespace msp::online

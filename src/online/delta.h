@@ -1,0 +1,57 @@
+// Minimum-move deltas between two mapping schemas.
+//
+// When the repair-vs-replan policy escalates to a full re-plan, naively
+// deploying the fresh schema would reassign every input copy — the
+// exact churn the online layer exists to avoid. MinMoveDelta instead
+// matches the new schema's reducers onto the old schema's reducers so
+// that as many already-placed copies as possible stay put: reducers are
+// greedily paired by shared input bytes (largest overlap first), and
+// only the symmetric difference of each matched pair, plus wholly new
+// or wholly retired reducers, counts as churn.
+//
+// The matching is a deterministic greedy maximum-overlap pairing (the
+// exact assignment problem is overkill here — overlaps are computed
+// through an inverted input index, so the cost is proportional to the
+// number of co-occurring reducer pairs, not |old| x |new|).
+
+#ifndef MSP_ONLINE_DELTA_H_
+#define MSP_ONLINE_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schema.h"
+#include "online/repair.h"
+
+namespace msp::online {
+
+/// Churn implied by migrating the live assignment `from` to `to`.
+struct DeltaStats {
+  uint64_t inputs_moved = 0;    // copies in `to` not retained from `from`
+  uint64_t inputs_dropped = 0;  // copies in `from` with no place in `to`
+  uint64_t bytes_moved = 0;     // sum of sizes over moved copies
+  uint64_t reducers_created = 0;
+  uint64_t reducers_destroyed = 0;
+  uint64_t reducers_matched = 0;
+
+  ChurnStats ToChurn() const {
+    ChurnStats churn;
+    churn.inputs_moved = inputs_moved;
+    churn.inputs_dropped = inputs_dropped;
+    churn.bytes_moved = bytes_moved;
+    churn.reducers_created = reducers_created;
+    churn.reducers_destroyed = reducers_destroyed;
+    return churn;
+  }
+};
+
+/// Computes the migration churn from `from` to `to`. `sizes` must be
+/// indexed by every input id appearing in either schema. Identical
+/// schemas (up to reducer order) yield an all-zero delta.
+DeltaStats MinMoveDelta(const std::vector<InputSize>& sizes,
+                        const MappingSchema& from, const MappingSchema& to);
+
+}  // namespace msp::online
+
+#endif  // MSP_ONLINE_DELTA_H_

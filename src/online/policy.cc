@@ -1,0 +1,71 @@
+#include "online/policy.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace msp::online {
+
+DriftThresholdPolicy::DriftThresholdPolicy(double reducer_drift,
+                                           double comm_drift,
+                                           uint64_t max_updates)
+    : reducer_drift_(reducer_drift),
+      comm_drift_(comm_drift),
+      max_updates_(max_updates) {
+  MSP_CHECK_GE(reducer_drift_, 1.0);
+  MSP_CHECK_GE(comm_drift_, 1.0);
+  MSP_CHECK_GT(max_updates_, 0u);
+}
+
+bool DriftThresholdPolicy::ShouldReplan(const PolicySignals& s) const {
+  if (s.updates_since_replan >= max_updates_) return true;
+  // Bounds of 0 mean "too small to bound": nothing to drift from.
+  if (s.lb_reducers > 0 &&
+      static_cast<double>(s.live_reducers) >
+          reducer_drift_ * static_cast<double>(s.lb_reducers)) {
+    return true;
+  }
+  if (s.lb_communication > 0 &&
+      static_cast<double>(s.live_communication) >
+          comm_drift_ * static_cast<double>(s.lb_communication)) {
+    return true;
+  }
+  return false;
+}
+
+std::string DriftThresholdPolicy::name() const {
+  std::ostringstream os;
+  os << "drift(z<=" << reducer_drift_ << "lb, comm<=" << comm_drift_
+     << "lb, cap=" << max_updates_ << ")";
+  return os.str();
+}
+
+UpdateCountPolicy::UpdateCountPolicy(uint64_t every_n) : every_n_(every_n) {
+  MSP_CHECK_GT(every_n_, 0u);
+}
+
+bool UpdateCountPolicy::ShouldReplan(const PolicySignals& s) const {
+  return s.updates_since_replan >= every_n_;
+}
+
+std::string UpdateCountPolicy::name() const {
+  std::ostringstream os;
+  os << "every-" << every_n_;
+  return os.str();
+}
+
+std::shared_ptr<ReplanPolicy> MakePolicy(const std::string& name,
+                                         double drift_threshold,
+                                         uint64_t every_n) {
+  if (name == "drift") {
+    return std::make_shared<DriftThresholdPolicy>(
+        drift_threshold, std::max(1.0, drift_threshold * 1.5));
+  }
+  if (name == "never") return std::make_shared<NeverReplanPolicy>();
+  if (name == "always") return std::make_shared<AlwaysReplanPolicy>();
+  if (name == "every-n") return std::make_shared<UpdateCountPolicy>(every_n);
+  return nullptr;
+}
+
+}  // namespace msp::online

@@ -1,0 +1,113 @@
+// Repair-vs-replan escalation policies for the online assigner.
+//
+// Local repair keeps every intermediate schema valid, but its quality
+// decays: spawned reducers accumulate, evictions fragment coverage,
+// and communication drifts above what a fresh construction would pay.
+// After each update the OnlineAssigner summarizes the live schema
+// against the paper's lower bounds (A2ALowerBounds / X2YLowerBounds —
+// the same yardsticks the offline benchmarks use) and asks a policy
+// whether to escalate to a full PlannerService re-plan. Policies are
+// pluggable; the stock ones are:
+//
+//  * DriftThresholdPolicy — replan when live reducers or communication
+//    exceed a configurable multiple of the lower bound (or after a
+//    hard cap of updates without a replan). The default.
+//  * NeverReplanPolicy    — pure local repair ("plan once" baseline).
+//  * AlwaysReplanPolicy   — re-plan after every update (the paper's
+//    offline usage, and the churn baseline the tests compare against).
+//  * UpdateCountPolicy    — re-plan every N updates, drift-blind.
+
+#ifndef MSP_ONLINE_POLICY_H_
+#define MSP_ONLINE_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace msp::online {
+
+/// Post-update snapshot a policy decides on. Lower bounds are computed
+/// on the *current* instance; both are 0 when the instance is too
+/// small to bound (fewer than two inputs, or an empty X2Y side).
+struct PolicySignals {
+  uint64_t num_inputs = 0;
+  uint64_t live_reducers = 0;
+  uint64_t live_communication = 0;
+  uint64_t lb_reducers = 0;
+  uint64_t lb_communication = 0;
+  uint64_t updates_since_replan = 0;
+};
+
+/// Decides, after each locally-repaired update, whether the assigner
+/// should escalate to a full re-plan.
+class ReplanPolicy {
+ public:
+  virtual ~ReplanPolicy() = default;
+  virtual bool ShouldReplan(const PolicySignals& signals) const = 0;
+  /// True when ShouldReplan reads `lb_reducers`/`lb_communication`.
+  /// Bounds cost a dense-instance rebuild per update, so the assigner
+  /// skips computing them for policies that decide without quality.
+  virtual bool needs_bounds() const { return false; }
+  virtual std::string name() const = 0;
+};
+
+/// Replans when quality drifts past a multiplicative threshold of the
+/// lower bounds, or unconditionally after `max_updates` updates.
+/// Invariant after every update under this policy: live reducers stay
+/// within `reducer_drift` of any fresh plan (a fresh plan is never
+/// below the lower bound).
+class DriftThresholdPolicy : public ReplanPolicy {
+ public:
+  explicit DriftThresholdPolicy(double reducer_drift = 1.5,
+                                double comm_drift = 2.0,
+                                uint64_t max_updates = 512);
+
+  bool ShouldReplan(const PolicySignals& signals) const override;
+  bool needs_bounds() const override { return true; }
+  std::string name() const override;
+
+  double reducer_drift() const { return reducer_drift_; }
+  double comm_drift() const { return comm_drift_; }
+
+ private:
+  double reducer_drift_;
+  double comm_drift_;
+  uint64_t max_updates_;
+};
+
+/// Pure local repair; never escalates.
+class NeverReplanPolicy : public ReplanPolicy {
+ public:
+  bool ShouldReplan(const PolicySignals&) const override { return false; }
+  std::string name() const override { return "never"; }
+};
+
+/// Escalates after every update.
+class AlwaysReplanPolicy : public ReplanPolicy {
+ public:
+  bool ShouldReplan(const PolicySignals&) const override { return true; }
+  std::string name() const override { return "always"; }
+};
+
+/// Escalates every `every_n` updates, regardless of drift.
+class UpdateCountPolicy : public ReplanPolicy {
+ public:
+  explicit UpdateCountPolicy(uint64_t every_n);
+  bool ShouldReplan(const PolicySignals& signals) const override;
+  std::string name() const override;
+
+ private:
+  uint64_t every_n_;
+};
+
+/// Builds a policy from its CLI spelling: "drift" (uses
+/// `drift_threshold` for reducers and 1.5x that for communication),
+/// "never", "always", or "every-n" (uses `every_n`). Returns nullptr
+/// for an unknown name.
+std::shared_ptr<ReplanPolicy> MakePolicy(const std::string& name,
+                                         double drift_threshold = 1.5,
+                                         uint64_t every_n = 64);
+
+}  // namespace msp::online
+
+#endif  // MSP_ONLINE_POLICY_H_

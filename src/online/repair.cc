@@ -1,0 +1,400 @@
+#include "online/repair.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "util/check.h"
+
+namespace msp::online {
+
+namespace {
+
+bool Contains(const Reducer& reducer, InputId id) {
+  return std::binary_search(reducer.begin(), reducer.end(), id);
+}
+
+// True when the reducer covers at least one required pair.
+bool CoversAnything(const LiveState& s, const Reducer& reducer) {
+  if (!s.x2y) return reducer.size() >= 2;
+  bool has_x = false;
+  bool has_y = false;
+  for (InputId id : reducer) {
+    (s.sides[id] == Side::kX ? has_x : has_y) = true;
+  }
+  return has_x && has_y;
+}
+
+// Places a copy of `id` into reducer `r` (must not already be there),
+// updating load, pair coverage, and the churn ledger.
+void AddCopy(LiveState* s, std::size_t r, InputId id, ChurnStats* churn) {
+  Reducer& reducer = s->reducers[r];
+  const auto pos = std::lower_bound(reducer.begin(), reducer.end(), id);
+  MSP_DCHECK(pos == reducer.end() || *pos != id);
+  for (InputId member : reducer) {
+    if (s->IsPartner(id, member)) ++s->cover[LiveState::PackPair(id, member)];
+  }
+  reducer.insert(pos, id);
+  s->loads[r] += s->sizes[id];
+  ++churn->inputs_moved;
+  churn->bytes_moved += s->sizes[id];
+}
+
+// Deletes the copy of `id` from reducer `r` if present. Returns true
+// when a copy was removed.
+bool RemoveCopy(LiveState* s, std::size_t r, InputId id, ChurnStats* churn) {
+  Reducer& reducer = s->reducers[r];
+  const auto pos = std::lower_bound(reducer.begin(), reducer.end(), id);
+  if (pos == reducer.end() || *pos != id) return false;
+  reducer.erase(pos);
+  s->loads[r] -= s->sizes[id];
+  for (InputId member : reducer) {
+    if (!s->IsPartner(id, member)) continue;
+    const auto it = s->cover.find(LiveState::PackPair(id, member));
+    MSP_DCHECK(it != s->cover.end() && it->second > 0);
+    if (--it->second == 0) s->cover.erase(it);
+  }
+  ++churn->inputs_dropped;
+  return true;
+}
+
+// Drops every copy of reducer `r` and marks it destroyed. The empty
+// slot is reclaimed by Compact at the end of the repair operation.
+void DestroyReducer(LiveState* s, std::size_t r, ChurnStats* churn) {
+  while (!s->reducers[r].empty()) {
+    RemoveCopy(s, r, s->reducers[r].back(), churn);
+  }
+  ++churn->reducers_destroyed;
+}
+
+// Erases the empty reducer slots left behind by DestroyReducer.
+void Compact(LiveState* s) {
+  std::size_t out = 0;
+  for (std::size_t r = 0; r < s->reducers.size(); ++r) {
+    if (s->reducers[r].empty()) continue;
+    if (out != r) {
+      s->reducers[out] = std::move(s->reducers[r]);
+      s->loads[out] = s->loads[r];
+    }
+    ++out;
+  }
+  s->reducers.resize(out);
+  s->loads.resize(out);
+}
+
+// Destroys every reducer in `candidates` that covers no required pair.
+void PruneUseless(LiveState* s, const std::vector<std::size_t>& candidates,
+                  ChurnStats* churn) {
+  for (std::size_t r : candidates) {
+    if (s->reducers[r].empty()) {
+      // Already drained (e.g. a stray singleton); still one fewer
+      // reducer in the live schema.
+      ++churn->reducers_destroyed;
+      continue;
+    }
+    if (!CoversAnything(*s, s->reducers[r])) DestroyReducer(s, r, churn);
+  }
+}
+
+// Union load and shared bytes of two sorted reducers.
+void UnionAndOverlap(const LiveState& s, const Reducer& a, const Reducer& b,
+                     InputSize* union_load, InputSize* overlap) {
+  *union_load = 0;
+  *overlap = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a[i] < b[j])) {
+      *union_load += s.sizes[a[i++]];
+    } else if (i == a.size() || b[j] < a[i]) {
+      *union_load += s.sizes[b[j++]];
+    } else {
+      *union_load += s.sizes[a[i]];
+      *overlap += s.sizes[a[i]];
+      ++i;
+      ++j;
+    }
+  }
+}
+
+// Local MergeReducers: folds each light candidate reducer into the
+// partner sharing the most bytes whose union still fits. Moving the
+// shared members costs nothing (they are already at the host), so
+// maximizing overlap minimizes churn. Only reducers at most half full
+// are folded — heavier merges buy one reducer for a lot of movement.
+void AbsorbShrunken(LiveState* s, const std::vector<std::size_t>& candidates,
+                    ChurnStats* churn) {
+  for (std::size_t r : candidates) {
+    const Reducer& reducer = s->reducers[r];
+    if (reducer.empty() || !CoversAnything(*s, reducer)) continue;
+    if (s->loads[r] * 2 > s->capacity) continue;
+    std::size_t best = s->reducers.size();
+    InputSize best_overlap = 0;
+    InputSize best_union = 0;
+    for (std::size_t j = 0; j < s->reducers.size(); ++j) {
+      if (j == r || s->reducers[j].empty()) continue;
+      InputSize union_load = 0;
+      InputSize overlap = 0;
+      UnionAndOverlap(*s, reducer, s->reducers[j], &union_load, &overlap);
+      if (union_load > s->capacity) continue;
+      // Prefer max shared bytes (min churn), then the tightest union
+      // (leaves the most room elsewhere), then the lowest index.
+      if (best == s->reducers.size() || overlap > best_overlap ||
+          (overlap == best_overlap && union_load > best_union)) {
+        best = j;
+        best_overlap = overlap;
+        best_union = union_load;
+      }
+    }
+    if (best == s->reducers.size()) continue;
+    const Reducer members = s->reducers[r];  // copy: AddCopy mutates state
+    for (InputId member : members) {
+      if (!Contains(s->reducers[best], member)) {
+        AddCopy(s, best, member, churn);
+      }
+    }
+    DestroyReducer(s, r, churn);
+  }
+}
+
+// Covers every pair (id, p), p in `uncovered`, with the AddInput
+// strategy: first place `id` into existing reducers with room that
+// contain uncovered partners, then spawn new reducers seeded with `id`
+// plus first-fit-decreasing bins of the remaining partners.
+void CoverStar(LiveState* s, InputId id,
+               std::unordered_set<InputId>* uncovered, ChurnStats* churn) {
+  if (uncovered->empty()) return;
+  const InputSize w = s->sizes[id];
+
+  // Phase 1 — fill: visit reducers in decreasing order of how many
+  // uncovered partners they hold (counts go stale as we place copies,
+  // so each visit re-checks before committing).
+  std::vector<std::pair<std::size_t, std::size_t>> order;  // (count, idx)
+  for (std::size_t r = 0; r < s->reducers.size(); ++r) {
+    if (s->loads[r] + w > s->capacity) continue;
+    if (Contains(s->reducers[r], id)) continue;
+    std::size_t count = 0;
+    for (InputId member : s->reducers[r]) count += uncovered->count(member);
+    if (count > 0) order.emplace_back(count, r);
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  for (const auto& [stale_count, r] : order) {
+    (void)stale_count;
+    if (uncovered->empty()) break;
+    bool any = false;
+    for (InputId member : s->reducers[r]) {
+      if (uncovered->count(member) > 0) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    AddCopy(s, r, id, churn);
+    for (InputId member : s->reducers[r]) uncovered->erase(member);
+  }
+
+  // Phase 2 — spawn: pack the partners that remain into bins of
+  // residual capacity q - w (FFD), one new reducer per bin, each
+  // seeded with `id`.
+  std::vector<InputId> rest(uncovered->begin(), uncovered->end());
+  uncovered->clear();
+  std::sort(rest.begin(), rest.end(), [&](InputId a, InputId b) {
+    return s->sizes[a] != s->sizes[b] ? s->sizes[a] > s->sizes[b] : a < b;
+  });
+  std::vector<std::size_t> bins;
+  for (InputId p : rest) {
+    std::size_t target = s->reducers.size();
+    for (std::size_t bin : bins) {
+      if (s->loads[bin] + s->sizes[p] <= s->capacity) {
+        target = bin;
+        break;
+      }
+    }
+    if (target == s->reducers.size()) {
+      s->reducers.emplace_back();
+      s->loads.push_back(0);
+      ++churn->reducers_created;
+      AddCopy(s, target, id, churn);
+      MSP_CHECK_LE(s->loads[target] + s->sizes[p], s->capacity)
+          << "infeasible pair reached the repair engine";
+      bins.push_back(target);
+    }
+    AddCopy(s, target, p, churn);
+  }
+}
+
+// First-fit covering of arbitrary uncovered pairs: extend a reducer
+// that already holds one endpoint, else open a fresh two-input
+// reducer. Used by the capacity-shrink repair, where lost pairs are
+// spread across many inputs.
+void CoverPairs(LiveState* s, std::vector<std::pair<InputId, InputId>>* pairs,
+                ChurnStats* churn) {
+  std::sort(pairs->begin(), pairs->end());
+  for (const auto& [a, b] : *pairs) {
+    if (!s->alive[a] || !s->alive[b]) continue;
+    if (s->CoverCount(a, b) > 0) continue;
+    bool placed = false;
+    for (std::size_t r = 0; r < s->reducers.size() && !placed; ++r) {
+      const Reducer& reducer = s->reducers[r];
+      if (reducer.empty()) continue;
+      const bool has_a = Contains(reducer, a);
+      const bool has_b = Contains(reducer, b);
+      if (has_a && !has_b && s->loads[r] + s->sizes[b] <= s->capacity) {
+        AddCopy(s, r, b, churn);
+        placed = true;
+      } else if (has_b && !has_a &&
+                 s->loads[r] + s->sizes[a] <= s->capacity) {
+        AddCopy(s, r, a, churn);
+        placed = true;
+      }
+    }
+    if (placed) continue;
+    const std::size_t fresh = s->reducers.size();
+    s->reducers.emplace_back();
+    s->loads.push_back(0);
+    ++churn->reducers_created;
+    AddCopy(s, fresh, a, churn);
+    MSP_CHECK_LE(s->loads[fresh] + s->sizes[b], s->capacity)
+        << "infeasible pair reached the repair engine";
+    AddCopy(s, fresh, b, churn);
+  }
+  pairs->clear();
+}
+
+}  // namespace
+
+void LiveState::ResetSchema(const MappingSchema& schema) {
+  reducers = schema.reducers;
+  loads.assign(reducers.size(), 0);
+  cover.clear();
+  for (std::size_t r = 0; r < reducers.size(); ++r) {
+    Reducer& reducer = reducers[r];
+    std::sort(reducer.begin(), reducer.end());
+    for (std::size_t a = 0; a < reducer.size(); ++a) {
+      loads[r] += sizes[reducer[a]];
+      for (std::size_t b = a + 1; b < reducer.size(); ++b) {
+        if (IsPartner(reducer[a], reducer[b])) {
+          ++cover[PackPair(reducer[a], reducer[b])];
+        }
+      }
+    }
+  }
+}
+
+void RepairAdd(LiveState* s, InputId id, ChurnStats* churn) {
+  MSP_CHECK(s != nullptr && churn != nullptr);
+  MSP_CHECK(s->alive[id]);
+  std::unordered_set<InputId> uncovered;
+  for (InputId j : s->alive_ids) {
+    if (j != id && s->IsPartner(id, j)) uncovered.insert(j);
+  }
+  CoverStar(s, id, &uncovered, churn);
+}
+
+void RepairRemove(LiveState* s, InputId id, ChurnStats* churn) {
+  MSP_CHECK(s != nullptr && churn != nullptr);
+  MSP_CHECK(s->alive[id]);
+  s->alive[id] = false;
+  s->UnregisterAlive(id);
+  std::vector<std::size_t> affected;
+  for (std::size_t r = 0; r < s->reducers.size(); ++r) {
+    if (RemoveCopy(s, r, id, churn)) affected.push_back(r);
+  }
+  PruneUseless(s, affected, churn);
+  AbsorbShrunken(s, affected, churn);
+  Compact(s);
+}
+
+void RepairResize(LiveState* s, InputId id, InputSize new_size,
+                  ChurnStats* churn) {
+  MSP_CHECK(s != nullptr && churn != nullptr);
+  MSP_CHECK(s->alive[id]);
+  const InputSize old_size = s->sizes[id];
+  if (new_size == old_size) return;
+  s->sizes[id] = new_size;
+  std::vector<std::size_t> holding;
+  for (std::size_t r = 0; r < s->reducers.size(); ++r) {
+    if (!Contains(s->reducers[r], id)) continue;
+    s->loads[r] = s->loads[r] - old_size + new_size;
+    holding.push_back(r);
+  }
+  if (new_size < old_size) {
+    // Loads only shrank; the schema stays valid. The lighter reducers
+    // may now fold into partners.
+    AbsorbShrunken(s, holding, churn);
+    Compact(s);
+    return;
+  }
+  // Growth: evict the resized input from reducers it overflows, then
+  // re-cover the pairs that lost their last meeting point.
+  std::vector<std::size_t> evicted_from;
+  for (std::size_t r : holding) {
+    if (s->loads[r] > s->capacity) {
+      RemoveCopy(s, r, id, churn);
+      evicted_from.push_back(r);
+    }
+  }
+  PruneUseless(s, evicted_from, churn);
+  std::unordered_set<InputId> uncovered;
+  for (InputId j : s->alive_ids) {
+    if (j != id && s->IsPartner(id, j) && s->CoverCount(id, j) == 0) {
+      uncovered.insert(j);
+    }
+  }
+  CoverStar(s, id, &uncovered, churn);
+  Compact(s);
+}
+
+void RepairCapacity(LiveState* s, InputSize new_capacity, ChurnStats* churn) {
+  MSP_CHECK(s != nullptr && churn != nullptr);
+  const bool shrink = new_capacity < s->capacity;
+  s->capacity = new_capacity;
+  if (!shrink) return;
+  // Evict members from overflowing reducers: cheapest first, i.e. the
+  // member whose pairs here are mostly covered elsewhere; ties prefer
+  // the largest size (frees the most room per eviction).
+  std::vector<std::pair<InputId, InputId>> lost;
+  std::vector<std::size_t> touched;
+  for (std::size_t r = 0; r < s->reducers.size(); ++r) {
+    bool evicted_any = false;
+    while (s->loads[r] > new_capacity) {
+      const Reducer& reducer = s->reducers[r];
+      MSP_CHECK(!reducer.empty());
+      InputId victim = reducer.front();
+      std::size_t victim_unique = ~std::size_t{0};
+      for (InputId candidate : reducer) {
+        std::size_t unique = 0;
+        for (InputId other : reducer) {
+          if (s->IsPartner(candidate, other) &&
+              s->CoverCount(candidate, other) == 1) {
+            ++unique;
+          }
+        }
+        if (unique < victim_unique ||
+            (unique == victim_unique &&
+             (s->sizes[candidate] > s->sizes[victim] ||
+              (s->sizes[candidate] == s->sizes[victim] &&
+               candidate < victim)))) {
+          victim = candidate;
+          victim_unique = unique;
+        }
+      }
+      for (InputId other : reducer) {
+        if (s->IsPartner(victim, other) &&
+            s->CoverCount(victim, other) == 1) {
+          lost.emplace_back(victim, other);
+        }
+      }
+      RemoveCopy(s, r, victim, churn);
+      evicted_any = true;
+    }
+    if (evicted_any) touched.push_back(r);
+  }
+  PruneUseless(s, touched, churn);
+  CoverPairs(s, &lost, churn);
+  Compact(s);
+}
+
+}  // namespace msp::online

@@ -1,0 +1,162 @@
+// Local repair of live mapping schemas under single-input updates.
+//
+// Instead of re-solving the whole instance after every change (the
+// paper's algorithms are built for a fixed size vector and q), each
+// update is absorbed by a *local* repair that touches as few reducers
+// as possible:
+//
+//  * AddInput    — place the new input into existing reducers with
+//                  residual capacity that contain still-unmet partners,
+//                  then spawn minimal new reducers seeded with the new
+//                  input for the partners that remain (first-fit-
+//                  decreasing bins of capacity q - w, the same
+//                  reduction to bin packing the paper's constructions
+//                  use).
+//  * RemoveInput — strip the departed input everywhere, prune reducers
+//                  that no longer cover any required pair, and fold
+//                  shrunken reducers into partners when their union
+//                  still fits (the local form of MergeReducers).
+//  * ResizeInput — shrink is free; growth evicts the input from
+//                  now-overflowing reducers and re-covers its lost
+//                  pairs with the AddInput machinery.
+//  * SetCapacity — growth is free; shrink evicts members from
+//                  overflowing reducers (cheapest-to-lose first) and
+//                  re-covers every pair that lost its last reducer.
+//
+// All repairs maintain the LiveState invariant (every required pair of
+// alive inputs covered, every reducer load <= capacity) and account
+// churn exactly: every (input, reducer) placement created or destroyed
+// is counted the moment it happens.
+
+#ifndef MSP_ONLINE_REPAIR_H_
+#define MSP_ONLINE_REPAIR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schema.h"
+#include "online/trace.h"
+
+namespace msp::online {
+
+/// Exact churn ledger. `inputs_moved`/`bytes_moved` count copies newly
+/// placed into a reducer (data that must be shipped to it);
+/// `inputs_dropped` counts copies deleted (no data movement, but lost
+/// locality). Replans and repairs both feed this ledger.
+struct ChurnStats {
+  uint64_t inputs_moved = 0;
+  uint64_t inputs_dropped = 0;
+  uint64_t bytes_moved = 0;
+  uint64_t reducers_created = 0;
+  uint64_t reducers_destroyed = 0;
+
+  ChurnStats& operator+=(const ChurnStats& other) {
+    inputs_moved += other.inputs_moved;
+    inputs_dropped += other.inputs_dropped;
+    bytes_moved += other.bytes_moved;
+    reducers_created += other.reducers_created;
+    reducers_destroyed += other.reducers_destroyed;
+    return *this;
+  }
+};
+
+/// Mutable live assignment the repair operations act on. Input ids are
+/// stable and never reused; dead ids keep their last size (harmless,
+/// they appear in no reducer). Between repair calls the state upholds
+/// the schema-validity invariant (checked against the validate.h
+/// oracle by the differential tests).
+struct LiveState {
+  static constexpr uint32_t kNoPos = ~uint32_t{0};
+
+  bool x2y = false;
+  InputSize capacity = 0;
+  std::vector<InputSize> sizes;  // indexed by InputId
+  std::vector<Side> sides;       // parallel to sizes (A2A: all kX)
+  std::vector<bool> alive;       // parallel to sizes
+  /// Unordered index of the alive ids, so partner scans cost O(alive)
+  /// instead of O(every id ever issued) — ids are never reused, so a
+  /// long-lived stream's id space far outgrows its alive set.
+  std::vector<InputId> alive_ids;
+  std::vector<uint32_t> alive_pos;  // parallel to sizes; kNoPos = dead
+  std::vector<Reducer> reducers;  // member lists, sorted ascending
+  std::vector<InputSize> loads;   // parallel to reducers
+  /// Pair-coverage counts: PackPair(a, b) -> number of reducers where
+  /// a and b currently meet. Only required (partner) pairs are keyed.
+  std::unordered_map<uint64_t, uint32_t> cover;
+
+  /// True when (a, b) is a required output: distinct inputs, and for
+  /// X2Y on opposite sides.
+  bool IsPartner(InputId a, InputId b) const {
+    return a != b && (!x2y || sides[a] != sides[b]);
+  }
+
+  static uint64_t PackPair(InputId a, InputId b) {
+    const uint64_t lo = a < b ? a : b;
+    const uint64_t hi = a < b ? b : a;
+    return (lo << 32) | hi;
+  }
+
+  uint32_t CoverCount(InputId a, InputId b) const {
+    const auto it = cover.find(PackPair(a, b));
+    return it == cover.end() ? 0 : it->second;
+  }
+
+  std::size_t num_alive() const { return alive_ids.size(); }
+
+  /// Adds the just-appended id (alive[id] already true) to the index.
+  void RegisterAlive(InputId id) {
+    alive_pos.resize(sizes.size(), kNoPos);
+    alive_pos[id] = static_cast<uint32_t>(alive_ids.size());
+    alive_ids.push_back(id);
+  }
+
+  /// Swap-pop removal of `id` from the alive index.
+  void UnregisterAlive(InputId id) {
+    const uint32_t pos = alive_pos[id];
+    const InputId last = alive_ids.back();
+    alive_ids[pos] = last;
+    alive_pos[last] = pos;
+    alive_ids.pop_back();
+    alive_pos[id] = kNoPos;
+  }
+
+  /// Copies the live reducers into a MappingSchema (live, sparse ids).
+  MappingSchema ToSchema() const {
+    MappingSchema schema;
+    schema.reducers = reducers;
+    return schema;
+  }
+
+  /// Rebuilds reducers/loads/cover from `schema` (used after a full
+  /// re-plan). Members are re-sorted; loads and coverage recomputed.
+  void ResetSchema(const MappingSchema& schema);
+};
+
+/// Registers a new alive slot for `id` (sizes/sides/alive must already
+/// hold it) and covers all pairs (id, alive partner). The caller
+/// guarantees per-pair feasibility (size + any partner size <= q).
+void RepairAdd(LiveState* state, InputId id, ChurnStats* churn);
+
+/// Removes `id` from every reducer, prunes reducers left covering
+/// nothing, and folds shrunken reducers into partners where the union
+/// still fits.
+void RepairRemove(LiveState* state, InputId id, ChurnStats* churn);
+
+/// Changes the size of `id` to `new_size`, evicting it from reducers
+/// that overflow and re-covering the pairs that lost their last
+/// reducer. The caller guarantees the new size keeps every required
+/// pair feasible.
+void RepairResize(LiveState* state, InputId id, InputSize new_size,
+                  ChurnStats* churn);
+
+/// Changes the capacity. Shrinking evicts members from overflowing
+/// reducers and re-covers uncovered pairs. The caller guarantees every
+/// alive size and required pair still fits in `new_capacity`.
+void RepairCapacity(LiveState* state, InputSize new_capacity,
+                    ChurnStats* churn);
+
+}  // namespace msp::online
+
+#endif  // MSP_ONLINE_REPAIR_H_

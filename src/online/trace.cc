@@ -1,0 +1,180 @@
+#include "online/trace.h"
+
+#include <sstream>
+
+namespace msp::online {
+
+namespace {
+
+// Strips a trailing `# comment` and surrounding whitespace.
+std::string StripComment(const std::string& line) {
+  const std::size_t hash = line.find('#');
+  std::string body = hash == std::string::npos ? line : line.substr(0, hash);
+  const std::size_t first = body.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const std::size_t last = body.find_last_not_of(" \t\r");
+  return body.substr(first, last - first + 1);
+}
+
+bool Fail(std::string* error, std::size_t line_no, const std::string& why) {
+  if (error != nullptr) {
+    std::ostringstream os;
+    os << "line " << line_no << ": " << why;
+    *error = os.str();
+  }
+  return false;
+}
+
+// Strict unsigned decimal: digits only (no sign, no suffix), no
+// overflow. istream extraction into unsigned types silently wraps
+// negatives, which would defeat the value != 0 guards below and
+// desync the trace's implicit add-id numbering on replay.
+bool ParseUint(const std::string& token, uint64_t* out) {
+  if (token.empty()) return false;
+  uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ReadUint(std::istringstream* tokens, uint64_t* out) {
+  std::string token;
+  if (!(*tokens >> token)) return false;
+  return ParseUint(token, out);
+}
+
+bool ReadId(std::istringstream* tokens, InputId* out) {
+  uint64_t value = 0;
+  if (!ReadUint(tokens, &value) || value > UINT32_MAX) return false;
+  *out = static_cast<InputId>(value);
+  return true;
+}
+
+}  // namespace
+
+std::string TraceToText(const UpdateTrace& trace) {
+  std::ostringstream os;
+  os << "update-trace v1 " << (trace.x2y ? "x2y" : "a2a") << " q="
+     << trace.initial_capacity << "\n";
+  for (const Update& u : trace.updates) {
+    switch (u.kind) {
+      case UpdateKind::kAddInput:
+        os << "add ";
+        if (trace.x2y) os << (u.side == Side::kX ? "x " : "y ");
+        os << u.value << "\n";
+        break;
+      case UpdateKind::kRemoveInput:
+        os << "remove " << u.id << "\n";
+        break;
+      case UpdateKind::kResizeInput:
+        os << "resize " << u.id << " " << u.value << "\n";
+        break;
+      case UpdateKind::kSetCapacity:
+        os << "setq " << u.value << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+std::optional<UpdateTrace> TraceFromText(const std::string& text,
+                                         std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  UpdateTrace trace;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string body = StripComment(line);
+    if (body.empty()) continue;
+    std::istringstream tokens(body);
+    std::string word;
+    tokens >> word;
+    if (!header_seen) {
+      std::string version;
+      std::string kind;
+      std::string q_token;
+      tokens >> version >> kind >> q_token;
+      if (word != "update-trace" || version != "v1" ||
+          (kind != "a2a" && kind != "x2y") ||
+          q_token.rfind("q=", 0) != 0) {
+        Fail(error, line_no,
+             "expected header 'update-trace v1 a2a|x2y q=<capacity>'");
+        return std::nullopt;
+      }
+      trace.x2y = kind == "x2y";
+      uint64_t q = 0;
+      if (!ParseUint(q_token.substr(2), &q) || q == 0 || q > kMaxCapacity) {
+        Fail(error, line_no, "bad capacity in header (need 1..10^18)");
+        return std::nullopt;
+      }
+      std::string extra;
+      if (tokens >> extra) {
+        Fail(error, line_no, "trailing garbage '" + extra + "' in header");
+        return std::nullopt;
+      }
+      trace.initial_capacity = q;
+      header_seen = true;
+      continue;
+    }
+    Update u;
+    if (word == "add") {
+      u.kind = UpdateKind::kAddInput;
+      if (trace.x2y) {
+        std::string side;
+        tokens >> side;
+        if (side != "x" && side != "y") {
+          Fail(error, line_no, "expected 'add x <size>' or 'add y <size>'");
+          return std::nullopt;
+        }
+        u.side = side == "x" ? Side::kX : Side::kY;
+      }
+      if (!ReadUint(&tokens, &u.value) || u.value == 0) {
+        Fail(error, line_no, "bad add size");
+        return std::nullopt;
+      }
+    } else if (word == "remove") {
+      u.kind = UpdateKind::kRemoveInput;
+      if (!ReadId(&tokens, &u.id)) {
+        Fail(error, line_no, "bad remove id");
+        return std::nullopt;
+      }
+    } else if (word == "resize") {
+      u.kind = UpdateKind::kResizeInput;
+      if (!ReadId(&tokens, &u.id) || !ReadUint(&tokens, &u.value) ||
+          u.value == 0) {
+        Fail(error, line_no, "bad resize, expected 'resize <id> <size>'");
+        return std::nullopt;
+      }
+    } else if (word == "setq") {
+      u.kind = UpdateKind::kSetCapacity;
+      if (!ReadUint(&tokens, &u.value) || u.value == 0 ||
+          u.value > kMaxCapacity) {
+        Fail(error, line_no, "bad setq capacity (need 1..10^18)");
+        return std::nullopt;
+      }
+    } else {
+      Fail(error, line_no, "unknown op '" + word + "'");
+      return std::nullopt;
+    }
+    std::string extra;
+    if (tokens >> extra) {
+      Fail(error, line_no, "trailing garbage '" + extra + "'");
+      return std::nullopt;
+    }
+    trace.updates.push_back(u);
+  }
+  if (!header_seen) {
+    Fail(error, line_no, "missing 'update-trace v1' header");
+    return std::nullopt;
+  }
+  return trace;
+}
+
+}  // namespace msp::online

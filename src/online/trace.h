@@ -1,0 +1,114 @@
+// Update traces for the online assignment subsystem.
+//
+// The paper computes a mapping schema once, for a fixed size vector and
+// capacity q. A serving deployment instead sees a *stream* of changes:
+// inputs arrive and depart, observed sizes drift, and q is retuned. An
+// UpdateTrace captures such a stream — the initial capacity plus an
+// ordered list of AddInput / RemoveInput / ResizeInput / SetCapacity
+// events — so that online strategies (incremental repair, periodic
+// re-planning, plan-once) can be replayed and compared on identical
+// workloads. Input ids are assigned sequentially from 0 in AddInput
+// order, matching OnlineAssigner's id assignment, so Remove/Resize
+// events can reference ids directly.
+//
+// Traces have a line-oriented text form (`update-trace v1`) used by
+// `mspctl gen-trace` / `mspctl online` and the regression tests:
+//
+//   # comment
+//   update-trace v1 a2a q=100
+//   add 12          (A2A; X2Y traces use: add x 12 / add y 9)
+//   remove 3
+//   resize 5 17
+//   setq 120
+
+#ifndef MSP_ONLINE_TRACE_H_
+#define MSP_ONLINE_TRACE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace msp::online {
+
+/// Upper bound on reducer capacity across the online subsystem
+/// (assigner, trace replay, generator). Feasibility guards compare
+/// sums like `size + max_partner` and `load + size` in uint64; with
+/// capacity (and therefore every size) at most 10^18, those sums stay
+/// far below wraparound, so an infeasible update can never slip past
+/// the rejection checks by overflowing.
+inline constexpr InputSize kMaxCapacity = 1'000'000'000'000'000'000;
+
+/// Which side of an X2Y instance an input belongs to. A2A instances
+/// place every input on kX.
+enum class Side : uint8_t { kX = 0, kY = 1 };
+
+/// Kinds of updates an online instance can receive.
+enum class UpdateKind : uint8_t {
+  kAddInput,     // a new input arrives (value = size, side for X2Y)
+  kRemoveInput,  // input `id` departs
+  kResizeInput,  // input `id` changes size to `value`
+  kSetCapacity,  // reducer capacity is retuned to `value`
+};
+
+/// One event of an update stream.
+struct Update {
+  UpdateKind kind = UpdateKind::kAddInput;
+  Side side = Side::kX;  // kAddInput on X2Y instances only
+  InputId id = 0;        // kRemoveInput / kResizeInput target
+  InputSize value = 0;   // size (add/resize) or capacity (setq)
+
+  static Update Add(InputSize size, Side side = Side::kX) {
+    Update u;
+    u.kind = UpdateKind::kAddInput;
+    u.side = side;
+    u.value = size;
+    return u;
+  }
+  static Update Remove(InputId id) {
+    Update u;
+    u.kind = UpdateKind::kRemoveInput;
+    u.id = id;
+    return u;
+  }
+  static Update Resize(InputId id, InputSize size) {
+    Update u;
+    u.kind = UpdateKind::kResizeInput;
+    u.id = id;
+    u.value = size;
+    return u;
+  }
+  static Update SetCapacity(InputSize capacity) {
+    Update u;
+    u.kind = UpdateKind::kSetCapacity;
+    u.value = capacity;
+    return u;
+  }
+
+  bool operator==(const Update&) const = default;
+};
+
+/// A replayable update stream. Initial inputs are ordinary kAddInput
+/// events at the front of `updates`.
+struct UpdateTrace {
+  bool x2y = false;
+  InputSize initial_capacity = 0;
+  std::vector<Update> updates;
+
+  bool operator==(const UpdateTrace&) const = default;
+};
+
+/// Renders `trace` in the `update-trace v1` text format.
+std::string TraceToText(const UpdateTrace& trace);
+
+/// Parses the text format. Returns nullopt and sets `*error` (when
+/// non-null) on malformed input. Blank lines and `#` comments are
+/// ignored.
+std::optional<UpdateTrace> TraceFromText(const std::string& text,
+                                         std::string* error = nullptr);
+
+}  // namespace msp::online
+
+#endif  // MSP_ONLINE_TRACE_H_

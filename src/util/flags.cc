@@ -41,6 +41,12 @@ std::optional<uint64_t> ArgParser::GetUint(const std::string& name,
                                            uint64_t fallback) const {
   const auto it = options_.find(name);
   if (it == options_.end()) return fallback;
+  // strtoull silently wraps a negative value ("-1" -> 2^64-1), which
+  // turns a typo into an ~infinite loop or allocation downstream;
+  // treat any non-digit lead-in as malformed.
+  if (it->second.empty() || it->second[0] < '0' || it->second[0] > '9') {
+    return std::nullopt;
+  }
   errno = 0;
   char* end = nullptr;
   const unsigned long long value = std::strtoull(it->second.c_str(), &end, 10);

@@ -1,0 +1,61 @@
+// Seeded update-trace generation for the online assignment experiments.
+//
+// Generates arrival/departure/resize/retune streams over Zipf-sized
+// inputs (the "different-sized inputs" regime of the paper, now with
+// the sizes drifting over time). Every generated trace is:
+//
+//  * deterministic in the seed (same config -> byte-identical trace);
+//  * feasible by construction: sizes are clamped to half the current
+//    capacity, so every required pair always fits in one reducer, and
+//    capacity retunes never drop below twice the largest alive input —
+//    OnlineAssigner rejects nothing when replaying these traces;
+//  * id-consistent with OnlineAssigner: inputs are numbered 0, 1, ...
+//    in AddInput order, so Remove/Resize events reference assigner ids.
+//
+// The generator mirrors the alive set while emitting, keeping at least
+// `min_alive` inputs (per side, for X2Y) so instances never degenerate
+// below what the lower bounds and the planner need.
+
+#ifndef MSP_WORKLOAD_UPDATES_H_
+#define MSP_WORKLOAD_UPDATES_H_
+
+#include <cstdint>
+
+#include "online/trace.h"
+
+namespace msp::wl {
+
+/// Configuration of one generated update trace.
+struct TraceConfig {
+  bool x2y = false;
+  /// Inputs added before the update mix starts (split evenly across
+  /// sides for X2Y).
+  std::size_t initial_inputs = 40;
+  /// Update events after the initial adds.
+  std::size_t steps = 200;
+  /// Initial reducer capacity q.
+  InputSize capacity = 100;
+  /// Zipf size range: sizes land in [lo, min(hi, q/2)].
+  InputSize lo = 2;
+  InputSize hi = 40;
+  double skew = 1.2;
+  /// Event mix (normalized internally; the remainder after add +
+  /// remove + resize goes to capacity retunes).
+  double p_add = 0.35;
+  double p_remove = 0.25;
+  double p_resize = 0.30;
+  /// Never remove below this many alive inputs (per side for X2Y).
+  std::size_t min_alive = 3;
+  /// Capacity retunes stay within [capacity / max_retune_factor,
+  /// capacity * max_retune_factor] of the initial capacity (and never
+  /// below twice the largest alive size).
+  double max_retune_factor = 1.5;
+  uint64_t seed = 1;
+};
+
+/// Generates a feasible, deterministic update trace.
+online::UpdateTrace GenerateTrace(const TraceConfig& config);
+
+}  // namespace msp::wl
+
+#endif  // MSP_WORKLOAD_UPDATES_H_

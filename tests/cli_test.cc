@@ -208,10 +208,10 @@ TEST(CommandsTest, PlanA2AFlow) {
       RunCli({"plan", "--sizes", sizes_path.c_str(), "--q=100"});
   ASSERT_EQ(result.code, 0) << result.err;
   // Default --repeat=2: the reported (last) plan is a cache hit and the
-  // cold run's scoreboard plus the service stats go to stderr.
+  // cold run's scoreboard goes to stderr. Service stats are opt-in.
   EXPECT_NE(result.err.find("cache_hit=1"), std::string::npos);
   EXPECT_NE(result.err.find("portfolio scoreboard"), std::string::npos);
-  EXPECT_NE(result.err.find("planner stats"), std::string::npos);
+  EXPECT_EQ(result.err.find("planner stats"), std::string::npos);
 
   // The emitted schema must validate against the instance.
   const std::string schema_path = TempPath("plan.schema");
@@ -266,6 +266,146 @@ TEST(CommandsTest, PlanListedInHelp) {
   const CommandResult result = RunCli({"help"});
   EXPECT_EQ(result.code, 0);
   EXPECT_NE(result.out.find("plan"), std::string::npos);
+}
+
+TEST(CommandsTest, PlanStatsFlagPrintsServiceCounters) {
+  const std::string sizes_path = TempPath("plan_stats.sizes");
+  WriteFile(sizes_path, "40 35 30 25\n20 15 10 5\n");
+  const CommandResult result = RunCli(
+      {"plan", "--sizes", sizes_path.c_str(), "--q=100", "--repeat=3",
+       "--stats"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  // --stats prints the PlannerService counters after the repeats: the
+  // cache behavior (1 miss + 2 hits) is observable from the CLI.
+  EXPECT_NE(result.err.find("planner stats"), std::string::npos);
+  EXPECT_NE(result.err.find("cache hits"), std::string::npos);
+  std::remove(sizes_path.c_str());
+}
+
+TEST(CommandsTest, GenTraceOnlineReplayFlow) {
+  // gen-trace -> online through a real file, for both shapes.
+  for (const char* kind : {"a2a", "x2y"}) {
+    const CommandResult trace = RunCli(
+        {"gen-trace", "--kind", kind, "--initial=12", "--steps=60",
+         "--q=80", "--seed=5"});
+    ASSERT_EQ(trace.code, 0) << trace.err;
+    EXPECT_NE(trace.out.find("update-trace v1"), std::string::npos);
+
+    const std::string trace_path = TempPath(std::string("flow.") + kind +
+                                            ".trace");
+    WriteFile(trace_path, trace.out);
+    const CommandResult replay =
+        RunCli({"online", "--trace", trace_path.c_str()});
+    ASSERT_EQ(replay.code, 0) << replay.err;
+    EXPECT_NE(replay.err.find("online replay"), std::string::npos);
+    EXPECT_NE(replay.err.find("churn"), std::string::npos);
+    EXPECT_NE(replay.err.find("valid=yes"), std::string::npos);
+    EXPECT_NE(replay.out.find("mapping-schema v1"), std::string::npos);
+    std::remove(trace_path.c_str());
+  }
+}
+
+TEST(CommandsTest, OnlinePolicyVariantsReplay) {
+  const CommandResult trace =
+      RunCli({"gen-trace", "--kind=a2a", "--initial=10", "--steps=40",
+              "--q=60", "--seed=9"});
+  ASSERT_EQ(trace.code, 0) << trace.err;
+  const std::string trace_path = TempPath("policies.trace");
+  WriteFile(trace_path, trace.out);
+  for (const char* policy : {"never", "always", "every-n", "drift"}) {
+    const CommandResult replay =
+        RunCli({"online", "--trace", trace_path.c_str(), "--policy", policy,
+                "--every-n=10", "--replan-threshold=1.3"});
+    ASSERT_EQ(replay.code, 0) << policy << ": " << replay.err;
+    EXPECT_NE(replay.err.find("valid=yes"), std::string::npos) << policy;
+  }
+  std::remove(trace_path.c_str());
+}
+
+TEST(CommandsTest, OnlineRejectsBadInvocations) {
+  EXPECT_EQ(RunCli({"online"}).code, 2);  // --trace required
+  EXPECT_EQ(RunCli({"online", "--trace=/nonexistent.trace"}).code, 2);
+  EXPECT_EQ(RunCli({"gen-trace", "--kind=diagonal"}).code, 2);
+  // q < 2*lo admits no feasible size: two lo-sized inputs overflow q,
+  // which would desync the trace's implicit id numbering on replay.
+  EXPECT_EQ(RunCli({"gen-trace", "--kind=a2a", "--q=10", "--lo=8",
+                    "--hi=8"})
+                .code,
+            2);
+  // Bad numeric ranges are usage errors, not library CHECK aborts.
+  EXPECT_EQ(RunCli({"gen-trace", "--kind=a2a", "--skew=-1"}).code, 2);
+  EXPECT_EQ(RunCli({"gen-trace", "--kind=a2a", "--p-add=-0.2"}).code, 2);
+  // "-1" wraps to 2^64-1 through strtoull; the event cap must catch it
+  // before the generator tries to emit that many adds.
+  EXPECT_EQ(RunCli({"gen-trace", "--kind=a2a", "--initial=-1"}).code, 2);
+  EXPECT_EQ(RunCli({"gen-trace", "--kind=a2a", "--steps=-1"}).code, 2);
+  // Misspelled flags are rejected, not silently defaulted — for the
+  // online commands and the pre-existing ones alike.
+  EXPECT_EQ(RunCli({"gen-trace", "--shape=x2y"}).code, 2);
+  EXPECT_EQ(RunCli({"plan", "--sizes=x", "--q=10", "--stat"}).code, 2);
+  EXPECT_EQ(RunCli({"gen", "--dist=zipf", "--seeed=3"}).code, 2);
+  // Wrapped-negative uints are rejected at the ArgParser layer for
+  // every command, not just gen-trace.
+  EXPECT_EQ(RunCli({"gen", "--m=-1"}).code, 2);
+  // lo >= 2^63 must not wrap the q >= 2*lo feasibility guard.
+  EXPECT_EQ(RunCli({"gen-trace", "--kind=a2a", "--q=4",
+                    "--lo=9223372036854775808",
+                    "--hi=9223372036854775808"})
+                .code,
+            2);
+  // A wrapped-negative --q must not reach the retune computation,
+  // whose llround overflows past ~9.2e18.
+  EXPECT_EQ(RunCli({"gen-trace", "--kind=a2a", "--q=-1"}).code, 2);
+  // An astronomic q/hi range must not abort on the Zipf CDF allocation.
+  const CommandResult huge =
+      RunCli({"gen-trace", "--kind=a2a", "--q=1000000000000",
+              "--lo=1", "--hi=1000000000000", "--initial=5", "--steps=5"});
+  EXPECT_EQ(huge.code, 0) << huge.err;
+  EXPECT_NE(huge.out.find("update-trace v1"), std::string::npos);
+
+  const CommandResult trace = RunCli(
+      {"gen-trace", "--kind=a2a", "--initial=6", "--steps=5", "--q=40"});
+  ASSERT_EQ(trace.code, 0);
+  const std::string trace_path = TempPath("bad_online.trace");
+  WriteFile(trace_path, trace.out);
+  EXPECT_EQ(
+      RunCli({"online", "--trace", trace_path.c_str(), "--policy=voodoo"})
+          .code,
+      2);
+  EXPECT_EQ(RunCli({"online", "--trace", trace_path.c_str(),
+                    "--replan-threshold=0.5"})
+                .code,
+            2);
+  EXPECT_EQ(RunCli({"online", "--trace", trace_path.c_str(),
+                    "--replan-treshold=3"})
+                .code,
+            2);
+  // A malformed trace file is a usage error, not a crash.
+  WriteFile(trace_path, "not a trace\n");
+  EXPECT_EQ(RunCli({"online", "--trace", trace_path.c_str()}).code, 2);
+  // A replay header capacity above 10^18 would wrap the assigner's
+  // feasibility sums; the parser rejects it up front.
+  WriteFile(trace_path,
+            "update-trace v1 a2a q=18446744073709551615\nadd 5\n");
+  EXPECT_EQ(RunCli({"online", "--trace", trace_path.c_str()}).code, 2);
+  std::remove(trace_path.c_str());
+}
+
+TEST(CommandsTest, OnlineReplayStaysInSyncPastRejectedAdds) {
+  // The 9-input is rejected (5 + 9 > q = 10), so trace id 1 never gets
+  // a live id; `remove 1` must be skipped — not silently applied to
+  // the 3-input, which the assigner numbered 1 in the trace's stead.
+  const std::string trace_path = TempPath("desync.trace");
+  WriteFile(trace_path,
+            "update-trace v1 a2a q=10\nadd 5\nadd 9\nadd 3\nremove 1\n");
+  const CommandResult replay =
+      RunCli({"online", "--trace", trace_path.c_str()});
+  EXPECT_EQ(replay.code, 0) << replay.err;
+  EXPECT_NE(replay.err.find("rejected"), std::string::npos);
+  EXPECT_NE(replay.err.find("step 4 skipped"), std::string::npos);
+  EXPECT_NE(replay.err.find("inputs=2"), std::string::npos);
+  EXPECT_NE(replay.err.find("valid=yes"), std::string::npos);
+  std::remove(trace_path.c_str());
 }
 
 }  // namespace

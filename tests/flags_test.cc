@@ -53,6 +53,14 @@ TEST(ArgParserTest, MalformedNumbersAreNullopt) {
   EXPECT_FALSE(parser.GetDouble("s", 0).has_value());
 }
 
+TEST(ArgParserTest, NegativeUintsAreNulloptNotWrapped) {
+  // strtoull would wrap "-1" to 2^64-1, turning a typo into an
+  // ~infinite loop downstream (e.g. plan --repeat=-1).
+  const ArgParser parser = Parse({"--n=-1", "--m=+5"});
+  EXPECT_FALSE(parser.GetUint("n", 0).has_value());
+  EXPECT_FALSE(parser.GetUint("m", 0).has_value());
+}
+
 TEST(ArgParserTest, DoubleParsing) {
   const ArgParser parser = Parse({"--skew=1.25"});
   EXPECT_DOUBLE_EQ(*parser.GetDouble("skew", 0), 1.25);

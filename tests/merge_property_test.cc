@@ -1,0 +1,134 @@
+// Property tests for MergeReducers as a standalone post-pass:
+// on randomized A2A and X2Y schemas the merge must preserve validity
+// (capacity + pair coverage) and never increase the reducer count or
+// the communication cost.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/a2a.h"
+#include "core/improve.h"
+#include "core/instance.h"
+#include "core/schema.h"
+#include "core/validate.h"
+#include "core/x2y.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+#include "workload/sizes.h"
+
+namespace msp {
+namespace {
+
+// Fragments a valid schema without breaking validity: duplicating
+// reducers and shuffling their order preserves coverage and capacity,
+// and gives the merge pass real work.
+MappingSchema Fragment(const MappingSchema& schema, Rng* rng) {
+  MappingSchema fragmented = schema;
+  for (const Reducer& reducer : schema.reducers) {
+    if (rng->Bernoulli(0.4)) fragmented.reducers.push_back(reducer);
+  }
+  rng->Shuffle(&fragmented.reducers);
+  return fragmented;
+}
+
+void ExpectMergeProperties(const std::vector<InputSize>& sizes,
+                           InputSize capacity, const MappingSchema& before,
+                           const MappingSchema& after,
+                           const ImproveStats& stats) {
+  EXPECT_LE(after.num_reducers(), before.num_reducers());
+  EXPECT_EQ(stats.reducers_before, before.num_reducers());
+  EXPECT_EQ(stats.reducers_after, after.num_reducers());
+  EXPECT_LE(stats.communication_after, stats.communication_before);
+  uint64_t comm = 0;
+  for (const Reducer& reducer : after.reducers) {
+    uint64_t load = 0;
+    for (InputId id : reducer) load += sizes[id];
+    EXPECT_LE(load, capacity);
+    comm += load;
+  }
+  EXPECT_EQ(comm, stats.communication_after);
+}
+
+TEST(MergePropertyTest, RandomizedA2ASchemasStayValidAndMonotone) {
+  Rng rng(101);
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const std::size_t m = 10 + rng.UniformInt(40);
+    const InputSize q = 60 + rng.UniformInt(80);
+    const auto sizes = wl::ZipfSizes(m, 2, q / 2, 1.3, seed);
+    const auto instance = A2AInstance::Create(sizes, q);
+    ASSERT_TRUE(instance.has_value());
+    auto base = SolveA2AGreedyCover(*instance);
+    ASSERT_TRUE(base.has_value());
+    MappingSchema schema = Fragment(*base, &rng);
+    ASSERT_TRUE(ValidateA2A(*instance, schema).ok);
+
+    const MappingSchema before = schema;
+    const ImproveStats stats = MergeReducers(*instance, &schema);
+    const ValidationResult valid = ValidateA2A(*instance, schema);
+    EXPECT_TRUE(valid.ok) << "seed " << seed << ": " << valid.error;
+    ExpectMergeProperties(sizes, q, before, schema, stats);
+    // Duplicated reducers are strictly mergeable, so when Fragment
+    // added any, the pass must shrink the schema.
+    if (before.num_reducers() > base->num_reducers()) {
+      EXPECT_LT(schema.num_reducers(), before.num_reducers());
+    }
+  }
+}
+
+TEST(MergePropertyTest, RandomizedX2YSchemasStayValidAndMonotone) {
+  Rng rng(202);
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const std::size_t nx = 5 + rng.UniformInt(15);
+    const std::size_t ny = 5 + rng.UniformInt(15);
+    const InputSize q = 50 + rng.UniformInt(60);
+    const auto x_sizes = wl::ZipfSizes(nx, 2, q / 2, 1.2, seed);
+    const auto y_sizes = wl::UniformSizes(ny, 2, q / 2, seed + 1000);
+    const auto instance = X2YInstance::Create(x_sizes, y_sizes, q);
+    ASSERT_TRUE(instance.has_value());
+    auto base = SolveX2YNaiveCross(*instance);
+    ASSERT_TRUE(base.has_value());
+    MappingSchema schema = Fragment(*base, &rng);
+    ASSERT_TRUE(ValidateX2Y(*instance, schema).ok);
+
+    std::vector<InputSize> sizes = x_sizes;
+    sizes.insert(sizes.end(), y_sizes.begin(), y_sizes.end());
+    const MappingSchema before = schema;
+    const ImproveStats stats = MergeReducers(*instance, &schema);
+    const ValidationResult valid = ValidateX2Y(*instance, schema);
+    EXPECT_TRUE(valid.ok) << "seed " << seed << ": " << valid.error;
+    ExpectMergeProperties(sizes, q, before, schema, stats);
+  }
+}
+
+TEST(MergePropertyTest, EqualSizedSchemasMergeToTightPacking) {
+  // Equal sizes with k = q/w inputs per reducer: the naive all-pairs
+  // schema is maximally fragmented, and merging must keep validity
+  // while collapsing many pair-reducers.
+  const auto instance = A2AInstance::Create(wl::EqualSizes(12, 5), 20);
+  ASSERT_TRUE(instance.has_value());
+  auto schema = SolveA2ANaiveAllPairs(*instance);
+  ASSERT_TRUE(schema.has_value());
+  const uint64_t before = schema->num_reducers();
+  const ImproveStats stats = MergeReducers(*instance, &*schema);
+  EXPECT_TRUE(ValidateA2A(*instance, *schema).ok);
+  EXPECT_LT(schema->num_reducers(), before);
+  EXPECT_GT(stats.merges, 0u);
+}
+
+TEST(MergePropertyTest, AlreadyTightSchemaIsUntouched) {
+  // Two reducers that cannot merge (union exceeds q) must survive
+  // unchanged.
+  const auto instance = A2AInstance::Create({10, 10, 10}, 20);
+  ASSERT_TRUE(instance.has_value());
+  MappingSchema schema;
+  schema.AddReducer({0, 1});
+  schema.AddReducer({0, 2});
+  schema.AddReducer({1, 2});
+  const ImproveStats stats = MergeReducers(*instance, &schema);
+  EXPECT_EQ(stats.merges, 0u);
+  EXPECT_EQ(schema.num_reducers(), 3u);
+  EXPECT_TRUE(ValidateA2A(*instance, schema).ok);
+}
+
+}  // namespace
+}  // namespace msp

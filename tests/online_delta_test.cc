@@ -1,0 +1,121 @@
+// Tests for MinMoveDelta: zero-delta identities, exact aggregate
+// conservation, and overlap-maximizing matching behavior.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/schema.h"
+#include "gtest/gtest.h"
+#include "online/delta.h"
+#include "util/rng.h"
+
+namespace msp::online {
+namespace {
+
+MappingSchema Make(std::vector<Reducer> reducers) {
+  MappingSchema schema;
+  schema.reducers = std::move(reducers);
+  return schema;
+}
+
+TEST(MinMoveDeltaTest, IdenticalSchemasAreFree) {
+  const std::vector<InputSize> sizes{5, 7, 9, 11};
+  const MappingSchema schema = Make({{0, 1}, {1, 2, 3}, {0, 3}});
+  const DeltaStats delta = MinMoveDelta(sizes, schema, schema);
+  EXPECT_EQ(delta.inputs_moved, 0u);
+  EXPECT_EQ(delta.inputs_dropped, 0u);
+  EXPECT_EQ(delta.bytes_moved, 0u);
+  EXPECT_EQ(delta.reducers_created, 0u);
+  EXPECT_EQ(delta.reducers_destroyed, 0u);
+  EXPECT_EQ(delta.reducers_matched, 3u);
+}
+
+TEST(MinMoveDeltaTest, ReducerOrderDoesNotMatter) {
+  const std::vector<InputSize> sizes{5, 7, 9, 11};
+  const MappingSchema from = Make({{0, 1}, {1, 2, 3}, {0, 3}});
+  const MappingSchema to = Make({{0, 3}, {0, 1}, {1, 2, 3}});
+  const DeltaStats delta = MinMoveDelta(sizes, from, to);
+  EXPECT_EQ(delta.inputs_moved, 0u);
+  EXPECT_EQ(delta.inputs_dropped, 0u);
+  EXPECT_EQ(delta.reducers_matched, 3u);
+}
+
+TEST(MinMoveDeltaTest, SingleMovedCopyCostsItsBytes) {
+  const std::vector<InputSize> sizes{5, 7, 9, 11};
+  const MappingSchema from = Make({{0, 1}, {2, 3}});
+  const MappingSchema to = Make({{0, 1, 2}, {2, 3}});
+  const DeltaStats delta = MinMoveDelta(sizes, from, to);
+  EXPECT_EQ(delta.inputs_moved, 1u);  // input 2 copied into reducer 0
+  EXPECT_EQ(delta.inputs_dropped, 0u);
+  EXPECT_EQ(delta.bytes_moved, 9u);
+  EXPECT_EQ(delta.reducers_matched, 2u);
+}
+
+TEST(MinMoveDeltaTest, DisjointSchemasPayFully) {
+  const std::vector<InputSize> sizes{5, 7, 9, 11};
+  const MappingSchema from = Make({{0, 1}});
+  const MappingSchema to = Make({{2, 3}, {2}});
+  const DeltaStats delta = MinMoveDelta(sizes, from, to);
+  // Nothing overlaps: the old reducer is retired, both new ones built.
+  EXPECT_EQ(delta.reducers_matched, 0u);
+  EXPECT_EQ(delta.reducers_destroyed, 1u);
+  EXPECT_EQ(delta.reducers_created, 2u);
+  EXPECT_EQ(delta.inputs_moved, 3u);
+  EXPECT_EQ(delta.inputs_dropped, 2u);
+  EXPECT_EQ(delta.bytes_moved, 9u + 11u + 9u);
+}
+
+TEST(MinMoveDeltaTest, MatchingPrefersLargestOverlap) {
+  const std::vector<InputSize> sizes{10, 10, 10, 10};
+  const MappingSchema from = Make({{0, 1, 2}, {3}});
+  // Both new reducers overlap the big old one; it must pair with the
+  // one sharing the most bytes so only one copy moves.
+  const MappingSchema to = Make({{0, 3}, {0, 1, 2}});
+  const DeltaStats delta = MinMoveDelta(sizes, from, to);
+  EXPECT_EQ(delta.reducers_matched, 2u);
+  EXPECT_EQ(delta.inputs_moved, 1u);  // input 0 into the {0, 3} reducer
+  EXPECT_EQ(delta.bytes_moved, 10u);
+}
+
+TEST(MinMoveDeltaTest, AggregateConservationOnRandomSchemas) {
+  Rng rng(77);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t m = 5 + rng.UniformInt(20);
+    std::vector<InputSize> sizes(m);
+    for (auto& w : sizes) w = 1 + rng.UniformInt(50);
+    auto random_schema = [&]() {
+      MappingSchema schema;
+      const std::size_t z = 1 + rng.UniformInt(8);
+      for (std::size_t r = 0; r < z; ++r) {
+        Reducer reducer;
+        for (InputId id = 0; id < m; ++id) {
+          if (rng.Bernoulli(0.3)) reducer.push_back(id);
+        }
+        if (!reducer.empty()) schema.reducers.push_back(std::move(reducer));
+      }
+      return schema;
+    };
+    const MappingSchema from = random_schema();
+    const MappingSchema to = random_schema();
+    const DeltaStats delta = MinMoveDelta(sizes, from, to);
+
+    auto copies = [](const MappingSchema& schema) {
+      uint64_t n = 0;
+      for (const Reducer& r : schema.reducers) n += r.size();
+      return n;
+    };
+    EXPECT_EQ(static_cast<int64_t>(delta.inputs_moved) -
+                  static_cast<int64_t>(delta.inputs_dropped),
+              static_cast<int64_t>(copies(to)) -
+                  static_cast<int64_t>(copies(from)));
+    EXPECT_EQ(delta.reducers_matched + delta.reducers_created,
+              to.num_reducers());
+    EXPECT_EQ(delta.reducers_matched + delta.reducers_destroyed,
+              from.num_reducers());
+    // A full rebuild is the worst case the matching can return.
+    EXPECT_LE(delta.inputs_moved, copies(to));
+  }
+}
+
+}  // namespace
+}  // namespace msp::online

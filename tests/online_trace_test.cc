@@ -1,0 +1,205 @@
+// Differential trace tests for the online assignment subsystem.
+//
+// The acceptance bar of the online layer: replaying >= 200 randomized
+// update steps per problem shape,
+//  (1) every intermediate schema held by OnlineAssigner passes the
+//      ValidateA2A / ValidateX2Y oracle,
+//  (2) incremental repair moves strictly fewer inputs in total than
+//      the re-plan-every-update baseline on the same trace, and
+//  (3) live reducer count stays within the drift policy's bound of a
+//      fresh re-plan of the current instance.
+// Plus round-trip and determinism tests for the trace format and
+// generator.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "online/assigner.h"
+#include "online/policy.h"
+#include "online/trace.h"
+#include "planner/service.h"
+#include "workload/updates.h"
+
+namespace msp::online {
+namespace {
+
+constexpr double kReducerDrift = 1.4;
+
+wl::TraceConfig BaseTraceConfig(bool x2y, uint64_t seed) {
+  wl::TraceConfig config;
+  config.x2y = x2y;
+  config.initial_inputs = 30;
+  config.steps = 220;  // >= 200 randomized steps after the initial adds
+  config.capacity = 100;
+  config.lo = 2;
+  config.hi = 40;
+  config.seed = seed;
+  return config;
+}
+
+OnlineConfig IncrementalConfig(bool x2y, InputSize capacity) {
+  OnlineConfig config;
+  config.x2y = x2y;
+  config.capacity = capacity;
+  config.policy =
+      std::make_shared<DriftThresholdPolicy>(kReducerDrift, 2.0, 64);
+  // Replans and the fresh-plan referee below must pick identical
+  // schemas, so both use the deterministic auto dispatcher.
+  config.plan_options.use_portfolio = false;
+  return config;
+}
+
+OnlineConfig ReplanEveryUpdateConfig(bool x2y, InputSize capacity) {
+  OnlineConfig config;
+  config.x2y = x2y;
+  config.capacity = capacity;
+  config.policy = std::make_shared<AlwaysReplanPolicy>();
+  // The baseline deploys each fresh plan from scratch — the offline
+  // "just re-run the paper's algorithm" strategy.
+  config.full_reassign_on_replan = true;
+  config.plan_options.use_portfolio = false;
+  return config;
+}
+
+void RunDifferentialTrace(bool x2y, uint64_t seed) {
+  const UpdateTrace trace = wl::GenerateTrace(BaseTraceConfig(x2y, seed));
+  ASSERT_GE(trace.updates.size(), 200u + 30u);
+
+  OnlineAssigner incremental(
+      IncrementalConfig(x2y, trace.initial_capacity));
+  OnlineAssigner baseline(
+      ReplanEveryUpdateConfig(x2y, trace.initial_capacity));
+
+  std::size_t step = 0;
+  for (const Update& update : trace.updates) {
+    ++step;
+    const UpdateResult inc = incremental.Apply(update);
+    ASSERT_TRUE(inc.applied) << "step " << step << ": " << inc.error;
+    const UpdateResult base = baseline.Apply(update);
+    ASSERT_TRUE(base.applied) << "step " << step << ": " << base.error;
+
+    // (1) Every intermediate schema passes the oracle.
+    std::string error;
+    ASSERT_TRUE(incremental.ValidateNow(&error))
+        << "incremental invalid at step " << step << ": " << error;
+    if (step % 25 == 0) {
+      ASSERT_TRUE(baseline.ValidateNow(&error))
+          << "baseline invalid at step " << step << ": " << error;
+    }
+
+    // (3) Reducer count within the drift bound of a fresh re-plan.
+    if (step % 20 == 0) {
+      const QualitySnapshot quality = incremental.Quality();
+      if (quality.bounds_available) {
+        // The baseline's schema *is* the fresh re-plan of the shared
+        // current instance (it replanned this very step with the same
+        // deterministic dispatcher).
+        const uint64_t fresh = baseline.Schema().num_reducers();
+        ASSERT_GT(fresh, 0u);
+        EXPECT_LE(static_cast<double>(quality.live_reducers),
+                  kReducerDrift * static_cast<double>(fresh) + 1e-9)
+            << "drift bound broken at step " << step;
+      }
+    }
+  }
+
+  // (2) Incremental repair moves strictly fewer inputs in total.
+  const OnlineTotals& inc_totals = incremental.totals();
+  const OnlineTotals& base_totals = baseline.totals();
+  EXPECT_LT(inc_totals.churn.inputs_moved, base_totals.churn.inputs_moved);
+  EXPECT_LT(inc_totals.churn.bytes_moved, base_totals.churn.bytes_moved);
+  EXPECT_GT(inc_totals.repairs, 0u);
+  EXPECT_EQ(base_totals.replans, base_totals.updates);
+  EXPECT_EQ(inc_totals.rejected, 0u) << "generated traces must be feasible";
+  EXPECT_EQ(base_totals.rejected, 0u);
+}
+
+TEST(OnlineTraceTest, DifferentialA2A) { RunDifferentialTrace(false, 11); }
+
+TEST(OnlineTraceTest, DifferentialA2ASecondSeed) {
+  RunDifferentialTrace(false, 23);
+}
+
+TEST(OnlineTraceTest, DifferentialX2Y) { RunDifferentialTrace(true, 12); }
+
+TEST(OnlineTraceTest, DifferentialX2YSecondSeed) {
+  RunDifferentialTrace(true, 29);
+}
+
+TEST(OnlineTraceTest, GeneratorIsDeterministicInSeed) {
+  const wl::TraceConfig config = BaseTraceConfig(false, 5);
+  const UpdateTrace a = wl::GenerateTrace(config);
+  const UpdateTrace b = wl::GenerateTrace(config);
+  EXPECT_EQ(a, b);
+  wl::TraceConfig other = config;
+  other.seed = 6;
+  EXPECT_NE(wl::GenerateTrace(other), a);
+}
+
+TEST(OnlineTraceTest, RetunesClampToMaxCapacity) {
+  // With q at the subsystem limit, upward retunes must clamp so the
+  // emitted trace stays replayable (the parser rejects setq > 10^18).
+  wl::TraceConfig config = BaseTraceConfig(false, 7);
+  config.capacity = kMaxCapacity;
+  const UpdateTrace trace = wl::GenerateTrace(config);
+  for (const Update& u : trace.updates) {
+    if (u.kind == UpdateKind::kSetCapacity) {
+      EXPECT_LE(u.value, kMaxCapacity);
+    }
+  }
+  std::string error;
+  EXPECT_TRUE(TraceFromText(TraceToText(trace), &error).has_value())
+      << error;
+}
+
+TEST(OnlineTraceTest, TraceTextRoundTrip) {
+  for (bool x2y : {false, true}) {
+    const UpdateTrace trace =
+        wl::GenerateTrace(BaseTraceConfig(x2y, 3));
+    const std::string text = TraceToText(trace);
+    std::string error;
+    const auto parsed = TraceFromText(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(*parsed, trace);
+  }
+}
+
+TEST(OnlineTraceTest, TraceParserRejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(TraceFromText("", &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
+  EXPECT_FALSE(TraceFromText("update-trace v2 a2a q=10\n").has_value());
+  EXPECT_FALSE(TraceFromText("update-trace v1 a2a q=0\n").has_value());
+  EXPECT_FALSE(
+      TraceFromText("update-trace v1 a2a q=10\nfrob 1\n", &error).has_value());
+  EXPECT_NE(error.find("unknown op"), std::string::npos);
+  EXPECT_FALSE(
+      TraceFromText("update-trace v1 a2a q=10\nadd 5 junk\n").has_value());
+  // Negative numbers must not wrap through unsigned extraction — a
+  // rejected add would silently desync the implicit id numbering.
+  EXPECT_FALSE(
+      TraceFromText("update-trace v1 a2a q=10\nadd -5\n").has_value());
+  EXPECT_FALSE(
+      TraceFromText("update-trace v1 a2a q=10\nremove -1\n").has_value());
+  EXPECT_FALSE(
+      TraceFromText("update-trace v1 a2a q=10\nresize 0 -3\n").has_value());
+  EXPECT_FALSE(
+      TraceFromText("update-trace v1 a2a q=-100\nadd 5\n").has_value());
+  // The header gets the same trailing-garbage and suffix checks as ops.
+  EXPECT_FALSE(
+      TraceFromText("update-trace v1 a2a q=10O\nadd 5\n").has_value());
+  EXPECT_FALSE(
+      TraceFromText("update-trace v1 a2a q=10 extra\nadd 5\n").has_value());
+  EXPECT_FALSE(
+      TraceFromText("update-trace v1 x2y q=10\nadd 5\n").has_value());
+  // Comments and blank lines are fine.
+  const auto ok = TraceFromText(
+      "# hello\n\nupdate-trace v1 a2a q=10  # header\nadd 5\nremove 0\n");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->updates.size(), 2u);
+}
+
+}  // namespace
+}  // namespace msp::online
