@@ -18,9 +18,13 @@
 #include "core/validate.h"
 #include "core/x2y.h"
 #include "online/assigner.h"
+#include "online/coverage.h"
 #include "online/policy.h"
+#include "online/snapshot.h"
 #include "online/trace.h"
 #include "planner/service.h"
+#include "serving/service.h"
+#include "util/summary_stats.h"
 #include "util/table.h"
 #include "util/timer.h"
 #include "workload/sizes.h"
@@ -392,118 +396,159 @@ int CmdGenTrace(const ArgParser& parser, std::ostream& out,
   return 0;
 }
 
-// online — replay an update trace through the OnlineAssigner and
-// report churn, repair-vs-replan counts, and live quality against the
-// lower bounds. Every intermediate schema is checked against the
-// validate oracle every --validate-every updates (0 disables).
-int CmdOnline(const ArgParser& parser, std::ostream& out, std::ostream& err) {
-  const std::string trace_path = parser.GetString("trace");
-  if (trace_path.empty()) {
+// Loads and parses an update-trace file.
+std::optional<online::UpdateTrace> LoadTrace(const std::string& path,
+                                             std::ostream& err) {
+  if (path.empty()) {
     err << "error: --trace=<file> is required (see mspctl gen-trace)\n";
-    return 2;
+    return std::nullopt;
   }
-  std::ifstream in(trace_path);
+  std::ifstream in(path);
   if (!in.good()) {
-    err << "error: cannot open " << trace_path << "\n";
-    return 2;
+    err << "error: cannot open " << path << "\n";
+    return std::nullopt;
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
   std::string parse_error;
-  const auto trace = online::TraceFromText(buffer.str(), &parse_error);
+  auto trace = online::TraceFromText(buffer.str(), &parse_error);
   if (!trace.has_value()) {
-    err << "error: " << trace_path << ": " << parse_error << "\n";
-    return 2;
+    err << "error: " << path << ": " << parse_error << "\n";
   }
+  return trace;
+}
 
-  const std::string policy_name = parser.GetString("policy", "drift");
+// Reads the shared policy flags (--policy/--replan-threshold/
+// --every-n/--cooldown) into a serializable spec.
+std::optional<online::PolicySpec> LoadPolicySpec(const ArgParser& parser,
+                                                 std::ostream& err) {
+  online::PolicySpec spec;
+  spec.name = parser.GetString("policy", "drift");
   const auto threshold = parser.GetDouble("replan-threshold", 1.5);
   const auto every_n = parser.GetUint("every-n", 64);
-  const auto validate_every = parser.GetUint("validate-every", 1);
-  const auto portfolio = parser.GetUint("portfolio", 0);
-  if (!threshold || !every_n || !validate_every || !portfolio ||
-      *threshold < 1.0 || *every_n == 0) {
-    err << "error: bad --replan-threshold/--every-n/--validate-every "
+  const auto cooldown = parser.GetUint("cooldown", 0);
+  if (!threshold || !every_n || !cooldown || *threshold < 1.0 ||
+      *every_n == 0) {
+    err << "error: bad --replan-threshold/--every-n/--cooldown "
            "(threshold >= 1.0, every-n > 0)\n";
-    return 2;
+    return std::nullopt;
   }
-
-  online::OnlineConfig config;
-  config.x2y = trace->x2y;
-  config.capacity = trace->initial_capacity;
-  config.policy = online::MakePolicy(policy_name, *threshold, *every_n);
-  config.plan_options.use_portfolio = *portfolio != 0;
-  if (config.policy == nullptr) {
-    err << "error: unknown --policy '" << policy_name
+  spec.reducer_drift = *threshold;
+  spec.comm_drift = std::max(1.0, *threshold * 1.5);
+  spec.every_n = *every_n;
+  spec.cooldown = *cooldown;
+  if (online::MakePolicy(spec) == nullptr) {
+    err << "error: unknown --policy '" << spec.name
         << "' (drift|never|always|every-n)\n";
-    return 2;
+    return std::nullopt;
   }
+  return spec;
+}
 
-  online::OnlineAssigner assigner(config);
-  uint64_t max_update_us = 0;
-  uint64_t replay_us = 0;
+// Reads --coverage into a LiveState backend selection.
+std::optional<online::PairCoverage::Backend> LoadCoverage(
+    const ArgParser& parser, std::ostream& err) {
+  const std::string name = parser.GetString("coverage", "triangular");
+  if (name == "triangular") {
+    return online::PairCoverage::Backend::kTriangular;
+  }
+  if (name == "hash") return online::PairCoverage::Backend::kHash;
+  err << "error: unknown --coverage '" << name << "' (triangular|hash)\n";
+  return std::nullopt;
+}
+
+// Latency/skip tallies of one replay (possibly resumed mid-trace).
+struct ReplayStats {
   uint64_t skipped = 0;
-  std::size_t step = 0;
-  // Trace ids number every `add` line in order, but the assigner only
-  // issues ids to *applied* adds — after a rejected add the two would
-  // silently drift apart, so remove/resize targets are translated
-  // through this map (nullopt = the add was rejected).
-  std::vector<std::optional<InputId>> live_of_trace;
-  for (const online::Update& trace_update : trace->updates) {
-    ++step;
-    online::Update update = trace_update;
-    if (update.kind == online::UpdateKind::kRemoveInput ||
-        update.kind == online::UpdateKind::kResizeInput) {
-      if (update.id >= live_of_trace.size() ||
-          !live_of_trace[update.id].has_value()) {
-        ++skipped;
-        err << "warning: step " << step
-            << " skipped: targets an unknown or rejected input\n";
-        continue;
-      }
-      update.id = *live_of_trace[update.id];
+  std::vector<double> repair_us;  // per applied update, repair only
+};
+
+// Replays trace.updates[cursor->next_event, end_event) through the
+// assigner. Trace ids number every `add` line in order, but the
+// assigner only issues ids to *applied* adds — after a rejected add
+// the two would silently drift apart, so remove/resize targets are
+// translated through cursor->live_of_trace (nullopt = rejected add).
+// The policy runs every `batch` applied events (0/1 = every update);
+// the oracle every `validate_every` steps (0 disables). The window
+// position is the assigner's own pending-update count, so a replay cut
+// mid-window (snapshot) resumes with identical policy timing. A
+// partial trailing window is checkpointed only when `final_checkpoint`
+// is set (end of the whole trace, not a snapshot cut). Returns false
+// when the oracle rejects an intermediate schema.
+bool ReplayTraceRange(const online::UpdateTrace& trace,
+                      std::size_t end_event, std::size_t batch,
+                      uint64_t validate_every, bool final_checkpoint,
+                      online::OnlineAssigner* assigner,
+                      online::ReplayCursor* cursor, ReplayStats* stats,
+                      std::ostream& err) {
+  const std::size_t window = batch == 0 ? 1 : batch;
+  online::TraceIdTranslator translator(&cursor->live_of_trace);
+  while (cursor->next_event < end_event) {
+    const std::size_t step = cursor->next_event + 1;
+    online::Update update = trace.updates[cursor->next_event];
+    ++cursor->next_event;
+    if (!translator.Translate(&update)) {
+      ++stats->skipped;
+      err << "warning: step " << step
+          << " skipped: targets an unknown or rejected input\n";
+      continue;
     }
     Stopwatch watch;
-    const online::UpdateResult result = assigner.Apply(update);
+    const online::UpdateResult result = assigner->ApplyDeferred(update);
     const uint64_t us = watch.ElapsedMicros();
-    if (result.applied) {  // the latency rows average applied updates
-      replay_us += us;
-      max_update_us = std::max(max_update_us, us);
-    }
     if (update.kind == online::UpdateKind::kAddInput) {
-      live_of_trace.push_back(result.applied ? result.new_id : std::nullopt);
+      translator.RecordAdd(result.applied ? result.new_id : std::nullopt);
     }
-    if (!result.applied) {
+    if (result.applied) {
+      stats->repair_us.push_back(static_cast<double>(us));
+      if (assigner->pending_decision_updates() >= window) {
+        assigner->PolicyCheckpoint();
+      }
+    } else {
       err << "warning: step " << step << " rejected: " << result.error
           << "\n";
     }
-    if (*validate_every != 0 && step % *validate_every == 0) {
+    if (validate_every != 0 && step % validate_every == 0) {
       std::string validate_error;
-      if (!assigner.ValidateNow(&validate_error)) {
+      if (!assigner->ValidateNow(&validate_error)) {
         err << "INVALID schema after step " << step << ": "
             << validate_error << "\n";
-        return 1;
+        return false;
       }
     }
   }
+  if (final_checkpoint && assigner->pending_decision_updates() > 0) {
+    assigner->PolicyCheckpoint();
+  }
+  return true;
+}
 
+// Renders the replay / churn / quality tables shared by `online` and
+// `restore`, plus the final validity line. Returns the exit code.
+int PrintReplayReport(const online::OnlineAssigner& assigner,
+                      const ReplayStats& stats, std::ostream& out,
+                      std::ostream& err) {
   const online::OnlineTotals& totals = assigner.totals();
-  TablePrinter replay("online replay (" + config.policy->name() + ")");
+  TablePrinter replay("online replay (" +
+                      assigner.config().policy_spec.name + ")");
   replay.SetHeader({"metric", "value"});
   replay.AddRow({"updates applied", TablePrinter::Fmt(totals.updates)});
   replay.AddRow({"updates rejected", TablePrinter::Fmt(totals.rejected)});
-  if (skipped > 0) {
-    replay.AddRow({"steps skipped (bad id)", TablePrinter::Fmt(skipped)});
+  if (stats.skipped > 0) {
+    replay.AddRow(
+        {"steps skipped (bad id)", TablePrinter::Fmt(stats.skipped)});
   }
   replay.AddRow({"local repairs", TablePrinter::Fmt(totals.repairs)});
   replay.AddRow({"full re-plans", TablePrinter::Fmt(totals.replans)});
-  replay.AddRow(
-      {"mean update us",
-       TablePrinter::Fmt(totals.updates == 0
-                             ? 0.0
-                             : static_cast<double>(replay_us) /
-                                   static_cast<double>(totals.updates))});
-  replay.AddRow({"max update us", TablePrinter::Fmt(max_update_us)});
+  if (!stats.repair_us.empty()) {
+    const SummaryStats latency = SummaryStats::Compute(stats.repair_us);
+    replay.AddRow({"mean repair us", TablePrinter::Fmt(latency.mean())});
+    replay.AddRow(
+        {"p50 repair us", TablePrinter::Fmt(latency.Percentile(50.0))});
+    replay.AddRow(
+        {"p99 repair us", TablePrinter::Fmt(latency.Percentile(99.0))});
+    replay.AddRow({"max repair us", TablePrinter::Fmt(latency.max())});
+  }
   replay.Print(err);
 
   TablePrinter churn("churn");
@@ -539,6 +584,7 @@ int CmdOnline(const ArgParser& parser, std::ostream& out, std::ostream& err) {
     quality_table.AddRow({"instance too small to bound", "-", "-", "-"});
   }
   quality_table.Print(err);
+
   std::string final_error;
   const bool final_valid = assigner.ValidateNow(&final_error);
   err << "final: inputs=" << assigner.num_inputs()
@@ -551,6 +597,250 @@ int CmdOnline(const ArgParser& parser, std::ostream& out, std::ostream& err) {
   }
   out << SchemaToText(assigner.Schema());
   return 0;
+}
+
+// online — replay an update trace through the OnlineAssigner and
+// report churn, repair-vs-replan counts, and live quality against the
+// lower bounds. Every intermediate schema is checked against the
+// validate oracle every --validate-every updates (0 disables);
+// --batch amortizes the policy over windows of updates.
+int CmdOnline(const ArgParser& parser, std::ostream& out, std::ostream& err) {
+  const auto trace = LoadTrace(parser.GetString("trace"), err);
+  if (!trace.has_value()) return 2;
+  const auto spec = LoadPolicySpec(parser, err);
+  if (!spec.has_value()) return 2;
+  const auto coverage = LoadCoverage(parser, err);
+  if (!coverage.has_value()) return 2;
+  const auto validate_every = parser.GetUint("validate-every", 1);
+  const auto portfolio = parser.GetUint("portfolio", 0);
+  const auto batch = parser.GetUint("batch", 0);
+  if (!validate_every || !portfolio || !batch) {
+    err << "error: bad --validate-every/--portfolio/--batch\n";
+    return 2;
+  }
+
+  online::OnlineConfig config;
+  config.x2y = trace->x2y;
+  config.capacity = trace->initial_capacity;
+  config.policy_spec = *spec;
+  config.coverage = *coverage;
+  config.plan_options.use_portfolio = *portfolio != 0;
+
+  online::OnlineAssigner assigner(config);
+  online::ReplayCursor cursor;
+  ReplayStats stats;
+  if (!ReplayTraceRange(*trace, trace->updates.size(),
+                        static_cast<std::size_t>(*batch), *validate_every,
+                        /*final_checkpoint=*/true, &assigner, &cursor,
+                        &stats, err)) {
+    return 1;
+  }
+  return PrintReplayReport(assigner, stats, out, err);
+}
+
+// serve — the sharded serving layer end to end: generate one update
+// trace per instance (seeds seed, seed+1, ...), route them by instance
+// key across --shards worker threads sharing one planner, replay
+// everything, oracle-check every final schema, and print the per-shard
+// latency/churn tables.
+int CmdServe(const ArgParser& parser, std::ostream& out, std::ostream& err) {
+  const std::string kind = parser.GetString("kind", "a2a");
+  if (kind != "a2a" && kind != "x2y") {
+    err << "error: --kind must be a2a or x2y\n";
+    return 2;
+  }
+  wl::TraceConfig trace_config;
+  trace_config.x2y = kind == "x2y";
+  const auto instances = parser.GetUint("instances", 4);
+  const auto shards = parser.GetUint("shards", 4);
+  const auto initial = parser.GetUint("initial", trace_config.initial_inputs);
+  const auto steps = parser.GetUint("steps", trace_config.steps);
+  const auto q = parser.GetUint("q", trace_config.capacity);
+  const auto lo = parser.GetUint("lo", trace_config.lo);
+  const auto hi = parser.GetUint("hi", trace_config.hi);
+  const auto skew = parser.GetDouble("skew", trace_config.skew);
+  const auto seed = parser.GetUint("seed", trace_config.seed);
+  const auto batch = parser.GetUint("batch", 0);
+  const auto portfolio = parser.GetUint("portfolio", 0);
+  const auto spec = LoadPolicySpec(parser, err);
+  if (!spec.has_value()) return 2;
+  if (!instances || !shards || !initial || !steps || !q || !lo || !hi ||
+      !skew || !seed || !batch || !portfolio || *instances == 0 ||
+      *instances > 4096 || *shards == 0 || *shards > 256 || *q < 2 ||
+      *lo == 0 || *lo > *hi || *lo > *q / 2 || *skew < 0.0 ||
+      *initial > kMaxTraceEvents || *steps > kMaxTraceEvents ||
+      *q > online::kMaxCapacity) {
+    err << "error: bad serve options (need 1<=instances<=4096, "
+           "1<=shards<=256, 2<=q<=10^18, 0<lo<=hi, q>=2*lo, skew>=0, "
+           "initial/steps <= 10^7)\n";
+    return 2;
+  }
+
+  serving::ServingConfig serving_config;
+  serving_config.num_shards = static_cast<std::size_t>(*shards);
+  serving::ServingService service(serving_config);
+
+  trace_config.initial_inputs = static_cast<std::size_t>(*initial);
+  trace_config.steps = static_cast<std::size_t>(*steps);
+  trace_config.capacity = *q;
+  trace_config.lo = *lo;
+  trace_config.hi = *hi;
+  trace_config.skew = *skew;
+
+  // Generate all traces up front: the throughput figure below must
+  // time the serving layer, not the single-threaded generator.
+  std::vector<online::UpdateTrace> traces;
+  uint64_t total_events = 0;
+  for (uint64_t i = 0; i < *instances; ++i) {
+    trace_config.seed = *seed + i;
+    traces.push_back(wl::GenerateTrace(trace_config));
+    total_events += traces.back().updates.size();
+  }
+
+  Stopwatch wall;
+  for (uint64_t i = 0; i < *instances; ++i) {
+    const std::string key = "trace-" + std::to_string(i);
+    online::OnlineConfig config;
+    config.x2y = traces[i].x2y;
+    config.capacity = traces[i].initial_capacity;
+    config.policy_spec = *spec;
+    config.plan_options.use_portfolio = *portfolio != 0;
+    service.CreateInstance(key, config, /*translate_trace_ids=*/true);
+    service.SubmitBatch(key, std::move(traces[i].updates),
+                        static_cast<std::size_t>(*batch));
+  }
+  // Streams are complete: flush the trailing partial batch windows so
+  // the final schemas match what `mspctl online --batch` reports.
+  service.CheckpointAll();
+  service.Flush();
+  const double seconds = wall.ElapsedSeconds();
+
+  service.PrintStats(err);
+  err << "throughput: " << TablePrinter::Fmt(
+             seconds > 0.0 ? static_cast<double>(total_events) / seconds
+                           : 0.0,
+             0)
+      << " updates/s over " << *shards << " shard(s)\n";
+  if (parser.Has("stats")) service.planner().PrintStats(err);
+
+  bool all_valid = true;
+  service.ForEachInstance([&](const std::string& key,
+                              const online::OnlineAssigner& assigner) {
+    std::string error;
+    const bool valid = assigner.ValidateNow(&error);
+    all_valid = all_valid && valid;
+    out << "instance=" << key << " shard=" << service.ShardOf(key)
+        << " inputs=" << assigner.num_inputs()
+        << " reducers=" << assigner.Schema().num_reducers()
+        << " valid=" << (valid ? "yes" : "NO") << "\n";
+    if (!valid) err << "INVALID instance '" << key << "': " << error << "\n";
+  });
+  return all_valid ? 0 : 1;
+}
+
+// snapshot — replay the first --steps events of a trace, then write a
+// checksummed binary snapshot (live state + config + replay cursor) so
+// `mspctl restore` can continue without replaying the prefix.
+int CmdSnapshot(const ArgParser& parser, std::ostream& out,
+                std::ostream& err) {
+  const auto trace = LoadTrace(parser.GetString("trace"), err);
+  if (!trace.has_value()) return 2;
+  const std::string out_path = parser.GetString("out");
+  if (out_path.empty()) {
+    err << "error: --out=<file> is required\n";
+    return 2;
+  }
+  const auto spec = LoadPolicySpec(parser, err);
+  if (!spec.has_value()) return 2;
+  const auto coverage = LoadCoverage(parser, err);
+  if (!coverage.has_value()) return 2;
+  const auto steps = parser.GetUint("steps", trace->updates.size());
+  const auto batch = parser.GetUint("batch", 0);
+  const auto portfolio = parser.GetUint("portfolio", 0);
+  if (!steps || !batch || !portfolio || *steps > trace->updates.size()) {
+    err << "error: bad --steps/--batch (steps <= trace length "
+        << trace->updates.size() << ")\n";
+    return 2;
+  }
+
+  online::OnlineConfig config;
+  config.x2y = trace->x2y;
+  config.capacity = trace->initial_capacity;
+  config.policy_spec = *spec;
+  config.coverage = *coverage;
+  config.plan_options.use_portfolio = *portfolio != 0;
+
+  online::OnlineAssigner assigner(config);
+  online::ReplayCursor cursor;
+  ReplayStats stats;
+  if (!ReplayTraceRange(*trace, static_cast<std::size_t>(*steps),
+                        static_cast<std::size_t>(*batch),
+                        /*validate_every=*/0, /*final_checkpoint=*/false,
+                        &assigner, &cursor, &stats, err)) {
+    return 1;
+  }
+  std::string validate_error;
+  if (!assigner.ValidateNow(&validate_error)) {
+    err << "INVALID schema at the snapshot point: " << validate_error
+        << "\n";
+    return 1;
+  }
+  std::string io_error;
+  if (!WriteSnapshotFile(out_path, assigner, cursor, &io_error)) {
+    err << "error: " << io_error << "\n";
+    return 2;
+  }
+  out << "snapshot=" << out_path << " events=" << cursor.next_event
+      << " inputs=" << assigner.num_inputs()
+      << " reducers=" << assigner.Schema().num_reducers() << "\n";
+  return 0;
+}
+
+// restore — load a snapshot and (optionally) continue replaying the
+// trace it was cut from, producing the same report `online` prints.
+int CmdRestore(const ArgParser& parser, std::ostream& out,
+               std::ostream& err) {
+  const std::string snapshot_path = parser.GetString("snapshot");
+  if (snapshot_path.empty()) {
+    err << "error: --snapshot=<file> is required\n";
+    return 2;
+  }
+  std::string restore_error;
+  auto restored = online::ReadSnapshotFile(snapshot_path, &restore_error);
+  if (!restored.has_value()) {
+    err << "error: " << restore_error << "\n";
+    return 2;
+  }
+  online::OnlineAssigner& assigner = *restored->assigner;
+  const uint64_t resumed_at = restored->cursor.next_event;
+
+  ReplayStats stats;
+  const std::string trace_path = parser.GetString("trace");
+  if (!trace_path.empty()) {
+    const auto trace = LoadTrace(trace_path, err);
+    if (!trace.has_value()) return 2;
+    const auto validate_every = parser.GetUint("validate-every", 1);
+    const auto batch = parser.GetUint("batch", 0);
+    if (!validate_every || !batch) {
+      err << "error: bad --validate-every/--batch\n";
+      return 2;
+    }
+    if (trace->x2y != assigner.config().x2y ||
+        restored->cursor.next_event > trace->updates.size()) {
+      err << "error: snapshot does not belong to this trace (shape or "
+             "length mismatch)\n";
+      return 2;
+    }
+    if (!ReplayTraceRange(*trace, trace->updates.size(),
+                          static_cast<std::size_t>(*batch), *validate_every,
+                          /*final_checkpoint=*/true, &assigner,
+                          &restored->cursor, &stats, err)) {
+      return 1;
+    }
+  }
+  err << "restored: " << snapshot_path << " resumed-at=" << resumed_at
+      << " replayed-to=" << restored->cursor.next_event << "\n";
+  return PrintReplayReport(assigner, stats, out, err);
 }
 
 }  // namespace
@@ -579,9 +869,23 @@ void PrintUsage(std::ostream& out) {
          "             [--p-add=P] [--p-remove=P] [--p-resize=P]\n"
          "             write an update trace to stdout\n"
          "  online     --trace=FILE [--policy=drift|never|always|every-n]\n"
-         "             [--replan-threshold=R] [--every-n=N]\n"
-         "             [--validate-every=N] [--portfolio=0|1]\n"
+         "             [--replan-threshold=R] [--every-n=N] [--cooldown=N]\n"
+         "             [--validate-every=N] [--portfolio=0|1] [--batch=B]\n"
+         "             [--coverage=triangular|hash]\n"
          "             replay a trace through the online assigner\n"
+         "  serve      [--kind=a2a|x2y] [--instances=N] [--shards=N]\n"
+         "             [--initial=M] [--steps=N] [--q=Q] [--lo=L] [--hi=H]\n"
+         "             [--skew=S] [--seed=K] [--batch=B] [--stats]\n"
+         "             [--policy=...] [--replan-threshold=R] [--every-n=N]\n"
+         "             [--cooldown=N] [--portfolio=0|1]\n"
+         "             replay one trace per instance across serving shards\n"
+         "  snapshot   --trace=FILE --out=FILE [--steps=K] [--batch=B]\n"
+         "             [--policy=...] [--replan-threshold=R] [--every-n=N]\n"
+         "             [--cooldown=N] [--coverage=...] [--portfolio=0|1]\n"
+         "             replay a trace prefix and write a binary snapshot\n"
+         "  restore    --snapshot=FILE [--trace=FILE] [--validate-every=N]\n"
+         "             [--batch=B]\n"
+         "             restore a snapshot and continue the replay\n"
          "\n"
          "a2a algorithms: auto single-reducer naive-all-pairs "
          "equal-grouping\n"
@@ -614,8 +918,17 @@ const std::vector<CommandSpec>& Commands() {
        {"kind", "initial", "steps", "q", "lo", "hi", "skew", "seed",
         "p-add", "p-remove", "p-resize"}},
       {"online", CmdOnline,
-       {"trace", "policy", "replan-threshold", "every-n",
-        "validate-every", "portfolio"}},
+       {"trace", "policy", "replan-threshold", "every-n", "cooldown",
+        "validate-every", "portfolio", "batch", "coverage"}},
+      {"serve", CmdServe,
+       {"kind", "instances", "shards", "initial", "steps", "q", "lo", "hi",
+        "skew", "seed", "batch", "stats", "policy", "replan-threshold",
+        "every-n", "cooldown", "portfolio"}},
+      {"snapshot", CmdSnapshot,
+       {"trace", "out", "steps", "batch", "policy", "replan-threshold",
+        "every-n", "cooldown", "coverage", "portfolio"}},
+      {"restore", CmdRestore,
+       {"snapshot", "trace", "validate-every", "batch"}},
   };
   return kCommands;
 }

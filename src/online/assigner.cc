@@ -28,31 +28,113 @@ void CountFullDeploy(const std::vector<InputSize>& sizes,
 
 OnlineAssigner::OnlineAssigner(const OnlineConfig& config)
     : config_(config),
-      policy_(config.policy ? config.policy
-                            : std::make_shared<DriftThresholdPolicy>()),
-      planner_(std::make_unique<planner::PlannerService>(config.planner)) {
+      policy_(config.policy ? config.policy : MakePolicy(config.policy_spec)),
+      planner_(config.shared_planner
+                   ? config.shared_planner
+                   : std::make_shared<planner::PlannerService>(
+                         config.planner)) {
   MSP_CHECK_GT(config.capacity, 0u) << "OnlineConfig.capacity must be set";
   MSP_CHECK_LE(config.capacity, kMaxCapacity)
       << "capacity above 10^18 would let feasibility sums wrap uint64";
+  MSP_CHECK(policy_ != nullptr)
+      << "unknown policy spec '" << config.policy_spec.name << "'";
   state_.x2y = config.x2y;
   state_.capacity = config.capacity;
+  state_.cover.Reset(config.coverage, 0);
 }
 
 UpdateResult OnlineAssigner::Apply(const Update& update) {
+  UpdateResult result = ApplyDeferred(update);
+  if (!result.applied) return result;
+  const UpdateResult decision = PolicyCheckpoint();
+  result.replanned = decision.replanned;
+  result.churn += decision.churn;
+  return result;
+}
+
+UpdateResult OnlineAssigner::ApplyDeferred(const Update& update) {
+  UpdateResult result;
   switch (update.kind) {
     case UpdateKind::kAddInput:
-      return AddInput(update.value, update.side);
+      result = DoAdd(update.value, update.side);
+      break;
     case UpdateKind::kRemoveInput:
-      return RemoveInput(update.id);
+      result = DoRemove(update.id);
+      break;
     case UpdateKind::kResizeInput:
-      return ResizeInput(update.id, update.value);
+      result = DoResize(update.id, update.value);
+      break;
     case UpdateKind::kSetCapacity:
-      return SetCapacity(update.value);
+      result = DoSetCapacity(update.value);
+      break;
   }
-  return Reject("unknown update kind");
+  if (result.applied) {
+    ++totals_.updates;
+    totals_.churn += result.churn;
+    ++updates_since_replan_;
+    ++updates_since_decision_;
+  }
+  return result;
+}
+
+UpdateResult OnlineAssigner::PolicyCheckpoint() {
+  UpdateResult result;
+  if (updates_since_decision_ == 0) {
+    result.error = "no updates since the last policy decision";
+    return result;
+  }
+  result.applied = true;
+  MaybeReplan(&result);
+  totals_.churn += result.churn;  // replan churn only; repairs already counted
+  if (result.replanned) {
+    ++totals_.replans;
+  } else {
+    ++totals_.repairs;
+  }
+  updates_since_decision_ = 0;
+  return result;
+}
+
+BatchResult OnlineAssigner::ApplyBatch(std::span<const Update> updates) {
+  BatchResult batch;
+  for (const Update& update : updates) {
+    const UpdateResult result = ApplyDeferred(update);
+    if (update.kind == UpdateKind::kAddInput) {
+      batch.new_ids.push_back(result.applied ? result.new_id : std::nullopt);
+    }
+    if (result.applied) {
+      ++batch.applied;
+      batch.churn += result.churn;
+    } else {
+      ++batch.rejected;
+      if (batch.first_error.empty()) batch.first_error = result.error;
+    }
+  }
+  if (batch.applied > 0) {
+    const UpdateResult decision = PolicyCheckpoint();
+    batch.replanned = decision.replanned;
+    batch.churn += decision.churn;
+  }
+  return batch;
 }
 
 UpdateResult OnlineAssigner::AddInput(InputSize size, Side side) {
+  return Apply(Update::Add(size, side));
+}
+
+UpdateResult OnlineAssigner::RemoveInput(InputId id) {
+  return Apply(Update::Remove(id));
+}
+
+UpdateResult OnlineAssigner::ResizeInput(InputId id, InputSize size) {
+  return Apply(Update::Resize(id, size));
+}
+
+UpdateResult OnlineAssigner::SetCapacity(InputSize capacity) {
+  return Apply(Update::SetCapacity(capacity));
+}
+
+UpdateResult OnlineAssigner::DoAdd(InputSize size, Side side) {
   if (size == 0) return Reject("input size must be positive");
   if (size > state_.capacity) return Reject("input larger than capacity");
   if (!config_.x2y) side = Side::kX;
@@ -77,20 +159,18 @@ UpdateResult OnlineAssigner::AddInput(InputSize size, Side side) {
   result.applied = true;
   result.new_id = id;
   RepairAdd(&state_, id, &result.churn);
-  FinishUpdate(&result);
   return result;
 }
 
-UpdateResult OnlineAssigner::RemoveInput(InputId id) {
+UpdateResult OnlineAssigner::DoRemove(InputId id) {
   if (!is_alive(id)) return Reject("unknown or departed input id");
   UpdateResult result;
   result.applied = true;
   RepairRemove(&state_, id, &result.churn);
-  FinishUpdate(&result);
   return result;
 }
 
-UpdateResult OnlineAssigner::ResizeInput(InputId id, InputSize size) {
+UpdateResult OnlineAssigner::DoResize(InputId id, InputSize size) {
   if (!is_alive(id)) return Reject("unknown or departed input id");
   if (size == 0) return Reject("input size must be positive");
   if (size > state_.capacity) return Reject("input larger than capacity");
@@ -106,11 +186,10 @@ UpdateResult OnlineAssigner::ResizeInput(InputId id, InputSize size) {
   UpdateResult result;
   result.applied = true;
   RepairResize(&state_, id, size, &result.churn);
-  FinishUpdate(&result);
   return result;
 }
 
-UpdateResult OnlineAssigner::SetCapacity(InputSize capacity) {
+UpdateResult OnlineAssigner::DoSetCapacity(InputSize capacity) {
   if (capacity == 0) return Reject("capacity must be positive");
   if (capacity > kMaxCapacity) {
     return Reject("capacity above the 10^18 limit");
@@ -143,8 +222,77 @@ UpdateResult OnlineAssigner::SetCapacity(InputSize capacity) {
   UpdateResult result;
   result.applied = true;
   RepairCapacity(&state_, capacity, &result.churn);
-  FinishUpdate(&result);
   return result;
+}
+
+bool OnlineAssigner::Seed(const std::vector<InputSize>& sizes,
+                          const std::vector<Side>& sides,
+                          const MappingSchema& schema, bool validate,
+                          std::string* error) {
+  const auto fail = [error](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (!state_.sizes.empty() || totals_.updates != 0 || totals_.rejected != 0) {
+    return fail("Seed requires a pristine assigner");
+  }
+  if (sizes.empty()) return fail("Seed needs at least one input");
+  if (!sides.empty() && sides.size() != sizes.size()) {
+    return fail("sides must be empty or parallel to sizes");
+  }
+  if (config_.x2y && sides.empty()) {
+    return fail("X2Y seeds need one side per input");
+  }
+  for (InputSize w : sizes) {
+    if (w == 0) return fail("seed sizes must be positive");
+    if (w > state_.capacity) return fail("seed input larger than capacity");
+  }
+  for (const Reducer& reducer : schema.reducers) {
+    Reducer sorted = reducer;
+    std::sort(sorted.begin(), sorted.end());
+    if (!sorted.empty() && sorted.back() >= sizes.size()) {
+      return fail("seed schema references an unknown input id");
+    }
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return fail("seed schema holds a duplicate member");
+    }
+  }
+
+  state_.sizes = sizes;
+  state_.sides = config_.x2y ? sides : std::vector<Side>(sizes.size(),
+                                                         Side::kX);
+  state_.alive.assign(sizes.size(), true);
+  // Build the alive index directly instead of RegisterAlive per id:
+  // the ids are dense, and sizing the coverage triangle once (inside
+  // RebuildDerived) avoids 2x geometric-growth slack on m^2/2 entries.
+  state_.alive_ids.resize(sizes.size());
+  state_.alive_pos.resize(sizes.size());
+  for (InputId id = 0; id < sizes.size(); ++id) {
+    state_.alive_ids[id] = id;
+    state_.alive_pos[id] = id;
+  }
+  state_.ResetSchema(schema);
+
+  const auto rollback = [this, error](const std::string& why) {
+    state_ = LiveState{};
+    state_.x2y = config_.x2y;
+    state_.capacity = config_.capacity;
+    state_.cover.Reset(config_.coverage, 0);
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  for (InputSize load : state_.loads) {
+    if (load > state_.capacity) {
+      return rollback("seed schema overflows a reducer");
+    }
+  }
+  if (validate) {
+    std::string oracle_error;
+    if (!ValidateNow(&oracle_error)) {
+      return rollback("seed schema invalid: " + oracle_error);
+    }
+  }
+  return true;
 }
 
 UpdateResult OnlineAssigner::Compact() {
@@ -166,24 +314,13 @@ UpdateResult OnlineAssigner::Reject(std::string why) {
   return result;
 }
 
-void OnlineAssigner::FinishUpdate(UpdateResult* result) {
-  ++updates_since_replan_;
-  MaybeReplan(result);
-  ++totals_.updates;
-  totals_.churn += result->churn;
-  if (result->replanned) {
-    ++totals_.replans;
-  } else {
-    ++totals_.repairs;
-  }
-}
-
 void OnlineAssigner::MaybeReplan(UpdateResult* result) {
   PolicySignals signals;
   signals.num_inputs = state_.num_alive();
   signals.live_reducers = state_.reducers.size();
   for (InputSize load : state_.loads) signals.live_communication += load;
   signals.updates_since_replan = updates_since_replan_;
+  signals.last_fresh_reducers = last_fresh_reducers_;
   // The dense rebuild and lower bounds are the expensive part of the
   // signals; compute them only for policies that read them, and keep
   // the view for the Plan call below.
@@ -205,8 +342,11 @@ void OnlineAssigner::MaybeReplan(UpdateResult* result) {
   if (!plan.schema.has_value()) return;  // cannot happen on feasible state
 
   // The planner was consulted: the drift clock restarts whether or not
-  // the fresh plan is deployed.
+  // the fresh plan is deployed, and the fresh plan's quality is
+  // remembered so the hysteresis policy can tell structural gaps from
+  // repair decay.
   updates_since_replan_ = 0;
+  last_fresh_reducers_ = plan.schema->num_reducers();
   if (!config_.full_reassign_on_replan) {
     // Deploy only a strictly better plan. When repair already matches
     // what a fresh construction achieves, the drift is structural (the

@@ -34,11 +34,13 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/instance.h"
 #include "core/schema.h"
+#include "online/coverage.h"
 #include "online/delta.h"
 #include "online/policy.h"
 #include "online/repair.h"
@@ -53,12 +55,26 @@ struct OnlineConfig {
   bool x2y = false;
   /// Initial reducer capacity q. Must be positive.
   InputSize capacity = 0;
-  /// Escalation policy; null selects DriftThresholdPolicy defaults.
+  /// Escalation policy; null builds one from `policy_spec`. Directly
+  /// supplied policies are NOT captured by snapshots — snapshot/restore
+  /// flows should configure through `policy_spec` instead.
   std::shared_ptr<ReplanPolicy> policy;
+  /// Declarative policy selection, used when `policy` is null and
+  /// stored verbatim in snapshots.
+  PolicySpec policy_spec;
+  /// Pair-coverage backend of the LiveState (see coverage.h). The
+  /// dense triangular array is the fast default; the hash map is the
+  /// pre-refactor baseline kept for benchmarks and differential tests.
+  PairCoverage::Backend coverage = PairCoverage::Backend::kTriangular;
   /// When true, a re-plan counts every copy of the fresh schema as
   /// moved (the naive "reassign everything" deployment) instead of the
   /// minimum-move delta. Used by the churn baselines.
   bool full_reassign_on_replan = false;
+  /// Planner used for escalated re-plans. When null, the assigner owns
+  /// a private single-worker PlannerService built from `planner`; a
+  /// shared service (thread-safe, e.g. one per ServingService) lets
+  /// many assigners pool the plan cache.
+  std::shared_ptr<planner::PlannerService> shared_planner;
   /// Configuration of the internally-owned PlannerService. The default
   /// single worker keeps per-assigner overhead small.
   planner::PlannerConfig planner = {.num_threads = 1};
@@ -86,13 +102,26 @@ struct QualitySnapshot {
   uint64_t lb_communication = 0;
 };
 
-/// Lifetime counters of an assigner.
+/// Lifetime counters of an assigner. `repairs` + `replans` counts
+/// *policy decisions*: one per applied update in single-update mode,
+/// one per window under ApplyBatch.
 struct OnlineTotals {
   uint64_t updates = 0;   // applied updates
   uint64_t rejected = 0;  // infeasible/unknown-id updates refused
-  uint64_t repairs = 0;   // updates absorbed by local repair only
+  uint64_t repairs = 0;   // decisions absorbed by local repair only
   uint64_t replans = 0;   // policy escalations to a full re-plan
   ChurnStats churn;       // exact cumulative churn
+};
+
+/// Outcome of one ApplyBatch window.
+struct BatchResult {
+  uint64_t applied = 0;
+  uint64_t rejected = 0;
+  bool replanned = false;  // the window's single policy check escalated
+  ChurnStats churn;        // aggregate churn (repairs + any replan)
+  /// One entry per kAddInput event, in order; nullopt = rejected.
+  std::vector<std::optional<InputId>> new_ids;
+  std::string first_error;  // first rejection reason, if any
 };
 
 /// See the file comment. All mutating calls are sequential.
@@ -112,6 +141,30 @@ class OnlineAssigner {
   UpdateResult RemoveInput(InputId id);
   UpdateResult ResizeInput(InputId id, InputSize size);
   UpdateResult SetCapacity(InputSize capacity);
+
+  /// Applies a window of events as one batch: every event is repaired
+  /// immediately (ids assigned in order, each intermediate schema
+  /// valid) but the escalation policy runs once, after the window —
+  /// the amortized mode for high-throughput serving.
+  BatchResult ApplyBatch(std::span<const Update> updates);
+
+  /// Building blocks of ApplyBatch, exposed for callers that must
+  /// interleave work between events (the serving shard translates
+  /// trace ids as adds resolve): repair-only application, then one
+  /// explicit policy decision covering the window so far.
+  UpdateResult ApplyDeferred(const Update& update);
+  UpdateResult PolicyCheckpoint();
+
+  /// Bulk-loads an initial instance and its already-planned schema
+  /// into an empty assigner (warm start from an offline plan; the
+  /// snapshot-free way to reach large m without replaying adds).
+  /// `sides` may be empty for A2A. No churn is charged: the schema is
+  /// pre-existing state, not movement. When `validate` is set the
+  /// schema is checked against the oracle first (O(m^2) on A2A).
+  /// Returns false (empty assigner untouched) on any inconsistency.
+  bool Seed(const std::vector<InputSize>& sizes,
+            const std::vector<Side>& sides, const MappingSchema& schema,
+            bool validate, std::string* error = nullptr);
 
   /// Runs the full MergeReducers pass over the live schema, churn
   /// accounted through the min-move delta. Never breaks validity.
@@ -138,10 +191,24 @@ class OnlineAssigner {
   const OnlineTotals& totals() const { return totals_; }
   const OnlineConfig& config() const { return config_; }
 
+  /// Read-only view of the live state (serving stats, tests).
+  const LiveState& live_state() const { return state_; }
+
+  /// The id the next applied AddInput will receive (ids are issued
+  /// sequentially and never reused).
+  InputId next_id() const { return static_cast<InputId>(state_.sizes.size()); }
+
+  /// Applied updates not yet covered by a policy decision. Batched
+  /// replays checkpoint when this reaches their window size, so window
+  /// alignment survives snapshot/restore and task re-framing.
+  uint64_t pending_decision_updates() const { return updates_since_decision_; }
+
   /// Planner used for escalated re-plans (exposes PrintStats etc.).
   planner::PlannerService& planner() { return *planner_; }
 
  private:
+  friend class SnapshotCodec;  // serializes/restores the private state
+
   /// Dense projection: live ids compacted to [0, m) so the immutable
   /// instance types, the validate oracle, and the planner apply.
   struct DenseView {
@@ -154,7 +221,10 @@ class OnlineAssigner {
   QualitySnapshot QualityFrom(const DenseView& dense) const;
 
   UpdateResult Reject(std::string why);
-  void FinishUpdate(UpdateResult* result);
+  UpdateResult DoAdd(InputSize size, Side side);
+  UpdateResult DoRemove(InputId id);
+  UpdateResult DoResize(InputId id, InputSize size);
+  UpdateResult DoSetCapacity(InputSize capacity);
   void MaybeReplan(UpdateResult* result);
   void DeployReplanned(const MappingSchema& fresh_live,
                        UpdateResult* result);
@@ -162,9 +232,15 @@ class OnlineAssigner {
   OnlineConfig config_;
   LiveState state_;
   std::shared_ptr<ReplanPolicy> policy_;
-  std::unique_ptr<planner::PlannerService> planner_;
+  std::shared_ptr<planner::PlannerService> planner_;
   OnlineTotals totals_;
   uint64_t updates_since_replan_ = 0;
+  /// Applied updates since the last PolicyCheckpoint; a checkpoint
+  /// with nothing pending is a no-op.
+  uint64_t updates_since_decision_ = 0;
+  /// Reducer count the last planner consult produced (deployed or
+  /// not); 0 until the first consult. Feeds the hysteresis policy.
+  uint64_t last_fresh_reducers_ = 0;
 };
 
 }  // namespace msp::online

@@ -9,10 +9,12 @@ namespace msp::online {
 
 DriftThresholdPolicy::DriftThresholdPolicy(double reducer_drift,
                                            double comm_drift,
-                                           uint64_t max_updates)
+                                           uint64_t max_updates,
+                                           uint64_t cooldown)
     : reducer_drift_(reducer_drift),
       comm_drift_(comm_drift),
-      max_updates_(max_updates) {
+      max_updates_(max_updates),
+      cooldown_(cooldown) {
   MSP_CHECK_GE(reducer_drift_, 1.0);
   MSP_CHECK_GE(comm_drift_, 1.0);
   MSP_CHECK_GT(max_updates_, 0u);
@@ -21,23 +23,32 @@ DriftThresholdPolicy::DriftThresholdPolicy(double reducer_drift,
 bool DriftThresholdPolicy::ShouldReplan(const PolicySignals& s) const {
   if (s.updates_since_replan >= max_updates_) return true;
   // Bounds of 0 mean "too small to bound": nothing to drift from.
-  if (s.lb_reducers > 0 &&
-      static_cast<double>(s.live_reducers) >
-          reducer_drift_ * static_cast<double>(s.lb_reducers)) {
-    return true;
+  const bool drifted =
+      (s.lb_reducers > 0 &&
+       static_cast<double>(s.live_reducers) >
+           reducer_drift_ * static_cast<double>(s.lb_reducers)) ||
+      (s.lb_communication > 0 &&
+       static_cast<double>(s.live_communication) >
+           comm_drift_ * static_cast<double>(s.lb_communication));
+  if (!drifted) return false;
+  // Hysteresis: the last consult's fresh plan is remembered. While the
+  // live schema is no worse than it, the gap to the lower bound is
+  // structural — a new consult would produce the same answer — so stay
+  // quiet for `cooldown` updates after each consult.
+  if (cooldown_ > 0 && s.last_fresh_reducers > 0 &&
+      s.live_reducers <= s.last_fresh_reducers &&
+      s.updates_since_replan < cooldown_) {
+    return false;
   }
-  if (s.lb_communication > 0 &&
-      static_cast<double>(s.live_communication) >
-          comm_drift_ * static_cast<double>(s.lb_communication)) {
-    return true;
-  }
-  return false;
+  return true;
 }
 
 std::string DriftThresholdPolicy::name() const {
   std::ostringstream os;
   os << "drift(z<=" << reducer_drift_ << "lb, comm<=" << comm_drift_
-     << "lb, cap=" << max_updates_ << ")";
+     << "lb, cap=" << max_updates_;
+  if (cooldown_ > 0) os << ", cooldown=" << cooldown_;
+  os << ")";
   return os.str();
 }
 
@@ -55,17 +66,28 @@ std::string UpdateCountPolicy::name() const {
   return os.str();
 }
 
+std::shared_ptr<ReplanPolicy> MakePolicy(const PolicySpec& spec) {
+  if (spec.name == "drift") {
+    return std::make_shared<DriftThresholdPolicy>(
+        spec.reducer_drift, spec.comm_drift, spec.max_updates, spec.cooldown);
+  }
+  if (spec.name == "never") return std::make_shared<NeverReplanPolicy>();
+  if (spec.name == "always") return std::make_shared<AlwaysReplanPolicy>();
+  if (spec.name == "every-n") {
+    return std::make_shared<UpdateCountPolicy>(spec.every_n);
+  }
+  return nullptr;
+}
+
 std::shared_ptr<ReplanPolicy> MakePolicy(const std::string& name,
                                          double drift_threshold,
                                          uint64_t every_n) {
-  if (name == "drift") {
-    return std::make_shared<DriftThresholdPolicy>(
-        drift_threshold, std::max(1.0, drift_threshold * 1.5));
-  }
-  if (name == "never") return std::make_shared<NeverReplanPolicy>();
-  if (name == "always") return std::make_shared<AlwaysReplanPolicy>();
-  if (name == "every-n") return std::make_shared<UpdateCountPolicy>(every_n);
-  return nullptr;
+  PolicySpec spec;
+  spec.name = name;
+  spec.reducer_drift = drift_threshold;
+  spec.comm_drift = std::max(1.0, drift_threshold * 1.5);
+  spec.every_n = every_n;
+  return MakePolicy(spec);
 }
 
 }  // namespace msp::online

@@ -35,7 +35,15 @@ struct PolicySignals {
   uint64_t live_communication = 0;
   uint64_t lb_reducers = 0;
   uint64_t lb_communication = 0;
+  /// Updates since the planner was last *consulted* (the assigner
+  /// restarts this clock whether or not the fresh plan was deployed).
   uint64_t updates_since_replan = 0;
+  /// Reducer count of the schema the last planner consult produced;
+  /// 0 = no consult yet. This is the hysteresis memory: when the live
+  /// schema is no worse than what a fresh construction achieved, a
+  /// drift trigger is structural (the solver's own approximation gap),
+  /// not repair decay.
+  uint64_t last_fresh_reducers = 0;
 };
 
 /// Decides, after each locally-repaired update, whether the assigner
@@ -56,11 +64,20 @@ class ReplanPolicy {
 /// Invariant after every update under this policy: live reducers stay
 /// within `reducer_drift` of any fresh plan (a fresh plan is never
 /// below the lower bound).
+///
+/// Hysteresis (`cooldown` > 0): a drift trigger is suppressed while
+/// the live schema is no worse than the last planner consult's fresh
+/// plan (`last_fresh_reducers`) and fewer than `cooldown` updates have
+/// passed since that consult. Without it, an instance whose structural
+/// gap (the solver's approximation ratio) sits above the threshold
+/// consults the planner on *every* update even though the fresh plan
+/// is never deployed. The `max_updates` cap still fires regardless.
 class DriftThresholdPolicy : public ReplanPolicy {
  public:
   explicit DriftThresholdPolicy(double reducer_drift = 1.5,
                                 double comm_drift = 2.0,
-                                uint64_t max_updates = 512);
+                                uint64_t max_updates = 512,
+                                uint64_t cooldown = 0);
 
   bool ShouldReplan(const PolicySignals& signals) const override;
   bool needs_bounds() const override { return true; }
@@ -68,11 +85,13 @@ class DriftThresholdPolicy : public ReplanPolicy {
 
   double reducer_drift() const { return reducer_drift_; }
   double comm_drift() const { return comm_drift_; }
+  uint64_t cooldown() const { return cooldown_; }
 
  private:
   double reducer_drift_;
   double comm_drift_;
   uint64_t max_updates_;
+  uint64_t cooldown_;
 };
 
 /// Pure local repair; never escalates.
@@ -99,6 +118,23 @@ class UpdateCountPolicy : public ReplanPolicy {
  private:
   uint64_t every_n_;
 };
+
+/// Declarative policy description: the CLI spelling plus every knob.
+/// Serializable (the snapshot codec stores it verbatim), so a restored
+/// assigner reconstructs an identical policy.
+struct PolicySpec {
+  std::string name = "drift";  // drift | never | always | every-n
+  double reducer_drift = 1.5;
+  double comm_drift = 2.25;    // MakePolicy(name, t) uses 1.5 * t
+  uint64_t max_updates = 512;  // drift's unconditional cap
+  uint64_t every_n = 64;       // every-n's period
+  uint64_t cooldown = 0;       // drift hysteresis; 0 = off
+
+  bool operator==(const PolicySpec&) const = default;
+};
+
+/// Builds a policy from a spec. Returns nullptr for an unknown name.
+std::shared_ptr<ReplanPolicy> MakePolicy(const PolicySpec& spec);
 
 /// Builds a policy from its CLI spelling: "drift" (uses
 /// `drift_threshold` for reducers and 1.5x that for communication),

@@ -32,7 +32,7 @@ void AddCopy(LiveState* s, std::size_t r, InputId id, ChurnStats* churn) {
   const auto pos = std::lower_bound(reducer.begin(), reducer.end(), id);
   MSP_DCHECK(pos == reducer.end() || *pos != id);
   for (InputId member : reducer) {
-    if (s->IsPartner(id, member)) ++s->cover[LiveState::PackPair(id, member)];
+    if (s->IsPartner(id, member)) s->IncrementCover(id, member);
   }
   reducer.insert(pos, id);
   s->loads[r] += s->sizes[id];
@@ -49,10 +49,7 @@ bool RemoveCopy(LiveState* s, std::size_t r, InputId id, ChurnStats* churn) {
   reducer.erase(pos);
   s->loads[r] -= s->sizes[id];
   for (InputId member : reducer) {
-    if (!s->IsPartner(id, member)) continue;
-    const auto it = s->cover.find(LiveState::PackPair(id, member));
-    MSP_DCHECK(it != s->cover.end() && it->second > 0);
-    if (--it->second == 0) s->cover.erase(it);
+    if (s->IsPartner(id, member)) s->DecrementCover(id, member);
   }
   ++churn->inputs_dropped;
   return true;
@@ -267,8 +264,12 @@ void CoverPairs(LiveState* s, std::vector<std::pair<InputId, InputId>>* pairs,
 
 void LiveState::ResetSchema(const MappingSchema& schema) {
   reducers = schema.reducers;
+  RebuildDerived();
+}
+
+void LiveState::RebuildDerived() {
   loads.assign(reducers.size(), 0);
-  cover.clear();
+  cover.Reset(cover.backend(), alive_ids.size());
   for (std::size_t r = 0; r < reducers.size(); ++r) {
     Reducer& reducer = reducers[r];
     std::sort(reducer.begin(), reducer.end());
@@ -276,7 +277,7 @@ void LiveState::ResetSchema(const MappingSchema& schema) {
       loads[r] += sizes[reducer[a]];
       for (std::size_t b = a + 1; b < reducer.size(); ++b) {
         if (IsPartner(reducer[a], reducer[b])) {
-          ++cover[PackPair(reducer[a], reducer[b])];
+          IncrementCover(reducer[a], reducer[b]);
         }
       }
     }
@@ -297,11 +298,14 @@ void RepairRemove(LiveState* s, InputId id, ChurnStats* churn) {
   MSP_CHECK(s != nullptr && churn != nullptr);
   MSP_CHECK(s->alive[id]);
   s->alive[id] = false;
-  s->UnregisterAlive(id);
+  // Strip the copies while `id` still holds an alive rank: the
+  // coverage decrements key off it, and unregistering swap-pops the
+  // rank's (by then all-zero) counter row.
   std::vector<std::size_t> affected;
   for (std::size_t r = 0; r < s->reducers.size(); ++r) {
     if (RemoveCopy(s, r, id, churn)) affected.push_back(r);
   }
+  s->UnregisterAlive(id);
   PruneUseless(s, affected, churn);
   AbsorbShrunken(s, affected, churn);
   Compact(s);

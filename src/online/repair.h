@@ -32,11 +32,11 @@
 #define MSP_ONLINE_REPAIR_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/instance.h"
 #include "core/schema.h"
+#include "online/coverage.h"
 #include "online/trace.h"
 
 namespace msp::online {
@@ -82,9 +82,10 @@ struct LiveState {
   std::vector<uint32_t> alive_pos;  // parallel to sizes; kNoPos = dead
   std::vector<Reducer> reducers;  // member lists, sorted ascending
   std::vector<InputSize> loads;   // parallel to reducers
-  /// Pair-coverage counts: PackPair(a, b) -> number of reducers where
-  /// a and b currently meet. Only required (partner) pairs are keyed.
-  std::unordered_map<uint64_t, uint32_t> cover;
+  /// Pair-coverage counts: (a, b) -> number of reducers where a and b
+  /// currently meet. Dense triangular array over alive ranks by
+  /// default; see coverage.h for the layout and the hash baseline.
+  PairCoverage cover;
 
   /// True when (a, b) is a required output: distinct inputs, and for
   /// X2Y on opposite sides.
@@ -92,29 +93,35 @@ struct LiveState {
     return a != b && (!x2y || sides[a] != sides[b]);
   }
 
-  static uint64_t PackPair(InputId a, InputId b) {
-    const uint64_t lo = a < b ? a : b;
-    const uint64_t hi = a < b ? b : a;
-    return (lo << 32) | hi;
+  uint32_t CoverCount(InputId a, InputId b) const {
+    return cover.Count(a, b, alive_pos[a], alive_pos[b]);
   }
 
-  uint32_t CoverCount(InputId a, InputId b) const {
-    const auto it = cover.find(PackPair(a, b));
-    return it == cover.end() ? 0 : it->second;
+  void IncrementCover(InputId a, InputId b) {
+    cover.Increment(a, b, alive_pos[a], alive_pos[b]);
+  }
+
+  void DecrementCover(InputId a, InputId b) {
+    cover.Decrement(a, b, alive_pos[a], alive_pos[b]);
   }
 
   std::size_t num_alive() const { return alive_ids.size(); }
 
-  /// Adds the just-appended id (alive[id] already true) to the index.
+  /// Adds the just-appended id (alive[id] already true) to the index
+  /// and grows the coverage triangle by one zeroed row.
   void RegisterAlive(InputId id) {
     alive_pos.resize(sizes.size(), kNoPos);
     alive_pos[id] = static_cast<uint32_t>(alive_ids.size());
     alive_ids.push_back(id);
+    cover.PushRank();
   }
 
-  /// Swap-pop removal of `id` from the alive index.
+  /// Swap-pop removal of `id` from the alive index. Every pair count
+  /// of `id` must already be zero (strip its copies first), so the
+  /// coverage triangle can mirror the swap-pop.
   void UnregisterAlive(InputId id) {
     const uint32_t pos = alive_pos[id];
+    cover.SwapPopRank(pos);
     const InputId last = alive_ids.back();
     alive_ids[pos] = last;
     alive_pos[last] = pos;
@@ -132,6 +139,10 @@ struct LiveState {
   /// Rebuilds reducers/loads/cover from `schema` (used after a full
   /// re-plan). Members are re-sorted; loads and coverage recomputed.
   void ResetSchema(const MappingSchema& schema);
+
+  /// Recomputes loads and pair coverage from the current reducers
+  /// (snapshot restore path; ResetSchema = assign + rebuild).
+  void RebuildDerived();
 };
 
 /// Registers a new alive slot for `id` (sizes/sides/alive must already

@@ -1,0 +1,440 @@
+#include "online/snapshot.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace msp::online {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'S', 'P', 'S', 'N', 'A', 'P', '1'};
+
+// FNV-1a over the payload: cheap, dependency-free, and plenty to catch
+// truncation and bit rot (this is an integrity check, not security).
+uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+// Little-endian primitive writers.
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutF64(std::string* out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU64(out, s.size());
+  out->append(s);
+}
+
+// Bounds-checked little-endian reader; every getter returns false on
+// truncation so restore degrades to an error, never UB.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool GetU8(uint8_t* v) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    *v = static_cast<uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+
+  bool GetU32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+
+  bool GetU64(uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+
+  bool GetF64(double* v) {
+    uint64_t raw = 0;
+    if (!GetU64(&raw)) return false;
+    *v = std::bit_cast<double>(raw);
+    return true;
+  }
+
+  bool GetString(std::string* s, uint64_t max_len) {
+    uint64_t len = 0;
+    if (!GetU64(&len) || len > max_len || pos_ + len > bytes_.size()) {
+      return false;
+    }
+    s->assign(bytes_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+
+  std::size_t pos() const { return pos_; }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+void PutChurn(std::string* out, const ChurnStats& churn) {
+  PutU64(out, churn.inputs_moved);
+  PutU64(out, churn.inputs_dropped);
+  PutU64(out, churn.bytes_moved);
+  PutU64(out, churn.reducers_created);
+  PutU64(out, churn.reducers_destroyed);
+}
+
+bool GetChurn(Reader* in, ChurnStats* churn) {
+  return in->GetU64(&churn->inputs_moved) &&
+         in->GetU64(&churn->inputs_dropped) &&
+         in->GetU64(&churn->bytes_moved) &&
+         in->GetU64(&churn->reducers_created) &&
+         in->GetU64(&churn->reducers_destroyed);
+}
+
+// Guards against absurd counts from corrupted length fields before any
+// large allocation happens.
+constexpr uint64_t kMaxCount = uint64_t{1} << 32;
+
+}  // namespace
+
+std::string SnapshotCodec::Serialize(const OnlineAssigner& assigner,
+                                     const ReplayCursor& cursor) {
+  const OnlineConfig& config = assigner.config_;
+  const LiveState& state = assigner.state_;
+
+  std::string payload;
+  // --- configuration ---
+  PutU8(&payload, config.x2y ? 1 : 0);
+  PutU8(&payload, static_cast<uint8_t>(config.coverage));
+  PutU8(&payload, config.full_reassign_on_replan ? 1 : 0);
+  PutU8(&payload, config.plan_options.use_portfolio ? 1 : 0);
+  PutF64(&payload, config.plan_options.budget_ms);
+  PutString(&payload, config.policy_spec.name);
+  PutF64(&payload, config.policy_spec.reducer_drift);
+  PutF64(&payload, config.policy_spec.comm_drift);
+  PutU64(&payload, config.policy_spec.max_updates);
+  PutU64(&payload, config.policy_spec.every_n);
+  PutU64(&payload, config.policy_spec.cooldown);
+  PutU64(&payload, config.capacity);
+
+  // --- live state ---
+  PutU64(&payload, state.capacity);
+  PutU64(&payload, state.sizes.size());
+  for (InputSize w : state.sizes) PutU64(&payload, w);
+  for (Side side : state.sides) PutU8(&payload, static_cast<uint8_t>(side));
+  for (bool a : state.alive) PutU8(&payload, a ? 1 : 0);
+  PutU64(&payload, state.alive_ids.size());
+  for (InputId id : state.alive_ids) PutU32(&payload, id);
+  PutU64(&payload, state.reducers.size());
+  for (const Reducer& reducer : state.reducers) {
+    PutU64(&payload, reducer.size());
+    for (InputId id : reducer) PutU32(&payload, id);
+  }
+
+  // --- counters ---
+  PutU64(&payload, assigner.totals_.updates);
+  PutU64(&payload, assigner.totals_.rejected);
+  PutU64(&payload, assigner.totals_.repairs);
+  PutU64(&payload, assigner.totals_.replans);
+  PutChurn(&payload, assigner.totals_.churn);
+  PutU64(&payload, assigner.updates_since_replan_);
+  PutU64(&payload, assigner.updates_since_decision_);
+  PutU64(&payload, assigner.last_fresh_reducers_);
+
+  // --- replay cursor ---
+  PutU64(&payload, cursor.next_event);
+  PutU64(&payload, cursor.live_of_trace.size());
+  for (const std::optional<InputId>& id : cursor.live_of_trace) {
+    PutU8(&payload, id.has_value() ? 1 : 0);
+    PutU32(&payload, id.value_or(0));
+  }
+
+  std::string bytes;
+  bytes.reserve(sizeof(kMagic) + 20 + payload.size());
+  bytes.append(kMagic, sizeof(kMagic));
+  PutU32(&bytes, kSnapshotVersion);
+  PutU64(&bytes, payload.size());
+  bytes.append(payload);
+  PutU64(&bytes, Fnv1a(payload));
+  return bytes;
+}
+
+std::optional<SnapshotCodec::Restored> SnapshotCodec::Restore(
+    std::string_view bytes, std::string* error,
+    std::shared_ptr<planner::PlannerService> shared_planner) {
+  const auto fail = [error](const std::string& why)
+      -> std::optional<SnapshotCodec::Restored> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+
+  if (bytes.size() < sizeof(kMagic) + 12) return fail("snapshot truncated");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return fail("not a snapshot file (bad magic)");
+  }
+  Reader header(bytes.substr(sizeof(kMagic)));
+  uint32_t version = 0;
+  uint64_t payload_size = 0;
+  if (!header.GetU32(&version)) return fail("snapshot truncated");
+  if (version != kSnapshotVersion) {
+    return fail("unsupported snapshot version " + std::to_string(version));
+  }
+  if (!header.GetU64(&payload_size)) return fail("snapshot truncated");
+  const std::size_t payload_at = sizeof(kMagic) + header.pos();
+  if (payload_size + 8 != bytes.size() - payload_at) {
+    return fail("snapshot truncated (payload size mismatch)");
+  }
+  const std::string_view payload = bytes.substr(payload_at, payload_size);
+  Reader footer(bytes.substr(payload_at + payload_size));
+  uint64_t checksum = 0;
+  if (!footer.GetU64(&checksum)) return fail("snapshot truncated");
+  if (checksum != Fnv1a(payload)) {
+    return fail("snapshot corrupted (checksum mismatch)");
+  }
+
+  Reader in(payload);
+  OnlineConfig config;
+  uint8_t x2y = 0;
+  uint8_t coverage = 0;
+  uint8_t full_reassign = 0;
+  uint8_t use_portfolio = 0;
+  if (!in.GetU8(&x2y) || !in.GetU8(&coverage) || !in.GetU8(&full_reassign) ||
+      !in.GetU8(&use_portfolio) || !in.GetF64(&config.plan_options.budget_ms)) {
+    return fail("snapshot payload truncated (config)");
+  }
+  if (x2y > 1 || coverage > 1 || full_reassign > 1 || use_portfolio > 1) {
+    return fail("snapshot corrupted (config flag out of range)");
+  }
+  config.x2y = x2y != 0;
+  config.coverage = static_cast<PairCoverage::Backend>(coverage);
+  config.full_reassign_on_replan = full_reassign != 0;
+  config.plan_options.use_portfolio = use_portfolio != 0;
+  if (!in.GetString(&config.policy_spec.name, 64) ||
+      !in.GetF64(&config.policy_spec.reducer_drift) ||
+      !in.GetF64(&config.policy_spec.comm_drift) ||
+      !in.GetU64(&config.policy_spec.max_updates) ||
+      !in.GetU64(&config.policy_spec.every_n) ||
+      !in.GetU64(&config.policy_spec.cooldown) ||
+      !in.GetU64(&config.capacity)) {
+    return fail("snapshot payload truncated (policy)");
+  }
+  if (MakePolicy(config.policy_spec) == nullptr) {
+    return fail("snapshot holds an unknown policy '" +
+                config.policy_spec.name + "'");
+  }
+  if (config.policy_spec.name == "drift" &&
+      (config.policy_spec.reducer_drift < 1.0 ||
+       config.policy_spec.comm_drift < 1.0 ||
+       config.policy_spec.max_updates == 0)) {
+    return fail("snapshot corrupted (drift policy parameters)");
+  }
+  if (config.policy_spec.name == "every-n" &&
+      config.policy_spec.every_n == 0) {
+    return fail("snapshot corrupted (every-n period)");
+  }
+  if (config.capacity == 0 || config.capacity > kMaxCapacity) {
+    return fail("snapshot corrupted (initial capacity out of range)");
+  }
+
+  uint64_t capacity = 0;
+  uint64_t num_inputs = 0;
+  if (!in.GetU64(&capacity) || !in.GetU64(&num_inputs)) {
+    return fail("snapshot payload truncated (state header)");
+  }
+  if (capacity == 0 || capacity > kMaxCapacity) {
+    return fail("snapshot corrupted (capacity out of range)");
+  }
+  if (num_inputs > kMaxCount) {
+    return fail("snapshot corrupted (input count out of range)");
+  }
+
+  std::vector<InputSize> sizes(num_inputs);
+  std::vector<Side> sides(num_inputs);
+  std::vector<bool> alive(num_inputs);
+  for (uint64_t i = 0; i < num_inputs; ++i) {
+    if (!in.GetU64(&sizes[i])) return fail("snapshot truncated (sizes)");
+    if (sizes[i] == 0) return fail("snapshot corrupted (zero size)");
+  }
+  for (uint64_t i = 0; i < num_inputs; ++i) {
+    uint8_t side = 0;
+    if (!in.GetU8(&side)) return fail("snapshot truncated (sides)");
+    if (side > 1) return fail("snapshot corrupted (side out of range)");
+    sides[i] = static_cast<Side>(side);
+  }
+  uint64_t num_alive = 0;
+  for (uint64_t i = 0; i < num_inputs; ++i) {
+    uint8_t flag = 0;
+    if (!in.GetU8(&flag)) return fail("snapshot truncated (alive)");
+    if (flag > 1) return fail("snapshot corrupted (alive flag)");
+    alive[i] = flag != 0;
+    num_alive += flag;
+  }
+
+  uint64_t alive_count = 0;
+  if (!in.GetU64(&alive_count)) return fail("snapshot truncated");
+  if (alive_count != num_alive) {
+    return fail("snapshot corrupted (alive index disagrees with flags)");
+  }
+  std::vector<InputId> alive_ids(alive_count);
+  std::vector<uint32_t> alive_pos(num_inputs, LiveState::kNoPos);
+  for (uint64_t i = 0; i < alive_count; ++i) {
+    if (!in.GetU32(&alive_ids[i])) return fail("snapshot truncated");
+    if (alive_ids[i] >= num_inputs || !alive[alive_ids[i]] ||
+        alive_pos[alive_ids[i]] != LiveState::kNoPos) {
+      return fail("snapshot corrupted (alive index entry)");
+    }
+    alive_pos[alive_ids[i]] = static_cast<uint32_t>(i);
+  }
+
+  uint64_t num_reducers = 0;
+  if (!in.GetU64(&num_reducers) || num_reducers > kMaxCount) {
+    return fail("snapshot corrupted (reducer count)");
+  }
+  std::vector<Reducer> reducers(num_reducers);
+  for (uint64_t r = 0; r < num_reducers; ++r) {
+    uint64_t members = 0;
+    if (!in.GetU64(&members) || members > num_inputs) {
+      return fail("snapshot corrupted (reducer size)");
+    }
+    reducers[r].resize(members);
+    for (uint64_t i = 0; i < members; ++i) {
+      if (!in.GetU32(&reducers[r][i])) {
+        return fail("snapshot truncated (reducer members)");
+      }
+      if (reducers[r][i] >= num_inputs || !alive[reducers[r][i]]) {
+        return fail("snapshot corrupted (reducer references a dead input)");
+      }
+    }
+  }
+
+  OnlineTotals totals;
+  uint64_t updates_since_replan = 0;
+  uint64_t updates_since_decision = 0;
+  uint64_t last_fresh_reducers = 0;
+  if (!in.GetU64(&totals.updates) || !in.GetU64(&totals.rejected) ||
+      !in.GetU64(&totals.repairs) || !in.GetU64(&totals.replans) ||
+      !GetChurn(&in, &totals.churn) || !in.GetU64(&updates_since_replan) ||
+      !in.GetU64(&updates_since_decision) ||
+      !in.GetU64(&last_fresh_reducers)) {
+    return fail("snapshot payload truncated (counters)");
+  }
+
+  ReplayCursor cursor;
+  uint64_t translation_count = 0;
+  if (!in.GetU64(&cursor.next_event) || !in.GetU64(&translation_count) ||
+      translation_count > kMaxCount) {
+    return fail("snapshot payload truncated (replay cursor)");
+  }
+  cursor.live_of_trace.reserve(translation_count);
+  for (uint64_t i = 0; i < translation_count; ++i) {
+    uint8_t has = 0;
+    uint32_t id = 0;
+    if (!in.GetU8(&has) || !in.GetU32(&id) || has > 1) {
+      return fail("snapshot corrupted (replay translation)");
+    }
+    cursor.live_of_trace.push_back(
+        has != 0 ? std::optional<InputId>(id) : std::nullopt);
+  }
+  if (!in.exhausted()) {
+    return fail("snapshot corrupted (trailing payload bytes)");
+  }
+
+  config.shared_planner = std::move(shared_planner);
+  Restored restored;
+  restored.assigner = std::make_unique<OnlineAssigner>(config);
+  restored.cursor = std::move(cursor);
+  OnlineAssigner& assigner = *restored.assigner;
+  assigner.state_.capacity = capacity;
+  assigner.state_.sizes = std::move(sizes);
+  assigner.state_.sides = std::move(sides);
+  assigner.state_.alive = std::move(alive);
+  assigner.state_.alive_ids = std::move(alive_ids);
+  assigner.state_.alive_pos = std::move(alive_pos);
+  assigner.state_.reducers = std::move(reducers);
+  assigner.state_.RebuildDerived();
+  for (const Reducer& reducer : assigner.state_.reducers) {
+    // RebuildDerived sorted the members; duplicates would double-count
+    // loads and coverage.
+    if (std::adjacent_find(reducer.begin(), reducer.end()) != reducer.end()) {
+      return fail("snapshot corrupted (duplicate reducer member)");
+    }
+  }
+  for (InputSize load : assigner.state_.loads) {
+    if (load > assigner.state_.capacity) {
+      return fail("snapshot corrupted (reducer overflows capacity)");
+    }
+  }
+  assigner.totals_ = totals;
+  assigner.updates_since_replan_ = updates_since_replan;
+  assigner.updates_since_decision_ = updates_since_decision;
+  assigner.last_fresh_reducers_ = last_fresh_reducers;
+  return std::optional<Restored>(std::move(restored));
+}
+
+bool WriteSnapshotFile(const std::string& path,
+                       const OnlineAssigner& assigner,
+                       const ReplayCursor& cursor, std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const std::string bytes = SnapshotCodec::Serialize(assigner, cursor);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out.good()) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+std::optional<SnapshotCodec::Restored> ReadSnapshotFile(
+    const std::string& path, std::string* error,
+    std::shared_ptr<planner::PlannerService> shared_planner) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return SnapshotCodec::Restore(buffer.str(), error,
+                                std::move(shared_planner));
+}
+
+}  // namespace msp::online

@@ -100,6 +100,46 @@ struct UpdateTrace {
   bool operator==(const UpdateTrace&) const = default;
 };
 
+/// Maps trace-side input ids onto live assigner ids during a replay.
+/// Trace ids number every `add` line in order, but an assigner only
+/// issues ids to *applied* adds — after a rejected add the two
+/// numberings silently drift apart, so every remove/resize target must
+/// be translated through the add history. Both replay drivers (the
+/// CLI's and the serving shard's) share this one implementation; the
+/// backing vector is caller-owned so it can live in a ReplayCursor and
+/// survive snapshots.
+class TraceIdTranslator {
+ public:
+  explicit TraceIdTranslator(
+      std::vector<std::optional<InputId>>* live_of_trace)
+      : live_of_trace_(live_of_trace) {}
+
+  /// Rewrites a remove/resize target to its live id. Returns false
+  /// when the event references an unknown or rejected add — the caller
+  /// must skip it (applying it would hit an arbitrary other input).
+  /// Other event kinds pass through untouched.
+  bool Translate(Update* update) const {
+    if (update->kind != UpdateKind::kRemoveInput &&
+        update->kind != UpdateKind::kResizeInput) {
+      return true;
+    }
+    if (update->id >= live_of_trace_->size() ||
+        !(*live_of_trace_)[update->id].has_value()) {
+      return false;
+    }
+    update->id = *(*live_of_trace_)[update->id];
+    return true;
+  }
+
+  /// Records the outcome of an add event (nullopt = rejected).
+  void RecordAdd(std::optional<InputId> new_id) {
+    live_of_trace_->push_back(new_id);
+  }
+
+ private:
+  std::vector<std::optional<InputId>>* live_of_trace_;
+};
+
 /// Renders `trace` in the `update-trace v1` text format.
 std::string TraceToText(const UpdateTrace& trace);
 

@@ -1,0 +1,165 @@
+#include "serving/service.h"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+#include "util/check.h"
+#include "util/summary_stats.h"
+#include "util/table.h"
+
+namespace msp::serving {
+
+namespace {
+
+// Stable across platforms and standard-library versions, unlike
+// std::hash<std::string>: shard placement is part of the service's
+// observable behavior (tests and snapshot-restore flows rely on it).
+uint64_t Fnv1a(const std::string& key) {
+  uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string FmtPercentile(const std::vector<double>& samples, double p) {
+  if (samples.empty()) return "-";
+  return TablePrinter::Fmt(SummaryStats::Compute(samples).Percentile(p), 1);
+}
+
+}  // namespace
+
+ServingService::ServingService(const ServingConfig& config)
+    : planner_(config.planner_service
+                   ? config.planner_service
+                   : std::make_shared<planner::PlannerService>(
+                         config.planner)) {
+  MSP_CHECK_GT(config.num_shards, 0u) << "ServingConfig.num_shards";
+  shards_.reserve(config.num_shards);
+  for (std::size_t i = 0; i < config.num_shards; ++i) {
+    shards_.push_back(std::make_unique<ServingShard>(
+        i, planner_, config.max_latency_samples));
+  }
+}
+
+std::size_t ServingService::ShardOf(const std::string& key) const {
+  return static_cast<std::size_t>(Fnv1a(key) % shards_.size());
+}
+
+void ServingService::CreateInstance(const std::string& key,
+                                    online::OnlineConfig config,
+                                    bool translate_trace_ids) {
+  shards_[ShardOf(key)]->CreateInstance(key, std::move(config),
+                                        translate_trace_ids);
+}
+
+void ServingService::Submit(const std::string& key,
+                            const online::Update& update) {
+  shards_[ShardOf(key)]->Enqueue(key, {update}, 0);
+}
+
+void ServingService::SubmitBatch(const std::string& key,
+                                 std::vector<online::Update> updates,
+                                 std::size_t batch_size) {
+  shards_[ShardOf(key)]->Enqueue(key, std::move(updates), batch_size);
+}
+
+void ServingService::CheckpointAll() {
+  for (const auto& shard : shards_) shard->EnqueueCheckpointAll();
+}
+
+void ServingService::Flush() {
+  for (const auto& shard : shards_) shard->Flush();
+}
+
+ServingStats ServingService::stats() const {
+  ServingStats stats;
+  stats.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    stats.shards.push_back(shard->stats());
+    const ShardStats& s = stats.shards.back();
+    stats.total.instances += s.instances;
+    stats.total.enqueued_tasks += s.enqueued_tasks;
+    stats.total.processed_tasks += s.processed_tasks;
+    stats.total.updates += s.updates;
+    stats.total.rejected += s.rejected;
+    stats.total.skipped += s.skipped;
+    stats.total.repairs += s.repairs;
+    stats.total.replans += s.replans;
+    stats.total.churn += s.churn;
+    stats.total.latency_us.insert(stats.total.latency_us.end(),
+                                  s.latency_us.begin(), s.latency_us.end());
+  }
+  return stats;
+}
+
+void ServingService::PrintStats(std::ostream& out) const {
+  const ServingStats stats = this->stats();
+
+  TablePrinter shards("serving shards");
+  shards.SetHeader({"shard", "instances", "updates", "rejected", "repairs",
+                    "replans", "p50 us", "p99 us", "max us"});
+  const auto row = [&shards](const std::string& name, const ShardStats& s) {
+    const std::string max =
+        s.latency_us.empty()
+            ? "-"
+            : TablePrinter::Fmt(
+                  *std::max_element(s.latency_us.begin(),
+                                    s.latency_us.end()),
+                  1);
+    shards.AddRow({name, TablePrinter::Fmt(s.instances),
+                   TablePrinter::Fmt(s.updates),
+                   TablePrinter::Fmt(s.rejected),
+                   TablePrinter::Fmt(s.repairs),
+                   TablePrinter::Fmt(s.replans),
+                   FmtPercentile(s.latency_us, 50.0),
+                   FmtPercentile(s.latency_us, 99.0), max});
+  };
+  for (std::size_t i = 0; i < stats.shards.size(); ++i) {
+    row("shard-" + std::to_string(i), stats.shards[i]);
+  }
+  row("total", stats.total);
+  shards.Print(out);
+
+  TablePrinter churn("serving churn (all shards)");
+  churn.SetHeader({"metric", "value"});
+  churn.AddRow(
+      {"inputs moved", TablePrinter::Fmt(stats.total.churn.inputs_moved)});
+  churn.AddRow(
+      {"inputs dropped", TablePrinter::Fmt(stats.total.churn.inputs_dropped)});
+  churn.AddRow(
+      {"bytes moved", TablePrinter::Fmt(stats.total.churn.bytes_moved)});
+  churn.AddRow({"reducers created",
+                TablePrinter::Fmt(stats.total.churn.reducers_created)});
+  churn.AddRow({"reducers destroyed",
+                TablePrinter::Fmt(stats.total.churn.reducers_destroyed)});
+  if (stats.total.skipped > 0) {
+    churn.AddRow({"events skipped (bad id)",
+                  TablePrinter::Fmt(stats.total.skipped)});
+  }
+  churn.Print(out);
+}
+
+void ServingService::ForEachInstance(
+    const std::function<void(const std::string&,
+                             const online::OnlineAssigner&)>& fn) const {
+  for (const auto& shard : shards_) shard->ForEachInstance(fn);
+}
+
+bool ServingService::ValidateAll(std::string* error) const {
+  bool ok = true;
+  ForEachInstance([&](const std::string& key,
+                      const online::OnlineAssigner& assigner) {
+    if (!ok) return;
+    std::string why;
+    if (!assigner.ValidateNow(&why)) {
+      ok = false;
+      if (error != nullptr) *error = "instance '" + key + "': " + why;
+    }
+  });
+  return ok;
+}
+
+}  // namespace msp::serving

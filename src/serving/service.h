@@ -1,0 +1,127 @@
+// ServingService — the sharded serving layer over the online
+// subsystem.
+//
+// The paper's mapping schemas pay off at scale when many evolving
+// instances are served concurrently: each tenant / job / join keeps
+// its own live schema under a stream of updates. The service routes
+// every instance key to one of N shards (stable FNV-1a hash), each
+// shard owning a worker thread with exclusive access to its
+// OnlineAssigners (shard.h) — the same mutex-free single-writer
+// pattern the planner's sharded PlanCache uses for its entries, lifted
+// to whole assigners. All shards escalate to ONE shared thread-safe
+// PlannerService, so canonically-equal instances across tenants hit a
+// common plan cache.
+//
+//   serving::ServingConfig config;
+//   config.num_shards = 4;
+//   serving::ServingService service(config);
+//   online::OnlineConfig instance;
+//   instance.capacity = 100;
+//   service.CreateInstance("tenant-7", instance);
+//   service.Submit("tenant-7", online::Update::Add(30));
+//   service.Flush();                       // barrier: all queues drained
+//   service.PrintStats(std::cerr);         // per-shard + aggregate tables
+//
+// Per-key update order is preserved (a key always lands on the same
+// shard's FIFO mailbox); cross-key order is unspecified, as in any
+// sharded system.
+
+#ifndef MSP_SERVING_SERVICE_H_
+#define MSP_SERVING_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "online/assigner.h"
+#include "planner/service.h"
+#include "serving/shard.h"
+
+namespace msp::serving {
+
+/// Construction-time configuration of a ServingService.
+struct ServingConfig {
+  /// Number of shards == worker threads. Each instance key is pinned
+  /// to one shard for its lifetime.
+  std::size_t num_shards = 4;
+  /// Per-shard cap on retained repair-latency samples.
+  std::size_t max_latency_samples = 65536;
+  /// Configuration of the shared PlannerService (ignored when
+  /// `planner_service` is supplied).
+  planner::PlannerConfig planner;
+  /// Optional externally-owned planner to share beyond this service.
+  std::shared_ptr<planner::PlannerService> planner_service;
+};
+
+/// Aggregate of the per-shard counters.
+struct ServingStats {
+  std::vector<ShardStats> shards;  // indexed by shard
+  ShardStats total;                // sums; latency samples concatenated
+};
+
+/// See the file comment. All public methods are thread-safe.
+class ServingService {
+ public:
+  explicit ServingService(const ServingConfig& config = {});
+
+  ServingService(const ServingService&) = delete;
+  ServingService& operator=(const ServingService&) = delete;
+
+  /// Registers `key` on its shard. `config.shared_planner` is replaced
+  /// by the service's planner. `translate_trace_ids` enables the
+  /// update-trace id translation for replayed traces (see shard.h).
+  void CreateInstance(const std::string& key, online::OnlineConfig config,
+                      bool translate_trace_ids = false);
+
+  /// Enqueues one event for `key` (one policy decision per update).
+  void Submit(const std::string& key, const online::Update& update);
+
+  /// Enqueues a window of events for `key`; `batch_size` > 1 lets the
+  /// assigner amortize policy checks across that many events.
+  void SubmitBatch(const std::string& key,
+                   std::vector<online::Update> updates,
+                   std::size_t batch_size = 0);
+
+  /// Queues one policy decision for every instance with pending
+  /// batched updates — the end-of-stream flush of trailing partial
+  /// windows, matching the final checkpoint an unbatched replay does
+  /// implicitly. Call before Flush() when the streams have ended.
+  void CheckpointAll();
+
+  /// Blocks until every shard's mailbox is drained.
+  void Flush();
+
+  /// Per-shard and aggregate counters.
+  ServingStats stats() const;
+
+  /// Renders per-shard rows (updates, decisions, latency percentiles)
+  /// and the aggregate churn/latency summary as aligned tables.
+  void PrintStats(std::ostream& out) const;
+
+  /// Runs `fn` over every instance of every shard. Requires
+  /// quiescence: call Flush first and do not Submit concurrently.
+  void ForEachInstance(
+      const std::function<void(const std::string&,
+                               const online::OnlineAssigner&)>& fn) const;
+
+  /// Oracle-checks every instance's live schema. Returns false and
+  /// names the first offender in `*error`. Requires quiescence.
+  bool ValidateAll(std::string* error = nullptr) const;
+
+  /// Stable shard index of `key` (FNV-1a, platform-independent).
+  std::size_t ShardOf(const std::string& key) const;
+
+  planner::PlannerService& planner() { return *planner_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+ private:
+  std::shared_ptr<planner::PlannerService> planner_;
+  std::vector<std::unique_ptr<ServingShard>> shards_;
+};
+
+}  // namespace msp::serving
+
+#endif  // MSP_SERVING_SERVICE_H_

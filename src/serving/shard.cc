@@ -1,0 +1,234 @@
+#include "serving/shard.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace msp::serving {
+
+ServingShard::ServingShard(std::size_t index,
+                           std::shared_ptr<planner::PlannerService> planner,
+                           std::size_t max_latency_samples)
+    : index_(index),
+      max_latency_samples_(max_latency_samples),
+      planner_(std::move(planner)) {
+  MSP_CHECK(planner_ != nullptr);
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+ServingShard::~ServingShard() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  worker_.join();
+}
+
+void ServingShard::CreateInstance(std::string key,
+                                  online::OnlineConfig config,
+                                  bool translate_trace_ids) {
+  Task task;
+  task.create = true;
+  task.key = std::move(key);
+  task.config = std::move(config);
+  task.config.shared_planner = planner_;
+  task.translate = translate_trace_ids;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.enqueued_tasks;
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ServingShard::Enqueue(std::string key,
+                           std::vector<online::Update> updates,
+                           std::size_t batch_size) {
+  Task task;
+  task.key = std::move(key);
+  task.updates = std::move(updates);
+  task.batch_size = batch_size;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.enqueued_tasks;
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ServingShard::EnqueueCheckpointAll() {
+  Task task;
+  task.checkpoint_all = true;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.enqueued_tasks;
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ServingShard::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+ShardStats ServingShard::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ServingShard::ForEachInstance(
+    const std::function<void(const std::string&,
+                             const online::OnlineAssigner&)>& fn) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  MSP_CHECK(queue_.empty() && !busy_)
+      << "ForEachInstance requires a quiescent shard (call Flush first)";
+  for (const auto& [key, instance] : instances_) {
+    fn(key, *instance.assigner);
+  }
+}
+
+void ServingShard::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this] { return !queue_.empty() || shutting_down_; });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    Process(task);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      busy_ = false;
+      ++stats_.processed_tasks;
+    }
+    idle_.notify_all();
+  }
+}
+
+void ServingShard::RecordLatency(double us) {
+  // Called by the worker with mu_ held.
+  if (stats_.latency_us.size() < max_latency_samples_) {
+    stats_.latency_us.push_back(us);
+    return;
+  }
+  if (max_latency_samples_ == 0) return;
+  stats_.latency_us[latency_next_] = us;
+  latency_next_ = (latency_next_ + 1) % max_latency_samples_;
+}
+
+void ServingShard::Process(Task& task) {
+  if (task.create) {
+    Instance instance;
+    instance.assigner =
+        std::make_unique<online::OnlineAssigner>(task.config);
+    instance.translate = task.translate;
+    std::unique_lock<std::mutex> lock(mu_);
+    instances_[task.key] = std::move(instance);
+    ++stats_.instances;
+    return;
+  }
+
+  if (task.checkpoint_all) {
+    uint64_t repairs = 0;
+    uint64_t replans = 0;
+    online::ChurnStats churn;
+    for (auto& [key, instance] : instances_) {
+      const online::UpdateResult decision =
+          instance.assigner->PolicyCheckpoint();
+      if (decision.applied) {
+        churn += decision.churn;
+        if (decision.replanned) {
+          ++replans;
+        } else {
+          ++repairs;
+        }
+      }
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    stats_.repairs += repairs;
+    stats_.replans += replans;
+    stats_.churn += churn;
+    return;
+  }
+
+  const auto it = instances_.find(task.key);
+  if (it == instances_.end()) {
+    // Updates for a never-created key have nowhere to go; surface the
+    // mistake in the stats instead of crashing the worker.
+    std::unique_lock<std::mutex> lock(mu_);
+    stats_.skipped += task.updates.size();
+    return;
+  }
+  Instance& instance = it->second;
+  online::OnlineAssigner& assigner = *instance.assigner;
+
+  // Local tallies, merged under the lock once at the end of the task.
+  uint64_t applied = 0;
+  uint64_t rejected = 0;
+  uint64_t skipped = 0;
+  uint64_t repairs = 0;
+  uint64_t replans = 0;
+  online::ChurnStats churn;
+  std::vector<double> latencies;
+  latencies.reserve(task.updates.size());
+
+  // The window position is the assigner's own pending-update count, so
+  // a stream split across several Enqueue calls checkpoints exactly
+  // like one big task would: task framing is not observable.
+  const std::size_t window = task.batch_size == 0 ? 1 : task.batch_size;
+  const auto checkpoint = [&] {
+    const online::UpdateResult decision = assigner.PolicyCheckpoint();
+    if (decision.applied) {
+      churn += decision.churn;
+      if (decision.replanned) {
+        ++replans;
+      } else {
+        ++repairs;
+      }
+    }
+  };
+
+  online::TraceIdTranslator translator(&instance.live_of_trace);
+  for (online::Update update : task.updates) {
+    if (instance.translate && !translator.Translate(&update)) {
+      ++skipped;
+      continue;
+    }
+    Stopwatch watch;
+    const online::UpdateResult result = assigner.ApplyDeferred(update);
+    const double us = static_cast<double>(watch.ElapsedMicros());
+    if (instance.translate &&
+        update.kind == online::UpdateKind::kAddInput) {
+      translator.RecordAdd(result.applied ? result.new_id : std::nullopt);
+    }
+    if (result.applied) {
+      ++applied;
+      churn += result.churn;
+      latencies.push_back(us);
+      if (assigner.pending_decision_updates() >= window) checkpoint();
+    } else {
+      ++rejected;
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  stats_.updates += applied;
+  stats_.rejected += rejected;
+  stats_.skipped += skipped;
+  stats_.repairs += repairs;
+  stats_.replans += replans;
+  stats_.churn += churn;
+  for (double us : latencies) RecordLatency(us);
+}
+
+}  // namespace msp::serving

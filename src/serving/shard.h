@@ -1,0 +1,153 @@
+// One shard of the serving layer: a worker thread with exclusive
+// ownership of a set of OnlineAssigners.
+//
+// OnlineAssigner is deliberately not thread-safe — one assigner serves
+// one instance's ordered update stream. A ServingShard scales that
+// discipline: every instance routed to the shard is touched by exactly
+// one thread (the shard's worker), so no per-assigner locking exists
+// at all. Callers talk to the shard through a mailbox (mutex + condvar
+// FIFO): CreateInstance and Enqueue append tasks, the worker drains
+// them in order, and Flush blocks until the mailbox is empty and the
+// worker idle. Per-key update order is therefore preserved end to end.
+//
+// The shard also owns the replay bookkeeping the CLI's trace format
+// needs (trace ids number every `add` line, but the assigner only
+// issues ids to applied adds) and per-update latency samples for the
+// serving stats tables.
+
+#ifndef MSP_SERVING_SHARD_H_
+#define MSP_SERVING_SHARD_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "online/assigner.h"
+#include "online/trace.h"
+#include "planner/service.h"
+
+namespace msp::serving {
+
+/// Counter snapshot of one shard. Exact: counters are only mutated by
+/// the worker under the shard mutex.
+struct ShardStats {
+  uint64_t instances = 0;
+  uint64_t enqueued_tasks = 0;
+  uint64_t processed_tasks = 0;
+  uint64_t updates = 0;    // applied updates across all instances
+  uint64_t rejected = 0;   // infeasible updates refused by assigners
+  uint64_t skipped = 0;    // events targeting unknown/rejected trace ids
+  uint64_t repairs = 0;    // policy decisions absorbed by local repair
+  uint64_t replans = 0;    // policy escalations
+  online::ChurnStats churn;
+  /// Retained per-update *repair* latency samples in microseconds
+  /// (ring-capped). Policy checks and replans are excluded, so the
+  /// percentiles measure the LiveState hot path and stay comparable
+  /// across batch sizes and policies.
+  std::vector<double> latency_us;
+};
+
+/// See the file comment. All public methods are thread-safe; the
+/// assigners themselves are worker-private.
+class ServingShard {
+ public:
+  ServingShard(std::size_t index,
+               std::shared_ptr<planner::PlannerService> planner,
+               std::size_t max_latency_samples);
+
+  ServingShard(const ServingShard&) = delete;
+  ServingShard& operator=(const ServingShard&) = delete;
+
+  /// Drains the mailbox, then joins the worker.
+  ~ServingShard();
+
+  /// Registers a new instance (queued like any update, so creation
+  /// orders correctly against subsequent Enqueues of the same key).
+  /// `config.shared_planner` is overwritten with the shard's planner.
+  /// `translate_trace_ids` enables the update-trace id translation:
+  /// remove/resize targets are mapped through the add history, and
+  /// events referencing unknown or rejected adds are counted skipped.
+  void CreateInstance(std::string key, online::OnlineConfig config,
+                      bool translate_trace_ids);
+
+  /// Appends a window of events for `key`. `batch_size` 0 or 1 applies
+  /// them one policy decision per update; larger windows go through
+  /// OnlineAssigner policy checkpoints every `batch_size` applied
+  /// events. The window position is the assigner's own pending count,
+  /// so splitting a stream across Enqueue calls never shifts policy
+  /// timing — which also means a trailing partial window stays pending
+  /// until more events arrive or EnqueueCheckpointAll runs.
+  void Enqueue(std::string key, std::vector<online::Update> updates,
+               std::size_t batch_size);
+
+  /// Queues one policy decision for every instance with pending
+  /// updates (end-of-stream flush, mirroring the final checkpoint of
+  /// an unbatched replay).
+  void EnqueueCheckpointAll();
+
+  /// Blocks until every queued task has been processed.
+  void Flush();
+
+  ShardStats stats() const;
+
+  /// Runs `fn` over every instance. Only meaningful while the shard is
+  /// quiescent (after Flush, with no concurrent Enqueue): the mailbox
+  /// mutex orders this read after the worker's last write.
+  void ForEachInstance(
+      const std::function<void(const std::string&,
+                               const online::OnlineAssigner&)>& fn) const;
+
+  std::size_t index() const { return index_; }
+
+ private:
+  struct Instance {
+    std::unique_ptr<online::OnlineAssigner> assigner;
+    bool translate = false;
+    std::vector<std::optional<InputId>> live_of_trace;
+  };
+
+  struct Task {
+    bool create = false;
+    bool checkpoint_all = false;
+    std::string key;
+    online::OnlineConfig config;  // create only
+    bool translate = false;       // create only
+    std::vector<online::Update> updates;
+    std::size_t batch_size = 0;
+  };
+
+  void WorkerLoop();
+  void Process(Task& task);
+  void RecordLatency(double us);
+
+  const std::size_t index_;
+  const std::size_t max_latency_samples_;
+  std::shared_ptr<planner::PlannerService> planner_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<Task> queue_;
+  bool busy_ = false;
+  bool shutting_down_ = false;
+  ShardStats stats_;             // guarded by mu_
+  std::size_t latency_next_ = 0; // ring cursor once the cap is hit
+
+  /// Worker-private: only the worker thread dereferences instances
+  /// while tasks are in flight (ForEachInstance synchronizes on mu_
+  /// and requires quiescence).
+  std::map<std::string, Instance> instances_;
+
+  std::thread worker_;
+};
+
+}  // namespace msp::serving
+
+#endif  // MSP_SERVING_SHARD_H_

@@ -391,6 +391,158 @@ TEST(CommandsTest, OnlineRejectsBadInvocations) {
   std::remove(trace_path.c_str());
 }
 
+TEST(CommandsTest, ServeReplaysAcrossShards) {
+  const CommandResult result =
+      RunCli({"serve", "--instances=4", "--shards=2", "--initial=12",
+              "--steps=50", "--seed=3", "--batch=4", "--cooldown=8"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.err.find("serving shards"), std::string::npos);
+  EXPECT_NE(result.err.find("serving churn"), std::string::npos);
+  EXPECT_NE(result.err.find("throughput"), std::string::npos);
+  // One summary line per instance, each oracle-valid.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(result.out.find("instance=trace-" + std::to_string(i)),
+              std::string::npos);
+  }
+  EXPECT_EQ(result.out.find("valid=NO"), std::string::npos);
+}
+
+TEST(CommandsTest, ServeRejectsBadOptions) {
+  EXPECT_EQ(RunCli({"serve", "--shards=0"}).code, 2);
+  EXPECT_EQ(RunCli({"serve", "--instances=0"}).code, 2);
+  EXPECT_EQ(RunCli({"serve", "--kind=frob"}).code, 2);
+  EXPECT_EQ(RunCli({"serve", "--policy=frob"}).code, 2);
+  EXPECT_EQ(RunCli({"serve", "--frob=1"}).code, 2);  // unknown flag
+}
+
+TEST(CommandsTest, SnapshotRestoreContinuationIsBitIdentical) {
+  const CommandResult trace =
+      RunCli({"gen-trace", "--kind=a2a", "--initial=15", "--steps=90",
+              "--q=80", "--seed=21"});
+  ASSERT_EQ(trace.code, 0) << trace.err;
+  const std::string trace_path = TempPath("snap.trace");
+  WriteFile(trace_path, trace.out);
+
+  // Reference: uninterrupted replay (batched, with hysteresis).
+  const CommandResult full =
+      RunCli({"online", "--trace", trace_path.c_str(), "--batch=8",
+              "--cooldown=8"});
+  ASSERT_EQ(full.code, 0) << full.err;
+
+  // Snapshot mid-trace (mid-window on purpose), restore, continue.
+  const std::string snap_path = TempPath("state.snap");
+  const CommandResult snap =
+      RunCli({"snapshot", "--trace", trace_path.c_str(), "--steps=53",
+              "--out", snap_path.c_str(), "--batch=8", "--cooldown=8"});
+  ASSERT_EQ(snap.code, 0) << snap.err;
+  EXPECT_NE(snap.out.find("events=53"), std::string::npos);
+
+  const CommandResult cont =
+      RunCli({"restore", "--snapshot", snap_path.c_str(), "--trace",
+              trace_path.c_str(), "--batch=8"});
+  ASSERT_EQ(cont.code, 0) << cont.err;
+  EXPECT_NE(cont.err.find("resumed-at=53"), std::string::npos);
+  EXPECT_NE(cont.err.find("valid=yes"), std::string::npos);
+  EXPECT_EQ(cont.out, full.out) << "continuation diverged from the "
+                                   "uninterrupted replay";
+
+  std::remove(trace_path.c_str());
+  std::remove(snap_path.c_str());
+}
+
+TEST(CommandsTest, RestoreWithoutTraceJustReports) {
+  const CommandResult trace =
+      RunCli({"gen-trace", "--kind=x2y", "--initial=12", "--steps=40",
+              "--q=80", "--seed=8"});
+  ASSERT_EQ(trace.code, 0) << trace.err;
+  const std::string trace_path = TempPath("report.trace");
+  const std::string snap_path = TempPath("report.snap");
+  WriteFile(trace_path, trace.out);
+  ASSERT_EQ(RunCli({"snapshot", "--trace", trace_path.c_str(),
+                    "--steps=30", "--out", snap_path.c_str()})
+                .code,
+            0);
+  const CommandResult result =
+      RunCli({"restore", "--snapshot", snap_path.c_str()});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.err.find("valid=yes"), std::string::npos);
+  EXPECT_NE(result.out.find("mapping-schema v1"), std::string::npos);
+  std::remove(trace_path.c_str());
+  std::remove(snap_path.c_str());
+}
+
+TEST(CommandsTest, RestoreRejectsCorruptAndMismatchedSnapshots) {
+  const CommandResult trace =
+      RunCli({"gen-trace", "--kind=a2a", "--initial=10", "--steps=30",
+              "--q=60", "--seed=4"});
+  ASSERT_EQ(trace.code, 0);
+  const std::string trace_path = TempPath("corrupt.trace");
+  const std::string snap_path = TempPath("corrupt.snap");
+  WriteFile(trace_path, trace.out);
+  ASSERT_EQ(RunCli({"snapshot", "--trace", trace_path.c_str(),
+                    "--steps=20", "--out", snap_path.c_str()})
+                .code,
+            0);
+
+  // Flip one byte in the middle of the file.
+  std::ifstream in(snap_path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string bytes = buffer.str();
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 1);
+  std::ofstream(snap_path, std::ios::binary | std::ios::trunc) << bytes;
+  const CommandResult corrupt =
+      RunCli({"restore", "--snapshot", snap_path.c_str()});
+  EXPECT_EQ(corrupt.code, 2);
+  EXPECT_NE(corrupt.err.find("corrupt"), std::string::npos);
+
+  // A snapshot resumed against the wrong trace shape is refused.
+  ASSERT_EQ(RunCli({"snapshot", "--trace", trace_path.c_str(),
+                    "--steps=20", "--out", snap_path.c_str()})
+                .code,
+            0);
+  const CommandResult x2y_trace =
+      RunCli({"gen-trace", "--kind=x2y", "--initial=10", "--steps=30",
+              "--q=60", "--seed=4"});
+  ASSERT_EQ(x2y_trace.code, 0);
+  WriteFile(trace_path, x2y_trace.out);
+  const CommandResult mismatch =
+      RunCli({"restore", "--snapshot", snap_path.c_str(), "--trace",
+              trace_path.c_str()});
+  EXPECT_EQ(mismatch.code, 2);
+  EXPECT_NE(mismatch.err.find("does not belong"), std::string::npos);
+
+  EXPECT_EQ(RunCli({"restore"}).code, 2);
+  EXPECT_EQ(RunCli({"restore", "--snapshot=/nope.snap"}).code, 2);
+  EXPECT_EQ(RunCli({"snapshot", "--trace", trace_path.c_str()}).code, 2);
+  std::remove(trace_path.c_str());
+  std::remove(snap_path.c_str());
+}
+
+TEST(CommandsTest, OnlineCoverageAndBatchFlags) {
+  const CommandResult trace =
+      RunCli({"gen-trace", "--kind=a2a", "--initial=10", "--steps=40",
+              "--q=60", "--seed=9"});
+  ASSERT_EQ(trace.code, 0);
+  const std::string trace_path = TempPath("coverage.trace");
+  WriteFile(trace_path, trace.out);
+  // The hash baseline and the triangular default replay identically.
+  const CommandResult tri = RunCli(
+      {"online", "--trace", trace_path.c_str(), "--coverage=triangular",
+       "--batch=4"});
+  const CommandResult hash = RunCli(
+      {"online", "--trace", trace_path.c_str(), "--coverage=hash",
+       "--batch=4"});
+  ASSERT_EQ(tri.code, 0) << tri.err;
+  ASSERT_EQ(hash.code, 0) << hash.err;
+  EXPECT_EQ(tri.out, hash.out);
+  EXPECT_EQ(
+      RunCli({"online", "--trace", trace_path.c_str(), "--coverage=foo"})
+          .code,
+      2);
+  std::remove(trace_path.c_str());
+}
+
 TEST(CommandsTest, OnlineReplayStaysInSyncPastRejectedAdds) {
   // The 9-input is rejected (5 + 9 > q = 10), so trace id 1 never gets
   // a live id; `remove 1` must be skipped — not silently applied to

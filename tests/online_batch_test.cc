@@ -1,0 +1,166 @@
+// Tests for the batched update path: ApplyBatch windows repair every
+// event immediately but run the escalation policy once per window, and
+// the ApplyDeferred/PolicyCheckpoint building blocks compose into the
+// same behavior regardless of how a stream is framed into windows.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/schema_io.h"
+#include "gtest/gtest.h"
+#include "online/assigner.h"
+#include "online/policy.h"
+#include "online/trace.h"
+#include "workload/updates.h"
+
+namespace msp::online {
+namespace {
+
+UpdateTrace SmallTrace(uint64_t seed, bool x2y = false) {
+  wl::TraceConfig config;
+  config.x2y = x2y;
+  config.initial_inputs = 24;
+  config.steps = 120;
+  config.seed = seed;
+  return wl::GenerateTrace(config);
+}
+
+OnlineConfig NeverConfig(const UpdateTrace& trace) {
+  OnlineConfig config;
+  config.x2y = trace.x2y;
+  config.capacity = trace.initial_capacity;
+  config.policy_spec.name = "never";
+  return config;
+}
+
+TEST(ApplyBatchTest, MatchesSequentialRepairsUnderNeverPolicy) {
+  for (bool x2y : {false, true}) {
+    const UpdateTrace trace = SmallTrace(5, x2y);
+
+    OnlineAssigner sequential(NeverConfig(trace));
+    for (const Update& update : trace.updates) {
+      ASSERT_TRUE(sequential.Apply(update).applied);
+    }
+    OnlineAssigner batched(NeverConfig(trace));
+    const BatchResult batch = batched.ApplyBatch(trace.updates);
+
+    // Pure repair is policy-free, so the final schema and churn are
+    // identical; only the decision count differs (one per window).
+    EXPECT_EQ(batch.applied, trace.updates.size());
+    EXPECT_EQ(batch.rejected, 0u);
+    EXPECT_EQ(SchemaToText(batched.Schema()),
+              SchemaToText(sequential.Schema()));
+    EXPECT_EQ(batched.totals().updates, sequential.totals().updates);
+    EXPECT_EQ(batched.totals().churn.inputs_moved,
+              sequential.totals().churn.inputs_moved);
+    EXPECT_EQ(batched.totals().churn.bytes_moved,
+              sequential.totals().churn.bytes_moved);
+    EXPECT_EQ(batched.totals().repairs, 1u);  // one decision per batch
+    EXPECT_EQ(sequential.totals().repairs, trace.updates.size());
+    EXPECT_TRUE(batched.ValidateNow());
+  }
+}
+
+TEST(ApplyBatchTest, NewIdsAlignWithAddEvents) {
+  OnlineConfig config;
+  config.capacity = 100;
+  config.policy_spec.name = "never";
+  OnlineAssigner assigner(config);
+  const std::vector<Update> window = {
+      Update::Add(30), Update::Add(40), Update::Resize(0, 35),
+      Update::Add(20), Update::Remove(1)};
+  const BatchResult batch = assigner.ApplyBatch(window);
+  EXPECT_EQ(batch.applied, 5u);
+  ASSERT_EQ(batch.new_ids.size(), 3u);  // one per add, in order
+  EXPECT_EQ(batch.new_ids[0], InputId{0});
+  EXPECT_EQ(batch.new_ids[1], InputId{1});
+  EXPECT_EQ(batch.new_ids[2], InputId{2});
+  EXPECT_FALSE(assigner.is_alive(1));
+  EXPECT_EQ(assigner.size_of(0), 35u);
+}
+
+TEST(ApplyBatchTest, RejectionsAreCountedAndDoNotAbortTheWindow) {
+  OnlineConfig config;
+  config.capacity = 100;
+  config.policy_spec.name = "never";
+  OnlineAssigner assigner(config);
+  const std::vector<Update> window = {
+      Update::Add(60), Update::Add(50),   // 50 + 60 > 100: rejected
+      Update::Add(30), Update::Remove(7)  // unknown id: rejected
+  };
+  const BatchResult batch = assigner.ApplyBatch(window);
+  EXPECT_EQ(batch.applied, 2u);
+  EXPECT_EQ(batch.rejected, 2u);
+  EXPECT_FALSE(batch.first_error.empty());
+  ASSERT_EQ(batch.new_ids.size(), 3u);
+  EXPECT_TRUE(batch.new_ids[0].has_value());
+  EXPECT_FALSE(batch.new_ids[1].has_value());  // the rejected add
+  EXPECT_TRUE(batch.new_ids[2].has_value());
+  EXPECT_EQ(assigner.totals().rejected, 2u);
+  EXPECT_TRUE(assigner.ValidateNow());
+}
+
+TEST(ApplyBatchTest, AlwaysPolicyReplansOncePerWindow) {
+  const UpdateTrace trace = SmallTrace(9);
+  OnlineConfig config;
+  config.x2y = trace.x2y;
+  config.capacity = trace.initial_capacity;
+  config.policy_spec.name = "always";
+  config.plan_options.use_portfolio = false;
+  OnlineAssigner assigner(config);
+  const BatchResult batch = assigner.ApplyBatch(trace.updates);
+  EXPECT_TRUE(batch.replanned);
+  EXPECT_EQ(assigner.totals().replans, 1u);
+  EXPECT_EQ(assigner.totals().repairs, 0u);
+  EXPECT_TRUE(assigner.ValidateNow());
+}
+
+TEST(PolicyCheckpointTest, NoPendingUpdatesIsANoop) {
+  OnlineConfig config;
+  config.capacity = 100;
+  config.policy_spec.name = "always";
+  config.plan_options.use_portfolio = false;
+  OnlineAssigner assigner(config);
+  EXPECT_FALSE(assigner.PolicyCheckpoint().applied);
+  assigner.AddInput(30);  // Apply = deferred + checkpoint
+  const uint64_t decisions_before =
+      assigner.totals().repairs + assigner.totals().replans;
+  EXPECT_FALSE(assigner.PolicyCheckpoint().applied);
+  EXPECT_EQ(assigner.totals().repairs + assigner.totals().replans,
+            decisions_before);
+}
+
+TEST(PolicyCheckpointTest, WindowFramingDoesNotChangeTheStream) {
+  // Applying a stream as one batch, several batches, or deferred
+  // events with manual checkpoints at the same cadence must agree.
+  const UpdateTrace trace = SmallTrace(13);
+  const std::span<const Update> events(trace.updates);
+
+  OnlineConfig config = NeverConfig(trace);
+  OnlineAssigner one_batch(config);
+  one_batch.ApplyBatch(events);
+
+  OnlineAssigner split(config);
+  const std::size_t half = events.size() / 2;
+  split.ApplyBatch(events.subspan(0, half));
+  split.ApplyBatch(events.subspan(half));
+
+  OnlineAssigner manual(config);
+  for (const Update& update : trace.updates) {
+    manual.ApplyDeferred(update);
+    if (manual.pending_decision_updates() >= 8) manual.PolicyCheckpoint();
+  }
+  manual.PolicyCheckpoint();
+
+  const std::string expected = SchemaToText(one_batch.Schema());
+  EXPECT_EQ(SchemaToText(split.Schema()), expected);
+  EXPECT_EQ(SchemaToText(manual.Schema()), expected);
+  EXPECT_EQ(one_batch.totals().updates, split.totals().updates);
+  EXPECT_EQ(one_batch.totals().churn.bytes_moved,
+            manual.totals().churn.bytes_moved);
+}
+
+}  // namespace
+}  // namespace msp::online

@@ -1,0 +1,152 @@
+// Unit tests for the repair-vs-replan policies, focused on the drift
+// policy's hysteresis: a structural gap (live quality above the drift
+// threshold because the *solver itself* cannot do better) must not
+// consult the planner on every update once a cooldown is configured.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "online/assigner.h"
+#include "online/policy.h"
+#include "online/trace.h"
+#include "workload/updates.h"
+
+namespace msp::online {
+namespace {
+
+PolicySignals DriftedSignals() {
+  PolicySignals signals;
+  signals.num_inputs = 20;
+  signals.lb_reducers = 10;
+  signals.live_reducers = 15;  // 1.5x the bound: above a 1.2 threshold
+  signals.lb_communication = 100;
+  signals.live_communication = 120;
+  return signals;
+}
+
+TEST(DriftPolicyHysteresisTest, SuppressesStructuralGapWithinCooldown) {
+  const DriftThresholdPolicy policy(/*reducer_drift=*/1.2,
+                                    /*comm_drift=*/10.0,
+                                    /*max_updates=*/1 << 20,
+                                    /*cooldown=*/16);
+  PolicySignals signals = DriftedSignals();
+  // The last consult produced the same 15 reducers we hold: the gap is
+  // structural. Within the cooldown the trigger is suppressed.
+  signals.last_fresh_reducers = 15;
+  signals.updates_since_replan = 5;
+  EXPECT_FALSE(policy.ShouldReplan(signals));
+
+  // Cooldown expired: consult again (the instance kept changing).
+  signals.updates_since_replan = 16;
+  EXPECT_TRUE(policy.ShouldReplan(signals));
+
+  // No consult memory yet: the first drift trigger always consults.
+  signals.updates_since_replan = 5;
+  signals.last_fresh_reducers = 0;
+  EXPECT_TRUE(policy.ShouldReplan(signals));
+
+  // Live schema decayed *past* the remembered fresh plan: repair decay,
+  // not structure — consult immediately.
+  signals.last_fresh_reducers = 14;
+  EXPECT_TRUE(policy.ShouldReplan(signals));
+}
+
+TEST(DriftPolicyHysteresisTest, NoDriftMeansNoReplanRegardless) {
+  const DriftThresholdPolicy policy(1.5, 2.0, 1 << 20, /*cooldown=*/16);
+  PolicySignals signals = DriftedSignals();
+  signals.live_reducers = 10;       // at the bound
+  signals.live_communication = 100;
+  signals.last_fresh_reducers = 0;
+  EXPECT_FALSE(policy.ShouldReplan(signals));
+}
+
+TEST(DriftPolicyHysteresisTest, MaxUpdatesCapOverridesCooldown) {
+  const DriftThresholdPolicy policy(1.2, 10.0, /*max_updates=*/8,
+                                    /*cooldown=*/64);
+  PolicySignals signals = DriftedSignals();
+  signals.last_fresh_reducers = 15;  // would suppress the drift trigger
+  signals.updates_since_replan = 8;  // but the hard cap fires first
+  EXPECT_TRUE(policy.ShouldReplan(signals));
+}
+
+TEST(DriftPolicyHysteresisTest, ZeroCooldownKeepsLegacyBehavior) {
+  const DriftThresholdPolicy policy(1.2, 10.0, 1 << 20, /*cooldown=*/0);
+  PolicySignals signals = DriftedSignals();
+  signals.last_fresh_reducers = 15;
+  signals.updates_since_replan = 1;
+  EXPECT_TRUE(policy.ShouldReplan(signals));
+}
+
+TEST(DriftPolicyHysteresisTest, NameMentionsCooldownOnlyWhenSet) {
+  EXPECT_EQ(DriftThresholdPolicy(1.5, 2.0, 512).name().find("cooldown"),
+            std::string::npos);
+  EXPECT_NE(DriftThresholdPolicy(1.5, 2.0, 512, 32).name().find(
+                "cooldown=32"),
+            std::string::npos);
+}
+
+TEST(PolicySpecTest, MakePolicyBuildsEveryVariant) {
+  PolicySpec spec;
+  spec.name = "drift";
+  spec.cooldown = 4;
+  auto drift = MakePolicy(spec);
+  ASSERT_NE(drift, nullptr);
+  EXPECT_TRUE(drift->needs_bounds());
+  EXPECT_EQ(
+      static_cast<const DriftThresholdPolicy&>(*drift).cooldown(), 4u);
+
+  spec.name = "never";
+  EXPECT_EQ(MakePolicy(spec)->name(), "never");
+  spec.name = "always";
+  EXPECT_EQ(MakePolicy(spec)->name(), "always");
+  spec.name = "every-n";
+  spec.every_n = 7;
+  EXPECT_EQ(MakePolicy(spec)->name(), "every-7");
+  spec.name = "bogus";
+  EXPECT_EQ(MakePolicy(spec), nullptr);
+}
+
+// The satellite acceptance test: replaying the same trace, a drift
+// policy with a cooldown consults the planner a small fraction as
+// often as the cooldown-free policy, without giving up validity.
+TEST(DriftPolicyHysteresisTest, CooldownCutsPlannerConsultsOnReplay) {
+  wl::TraceConfig trace_config;
+  trace_config.initial_inputs = 30;
+  trace_config.steps = 160;
+  trace_config.seed = 77;
+  const UpdateTrace trace = wl::GenerateTrace(trace_config);
+
+  const auto replay = [&trace](uint64_t cooldown) {
+    OnlineConfig config;
+    config.capacity = trace.initial_capacity;
+    // A 1.0 threshold treats *any* gap to the lower bound as drift:
+    // the structural-gap worst case the hysteresis is built for.
+    config.policy_spec.name = "drift";
+    config.policy_spec.reducer_drift = 1.0;
+    config.policy_spec.comm_drift = 1.0;
+    config.policy_spec.max_updates = 1 << 20;
+    config.policy_spec.cooldown = cooldown;
+    config.plan_options.use_portfolio = false;
+    OnlineAssigner assigner(config);
+    for (const Update& update : trace.updates) {
+      const UpdateResult result = assigner.Apply(update);
+      EXPECT_TRUE(result.applied) << result.error;
+    }
+    EXPECT_TRUE(assigner.ValidateNow());
+    return assigner.planner().stats().plans;
+  };
+
+  const uint64_t consults_without = replay(/*cooldown=*/0);
+  const uint64_t consults_with = replay(/*cooldown=*/16);
+  // Without hysteresis the structural gap consults on (nearly) every
+  // update; the cooldown must cut that by at least 4x.
+  EXPECT_GT(consults_without, 0u);
+  EXPECT_LE(consults_with * 4, consults_without)
+      << "cooldown=16 consulted " << consults_with << " of "
+      << consults_without;
+}
+
+}  // namespace
+}  // namespace msp::online

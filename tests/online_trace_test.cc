@@ -128,6 +128,46 @@ TEST(OnlineTraceTest, DifferentialX2YSecondSeed) {
   RunDifferentialTrace(true, 29);
 }
 
+// The triangular-array coverage refactor must be behavior-invisible:
+// on every differential shape, a replay with the dense triangular
+// backend and one with the legacy hash backend produce the identical
+// schema stream and churn ledger.
+TEST(OnlineTraceTest, CoverageBackendsAgreeOnEveryShape) {
+  const struct {
+    bool x2y;
+    uint64_t seed;
+  } shapes[] = {{false, 11}, {false, 23}, {true, 12}, {true, 29}};
+  for (const auto& shape : shapes) {
+    const UpdateTrace trace =
+        wl::GenerateTrace(BaseTraceConfig(shape.x2y, shape.seed));
+    OnlineConfig config = IncrementalConfig(shape.x2y,
+                                            trace.initial_capacity);
+    config.coverage = PairCoverage::Backend::kTriangular;
+    OnlineAssigner triangular(config);
+    config.coverage = PairCoverage::Backend::kHash;
+    OnlineAssigner hash(config);
+    std::size_t step = 0;
+    for (const Update& update : trace.updates) {
+      ++step;
+      ASSERT_TRUE(triangular.Apply(update).applied);
+      ASSERT_TRUE(hash.Apply(update).applied);
+      if (step % 10 == 0) {
+        ASSERT_EQ(triangular.Schema().reducers, hash.Schema().reducers)
+            << "backends diverged at step " << step << " (x2y="
+            << shape.x2y << " seed=" << shape.seed << ")";
+      }
+    }
+    EXPECT_EQ(triangular.Schema().reducers, hash.Schema().reducers);
+    EXPECT_EQ(triangular.totals().churn.inputs_moved,
+              hash.totals().churn.inputs_moved);
+    EXPECT_EQ(triangular.totals().churn.bytes_moved,
+              hash.totals().churn.bytes_moved);
+    EXPECT_EQ(triangular.totals().replans, hash.totals().replans);
+    std::string error;
+    EXPECT_TRUE(triangular.ValidateNow(&error)) << error;
+  }
+}
+
 TEST(OnlineTraceTest, GeneratorIsDeterministicInSeed) {
   const wl::TraceConfig config = BaseTraceConfig(false, 5);
   const UpdateTrace a = wl::GenerateTrace(config);
