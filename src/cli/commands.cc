@@ -24,6 +24,8 @@
 #include "online/trace.h"
 #include "planner/service.h"
 #include "serving/service.h"
+#include "sim/simulator.h"
+#include "util/csv_writer.h"
 #include "util/summary_stats.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -361,6 +363,18 @@ int CmdGenTrace(const ArgParser& parser, std::ostream& out,
   }
   wl::TraceConfig config;
   config.x2y = kind == "x2y";
+  const std::string shape = parser.GetString("shape", "mixed");
+  if (shape == "mixed") {
+    config.shape = wl::TraceShape::kMixed;
+  } else if (shape == "flash-crowd") {
+    config.shape = wl::TraceShape::kFlashCrowd;
+  } else if (shape == "capacity-oscillation") {
+    config.shape = wl::TraceShape::kCapacityOscillation;
+  } else {
+    err << "error: unknown --shape '" << shape
+        << "' (mixed|flash-crowd|capacity-oscillation)\n";
+    return 2;
+  }
   const auto initial = parser.GetUint("initial", config.initial_inputs);
   const auto steps = parser.GetUint("steps", config.steps);
   const auto q = parser.GetUint("q", config.capacity);
@@ -843,6 +857,155 @@ int CmdRestore(const ArgParser& parser, std::ostream& out,
   return PrintReplayReport(assigner, stats, out, err);
 }
 
+// simulate — execute an update trace on the cluster simulator: every
+// update's re-shuffle plan runs as a real MapReduce job (src/sim), and
+// the engine-measured bytes/records are reconciled exactly against the
+// assigner's predicted churn, per step and cumulatively. Per-step rows
+// go to stdout (capped at --max-rows; mismatched steps always print)
+// and, completely, to --csv; the reconciliation tables go to stderr.
+// Exit 1 when any step fails to reconcile or a check fails.
+int CmdSimulate(const ArgParser& parser, std::ostream& out,
+                std::ostream& err) {
+  const auto trace = LoadTrace(parser.GetString("trace"), err);
+  if (!trace.has_value()) return 2;
+  const auto spec = LoadPolicySpec(parser, err);
+  if (!spec.has_value()) return 2;
+  const auto shards = parser.GetUint("shards", 1);
+  const auto batch = parser.GetUint("batch", 0);
+  const auto oracle_every = parser.GetUint("oracle-every", 25);
+  const auto max_rows = parser.GetUint("max-rows", 20);
+  const auto portfolio = parser.GetUint("portfolio", 0);
+  if (!shards || !batch || !oracle_every || !max_rows || !portfolio ||
+      *shards == 0 || *shards > 256) {
+    err << "error: bad --shards/--batch/--oracle-every/--max-rows/"
+           "--portfolio (need 1 <= shards <= 256)\n";
+    return 2;
+  }
+
+  sim::SimConfig config;
+  config.online.x2y = trace->x2y;
+  config.online.capacity = trace->initial_capacity;
+  config.online.policy_spec = *spec;
+  config.online.plan_options.use_portfolio = *portfolio != 0;
+  config.shards = static_cast<std::size_t>(*shards);
+  config.batch = static_cast<std::size_t>(*batch);
+  config.oracle_every = *oracle_every;
+
+  // Open the CSV before the (potentially long) simulation runs, so a
+  // bad path fails fast instead of discarding the finished run.
+  const std::string csv_path = parser.GetString("csv");
+  std::optional<CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv.emplace(csv_path);
+    if (!csv->ok()) {
+      err << "error: cannot open " << csv_path << " for writing\n";
+      return 2;
+    }
+  }
+
+  sim::ClusterSimulator simulator(config);
+  simulator.ReplayTrace(*trace);
+  const sim::SimReport& report = simulator.report();
+
+  if (csv.has_value()) {
+    csv->WriteRow(sim::ClusterSimulator::CsvHeader());
+    for (const sim::StepRecord& step : report.steps) {
+      csv->WriteRow(sim::ClusterSimulator::CsvRow(step));
+    }
+  }
+
+  // Per-step table: the first --max-rows steps that moved data, plus
+  // every step that failed to reconcile.
+  TablePrinter steps_table("simulated steps (moved data or failed)");
+  steps_table.SetHeader({"step", "kind", "pred B", "exec B", "moves",
+                         "drops", "z", "max load", "ok"});
+  uint64_t printed = 0;
+  uint64_t suppressed = 0;
+  for (const sim::StepRecord& step : report.steps) {
+    const bool moved = step.predicted_moved_bytes > 0 ||
+                       step.executed_shipped_bytes > 0 ||
+                       step.predicted_dropped_inputs > 0;
+    const bool failed = !step.reconciled || !step.placement_ok;
+    if (!moved && !failed) continue;
+    if (printed >= *max_rows && !failed) {
+      ++suppressed;
+      continue;
+    }
+    ++printed;
+    steps_table.AddRow(
+        {TablePrinter::Fmt(step.step),
+         sim::ClusterSimulator::CsvRow(step)[1],  // kind/checkpoint label
+         TablePrinter::Fmt(step.predicted_moved_bytes),
+         TablePrinter::Fmt(step.executed_shipped_bytes),
+         TablePrinter::Fmt(step.predicted_moved_inputs),
+         TablePrinter::Fmt(step.predicted_dropped_inputs),
+         TablePrinter::Fmt(step.live_reducers),
+         TablePrinter::Fmt(step.max_reducer_load),
+         failed ? "NO" : "yes"});
+  }
+  steps_table.Print(out);
+  if (suppressed > 0) {
+    out << "(" << suppressed << " more steps "
+        << (csv.has_value() ? "in " + csv_path
+                            : std::string("suppressed; pass --csv=FILE "
+                                          "for all rows"))
+        << ")\n";
+  }
+
+  const online::OnlineTotals& totals = simulator.assigner().totals();
+  TablePrinter recon("predicted vs executed reconciliation (" +
+                     spec->name + ")");
+  recon.SetHeader({"metric", "predicted", "executed", "match"});
+  const auto match = [](uint64_t a, uint64_t b) {
+    return a == b ? std::string("yes") : std::string("NO");
+  };
+  recon.AddRow({"re-shuffled bytes", TablePrinter::Fmt(report.predicted_bytes),
+                TablePrinter::Fmt(report.executed_bytes),
+                match(report.predicted_bytes, report.executed_bytes)});
+  recon.AddRow({"copies shipped", TablePrinter::Fmt(report.predicted_inputs),
+                TablePrinter::Fmt(report.executed_records),
+                match(report.predicted_inputs, report.executed_records)});
+  recon.AddRow({"copies dropped", TablePrinter::Fmt(report.predicted_drops),
+                TablePrinter::Fmt(report.executed_drops),
+                match(report.predicted_drops, report.executed_drops)});
+  recon.Print(err);
+
+  TablePrinter summary("cluster simulation");
+  summary.SetHeader({"metric", "value"});
+  summary.AddRow({"steps", TablePrinter::Fmt(report.steps.size())});
+  summary.AddRow({"updates applied", TablePrinter::Fmt(totals.updates)});
+  summary.AddRow({"updates rejected", TablePrinter::Fmt(report.rejected)});
+  if (report.skipped > 0) {
+    summary.AddRow(
+        {"steps skipped (bad id)", TablePrinter::Fmt(report.skipped)});
+  }
+  summary.AddRow({"full re-plans", TablePrinter::Fmt(totals.replans)});
+  summary.AddRow(
+      {"re-shuffle engine jobs", TablePrinter::Fmt(report.reshuffle_jobs)});
+  summary.AddRow({"engine oracle checks",
+                  TablePrinter::Fmt(report.oracle_checks)});
+  summary.AddRow({"mismatched steps",
+                  TablePrinter::Fmt(report.mismatched_steps)});
+  summary.AddRow({"placement failures",
+                  TablePrinter::Fmt(report.placement_failures)});
+  summary.AddRow(
+      {"oracle failures", TablePrinter::Fmt(report.oracle_failures)});
+  summary.Print(err);
+  if (!report.first_error.empty()) {
+    err << "first error: " << report.first_error << "\n";
+  }
+
+  std::string validate_error;
+  const bool valid = simulator.assigner().ValidateNow(&validate_error);
+  err << "final: inputs=" << simulator.assigner().num_inputs()
+      << " capacity=" << simulator.assigner().capacity()
+      << " reducers=" << simulator.assigner().Schema().num_reducers()
+      << " reconciled=" << (report.ok() ? "yes" : "NO")
+      << " valid=" << (valid ? "yes" : "NO") << "\n";
+  if (!valid) err << "INVALID final schema: " << validate_error << "\n";
+  return report.ok() && valid ? 0 : 1;
+}
+
 }  // namespace
 
 void PrintUsage(std::ostream& out) {
@@ -865,6 +1028,7 @@ void PrintUsage(std::ostream& out) {
          "             [--budget-ms=MS] [--repeat=N] [--stats]\n"
          "             planning service: canonicalize, cache, portfolio\n"
          "  gen-trace  --kind=a2a|x2y [--initial=M] [--steps=N] [--q=Q]\n"
+         "             [--shape=mixed|flash-crowd|capacity-oscillation]\n"
          "             [--lo=L] [--hi=H] [--skew=S] [--seed=K]\n"
          "             [--p-add=P] [--p-remove=P] [--p-resize=P]\n"
          "             write an update trace to stdout\n"
@@ -886,6 +1050,12 @@ void PrintUsage(std::ostream& out) {
          "  restore    --snapshot=FILE [--trace=FILE] [--validate-every=N]\n"
          "             [--batch=B]\n"
          "             restore a snapshot and continue the replay\n"
+         "  simulate   --trace=FILE [--shards=N] [--batch=B] [--csv=FILE]\n"
+         "             [--policy=...] [--replan-threshold=R] [--every-n=N]\n"
+         "             [--cooldown=N] [--oracle-every=N] [--max-rows=N]\n"
+         "             [--portfolio=0|1]\n"
+         "             execute a trace on the MapReduce engine and\n"
+         "             reconcile predicted vs re-shuffled bytes\n"
          "\n"
          "a2a algorithms: auto single-reducer naive-all-pairs "
          "equal-grouping\n"
@@ -915,8 +1085,8 @@ const std::vector<CommandSpec>& Commands() {
        {"sizes", "x-sizes", "y-sizes", "q", "cache-shards", "portfolio",
         "budget-ms", "repeat", "stats"}},
       {"gen-trace", CmdGenTrace,
-       {"kind", "initial", "steps", "q", "lo", "hi", "skew", "seed",
-        "p-add", "p-remove", "p-resize"}},
+       {"kind", "shape", "initial", "steps", "q", "lo", "hi", "skew",
+        "seed", "p-add", "p-remove", "p-resize"}},
       {"online", CmdOnline,
        {"trace", "policy", "replan-threshold", "every-n", "cooldown",
         "validate-every", "portfolio", "batch", "coverage"}},
@@ -929,6 +1099,10 @@ const std::vector<CommandSpec>& Commands() {
         "every-n", "cooldown", "coverage", "portfolio"}},
       {"restore", CmdRestore,
        {"snapshot", "trace", "validate-every", "batch"}},
+      {"simulate", CmdSimulate,
+       {"trace", "policy", "replan-threshold", "every-n", "cooldown",
+        "shards", "batch", "oracle-every", "max-rows", "portfolio",
+        "csv"}},
   };
   return kCommands;
 }

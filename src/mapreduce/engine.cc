@@ -95,6 +95,7 @@ JobMetrics MapReduceEngine::Run(const KeyValueList& inputs,
   const std::size_t num_reducers = partitioner.num_reducers();
   std::vector<KeyValueList> groups(num_reducers);
   metrics.reducer_bytes.assign(num_reducers, 0);
+  metrics.reducer_records.assign(num_reducers, 0);
   {
     // Route batches in parallel into per-batch target lists (running
     // the map-side combiner if configured), then merge serially per
@@ -139,6 +140,7 @@ JobMetrics MapReduceEngine::Run(const KeyValueList& inputs,
     for (auto& batch : routed) {
       for (auto& [r, kv] : batch) {
         metrics.reducer_bytes[r] += kv.SizeBytes();
+        ++metrics.reducer_records[r];
         ++metrics.shuffle_records;
         metrics.shuffle_bytes += kv.SizeBytes();
         groups[r].push_back(std::move(kv));

@@ -37,6 +37,10 @@ struct JobMetrics {
 
   /// Per-reducer delivered bytes (index == reducer index).
   std::vector<uint64_t> reducer_bytes;
+  /// Per-reducer delivered record copies (index == reducer index).
+  /// Together with `reducer_bytes` this is the engine-side ledger the
+  /// cluster simulator reconciles against predicted churn.
+  std::vector<uint64_t> reducer_records;
 };
 
 /// Deterministic makespan of scheduling `costs` on `workers` machines

@@ -1,5 +1,7 @@
 #include "mapreduce/schema_partitioner.h"
 
+#include <utility>
+
 #include "util/check.h"
 
 namespace msp::mr {
@@ -21,6 +23,21 @@ void SchemaPartitioner::Route(uint64_t key,
                               std::vector<ReducerIndex>* out) const {
   if (key >= reducers_of_input_.size()) return;
   const auto& targets = reducers_of_input_[key];
+  out->insert(out->end(), targets.begin(), targets.end());
+}
+
+RoutingPartitioner::RoutingPartitioner(
+    std::vector<std::vector<ReducerIndex>> routes, ReducerIndex num_reducers)
+    : routes_(std::move(routes)), num_reducers_(num_reducers) {
+  for (const auto& targets : routes_) {
+    for (ReducerIndex r : targets) MSP_CHECK_LT(r, num_reducers_);
+  }
+}
+
+void RoutingPartitioner::Route(uint64_t key,
+                               std::vector<ReducerIndex>* out) const {
+  if (key >= routes_.size()) return;
+  const auto& targets = routes_[key];
   out->insert(out->end(), targets.begin(), targets.end());
 }
 

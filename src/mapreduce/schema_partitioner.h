@@ -33,6 +33,27 @@ class SchemaPartitioner : public Partitioner {
   ReducerIndex num_reducers_;
 };
 
+/// Routes through an explicit routing table: key k goes to exactly the
+/// reducers listed in `routes[k]`; keys outside the table are dropped.
+/// This is the engine's incremental re-partition hook: a caller that
+/// has diffed two assignments can execute just the delta — one record
+/// per moved copy, keyed by its position in the plan — instead of
+/// re-running the whole job (used by the cluster simulator's
+/// re-shuffle jobs).
+class RoutingPartitioner : public Partitioner {
+ public:
+  /// `num_reducers` must be past every index appearing in `routes`.
+  RoutingPartitioner(std::vector<std::vector<ReducerIndex>> routes,
+                     ReducerIndex num_reducers);
+
+  void Route(uint64_t key, std::vector<ReducerIndex>* out) const override;
+  ReducerIndex num_reducers() const override { return num_reducers_; }
+
+ private:
+  std::vector<std::vector<ReducerIndex>> routes_;
+  ReducerIndex num_reducers_;
+};
+
 }  // namespace msp::mr
 
 #endif  // MSP_MAPREDUCE_SCHEMA_PARTITIONER_H_

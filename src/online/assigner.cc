@@ -40,6 +40,7 @@ OnlineAssigner::OnlineAssigner(const OnlineConfig& config)
       << "unknown policy spec '" << config.policy_spec.name << "'";
   state_.x2y = config.x2y;
   state_.capacity = config.capacity;
+  state_.partner_set = config.partner_set;
   state_.cover.Reset(config.coverage, 0);
 }
 
@@ -277,6 +278,7 @@ bool OnlineAssigner::Seed(const std::vector<InputSize>& sizes,
     state_ = LiveState{};
     state_.x2y = config_.x2y;
     state_.capacity = config_.capacity;
+    state_.partner_set = config_.partner_set;
     state_.cover.Reset(config_.coverage, 0);
     if (error != nullptr) *error = why;
     return false;
@@ -298,13 +300,40 @@ bool OnlineAssigner::Seed(const std::vector<InputSize>& sizes,
 UpdateResult OnlineAssigner::Compact() {
   UpdateResult result;
   result.applied = true;
-  const MappingSchema before = state_.ToSchema();
-  MappingSchema merged = before;
+  MappingSchema merged = state_.ToSchema();
   MergeReducers(state_.sizes, state_.capacity, &merged);
-  result.churn = MinMoveDelta(state_.sizes, before, merged).ToChurn();
-  state_.ResetSchema(merged);
+  result.churn = DeployMinMove(merged);
   totals_.churn += result.churn;
   return result;
+}
+
+ChurnStats OnlineAssigner::DeployMinMove(const MappingSchema& fresh_live) {
+  DeltaDetail detail;
+  const ChurnStats churn =
+      MinMoveDelta(state_.sizes, state_.ToSchema(), fresh_live, &detail)
+          .ToChurn();
+  // Matched reducers keep their stable identity; created ones get
+  // fresh uids, assigned here so the ships below can reference them.
+  std::vector<uint64_t> uids(fresh_live.num_reducers());
+  for (std::size_t t = 0; t < uids.size(); ++t) {
+    uids[t] = detail.matched_from[t] == DeltaDetail::kUnmatched
+                  ? state_.next_reducer_uid++
+                  : state_.reducer_uids[detail.matched_from[t]];
+  }
+  if (state_.move_log != nullptr) {
+    // Drops before ships: drops reference pre-deploy placements, and a
+    // copy evicted from one reducer may ship to another in this delta.
+    for (const auto& [f, id] : detail.drops) {
+      state_.move_log->push_back({ReshuffleOp::Kind::kDrop, id,
+                                  state_.reducer_uids[f], state_.sizes[id]});
+    }
+    for (const auto& [t, id] : detail.ships) {
+      state_.move_log->push_back(
+          {ReshuffleOp::Kind::kShip, id, uids[t], state_.sizes[id]});
+    }
+  }
+  state_.ResetSchemaWithUids(fresh_live, std::move(uids));
+  return churn;
 }
 
 UpdateResult OnlineAssigner::Reject(std::string why) {
@@ -380,16 +409,34 @@ void OnlineAssigner::DeployReplanned(const MappingSchema& fresh_live,
                                      UpdateResult* result) {
   ChurnStats replan_churn;
   if (config_.full_reassign_on_replan) {
-    for (const Reducer& reducer : state_.reducers) {
-      replan_churn.inputs_dropped += reducer.size();
+    for (std::size_t r = 0; r < state_.reducers.size(); ++r) {
+      replan_churn.inputs_dropped += state_.reducers[r].size();
+      if (state_.move_log != nullptr) {
+        for (InputId id : state_.reducers[r]) {
+          state_.move_log->push_back({ReshuffleOp::Kind::kDrop, id,
+                                      state_.reducer_uids[r],
+                                      state_.sizes[id]});
+        }
+      }
     }
     replan_churn.reducers_destroyed += state_.reducers.size();
     CountFullDeploy(state_.sizes, fresh_live, &replan_churn);
+    // Every fresh reducer is a new deployment: assign uids up front so
+    // the ship log can name them.
+    std::vector<uint64_t> uids(fresh_live.num_reducers());
+    for (uint64_t& uid : uids) uid = state_.next_reducer_uid++;
+    if (state_.move_log != nullptr) {
+      for (std::size_t t = 0; t < fresh_live.reducers.size(); ++t) {
+        for (InputId id : fresh_live.reducers[t]) {
+          state_.move_log->push_back(
+              {ReshuffleOp::Kind::kShip, id, uids[t], state_.sizes[id]});
+        }
+      }
+    }
+    state_.ResetSchemaWithUids(fresh_live, std::move(uids));
   } else {
-    replan_churn =
-        MinMoveDelta(state_.sizes, state_.ToSchema(), fresh_live).ToChurn();
+    replan_churn = DeployMinMove(fresh_live);
   }
-  state_.ResetSchema(fresh_live);
   result->churn += replan_churn;
   result->replanned = true;
 }

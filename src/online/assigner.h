@@ -66,6 +66,12 @@ struct OnlineConfig {
   /// dense triangular array is the fast default; the hash map is the
   /// pre-refactor baseline kept for benchmarks and differential tests.
   PairCoverage::Backend coverage = PairCoverage::Backend::kTriangular;
+  /// Backend of CoverStar's uncovered-partner set on the add/regrow
+  /// path (see repair.h). The bitmap over alive ranks is the fast
+  /// default; the unordered_set is the pre-refactor baseline kept for
+  /// benchmarks and differential tests. Not captured by snapshots (a
+  /// pure performance knob — restored assigners use the default).
+  PartnerSetBackend partner_set = PartnerSetBackend::kBitmap;
   /// When true, a re-plan counts every copy of the fresh schema as
   /// moved (the naive "reassign everything" deployment) instead of the
   /// minimum-move delta. Used by the churn baselines.
@@ -194,6 +200,15 @@ class OnlineAssigner {
   /// Read-only view of the live state (serving stats, tests).
   const LiveState& live_state() const { return state_; }
 
+  /// Attaches (or detaches, with nullptr) a re-shuffle recorder: every
+  /// copy placed or deleted by subsequent updates — repairs and
+  /// deployed re-plans alike — is appended to `log` the moment the
+  /// churn ledger counts it, so the recorded plan is the ledger's
+  /// exact itemization (see moves.h). The caller owns the plan and
+  /// typically clears it between updates; the pointer must outlive the
+  /// assigner or be detached first. Snapshots never capture it.
+  void SetMoveLog(ReshufflePlan* log) { state_.move_log = log; }
+
   /// The id the next applied AddInput will receive (ids are issued
   /// sequentially and never reused).
   InputId next_id() const { return static_cast<InputId>(state_.sizes.size()); }
@@ -221,6 +236,10 @@ class OnlineAssigner {
   QualitySnapshot QualityFrom(const DenseView& dense) const;
 
   UpdateResult Reject(std::string why);
+  /// Migrates the live schema to `fresh_live` through the min-move
+  /// delta: matched reducers keep their uids, the symmetric difference
+  /// is logged to the move log, and the delta churn is returned.
+  ChurnStats DeployMinMove(const MappingSchema& fresh_live);
   UpdateResult DoAdd(InputSize size, Side side);
   UpdateResult DoRemove(InputId id);
   UpdateResult DoResize(InputId id, InputSize size);

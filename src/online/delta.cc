@@ -21,15 +21,18 @@ std::vector<Reducer> SortedReducers(const MappingSchema& schema) {
   return reducers;
 }
 
-// Copies in `a` missing from `b` (both sorted): count and total bytes.
+// Copies in `a` missing from `b` (both sorted): count and total bytes,
+// plus (when `items` is non-null) the ids themselves.
 void Difference(const std::vector<InputSize>& sizes, const Reducer& a,
-                const Reducer& b, uint64_t* count, uint64_t* bytes) {
+                const Reducer& b, uint64_t* count, uint64_t* bytes,
+                std::vector<InputId>* items = nullptr) {
   std::size_t i = 0;
   std::size_t j = 0;
   while (i < a.size()) {
     if (j == b.size() || a[i] < b[j]) {
       ++*count;
       *bytes += sizes[a[i]];
+      if (items != nullptr) items->push_back(a[i]);
       ++i;
     } else if (b[j] < a[i]) {
       ++j;
@@ -43,10 +46,16 @@ void Difference(const std::vector<InputSize>& sizes, const Reducer& a,
 }  // namespace
 
 DeltaStats MinMoveDelta(const std::vector<InputSize>& sizes,
-                        const MappingSchema& from, const MappingSchema& to) {
+                        const MappingSchema& from, const MappingSchema& to,
+                        DeltaDetail* detail) {
   const std::vector<Reducer> old_reducers = SortedReducers(from);
   const std::vector<Reducer> new_reducers = SortedReducers(to);
   DeltaStats delta;
+  if (detail != nullptr) {
+    detail->matched_from.assign(new_reducers.size(), DeltaDetail::kUnmatched);
+    detail->ships.clear();
+    detail->drops.clear();
+  }
 
   // Inverted index: input id -> old reducers holding a copy.
   std::unordered_map<InputId, std::vector<uint32_t>> held_by;
@@ -92,26 +101,42 @@ DeltaStats MinMoveDelta(const std::vector<InputSize>& sizes,
     ++delta.reducers_matched;
   }
 
+  std::vector<InputId> items;
   for (uint32_t t = 0; t < new_reducers.size(); ++t) {
     if (match_of_new[t] == ~uint32_t{0}) {
       ++delta.reducers_created;
       for (InputId id : new_reducers[t]) {
         ++delta.inputs_moved;
         delta.bytes_moved += sizes[id];
+        if (detail != nullptr) detail->ships.emplace_back(t, id);
       }
       continue;
     }
+    if (detail != nullptr) detail->matched_from[t] = match_of_new[t];
     const Reducer& old_r = old_reducers[match_of_new[t]];
+    items.clear();
     Difference(sizes, new_reducers[t], old_r, &delta.inputs_moved,
-               &delta.bytes_moved);
+               &delta.bytes_moved, detail != nullptr ? &items : nullptr);
+    if (detail != nullptr) {
+      for (InputId id : items) detail->ships.emplace_back(t, id);
+    }
     uint64_t dropped_bytes = 0;  // bytes of dropped copies are not churn
+    items.clear();
     Difference(sizes, old_r, new_reducers[t], &delta.inputs_dropped,
-               &dropped_bytes);
+               &dropped_bytes, detail != nullptr ? &items : nullptr);
+    if (detail != nullptr) {
+      for (InputId id : items) {
+        detail->drops.emplace_back(match_of_new[t], id);
+      }
+    }
   }
   for (uint32_t f = 0; f < old_reducers.size(); ++f) {
     if (old_taken[f]) continue;
     ++delta.reducers_destroyed;
     delta.inputs_dropped += old_reducers[f].size();
+    if (detail != nullptr) {
+      for (InputId id : old_reducers[f]) detail->drops.emplace_back(f, id);
+    }
   }
   return delta;
 }

@@ -46,11 +46,28 @@ struct DeltaStats {
   }
 };
 
+/// Itemization of a min-move delta: the per-copy re-shuffle plan the
+/// stats summarize. `matched_from[t]` is the `from` reducer the t-th
+/// `to` reducer was matched onto (kUnmatched = freshly created — every
+/// member ships). Ships/drops partition exactly the copies the stats
+/// count: sum of ship bytes == bytes_moved, ship count == inputs_moved,
+/// drop count == inputs_dropped.
+struct DeltaDetail {
+  static constexpr uint32_t kUnmatched = ~uint32_t{0};
+
+  std::vector<uint32_t> matched_from;  // indexed by `to` reducer
+  std::vector<std::pair<uint32_t, InputId>> ships;  // (to index, input)
+  std::vector<std::pair<uint32_t, InputId>> drops;  // (from index, input)
+};
+
 /// Computes the migration churn from `from` to `to`. `sizes` must be
 /// indexed by every input id appearing in either schema. Identical
-/// schemas (up to reducer order) yield an all-zero delta.
+/// schemas (up to reducer order) yield an all-zero delta. When
+/// `detail` is non-null it receives the matching and the per-copy
+/// ship/drop plan consistent with the returned stats.
 DeltaStats MinMoveDelta(const std::vector<InputSize>& sizes,
-                        const MappingSchema& from, const MappingSchema& to);
+                        const MappingSchema& from, const MappingSchema& to,
+                        DeltaDetail* detail = nullptr);
 
 }  // namespace msp::online
 

@@ -1,0 +1,56 @@
+// The re-shuffle move log: the online layer's churn, itemized.
+//
+// ChurnStats (repair.h) answers "how much moved"; the move log answers
+// "what moved where". Every copy the repair engine or a re-plan
+// deployment places into a reducer becomes one kShip op (data that a
+// real cluster would have to ship to that reducer over the network),
+// and every copy deleted becomes one kDrop op (a local delete — no
+// bytes cross the wire, matching the ledger, which counts dropped
+// copies but not their bytes).
+//
+// Ops reference reducers by *uid* — the stable identity LiveState
+// assigns when a reducer is created (uids are never reused, and a
+// re-plan deployed through the min-move delta carries the uids of
+// matched reducers across). Vector indices into LiveState::reducers
+// shift on every compaction; uids are what a cluster can address.
+//
+// The log is the bridge to the cluster simulator (src/sim): attach a
+// plan via OnlineAssigner::SetMoveLog, apply an update, and the
+// recorded ops *are* the re-shuffle plan whose execution on the
+// MapReduce engine must cost exactly ChurnStats::bytes_moved.
+
+#ifndef MSP_ONLINE_MOVES_H_
+#define MSP_ONLINE_MOVES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace msp::online {
+
+/// One primitive placement change of the live assignment.
+struct ReshuffleOp {
+  enum class Kind : uint8_t {
+    kShip = 0,  // a copy of `input` is placed into reducer `reducer_uid`
+    kDrop = 1,  // the copy of `input` at `reducer_uid` is deleted
+  };
+
+  Kind kind = Kind::kShip;
+  InputId input = 0;
+  uint64_t reducer_uid = 0;
+  /// Size of the copy at the moment the op happened (ships charge
+  /// exactly these bytes; drops are free).
+  InputSize bytes = 0;
+
+  bool operator==(const ReshuffleOp&) const = default;
+};
+
+/// An ordered sequence of placement changes. Order matters: within one
+/// update a copy may be shipped to a reducer that a later op folds
+/// away, so the plan must be applied (and priced) sequentially.
+using ReshufflePlan = std::vector<ReshuffleOp>;
+
+}  // namespace msp::online
+
+#endif  // MSP_ONLINE_MOVES_H_

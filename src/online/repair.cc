@@ -26,7 +26,7 @@ bool CoversAnything(const LiveState& s, const Reducer& reducer) {
 }
 
 // Places a copy of `id` into reducer `r` (must not already be there),
-// updating load, pair coverage, and the churn ledger.
+// updating load, pair coverage, the churn ledger, and the move log.
 void AddCopy(LiveState* s, std::size_t r, InputId id, ChurnStats* churn) {
   Reducer& reducer = s->reducers[r];
   const auto pos = std::lower_bound(reducer.begin(), reducer.end(), id);
@@ -38,6 +38,10 @@ void AddCopy(LiveState* s, std::size_t r, InputId id, ChurnStats* churn) {
   s->loads[r] += s->sizes[id];
   ++churn->inputs_moved;
   churn->bytes_moved += s->sizes[id];
+  if (s->move_log != nullptr) {
+    s->move_log->push_back({ReshuffleOp::Kind::kShip, id,
+                            s->reducer_uids[r], s->sizes[id]});
+  }
 }
 
 // Deletes the copy of `id` from reducer `r` if present. Returns true
@@ -52,7 +56,20 @@ bool RemoveCopy(LiveState* s, std::size_t r, InputId id, ChurnStats* churn) {
     if (s->IsPartner(id, member)) s->DecrementCover(id, member);
   }
   ++churn->inputs_dropped;
+  if (s->move_log != nullptr) {
+    s->move_log->push_back({ReshuffleOp::Kind::kDrop, id,
+                            s->reducer_uids[r], s->sizes[id]});
+  }
   return true;
+}
+
+// Appends a fresh, empty reducer slot with a new stable uid.
+std::size_t CreateReducer(LiveState* s, ChurnStats* churn) {
+  s->reducers.emplace_back();
+  s->loads.push_back(0);
+  s->reducer_uids.push_back(s->next_reducer_uid++);
+  ++churn->reducers_created;
+  return s->reducers.size() - 1;
 }
 
 // Drops every copy of reducer `r` and marks it destroyed. The empty
@@ -72,11 +89,13 @@ void Compact(LiveState* s) {
     if (out != r) {
       s->reducers[out] = std::move(s->reducers[r]);
       s->loads[out] = s->loads[r];
+      s->reducer_uids[out] = s->reducer_uids[r];
     }
     ++out;
   }
   s->reducers.resize(out);
   s->loads.resize(out);
+  s->reducer_uids.resize(out);
 }
 
 // Destroys every reducer in `candidates` that covers no required pair.
@@ -154,12 +173,80 @@ void AbsorbShrunken(LiveState* s, const std::vector<std::size_t>& candidates,
   }
 }
 
+// CoverStar's uncovered-partner set. The bitmap backend indexes by
+// alive rank (one byte per alive input; the alive set does not mutate
+// while a repair is covering, so ranks are stable); the unordered_set
+// baseline is keyed by input id. Both backends produce identical
+// repair decisions: membership answers are the same, and the only
+// iteration (Drain) is canonicalized by the caller's sort.
+class PartnerSet {
+ public:
+  explicit PartnerSet(const LiveState& s) : backend_(s.partner_set) {
+    if (backend_ == PartnerSetBackend::kBitmap) {
+      bits_.assign(s.num_alive(), 0);
+    }
+  }
+
+  void Insert(const LiveState& s, InputId id) {
+    if (backend_ == PartnerSetBackend::kBitmap) {
+      uint8_t& bit = bits_[s.alive_pos[id]];
+      count_ += bit == 0 ? 1 : 0;
+      bit = 1;
+      return;
+    }
+    count_ += hash_.insert(id).second ? 1 : 0;
+  }
+
+  bool Contains(const LiveState& s, InputId id) const {
+    if (backend_ == PartnerSetBackend::kBitmap) {
+      return bits_[s.alive_pos[id]] != 0;
+    }
+    return hash_.count(id) > 0;
+  }
+
+  void Erase(const LiveState& s, InputId id) {
+    if (backend_ == PartnerSetBackend::kBitmap) {
+      uint8_t& bit = bits_[s.alive_pos[id]];
+      count_ -= bit != 0 ? 1 : 0;
+      bit = 0;
+      return;
+    }
+    count_ -= hash_.erase(id);
+  }
+
+  bool empty() const { return count_ == 0; }
+
+  /// Moves the remaining members out (unspecified order — callers must
+  /// impose a total order before acting on them).
+  std::vector<InputId> Drain(const LiveState& s) {
+    std::vector<InputId> rest;
+    rest.reserve(count_);
+    if (backend_ == PartnerSetBackend::kBitmap) {
+      for (std::size_t rank = 0; rank < bits_.size(); ++rank) {
+        if (bits_[rank] != 0) rest.push_back(s.alive_ids[rank]);
+      }
+      bits_.assign(bits_.size(), 0);
+    } else {
+      rest.assign(hash_.begin(), hash_.end());
+      hash_.clear();
+    }
+    count_ = 0;
+    return rest;
+  }
+
+ private:
+  PartnerSetBackend backend_;
+  std::size_t count_ = 0;
+  std::vector<uint8_t> bits_;  // by alive rank
+  std::unordered_set<InputId> hash_;
+};
+
 // Covers every pair (id, p), p in `uncovered`, with the AddInput
 // strategy: first place `id` into existing reducers with room that
 // contain uncovered partners, then spawn new reducers seeded with `id`
 // plus first-fit-decreasing bins of the remaining partners.
-void CoverStar(LiveState* s, InputId id,
-               std::unordered_set<InputId>* uncovered, ChurnStats* churn) {
+void CoverStar(LiveState* s, InputId id, PartnerSet* uncovered,
+               ChurnStats* churn) {
   if (uncovered->empty()) return;
   const InputSize w = s->sizes[id];
 
@@ -171,7 +258,9 @@ void CoverStar(LiveState* s, InputId id,
     if (s->loads[r] + w > s->capacity) continue;
     if (Contains(s->reducers[r], id)) continue;
     std::size_t count = 0;
-    for (InputId member : s->reducers[r]) count += uncovered->count(member);
+    for (InputId member : s->reducers[r]) {
+      count += uncovered->Contains(*s, member) ? 1 : 0;
+    }
     if (count > 0) order.emplace_back(count, r);
   }
   std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
@@ -182,21 +271,20 @@ void CoverStar(LiveState* s, InputId id,
     if (uncovered->empty()) break;
     bool any = false;
     for (InputId member : s->reducers[r]) {
-      if (uncovered->count(member) > 0) {
+      if (uncovered->Contains(*s, member)) {
         any = true;
         break;
       }
     }
     if (!any) continue;
     AddCopy(s, r, id, churn);
-    for (InputId member : s->reducers[r]) uncovered->erase(member);
+    for (InputId member : s->reducers[r]) uncovered->Erase(*s, member);
   }
 
   // Phase 2 — spawn: pack the partners that remain into bins of
   // residual capacity q - w (FFD), one new reducer per bin, each
   // seeded with `id`.
-  std::vector<InputId> rest(uncovered->begin(), uncovered->end());
-  uncovered->clear();
+  std::vector<InputId> rest = uncovered->Drain(*s);
   std::sort(rest.begin(), rest.end(), [&](InputId a, InputId b) {
     return s->sizes[a] != s->sizes[b] ? s->sizes[a] > s->sizes[b] : a < b;
   });
@@ -210,9 +298,7 @@ void CoverStar(LiveState* s, InputId id,
       }
     }
     if (target == s->reducers.size()) {
-      s->reducers.emplace_back();
-      s->loads.push_back(0);
-      ++churn->reducers_created;
+      target = CreateReducer(s, churn);
       AddCopy(s, target, id, churn);
       MSP_CHECK_LE(s->loads[target] + s->sizes[p], s->capacity)
           << "infeasible pair reached the repair engine";
@@ -248,10 +334,7 @@ void CoverPairs(LiveState* s, std::vector<std::pair<InputId, InputId>>* pairs,
       }
     }
     if (placed) continue;
-    const std::size_t fresh = s->reducers.size();
-    s->reducers.emplace_back();
-    s->loads.push_back(0);
-    ++churn->reducers_created;
+    const std::size_t fresh = CreateReducer(s, churn);
     AddCopy(s, fresh, a, churn);
     MSP_CHECK_LE(s->loads[fresh] + s->sizes[b], s->capacity)
         << "infeasible pair reached the repair engine";
@@ -264,10 +347,23 @@ void CoverPairs(LiveState* s, std::vector<std::pair<InputId, InputId>>* pairs,
 
 void LiveState::ResetSchema(const MappingSchema& schema) {
   reducers = schema.reducers;
+  reducer_uids.clear();  // RebuildDerived assigns fresh uids
+  RebuildDerived();
+}
+
+void LiveState::ResetSchemaWithUids(const MappingSchema& schema,
+                                    std::vector<uint64_t> uids) {
+  MSP_CHECK(uids.size() == schema.reducers.size());
+  reducers = schema.reducers;
+  reducer_uids = std::move(uids);
   RebuildDerived();
 }
 
 void LiveState::RebuildDerived() {
+  if (reducer_uids.size() != reducers.size()) {
+    reducer_uids.resize(reducers.size());
+    for (uint64_t& uid : reducer_uids) uid = next_reducer_uid++;
+  }
   loads.assign(reducers.size(), 0);
   cover.Reset(cover.backend(), alive_ids.size());
   for (std::size_t r = 0; r < reducers.size(); ++r) {
@@ -287,9 +383,9 @@ void LiveState::RebuildDerived() {
 void RepairAdd(LiveState* s, InputId id, ChurnStats* churn) {
   MSP_CHECK(s != nullptr && churn != nullptr);
   MSP_CHECK(s->alive[id]);
-  std::unordered_set<InputId> uncovered;
+  PartnerSet uncovered(*s);
   for (InputId j : s->alive_ids) {
-    if (j != id && s->IsPartner(id, j)) uncovered.insert(j);
+    if (j != id && s->IsPartner(id, j)) uncovered.Insert(*s, j);
   }
   CoverStar(s, id, &uncovered, churn);
 }
@@ -341,10 +437,10 @@ void RepairResize(LiveState* s, InputId id, InputSize new_size,
     }
   }
   PruneUseless(s, evicted_from, churn);
-  std::unordered_set<InputId> uncovered;
+  PartnerSet uncovered(*s);
   for (InputId j : s->alive_ids) {
     if (j != id && s->IsPartner(id, j) && s->CoverCount(id, j) == 0) {
-      uncovered.insert(j);
+      uncovered.Insert(*s, j);
     }
   }
   CoverStar(s, id, &uncovered, churn);

@@ -37,9 +37,18 @@
 #include "core/instance.h"
 #include "core/schema.h"
 #include "online/coverage.h"
+#include "online/moves.h"
 #include "online/trace.h"
 
 namespace msp::online {
+
+/// Backend of CoverStar's uncovered-partner set (the add/regrow hot
+/// path). The bitmap over alive ranks is the fast default: membership
+/// is one array read instead of a hash probe, and the dominant loop
+/// (counting uncovered partners per candidate reducer) touches one
+/// byte per member. The unordered_set baseline is kept for benchmarks
+/// (`bench_o1_online` add-path row) and differential tests.
+enum class PartnerSetBackend : uint8_t { kBitmap = 0, kHashSet = 1 };
 
 /// Exact churn ledger. `inputs_moved`/`bytes_moved` count copies newly
 /// placed into a reducer (data that must be shipped to it);
@@ -82,6 +91,21 @@ struct LiveState {
   std::vector<uint32_t> alive_pos;  // parallel to sizes; kNoPos = dead
   std::vector<Reducer> reducers;  // member lists, sorted ascending
   std::vector<InputSize> loads;   // parallel to reducers
+  /// Stable reducer identities, parallel to `reducers`. Assigned at
+  /// creation and never reused; compaction moves them in lockstep, and
+  /// a re-plan deployed via the min-move delta carries matched
+  /// reducers' uids across (unmatched fresh reducers get new uids).
+  /// This is what makes consecutive schemas diffable: vector indices
+  /// shift, uids do not.
+  std::vector<uint64_t> reducer_uids;
+  uint64_t next_reducer_uid = 0;
+  /// CoverStar's uncovered-partner backend (see PartnerSetBackend).
+  PartnerSetBackend partner_set = PartnerSetBackend::kBitmap;
+  /// Optional re-shuffle recorder (not owned, may be null). When set,
+  /// every copy placed or deleted is appended as a ReshuffleOp the
+  /// moment the churn ledger counts it, so the plan is the ledger's
+  /// exact itemization. The cluster simulator attaches one per step.
+  ReshufflePlan* move_log = nullptr;
   /// Pair-coverage counts: (a, b) -> number of reducers where a and b
   /// currently meet. Dense triangular array over alive ranks by
   /// default; see coverage.h for the layout and the hash baseline.
@@ -138,10 +162,20 @@ struct LiveState {
 
   /// Rebuilds reducers/loads/cover from `schema` (used after a full
   /// re-plan). Members are re-sorted; loads and coverage recomputed.
+  /// Every reducer gets a fresh uid (full redeploy semantics).
   void ResetSchema(const MappingSchema& schema);
 
+  /// As ResetSchema, but with caller-chosen uids (parallel to
+  /// `schema.reducers`): the min-move deploy path keeps matched
+  /// reducers' identities. `next_reducer_uid` must already be past
+  /// every supplied uid.
+  void ResetSchemaWithUids(const MappingSchema& schema,
+                           std::vector<uint64_t> uids);
+
   /// Recomputes loads and pair coverage from the current reducers
-  /// (snapshot restore path; ResetSchema = assign + rebuild).
+  /// (snapshot restore path; ResetSchema = assign + rebuild). When the
+  /// uid vector does not match the reducer count (restore writes
+  /// reducers directly), every reducer is assigned a fresh uid.
   void RebuildDerived();
 };
 

@@ -50,6 +50,10 @@ UpdateTrace GenerateTrace(const TraceConfig& config) {
   MSP_CHECK_LE(config.lo, config.capacity / 2)
       << "trace capacity must fit a pair of lo-sized inputs";
   MSP_CHECK_GE(config.max_retune_factor, 1.0);
+  MSP_CHECK_GT(config.burst_every, 0u);
+  MSP_CHECK_GT(config.burst_size, 0u);
+  MSP_CHECK_GT(config.osc_period, 0u);
+  MSP_CHECK_GE(config.osc_factor, 1.0);
 
   Rng rng(config.seed);
   UpdateTrace trace;
@@ -92,12 +96,23 @@ UpdateTrace GenerateTrace(const TraceConfig& config) {
 
   const double total = config.p_add + config.p_remove + config.p_resize;
   MSP_CHECK_LE(total, 1.0 + 1e-9);
-  for (std::size_t step = 0; step < config.steps; ++step) {
-    const double roll = rng.UniformDouble();
+
+  // One event of the regular mix. Shapes that own the capacity channel
+  // (flash crowd never retunes; oscillation retunes on its own clock)
+  // rescale the roll so the retune branch is unreachable.
+  const auto emit_mixed = [&](bool allow_retune) {
+    if (!allow_retune && total <= 0.0) {
+      // Degenerate mix (all probabilities zero) with the retune
+      // channel closed: arrivals are the only event left.
+      emit_add(config.x2y && rng.Bernoulli(0.5) ? Side::kY : Side::kX);
+      return;
+    }
+    const double roll = allow_retune ? rng.UniformDouble()
+                                     : rng.UniformDouble() * total;
     if (roll < config.p_add || alive.ids.empty()) {
       const Side side = config.x2y && rng.Bernoulli(0.5) ? Side::kY : Side::kX;
       emit_add(side);
-      continue;
+      return;
     }
     if (roll < config.p_add + config.p_remove) {
       // Departure; keep at least min_alive inputs per side.
@@ -107,20 +122,20 @@ UpdateTrace GenerateTrace(const TraceConfig& config) {
           config.x2y ? alive.CountSide(side) : alive.ids.size();
       if (side_count <= config.min_alive) {
         emit_add(side);  // too thin to shrink: arrival instead
-        continue;
+        return;
       }
       trace.updates.push_back(Update::Remove(alive.ids[pick]));
       alive.ids.erase(alive.ids.begin() + pick);
       alive.sizes.erase(alive.sizes.begin() + pick);
       alive.sides.erase(alive.sides.begin() + pick);
-      continue;
+      return;
     }
     if (roll < total) {
       const std::size_t pick = rng.UniformInt(alive.ids.size());
       const InputSize size = draw_size();
       trace.updates.push_back(Update::Resize(alive.ids[pick], size));
       alive.sizes[pick] = size;
-      continue;
+      return;
     }
     // Capacity retune: stay within the configured band of the initial
     // capacity and never below twice the largest alive size (so the
@@ -140,10 +155,69 @@ UpdateTrace GenerateTrace(const TraceConfig& config) {
                                                alive.MaxSize(), config.lo));
     if (new_q == q) {
       emit_add(config.x2y && rng.Bernoulli(0.5) ? Side::kY : Side::kX);
-      continue;
+      return;
     }
     trace.updates.push_back(Update::SetCapacity(new_q));
     q = new_q;
+  };
+
+  // One near-q/2 arrival: the crowd's inputs pair at most one-per-
+  // reducer, so every burst forces a reducer-count spike.
+  const auto emit_burst_add = [&]() {
+    const InputSize high = std::max<InputSize>(config.lo, q / 2);
+    const InputSize low =
+        std::min(high, std::max<InputSize>(config.lo, 2 * (q / 5)));
+    Update u = Update::Add(
+        low + rng.UniformInt(static_cast<std::size_t>(high - low + 1)),
+        config.x2y && rng.Bernoulli(0.5) ? Side::kY : Side::kX);
+    trace.updates.push_back(u);
+    alive.ids.push_back(next_id++);
+    alive.sizes.push_back(u.value);
+    alive.sides.push_back(u.side);
+  };
+
+  switch (config.shape) {
+    case TraceShape::kMixed:
+      for (std::size_t step = 0; step < config.steps; ++step) {
+        emit_mixed(/*allow_retune=*/true);
+      }
+      break;
+    case TraceShape::kFlashCrowd:
+      for (std::size_t step = 0; step < config.steps;) {
+        if (step % config.burst_every == 0) {
+          for (std::size_t i = 0;
+               i < config.burst_size && step < config.steps; ++i, ++step) {
+            emit_burst_add();
+          }
+          continue;
+        }
+        emit_mixed(/*allow_retune=*/false);
+        ++step;
+      }
+      break;
+    case TraceShape::kCapacityOscillation:
+      for (std::size_t step = 0; step < config.steps; ++step) {
+        if (step > 0 && step % config.osc_period == 0) {
+          const bool shrink = (step / config.osc_period) % 2 == 1;
+          InputSize new_q = config.capacity;
+          if (shrink) {
+            new_q = static_cast<InputSize>(std::llround(
+                static_cast<double>(config.capacity) / config.osc_factor));
+          }
+          new_q = std::max<InputSize>(
+              new_q, 2 * std::max<InputSize>(alive.MaxSize(), config.lo));
+          new_q = std::min<InputSize>(new_q, online::kMaxCapacity);
+          if (new_q != q) {
+            trace.updates.push_back(Update::SetCapacity(new_q));
+            q = new_q;
+            continue;
+          }
+          // Clamped into a no-op swing: fall through to a mixed event
+          // so the step count still advances the trace.
+        }
+        emit_mixed(/*allow_retune=*/false);
+      }
+      break;
   }
   return trace;
 }

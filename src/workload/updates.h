@@ -25,6 +25,26 @@
 
 namespace msp::wl {
 
+/// Shape of the generated stream.
+enum class TraceShape : uint8_t {
+  /// The original seeded mix of arrivals/departures/resizes/retunes.
+  kMixed = 0,
+  /// Flash crowds: every `burst_every` steps a burst of `burst_size`
+  /// arrivals sized near q/2 (uniform in [2q/5, q/2]) slams the
+  /// assigner — the worst case for pair coverage, since near-half-
+  /// capacity inputs pair only one-per-reducer. Between bursts the
+  /// regular mix (without capacity retunes) drains and churns the
+  /// crowd.
+  kFlashCrowd = 1,
+  /// Capacity oscillation: every `osc_period` steps q swings between
+  /// the configured capacity and capacity / osc_factor (clamped so
+  /// every alive pair stays feasible). Shrinks force eviction storms,
+  /// growths leave fragmentation — the repair engine's retune paths
+  /// under sustained stress. The regular mix (without its own random
+  /// retunes) runs between swings.
+  kCapacityOscillation = 2,
+};
+
 /// Configuration of one generated update trace.
 struct TraceConfig {
   bool x2y = false;
@@ -51,6 +71,18 @@ struct TraceConfig {
   /// below twice the largest alive size).
   double max_retune_factor = 1.5;
   uint64_t seed = 1;
+
+  /// Stream shape; the fields below only apply to their shape.
+  TraceShape shape = TraceShape::kMixed;
+  /// kFlashCrowd: a burst fires once every `burst_every` steps (the
+  /// burst's adds count toward `steps`), `burst_size` arrivals each.
+  std::size_t burst_every = 40;
+  std::size_t burst_size = 12;
+  /// kCapacityOscillation: q swings every `osc_period` steps between
+  /// `capacity` and max(capacity / osc_factor, twice the largest
+  /// alive size). Must be > 1.0 to oscillate at all.
+  std::size_t osc_period = 25;
+  double osc_factor = 2.0;
 };
 
 /// Generates a feasible, deterministic update trace.

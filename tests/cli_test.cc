@@ -543,6 +543,109 @@ TEST(CommandsTest, OnlineCoverageAndBatchFlags) {
   std::remove(trace_path.c_str());
 }
 
+TEST(CommandsTest, SimulateReconcilesPredictedAndExecuted) {
+  // gen-trace -> simulate through a real file, for both shapes.
+  for (const char* kind : {"a2a", "x2y"}) {
+    const CommandResult trace = RunCli(
+        {"gen-trace", "--kind", kind, "--initial=12", "--steps=60",
+         "--q=80", "--seed=5"});
+    ASSERT_EQ(trace.code, 0) << trace.err;
+    const std::string trace_path = TempPath(std::string("sim.") + kind +
+                                            ".trace");
+    WriteFile(trace_path, trace.out);
+    const CommandResult run =
+        RunCli({"simulate", "--trace", trace_path.c_str(), "--shards=2",
+                "--batch=4"});
+    EXPECT_EQ(run.code, 0) << run.err;
+    EXPECT_NE(run.out.find("simulated steps"), std::string::npos);
+    EXPECT_NE(run.err.find("re-shuffled bytes"), std::string::npos);
+    EXPECT_NE(run.err.find("reconciled=yes"), std::string::npos);
+    EXPECT_NE(run.err.find("valid=yes"), std::string::npos);
+    EXPECT_EQ(run.err.find("| NO"), std::string::npos);
+    std::remove(trace_path.c_str());
+  }
+}
+
+TEST(CommandsTest, SimulateAdversarialShapes) {
+  for (const char* shape : {"flash-crowd", "capacity-oscillation"}) {
+    const CommandResult trace =
+        RunCli({"gen-trace", "--kind=a2a", "--shape", shape,
+                "--initial=10", "--steps=60", "--q=60", "--seed=3"});
+    ASSERT_EQ(trace.code, 0) << trace.err;
+    const std::string trace_path = TempPath(std::string("sim.") + shape +
+                                            ".trace");
+    WriteFile(trace_path, trace.out);
+    const CommandResult run =
+        RunCli({"simulate", "--trace", trace_path.c_str()});
+    EXPECT_EQ(run.code, 0) << shape << ": " << run.err;
+    EXPECT_NE(run.err.find("reconciled=yes"), std::string::npos) << shape;
+    std::remove(trace_path.c_str());
+  }
+  EXPECT_EQ(RunCli({"gen-trace", "--shape=diagonal"}).code, 2);
+}
+
+TEST(CommandsTest, SimulateCsvGoldenSmoke) {
+  const CommandResult trace =
+      RunCli({"gen-trace", "--kind=a2a", "--initial=8", "--steps=30",
+              "--q=60", "--seed=13"});
+  ASSERT_EQ(trace.code, 0) << trace.err;
+  const std::string trace_path = TempPath("sim_csv.trace");
+  const std::string csv_path = TempPath("sim_csv.csv");
+  WriteFile(trace_path, trace.out);
+  const CommandResult run = RunCli(
+      {"simulate", "--trace", trace_path.c_str(), "--csv",
+       csv_path.c_str()});
+  ASSERT_EQ(run.code, 0) << run.err;
+  std::ifstream csv(csv_path);
+  ASSERT_TRUE(csv.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(csv, line));
+  EXPECT_EQ(line,
+            "step,kind,applied,replanned,predicted_bytes,executed_bytes,"
+            "predicted_moves,executed_records,predicted_drops,"
+            "executed_drops,reducers,max_load,reconciled,placement_ok");
+  std::size_t rows = 0;
+  ASSERT_TRUE(std::getline(csv, line));
+  EXPECT_EQ(line.rfind("1,add,1,", 0), 0u) << line;
+  ++rows;
+  while (std::getline(csv, line)) ++rows;
+  // One row per trace event (8 initial adds + 30 steps), no trailing
+  // checkpoint in unbatched mode.
+  EXPECT_EQ(rows, 38u);
+  std::remove(trace_path.c_str());
+  std::remove(csv_path.c_str());
+}
+
+TEST(CommandsTest, SimulateRejectsBadInvocations) {
+  EXPECT_EQ(RunCli({"simulate"}).code, 2);  // --trace required
+  EXPECT_EQ(RunCli({"simulate", "--trace=/nonexistent.trace"}).code, 2);
+  const std::string trace_path = TempPath("sim_bad.trace");
+  WriteFile(trace_path, "not a trace\n");
+  EXPECT_EQ(RunCli({"simulate", "--trace", trace_path.c_str()}).code, 2);
+  const CommandResult trace = RunCli(
+      {"gen-trace", "--kind=a2a", "--initial=6", "--steps=5", "--q=40"});
+  ASSERT_EQ(trace.code, 0);
+  WriteFile(trace_path, trace.out);
+  EXPECT_EQ(RunCli({"simulate", "--trace", trace_path.c_str(),
+                    "--policy=voodoo"})
+                .code,
+            2);
+  EXPECT_EQ(RunCli({"simulate", "--trace", trace_path.c_str(),
+                    "--shards=0"})
+                .code,
+            2);
+  EXPECT_EQ(RunCli({"simulate", "--trace", trace_path.c_str(),
+                    "--shards=-1"})
+                .code,
+            2);
+  // Misspelled flags are rejected, not silently defaulted.
+  EXPECT_EQ(RunCli({"simulate", "--trace", trace_path.c_str(),
+                    "--shard=2"})
+                .code,
+            2);
+  std::remove(trace_path.c_str());
+}
+
 TEST(CommandsTest, OnlineReplayStaysInSyncPastRejectedAdds) {
   // The 9-input is rejected (5 + 9 > q = 10), so trace id 1 never gets
   // a live id; `remove 1` must be skipped — not silently applied to

@@ -117,5 +117,73 @@ TEST(MinMoveDeltaTest, AggregateConservationOnRandomSchemas) {
   }
 }
 
+TEST(MinMoveDeltaTest, DetailMatchedReducersKeepRetainedCopies) {
+  const std::vector<InputSize> sizes{5, 7, 9, 11};
+  const MappingSchema from = Make({{0, 1}, {2, 3}});
+  const MappingSchema to = Make({{0, 1, 2}, {3}});
+  DeltaDetail detail;
+  const DeltaStats delta = MinMoveDelta(sizes, from, to, &detail);
+  EXPECT_EQ(delta.inputs_moved, 1u);
+  EXPECT_EQ(delta.bytes_moved, 9u);
+  EXPECT_EQ(delta.inputs_dropped, 1u);
+  ASSERT_EQ(detail.matched_from.size(), 2u);
+  EXPECT_EQ(detail.matched_from[0], 0u);
+  EXPECT_EQ(detail.matched_from[1], 1u);
+  // Only the copy of input 2 moves (into to-reducer 0, out of from-
+  // reducer 1); the retained copies appear in neither list.
+  ASSERT_EQ(detail.ships.size(), 1u);
+  EXPECT_EQ(detail.ships[0], (std::pair<uint32_t, InputId>{0, 2}));
+  ASSERT_EQ(detail.drops.size(), 1u);
+  EXPECT_EQ(detail.drops[0], (std::pair<uint32_t, InputId>{1, 2}));
+}
+
+// The detail is the stats' exact itemization on randomized schema
+// pairs: ships sum to bytes_moved/inputs_moved, drops to
+// inputs_dropped, and the matching is injective.
+TEST(MinMoveDeltaTest, DetailItemizesExactlyTheStats) {
+  Rng rng(77);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<InputSize> sizes;
+    for (int i = 0; i < 12; ++i) {
+      sizes.push_back(1 + rng.UniformInt(40));
+    }
+    const auto random_schema = [&]() {
+      MappingSchema schema;
+      const std::size_t reducers = 1 + rng.UniformInt(6);
+      for (std::size_t r = 0; r < reducers; ++r) {
+        Reducer reducer;
+        for (InputId id = 0; id < sizes.size(); ++id) {
+          if (rng.Bernoulli(0.3)) reducer.push_back(id);
+        }
+        if (!reducer.empty()) schema.reducers.push_back(std::move(reducer));
+      }
+      return schema;
+    };
+    const MappingSchema from = random_schema();
+    const MappingSchema to = random_schema();
+    DeltaDetail detail;
+    const DeltaStats delta = MinMoveDelta(sizes, from, to, &detail);
+
+    EXPECT_EQ(detail.ships.size(), delta.inputs_moved);
+    EXPECT_EQ(detail.drops.size(), delta.inputs_dropped);
+    uint64_t ship_bytes = 0;
+    for (const auto& [t, id] : detail.ships) {
+      ASSERT_LT(t, to.num_reducers());
+      ship_bytes += sizes[id];
+    }
+    EXPECT_EQ(ship_bytes, delta.bytes_moved);
+    std::vector<bool> taken(from.num_reducers(), false);
+    uint64_t matched = 0;
+    for (uint32_t f : detail.matched_from) {
+      if (f == DeltaDetail::kUnmatched) continue;
+      ASSERT_LT(f, from.num_reducers());
+      EXPECT_FALSE(taken[f]) << "matching must be injective";
+      taken[f] = true;
+      ++matched;
+    }
+    EXPECT_EQ(matched, delta.reducers_matched);
+  }
+}
+
 }  // namespace
 }  // namespace msp::online

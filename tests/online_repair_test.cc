@@ -12,6 +12,7 @@
 #include "gtest/gtest.h"
 #include "online/assigner.h"
 #include "online/policy.h"
+#include "workload/updates.h"
 
 namespace msp::online {
 namespace {
@@ -250,6 +251,66 @@ TEST(OnlineRepairTest, DriftPolicyEscalatesToReplan) {
   const QualitySnapshot quality = assigner.Quality();
   ASSERT_TRUE(quality.bounds_available);
   EXPECT_GE(quality.live_reducers, 1u);
+}
+
+TEST(OnlineRepairTest, PartnerSetBackendConfigIsPlumbed) {
+  OnlineConfig config = NeverReplanConfig(100);
+  config.partner_set = PartnerSetBackend::kHashSet;
+  const OnlineAssigner assigner(config);
+  EXPECT_EQ(assigner.live_state().partner_set, PartnerSetBackend::kHashSet);
+  EXPECT_EQ(OnlineAssigner(NeverReplanConfig(100)).live_state().partner_set,
+            PartnerSetBackend::kBitmap);
+}
+
+// The CoverStar bitmap refactor must be behavior-invisible: on every
+// trace shape (including the adversarial ones, whose bursts and
+// retune storms are CoverStar-heavy), the bitmap and the legacy
+// unordered_set backend produce the identical schema stream and churn
+// ledger.
+TEST(OnlineRepairTest, PartnerSetBackendsAgreeOnEveryShape) {
+  const struct {
+    wl::TraceShape shape;
+    bool x2y;
+    uint64_t seed;
+  } shapes[] = {
+      {wl::TraceShape::kMixed, false, 51},
+      {wl::TraceShape::kMixed, true, 52},
+      {wl::TraceShape::kFlashCrowd, false, 53},
+      {wl::TraceShape::kCapacityOscillation, false, 54},
+  };
+  for (const auto& entry : shapes) {
+    wl::TraceConfig trace_config;
+    trace_config.shape = entry.shape;
+    trace_config.x2y = entry.x2y;
+    trace_config.initial_inputs = 20;
+    trace_config.steps = 160;
+    trace_config.seed = entry.seed;
+    const auto trace = wl::GenerateTrace(trace_config);
+
+    OnlineConfig config = NeverReplanConfig(trace.initial_capacity,
+                                            entry.x2y);
+    config.partner_set = PartnerSetBackend::kBitmap;
+    OnlineAssigner bitmap(config);
+    config.partner_set = PartnerSetBackend::kHashSet;
+    OnlineAssigner hashset(config);
+    std::size_t step = 0;
+    for (const Update& update : trace.updates) {
+      ++step;
+      ASSERT_TRUE(bitmap.Apply(update).applied);
+      ASSERT_TRUE(hashset.Apply(update).applied);
+      if (step % 10 == 0) {
+        ASSERT_EQ(bitmap.Schema().reducers, hashset.Schema().reducers)
+            << "backends diverged at step " << step;
+      }
+    }
+    EXPECT_EQ(bitmap.Schema().reducers, hashset.Schema().reducers);
+    EXPECT_EQ(bitmap.totals().churn.inputs_moved,
+              hashset.totals().churn.inputs_moved);
+    EXPECT_EQ(bitmap.totals().churn.bytes_moved,
+              hashset.totals().churn.bytes_moved);
+    std::string error;
+    ASSERT_TRUE(bitmap.ValidateNow(&error)) << error;
+  }
 }
 
 }  // namespace

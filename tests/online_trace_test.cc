@@ -63,8 +63,9 @@ OnlineConfig ReplanEveryUpdateConfig(bool x2y, InputSize capacity) {
   return config;
 }
 
-void RunDifferentialTrace(bool x2y, uint64_t seed) {
-  const UpdateTrace trace = wl::GenerateTrace(BaseTraceConfig(x2y, seed));
+void RunDifferentialTraceConfig(const wl::TraceConfig& config) {
+  const bool x2y = config.x2y;
+  const UpdateTrace trace = wl::GenerateTrace(config);
   ASSERT_GE(trace.updates.size(), 200u + 30u);
 
   OnlineAssigner incremental(
@@ -116,6 +117,10 @@ void RunDifferentialTrace(bool x2y, uint64_t seed) {
   EXPECT_EQ(base_totals.rejected, 0u);
 }
 
+void RunDifferentialTrace(bool x2y, uint64_t seed) {
+  RunDifferentialTraceConfig(BaseTraceConfig(x2y, seed));
+}
+
 TEST(OnlineTraceTest, DifferentialA2A) { RunDifferentialTrace(false, 11); }
 
 TEST(OnlineTraceTest, DifferentialA2ASecondSeed) {
@@ -126,6 +131,125 @@ TEST(OnlineTraceTest, DifferentialX2Y) { RunDifferentialTrace(true, 12); }
 
 TEST(OnlineTraceTest, DifferentialX2YSecondSeed) {
   RunDifferentialTrace(true, 29);
+}
+
+// The adversarial shapes join the differential matrix: validity after
+// every step, churn strictly below replan-every, bounded drift.
+TEST(OnlineTraceTest, DifferentialFlashCrowdA2A) {
+  wl::TraceConfig config = BaseTraceConfig(false, 41);
+  config.shape = wl::TraceShape::kFlashCrowd;
+  RunDifferentialTraceConfig(config);
+}
+
+TEST(OnlineTraceTest, DifferentialFlashCrowdX2Y) {
+  wl::TraceConfig config = BaseTraceConfig(true, 42);
+  config.shape = wl::TraceShape::kFlashCrowd;
+  RunDifferentialTraceConfig(config);
+}
+
+TEST(OnlineTraceTest, DifferentialCapacityOscillationA2A) {
+  wl::TraceConfig config = BaseTraceConfig(false, 43);
+  config.shape = wl::TraceShape::kCapacityOscillation;
+  RunDifferentialTraceConfig(config);
+}
+
+TEST(OnlineTraceTest, DifferentialCapacityOscillationX2Y) {
+  wl::TraceConfig config = BaseTraceConfig(true, 44);
+  config.shape = wl::TraceShape::kCapacityOscillation;
+  RunDifferentialTraceConfig(config);
+}
+
+wl::TraceConfig AdversarialStatsConfig(wl::TraceShape shape) {
+  wl::TraceConfig config;
+  config.shape = shape;
+  config.initial_inputs = 20;
+  config.steps = 200;
+  config.capacity = 100;
+  config.lo = 2;
+  config.hi = 20;  // regular arrivals stay well below the q/2 bursts
+  config.seed = 61;
+  return config;
+}
+
+TEST(AdversarialTraceTest, FlashCrowdShapeStatisticsMatchSpec) {
+  wl::TraceConfig config = AdversarialStatsConfig(
+      wl::TraceShape::kFlashCrowd);
+  config.burst_every = 40;
+  config.burst_size = 12;
+  const UpdateTrace trace = wl::GenerateTrace(config);
+  // Bursts fire at steps 0, 40, 80, 120, 160: five full bursts of
+  // near-q/2 arrivals. Regular arrivals draw at most hi = 20, so the
+  // crowd is exactly the adds at 2q/5 and above.
+  uint64_t crowd = 0;
+  for (const Update& u : trace.updates) {
+    EXPECT_NE(u.kind, UpdateKind::kSetCapacity)
+        << "flash-crowd traces never retune";
+    if (u.kind == UpdateKind::kAddInput && u.value >= 40) {
+      ++crowd;
+      EXPECT_LE(u.value, 50u) << "burst arrivals stay pairable";
+    }
+  }
+  EXPECT_EQ(crowd, 5u * 12u);
+}
+
+TEST(AdversarialTraceTest, CapacityOscillationStatisticsMatchSpec) {
+  wl::TraceConfig config = AdversarialStatsConfig(
+      wl::TraceShape::kCapacityOscillation);
+  config.osc_period = 25;
+  config.osc_factor = 2.0;
+  const UpdateTrace trace = wl::GenerateTrace(config);
+  // Swings at steps 25, 50, ..., 175: seven retunes, alternating
+  // shrink to q/2 (sizes stay <= 20, so the clamp never lifts it) and
+  // grow back to q.
+  std::vector<InputSize> swings;
+  for (const Update& u : trace.updates) {
+    if (u.kind == UpdateKind::kSetCapacity) swings.push_back(u.value);
+  }
+  ASSERT_EQ(swings.size(), 7u);
+  for (std::size_t i = 0; i < swings.size(); ++i) {
+    EXPECT_EQ(swings[i], i % 2 == 0 ? 50u : 100u) << "swing " << i;
+  }
+}
+
+TEST(AdversarialTraceTest, AdversarialTracesAreDeterministicAndRoundTrip) {
+  for (const wl::TraceShape shape :
+       {wl::TraceShape::kFlashCrowd, wl::TraceShape::kCapacityOscillation}) {
+    const wl::TraceConfig config = AdversarialStatsConfig(shape);
+    const UpdateTrace trace = wl::GenerateTrace(config);
+    EXPECT_EQ(wl::GenerateTrace(config), trace);
+    std::string error;
+    const auto parsed = TraceFromText(TraceToText(trace), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(*parsed, trace);
+    wl::TraceConfig reseeded = config;
+    reseeded.seed = config.seed + 1;
+    EXPECT_NE(wl::GenerateTrace(reseeded), trace);
+  }
+}
+
+// Feasibility by construction: an assigner replaying an adversarial
+// trace rejects nothing and ends oracle-valid, for both problem
+// shapes.
+TEST(AdversarialTraceTest, AdversarialTracesAreFeasible) {
+  for (const wl::TraceShape shape :
+       {wl::TraceShape::kFlashCrowd, wl::TraceShape::kCapacityOscillation}) {
+    for (const bool x2y : {false, true}) {
+      wl::TraceConfig config = AdversarialStatsConfig(shape);
+      config.x2y = x2y;
+      const UpdateTrace trace = wl::GenerateTrace(config);
+      OnlineConfig online_config;
+      online_config.x2y = x2y;
+      online_config.capacity = trace.initial_capacity;
+      online_config.policy_spec.name = "never";
+      OnlineAssigner assigner(online_config);
+      for (const Update& update : trace.updates) {
+        ASSERT_TRUE(assigner.Apply(update).applied);
+      }
+      EXPECT_EQ(assigner.totals().rejected, 0u);
+      std::string error;
+      EXPECT_TRUE(assigner.ValidateNow(&error)) << error;
+    }
+  }
 }
 
 // The triangular-array coverage refactor must be behavior-invisible:

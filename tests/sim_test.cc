@@ -1,0 +1,367 @@
+// Differential tests for the cluster simulator (src/sim).
+//
+// The acceptance bar of the simulator: replaying >= 200 randomized
+// update steps per trace shape (the mixed A2A/X2Y streams plus the
+// flash-crowd and capacity-oscillation adversarial shapes),
+//  (1) the bytes the MapReduce engine actually re-shuffles executing
+//      each step's plan equal the assigner's predicted churn bytes
+//      *exactly*, per step and cumulatively (same for shipped copies
+//      and drops),
+//  (2) the placement reached by executing every plan equals the live
+//      schema reducer for reducer, and every intermediate partition
+//      passes the engine-side oracle (all required pairs co-located,
+//      no reducer past capacity),
+//  (3) replay is deterministic for a fixed seed.
+
+#include <cstdint>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "online/assigner.h"
+#include "online/moves.h"
+#include "online/trace.h"
+#include "sim/cluster.h"
+#include "sim/simulator.h"
+#include "workload/updates.h"
+
+namespace msp::sim {
+namespace {
+
+using online::Update;
+
+wl::TraceConfig ShapeConfig(wl::TraceShape shape, bool x2y, uint64_t seed) {
+  wl::TraceConfig config;
+  config.shape = shape;
+  config.x2y = x2y;
+  config.initial_inputs = 24;
+  config.steps = 220;  // >= 200 randomized steps after the initial adds
+  config.capacity = 100;
+  config.lo = 2;
+  config.hi = 30;
+  config.seed = seed;
+  return config;
+}
+
+SimConfig BaseSimConfig(const online::UpdateTrace& trace) {
+  SimConfig config;
+  config.online.x2y = trace.x2y;
+  config.online.capacity = trace.initial_capacity;
+  config.online.plan_options.use_portfolio = false;
+  config.oracle_every = 1;  // every intermediate partition engine-checked
+  return config;
+}
+
+// Replays `trace` and enforces the exact per-step and cumulative
+// predicted == executed reconciliation.
+void RunDifferential(const online::UpdateTrace& trace,
+                     const SimConfig& config) {
+  ClusterSimulator simulator(config);
+  EXPECT_TRUE(simulator.ReplayTrace(trace))
+      << simulator.report().first_error;
+  const SimReport& report = simulator.report();
+  ASSERT_GE(report.steps.size(), 200u);
+  for (const StepRecord& step : report.steps) {
+    ASSERT_TRUE(step.reconciled)
+        << "step " << step.step << ": executed "
+        << step.executed_shipped_bytes << " bytes != predicted "
+        << step.predicted_moved_bytes;
+    ASSERT_TRUE(step.placement_ok) << "step " << step.step;
+    ASSERT_EQ(step.executed_shipped_records, step.predicted_moved_inputs);
+    ASSERT_EQ(step.executed_dropped_records, step.predicted_dropped_inputs);
+  }
+  EXPECT_EQ(report.executed_bytes, report.predicted_bytes);
+  EXPECT_EQ(report.executed_records, report.predicted_inputs);
+  EXPECT_EQ(report.executed_drops, report.predicted_drops);
+  EXPECT_EQ(report.mismatched_steps, 0u);
+  EXPECT_EQ(report.placement_failures, 0u);
+  EXPECT_EQ(report.oracle_failures, 0u);
+  EXPECT_GT(report.oracle_checks, 200u);
+  EXPECT_GT(report.executed_bytes, 0u) << "trace moved nothing";
+  // The cumulative executed bytes must also match the assigner's own
+  // lifetime ledger (nothing slipped between the two accountings).
+  EXPECT_EQ(simulator.assigner().totals().churn.bytes_moved,
+            report.executed_bytes);
+  std::string error;
+  EXPECT_TRUE(simulator.assigner().ValidateNow(&error)) << error;
+}
+
+TEST(SimDifferentialTest, MixedA2A) {
+  const auto trace =
+      wl::GenerateTrace(ShapeConfig(wl::TraceShape::kMixed, false, 11));
+  RunDifferential(trace, BaseSimConfig(trace));
+}
+
+TEST(SimDifferentialTest, MixedX2Y) {
+  const auto trace =
+      wl::GenerateTrace(ShapeConfig(wl::TraceShape::kMixed, true, 12));
+  RunDifferential(trace, BaseSimConfig(trace));
+}
+
+TEST(SimDifferentialTest, FlashCrowdA2A) {
+  const auto trace =
+      wl::GenerateTrace(ShapeConfig(wl::TraceShape::kFlashCrowd, false, 13));
+  RunDifferential(trace, BaseSimConfig(trace));
+}
+
+TEST(SimDifferentialTest, FlashCrowdX2Y) {
+  const auto trace =
+      wl::GenerateTrace(ShapeConfig(wl::TraceShape::kFlashCrowd, true, 14));
+  RunDifferential(trace, BaseSimConfig(trace));
+}
+
+TEST(SimDifferentialTest, CapacityOscillationA2A) {
+  const auto trace = wl::GenerateTrace(
+      ShapeConfig(wl::TraceShape::kCapacityOscillation, false, 15));
+  RunDifferential(trace, BaseSimConfig(trace));
+}
+
+TEST(SimDifferentialTest, CapacityOscillationX2Y) {
+  const auto trace = wl::GenerateTrace(
+      ShapeConfig(wl::TraceShape::kCapacityOscillation, true, 16));
+  RunDifferential(trace, BaseSimConfig(trace));
+}
+
+// Escalation paths: a replan deployed through the min-move delta must
+// itemize into a plan whose engine execution pays exactly the delta's
+// bytes.
+TEST(SimDifferentialTest, ReplanEveryUpdateMinMoveDeploy) {
+  auto shape = ShapeConfig(wl::TraceShape::kMixed, false, 17);
+  shape.steps = 80;
+  const auto trace = wl::GenerateTrace(shape);
+  SimConfig config = BaseSimConfig(trace);
+  config.online.policy_spec.name = "always";
+  ClusterSimulator simulator(config);
+  EXPECT_TRUE(simulator.ReplayTrace(trace))
+      << simulator.report().first_error;
+  EXPECT_GT(simulator.assigner().totals().replans, 0u);
+  EXPECT_EQ(simulator.report().executed_bytes,
+            simulator.report().predicted_bytes);
+}
+
+// The full-reassignment baseline re-ships every copy of every fresh
+// schema; the executed bytes must still match that (much larger)
+// prediction exactly.
+TEST(SimDifferentialTest, FullReassignBaselineReconciles) {
+  auto shape = ShapeConfig(wl::TraceShape::kMixed, false, 18);
+  shape.steps = 50;
+  const auto trace = wl::GenerateTrace(shape);
+  SimConfig config = BaseSimConfig(trace);
+  config.online.policy_spec.name = "always";
+  config.online.full_reassign_on_replan = true;
+  ClusterSimulator simulator(config);
+  EXPECT_TRUE(simulator.ReplayTrace(trace))
+      << simulator.report().first_error;
+  EXPECT_EQ(simulator.report().executed_bytes,
+            simulator.report().predicted_bytes);
+  EXPECT_GT(simulator.report().executed_bytes, 0u);
+}
+
+// Batched policy windows (including the trailing partial window's
+// checkpoint) reconcile like single-update mode.
+TEST(SimDifferentialTest, BatchedWindowsReconcile) {
+  auto shape = ShapeConfig(wl::TraceShape::kMixed, false, 19);
+  shape.steps = 101;  // deliberately not a multiple of the window
+  const auto trace = wl::GenerateTrace(shape);
+  SimConfig config = BaseSimConfig(trace);
+  config.batch = 8;
+  ClusterSimulator simulator(config);
+  EXPECT_TRUE(simulator.ReplayTrace(trace))
+      << simulator.report().first_error;
+  const SimReport& report = simulator.report();
+  // The trailing checkpoint ran as its own reconciled step.
+  ASSERT_FALSE(report.steps.empty());
+  EXPECT_TRUE(report.steps.back().checkpoint);
+  EXPECT_TRUE(report.steps.back().reconciled);
+  EXPECT_EQ(report.executed_bytes, report.predicted_bytes);
+}
+
+TEST(SimDifferentialTest, ReplayIsDeterministicForAFixedSeed) {
+  const auto trace =
+      wl::GenerateTrace(ShapeConfig(wl::TraceShape::kFlashCrowd, false, 21));
+  const SimConfig config = BaseSimConfig(trace);
+  ClusterSimulator a(config);
+  ClusterSimulator b(config);
+  EXPECT_TRUE(a.ReplayTrace(trace));
+  EXPECT_TRUE(b.ReplayTrace(trace));
+  EXPECT_EQ(a.report(), b.report());
+}
+
+// Engine-parallelism ("shards") must not change any measured quantity,
+// only who does the work.
+TEST(SimDifferentialTest, ShardCountDoesNotChangeMeasurement) {
+  auto shape = ShapeConfig(wl::TraceShape::kMixed, false, 22);
+  shape.steps = 60;
+  const auto trace = wl::GenerateTrace(shape);
+  SimConfig config = BaseSimConfig(trace);
+  config.shards = 1;
+  ClusterSimulator one(config);
+  config.shards = 4;
+  ClusterSimulator four(config);
+  EXPECT_TRUE(one.ReplayTrace(trace));
+  EXPECT_TRUE(four.ReplayTrace(trace));
+  EXPECT_EQ(one.report(), four.report());
+}
+
+TEST(SimStepTest, RejectedUpdateMovesNothing) {
+  SimConfig config;
+  config.online.capacity = 100;
+  ClusterSimulator simulator(config);
+  ASSERT_TRUE(simulator.Step(Update::Add(40)).applied);
+  const StepRecord rejected = simulator.Step(Update::Add(90));  // 40+90 > q
+  EXPECT_FALSE(rejected.applied);
+  EXPECT_TRUE(rejected.reconciled);
+  EXPECT_TRUE(rejected.placement_ok);
+  EXPECT_EQ(rejected.executed_shipped_bytes, 0u);
+  EXPECT_EQ(simulator.report().rejected, 1u);
+}
+
+TEST(SimStepTest, StepRecordsEngineSideLoads) {
+  SimConfig config;
+  config.online.capacity = 100;
+  config.oracle_every = 1;
+  ClusterSimulator simulator(config);
+  ASSERT_TRUE(simulator.Step(Update::Add(30)).applied);
+  const StepRecord second = simulator.Step(Update::Add(40));
+  ASSERT_TRUE(second.applied);
+  // Two inputs, one reducer covering the pair: both copies shipped.
+  EXPECT_EQ(second.live_reducers, 1u);
+  EXPECT_EQ(second.max_reducer_load, 70u);
+  EXPECT_EQ(second.executed_shipped_bytes, 70u);
+  EXPECT_EQ(second.executed_shipped_records, 2u);
+  EXPECT_EQ(simulator.report().oracle_failures, 0u);
+  EXPECT_GT(simulator.report().oracle_checks, 0u);
+}
+
+// Replays with trace-id translation skip events that target rejected
+// adds, exactly like the CLI replay driver.
+TEST(SimStepTest, ReplaySkipsUntranslatableTraceIds) {
+  online::UpdateTrace trace;
+  trace.initial_capacity = 10;
+  trace.updates = {Update::Add(5), Update::Add(9),  // rejected: 5+9 > 10
+                   Update::Add(3), Update::Remove(1)};
+  SimConfig config;
+  config.online.capacity = trace.initial_capacity;
+  ClusterSimulator simulator(config);
+  EXPECT_TRUE(simulator.ReplayTrace(trace));
+  const SimReport& report = simulator.report();
+  EXPECT_EQ(report.rejected, 1u);
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_TRUE(report.steps.back().skipped);
+  EXPECT_EQ(simulator.assigner().num_inputs(), 2u);
+}
+
+// SimulatedCluster rejects inconsistent plans instead of corrupting
+// its placement.
+TEST(SimClusterTest, InconsistentPlansAreRejected) {
+  SimulatedCluster cluster(SimulatedCluster::Config{});
+  online::ReshufflePlan ship = {
+      {online::ReshuffleOp::Kind::kShip, 0, 7, 10}};
+  EXPECT_TRUE(cluster.Execute(ship).ok);
+  // Shipping the same copy to the same reducer again is a plan bug.
+  const SimulatedCluster::Outcome duplicate = cluster.Execute(ship);
+  EXPECT_FALSE(duplicate.ok);
+  EXPECT_NE(duplicate.error.find("already hosts"), std::string::npos);
+  // Dropping a copy that is not hosted is a plan bug.
+  online::ReshufflePlan bad_drop = {
+      {online::ReshuffleOp::Kind::kDrop, 3, 7, 10}};
+  const SimulatedCluster::Outcome missing = cluster.Execute(bad_drop);
+  EXPECT_FALSE(missing.ok);
+  EXPECT_NE(missing.error.find("does not host"), std::string::npos);
+}
+
+TEST(SimClusterTest, ExecuteMeasuresBytesThroughTheEngine) {
+  SimulatedCluster cluster(SimulatedCluster::Config{.workers = 2});
+  online::ReshufflePlan plan = {
+      {online::ReshuffleOp::Kind::kShip, 0, 1, 10},
+      {online::ReshuffleOp::Kind::kShip, 1, 1, 7},
+      {online::ReshuffleOp::Kind::kShip, 0, 2, 10},
+      {online::ReshuffleOp::Kind::kDrop, 1, 1, 7},
+  };
+  const SimulatedCluster::Outcome outcome = cluster.Execute(plan);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.shipped_records, 3u);
+  EXPECT_EQ(outcome.shipped_bytes, 27u);
+  EXPECT_EQ(outcome.dropped_records, 1u);
+  EXPECT_EQ(cluster.num_reducers(), 2u);
+}
+
+TEST(SimClusterTest, OversizedPayloadFailsGracefully) {
+  SimulatedCluster cluster(SimulatedCluster::Config{});
+  online::ReshufflePlan plan = {{online::ReshuffleOp::Kind::kShip, 0, 1,
+                                 kMaxSimPayloadBytes + 1}};
+  const SimulatedCluster::Outcome outcome = cluster.Execute(plan);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("too large"), std::string::npos);
+}
+
+// The placement comparison is an oracle of its own: drift it on
+// purpose and the mismatch must be reported.
+TEST(SimClusterTest, PlacementMismatchIsDetected) {
+  online::OnlineConfig online_config;
+  online_config.capacity = 100;
+  online::OnlineAssigner assigner(online_config);
+  online::ReshufflePlan plan;
+  assigner.SetMoveLog(&plan);
+  assigner.AddInput(30);
+  assigner.AddInput(40);
+  SimulatedCluster cluster(SimulatedCluster::Config{});
+  ASSERT_TRUE(cluster.Execute(plan).ok);
+  std::string error;
+  EXPECT_TRUE(cluster.MatchesLiveState(assigner.live_state(), &error))
+      << error;
+  // A move the cluster never executed must surface as a mismatch.
+  assigner.AddInput(20);
+  EXPECT_FALSE(cluster.MatchesLiveState(assigner.live_state(), &error));
+  assigner.SetMoveLog(nullptr);
+}
+
+TEST(SimClusterTest, OracleCheckCatchesUncoveredPair) {
+  online::OnlineConfig online_config;
+  online_config.capacity = 100;
+  online::OnlineAssigner assigner(online_config);
+  online::ReshufflePlan plan;
+  assigner.SetMoveLog(&plan);
+  assigner.AddInput(30);
+  assigner.AddInput(40);
+  assigner.AddInput(20);
+  SimulatedCluster cluster(SimulatedCluster::Config{});
+  ASSERT_TRUE(cluster.Execute(plan).ok);
+  std::string error;
+  EXPECT_TRUE(cluster.OracleCheck(assigner.live_state(), &error)) << error;
+  // Corrupt a copy of the live state: claim a pair is covered that the
+  // engine partition does not co-locate.
+  online::LiveState broken;
+  broken.x2y = false;
+  broken.capacity = 100;
+  broken.sizes = {30, 40, 20};
+  broken.sides = {online::Side::kX, online::Side::kX, online::Side::kX};
+  broken.alive = {true, true, true};
+  broken.alive_ids = {0, 1, 2};
+  broken.alive_pos = {0, 1, 2};
+  broken.reducers = {{0, 1}};  // pair (0,2) and (1,2) meet nowhere
+  broken.loads = {70};
+  broken.reducer_uids = {0};
+  EXPECT_FALSE(cluster.OracleCheck(broken, &error));
+  EXPECT_NE(error.find("meets at no engine reducer"), std::string::npos);
+  assigner.SetMoveLog(nullptr);
+}
+
+// CSV projection: one row per step, aligned with the header.
+TEST(SimReportTest, CsvRowsMatchHeader) {
+  auto shape = ShapeConfig(wl::TraceShape::kMixed, false, 23);
+  shape.initial_inputs = 6;
+  shape.steps = 20;
+  const auto trace = wl::GenerateTrace(shape);
+  SimConfig config = BaseSimConfig(trace);
+  config.oracle_every = 0;
+  ClusterSimulator simulator(config);
+  EXPECT_TRUE(simulator.ReplayTrace(trace));
+  const auto header = ClusterSimulator::CsvHeader();
+  for (const StepRecord& step : simulator.report().steps) {
+    EXPECT_EQ(ClusterSimulator::CsvRow(step).size(), header.size());
+  }
+  EXPECT_EQ(simulator.report().steps.size(), trace.updates.size());
+}
+
+}  // namespace
+}  // namespace msp::sim
