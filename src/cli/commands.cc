@@ -10,6 +10,8 @@
 
 #include "cli/sizes_io.h"
 #include "core/a2a.h"
+#include "durability/changelog.h"
+#include "durability/wal.h"
 #include "core/bounds.h"
 #include "core/improve.h"
 #include "core/instance.h"
@@ -26,6 +28,7 @@
 #include "serving/service.h"
 #include "sim/simulator.h"
 #include "util/csv_writer.h"
+#include "util/fs.h"
 #include "util/summary_stats.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -477,6 +480,11 @@ struct ReplayStats {
   std::vector<double> repair_us;  // per applied update, repair only
 };
 
+// Record key of the single-stream CLI changelog (`online --wal-out` /
+// `restore --wal`). The serving layer keys records by instance; the
+// CLI replays exactly one stream, so the key is a constant.
+constexpr char kCliStreamKey[] = "stream";
+
 // Replays trace.updates[cursor->next_event, end_event) through the
 // assigner. Trace ids number every `add` line in order, but the
 // assigner only issues ids to *applied* adds — after a rejected add
@@ -487,14 +495,23 @@ struct ReplayStats {
 // position is the assigner's own pending-update count, so a replay cut
 // mid-window (snapshot) resumes with identical policy timing. A
 // partial trailing window is checkpointed only when `final_checkpoint`
-// is set (end of the whole trace, not a snapshot cut). Returns false
-// when the oracle rejects an intermediate schema.
+// is set (end of the whole trace, not a snapshot cut). When `wal` is
+// non-null every processed event is appended to the changelog before
+// the next one runs (log-before-ack, mirroring the serving shards);
+// an append failure aborts the replay. Returns false when the oracle
+// rejects an intermediate schema or the changelog cannot be written.
 bool ReplayTraceRange(const online::UpdateTrace& trace,
                       std::size_t end_event, std::size_t batch,
                       uint64_t validate_every, bool final_checkpoint,
                       online::OnlineAssigner* assigner,
                       online::ReplayCursor* cursor, ReplayStats* stats,
-                      std::ostream& err) {
+                      durability::ChangelogWriter* wal, std::ostream& err) {
+  const auto wal_append = [&](const durability::LogRecord& record) {
+    std::string wal_error;
+    if (wal->Append(record, &wal_error)) return true;
+    err << "error: changelog append failed: " << wal_error << "\n";
+    return false;
+  };
   const std::size_t window = batch == 0 ? 1 : batch;
   online::TraceIdTranslator translator(&cursor->live_of_trace);
   while (cursor->next_event < end_event) {
@@ -505,6 +522,12 @@ bool ReplayTraceRange(const online::UpdateTrace& trace,
       ++stats->skipped;
       err << "warning: step " << step
           << " skipped: targets an unknown or rejected input\n";
+      if (wal != nullptr &&
+          !wal_append(durability::LogRecord::Event(
+              durability::RecordKind::kSkipped, kCliStreamKey,
+              cursor->next_event, update))) {
+        return false;
+      }
       continue;
     }
     Stopwatch watch;
@@ -513,10 +536,22 @@ bool ReplayTraceRange(const online::UpdateTrace& trace,
     if (update.kind == online::UpdateKind::kAddInput) {
       translator.RecordAdd(result.applied ? result.new_id : std::nullopt);
     }
+    if (wal != nullptr &&
+        !wal_append(durability::LogRecord::Event(
+            result.applied ? durability::RecordKind::kApplied
+                           : durability::RecordKind::kRejected,
+            kCliStreamKey, cursor->next_event, update))) {
+      return false;
+    }
     if (result.applied) {
       stats->repair_us.push_back(static_cast<double>(us));
       if (assigner->pending_decision_updates() >= window) {
         assigner->PolicyCheckpoint();
+        if (wal != nullptr &&
+            !wal_append(durability::LogRecord::Checkpoint(
+                kCliStreamKey, cursor->next_event))) {
+          return false;
+        }
       }
     } else {
       err << "warning: step " << step << " rejected: " << result.error
@@ -533,6 +568,11 @@ bool ReplayTraceRange(const online::UpdateTrace& trace,
   }
   if (final_checkpoint && assigner->pending_decision_updates() > 0) {
     assigner->PolicyCheckpoint();
+    if (wal != nullptr &&
+        !wal_append(durability::LogRecord::Checkpoint(kCliStreamKey,
+                                                      cursor->next_event))) {
+      return false;
+    }
   }
   return true;
 }
@@ -617,7 +657,9 @@ int PrintReplayReport(const online::OnlineAssigner& assigner,
 // report churn, repair-vs-replan counts, and live quality against the
 // lower bounds. Every intermediate schema is checked against the
 // validate oracle every --validate-every updates (0 disables);
-// --batch amortizes the policy over windows of updates.
+// --batch amortizes the policy over windows of updates. --wal-out
+// appends every processed event to a changelog file (epoch 1) that
+// `mspctl restore --wal` can replay past a snapshot cursor.
 int CmdOnline(const ArgParser& parser, std::ostream& out, std::ostream& err) {
   const auto trace = LoadTrace(parser.GetString("trace"), err);
   if (!trace.has_value()) return 2;
@@ -628,8 +670,10 @@ int CmdOnline(const ArgParser& parser, std::ostream& out, std::ostream& err) {
   const auto validate_every = parser.GetUint("validate-every", 1);
   const auto portfolio = parser.GetUint("portfolio", 0);
   const auto batch = parser.GetUint("batch", 0);
-  if (!validate_every || !portfolio || !batch) {
-    err << "error: bad --validate-every/--portfolio/--batch\n";
+  const auto fsync_every = parser.GetUint("fsync-every", 32);
+  if (!validate_every || !portfolio || !batch || !fsync_every) {
+    err << "error: bad --validate-every/--portfolio/--batch/"
+           "--fsync-every\n";
     return 2;
   }
 
@@ -640,14 +684,49 @@ int CmdOnline(const ArgParser& parser, std::ostream& out, std::ostream& err) {
   config.coverage = *coverage;
   config.plan_options.use_portfolio = *portfolio != 0;
 
+  std::unique_ptr<durability::ChangelogWriter> wal;
+  const std::string wal_out = parser.GetString("wal-out");
+  if (!wal_out.empty()) {
+    durability::ChangelogWriterOptions wal_options;
+    wal_options.fsync_every_n = *fsync_every;
+    std::string wal_error;
+    wal = durability::ChangelogWriter::Create(RealFileSystem::Default(),
+                                              wal_out, /*epoch=*/1,
+                                              wal_options, &wal_error);
+    if (wal == nullptr) {
+      err << "error: " << wal_error << "\n";
+      return 2;
+    }
+    // The stream header record: replaying this log from scratch must
+    // rebuild the same assigner configuration.
+    if (!wal->Append(durability::LogRecord::Create(
+                         kCliStreamKey, 0,
+                         durability::StreamConfig::From(
+                             config, /*translate=*/true)),
+                     &wal_error)) {
+      err << "error: " << wal_error << "\n";
+      return 2;
+    }
+  }
+
   online::OnlineAssigner assigner(config);
   online::ReplayCursor cursor;
   ReplayStats stats;
   if (!ReplayTraceRange(*trace, trace->updates.size(),
                         static_cast<std::size_t>(*batch), *validate_every,
                         /*final_checkpoint=*/true, &assigner, &cursor,
-                        &stats, err)) {
+                        &stats, wal.get(), err)) {
     return 1;
+  }
+  if (wal != nullptr) {
+    std::string wal_error;
+    if (!wal->Sync(&wal_error)) {
+      err << "error: changelog fsync failed: " << wal_error << "\n";
+      return 1;
+    }
+    err << "wal: " << wal_out << " records=" << wal->appended_records()
+        << " bytes=" << wal->bytes_appended()
+        << " fsyncs=" << wal->fsyncs() << "\n";
   }
   return PrintReplayReport(assigner, stats, out, err);
 }
@@ -676,10 +755,13 @@ int CmdServe(const ArgParser& parser, std::ostream& out, std::ostream& err) {
   const auto seed = parser.GetUint("seed", trace_config.seed);
   const auto batch = parser.GetUint("batch", 0);
   const auto portfolio = parser.GetUint("portfolio", 0);
+  const auto fsync_every = parser.GetUint("fsync-every", 32);
+  const auto rotate_every = parser.GetUint("rotate-every", 0);
   const auto spec = LoadPolicySpec(parser, err);
   if (!spec.has_value()) return 2;
   if (!instances || !shards || !initial || !steps || !q || !lo || !hi ||
-      !skew || !seed || !batch || !portfolio || *instances == 0 ||
+      !skew || !seed || !batch || !portfolio || !fsync_every ||
+      !rotate_every || *instances == 0 ||
       *instances > 4096 || *shards == 0 || *shards > 256 || *q < 2 ||
       *lo == 0 || *lo > *hi || *lo > *q / 2 || *skew < 0.0 ||
       *initial > kMaxTraceEvents || *steps > kMaxTraceEvents ||
@@ -693,6 +775,19 @@ int CmdServe(const ArgParser& parser, std::ostream& out, std::ostream& err) {
   serving::ServingConfig serving_config;
   serving_config.num_shards = static_cast<std::size_t>(*shards);
   serving::ServingService service(serving_config);
+
+  const std::string wal_dir = parser.GetString("wal-dir");
+  if (!wal_dir.empty()) {
+    durability::WalOptions wal_options;
+    wal_options.dir = wal_dir;
+    wal_options.fsync_every_n = *fsync_every;
+    wal_options.rotate_every = *rotate_every;
+    std::string wal_error;
+    if (!service.AttachWal(wal_options, &wal_error)) {
+      err << "error: cannot attach changelog: " << wal_error << "\n";
+      return 2;
+    }
+  }
 
   trace_config.initial_inputs = static_cast<std::size_t>(*initial);
   trace_config.steps = static_cast<std::size_t>(*steps);
@@ -754,7 +849,10 @@ int CmdServe(const ArgParser& parser, std::ostream& out, std::ostream& err) {
 
 // snapshot — replay the first --steps events of a trace, then write a
 // checksummed binary snapshot (live state + config + replay cursor) so
-// `mspctl restore` can continue without replaying the prefix.
+// `mspctl restore` can continue without replaying the prefix. --epoch
+// stamps the snapshot for pairing with a changelog written by
+// `online --wal-out` (epoch 1); a mismatched pair makes `restore
+// --wal` fail with a stale-changelog error.
 int CmdSnapshot(const ArgParser& parser, std::ostream& out,
                 std::ostream& err) {
   const auto trace = LoadTrace(parser.GetString("trace"), err);
@@ -771,8 +869,10 @@ int CmdSnapshot(const ArgParser& parser, std::ostream& out,
   const auto steps = parser.GetUint("steps", trace->updates.size());
   const auto batch = parser.GetUint("batch", 0);
   const auto portfolio = parser.GetUint("portfolio", 0);
-  if (!steps || !batch || !portfolio || *steps > trace->updates.size()) {
-    err << "error: bad --steps/--batch (steps <= trace length "
+  const auto epoch = parser.GetUint("epoch", 0);
+  if (!steps || !batch || !portfolio || !epoch ||
+      *steps > trace->updates.size()) {
+    err << "error: bad --steps/--batch/--epoch (steps <= trace length "
         << trace->updates.size() << ")\n";
     return 2;
   }
@@ -790,7 +890,7 @@ int CmdSnapshot(const ArgParser& parser, std::ostream& out,
   if (!ReplayTraceRange(*trace, static_cast<std::size_t>(*steps),
                         static_cast<std::size_t>(*batch),
                         /*validate_every=*/0, /*final_checkpoint=*/false,
-                        &assigner, &cursor, &stats, err)) {
+                        &assigner, &cursor, &stats, /*wal=*/nullptr, err)) {
     return 1;
   }
   std::string validate_error;
@@ -800,7 +900,7 @@ int CmdSnapshot(const ArgParser& parser, std::ostream& out,
     return 1;
   }
   std::string io_error;
-  if (!WriteSnapshotFile(out_path, assigner, cursor, &io_error)) {
+  if (!WriteSnapshotFile(out_path, assigner, cursor, &io_error, *epoch)) {
     err << "error: " << io_error << "\n";
     return 2;
   }
@@ -812,6 +912,10 @@ int CmdSnapshot(const ArgParser& parser, std::ostream& out,
 
 // restore — load a snapshot and (optionally) continue replaying the
 // trace it was cut from, producing the same report `online` prints.
+// --wal replays a changelog written by `online --wal-out` past the
+// snapshot cursor first — after checking that the snapshot actually
+// pairs with the changelog (same epoch in both headers; a snapshot
+// stamped newer than its changelog means the log tail was lost).
 int CmdRestore(const ArgParser& parser, std::ostream& out,
                std::ostream& err) {
   const std::string snapshot_path = parser.GetString("snapshot");
@@ -825,10 +929,61 @@ int CmdRestore(const ArgParser& parser, std::ostream& out,
     err << "error: " << restore_error << "\n";
     return 2;
   }
-  online::OnlineAssigner& assigner = *restored->assigner;
   const uint64_t resumed_at = restored->cursor.next_event;
 
   ReplayStats stats;
+  const std::string wal_path = parser.GetString("wal");
+  if (!wal_path.empty()) {
+    std::string bytes;
+    std::string io_error;
+    if (!RealFileSystem::Default()->ReadFileToString(wal_path, &bytes,
+                                                     &io_error)) {
+      err << "error: " << io_error << "\n";
+      return 2;
+    }
+    std::string parse_error;
+    const auto log = durability::ReadChangelog(bytes, &parse_error);
+    if (!log.has_value()) {
+      err << "error: " << wal_path << ": " << parse_error << "\n";
+      return 2;
+    }
+    if (log->epoch != restored->epoch) {
+      err << "error: stale changelog: snapshot " << snapshot_path
+          << " (epoch " << restored->epoch
+          << ") does not pair with changelog " << wal_path << " (epoch "
+          << log->epoch << ")\n";
+      return 2;
+    }
+    if (!log->clean) {
+      err << "warning: changelog tail torn after " << log->records.size()
+          << " record(s): " << log->tail_error << "\n";
+    }
+    std::map<std::string, durability::StreamState> streams;
+    durability::StreamState stream;
+    stream.config = durability::StreamConfig::From(
+        restored->assigner->config(), /*translate=*/true);
+    stream.assigner = std::move(restored->assigner);
+    stream.live_of_trace = std::move(restored->cursor.live_of_trace);
+    stream.event_seq = restored->cursor.next_event;
+    streams.emplace(kCliStreamKey, std::move(stream));
+    durability::ReplayStats replayed;
+    std::string replay_error;
+    if (!durability::ReplayRecords(log->records, &streams, nullptr,
+                                   &replayed, &replay_error)) {
+      err << "error: " << replay_error << "\n";
+      return 1;
+    }
+    durability::StreamState& final_stream = streams.at(kCliStreamKey);
+    restored->assigner = std::move(final_stream.assigner);
+    restored->cursor.next_event = final_stream.event_seq;
+    restored->cursor.live_of_trace = std::move(final_stream.live_of_trace);
+    stats.skipped += replayed.skipped;
+    err << "wal: " << wal_path << " replayed="
+        << replayed.applied + replayed.rejected + replayed.skipped
+        << " stale=" << replayed.stale
+        << " checkpoints=" << replayed.checkpoints << "\n";
+  }
+  online::OnlineAssigner& assigner = *restored->assigner;
   const std::string trace_path = parser.GetString("trace");
   if (!trace_path.empty()) {
     const auto trace = LoadTrace(trace_path, err);
@@ -848,13 +1003,66 @@ int CmdRestore(const ArgParser& parser, std::ostream& out,
     if (!ReplayTraceRange(*trace, trace->updates.size(),
                           static_cast<std::size_t>(*batch), *validate_every,
                           /*final_checkpoint=*/true, &assigner,
-                          &restored->cursor, &stats, err)) {
+                          &restored->cursor, &stats, /*wal=*/nullptr,
+                          err)) {
       return 1;
     }
   }
   err << "restored: " << snapshot_path << " resumed-at=" << resumed_at
       << " replayed-to=" << restored->cursor.next_event << "\n";
   return PrintReplayReport(assigner, stats, out, err);
+}
+
+// recover — rebuild a serving service from a --wal-dir written by
+// `mspctl serve`: the MANIFEST pins the shard count, every shard
+// crash-recovers from its newest valid snapshot image + changelog
+// replay, every recovered instance is oracle-checked, and the
+// per-shard durability tables (with the recovery counters) print to
+// stderr. Exit 1 when recovery or validation fails.
+int CmdRecover(const ArgParser& parser, std::ostream& out,
+               std::ostream& err) {
+  const std::string wal_dir = parser.GetString("wal-dir");
+  if (wal_dir.empty()) {
+    err << "error: --wal-dir=<dir> is required\n";
+    return 2;
+  }
+  std::size_t num_shards = 0;
+  std::string error;
+  if (!durability::ReadManifest(RealFileSystem::Default(), wal_dir,
+                                &num_shards, &error)) {
+    err << "error: " << error << "\n";
+    return 2;
+  }
+  serving::ServingConfig serving_config;
+  serving_config.num_shards = num_shards;
+  serving::ServingService service(serving_config);
+  durability::WalOptions wal_options;
+  wal_options.dir = wal_dir;
+  wal_options.recover = true;
+  if (!service.AttachWal(wal_options, &error)) {
+    err << "error: recovery failed: " << error << "\n";
+    return 1;
+  }
+  service.Flush();
+  service.PrintStats(err);
+  bool all_valid = true;
+  service.ForEachInstance([&](const std::string& key,
+                              const online::OnlineAssigner& assigner) {
+    std::string why;
+    const bool valid = assigner.ValidateNow(&why);
+    all_valid = all_valid && valid;
+    out << "instance=" << key << " shard=" << service.ShardOf(key)
+        << " inputs=" << assigner.num_inputs()
+        << " reducers=" << assigner.Schema().num_reducers()
+        << " valid=" << (valid ? "yes" : "NO") << "\n";
+    if (!valid) {
+      err << "INVALID instance '" << key << "': " << why << "\n";
+    }
+  });
+  err << "recovered: shards=" << num_shards
+      << " instances=" << service.stats().total.instances
+      << " valid=" << (all_valid ? "yes" : "NO") << "\n";
+  return all_valid ? 0 : 1;
 }
 
 // simulate — execute an update trace on the cluster simulator: every
@@ -1035,20 +1243,25 @@ void PrintUsage(std::ostream& out) {
          "  online     --trace=FILE [--policy=drift|never|always|every-n]\n"
          "             [--replan-threshold=R] [--every-n=N] [--cooldown=N]\n"
          "             [--validate-every=N] [--portfolio=0|1] [--batch=B]\n"
-         "             [--coverage=triangular|hash]\n"
+         "             [--coverage=triangular|hash] [--wal-out=FILE]\n"
+         "             [--fsync-every=N]\n"
          "             replay a trace through the online assigner\n"
          "  serve      [--kind=a2a|x2y] [--instances=N] [--shards=N]\n"
          "             [--initial=M] [--steps=N] [--q=Q] [--lo=L] [--hi=H]\n"
          "             [--skew=S] [--seed=K] [--batch=B] [--stats]\n"
          "             [--policy=...] [--replan-threshold=R] [--every-n=N]\n"
-         "             [--cooldown=N] [--portfolio=0|1]\n"
+         "             [--cooldown=N] [--portfolio=0|1] [--wal-dir=DIR]\n"
+         "             [--fsync-every=N] [--rotate-every=N]\n"
          "             replay one trace per instance across serving shards\n"
+         "  recover    --wal-dir=DIR\n"
+         "             crash-recover a serve run from its changelogs\n"
          "  snapshot   --trace=FILE --out=FILE [--steps=K] [--batch=B]\n"
          "             [--policy=...] [--replan-threshold=R] [--every-n=N]\n"
          "             [--cooldown=N] [--coverage=...] [--portfolio=0|1]\n"
+         "             [--epoch=E]\n"
          "             replay a trace prefix and write a binary snapshot\n"
          "  restore    --snapshot=FILE [--trace=FILE] [--validate-every=N]\n"
-         "             [--batch=B]\n"
+         "             [--batch=B] [--wal=FILE]\n"
          "             restore a snapshot and continue the replay\n"
          "  simulate   --trace=FILE [--shards=N] [--batch=B] [--csv=FILE]\n"
          "             [--policy=...] [--replan-threshold=R] [--every-n=N]\n"
@@ -1089,16 +1302,19 @@ const std::vector<CommandSpec>& Commands() {
         "seed", "p-add", "p-remove", "p-resize"}},
       {"online", CmdOnline,
        {"trace", "policy", "replan-threshold", "every-n", "cooldown",
-        "validate-every", "portfolio", "batch", "coverage"}},
+        "validate-every", "portfolio", "batch", "coverage", "wal-out",
+        "fsync-every"}},
       {"serve", CmdServe,
        {"kind", "instances", "shards", "initial", "steps", "q", "lo", "hi",
         "skew", "seed", "batch", "stats", "policy", "replan-threshold",
-        "every-n", "cooldown", "portfolio"}},
+        "every-n", "cooldown", "portfolio", "wal-dir", "fsync-every",
+        "rotate-every"}},
+      {"recover", CmdRecover, {"wal-dir"}},
       {"snapshot", CmdSnapshot,
        {"trace", "out", "steps", "batch", "policy", "replan-threshold",
-        "every-n", "cooldown", "coverage", "portfolio"}},
+        "every-n", "cooldown", "coverage", "portfolio", "epoch"}},
       {"restore", CmdRestore,
-       {"snapshot", "trace", "validate-every", "batch"}},
+       {"snapshot", "trace", "validate-every", "batch", "wal"}},
       {"simulate", CmdSimulate,
        {"trace", "policy", "replan-threshold", "every-n", "cooldown",
         "shards", "batch", "oracle-every", "max-rows", "portfolio",

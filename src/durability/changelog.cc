@@ -1,0 +1,396 @@
+#include "durability/changelog.h"
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "util/binary_io.h"
+#include "util/fnv.h"
+
+namespace msp::durability {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'S', 'P', 'W', 'A', 'L', '0', '1'};
+// magic + version + epoch + header checksum.
+constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 8;
+// len + payload checksum.
+constexpr std::size_t kFrameOverhead = 4 + 8;
+
+uint64_t SteadyNowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void PutStreamConfig(std::string* out, const StreamConfig& config) {
+  PutU8(out, config.x2y ? 1 : 0);
+  PutU8(out, config.full_reassign_on_replan ? 1 : 0);
+  PutU8(out, config.use_portfolio ? 1 : 0);
+  PutU8(out, config.translate ? 1 : 0);
+  PutU8(out, static_cast<uint8_t>(config.coverage));
+  PutF64(out, config.budget_ms);
+  PutString(out, config.policy_spec.name);
+  PutF64(out, config.policy_spec.reducer_drift);
+  PutF64(out, config.policy_spec.comm_drift);
+  PutU64(out, config.policy_spec.max_updates);
+  PutU64(out, config.policy_spec.every_n);
+  PutU64(out, config.policy_spec.cooldown);
+  PutU64(out, config.capacity);
+}
+
+bool GetStreamConfig(BinaryReader* in, StreamConfig* config,
+                     std::string* why) {
+  const auto fail = [why](const char* what) {
+    *why = what;
+    return false;
+  };
+  uint8_t x2y = 0;
+  uint8_t full_reassign = 0;
+  uint8_t use_portfolio = 0;
+  uint8_t translate = 0;
+  uint8_t coverage = 0;
+  if (!in->GetU8(&x2y) || !in->GetU8(&full_reassign) ||
+      !in->GetU8(&use_portfolio) || !in->GetU8(&translate) ||
+      !in->GetU8(&coverage) || !in->GetF64(&config->budget_ms)) {
+    return fail("stream config truncated");
+  }
+  if (x2y > 1 || full_reassign > 1 || use_portfolio > 1 || translate > 1 ||
+      coverage > 1) {
+    return fail("stream config flag out of range");
+  }
+  config->x2y = x2y != 0;
+  config->full_reassign_on_replan = full_reassign != 0;
+  config->use_portfolio = use_portfolio != 0;
+  config->translate = translate != 0;
+  config->coverage = static_cast<online::PairCoverage::Backend>(coverage);
+  if (!in->GetString(&config->policy_spec.name, 64) ||
+      !in->GetF64(&config->policy_spec.reducer_drift) ||
+      !in->GetF64(&config->policy_spec.comm_drift) ||
+      !in->GetU64(&config->policy_spec.max_updates) ||
+      !in->GetU64(&config->policy_spec.every_n) ||
+      !in->GetU64(&config->policy_spec.cooldown) ||
+      !in->GetU64(&config->capacity)) {
+    return fail("stream config truncated (policy)");
+  }
+  if (online::MakePolicy(config->policy_spec) == nullptr) {
+    return fail("stream config holds an unknown policy");
+  }
+  if (config->capacity == 0 || config->capacity > online::kMaxCapacity) {
+    return fail("stream config capacity out of range");
+  }
+  return true;
+}
+
+void PutUpdate(std::string* out, const online::Update& update) {
+  PutU8(out, static_cast<uint8_t>(update.kind));
+  PutU8(out, static_cast<uint8_t>(update.side));
+  PutU32(out, update.id);
+  PutU64(out, update.value);
+}
+
+bool GetUpdate(BinaryReader* in, online::Update* update, std::string* why) {
+  uint8_t kind = 0;
+  uint8_t side = 0;
+  if (!in->GetU8(&kind) || !in->GetU8(&side) || !in->GetU32(&update->id) ||
+      !in->GetU64(&update->value)) {
+    *why = "update truncated";
+    return false;
+  }
+  if (kind > static_cast<uint8_t>(online::UpdateKind::kSetCapacity) ||
+      side > 1) {
+    *why = "update kind/side out of range";
+    return false;
+  }
+  update->kind = static_cast<online::UpdateKind>(kind);
+  update->side = static_cast<online::Side>(side);
+  return true;
+}
+
+std::string EncodePayload(const LogRecord& record) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(record.kind));
+  PutU64(&payload, record.seq);
+  PutU32(&payload, static_cast<uint32_t>(record.key.size()));
+  payload.append(record.key);
+  switch (record.kind) {
+    case RecordKind::kCreate:
+      PutStreamConfig(&payload, record.config);
+      break;
+    case RecordKind::kApplied:
+    case RecordKind::kRejected:
+    case RecordKind::kSkipped:
+      PutUpdate(&payload, record.update);
+      break;
+    case RecordKind::kCheckpoint:
+      break;
+  }
+  return payload;
+}
+
+bool DecodePayload(std::string_view payload, LogRecord* record,
+                   std::string* why) {
+  BinaryReader in(payload);
+  uint8_t kind = 0;
+  uint32_t key_len = 0;
+  if (!in.GetU8(&kind) || !in.GetU64(&record->seq) || !in.GetU32(&key_len)) {
+    *why = "record payload truncated";
+    return false;
+  }
+  if (kind > static_cast<uint8_t>(RecordKind::kCheckpoint)) {
+    *why = "record kind out of range";
+    return false;
+  }
+  record->kind = static_cast<RecordKind>(kind);
+  std::string_view key;
+  if (!in.GetBytes(&key, key_len)) {
+    *why = "record key truncated";
+    return false;
+  }
+  record->key.assign(key);
+  switch (record->kind) {
+    case RecordKind::kCreate:
+      if (!GetStreamConfig(&in, &record->config, why)) return false;
+      break;
+    case RecordKind::kApplied:
+    case RecordKind::kRejected:
+    case RecordKind::kSkipped:
+      if (!GetUpdate(&in, &record->update, why)) return false;
+      break;
+    case RecordKind::kCheckpoint:
+      break;
+  }
+  if (!in.exhausted()) {
+    *why = "record holds trailing bytes";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StreamConfig StreamConfig::From(const online::OnlineConfig& config,
+                                bool translate) {
+  StreamConfig out;
+  out.x2y = config.x2y;
+  out.full_reassign_on_replan = config.full_reassign_on_replan;
+  out.use_portfolio = config.plan_options.use_portfolio;
+  out.translate = translate;
+  out.coverage = config.coverage;
+  out.budget_ms = config.plan_options.budget_ms;
+  out.policy_spec = config.policy_spec;
+  out.capacity = config.capacity;
+  return out;
+}
+
+online::OnlineConfig StreamConfig::ToOnlineConfig(
+    std::shared_ptr<planner::PlannerService> shared_planner) const {
+  online::OnlineConfig config;
+  config.x2y = x2y;
+  config.full_reassign_on_replan = full_reassign_on_replan;
+  config.plan_options.use_portfolio = use_portfolio;
+  config.coverage = coverage;
+  config.plan_options.budget_ms = budget_ms;
+  config.policy_spec = policy_spec;
+  config.capacity = capacity;
+  config.shared_planner = std::move(shared_planner);
+  return config;
+}
+
+LogRecord LogRecord::Create(std::string key, uint64_t seq,
+                            StreamConfig config) {
+  LogRecord record;
+  record.kind = RecordKind::kCreate;
+  record.key = std::move(key);
+  record.seq = seq;
+  record.config = std::move(config);
+  return record;
+}
+
+LogRecord LogRecord::Event(RecordKind kind, std::string key, uint64_t seq,
+                           const online::Update& update) {
+  LogRecord record;
+  record.kind = kind;
+  record.key = std::move(key);
+  record.seq = seq;
+  record.update = update;
+  return record;
+}
+
+LogRecord LogRecord::Checkpoint(std::string key, uint64_t seq) {
+  LogRecord record;
+  record.kind = RecordKind::kCheckpoint;
+  record.key = std::move(key);
+  record.seq = seq;
+  return record;
+}
+
+std::string EncodeRecord(const LogRecord& record) {
+  const std::string payload = EncodePayload(record);
+  std::string frame;
+  frame.reserve(kFrameOverhead + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU64(&frame, Fnv1a(payload));
+  frame.append(payload);
+  return frame;
+}
+
+std::string EncodeChangelogHeader(uint64_t epoch) {
+  std::string covered;
+  PutU32(&covered, kChangelogVersion);
+  PutU64(&covered, epoch);
+  std::string header;
+  header.reserve(kHeaderSize);
+  header.append(kMagic, sizeof(kMagic));
+  header.append(covered);
+  PutU64(&header, Fnv1a(covered));
+  return header;
+}
+
+std::optional<ChangelogContents> ReadChangelog(std::string_view bytes,
+                                               std::string* error) {
+  const auto fail = [error](const std::string& why)
+      -> std::optional<ChangelogContents> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+
+  if (bytes.size() < kHeaderSize) return fail("changelog truncated (header)");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return fail("not a changelog file (bad magic)");
+  }
+  BinaryReader header(bytes.substr(sizeof(kMagic)));
+  uint32_t version = 0;
+  uint64_t epoch = 0;
+  uint64_t header_checksum = 0;
+  if (!header.GetU32(&version) || !header.GetU64(&epoch) ||
+      !header.GetU64(&header_checksum)) {
+    return fail("changelog truncated (header)");
+  }
+  {
+    std::string covered;
+    PutU32(&covered, version);
+    PutU64(&covered, epoch);
+    if (header_checksum != Fnv1a(covered)) {
+      return fail("changelog corrupted (header checksum)");
+    }
+  }
+  if (version != kChangelogVersion) {
+    return fail("unsupported changelog version " + std::to_string(version));
+  }
+
+  ChangelogContents contents;
+  contents.epoch = epoch;
+  std::size_t pos = kHeaderSize;
+  contents.valid_bytes = pos;
+  const auto torn = [&](const std::string& why) {
+    contents.clean = false;
+    contents.tail_error = why;
+    return std::optional<ChangelogContents>(std::move(contents));
+  };
+  while (pos < bytes.size()) {
+    BinaryReader frame(bytes.substr(pos));
+    uint32_t len = 0;
+    uint64_t checksum = 0;
+    if (!frame.GetU32(&len) || !frame.GetU64(&checksum)) {
+      return torn("torn record frame");
+    }
+    if (len > kMaxRecordPayload) {
+      return torn("record length out of range");
+    }
+    std::string_view payload;
+    if (!frame.GetBytes(&payload, len)) {
+      return torn("torn record payload");
+    }
+    if (checksum != Fnv1a(payload)) {
+      return torn("record checksum mismatch");
+    }
+    LogRecord record;
+    std::string why;
+    if (!DecodePayload(payload, &record, &why)) {
+      return torn("record corrupted: " + why);
+    }
+    contents.records.push_back(std::move(record));
+    pos += kFrameOverhead + len;
+    contents.valid_bytes = pos;
+  }
+  return contents;
+}
+
+ChangelogWriter::ChangelogWriter(std::unique_ptr<WritableFile> file,
+                                 std::string path, uint64_t epoch,
+                                 const ChangelogWriterOptions& options)
+    : file_(std::move(file)),
+      path_(std::move(path)),
+      epoch_(epoch),
+      options_(options) {
+  if (!options_.now_ms) options_.now_ms = SteadyNowMs;
+  last_sync_ms_ = options_.now_ms();
+}
+
+std::unique_ptr<ChangelogWriter> ChangelogWriter::Create(
+    FileSystem* fs, const std::string& path, uint64_t epoch,
+    const ChangelogWriterOptions& options, std::string* error) {
+  std::unique_ptr<WritableFile> file = fs->NewWritableFile(path, error);
+  if (file == nullptr) return nullptr;
+  const std::string header = EncodeChangelogHeader(epoch);
+  if (!file->Append(header) || !file->Sync()) {
+    if (error != nullptr) *error = file->last_error();
+    return nullptr;
+  }
+  auto writer = std::unique_ptr<ChangelogWriter>(
+      new ChangelogWriter(std::move(file), path, epoch, options));
+  writer->bytes_appended_ = header.size();
+  writer->fsyncs_ = 1;
+  return writer;
+}
+
+bool ChangelogWriter::Append(const LogRecord& record, std::string* error) {
+  if (poisoned_) {
+    if (error != nullptr) *error = poison_error_;
+    return false;
+  }
+  const std::string frame = EncodeRecord(record);
+  if (!file_->Append(frame)) {
+    poisoned_ = true;
+    poison_error_ = "changelog append failed: " + file_->last_error();
+    if (error != nullptr) *error = poison_error_;
+    return false;
+  }
+  ++appended_records_;
+  bytes_appended_ += frame.size();
+  return MaybeGroupCommit(error);
+}
+
+bool ChangelogWriter::MaybeGroupCommit(std::string* error) {
+  const uint64_t unsynced = appended_records_ - synced_records_;
+  if (unsynced == 0) return true;
+  const bool count_due =
+      options_.fsync_every_n != 0 && unsynced >= options_.fsync_every_n;
+  const bool timer_due =
+      options_.fsync_interval_ms != 0 &&
+      options_.now_ms() - last_sync_ms_ >= options_.fsync_interval_ms;
+  if (!count_due && !timer_due) return true;
+  return Sync(error);
+}
+
+bool ChangelogWriter::Sync(std::string* error) {
+  if (poisoned_) {
+    if (error != nullptr) *error = poison_error_;
+    return false;
+  }
+  if (synced_records_ == appended_records_) return true;
+  if (!file_->Sync()) {
+    poisoned_ = true;
+    poison_error_ = "changelog fsync failed: " + file_->last_error();
+    if (error != nullptr) *error = poison_error_;
+    return false;
+  }
+  synced_records_ = appended_records_;
+  ++fsyncs_;
+  last_sync_ms_ = options_.now_ms();
+  return true;
+}
+
+}  // namespace msp::durability

@@ -229,7 +229,7 @@ UpdateResult OnlineAssigner::DoSetCapacity(InputSize capacity) {
 bool OnlineAssigner::Seed(const std::vector<InputSize>& sizes,
                           const std::vector<Side>& sides,
                           const MappingSchema& schema, bool validate,
-                          std::string* error) {
+                          std::string* error, uint64_t resume_updates) {
   const auto fail = [error](const char* why) {
     if (error != nullptr) *error = why;
     return false;
@@ -294,6 +294,7 @@ bool OnlineAssigner::Seed(const std::vector<InputSize>& sizes,
       return rollback("seed schema invalid: " + oracle_error);
     }
   }
+  totals_.updates = resume_updates;
   return true;
 }
 

@@ -168,9 +168,16 @@ class OnlineAssigner {
   /// pre-existing state, not movement. When `validate` is set the
   /// schema is checked against the oracle first (O(m^2) on A2A).
   /// Returns false (empty assigner untouched) on any inconsistency.
+  /// `resume_updates` primes the applied-update counter: a seeded
+  /// assigner standing in for one that already absorbed N changelog
+  /// records reports totals().updates == N, so replay resumed from a
+  /// changelog cursor keeps its counters aligned with the uninterrupted
+  /// stream (policy windows still start fresh — the seed is a schema
+  /// boundary, exactly like a deployed re-plan).
   bool Seed(const std::vector<InputSize>& sizes,
             const std::vector<Side>& sides, const MappingSchema& schema,
-            bool validate, std::string* error = nullptr);
+            bool validate, std::string* error = nullptr,
+            uint64_t resume_updates = 0);
 
   /// Runs the full MergeReducers pass over the live schema, churn
   /// accounted through the min-move delta. Never breaks validity.

@@ -69,6 +69,8 @@ struct ChurnStats {
     reducers_destroyed += other.reducers_destroyed;
     return *this;
   }
+
+  bool operator==(const ChurnStats&) const = default;
 };
 
 /// Mutable live assignment the repair operations act on. Input ids are

@@ -1,113 +1,22 @@
 #include "online/snapshot.h"
 
 #include <algorithm>
-#include <bit>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
+#include "util/binary_io.h"
 #include "util/check.h"
+#include "util/fnv.h"
 
 namespace msp::online {
 
 namespace {
 
+using Reader = BinaryReader;
+
 constexpr char kMagic[8] = {'M', 'S', 'P', 'S', 'N', 'A', 'P', '1'};
-
-// FNV-1a over the payload: cheap, dependency-free, and plenty to catch
-// truncation and bit rot (this is an integrity check, not security).
-uint64_t Fnv1a(std::string_view bytes) {
-  uint64_t hash = 1469598103934665603ull;
-  for (unsigned char c : bytes) {
-    hash ^= c;
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
-
-// Little-endian primitive writers.
-void PutU8(std::string* out, uint8_t v) {
-  out->push_back(static_cast<char>(v));
-}
-
-void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-void PutF64(std::string* out, double v) {
-  PutU64(out, std::bit_cast<uint64_t>(v));
-}
-
-void PutString(std::string* out, const std::string& s) {
-  PutU64(out, s.size());
-  out->append(s);
-}
-
-// Bounds-checked little-endian reader; every getter returns false on
-// truncation so restore degrades to an error, never UB.
-class Reader {
- public:
-  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
-
-  bool GetU8(uint8_t* v) {
-    if (pos_ + 1 > bytes_.size()) return false;
-    *v = static_cast<uint8_t>(bytes_[pos_++]);
-    return true;
-  }
-
-  bool GetU32(uint32_t* v) {
-    if (pos_ + 4 > bytes_.size()) return false;
-    *v = 0;
-    for (int i = 0; i < 4; ++i) {
-      *v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_++]))
-            << (8 * i);
-    }
-    return true;
-  }
-
-  bool GetU64(uint64_t* v) {
-    if (pos_ + 8 > bytes_.size()) return false;
-    *v = 0;
-    for (int i = 0; i < 8; ++i) {
-      *v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_++]))
-            << (8 * i);
-    }
-    return true;
-  }
-
-  bool GetF64(double* v) {
-    uint64_t raw = 0;
-    if (!GetU64(&raw)) return false;
-    *v = std::bit_cast<double>(raw);
-    return true;
-  }
-
-  bool GetString(std::string* s, uint64_t max_len) {
-    uint64_t len = 0;
-    if (!GetU64(&len) || len > max_len || pos_ + len > bytes_.size()) {
-      return false;
-    }
-    s->assign(bytes_.substr(pos_, len));
-    pos_ += len;
-    return true;
-  }
-
-  std::size_t pos() const { return pos_; }
-  bool exhausted() const { return pos_ == bytes_.size(); }
-
- private:
-  std::string_view bytes_;
-  std::size_t pos_ = 0;
-};
 
 void PutChurn(std::string* out, const ChurnStats& churn) {
   PutU64(out, churn.inputs_moved);
@@ -132,11 +41,15 @@ constexpr uint64_t kMaxCount = uint64_t{1} << 32;
 }  // namespace
 
 std::string SnapshotCodec::Serialize(const OnlineAssigner& assigner,
-                                     const ReplayCursor& cursor) {
+                                     const ReplayCursor& cursor,
+                                     uint64_t epoch) {
   const OnlineConfig& config = assigner.config_;
   const LiveState& state = assigner.state_;
 
   std::string payload;
+  // --- rotation epoch (first payload field, so the checksum covers
+  // it — a flipped epoch must not defeat stale-pair detection) ---
+  PutU64(&payload, epoch);
   // --- configuration ---
   PutU8(&payload, config.x2y ? 1 : 0);
   PutU8(&payload, static_cast<uint8_t>(config.coverage));
@@ -227,6 +140,10 @@ std::optional<SnapshotCodec::Restored> SnapshotCodec::Restore(
   }
 
   Reader in(payload);
+  uint64_t epoch = 0;
+  if (!in.GetU64(&epoch)) {
+    return fail("snapshot payload truncated (epoch)");
+  }
   OnlineConfig config;
   uint8_t x2y = 0;
   uint8_t coverage = 0;
@@ -377,6 +294,7 @@ std::optional<SnapshotCodec::Restored> SnapshotCodec::Restore(
   Restored restored;
   restored.assigner = std::make_unique<OnlineAssigner>(config);
   restored.cursor = std::move(cursor);
+  restored.epoch = epoch;
   OnlineAssigner& assigner = *restored.assigner;
   assigner.state_.capacity = capacity;
   assigner.state_.sizes = std::move(sizes);
@@ -407,13 +325,14 @@ std::optional<SnapshotCodec::Restored> SnapshotCodec::Restore(
 
 bool WriteSnapshotFile(const std::string& path,
                        const OnlineAssigner& assigner,
-                       const ReplayCursor& cursor, std::string* error) {
+                       const ReplayCursor& cursor, std::string* error,
+                       uint64_t epoch) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out.good()) {
     if (error != nullptr) *error = "cannot open " + path + " for writing";
     return false;
   }
-  const std::string bytes = SnapshotCodec::Serialize(assigner, cursor);
+  const std::string bytes = SnapshotCodec::Serialize(assigner, cursor, epoch);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   out.flush();
   if (!out.good()) {

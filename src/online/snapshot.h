@@ -37,8 +37,9 @@
 
 namespace msp::online {
 
-/// Current snapshot format version.
-inline constexpr uint32_t kSnapshotVersion = 1;
+/// Current snapshot format version. Version 2 added the rotation
+/// epoch (see below); version-1 files are rejected with a clear error.
+inline constexpr uint32_t kSnapshotVersion = 2;
 
 /// Where a trace replay stood when the snapshot was taken. `next_event`
 /// indexes into UpdateTrace::updates; `live_of_trace` maps each `add`
@@ -57,12 +58,21 @@ class SnapshotCodec {
   struct Restored {
     std::unique_ptr<OnlineAssigner> assigner;
     ReplayCursor cursor;
+    /// Rotation epoch the snapshot was cut at (0 = standalone, no
+    /// paired changelog). A snapshot at epoch e pairs with changelog
+    /// epoch e: restore flows that replay a changelog must reject a
+    /// mismatched pair — in particular a snapshot *newer* than its
+    /// changelog, which would silently lose the tail (see
+    /// durability/changelog.h).
+    uint64_t epoch = 0;
   };
 
   /// Renders the assigner (plus a replay cursor, when resuming traces
-  /// matters) into the versioned binary format.
+  /// matters, and the rotation epoch pairing it with a changelog) into
+  /// the versioned binary format.
   static std::string Serialize(const OnlineAssigner& assigner,
-                               const ReplayCursor& cursor = {});
+                               const ReplayCursor& cursor = {},
+                               uint64_t epoch = 0);
 
   /// Parses and validates `bytes`. On failure returns nullopt and sets
   /// `*error`. `shared_planner` (optional) replaces the restored
@@ -78,7 +88,7 @@ class SnapshotCodec {
 bool WriteSnapshotFile(const std::string& path,
                        const OnlineAssigner& assigner,
                        const ReplayCursor& cursor = {},
-                       std::string* error = nullptr);
+                       std::string* error = nullptr, uint64_t epoch = 0);
 std::optional<SnapshotCodec::Restored> ReadSnapshotFile(
     const std::string& path, std::string* error = nullptr,
     std::shared_ptr<planner::PlannerService> shared_planner = nullptr);

@@ -48,6 +48,46 @@ std::size_t ServingService::ShardOf(const std::string& key) const {
   return static_cast<std::size_t>(Fnv1a(key) % shards_.size());
 }
 
+bool ServingService::AttachWal(const durability::WalOptions& options,
+                               std::string* error) {
+  FileSystem* fs = options.fs != nullptr ? options.fs
+                                         : RealFileSystem::Default();
+  if (options.recover) {
+    // The manifest pins the shard count: recovering with a different
+    // count would re-route keys to different shards and interleave
+    // their changelogs nonsensically.
+    std::size_t manifest_shards = 0;
+    if (!durability::ReadManifest(fs, options.dir, &manifest_shards,
+                                  error)) {
+      return false;
+    }
+    if (manifest_shards != shards_.size()) {
+      if (error != nullptr) {
+        *error = options.dir + " was written by " +
+                 std::to_string(manifest_shards) +
+                 " shards; this service has " +
+                 std::to_string(shards_.size());
+      }
+      return false;
+    }
+  } else if (!durability::WriteManifest(fs, options.dir, shards_.size(),
+                                        error)) {
+    return false;
+  }
+  for (const auto& shard : shards_) {
+    durability::WalOptions shard_options = options;
+    shard_options.dir = JoinPath(
+        options.dir, "shard-" + std::to_string(shard->index()));
+    if (!shard->AttachWal(shard_options, error)) {
+      if (error != nullptr) {
+        *error = "shard " + std::to_string(shard->index()) + ": " + *error;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
 void ServingService::CreateInstance(const std::string& key,
                                     online::OnlineConfig config,
                                     bool translate_trace_ids) {
@@ -89,6 +129,14 @@ ServingStats ServingService::stats() const {
     stats.total.repairs += s.repairs;
     stats.total.replans += s.replans;
     stats.total.churn += s.churn;
+    stats.total.wal_records += s.wal_records;
+    stats.total.wal_bytes += s.wal_bytes;
+    stats.total.wal_fsyncs += s.wal_fsyncs;
+    stats.total.wal_rotations += s.wal_rotations;
+    stats.total.wal_epoch = std::max(stats.total.wal_epoch, s.wal_epoch);
+    stats.total.recovered_instances += s.recovered_instances;
+    stats.total.recovered_records += s.recovered_records;
+    stats.total.recovered_torn_tail |= s.recovered_torn_tail;
     stats.total.latency_us.insert(stats.total.latency_us.end(),
                                   s.latency_us.begin(), s.latency_us.end());
   }
@@ -140,6 +188,28 @@ void ServingService::PrintStats(std::ostream& out) const {
                   TablePrinter::Fmt(stats.total.skipped)});
   }
   churn.Print(out);
+
+  if (stats.total.wal_records > 0 || stats.total.wal_epoch > 0) {
+    TablePrinter wal("durability (per shard)");
+    wal.SetHeader({"shard", "epoch", "wal records", "wal bytes", "fsyncs",
+                   "rotations", "recovered", "replayed", "torn"});
+    const auto wal_row = [&wal](const std::string& name,
+                                const ShardStats& s) {
+      wal.AddRow({name, TablePrinter::Fmt(s.wal_epoch),
+                  TablePrinter::Fmt(s.wal_records),
+                  TablePrinter::Fmt(s.wal_bytes),
+                  TablePrinter::Fmt(s.wal_fsyncs),
+                  TablePrinter::Fmt(s.wal_rotations),
+                  TablePrinter::Fmt(s.recovered_instances),
+                  TablePrinter::Fmt(s.recovered_records),
+                  s.recovered_torn_tail ? "yes" : "no"});
+    };
+    for (std::size_t i = 0; i < stats.shards.size(); ++i) {
+      wal_row("shard-" + std::to_string(i), stats.shards[i]);
+    }
+    wal_row("total", stats.total);
+    wal.Print(out);
+  }
 }
 
 void ServingService::ForEachInstance(

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "durability/wal.h"
 #include "online/assigner.h"
 #include "planner/service.h"
 #include "serving/shard.h"
@@ -69,6 +70,18 @@ class ServingService {
 
   ServingService(const ServingService&) = delete;
   ServingService& operator=(const ServingService&) = delete;
+
+  /// Attaches per-shard write-ahead changelogs under `options.dir`
+  /// (the service appends /shard-<i> per shard and records the shard
+  /// count in <dir>/MANIFEST). With `options.recover` false the
+  /// directory must be fresh; true crash-recovers whatever it holds —
+  /// every recovered instance is installed on its shard and the
+  /// recovery counters land in the per-shard stats. Call right after
+  /// construction, before creating instances. Returns false with
+  /// `*error` on open/recovery failure (the service stays usable,
+  /// without durability).
+  bool AttachWal(const durability::WalOptions& options,
+                 std::string* error = nullptr);
 
   /// Registers `key` on its shard. `config.shared_planner` is replaced
   /// by the service's planner. `translate_trace_ids` enables the

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "online/snapshot.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -24,6 +25,34 @@ ServingShard::~ServingShard() {
   }
   work_available_.notify_all();
   worker_.join();
+}
+
+bool ServingShard::AttachWal(const durability::WalOptions& options,
+                             std::string* error) {
+  std::map<std::string, durability::StreamState> streams;
+  durability::RecoveryStats recovery;
+  auto wal = durability::ShardWal::Open(options, options.dir, planner_,
+                                        &streams, &recovery, error);
+  if (wal == nullptr) return false;
+  std::unique_lock<std::mutex> lock(mu_);
+  MSP_CHECK(queue_.empty() && !busy_ && wal_ == nullptr &&
+            instances_.empty())
+      << "AttachWal requires a fresh, quiescent shard";
+  wal_ = std::move(wal);
+  for (auto& [key, stream] : streams) {
+    Instance instance;
+    instance.assigner = std::move(stream.assigner);
+    instance.translate = stream.config.translate;
+    instance.live_of_trace = std::move(stream.live_of_trace);
+    instance.event_seq = stream.event_seq;
+    instances_[key] = std::move(instance);
+  }
+  stats_.instances += streams.size();
+  stats_.recovered_instances = recovery.instances;
+  stats_.recovered_records = recovery.records_replayed;
+  stats_.recovered_torn_tail = recovery.torn_tail;
+  SyncWalStats();
+  return true;
 }
 
 void ServingShard::CreateInstance(std::string key,
@@ -106,13 +135,75 @@ void ServingShard::WorkerLoop() {
       busy_ = true;
     }
     Process(task);
+    if (wal_ != nullptr) {
+      // Log-before-ack: when the mailbox has drained, fsync the
+      // changelog BEFORE clearing busy_ — a returned Flush() then
+      // implies everything processed is durable. While more tasks are
+      // queued the barrier is deferred, so their records share the
+      // group commit.
+      bool drained = false;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        drained = queue_.empty();
+      }
+      if (drained) {
+        WalQuiesce();
+      } else if (wal_->WantsRotation()) {
+        WalRotate();
+      }
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       busy_ = false;
       ++stats_.processed_tasks;
+      if (wal_ != nullptr) SyncWalStats();
     }
     idle_.notify_all();
   }
+}
+
+void ServingShard::WalAppend(const durability::LogRecord& record) {
+  std::string error;
+  MSP_CHECK(wal_->Append(record, &error))
+      << "shard " << index_
+      << " cannot continue: changelog append failed (" << error << ")";
+}
+
+void ServingShard::WalQuiesce() {
+  std::string error;
+  MSP_CHECK(wal_->Sync(&error))
+      << "shard " << index_
+      << " cannot continue: changelog fsync failed (" << error << ")";
+  if (wal_->WantsRotation()) WalRotate();
+}
+
+void ServingShard::WalRotate() {
+  std::vector<durability::ImageEntry> entries;
+  entries.reserve(instances_.size());
+  for (const auto& [key, instance] : instances_) {
+    durability::ImageEntry entry;
+    entry.key = key;
+    entry.translate = instance.translate;
+    online::ReplayCursor cursor;
+    cursor.next_event = instance.event_seq;
+    cursor.live_of_trace = instance.live_of_trace;
+    entry.snapshot = online::SnapshotCodec::Serialize(
+        *instance.assigner, cursor, wal_->epoch() + 1);
+    entries.push_back(std::move(entry));
+  }
+  std::string error;
+  MSP_CHECK(wal_->Rotate(entries, &error))
+      << "shard " << index_ << " cannot continue: rotation failed ("
+      << error << ")";
+}
+
+void ServingShard::SyncWalStats() {
+  // Called with mu_ held.
+  stats_.wal_records = wal_->total_records();
+  stats_.wal_bytes = wal_->total_bytes();
+  stats_.wal_fsyncs = wal_->total_fsyncs();
+  stats_.wal_rotations = wal_->rotations();
+  stats_.wal_epoch = wal_->epoch();
 }
 
 void ServingShard::RecordLatency(double us) {
@@ -132,6 +223,16 @@ void ServingShard::Process(Task& task) {
     instance.assigner =
         std::make_unique<online::OnlineAssigner>(task.config);
     instance.translate = task.translate;
+    if (wal_ != nullptr) {
+      // A re-created key keeps its record ordinal: replay then knows
+      // the create supersedes the old instance, not the new one.
+      const auto it = instances_.find(task.key);
+      instance.event_seq =
+          it != instances_.end() ? it->second.event_seq : 0;
+      WalAppend(durability::LogRecord::Create(
+          task.key, instance.event_seq,
+          durability::StreamConfig::From(task.config, task.translate)));
+    }
     std::unique_lock<std::mutex> lock(mu_);
     instances_[task.key] = std::move(instance);
     ++stats_.instances;
@@ -152,6 +253,10 @@ void ServingShard::Process(Task& task) {
         } else {
           ++repairs;
         }
+      }
+      if (wal_ != nullptr) {
+        WalAppend(
+            durability::LogRecord::Checkpoint(key, instance.event_seq));
       }
     }
     std::unique_lock<std::mutex> lock(mu_);
@@ -196,12 +301,23 @@ void ServingShard::Process(Task& task) {
         ++repairs;
       }
     }
+    if (wal_ != nullptr) {
+      WalAppend(durability::LogRecord::Checkpoint(task.key,
+                                                  instance.event_seq));
+    }
   };
 
   online::TraceIdTranslator translator(&instance.live_of_trace);
   for (online::Update update : task.updates) {
     if (instance.translate && !translator.Translate(&update)) {
       ++skipped;
+      if (wal_ != nullptr) {
+        // Logged raw (translation failed); replay advances the ordinal
+        // without applying, reproducing the skip.
+        WalAppend(durability::LogRecord::Event(
+            durability::RecordKind::kSkipped, task.key,
+            ++instance.event_seq, update));
+      }
       continue;
     }
     Stopwatch watch;
@@ -210,6 +326,14 @@ void ServingShard::Process(Task& task) {
     if (instance.translate &&
         update.kind == online::UpdateKind::kAddInput) {
       translator.RecordAdd(result.applied ? result.new_id : std::nullopt);
+    }
+    if (wal_ != nullptr) {
+      // Post-translation (live ids), post-outcome: replay re-applies
+      // deterministically and must reproduce applied/rejected.
+      WalAppend(durability::LogRecord::Event(
+          result.applied ? durability::RecordKind::kApplied
+                         : durability::RecordKind::kRejected,
+          task.key, ++instance.event_seq, update));
     }
     if (result.applied) {
       ++applied;

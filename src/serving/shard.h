@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "durability/wal.h"
 #include "online/assigner.h"
 #include "online/trace.h"
 #include "planner/service.h"
@@ -47,6 +48,15 @@ struct ShardStats {
   uint64_t repairs = 0;    // policy decisions absorbed by local repair
   uint64_t replans = 0;    // policy escalations
   online::ChurnStats churn;
+  /// Durability counters (all zero when the shard has no WAL).
+  uint64_t wal_records = 0;    // changelog records appended (lifetime)
+  uint64_t wal_bytes = 0;      // changelog bytes appended (lifetime)
+  uint64_t wal_fsyncs = 0;     // fsyncs issued by the changelog writer
+  uint64_t wal_rotations = 0;  // snapshot-boundary rotations served
+  uint64_t wal_epoch = 0;      // current changelog epoch
+  uint64_t recovered_instances = 0;  // instances rebuilt by AttachWal
+  uint64_t recovered_records = 0;    // changelog records replayed
+  bool recovered_torn_tail = false;  // replay stopped at a torn record
   /// Retained per-update *repair* latency samples in microseconds
   /// (ring-capped). Policy checks and replans are excluded, so the
   /// percentiles measure the LiveState hot path and stay comparable
@@ -67,6 +77,20 @@ class ServingShard {
 
   /// Drains the mailbox, then joins the worker.
   ~ServingShard();
+
+  /// Attaches a per-shard write-ahead changelog (durability/wal.h):
+  /// opens (or, per `options.recover`, crash-recovers) `options.dir`
+  /// on the calling thread and installs every recovered instance.
+  /// From then on the worker logs each processed event *before* its
+  /// task is acknowledged (log-before-ack: the mailbox drain loop
+  /// fsyncs the changelog before marking itself idle, so a returned
+  /// Flush means everything processed is durable). Requires a
+  /// quiescent shard with no instances yet — call right after
+  /// construction, before any CreateInstance/Enqueue. Returns false
+  /// with `*error` when the directory cannot be opened or recovery
+  /// fails (stale pair, corrupt header, divergent replay).
+  bool AttachWal(const durability::WalOptions& options,
+                 std::string* error = nullptr);
 
   /// Registers a new instance (queued like any update, so creation
   /// orders correctly against subsequent Enqueues of the same key).
@@ -111,6 +135,10 @@ class ServingShard {
     std::unique_ptr<online::OnlineAssigner> assigner;
     bool translate = false;
     std::vector<std::optional<InputId>> live_of_trace;
+    /// Per-key changelog record ordinal (see durability/changelog.h).
+    /// Advanced by every processed event, logged with each record, and
+    /// restored from the snapshot cursor on recovery.
+    uint64_t event_seq = 0;
   };
 
   struct Task {
@@ -126,6 +154,16 @@ class ServingShard {
   void WorkerLoop();
   void Process(Task& task);
   void RecordLatency(double us);
+  /// Worker-only: appends one changelog record; a failure is fatal
+  /// (log-before-ack means nothing may be acked past it).
+  void WalAppend(const durability::LogRecord& record);
+  /// Worker-only: durability barrier + rotation check, run when the
+  /// mailbox drains (the group-commit flush point).
+  void WalQuiesce();
+  /// Worker-only: cuts a shard image of every instance and rotates.
+  void WalRotate();
+  /// Worker-only: publishes the wal counters into stats_ (mu_ held).
+  void SyncWalStats();
 
   const std::size_t index_;
   const std::size_t max_latency_samples_;
@@ -144,6 +182,11 @@ class ServingShard {
   /// while tasks are in flight (ForEachInstance synchronizes on mu_
   /// and requires quiescence).
   std::map<std::string, Instance> instances_;
+
+  /// Worker-private after AttachWal (which installs it under mu_ on a
+  /// quiescent shard, so the worker's next task dequeue — also under
+  /// mu_ — observes it). Null = durability disabled.
+  std::unique_ptr<durability::ShardWal> wal_;
 
   std::thread worker_;
 };

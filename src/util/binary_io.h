@@ -1,0 +1,113 @@
+// Little-endian binary encode/decode helpers shared by every framed
+// binary format in the repo (assigner snapshots, shard images, the
+// write-ahead changelog). Writers append to a std::string; the Reader
+// is bounds-checked — every getter returns false on truncation so a
+// decoder degrades to an error, never UB. Explicit little-endian byte
+// shuffling keeps the formats platform-independent.
+
+#ifndef MSP_UTIL_BINARY_IO_H_
+#define MSP_UTIL_BINARY_IO_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace msp {
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void PutF64(std::string* out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+inline void PutString(std::string* out, const std::string& s) {
+  PutU64(out, s.size());
+  out->append(s);
+}
+
+/// Bounds-checked little-endian reader over a byte view.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool GetU8(uint8_t* v) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    *v = static_cast<uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+
+  bool GetU32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+
+  bool GetU64(uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+
+  bool GetF64(double* v) {
+    uint64_t raw = 0;
+    if (!GetU64(&raw)) return false;
+    *v = std::bit_cast<double>(raw);
+    return true;
+  }
+
+  bool GetString(std::string* s, uint64_t max_len) {
+    uint64_t len = 0;
+    if (!GetU64(&len) || len > max_len || pos_ + len > bytes_.size()) {
+      return false;
+    }
+    s->assign(bytes_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+
+  /// Returns a view of the next `len` bytes and advances past them;
+  /// false on truncation.
+  bool GetBytes(std::string_view* view, uint64_t len) {
+    if (len > bytes_.size() - pos_ || pos_ + len > bytes_.size()) {
+      return false;
+    }
+    *view = bytes_.substr(pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace msp
+
+#endif  // MSP_UTIL_BINARY_IO_H_

@@ -1,0 +1,30 @@
+// FNV-1a hashing, shared by every binary framing format in the repo
+// (snapshots, shard images, write-ahead changelogs) and by the serving
+// layer's key -> shard routing. Cheap, dependency-free, and plenty to
+// catch truncation and bit rot — these are integrity checks and stable
+// placement hashes, not security primitives.
+
+#ifndef MSP_UTIL_FNV_H_
+#define MSP_UTIL_FNV_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace msp {
+
+inline constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+inline constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+/// 64-bit FNV-1a over `bytes`.
+inline uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t hash = kFnvOffsetBasis;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace msp
+
+#endif  // MSP_UTIL_FNV_H_

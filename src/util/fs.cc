@@ -1,0 +1,324 @@
+#include "util/fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+namespace msp {
+
+namespace {
+
+std::string ErrnoString(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+// ---------------------------------------------------------------------------
+// RealFileSystem
+
+class RealWritableFile : public WritableFile {
+ public:
+  RealWritableFile(int fd, std::string path, RealFileSystem* fs)
+      : fd_(fd), path_(std::move(path)), fs_(fs) {}
+
+  ~RealWritableFile() override { Close(); }
+
+  bool Append(std::string_view data) override {
+    if (!error_.empty()) return false;
+    const char* p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        error_ = ErrnoString("write", path_);
+        return false;
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool Sync() override {
+    if (!error_.empty()) return false;
+    if (::fsync(fd_) != 0) {
+      error_ = ErrnoString("fsync", path_);
+      return false;
+    }
+    fs_->syncs_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool Close() override {
+    if (fd_ < 0) return error_.empty();
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0 && error_.empty()) {
+      error_ = ErrnoString("close", path_);
+    }
+    return error_.empty();
+  }
+
+  const std::string& last_error() const override { return error_; }
+
+ private:
+  int fd_;
+  std::string path_;
+  RealFileSystem* fs_;
+  std::string error_;
+};
+
+RealFileSystem* RealFileSystem::Default() {
+  static RealFileSystem* instance = new RealFileSystem();
+  return instance;
+}
+
+std::unique_ptr<WritableFile> RealFileSystem::NewWritableFile(
+    const std::string& path, std::string* error) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) *error = ErrnoString("open", path);
+    return nullptr;
+  }
+  return std::make_unique<RealWritableFile>(fd, path, this);
+}
+
+bool RealFileSystem::ReadFileToString(const std::string& path,
+                                      std::string* out, std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (error != nullptr) *error = ErrnoString("open", path);
+    return false;
+  }
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = ErrnoString("read", path);
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return true;
+}
+
+bool RealFileSystem::FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+std::vector<std::string> RealFileSystem::ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    names.push_back(entry.path().filename().string());
+  }
+  return names;
+}
+
+bool RealFileSystem::DeleteFile(const std::string& path) {
+  return ::unlink(path.c_str()) == 0;
+}
+
+bool RealFileSystem::RenameFile(const std::string& from,
+                                const std::string& to) {
+  return ::rename(from.c_str(), to.c_str()) == 0;
+}
+
+bool RealFileSystem::CreateDirs(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return !ec && std::filesystem::is_directory(dir, ec);
+}
+
+bool RealFileSystem::SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (ok) syncs_.fetch_add(1, std::memory_order_relaxed);
+  return ok;
+}
+
+uint64_t RealFileSystem::total_syncs() const {
+  return syncs_.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// MemFileSystem
+
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(MemFileSystem* fs, std::string path)
+      : fs_(fs), path_(std::move(path)) {}
+
+  bool Append(std::string_view data) override {
+    if (!error_.empty()) return false;
+    std::unique_lock<std::mutex> lock(fs_->mu_);
+    const auto it = fs_->files_.find(path_);
+    if (it == fs_->files_.end()) {
+      // The file was deleted/renamed away under this handle; a real fd
+      // would keep writing into the unlinked inode, but the durability
+      // layer never does that — treat it as a write error.
+      error_ = "write " + path_ + ": file vanished";
+      return false;
+    }
+    it->second.pending.append(data);
+    return true;
+  }
+
+  bool Sync() override {
+    if (!error_.empty()) return false;
+    std::unique_lock<std::mutex> lock(fs_->mu_);
+    const auto it = fs_->files_.find(path_);
+    if (it == fs_->files_.end()) {
+      error_ = "fsync " + path_ + ": file vanished";
+      return false;
+    }
+    it->second.durable.append(it->second.pending);
+    it->second.pending.clear();
+    ++it->second.syncs;
+    ++fs_->total_syncs_;
+    return true;
+  }
+
+  bool Close() override { return error_.empty(); }
+
+  const std::string& last_error() const override { return error_; }
+
+ private:
+  MemFileSystem* fs_;
+  std::string path_;
+  std::string error_;
+};
+
+std::unique_ptr<WritableFile> MemFileSystem::NewWritableFile(
+    const std::string& path, std::string* error) {
+  (void)error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    files_[path] = File{};
+  }
+  return std::make_unique<MemWritableFile>(this, path);
+}
+
+bool MemFileSystem::ReadFileToString(const std::string& path,
+                                     std::string* out, std::string* error) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    if (error != nullptr) *error = "open " + path + ": no such file";
+    return false;
+  }
+  // A crash-free read sees the page cache: durable + pending bytes.
+  *out = it->second.durable + it->second.pending;
+  return true;
+}
+
+bool MemFileSystem::FileExists(const std::string& path) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return files_.count(path) != 0;
+}
+
+std::vector<std::string> MemFileSystem::ListDir(const std::string& dir) {
+  const std::string prefix = dir.empty() || dir.back() == '/'
+                                 ? dir
+                                 : dir + "/";
+  std::vector<std::string> names;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (const auto& [path, file] : files_) {
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  return names;
+}
+
+bool MemFileSystem::DeleteFile(const std::string& path) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return files_.erase(path) != 0;
+}
+
+bool MemFileSystem::RenameFile(const std::string& from,
+                               const std::string& to) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = files_.find(from);
+  if (it == files_.end()) return false;
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return true;
+}
+
+bool MemFileSystem::CreateDirs(const std::string& dir) {
+  std::unique_lock<std::mutex> lock(mu_);
+  dirs_.push_back(dir);
+  return true;
+}
+
+bool MemFileSystem::SyncDir(const std::string& dir) {
+  (void)dir;
+  std::unique_lock<std::mutex> lock(mu_);
+  ++total_syncs_;
+  return true;
+}
+
+uint64_t MemFileSystem::total_syncs() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return total_syncs_;
+}
+
+void MemFileSystem::DropUnsynced() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (auto& [path, file] : files_) file.pending.clear();
+}
+
+std::string MemFileSystem::DurableContents(const std::string& path) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = files_.find(path);
+  return it == files_.end() ? std::string() : it->second.durable;
+}
+
+std::string MemFileSystem::WrittenContents(const std::string& path) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = files_.find(path);
+  return it == files_.end() ? std::string()
+                            : it->second.durable + it->second.pending;
+}
+
+uint64_t MemFileSystem::syncs_of(const std::string& path) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second.syncs;
+}
+
+void MemFileSystem::CorruptFile(const std::string& path,
+                                std::string contents) {
+  std::unique_lock<std::mutex> lock(mu_);
+  File& file = files_[path];
+  file.durable = std::move(contents);
+  file.pending.clear();
+}
+
+}  // namespace msp

@@ -1,0 +1,146 @@
+// File-system abstraction for the durability layer.
+//
+// The write-ahead changelog promises "an acked update survives a
+// crash". That promise is only testable if the file backend can be
+// swapped for one that *simulates* crashes: the crash-injection suites
+// wrap these interfaces to kill the write stream at arbitrary byte
+// boundaries, count fsyncs, and drop unsynced bytes the way a power
+// loss would. Production uses RealFileSystem (POSIX, real fsync);
+// tests use MemFileSystem, which models the page cache explicitly:
+// Append lands in a pending buffer, Sync moves it to the durable
+// image, and DropUnsynced() is the power switch.
+//
+// The interface is deliberately tiny — exactly what a changelog plus
+// snapshot rotation needs (append-only writes, whole-file reads,
+// list/rename/delete, directory sync) and nothing more.
+
+#ifndef MSP_UTIL_FS_H_
+#define MSP_UTIL_FS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msp {
+
+/// An append-only file handle. Append buffers (page cache semantics);
+/// Sync makes everything appended so far durable. All methods return
+/// false on failure and set the handle's sticky error — after the
+/// first failure every later call fails too, so a writer can never
+/// silently skip bytes in the middle of a stream.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual bool Append(std::string_view data) = 0;
+  virtual bool Sync() = 0;
+  virtual bool Close() = 0;
+
+  virtual const std::string& last_error() const = 0;
+};
+
+/// See the file comment. Thread-safe: distinct files may be written
+/// concurrently (the serving shards each log to their own changelog
+/// through one shared FileSystem).
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Creates (or truncates) `path` for appending.
+  virtual std::unique_ptr<WritableFile> NewWritableFile(
+      const std::string& path, std::string* error) = 0;
+
+  virtual bool ReadFileToString(const std::string& path, std::string* out,
+                                std::string* error) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  /// Entry names (not full paths) of `dir`; empty when missing.
+  virtual std::vector<std::string> ListDir(const std::string& dir) = 0;
+  virtual bool DeleteFile(const std::string& path) = 0;
+  /// Atomic replace (POSIX rename semantics).
+  virtual bool RenameFile(const std::string& from, const std::string& to) = 0;
+  virtual bool CreateDirs(const std::string& dir) = 0;
+  /// Makes directory entries (creates/renames/deletes under `dir`)
+  /// durable. No-op where the platform gives no handle on it.
+  virtual bool SyncDir(const std::string& dir) = 0;
+
+  /// Total fsyncs issued through this file system (files + dirs).
+  virtual uint64_t total_syncs() const = 0;
+};
+
+/// POSIX implementation (open/write/fsync). `Default()` returns a
+/// process-wide instance.
+class RealFileSystem : public FileSystem {
+ public:
+  static RealFileSystem* Default();
+
+  std::unique_ptr<WritableFile> NewWritableFile(
+      const std::string& path, std::string* error) override;
+  bool ReadFileToString(const std::string& path, std::string* out,
+                        std::string* error) override;
+  bool FileExists(const std::string& path) override;
+  std::vector<std::string> ListDir(const std::string& dir) override;
+  bool DeleteFile(const std::string& path) override;
+  bool RenameFile(const std::string& from, const std::string& to) override;
+  bool CreateDirs(const std::string& dir) override;
+  bool SyncDir(const std::string& dir) override;
+  uint64_t total_syncs() const override;
+
+ private:
+  friend class RealWritableFile;
+  std::atomic<uint64_t> syncs_{0};
+};
+
+/// In-memory implementation with explicit durability modelling for the
+/// crash suites. Thread-safe (one mutex over the whole tree — this is
+/// a test double, not a performance path).
+class MemFileSystem : public FileSystem {
+ public:
+  std::unique_ptr<WritableFile> NewWritableFile(
+      const std::string& path, std::string* error) override;
+  bool ReadFileToString(const std::string& path, std::string* out,
+                        std::string* error) override;
+  bool FileExists(const std::string& path) override;
+  std::vector<std::string> ListDir(const std::string& dir) override;
+  bool DeleteFile(const std::string& path) override;
+  bool RenameFile(const std::string& from, const std::string& to) override;
+  bool CreateDirs(const std::string& dir) override;
+  bool SyncDir(const std::string& dir) override;
+  uint64_t total_syncs() const override;
+
+  /// Power loss: every byte appended but not yet fsynced — on every
+  /// file — vanishes. Reads afterwards see only the durable image.
+  void DropUnsynced();
+  /// The durable (fsynced) prefix of `path`; empty when missing.
+  std::string DurableContents(const std::string& path) const;
+  /// Durable + pending bytes (what a crash-free read would see).
+  std::string WrittenContents(const std::string& path) const;
+  /// fsyncs issued against `path`.
+  uint64_t syncs_of(const std::string& path) const;
+  /// Replaces the full (durable) contents of `path` — corruption
+  /// injection for the recovery tests.
+  void CorruptFile(const std::string& path, std::string contents);
+
+ private:
+  friend class MemWritableFile;
+  struct File {
+    std::string durable;
+    std::string pending;
+    uint64_t syncs = 0;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, File> files_;
+  std::vector<std::string> dirs_;
+  uint64_t total_syncs_ = 0;
+};
+
+/// Joins two path segments with exactly one '/'.
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+}  // namespace msp
+
+#endif  // MSP_UTIL_FS_H_
