@@ -88,11 +88,9 @@ ServeOutcome RunWorkload(const std::vector<online::UpdateTrace>& traces,
   outcome.seconds = watch.ElapsedSeconds();
   const serving::ServingStats stats = service.stats();
   outcome.updates = stats.total.updates;
-  if (!stats.total.latency_us.empty()) {
-    const SummaryStats latency =
-        SummaryStats::Compute(stats.total.latency_us);
-    outcome.p50_us = latency.Percentile(50.0);
-    outcome.p99_us = latency.Percentile(99.0);
+  if (stats.total.latency.count() > 0) {
+    outcome.p50_us = stats.total.latency.Percentile(50.0);
+    outcome.p99_us = stats.total.latency.Percentile(99.0);
   }
   std::string error;
   if (!service.ValidateAll(&error)) {

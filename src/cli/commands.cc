@@ -1,11 +1,16 @@
 #include "cli/commands.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <fstream>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cli/sizes_io.h"
@@ -23,6 +28,10 @@
 #include "online/coverage.h"
 #include "online/policy.h"
 #include "online/snapshot.h"
+#include "obs/export.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "online/trace.h"
 #include "planner/service.h"
 #include "serving/service.h"
@@ -38,6 +47,122 @@
 namespace msp::cli {
 
 namespace {
+
+// Per-invocation observability behind --metrics-out / --trace-out: a
+// registry pre-seeded with the standard cross-subsystem series, plus
+// the process-global tracer armed for the command's duration. The
+// command wires registry() (null when no --metrics-out, so every hot
+// path stays a pointer test) into its config structs, runs, then calls
+// Finish() to dump the files. The destructor disarms the tracer on
+// early-error paths so a failed command never leaves tracing on.
+class ObsSession {
+ public:
+  ObsSession() = default;
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  void Init(const ArgParser& parser) {
+    metrics_path_ = parser.GetString("metrics-out");
+    trace_path_ = parser.GetString("trace-out");
+    if (!metrics_path_.empty()) obs::RegisterStandardMetrics(&registry_);
+    if (!trace_path_.empty()) {
+      obs::Tracer::Start();
+      tracing_ = true;
+    }
+  }
+
+  // Null when no metrics dump was requested.
+  obs::Registry* registry() {
+    return metrics_path_.empty() ? nullptr : &registry_;
+  }
+
+  // Thread-safe re-dump of the metrics file (`serve --stats-every`).
+  bool WriteMetricsNow(std::string* error) const {
+    return obs::WriteMetricsFile(registry_, metrics_path_, error);
+  }
+
+  // Stops the tracer and writes whatever was requested. Returns false
+  // (after reporting to `err`) when a dump cannot be written.
+  bool Finish(std::ostream& err) {
+    bool ok = true;
+    std::string error;
+    if (tracing_) {
+      obs::Tracer::Stop();
+      tracing_ = false;
+      if (!obs::WriteTraceFile(trace_path_, &error)) {
+        err << "error: " << error << "\n";
+        ok = false;
+      }
+    }
+    if (!metrics_path_.empty() && !WriteMetricsNow(&error)) {
+      err << "error: " << error << "\n";
+      ok = false;
+    }
+    return ok;
+  }
+
+  ~ObsSession() {
+    if (tracing_) obs::Tracer::Stop();
+  }
+
+ private:
+  obs::Registry registry_;
+  std::string metrics_path_;
+  std::string trace_path_;
+  bool tracing_ = false;
+};
+
+// Background thread for `serve --stats-every N`: re-dumps the metrics
+// file every N milliseconds while the serving run is in flight, so an
+// operator can watch gauges move. Stop() (and the destructor) joins.
+class PeriodicMetricsDumper {
+ public:
+  PeriodicMetricsDumper(const ObsSession& session, uint64_t interval_ms,
+                        std::ostream& err)
+      : session_(session), interval_ms_(interval_ms), err_(err) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~PeriodicMetricsDumper() { Stop(); }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  uint64_t dumps() const { return dumps_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopped_) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                       [this] { return stopped_; })) {
+        break;
+      }
+      std::string error;
+      if (!session_.WriteMetricsNow(&error)) {
+        err_ << "warning: periodic metrics dump failed: " << error << "\n";
+        break;
+      }
+      dumps_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  const ObsSession& session_;
+  const uint64_t interval_ms_;
+  std::ostream& err_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::atomic<uint64_t> dumps_{0};
+  std::thread thread_;
+};
 
 // Reads --sizes=<path> into an A2A instance with --q=<capacity>.
 std::optional<A2AInstance> LoadA2A(const ArgParser& parser,
@@ -308,8 +433,12 @@ int CmdPlan(const ArgParser& parser, std::ostream& out, std::ostream& err) {
     return 2;
   }
 
+  ObsSession obs_session;
+  obs_session.Init(parser);
+
   planner::PlannerConfig config;
   config.cache_shards = *shards;
+  config.metrics = obs_session.registry();
   planner::PlanOptions opts;
   opts.use_portfolio = *portfolio != 0;
   opts.budget_ms = *budget_ms;
@@ -336,6 +465,7 @@ int CmdPlan(const ArgParser& parser, std::ostream& out, std::ostream& err) {
   }
   if (!result.schema.has_value()) {
     err << "no schema: instance infeasible\n";
+    obs_session.Finish(err);
     return 1;
   }
   err << "algorithm=" << result.algorithm
@@ -345,6 +475,7 @@ int CmdPlan(const ArgParser& parser, std::ostream& out, std::ostream& err) {
       << " plan_micros=" << result.plan_micros << "\n";
   PrintScoreboard(cold, err);
   if (parser.Has("stats")) service.PrintStats(err);
+  if (!obs_session.Finish(err)) return 2;
   out << SchemaToText(*result.schema);
   return 0;
 }
@@ -498,14 +629,18 @@ constexpr char kCliStreamKey[] = "stream";
 // is set (end of the whole trace, not a snapshot cut). When `wal` is
 // non-null every processed event is appended to the changelog before
 // the next one runs (log-before-ack, mirroring the serving shards);
-// an append failure aborts the replay. Returns false when the oracle
-// rejects an intermediate schema or the changelog cannot be written.
+// an append failure aborts the replay. When `repair_latency` is
+// non-null every applied update's repair time also lands in that
+// histogram (the registry's online.repair_latency_us series). Returns
+// false when the oracle rejects an intermediate schema or the
+// changelog cannot be written.
 bool ReplayTraceRange(const online::UpdateTrace& trace,
                       std::size_t end_event, std::size_t batch,
                       uint64_t validate_every, bool final_checkpoint,
                       online::OnlineAssigner* assigner,
                       online::ReplayCursor* cursor, ReplayStats* stats,
-                      durability::ChangelogWriter* wal, std::ostream& err) {
+                      durability::ChangelogWriter* wal,
+                      obs::Histogram* repair_latency, std::ostream& err) {
   const auto wal_append = [&](const durability::LogRecord& record) {
     std::string wal_error;
     if (wal->Append(record, &wal_error)) return true;
@@ -545,6 +680,7 @@ bool ReplayTraceRange(const online::UpdateTrace& trace,
     }
     if (result.applied) {
       stats->repair_us.push_back(static_cast<double>(us));
+      if (repair_latency != nullptr) repair_latency->Record(us);
       if (assigner->pending_decision_updates() >= window) {
         assigner->PolicyCheckpoint();
         if (wal != nullptr &&
@@ -677,18 +813,23 @@ int CmdOnline(const ArgParser& parser, std::ostream& out, std::ostream& err) {
     return 2;
   }
 
+  ObsSession obs_session;
+  obs_session.Init(parser);
+
   online::OnlineConfig config;
   config.x2y = trace->x2y;
   config.capacity = trace->initial_capacity;
   config.policy_spec = *spec;
   config.coverage = *coverage;
   config.plan_options.use_portfolio = *portfolio != 0;
+  config.metrics = obs_session.registry();
 
   std::unique_ptr<durability::ChangelogWriter> wal;
   const std::string wal_out = parser.GetString("wal-out");
   if (!wal_out.empty()) {
     durability::ChangelogWriterOptions wal_options;
     wal_options.fsync_every_n = *fsync_every;
+    wal_options.metrics = obs_session.registry();
     std::string wal_error;
     wal = durability::ChangelogWriter::Create(RealFileSystem::Default(),
                                               wal_out, /*epoch=*/1,
@@ -712,10 +853,14 @@ int CmdOnline(const ArgParser& parser, std::ostream& out, std::ostream& err) {
   online::OnlineAssigner assigner(config);
   online::ReplayCursor cursor;
   ReplayStats stats;
+  obs::Registry* registry = obs_session.registry();
+  obs::Histogram* repair_latency =
+      registry == nullptr ? nullptr
+                          : registry->histogram("online.repair_latency_us");
   if (!ReplayTraceRange(*trace, trace->updates.size(),
                         static_cast<std::size_t>(*batch), *validate_every,
                         /*final_checkpoint=*/true, &assigner, &cursor,
-                        &stats, wal.get(), err)) {
+                        &stats, wal.get(), repair_latency, err)) {
     return 1;
   }
   if (wal != nullptr) {
@@ -728,6 +873,7 @@ int CmdOnline(const ArgParser& parser, std::ostream& out, std::ostream& err) {
         << " bytes=" << wal->bytes_appended()
         << " fsyncs=" << wal->fsyncs() << "\n";
   }
+  if (!obs_session.Finish(err)) return 2;
   return PrintReplayReport(assigner, stats, out, err);
 }
 
@@ -757,8 +903,17 @@ int CmdServe(const ArgParser& parser, std::ostream& out, std::ostream& err) {
   const auto portfolio = parser.GetUint("portfolio", 0);
   const auto fsync_every = parser.GetUint("fsync-every", 32);
   const auto rotate_every = parser.GetUint("rotate-every", 0);
+  const auto stats_every = parser.GetUint("stats-every", 0);
   const auto spec = LoadPolicySpec(parser, err);
   if (!spec.has_value()) return 2;
+  if (!stats_every) {
+    err << "error: bad --stats-every\n";
+    return 2;
+  }
+  if (*stats_every != 0 && parser.GetString("metrics-out").empty()) {
+    err << "error: --stats-every requires --metrics-out=FILE\n";
+    return 2;
+  }
   if (!instances || !shards || !initial || !steps || !q || !lo || !hi ||
       !skew || !seed || !batch || !portfolio || !fsync_every ||
       !rotate_every || *instances == 0 ||
@@ -772,8 +927,12 @@ int CmdServe(const ArgParser& parser, std::ostream& out, std::ostream& err) {
     return 2;
   }
 
+  ObsSession obs_session;
+  obs_session.Init(parser);
+
   serving::ServingConfig serving_config;
   serving_config.num_shards = static_cast<std::size_t>(*shards);
+  serving_config.metrics = obs_session.registry();
   serving::ServingService service(serving_config);
 
   const std::string wal_dir = parser.GetString("wal-dir");
@@ -806,6 +965,10 @@ int CmdServe(const ArgParser& parser, std::ostream& out, std::ostream& err) {
     total_events += traces.back().updates.size();
   }
 
+  // Periodic metrics dumps while the shards chew through the streams.
+  std::optional<PeriodicMetricsDumper> dumper;
+  if (*stats_every != 0) dumper.emplace(obs_session, *stats_every, err);
+
   Stopwatch wall;
   for (uint64_t i = 0; i < *instances; ++i) {
     const std::string key = "trace-" + std::to_string(i);
@@ -823,6 +986,10 @@ int CmdServe(const ArgParser& parser, std::ostream& out, std::ostream& err) {
   service.CheckpointAll();
   service.Flush();
   const double seconds = wall.ElapsedSeconds();
+  if (dumper.has_value()) {
+    dumper->Stop();
+    err << "stats: " << dumper->dumps() << " periodic metrics dump(s)\n";
+  }
 
   service.PrintStats(err);
   err << "throughput: " << TablePrinter::Fmt(
@@ -844,6 +1011,7 @@ int CmdServe(const ArgParser& parser, std::ostream& out, std::ostream& err) {
         << " valid=" << (valid ? "yes" : "NO") << "\n";
     if (!valid) err << "INVALID instance '" << key << "': " << error << "\n";
   });
+  if (!obs_session.Finish(err)) return 2;
   return all_valid ? 0 : 1;
 }
 
@@ -890,7 +1058,8 @@ int CmdSnapshot(const ArgParser& parser, std::ostream& out,
   if (!ReplayTraceRange(*trace, static_cast<std::size_t>(*steps),
                         static_cast<std::size_t>(*batch),
                         /*validate_every=*/0, /*final_checkpoint=*/false,
-                        &assigner, &cursor, &stats, /*wal=*/nullptr, err)) {
+                        &assigner, &cursor, &stats, /*wal=*/nullptr,
+                        /*repair_latency=*/nullptr, err)) {
     return 1;
   }
   std::string validate_error;
@@ -1004,7 +1173,7 @@ int CmdRestore(const ArgParser& parser, std::ostream& out,
                           static_cast<std::size_t>(*batch), *validate_every,
                           /*final_checkpoint=*/true, &assigner,
                           &restored->cursor, &stats, /*wal=*/nullptr,
-                          err)) {
+                          /*repair_latency=*/nullptr, err)) {
       return 1;
     }
   }
@@ -1033,8 +1202,11 @@ int CmdRecover(const ArgParser& parser, std::ostream& out,
     err << "error: " << error << "\n";
     return 2;
   }
+  ObsSession obs_session;
+  obs_session.Init(parser);
   serving::ServingConfig serving_config;
   serving_config.num_shards = num_shards;
+  serving_config.metrics = obs_session.registry();
   serving::ServingService service(serving_config);
   durability::WalOptions wal_options;
   wal_options.dir = wal_dir;
@@ -1062,6 +1234,7 @@ int CmdRecover(const ArgParser& parser, std::ostream& out,
   err << "recovered: shards=" << num_shards
       << " instances=" << service.stats().total.instances
       << " valid=" << (all_valid ? "yes" : "NO") << "\n";
+  if (!obs_session.Finish(err)) return 2;
   return all_valid ? 0 : 1;
 }
 
@@ -1090,6 +1263,9 @@ int CmdSimulate(const ArgParser& parser, std::ostream& out,
     return 2;
   }
 
+  ObsSession obs_session;
+  obs_session.Init(parser);
+
   sim::SimConfig config;
   config.online.x2y = trace->x2y;
   config.online.capacity = trace->initial_capacity;
@@ -1098,6 +1274,7 @@ int CmdSimulate(const ArgParser& parser, std::ostream& out,
   config.shards = static_cast<std::size_t>(*shards);
   config.batch = static_cast<std::size_t>(*batch);
   config.oracle_every = *oracle_every;
+  config.metrics = obs_session.registry();
 
   // Open the CSV before the (potentially long) simulation runs, so a
   // bad path fails fast instead of discarding the finished run.
@@ -1211,6 +1388,7 @@ int CmdSimulate(const ArgParser& parser, std::ostream& out,
       << " reconciled=" << (report.ok() ? "yes" : "NO")
       << " valid=" << (valid ? "yes" : "NO") << "\n";
   if (!valid) err << "INVALID final schema: " << validate_error << "\n";
+  if (!obs_session.Finish(err)) return 2;
   return report.ok() && valid ? 0 : 1;
 }
 
@@ -1234,6 +1412,7 @@ void PrintUsage(std::ostream& out) {
          "  plan       --sizes=FILE --q=Q   (or --x-sizes/--y-sizes)\n"
          "             [--portfolio=0|1] [--cache-shards=N]\n"
          "             [--budget-ms=MS] [--repeat=N] [--stats]\n"
+         "             [--metrics-out=FILE] [--trace-out=FILE]\n"
          "             planning service: canonicalize, cache, portfolio\n"
          "  gen-trace  --kind=a2a|x2y [--initial=M] [--steps=N] [--q=Q]\n"
          "             [--shape=mixed|flash-crowd|capacity-oscillation]\n"
@@ -1244,7 +1423,8 @@ void PrintUsage(std::ostream& out) {
          "             [--replan-threshold=R] [--every-n=N] [--cooldown=N]\n"
          "             [--validate-every=N] [--portfolio=0|1] [--batch=B]\n"
          "             [--coverage=triangular|hash] [--wal-out=FILE]\n"
-         "             [--fsync-every=N]\n"
+         "             [--fsync-every=N] [--metrics-out=FILE]\n"
+         "             [--trace-out=FILE]\n"
          "             replay a trace through the online assigner\n"
          "  serve      [--kind=a2a|x2y] [--instances=N] [--shards=N]\n"
          "             [--initial=M] [--steps=N] [--q=Q] [--lo=L] [--hi=H]\n"
@@ -1252,8 +1432,11 @@ void PrintUsage(std::ostream& out) {
          "             [--policy=...] [--replan-threshold=R] [--every-n=N]\n"
          "             [--cooldown=N] [--portfolio=0|1] [--wal-dir=DIR]\n"
          "             [--fsync-every=N] [--rotate-every=N]\n"
+         "             [--metrics-out=FILE] [--trace-out=FILE]\n"
+         "             [--stats-every=MS]  (periodic metrics re-dumps)\n"
          "             replay one trace per instance across serving shards\n"
-         "  recover    --wal-dir=DIR\n"
+         "  recover    --wal-dir=DIR [--metrics-out=FILE] "
+         "[--trace-out=FILE]\n"
          "             crash-recover a serve run from its changelogs\n"
          "  snapshot   --trace=FILE --out=FILE [--steps=K] [--batch=B]\n"
          "             [--policy=...] [--replan-threshold=R] [--every-n=N]\n"
@@ -1266,9 +1449,15 @@ void PrintUsage(std::ostream& out) {
          "  simulate   --trace=FILE [--shards=N] [--batch=B] [--csv=FILE]\n"
          "             [--policy=...] [--replan-threshold=R] [--every-n=N]\n"
          "             [--cooldown=N] [--oracle-every=N] [--max-rows=N]\n"
-         "             [--portfolio=0|1]\n"
+         "             [--portfolio=0|1] [--metrics-out=FILE]\n"
+         "             [--trace-out=FILE]\n"
          "             execute a trace on the MapReduce engine and\n"
          "             reconcile predicted vs re-shuffled bytes\n"
+         "\n"
+         "observability: --metrics-out dumps every registry series at\n"
+         "  exit (Prometheus text, or CSV when FILE ends in .csv);\n"
+         "  --trace-out writes a Chrome trace-event JSON of the run's\n"
+         "  spans (load in Perfetto / chrome://tracing)\n"
          "\n"
          "a2a algorithms: auto single-reducer naive-all-pairs "
          "equal-grouping\n"
@@ -1296,20 +1485,20 @@ const std::vector<CommandSpec>& Commands() {
       {"improve", CmdImprove, {"sizes", "q", "schema"}},
       {"plan", CmdPlan,
        {"sizes", "x-sizes", "y-sizes", "q", "cache-shards", "portfolio",
-        "budget-ms", "repeat", "stats"}},
+        "budget-ms", "repeat", "stats", "metrics-out", "trace-out"}},
       {"gen-trace", CmdGenTrace,
        {"kind", "shape", "initial", "steps", "q", "lo", "hi", "skew",
         "seed", "p-add", "p-remove", "p-resize"}},
       {"online", CmdOnline,
        {"trace", "policy", "replan-threshold", "every-n", "cooldown",
         "validate-every", "portfolio", "batch", "coverage", "wal-out",
-        "fsync-every"}},
+        "fsync-every", "metrics-out", "trace-out"}},
       {"serve", CmdServe,
        {"kind", "instances", "shards", "initial", "steps", "q", "lo", "hi",
         "skew", "seed", "batch", "stats", "policy", "replan-threshold",
         "every-n", "cooldown", "portfolio", "wal-dir", "fsync-every",
-        "rotate-every"}},
-      {"recover", CmdRecover, {"wal-dir"}},
+        "rotate-every", "metrics-out", "trace-out", "stats-every"}},
+      {"recover", CmdRecover, {"wal-dir", "metrics-out", "trace-out"}},
       {"snapshot", CmdSnapshot,
        {"trace", "out", "steps", "batch", "policy", "replan-threshold",
         "every-n", "cooldown", "coverage", "portfolio", "epoch"}},
@@ -1318,7 +1507,7 @@ const std::vector<CommandSpec>& Commands() {
       {"simulate", CmdSimulate,
        {"trace", "policy", "replan-threshold", "every-n", "cooldown",
         "shards", "batch", "oracle-every", "max-rows", "portfolio",
-        "csv"}},
+        "csv", "metrics-out", "trace-out"}},
   };
   return kCommands;
 }

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/span.h"
 #include "util/binary_io.h"
 #include "util/fnv.h"
 
@@ -327,6 +328,14 @@ ChangelogWriter::ChangelogWriter(std::unique_ptr<WritableFile> file,
       options_(options) {
   if (!options_.now_ms) options_.now_ms = SteadyNowMs;
   last_sync_ms_ = options_.now_ms();
+  if (options_.metrics != nullptr) {
+    obs::Registry& reg = *options_.metrics;
+    pub_.records = reg.counter("durability.records_appended_total");
+    pub_.bytes = reg.counter("durability.bytes_appended_total");
+    pub_.fsyncs = reg.counter("durability.fsyncs_total");
+    pub_.fsync_latency_us = reg.histogram("durability.fsync_latency_us");
+    pub_.group_commit_batch = reg.histogram("durability.group_commit_batch");
+  }
 }
 
 std::unique_ptr<ChangelogWriter> ChangelogWriter::Create(
@@ -360,6 +369,11 @@ bool ChangelogWriter::Append(const LogRecord& record, std::string* error) {
   }
   ++appended_records_;
   bytes_appended_ += frame.size();
+  ++records_since_sync_;
+  if (pub_.records != nullptr) {
+    pub_.records->Inc();
+    pub_.bytes->Inc(frame.size());
+  }
   return MaybeGroupCommit(error);
 }
 
@@ -381,7 +395,12 @@ bool ChangelogWriter::Sync(std::string* error) {
     return false;
   }
   if (synced_records_ == appended_records_) return true;
-  if (!file_->Sync()) {
+  obs::Span span("durability.fsync");
+  const uint64_t start_us = obs::MonotonicMicros();
+  const bool ok = file_->Sync();
+  const uint64_t elapsed_us = obs::MonotonicMicros() - start_us;
+  span.Arg("records", appended_records_ - synced_records_);
+  if (!ok) {
     poisoned_ = true;
     poison_error_ = "changelog fsync failed: " + file_->last_error();
     if (error != nullptr) *error = poison_error_;
@@ -390,6 +409,12 @@ bool ChangelogWriter::Sync(std::string* error) {
   synced_records_ = appended_records_;
   ++fsyncs_;
   last_sync_ms_ = options_.now_ms();
+  if (pub_.fsyncs != nullptr) {
+    pub_.fsyncs->Inc();
+    pub_.fsync_latency_us->Record(elapsed_us);
+    pub_.group_commit_batch->Record(records_since_sync_);
+  }
+  records_since_sync_ = 0;
   return true;
 }
 

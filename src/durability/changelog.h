@@ -58,6 +58,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "online/assigner.h"
 #include "online/trace.h"
 #include "util/fs.h"
@@ -159,6 +160,10 @@ struct ChangelogWriterOptions {
   uint64_t fsync_interval_ms = 0;
   /// Clock override for tests; null uses the steady clock.
   std::function<uint64_t()> now_ms;
+  /// Optional metrics sink: the writer publishes durability.* series
+  /// (records/bytes appended, fsyncs, fsync latency, group-commit
+  /// batch size). May be null.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Append-side of one changelog file. Not thread-safe — one writer per
@@ -192,6 +197,16 @@ class ChangelogWriter {
                   uint64_t epoch, const ChangelogWriterOptions& options);
   bool MaybeGroupCommit(std::string* error);
 
+  /// Registry handles (null without a metrics sink). Resolved once at
+  /// construction; publishing is a relaxed atomic add per event.
+  struct Instruments {
+    obs::Counter* records = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Counter* fsyncs = nullptr;
+    obs::Histogram* fsync_latency_us = nullptr;
+    obs::Histogram* group_commit_batch = nullptr;
+  };
+
   std::unique_ptr<WritableFile> file_;
   const std::string path_;
   const uint64_t epoch_;
@@ -203,6 +218,10 @@ class ChangelogWriter {
   uint64_t last_sync_ms_ = 0;
   bool poisoned_ = false;
   std::string poison_error_;
+  Instruments pub_;
+  /// Records appended since the last completed fsync — the group-commit
+  /// batch size recorded at each Sync.
+  uint64_t records_since_sync_ = 0;
 };
 
 }  // namespace msp::durability

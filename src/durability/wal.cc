@@ -5,6 +5,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/span.h"
 #include "util/binary_io.h"
 #include "util/fnv.h"
 
@@ -230,6 +231,7 @@ bool ShardWal::StartEpoch(uint64_t epoch, std::string* error) {
   ChangelogWriterOptions writer_options;
   writer_options.fsync_every_n = options_.fsync_every_n;
   writer_options.fsync_interval_ms = options_.fsync_interval_ms;
+  writer_options.metrics = options_.metrics;
   writer_ = ChangelogWriter::Create(fs_, WalPath(epoch), epoch,
                                     writer_options, error);
   if (writer_ == nullptr) return false;
@@ -278,6 +280,8 @@ std::unique_ptr<ShardWal> ShardWal::Open(
   }
 
   // --- recovery: newest decodable snapshot ---
+  obs::Span span("durability.recover");
+  const uint64_t recover_start_us = obs::MonotonicMicros();
   std::map<std::string, StreamState> streams;
   uint64_t snap_epoch = 0;
   std::string snap_error;
@@ -389,6 +393,13 @@ std::unique_ptr<ShardWal> ShardWal::Open(
                                     replay.rejected + replay.skipped +
                                     replay.checkpoints;
   wal->recovery_.stale_records = replay.stale;
+  const uint64_t replay_us = obs::MonotonicMicros() - recover_start_us;
+  span.Arg("instances", wal->recovery_.instances);
+  span.Arg("records", wal->recovery_.records_replayed);
+  if (options.metrics != nullptr) {
+    options.metrics->histogram("durability.recovery_replay_us")
+        ->Record(replay_us);
+  }
 
   // --- rotate the recovered state onto a fresh epoch ---
   uint64_t max_seen = wal_epoch;
@@ -437,12 +448,16 @@ bool ShardWal::Rotate(const std::vector<ImageEntry>& entries,
     return false;
   };
   const uint64_t next = epoch_ + 1;
+  obs::Span span("durability.rotate");
+  span.Arg("epoch", next);
+  span.Arg("instances", static_cast<uint64_t>(entries.size()));
 
   // 1. Fresh changelog first — a valid snapshot must never exist
   //    without its paired changelog.
   ChangelogWriterOptions writer_options;
   writer_options.fsync_every_n = options_.fsync_every_n;
   writer_options.fsync_interval_ms = options_.fsync_interval_ms;
+  writer_options.metrics = options_.metrics;
   auto next_writer = ChangelogWriter::Create(fs_, WalPath(next), next,
                                              writer_options, error);
   if (next_writer == nullptr) return false;
@@ -472,6 +487,9 @@ bool ShardWal::Rotate(const std::vector<ImageEntry>& entries,
   writer_ = std::move(next_writer);
   epoch_ = next;
   ++rotations_;
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("durability.rotations_total")->Inc();
+  }
 
   // 4. Old epoch files are garbage now.
   for (const std::string& name : fs_->ListDir(dir_)) {

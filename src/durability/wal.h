@@ -78,6 +78,10 @@ struct WalOptions {
   bool recover = false;
   /// Backend; null uses RealFileSystem::Default(). Not owned.
   FileSystem* fs = nullptr;
+  /// Optional metrics sink, handed to every changelog writer (fsync /
+  /// append series) plus rotation and recovery-replay series. Not
+  /// owned; must outlive the WAL.
+  obs::Registry* metrics = nullptr;
 };
 
 /// One recovered (or live) durable stream: the assigner plus its

@@ -2,8 +2,20 @@
 
 #include <algorithm>
 #include <queue>
+#include <string>
 
 namespace msp::mr {
+
+void PublishJobMetrics(const JobMetrics& metrics, obs::Registry* registry,
+                       std::string_view kind) {
+  if (registry == nullptr) return;
+  const obs::Labels labels = {{"kind", std::string(kind)}};
+  registry->counter("mr.jobs_total", labels)->Inc();
+  registry->counter("mr.shuffle_bytes_total", labels)
+      ->Inc(metrics.shuffle_bytes);
+  registry->counter("mr.shuffle_records_total", labels)
+      ->Inc(metrics.shuffle_records);
+}
 
 uint64_t LptMakespan(const std::vector<uint64_t>& costs,
                      std::size_t workers) {

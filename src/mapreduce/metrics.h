@@ -8,7 +8,10 @@
 #define MSP_MAPREDUCE_METRICS_H_
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace msp::mr {
 
@@ -47,6 +50,13 @@ struct JobMetrics {
 /// with Longest-Processing-Time-first. Used to report hardware-
 /// independent parallelism numbers in the benches.
 uint64_t LptMakespan(const std::vector<uint64_t>& costs, std::size_t workers);
+
+/// Publishes one run's counters into `registry` as mr.* series labeled
+/// kind=<kind> (e.g. "reshuffle", "oracle"): jobs, shuffle bytes,
+/// shuffle record copies. No-op when `registry` is null, so engine
+/// callers can pass their sink through unconditionally.
+void PublishJobMetrics(const JobMetrics& metrics, obs::Registry* registry,
+                       std::string_view kind);
 
 }  // namespace msp::mr
 

@@ -1,0 +1,25 @@
+// Exposition helpers: dump a Registry (Prometheus text or CSV) or the
+// tracer buffer (Chrome trace JSON) to a file. CSV paths reuse the
+// repo-wide CsvWriter; everything else is plain ofstream.
+
+#ifndef MSP_OBS_EXPORT_H_
+#define MSP_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace msp::obs {
+
+// Writes the Prometheus-style text dump (or, when `path` ends in
+// ".csv", the CSV exposition) to `path`. Returns false and fills
+// `*error` on I/O failure.
+bool WriteMetricsFile(const Registry& registry, const std::string& path,
+                      std::string* error);
+
+// Writes the tracer's buffered events as Chrome trace-event JSON.
+bool WriteTraceFile(const std::string& path, std::string* error);
+
+}  // namespace msp::obs
+
+#endif  // MSP_OBS_EXPORT_H_

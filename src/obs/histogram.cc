@@ -1,0 +1,107 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace msp::obs {
+
+std::size_t HistogramBucketIndex(uint64_t value) {
+  if (value < kHistogramSubBuckets) return static_cast<std::size_t>(value);
+  // Highest set bit h >= kHistogramSubBits; the sub-bucket is the next
+  // kHistogramSubBits bits below it.
+  const int h = std::bit_width(value) - 1;
+  const uint64_t sub =
+      (value >> (h - kHistogramSubBits)) & (kHistogramSubBuckets - 1);
+  return static_cast<std::size_t>(
+      ((h - kHistogramSubBits + 1) << kHistogramSubBits) + sub);
+}
+
+uint64_t HistogramBucketLower(std::size_t index) {
+  if (index < kHistogramSubBuckets) return index;
+  const int h =
+      static_cast<int>(index >> kHistogramSubBits) + kHistogramSubBits - 1;
+  const uint64_t sub = index & (kHistogramSubBuckets - 1);
+  return (kHistogramSubBuckets + sub) << (h - kHistogramSubBits);
+}
+
+uint64_t HistogramBucketUpper(std::size_t index) {
+  if (index < kHistogramSubBuckets) return index;
+  const int h =
+      static_cast<int>(index >> kHistogramSubBits) + kHistogramSubBits - 1;
+  return HistogramBucketLower(index) + ((1ull << (h - kHistogramSubBits)) - 1);
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target sample, 1-based.
+  uint64_t target = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (target == 0) target = 1;
+  uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      const uint64_t lower = HistogramBucketLower(i);
+      const uint64_t upper = HistogramBucketUpper(i);
+      // Midpoint, clamped to the observed extremes so p0/p100 report
+      // real values.
+      double v = static_cast<double>(lower) +
+                 (static_cast<double>(upper) - static_cast<double>(lower)) /
+                     2.0;
+      v = std::min(v, static_cast<double>(max_));
+      v = std::max(v, static_cast<double>(min_));
+      return v;
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count_ == 0) return;
+  if (buckets_.empty()) {
+    buckets_ = other.buckets_;
+  } else {
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[HistogramBucketIndex(value)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count_ = count_.load(std::memory_order_relaxed);
+  if (snap.count_ == 0) return snap;
+  snap.sum_ = sum_.load(std::memory_order_relaxed);
+  snap.min_ = min_.load(std::memory_order_relaxed);
+  snap.max_ = max_.load(std::memory_order_relaxed);
+  snap.buckets_.resize(kHistogramBuckets);
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    snap.buckets_[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+}  // namespace msp::obs

@@ -1,0 +1,113 @@
+// Log-bucket (HDR-style) latency histogram.
+//
+// Fixed size, O(1) record, mergeable across shards. Values below 2^4
+// land in exact unit-width buckets; above that, each power of two is
+// split into 16 sub-buckets, so any recorded value is reconstructed
+// within a relative error of 1/16 (the bucket width over its lower
+// bound). ~976 buckets cover the full uint64 range in ~8KB, which is
+// why every shard / writer / service can own one instead of keeping a
+// ring-capped sample vector whose p99 silently depends on the cap.
+//
+// `Histogram` is the live, thread-safe recorder (relaxed atomics:
+// record never takes a lock and never allocates). `HistogramSnapshot`
+// is the plain value type used for aggregation — copyable, mergeable,
+// and queryable for exact-count percentiles.
+
+#ifndef MSP_OBS_HISTOGRAM_H_
+#define MSP_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace msp::obs {
+
+// Sub-bucket resolution: 2^4 = 16 sub-buckets per power of two.
+inline constexpr int kHistogramSubBits = 4;
+inline constexpr uint64_t kHistogramSubBuckets = 1ull << kHistogramSubBits;
+// 60 power-of-two ranges above the linear region, 16 sub-buckets each,
+// plus the 16 exact unit buckets they extend. The +kHistogramSubBuckets
+// covers the top range (values >= 2^63 still index in bounds).
+inline constexpr std::size_t kHistogramBuckets =
+    ((64 - kHistogramSubBits) << kHistogramSubBits) + kHistogramSubBuckets;
+// Worst-case relative error of a reconstructed value: one bucket's
+// width over its lower bound (values < 16 are exact).
+inline constexpr double kHistogramRelativeError =
+    1.0 / static_cast<double>(kHistogramSubBuckets);
+
+// Maps a value to its bucket. Monotone: v <= w implies
+// BucketIndex(v) <= BucketIndex(w).
+std::size_t HistogramBucketIndex(uint64_t value);
+// Inclusive value range covered by a bucket.
+uint64_t HistogramBucketLower(std::size_t index);
+uint64_t HistogramBucketUpper(std::size_t index);
+
+// A point-in-time copy of a histogram: plain data, mergeable.
+class HistogramSnapshot {
+ public:
+  HistogramSnapshot() = default;
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+
+  // Value at percentile p (0..100): the representative (midpoint) of
+  // the bucket holding the sample of rank ceil(p/100 * count). Within
+  // kHistogramRelativeError of the true sample. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  // Element-wise sum; min/max/count/sum fold in. Merging an empty
+  // snapshot is a no-op.
+  void Merge(const HistogramSnapshot& other);
+
+  // Per-bucket counts (empty vector when nothing was recorded).
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  friend class Histogram;
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ull;
+  uint64_t max_ = 0;
+};
+
+// The live recorder. Record is wait-free (a handful of relaxed atomic
+// ops); Snapshot may be taken concurrently with recording and sees
+// some consistent-enough recent state (counts are monotone).
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value);
+  // Convenience for Stopwatch-style microsecond doubles; negative
+  // values clamp to 0.
+  void RecordMicros(double us) {
+    Record(us <= 0.0 ? 0 : static_cast<uint64_t>(us + 0.5));
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  HistogramSnapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{~0ull};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace msp::obs
+
+#endif  // MSP_OBS_HISTOGRAM_H_

@@ -1,0 +1,155 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace msp::obs {
+
+namespace {
+
+const double kQuantiles[] = {50.0, 90.0, 99.0, 99.9};
+
+std::string FmtDouble(double v) {
+  // Fixed three decimals, trailing zeros trimmed ("12.5", "0.999").
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  std::string s(buf);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+std::string Registry::Key(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  if (!labels.empty()) {
+    key += '{';
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) key += ',';
+      key += labels[i].first;
+      key += "=\"";
+      key += labels[i].second;
+      key += '"';
+    }
+    key += '}';
+  }
+  return key;
+}
+
+Registry::Entry* Registry::FindOrCreate(std::string_view name,
+                                        const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = Key(name, sorted);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(std::move(key));
+  if (inserted) {
+    it->second.name = std::string(name);
+    it->second.labels = std::move(sorted);
+  }
+  return &it->second;
+}
+
+Counter* Registry::counter(std::string_view name, const Labels& labels) {
+  Entry* entry = FindOrCreate(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!entry->counter) entry->counter = std::make_unique<Counter>();
+  return entry->counter.get();
+}
+
+Gauge* Registry::gauge(std::string_view name, const Labels& labels) {
+  Entry* entry = FindOrCreate(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!entry->gauge) entry->gauge = std::make_unique<Gauge>();
+  return entry->gauge.get();
+}
+
+Histogram* Registry::histogram(std::string_view name, const Labels& labels) {
+  Entry* entry = FindOrCreate(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!entry->histogram) entry->histogram = std::make_unique<Histogram>();
+  return entry->histogram.get();
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void Registry::WritePrometheus(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string last_type_for;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.counter) {
+      if (last_type_for != entry.name) {
+        out << "# TYPE " << entry.name << " counter\n";
+        last_type_for = entry.name;
+      }
+      out << key << ' ' << entry.counter->value() << '\n';
+    }
+    if (entry.gauge) {
+      if (last_type_for != entry.name) {
+        out << "# TYPE " << entry.name << " gauge\n";
+        last_type_for = entry.name;
+      }
+      out << key << ' ' << entry.gauge->value() << '\n';
+    }
+    if (entry.histogram) {
+      if (last_type_for != entry.name) {
+        out << "# TYPE " << entry.name << " summary\n";
+        last_type_for = entry.name;
+      }
+      const HistogramSnapshot snap = entry.histogram->snapshot();
+      for (const double q : kQuantiles) {
+        Labels quantile_labels = entry.labels;
+        quantile_labels.emplace_back("quantile", FmtDouble(q / 100.0));
+        out << Key(entry.name, quantile_labels) << ' '
+            << FmtDouble(snap.Percentile(q)) << '\n';
+      }
+      out << Key(entry.name + "_count", entry.labels) << ' ' << snap.count()
+          << '\n';
+      out << Key(entry.name + "_sum", entry.labels) << ' ' << snap.sum()
+          << '\n';
+      out << Key(entry.name + "_max", entry.labels) << ' ' << snap.max()
+          << '\n';
+    }
+  }
+}
+
+void Registry::WriteCsvRows(
+    std::vector<std::vector<std::string>>* rows) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, entry] : entries_) {
+    const std::string labels =
+        key.size() > entry.name.size()
+            ? key.substr(entry.name.size() + 1,
+                         key.size() - entry.name.size() - 2)
+            : std::string();
+    if (entry.counter) {
+      rows->push_back({entry.name, labels, "count",
+                       std::to_string(entry.counter->value())});
+    }
+    if (entry.gauge) {
+      rows->push_back({entry.name, labels, "value",
+                       std::to_string(entry.gauge->value())});
+    }
+    if (entry.histogram) {
+      const HistogramSnapshot snap = entry.histogram->snapshot();
+      rows->push_back(
+          {entry.name, labels, "count", std::to_string(snap.count())});
+      rows->push_back({entry.name, labels, "sum",
+                       std::to_string(snap.sum())});
+      for (const double q : kQuantiles) {
+        std::string field = "p";
+        field += FmtDouble(q);
+        rows->push_back({entry.name, labels, std::move(field),
+                         FmtDouble(snap.Percentile(q))});
+      }
+      rows->push_back({entry.name, labels, "max",
+                       std::to_string(snap.max())});
+    }
+  }
+}
+
+}  // namespace msp::obs

@@ -1,0 +1,111 @@
+// Thread-safe metrics registry: named atomic counters, gauges, and
+// histograms with a small label dimension ({"shard","3"},
+// {"kind","repair"}).
+//
+// Design contract: the registry is the *directory*, not the hot path.
+// Components resolve handles (Counter*, Gauge*, Histogram*) once at
+// construction — a mutex-guarded map lookup — and then record through
+// the handle with relaxed atomics, no lock, no allocation. Handles
+// stay valid for the registry's lifetime (metrics are heap-allocated
+// and never erased). A null `Registry*` in a config struct means "no
+// sink attached": components skip resolution and the record paths
+// compile down to a pointer test.
+//
+// Naming convention: `subsystem.verb_unit` — e.g. planner.plans_total,
+// online.churn_bytes_total{kind="add"}, durability.fsync_latency_us.
+// Counters end in _total; histograms carry their unit as a suffix.
+
+#ifndef MSP_OBS_METRICS_H_
+#define MSP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace msp::obs {
+
+// Sorted-by-key label set; kept tiny (0..2 pairs in practice).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Find-or-create. The same (name, labels) always returns the same
+  // handle; handles remain valid until the registry is destroyed.
+  Counter* counter(std::string_view name, const Labels& labels = {});
+  Gauge* gauge(std::string_view name, const Labels& labels = {});
+  Histogram* histogram(std::string_view name, const Labels& labels = {});
+
+  // Prometheus-style text exposition: counters/gauges as plain
+  // samples, histograms as summaries (quantile samples + _count/_sum).
+  // Deterministic order (sorted by name, then labels).
+  void WritePrometheus(std::ostream& out) const;
+
+  // CSV exposition: header `metric,labels,field,value`, one row per
+  // exported field, same order as WritePrometheus.
+  void WriteCsvRows(
+      std::vector<std::vector<std::string>>* rows) const;
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  // Renders name + labels into the map key (and exposition label
+  // string): `name{k="v",k2="v2"}`.
+  static std::string Key(std::string_view name, const Labels& labels);
+
+  Entry* FindOrCreate(std::string_view name, const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+// Pre-registers the cross-subsystem series every `--metrics-out` dump
+// should contain even when a code path never fired (a dump with an
+// explicit zero is a statement; a missing series is a question).
+// Defined in export.cc next to the exposition code — together they
+// are the canonical list of series names.
+void RegisterStandardMetrics(Registry* registry);
+
+}  // namespace msp::obs
+
+#endif  // MSP_OBS_METRICS_H_

@@ -1,0 +1,184 @@
+#include "obs/span.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string_view>
+
+namespace msp::obs {
+
+namespace {
+
+struct TracerState {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+};
+
+TracerState& State() {
+  static TracerState* state = new TracerState();
+  return *state;
+}
+
+uint32_t ThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+uint64_t MonotonicMicros() {
+  static const auto start = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+void Tracer::Start() {
+  TracerState& state = State();
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.events.clear();
+  }
+  MonotonicMicros();  // pin the epoch before the first event
+  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Stop() {
+  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.events;
+}
+
+std::size_t Tracer::event_count() {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.events.size();
+}
+
+void Tracer::Clear() {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.events.clear();
+}
+
+void Tracer::Emit(TraceEvent event) {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.events.push_back(std::move(event));
+}
+
+void Tracer::WriteChromeTrace(std::ostream& out) {
+  const std::vector<TraceEvent> events = Snapshot();
+  out << "[";
+  std::string line;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    line.clear();
+    line += i == 0 ? "\n" : ",\n";
+    line += "{\"name\":";
+    AppendJsonString(e.name, &line);
+    line += ",\"ph\":\"";
+    line.push_back(e.phase);
+    line += "\",\"ts\":";
+    line += std::to_string(e.ts_us);
+    line += ",\"pid\":1,\"tid\":";
+    line += std::to_string(e.tid);
+    if (!e.args.empty()) {
+      line += ",\"args\":{";
+      for (std::size_t a = 0; a < e.args.size(); ++a) {
+        if (a > 0) line += ",";
+        AppendJsonString(e.args[a].first, &line);
+        line += ":";
+        line += e.args[a].second;  // already a JSON literal
+      }
+      line += "}";
+    }
+    line += "}";
+    out << line;
+  }
+  out << "\n]\n";
+}
+
+void Span::Begin(std::string_view name) {
+  active_ = true;
+  name_ = std::string(name);
+  TraceEvent event;
+  event.name = name_;
+  event.phase = 'B';
+  event.ts_us = MonotonicMicros();
+  event.tid = ThreadId();
+  Tracer::Emit(std::move(event));
+}
+
+void Span::End() {
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.phase = 'E';
+  event.ts_us = MonotonicMicros();
+  event.tid = ThreadId();
+  event.args = std::move(args_);
+  Tracer::Emit(std::move(event));
+  active_ = false;
+}
+
+void Span::Arg(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  std::string rendered;
+  AppendJsonString(value, &rendered);
+  args_.emplace_back(std::string(key), std::move(rendered));
+}
+
+void Span::Arg(std::string_view key, uint64_t value) {
+  if (!active_) return;
+  args_.emplace_back(std::string(key), std::to_string(value));
+}
+
+void Span::Arg(std::string_view key, int64_t value) {
+  if (!active_) return;
+  args_.emplace_back(std::string(key), std::to_string(value));
+}
+
+void Span::Arg(std::string_view key, bool value) {
+  if (!active_) return;
+  args_.emplace_back(std::string(key), value ? "true" : "false");
+}
+
+}  // namespace msp::obs

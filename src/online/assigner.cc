@@ -6,11 +6,34 @@
 #include "core/bounds.h"
 #include "core/improve.h"
 #include "core/validate.h"
+#include "obs/span.h"
 #include "util/check.h"
 
 namespace msp::online {
 
 namespace {
+
+const char* KindLabel(UpdateKind kind) {
+  switch (kind) {
+    case UpdateKind::kAddInput:
+      return "add";
+    case UpdateKind::kRemoveInput:
+      return "remove";
+    case UpdateKind::kResizeInput:
+      return "resize";
+    case UpdateKind::kSetCapacity:
+      return "setq";
+  }
+  return "?";
+}
+
+// The internally-owned planner inherits the assigner's metrics sink
+// unless the caller wired its own into the planner config.
+planner::PlannerConfig OwnedPlannerConfig(const OnlineConfig& config) {
+  planner::PlannerConfig pc = config.planner;
+  if (pc.metrics == nullptr) pc.metrics = config.metrics;
+  return pc;
+}
 
 // Adds the full-reassignment churn of deploying `schema` from scratch.
 void CountFullDeploy(const std::vector<InputSize>& sizes,
@@ -32,7 +55,7 @@ OnlineAssigner::OnlineAssigner(const OnlineConfig& config)
       planner_(config.shared_planner
                    ? config.shared_planner
                    : std::make_shared<planner::PlannerService>(
-                         config.planner)) {
+                         OwnedPlannerConfig(config))) {
   MSP_CHECK_GT(config.capacity, 0u) << "OnlineConfig.capacity must be set";
   MSP_CHECK_LE(config.capacity, kMaxCapacity)
       << "capacity above 10^18 would let feasibility sums wrap uint64";
@@ -42,6 +65,29 @@ OnlineAssigner::OnlineAssigner(const OnlineConfig& config)
   state_.capacity = config.capacity;
   state_.partner_set = config.partner_set;
   state_.cover.Reset(config.coverage, 0);
+  if (obs::Registry* reg = config_.metrics) {
+    for (const UpdateKind kind :
+         {UpdateKind::kAddInput, UpdateKind::kRemoveInput,
+          UpdateKind::kResizeInput, UpdateKind::kSetCapacity}) {
+      const obs::Labels labels = {{"kind", KindLabel(kind)}};
+      const auto k = static_cast<std::size_t>(kind);
+      pub_.applied_by_kind[k] =
+          reg->counter("online.updates_applied_total", labels);
+      pub_.churn_bytes_by_kind[k] =
+          reg->counter("online.churn_bytes_total", labels);
+    }
+    pub_.churn_bytes_replan =
+        reg->counter("online.churn_bytes_total", {{"kind", "replan"}});
+    pub_.rejected = reg->counter("online.updates_rejected_total");
+    pub_.inputs_moved = reg->counter("online.churn_inputs_moved_total");
+    pub_.inputs_dropped = reg->counter("online.churn_inputs_dropped_total");
+    pub_.reducers_created = reg->counter("online.reducers_created_total");
+    pub_.reducers_destroyed =
+        reg->counter("online.reducers_destroyed_total");
+    pub_.policy_consults = reg->counter("online.policy_consults_total");
+    pub_.repairs = reg->counter("online.repairs_total");
+    pub_.replans = reg->counter("online.replans_total");
+  }
 }
 
 UpdateResult OnlineAssigner::Apply(const Update& update) {
@@ -54,6 +100,7 @@ UpdateResult OnlineAssigner::Apply(const Update& update) {
 }
 
 UpdateResult OnlineAssigner::ApplyDeferred(const Update& update) {
+  obs::Span span("online.update");
   UpdateResult result;
   switch (update.kind) {
     case UpdateKind::kAddInput:
@@ -74,6 +121,17 @@ UpdateResult OnlineAssigner::ApplyDeferred(const Update& update) {
     totals_.churn += result.churn;
     ++updates_since_replan_;
     ++updates_since_decision_;
+    if (pub_.rejected != nullptr) {
+      const auto k = static_cast<std::size_t>(update.kind);
+      pub_.applied_by_kind[k]->Inc();
+      pub_.churn_bytes_by_kind[k]->Inc(result.churn.bytes_moved);
+      PublishChurn(result.churn);
+    }
+  }
+  if (span.active()) {
+    span.Arg("kind", KindLabel(update.kind));
+    span.Arg("applied", result.applied);
+    span.Arg("churn_bytes", result.churn.bytes_moved);
   }
   return result;
 }
@@ -91,6 +149,15 @@ UpdateResult OnlineAssigner::PolicyCheckpoint() {
     ++totals_.replans;
   } else {
     ++totals_.repairs;
+  }
+  if (pub_.rejected != nullptr) {
+    if (result.replanned) {
+      pub_.replans->Inc();
+      pub_.churn_bytes_replan->Inc(result.churn.bytes_moved);
+      PublishChurn(result.churn);
+    } else {
+      pub_.repairs->Inc();
+    }
   }
   updates_since_decision_ = 0;
   return result;
@@ -339,12 +406,21 @@ ChurnStats OnlineAssigner::DeployMinMove(const MappingSchema& fresh_live) {
 
 UpdateResult OnlineAssigner::Reject(std::string why) {
   ++totals_.rejected;
+  if (pub_.rejected != nullptr) pub_.rejected->Inc();
   UpdateResult result;
   result.error = std::move(why);
   return result;
 }
 
+void OnlineAssigner::PublishChurn(const ChurnStats& churn) {
+  pub_.inputs_moved->Inc(churn.inputs_moved);
+  pub_.inputs_dropped->Inc(churn.inputs_dropped);
+  pub_.reducers_created->Inc(churn.reducers_created);
+  pub_.reducers_destroyed->Inc(churn.reducers_destroyed);
+}
+
 void OnlineAssigner::MaybeReplan(UpdateResult* result) {
+  if (pub_.policy_consults != nullptr) pub_.policy_consults->Inc();
   PolicySignals signals;
   signals.num_inputs = state_.num_alive();
   signals.live_reducers = state_.reducers.size();
@@ -362,6 +438,7 @@ void OnlineAssigner::MaybeReplan(UpdateResult* result) {
     signals.lb_communication = quality.lb_communication;
   }
   if (!policy_->ShouldReplan(signals)) return;
+  obs::Span span("online.replan");
 
   if (!dense.has_value()) dense.emplace(BuildDense());
   if (!dense->usable()) return;
@@ -404,6 +481,11 @@ void OnlineAssigner::MaybeReplan(UpdateResult* result) {
     fresh.reducers.push_back(std::move(live));
   }
   DeployReplanned(fresh, result);
+  if (span.active()) {
+    span.Arg("deployed", result->replanned);
+    span.Arg("fresh_reducers", last_fresh_reducers_);
+    span.Arg("churn_bytes", result->churn.bytes_moved);
+  }
 }
 
 void OnlineAssigner::DeployReplanned(const MappingSchema& fresh_live,

@@ -40,6 +40,7 @@
 
 #include "core/instance.h"
 #include "core/schema.h"
+#include "obs/metrics.h"
 #include "online/coverage.h"
 #include "online/delta.h"
 #include "online/policy.h"
@@ -86,6 +87,12 @@ struct OnlineConfig {
   planner::PlannerConfig planner = {.num_threads = 1};
   /// Plan options for escalated re-plans.
   planner::PlanOptions plan_options;
+  /// Optional metrics sink: when set, the assigner publishes online.*
+  /// counters (per-kind applied updates and churn bytes, policy
+  /// consults, repair/replan decisions) into it, and forwards the sink
+  /// to a privately-owned planner. Never captured by snapshots (a
+  /// restored assigner attaches whatever sink its new host provides).
+  obs::Registry* metrics = nullptr;
 };
 
 /// Outcome of one update.
@@ -243,6 +250,8 @@ class OnlineAssigner {
   QualitySnapshot QualityFrom(const DenseView& dense) const;
 
   UpdateResult Reject(std::string why);
+  /// Adds one update's churn to the registry totals (sink attached).
+  void PublishChurn(const ChurnStats& churn);
   /// Migrates the live schema to `fresh_live` through the min-move
   /// delta: matched reducers keep their uids, the symmetric difference
   /// is logged to the move log, and the delta churn is returned.
@@ -260,6 +269,22 @@ class OnlineAssigner {
   std::shared_ptr<ReplanPolicy> policy_;
   std::shared_ptr<planner::PlannerService> planner_;
   OnlineTotals totals_;
+  /// Registry handles, resolved once at construction; all null when no
+  /// metrics sink is attached (record paths are then a pointer test).
+  struct Instruments {
+    obs::Counter* applied_by_kind[4] = {};     // indexed by UpdateKind
+    obs::Counter* churn_bytes_by_kind[4] = {};
+    obs::Counter* churn_bytes_replan = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* inputs_moved = nullptr;
+    obs::Counter* inputs_dropped = nullptr;
+    obs::Counter* reducers_created = nullptr;
+    obs::Counter* reducers_destroyed = nullptr;
+    obs::Counter* policy_consults = nullptr;
+    obs::Counter* repairs = nullptr;
+    obs::Counter* replans = nullptr;
+  };
+  Instruments pub_;
   uint64_t updates_since_replan_ = 0;
   /// Applied updates since the last PolicyCheckpoint; a checkpoint
   /// with nothing pending is a no-op.

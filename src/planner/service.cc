@@ -9,7 +9,7 @@
 
 #include "core/a2a.h"
 #include "core/x2y.h"
-#include "util/summary_stats.h"
+#include "obs/span.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -33,17 +33,35 @@ std::optional<MappingSchema> SolveAuto(const X2YInstance& in) {
 constexpr bool IsA2A(const A2AInstance*) { return true; }
 constexpr bool IsA2A(const X2YInstance*) { return false; }
 
+std::size_t NumInputs(const A2AInstance& in) { return in.num_inputs(); }
+std::size_t NumInputs(const X2YInstance& in) {
+  return in.num_x() + in.num_y();
+}
+
 }  // namespace
 
 PlannerService::PlannerService(const PlannerConfig& config)
     : config_(config),
       pool_(ResolveThreads(config.num_threads)),
-      cache_(config.cache_shards, config.cache_capacity_per_shard) {}
+      cache_(config.cache_shards, config.cache_capacity_per_shard) {
+  if (obs::Registry* reg = config_.metrics) {
+    plan_latency_ = reg->histogram("planner.plan_latency_us");
+    pub_.plans = reg->counter("planner.plans_total");
+    pub_.cache_hits = reg->counter("planner.cache_hits_total");
+    pub_.cache_misses = reg->counter("planner.cache_misses_total");
+    pub_.cache_evictions = reg->counter("planner.cache_evictions_total");
+    pub_.cache_entries = reg->gauge("planner.cache_entries");
+    pub_.portfolio_runs = reg->counter("planner.portfolio_runs_total");
+    pub_.auto_runs = reg->counter("planner.auto_runs_total");
+    pub_.infeasible = reg->counter("planner.infeasible_total");
+  }
+}
 
 template <typename Instance>
 PlanResult PlannerService::PlanImpl(const Instance& instance,
                                     const PlanOptions& opts,
                                     ThreadPool* pool) {
+  obs::Span span("planner.plan");
   Stopwatch watch;
   PlanResult result;
   bool used_portfolio = false;
@@ -94,6 +112,11 @@ PlanResult PlannerService::PlanImpl(const Instance& instance,
   }
   result.plan_micros = watch.ElapsedMicros();
   RecordPlan(result, IsA2A(&instance), used_portfolio);
+  if (span.active()) {
+    span.Arg("inputs", static_cast<uint64_t>(NumInputs(instance)));
+    span.Arg("cache_hit", result.cache_hit);
+    span.Arg("algorithm", result.algorithm);
+  }
   return result;
 }
 
@@ -143,27 +166,56 @@ std::vector<PlanResult> PlannerService::PlanMany(
 
 void PlannerService::RecordPlan(const PlanResult& result, bool is_a2a,
                                 bool used_portfolio) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++counters_.plans;
-  if (is_a2a) {
-    ++counters_.a2a_plans;
-  } else {
-    ++counters_.x2y_plans;
-  }
-  if (!result.schema.has_value()) ++counters_.infeasible;
-  if (!result.cache_hit && result.schema.has_value()) {
-    if (used_portfolio) {
-      ++counters_.portfolio_runs;
+  plan_latency_->Record(result.plan_micros);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++counters_.plans;
+    if (is_a2a) {
+      ++counters_.a2a_plans;
     } else {
-      ++counters_.auto_runs;
+      ++counters_.x2y_plans;
+    }
+    if (!result.schema.has_value()) ++counters_.infeasible;
+    if (!result.cache_hit && result.schema.has_value()) {
+      if (used_portfolio) {
+        ++counters_.portfolio_runs;
+      } else {
+        ++counters_.auto_runs;
+      }
     }
   }
-  const double micros = static_cast<double>(result.plan_micros);
-  if (latency_us_.size() < config_.max_latency_samples) {
-    latency_us_.push_back(micros);
-  } else if (!latency_us_.empty()) {
-    latency_us_[latency_next_] = micros;
-    latency_next_ = (latency_next_ + 1) % latency_us_.size();
+  if (pub_.plans == nullptr) return;
+  pub_.plans->Inc();
+  if (result.cache_hit) {
+    pub_.cache_hits->Inc();
+  } else {
+    pub_.cache_misses->Inc();
+  }
+  if (!result.schema.has_value()) pub_.infeasible->Inc();
+  if (!result.cache_hit && result.schema.has_value()) {
+    if (used_portfolio) {
+      pub_.portfolio_runs->Inc();
+      // A portfolio win is attributed to the algorithm that produced
+      // the deployed schema.
+      config_.metrics
+          ->counter("planner.portfolio_wins_total",
+                    {{"algorithm", result.algorithm}})
+          ->Inc();
+    } else {
+      pub_.auto_runs->Inc();
+    }
+  }
+  // Cache occupancy and evictions accrue inside the cache shards;
+  // refresh the published view from their counters (cheap relative to
+  // the plan itself).
+  const PlanCacheStats cache = cache_.stats();
+  pub_.cache_entries->Set(static_cast<int64_t>(cache.entries));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (cache.evictions > published_evictions_) {
+      pub_.cache_evictions->Inc(cache.evictions - published_evictions_);
+      published_evictions_ = cache.evictions;
+    }
   }
 }
 
@@ -185,11 +237,7 @@ PlannerStats PlannerService::stats() const {
 
 void PlannerService::PrintStats(std::ostream& out) const {
   const PlannerStats s = stats();
-  std::vector<double> latencies;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    latencies = latency_us_;
-  }
+  const obs::HistogramSnapshot lat = plan_latency_->snapshot();
 
   TablePrinter table("planner stats");
   table.SetHeader({"counter", "value"});
@@ -209,12 +257,12 @@ void PlannerService::PrintStats(std::ostream& out) const {
   table.AddRow({"portfolio runs", TablePrinter::Fmt(s.portfolio_runs)});
   table.AddRow({"auto runs", TablePrinter::Fmt(s.auto_runs)});
   table.AddRow({"infeasible", TablePrinter::Fmt(s.infeasible)});
-  if (!latencies.empty()) {
-    const SummaryStats lat = SummaryStats::Compute(latencies);
+  if (lat.count() > 0) {
     table.AddRow({"plan us (mean)", TablePrinter::Fmt(lat.mean())});
     table.AddRow({"plan us (p50)", TablePrinter::Fmt(lat.Percentile(50))});
     table.AddRow({"plan us (p95)", TablePrinter::Fmt(lat.Percentile(95))});
-    table.AddRow({"plan us (max)", TablePrinter::Fmt(lat.max())});
+    table.AddRow(
+        {"plan us (max)", TablePrinter::Fmt(static_cast<double>(lat.max()))});
   }
   table.Print(out);
 }

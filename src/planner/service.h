@@ -30,6 +30,8 @@
 
 #include "core/instance.h"
 #include "core/schema.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
 #include "planner/plan_cache.h"
 #include "planner/portfolio.h"
 #include "util/thread_pool.h"
@@ -48,8 +50,11 @@ struct PlannerConfig {
   /// Plan() falls back from the portfolio to the auto dispatcher when
   /// the request's budget_ms is positive and below this threshold.
   double portfolio_min_budget_ms = 1.0;
-  /// Cap on retained latency samples (oldest discarded beyond it).
-  std::size_t max_latency_samples = 65536;
+  /// Optional metrics sink: when set, the service publishes
+  /// planner.* counters and the plan-latency histogram into it.
+  /// Latency percentiles are always available via latency() either
+  /// way (the service owns a histogram when no registry is attached).
+  obs::Registry* metrics = nullptr;
 };
 
 /// Per-request knobs.
@@ -115,9 +120,13 @@ class PlannerService {
   /// Exact counter snapshot.
   PlannerStats stats() const;
 
-  /// Renders the counters and a latency summary (SummaryStats over the
-  /// retained per-plan wall times) as an aligned table.
+  /// Renders the counters and a latency summary (exact-count
+  /// percentiles from the log-bucket histogram) as an aligned table.
   void PrintStats(std::ostream& out) const;
+
+  /// Snapshot of the plan-latency histogram (all plans since
+  /// construction — no ring cap).
+  obs::HistogramSnapshot latency() const { return plan_latency_->snapshot(); }
 
   void ClearCache() { cache_.Clear(); }
   const PlannerConfig& config() const { return config_; }
@@ -136,9 +145,26 @@ class PlannerService {
   PlanCache cache_;
 
   mutable std::mutex stats_mu_;
-  PlannerStats counters_;             // cache_* filled from cache_.stats()
-  std::vector<double> latency_us_;    // ring buffer of plan wall times
-  std::size_t latency_next_ = 0;      // ring cursor once the cap is hit
+  PlannerStats counters_;  // cache_* filled from cache_.stats()
+
+  // Plan wall times; points at the registry's histogram when a metrics
+  // sink is attached, else at own_latency_.
+  obs::Histogram own_latency_;
+  obs::Histogram* plan_latency_ = &own_latency_;
+  // Registry handles, resolved once at construction (null without a
+  // sink; the record path is then a pointer test).
+  struct Instruments {
+    obs::Counter* plans = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* cache_evictions = nullptr;
+    obs::Gauge* cache_entries = nullptr;
+    obs::Counter* portfolio_runs = nullptr;
+    obs::Counter* auto_runs = nullptr;
+    obs::Counter* infeasible = nullptr;
+  };
+  Instruments pub_;
+  uint64_t published_evictions_ = 0;  // under stats_mu_
 };
 
 }  // namespace msp::planner

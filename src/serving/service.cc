@@ -5,7 +5,6 @@
 #include <utility>
 
 #include "util/check.h"
-#include "util/summary_stats.h"
 #include "util/table.h"
 
 namespace msp::serving {
@@ -24,9 +23,17 @@ uint64_t Fnv1a(const std::string& key) {
   return hash;
 }
 
-std::string FmtPercentile(const std::vector<double>& samples, double p) {
-  if (samples.empty()) return "-";
-  return TablePrinter::Fmt(SummaryStats::Compute(samples).Percentile(p), 1);
+std::string FmtPercentile(const obs::HistogramSnapshot& latency, double p) {
+  if (latency.count() == 0) return "-";
+  return TablePrinter::Fmt(latency.Percentile(p), 1);
+}
+
+// The shared planner inherits the service's metrics sink unless the
+// caller wired its own (or supplied a pre-built planner_service).
+planner::PlannerConfig SharedPlannerConfig(const ServingConfig& config) {
+  planner::PlannerConfig pc = config.planner;
+  if (pc.metrics == nullptr) pc.metrics = config.metrics;
+  return pc;
 }
 
 }  // namespace
@@ -35,12 +42,12 @@ ServingService::ServingService(const ServingConfig& config)
     : planner_(config.planner_service
                    ? config.planner_service
                    : std::make_shared<planner::PlannerService>(
-                         config.planner)) {
+                         SharedPlannerConfig(config))),
+      metrics_(config.metrics) {
   MSP_CHECK_GT(config.num_shards, 0u) << "ServingConfig.num_shards";
   shards_.reserve(config.num_shards);
   for (std::size_t i = 0; i < config.num_shards; ++i) {
-    shards_.push_back(std::make_unique<ServingShard>(
-        i, planner_, config.max_latency_samples));
+    shards_.push_back(std::make_unique<ServingShard>(i, planner_, metrics_));
   }
 }
 
@@ -78,6 +85,7 @@ bool ServingService::AttachWal(const durability::WalOptions& options,
     durability::WalOptions shard_options = options;
     shard_options.dir = JoinPath(
         options.dir, "shard-" + std::to_string(shard->index()));
+    if (shard_options.metrics == nullptr) shard_options.metrics = metrics_;
     if (!shard->AttachWal(shard_options, error)) {
       if (error != nullptr) {
         *error = "shard " + std::to_string(shard->index()) + ": " + *error;
@@ -137,8 +145,7 @@ ServingStats ServingService::stats() const {
     stats.total.recovered_instances += s.recovered_instances;
     stats.total.recovered_records += s.recovered_records;
     stats.total.recovered_torn_tail |= s.recovered_torn_tail;
-    stats.total.latency_us.insert(stats.total.latency_us.end(),
-                                  s.latency_us.begin(), s.latency_us.end());
+    stats.total.latency.Merge(s.latency);
   }
   return stats;
 }
@@ -151,19 +158,16 @@ void ServingService::PrintStats(std::ostream& out) const {
                     "replans", "p50 us", "p99 us", "max us"});
   const auto row = [&shards](const std::string& name, const ShardStats& s) {
     const std::string max =
-        s.latency_us.empty()
+        s.latency.count() == 0
             ? "-"
-            : TablePrinter::Fmt(
-                  *std::max_element(s.latency_us.begin(),
-                                    s.latency_us.end()),
-                  1);
+            : TablePrinter::Fmt(static_cast<double>(s.latency.max()), 1);
     shards.AddRow({name, TablePrinter::Fmt(s.instances),
                    TablePrinter::Fmt(s.updates),
                    TablePrinter::Fmt(s.rejected),
                    TablePrinter::Fmt(s.repairs),
                    TablePrinter::Fmt(s.replans),
-                   FmtPercentile(s.latency_us, 50.0),
-                   FmtPercentile(s.latency_us, 99.0), max});
+                   FmtPercentile(s.latency, 50.0),
+                   FmtPercentile(s.latency, 99.0), max});
   };
   for (std::size_t i = 0; i < stats.shards.size(); ++i) {
     row("shard-" + std::to_string(i), stats.shards[i]);

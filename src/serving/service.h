@@ -48,19 +48,22 @@ struct ServingConfig {
   /// Number of shards == worker threads. Each instance key is pinned
   /// to one shard for its lifetime.
   std::size_t num_shards = 4;
-  /// Per-shard cap on retained repair-latency samples.
-  std::size_t max_latency_samples = 65536;
   /// Configuration of the shared PlannerService (ignored when
   /// `planner_service` is supplied).
   planner::PlannerConfig planner;
   /// Optional externally-owned planner to share beyond this service.
   std::shared_ptr<planner::PlannerService> planner_service;
+  /// Optional metrics sink, fanned out to every shard (per-shard
+  /// serving.* series), the shared planner (unless `planner_service`
+  /// was supplied pre-built), attached WALs, and instances created
+  /// through the service.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Aggregate of the per-shard counters.
 struct ServingStats {
   std::vector<ShardStats> shards;  // indexed by shard
-  ShardStats total;                // sums; latency samples concatenated
+  ShardStats total;                // sums; latency histograms merged
 };
 
 /// See the file comment. All public methods are thread-safe.
@@ -132,6 +135,7 @@ class ServingService {
 
  private:
   std::shared_ptr<planner::PlannerService> planner_;
+  obs::Registry* metrics_ = nullptr;
   std::vector<std::unique_ptr<ServingShard>> shards_;
 };
 

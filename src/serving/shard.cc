@@ -1,7 +1,9 @@
 #include "serving/shard.h"
 
+#include <string>
 #include <utility>
 
+#include "obs/span.h"
 #include "online/snapshot.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -10,11 +12,18 @@ namespace msp::serving {
 
 ServingShard::ServingShard(std::size_t index,
                            std::shared_ptr<planner::PlannerService> planner,
-                           std::size_t max_latency_samples)
-    : index_(index),
-      max_latency_samples_(max_latency_samples),
-      planner_(std::move(planner)) {
+                           obs::Registry* metrics)
+    : index_(index), planner_(std::move(planner)), metrics_(metrics) {
   MSP_CHECK(planner_ != nullptr);
+  if (metrics_ != nullptr) {
+    const obs::Labels shard_label = {{"shard", std::to_string(index_)}};
+    apply_latency_ =
+        metrics_->histogram("serving.apply_latency_us", shard_label);
+    mailbox_depth_ = metrics_->gauge("serving.mailbox_depth", shard_label);
+    queue_dwell_ = metrics_->histogram("serving.queue_dwell_us", shard_label);
+    tasks_processed_ = metrics_->counter("serving.tasks_processed_total");
+    updates_skipped_ = metrics_->counter("serving.updates_skipped_total");
+  }
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
@@ -55,6 +64,12 @@ bool ServingShard::AttachWal(const durability::WalOptions& options,
   return true;
 }
 
+void ServingShard::StampEnqueue(Task* task) {
+  if (metrics_ == nullptr) return;
+  task->enqueued_at_us = obs::MonotonicMicros();
+  mailbox_depth_->Add(1);
+}
+
 void ServingShard::CreateInstance(std::string key,
                                   online::OnlineConfig config,
                                   bool translate_trace_ids) {
@@ -63,7 +78,11 @@ void ServingShard::CreateInstance(std::string key,
   task.key = std::move(key);
   task.config = std::move(config);
   task.config.shared_planner = planner_;
+  // Instances inherit the shard's metrics sink unless the caller wired
+  // a different one into the instance config.
+  if (task.config.metrics == nullptr) task.config.metrics = metrics_;
   task.translate = translate_trace_ids;
+  StampEnqueue(&task);
   {
     std::unique_lock<std::mutex> lock(mu_);
     ++stats_.enqueued_tasks;
@@ -79,6 +98,7 @@ void ServingShard::Enqueue(std::string key,
   task.key = std::move(key);
   task.updates = std::move(updates);
   task.batch_size = batch_size;
+  StampEnqueue(&task);
   {
     std::unique_lock<std::mutex> lock(mu_);
     ++stats_.enqueued_tasks;
@@ -90,6 +110,7 @@ void ServingShard::Enqueue(std::string key,
 void ServingShard::EnqueueCheckpointAll() {
   Task task;
   task.checkpoint_all = true;
+  StampEnqueue(&task);
   {
     std::unique_lock<std::mutex> lock(mu_);
     ++stats_.enqueued_tasks;
@@ -104,8 +125,16 @@ void ServingShard::Flush() {
 }
 
 ShardStats ServingShard::stats() const {
-  std::unique_lock<std::mutex> lock(mu_);
-  return stats_;
+  ShardStats snapshot;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    snapshot = stats_;
+  }
+  // The histogram is lock-free; its snapshot may trail an in-flight
+  // task by a few records, exactly like the counters above trail an
+  // in-flight Process.
+  snapshot.latency = apply_latency_->snapshot();
+  return snapshot;
 }
 
 void ServingShard::ForEachInstance(
@@ -134,7 +163,15 @@ void ServingShard::WorkerLoop() {
       queue_.pop_front();
       busy_ = true;
     }
+    if (metrics_ != nullptr) {
+      mailbox_depth_->Sub(1);
+      const uint64_t now = obs::MonotonicMicros();
+      queue_dwell_->Record(now > task.enqueued_at_us
+                               ? now - task.enqueued_at_us
+                               : 0);
+    }
     Process(task);
+    if (tasks_processed_ != nullptr) tasks_processed_->Inc();
     if (wal_ != nullptr) {
       // Log-before-ack: when the mailbox has drained, fsync the
       // changelog BEFORE clearing busy_ — a returned Flush() then
@@ -206,18 +243,9 @@ void ServingShard::SyncWalStats() {
   stats_.wal_epoch = wal_->epoch();
 }
 
-void ServingShard::RecordLatency(double us) {
-  // Called by the worker with mu_ held.
-  if (stats_.latency_us.size() < max_latency_samples_) {
-    stats_.latency_us.push_back(us);
-    return;
-  }
-  if (max_latency_samples_ == 0) return;
-  stats_.latency_us[latency_next_] = us;
-  latency_next_ = (latency_next_ + 1) % max_latency_samples_;
-}
-
 void ServingShard::Process(Task& task) {
+  obs::Span span("serving.task");
+  if (span.active() && !task.key.empty()) span.Arg("key", task.key);
   if (task.create) {
     Instance instance;
     instance.assigner =
@@ -270,6 +298,9 @@ void ServingShard::Process(Task& task) {
   if (it == instances_.end()) {
     // Updates for a never-created key have nowhere to go; surface the
     // mistake in the stats instead of crashing the worker.
+    if (updates_skipped_ != nullptr) {
+      updates_skipped_->Inc(task.updates.size());
+    }
     std::unique_lock<std::mutex> lock(mu_);
     stats_.skipped += task.updates.size();
     return;
@@ -284,8 +315,6 @@ void ServingShard::Process(Task& task) {
   uint64_t repairs = 0;
   uint64_t replans = 0;
   online::ChurnStats churn;
-  std::vector<double> latencies;
-  latencies.reserve(task.updates.size());
 
   // The window position is the assigner's own pending-update count, so
   // a stream split across several Enqueue calls checkpoints exactly
@@ -338,11 +367,16 @@ void ServingShard::Process(Task& task) {
     if (result.applied) {
       ++applied;
       churn += result.churn;
-      latencies.push_back(us);
+      // Lock-free: the histogram is safe to record outside mu_.
+      apply_latency_->RecordMicros(us);
       if (assigner.pending_decision_updates() >= window) checkpoint();
     } else {
       ++rejected;
     }
+  }
+  if (span.active()) span.Arg("updates", applied);
+  if (updates_skipped_ != nullptr && skipped > 0) {
+    updates_skipped_->Inc(skipped);
   }
 
   std::unique_lock<std::mutex> lock(mu_);
@@ -352,7 +386,6 @@ void ServingShard::Process(Task& task) {
   stats_.repairs += repairs;
   stats_.replans += replans;
   stats_.churn += churn;
-  for (double us : latencies) RecordLatency(us);
 }
 
 }  // namespace msp::serving

@@ -30,6 +30,8 @@
 #include <vector>
 
 #include "durability/wal.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
 #include "online/assigner.h"
 #include "online/trace.h"
 #include "planner/service.h"
@@ -57,20 +59,26 @@ struct ShardStats {
   uint64_t recovered_instances = 0;  // instances rebuilt by AttachWal
   uint64_t recovered_records = 0;    // changelog records replayed
   bool recovered_torn_tail = false;  // replay stopped at a torn record
-  /// Retained per-update *repair* latency samples in microseconds
-  /// (ring-capped). Policy checks and replans are excluded, so the
-  /// percentiles measure the LiveState hot path and stay comparable
-  /// across batch sizes and policies.
-  std::vector<double> latency_us;
+  /// Per-update *repair* latency in microseconds as a log-bucket
+  /// histogram snapshot: every applied update since construction is
+  /// counted (no ring cap). Policy checks and replans are excluded, so
+  /// the percentiles measure the LiveState hot path and stay
+  /// comparable across batch sizes and policies. Mergeable across
+  /// shards via HistogramSnapshot::Merge.
+  obs::HistogramSnapshot latency;
 };
 
 /// See the file comment. All public methods are thread-safe; the
 /// assigners themselves are worker-private.
 class ServingShard {
  public:
+  /// `metrics` may be null (no sink): latency histograms then live
+  /// only in the shard. With a sink attached the shard publishes
+  /// serving.* series labeled shard=<index> — apply latency, mailbox
+  /// depth, queue dwell — and instances created on it inherit the sink.
   ServingShard(std::size_t index,
                std::shared_ptr<planner::PlannerService> planner,
-               std::size_t max_latency_samples);
+               obs::Registry* metrics = nullptr);
 
   ServingShard(const ServingShard&) = delete;
   ServingShard& operator=(const ServingShard&) = delete;
@@ -149,11 +157,16 @@ class ServingShard {
     bool translate = false;       // create only
     std::vector<online::Update> updates;
     std::size_t batch_size = 0;
+    /// Enqueue timestamp (MonotonicMicros), stamped only when a
+    /// metrics sink is attached; feeds the queue-dwell histogram.
+    uint64_t enqueued_at_us = 0;
   };
 
   void WorkerLoop();
   void Process(Task& task);
-  void RecordLatency(double us);
+  /// Mailbox-side bookkeeping shared by every enqueue path (mu_ NOT
+  /// held): dwell stamp + depth gauge.
+  void StampEnqueue(Task* task);
   /// Worker-only: appends one changelog record; a failure is fatal
   /// (log-before-ack means nothing may be acked past it).
   void WalAppend(const durability::LogRecord& record);
@@ -166,8 +179,19 @@ class ServingShard {
   void SyncWalStats();
 
   const std::size_t index_;
-  const std::size_t max_latency_samples_;
   std::shared_ptr<planner::PlannerService> planner_;
+
+  /// Observability. apply_latency_ always points at a live histogram:
+  /// the registry's serving.apply_latency_us{shard=i} when a sink is
+  /// attached, else the shard-owned own_latency_. The gauge/dwell/task
+  /// handles are null without a sink.
+  obs::Registry* metrics_ = nullptr;
+  obs::Histogram own_latency_;
+  obs::Histogram* apply_latency_ = &own_latency_;
+  obs::Gauge* mailbox_depth_ = nullptr;
+  obs::Histogram* queue_dwell_ = nullptr;
+  obs::Counter* tasks_processed_ = nullptr;
+  obs::Counter* updates_skipped_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable work_available_;
@@ -176,7 +200,6 @@ class ServingShard {
   bool busy_ = false;
   bool shutting_down_ = false;
   ShardStats stats_;             // guarded by mu_
-  std::size_t latency_next_ = 0; // ring cursor once the cap is hit
 
   /// Worker-private: only the worker thread dereferences instances
   /// while tasks are in flight (ForEachInstance synchronizes on mu_

@@ -126,6 +126,7 @@ SimulatedCluster::Outcome SimulatedCluster::Execute(
   const mr::JobMetrics metrics = engine.Run(
       records, mr::IdentityMapper(), partitioner, SinkReducer(), &output);
 
+  mr::PublishJobMetrics(metrics, config_.metrics, "reshuffle");
   outcome.shipped_records = metrics.shuffle_records;
   outcome.shipped_bytes = metrics.shuffle_bytes;
   // The engine's per-reducer ledger must agree with the plan's per-uid
@@ -229,6 +230,7 @@ bool SimulatedCluster::OracleCheck(const LiveState& state,
   const mr::JobMetrics metrics =
       engine.Run(records, mr::IdentityMapper(), partitioner,
                  PairWitnessReducer(), &witnesses);
+  mr::PublishJobMetrics(metrics, config_.metrics, "oracle");
 
   if (metrics.capacity_violated) {
     return fail("engine partition overflows capacity " +

@@ -47,6 +47,10 @@ class SimulatedCluster {
     /// Worker threads of the engine executing re-shuffle jobs (the
     /// simulated cluster's shards).
     std::size_t workers = 1;
+    /// Optional metrics sink: every engine job run by the cluster
+    /// publishes mr.* series (kind="reshuffle" for Execute jobs,
+    /// kind="oracle" for OracleCheck jobs). Not owned; may be null.
+    obs::Registry* metrics = nullptr;
   };
 
   /// Outcome of executing one re-shuffle plan.

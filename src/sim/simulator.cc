@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/span.h"
+
 namespace msp::sim {
 
 namespace {
@@ -28,22 +30,34 @@ const char* KindName(UpdateKind kind) {
   return "?";
 }
 
+// The assigner inherits the simulator's metrics sink unless the caller
+// wired its own — so one registry snapshot holds online.* churn next
+// to the engine's mr.* series.
+online::OnlineConfig SimOnlineConfig(const SimConfig& config) {
+  online::OnlineConfig oc = config.online;
+  if (oc.metrics == nullptr) oc.metrics = config.metrics;
+  return oc;
+}
+
 }  // namespace
 
 ClusterSimulator::ClusterSimulator(const SimConfig& config)
     : config_(config),
-      assigner_(config.online),
+      assigner_(SimOnlineConfig(config)),
       cluster_(SimulatedCluster::Config{
-          .workers = config.shards == 0 ? 1 : config.shards}) {
+          .workers = config.shards == 0 ? 1 : config.shards,
+          .metrics = config.metrics}) {
   assigner_.SetMoveLog(&plan_);
 }
 
 ClusterSimulator::~ClusterSimulator() { assigner_.SetMoveLog(nullptr); }
 
 StepRecord ClusterSimulator::Step(const Update& update) {
+  obs::Span span("sim.step");
   StepRecord record;
   record.step = ++steps_seen_;
   record.kind = update.kind;
+  span.Arg("kind", KindName(update.kind));
 
   plan_.clear();
   UpdateResult result;
@@ -69,6 +83,8 @@ StepRecord ClusterSimulator::Step(const Update& update) {
     ++applied_steps_;
   }
   ExecuteAndReconcile(result.churn, &record);
+  span.Arg("applied", record.applied);
+  span.Arg("executed_bytes", record.executed_shipped_bytes);
 
   if (record.applied && config_.oracle_every != 0 &&
       applied_steps_ % config_.oracle_every == 0) {

@@ -57,6 +57,11 @@ struct SimConfig {
   /// Run the engine-side partition oracle every N applied steps
   /// (0 disables; it is a full job over the alive inputs).
   uint64_t oracle_every = 0;
+  /// Optional metrics sink, fanned out to the assigner (online.*
+  /// series) and the simulated cluster (mr.* engine series), so one
+  /// snapshot reports engine bytes/records next to predicted churn.
+  /// Not owned; may be null.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Outcome of one simulated step. Predicted numbers come from the

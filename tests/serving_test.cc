@@ -176,7 +176,7 @@ TEST(ServingServiceTest, StatsAggregateExactly) {
     shard_updates += shard.updates;
     shard_instances += shard.instances;
     shard_moved += shard.churn.inputs_moved;
-    shard_samples += shard.latency_us.size();
+    shard_samples += shard.latency.count();
   }
   // Generated traces are feasible by construction: every event applies.
   EXPECT_EQ(stats.total.updates, expected_updates);
@@ -185,8 +185,8 @@ TEST(ServingServiceTest, StatsAggregateExactly) {
   EXPECT_EQ(stats.total.instances, 8u);
   EXPECT_EQ(stats.total.rejected, 0u);
   EXPECT_EQ(stats.total.churn.inputs_moved, shard_moved);
-  EXPECT_EQ(stats.total.latency_us.size(), shard_samples);
-  EXPECT_EQ(stats.total.latency_us.size(), expected_updates);
+  EXPECT_EQ(stats.total.latency.count(), shard_samples);
+  EXPECT_EQ(stats.total.latency.count(), expected_updates);
   EXPECT_GT(stats.total.repairs + stats.total.replans, 0u);
 }
 
