@@ -17,8 +17,10 @@
 // reconciliation runs on every push. The process exits non-zero when
 // any shape fails to reconcile, in smoke and full mode alike.
 //
-// Results are mirrored to bench_c1_simulator.csv in the working
-// directory.
+// `--json=FILE` writes the BENCH_c1_simulator.json trajectory file
+// (gated: per-shape gap/mismatch/executed-bytes/replans — see
+// tools/benchgate.py). Results are mirrored to bench_c1_simulator.csv
+// in the working directory.
 
 #include <benchmark/benchmark.h>
 
@@ -27,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "online/trace.h"
 #include "sim/simulator.h"
 #include "util/csv_writer.h"
@@ -40,6 +43,7 @@ using namespace msp;
 
 struct TraceShape {
   std::string name;
+  std::string key;  // metric-name prefix in the bench JSON
   wl::TraceConfig config;
 };
 
@@ -59,10 +63,10 @@ std::vector<TraceShape> MakeShapes(bool smoke) {
   oscillation.shape = wl::TraceShape::kCapacityOscillation;
   oscillation.seed = 74;
   return {
-      {"a2a mixed", mixed_a2a},
-      {"x2y mixed", mixed_x2y},
-      {"a2a flash-crowd", flash},
-      {"a2a capacity-osc", oscillation},
+      {"a2a mixed", "a2a_mixed", mixed_a2a},
+      {"x2y mixed", "x2y_mixed", mixed_x2y},
+      {"a2a flash-crowd", "a2a_flash", flash},
+      {"a2a capacity-osc", "a2a_caposc", oscillation},
   };
 }
 
@@ -76,7 +80,8 @@ sim::SimConfig MakeSimConfig(const online::UpdateTrace& trace) {
 }
 
 // Returns the number of shapes that failed to reconcile.
-int PrintReconciliationTable(bool smoke, CsvWriter* csv) {
+int PrintReconciliationTable(bool smoke, CsvWriter* csv,
+                             benchutil::BenchJson* json) {
   TablePrinter table(
       "C1: predicted vs executed re-shuffle across trace shapes");
   table.SetHeader({"trace", "steps", "predicted B", "executed B", "gap B",
@@ -121,6 +126,18 @@ int PrintReconciliationTable(bool smoke, CsvWriter* csv) {
                    std::to_string(simulator.assigner().totals().replans),
                    std::to_string(report.reshuffle_jobs),
                    TablePrinter::Fmt(rate, 0)});
+    // Deterministic series are gated (any drift > 15% fails CI);
+    // throughput is trajectory-only.
+    json->Add(shape.key + ".gap_bytes", static_cast<double>(gap), "bytes");
+    json->Add(shape.key + ".mismatched_steps",
+              static_cast<double>(report.mismatched_steps), "steps");
+    json->Add(shape.key + ".executed_bytes",
+              static_cast<double>(report.executed_bytes), "bytes");
+    json->Add(shape.key + ".replans",
+              static_cast<double>(simulator.assigner().totals().replans),
+              "replans");
+    json->Add(shape.key + ".updates_per_s", rate, "updates/s", "higher",
+              /*gate=*/false);
   }
   table.Print(std::cout);
   std::cout
@@ -151,22 +168,14 @@ BENCHMARK(BM_SimulatorStep)->Arg(30)->Arg(100);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  // Strip --smoke before Google Benchmark sees the argument list.
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-      continue;
-    }
-    argv[out++] = argv[i];
-  }
-  argc = out;
+  const benchutil::BenchArgs args = benchutil::ParseBenchArgs(&argc, argv);
 
   CsvWriter csv("bench_c1_simulator.csv");
-  const int failures = PrintReconciliationTable(smoke, &csv);
+  benchutil::BenchJson json("c1_simulator");
+  const int failures = PrintReconciliationTable(args.smoke, &csv, &json);
+  if (benchutil::EmitBenchJson(json, args) != 0) return 1;
   if (failures > 0) return 1;
-  if (!smoke) {
+  if (!args.smoke) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();

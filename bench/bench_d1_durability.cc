@@ -19,7 +19,9 @@
 // state against the live run (schema text + update totals) and the
 // process exits non-zero on divergence.
 //
-// Results are mirrored to bench_d1_durability.csv.
+// `--json=FILE` writes the BENCH_d1_durability.json trajectory file
+// (gated: codec bytes/record and recovery record/byte counts — see
+// tools/benchgate.py). Results are mirrored to bench_d1_durability.csv.
 
 #include <benchmark/benchmark.h>
 
@@ -31,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/schema_io.h"
 #include "durability/changelog.h"
 #include "durability/wal.h"
@@ -84,7 +87,8 @@ AppendResult AppendSweep(std::size_t key_len, uint64_t fsync_every_n,
   return result;
 }
 
-void PrintAppendTable(bool smoke, CsvWriter* csv) {
+void PrintAppendTable(bool smoke, CsvWriter* csv,
+                      benchutil::BenchJson* json) {
   const uint64_t records = smoke ? 20'000 : 200'000;
   TablePrinter table("D1: changelog append throughput (group commit)");
   table.SetHeader({"key bytes", "fsync every", "records", "MB", "fsyncs",
@@ -109,6 +113,17 @@ void PrintAppendTable(bool smoke, CsvWriter* csv) {
                      std::to_string(r.records), std::to_string(r.bytes),
                      std::to_string(r.fsyncs), TablePrinter::Fmt(rate, 0),
                      TablePrinter::Fmt(mb_rate, 1)});
+      if (key_len == 64 && fsync_every == 64) {
+        // Encoded bytes per record are a property of the codec, not
+        // the machine — gate them so a format bloat fails CI.
+        json->Add("append.bytes_per_record_k64",
+                  r.records > 0 ? static_cast<double>(r.bytes) /
+                                      static_cast<double>(r.records)
+                                : 0.0,
+                  "bytes");
+        json->Add("append.records_per_s_k64_f64", rate, "records/s",
+                  "higher", /*gate=*/false);
+      }
     }
   }
   table.Print(std::cout);
@@ -184,7 +199,8 @@ LiveRun LogTrace(const online::UpdateTrace& trace) {
 
 // Returns the number of recovery sweeps that diverged from the live
 // state.
-int PrintRecoveryTable(bool smoke, CsvWriter* csv) {
+int PrintRecoveryTable(bool smoke, CsvWriter* csv,
+                       benchutil::BenchJson* json) {
   TablePrinter table("D1: crash-recovery time (parse + replay)");
   table.SetHeader({"trace steps", "records", "KB", "parse ms", "replay ms",
                    "replayed rec/s", "identical"});
@@ -243,6 +259,12 @@ int PrintRecoveryTable(bool smoke, CsvWriter* csv) {
                    TablePrinter::Fmt(parse_ms, 2),
                    TablePrinter::Fmt(replay_ms, 2),
                    TablePrinter::Fmt(rate, 0), identical ? "yes" : "NO"});
+    const std::string key = "recovery.steps" + std::to_string(steps);
+    json->Add(key + ".records", static_cast<double>(records), "records");
+    json->Add(key + ".log_bytes", static_cast<double>(live.bytes.size()),
+              "bytes");
+    json->Add(key + ".replay_ms", replay_ms, "ms", "lower",
+              /*gate=*/false);
   }
   table.Print(std::cout);
   std::cout
@@ -292,22 +314,15 @@ BENCHMARK(BM_Recovery)->Arg(200)->Arg(800);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-      continue;
-    }
-    argv[out++] = argv[i];
-  }
-  argc = out;
+  const benchutil::BenchArgs args = benchutil::ParseBenchArgs(&argc, argv);
 
   CsvWriter csv("bench_d1_durability.csv");
-  PrintAppendTable(smoke, &csv);
-  const int failures = PrintRecoveryTable(smoke, &csv);
+  benchutil::BenchJson json("d1_durability");
+  PrintAppendTable(args.smoke, &csv, &json);
+  const int failures = PrintRecoveryTable(args.smoke, &csv, &json);
+  if (benchutil::EmitBenchJson(json, args) != 0) return 1;
   if (failures > 0) return 1;
-  if (!smoke) {
+  if (!args.smoke) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();

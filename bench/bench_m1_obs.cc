@@ -2,21 +2,27 @@
 // paths costs, with and without a sink attached.
 //
 //  * Per-op table — ns/op for the primitive record operations: the
-//    no-sink paths (null Registry* pointer test, disabled span) that
-//    every component pays unconditionally, and the enabled paths
-//    (counter inc, gauge set, histogram record, live span) paid only
-//    when --metrics-out / --trace-out armed a sink.
+//    no-sink paths (null Registry* pointer test, disabled span, idle
+//    AllocScope) that every component pays unconditionally, and the
+//    enabled paths (counter inc, gauge set, histogram record, live
+//    span, publishing AllocScope, flight-armed span) paid only when a
+//    sink is armed.
 //  * End-to-end table — the O1 incremental scenario (drift-policy
-//    online replay) with observability off vs. fully armed (registry +
-//    tracer), min-of-reps wall time and the relative overhead.
+//    online replay) with observability off vs. armed (registry +
+//    tracer) vs. the full self-diagnosis stack (registry + tracer +
+//    flight recorder + alloc accounting), min-of-reps wall time and
+//    the relative overhead.
 //
 // `--smoke` shortens the sweeps, skips the Google Benchmark loops, and
 // *fails* (non-zero exit) when the no-sink paths exceed a few ns/op or
-// the armed end-to-end overhead exceeds 5% — the CI Release leg runs
-// it on every push, so a regression that would make "instrument
+// either armed end-to-end overhead exceeds 5% — the CI Release leg
+// runs it on every push, so a regression that would make "instrument
 // everything, always" unaffordable is caught at the PR.
 //
-// Results are mirrored to bench_m1_obs.csv in the working directory.
+// Results are mirrored to bench_m1_obs.csv in the working directory;
+// `--json=FILE` additionally writes the BENCH_m1_obs.json trajectory
+// file (see tools/benchgate.py) whose gated metrics are the replay's
+// deterministic allocation footprint.
 
 #include <benchmark/benchmark.h>
 
@@ -27,6 +33,9 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
+#include "obs/alloc.h"
+#include "obs/flight.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -102,6 +111,16 @@ std::vector<OpCost> MeasureOpCosts(bool smoke) {
                                     sink += i + span.active();
                                   }),
                    /*gated=*/true});
+  // AllocScope with no counters attached: two thread-local reads at
+  // construction, a null test at destruction — the price every
+  // instrumented hot path pays when metrics are off.
+  costs.push_back({"alloc scope (no counters)",
+                   MeasureNsPerOp(iters, reps,
+                                  [&](uint64_t i) {
+                                    obs::AllocScope scope;
+                                    sink += i;
+                                  }),
+                   /*gated=*/true});
   benchmark::DoNotOptimize(sink);
 
   // The enabled paths: a sink is attached and every op records.
@@ -121,6 +140,13 @@ std::vector<OpCost> MeasureOpCosts(bool smoke) {
                    MeasureNsPerOp(iters, reps, [&](uint64_t i) {
                      histogram->Record(i & 0xfffff);
                    })});
+  obs::Counter* alloc_bytes = registry.counter("m1.alloc_bytes_total");
+  obs::Counter* allocs = registry.counter("m1.allocs_total");
+  costs.push_back(
+      {"alloc scope (publishing)",
+       MeasureNsPerOp(iters, reps, [&](uint64_t) {
+         obs::AllocScope scope(alloc_bytes, allocs);
+       })});
   costs.push_back(
       {"span begin/end (tracing on)",
        MeasureNsPerOp(span_iters, reps, [&](uint64_t i) {
@@ -130,6 +156,15 @@ std::vector<OpCost> MeasureOpCosts(bool smoke) {
        })});
   obs::Tracer::Stop();
   obs::Tracer::Clear();
+  // Flight-recorder sink only: each span writes two fixed-size slots
+  // into the per-thread ring (no allocation, no lock).
+  obs::FlightRecorder::Arm();
+  costs.push_back(
+      {"span begin/end (flight armed)",
+       MeasureNsPerOp(span_iters, reps, [&](uint64_t) {
+         MSP_SPAN("m1.flight");
+       })});
+  obs::FlightRecorder::Disarm();
   return costs;
 }
 
@@ -154,37 +189,50 @@ online::OnlineConfig IncrementalConfig(const online::UpdateTrace& trace,
   return config;
 }
 
+enum class ObsMode { kOff, kArmed, kSelfDiagnosis };
+
 double ReplaySeconds(const online::UpdateTrace& trace,
-                     obs::Registry* metrics, bool traced) {
-  if (traced) obs::Tracer::Start();
+                     obs::Registry* metrics, ObsMode mode) {
+  if (mode != ObsMode::kOff) obs::Tracer::Start();
+  if (mode == ObsMode::kSelfDiagnosis) obs::FlightRecorder::Arm();
   online::OnlineAssigner assigner(IncrementalConfig(trace, metrics));
   Stopwatch watch;
   for (const online::Update& update : trace.updates) {
     assigner.Apply(update);
   }
   const double seconds = watch.ElapsedSeconds();
-  if (traced) {
+  if (mode == ObsMode::kSelfDiagnosis) obs::FlightRecorder::Disarm();
+  if (mode != ObsMode::kOff) {
     obs::Tracer::Stop();
     obs::Tracer::Clear();
   }
   return seconds;
 }
 
-// Returns the relative overhead (percent) of the fully armed replay.
-double PrintEndToEndTable(bool smoke, CsvWriter* csv) {
+// Returns the worst relative overhead (percent) across the armed
+// configs; both must clear the 5% ceiling under --smoke.
+double PrintEndToEndTable(bool smoke, CsvWriter* csv,
+                          benchutil::BenchJson* json) {
   const online::UpdateTrace trace = IncrementalTrace(smoke);
   const int reps = smoke ? 5 : 7;
   double off = 1e100;
   double armed = 1e100;
+  double diag = 1e100;
   for (int r = 0; r < reps; ++r) {
-    off = std::min(off, ReplaySeconds(trace, nullptr, false));
+    off = std::min(off, ReplaySeconds(trace, nullptr, ObsMode::kOff));
     obs::Registry registry;
-    armed = std::min(armed, ReplaySeconds(trace, &registry, true));
+    armed = std::min(armed,
+                     ReplaySeconds(trace, &registry, ObsMode::kArmed));
+    obs::Registry diag_registry;
+    diag = std::min(diag, ReplaySeconds(trace, &diag_registry,
+                                        ObsMode::kSelfDiagnosis));
   }
-  const double overhead_pct =
-      off > 0 ? std::max(0.0, (armed - off) / off * 100.0) : 0.0;
-  const double per_update_us =
-      1e6 * off / static_cast<double>(trace.updates.size());
+  const auto overhead = [off](double seconds) {
+    return off > 0 ? std::max(0.0, (seconds - off) / off * 100.0) : 0.0;
+  };
+  const auto per_update = [&trace](double seconds) {
+    return 1e6 * seconds / static_cast<double>(trace.updates.size());
+  };
 
   TablePrinter table("M1b: armed vs. off — O1 incremental replay (" +
                      std::to_string(trace.updates.size()) + " updates)");
@@ -192,25 +240,56 @@ double PrintEndToEndTable(bool smoke, CsvWriter* csv) {
   csv->WriteRow({"table", "config", "seconds_min", "us_per_update",
                  "overhead_pct"});
   table.AddRow({"obs off", TablePrinter::Fmt(off, 4),
-                TablePrinter::Fmt(per_update_us, 2), "-"});
+                TablePrinter::Fmt(per_update(off), 2), "-"});
   csv->WriteRow({"M1b", "off", TablePrinter::Fmt(off, 4),
-                 TablePrinter::Fmt(per_update_us, 2), "0"});
-  table.AddRow(
-      {"registry + tracer", TablePrinter::Fmt(armed, 4),
-       TablePrinter::Fmt(1e6 * armed /
-                             static_cast<double>(trace.updates.size()),
-                         2),
-       TablePrinter::Fmt(overhead_pct, 1) + "%"});
-  csv->WriteRow({"M1b", "armed", TablePrinter::Fmt(armed, 4),
-                 TablePrinter::Fmt(
-                     1e6 * armed / static_cast<double>(trace.updates.size()),
-                     2),
-                 TablePrinter::Fmt(overhead_pct, 1)});
+                 TablePrinter::Fmt(per_update(off), 2), "0"});
+  const struct {
+    const char* name;
+    const char* csv_key;
+    double seconds;
+  } configs[] = {
+      {"registry + tracer", "armed", armed},
+      {"registry + tracer + flight + alloc", "self-diagnosis", diag},
+  };
+  for (const auto& config : configs) {
+    table.AddRow({config.name, TablePrinter::Fmt(config.seconds, 4),
+                  TablePrinter::Fmt(per_update(config.seconds), 2),
+                  TablePrinter::Fmt(overhead(config.seconds), 1) + "%"});
+    csv->WriteRow({"M1b", config.csv_key,
+                   TablePrinter::Fmt(config.seconds, 4),
+                   TablePrinter::Fmt(per_update(config.seconds), 2),
+                   TablePrinter::Fmt(overhead(config.seconds), 1)});
+    json->Add(std::string("replay.overhead_pct.") + config.csv_key,
+              overhead(config.seconds), "percent", "lower",
+              /*gate=*/false);
+  }
+  json->Add("replay.us_per_update.off", per_update(off), "us", "lower",
+            /*gate=*/false);
   table.Print(std::cout);
-  std::cout << "\nExpected shape: the armed run tracks the off run within\n"
+  std::cout << "\nExpected shape: both armed runs track the off run within\n"
                "a few percent — per-update repair work (microseconds)\n"
-               "dwarfs a handful of relaxed atomic records.\n\n";
-  return overhead_pct;
+               "dwarfs the relaxed atomic records and ring writes.\n\n";
+  return std::max(overhead(armed), overhead(diag));
+}
+
+// Deterministic allocation footprint of one replay: the counting
+// allocator makes "how much does the repair path allocate" an exact,
+// machine-independent number, so it IS gated — an allocation
+// regression on the hot path fails CI even when timing noise hides it.
+void EmitAllocFootprint(bool smoke, benchutil::BenchJson* json) {
+  if (!obs::AllocCountingActive()) return;  // sanitizer build
+  const online::UpdateTrace trace = IncrementalTrace(smoke);
+  const obs::AllocTotals before = obs::ThreadAllocTotals();
+  ReplaySeconds(trace, nullptr, ObsMode::kOff);
+  const obs::AllocTotals after = obs::ThreadAllocTotals();
+  const double updates = static_cast<double>(trace.updates.size());
+  json->Add("replay.alloc_bytes",
+            static_cast<double>(after.bytes - before.bytes), "bytes");
+  json->Add("replay.allocs",
+            static_cast<double>(after.allocs - before.allocs), "allocs");
+  json->Add("replay.allocs_per_update",
+            static_cast<double>(after.allocs - before.allocs) / updates,
+            "allocs", "lower", /*gate=*/false);
 }
 
 void BM_CounterInc(benchmark::State& state) {
@@ -239,18 +318,11 @@ BENCHMARK(BM_SpanDisabled);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-      continue;
-    }
-    argv[out++] = argv[i];
-  }
-  argc = out;
+  const benchutil::BenchArgs args = benchutil::ParseBenchArgs(&argc, argv);
+  const bool smoke = args.smoke;
 
   CsvWriter csv("bench_m1_obs.csv");
+  benchutil::BenchJson json("m1_obs");
   const std::vector<OpCost> costs = MeasureOpCosts(smoke);
   TablePrinter table("M1: observability primitive costs (min of 5 reps)");
   table.SetHeader({"operation", "ns/op", "smoke gate"});
@@ -263,19 +335,27 @@ int main(int argc, char** argv) {
                   cost.gated ? (over ? "FAIL" : "<= 25ns ok") : "-"});
     csv.WriteRow({"M1", cost.name, TablePrinter::Fmt(cost.ns_per_op, 2),
                   cost.gated ? "1" : "0"});
+    std::string key = "op.";
+    for (const char c : cost.name) {
+      if (c == '(' || c == ')' || c == '/') continue;
+      key.push_back(c == ' ' ? '_' : c);
+    }
+    json.Add(key, cost.ns_per_op, "ns", "lower", /*gate=*/false);
   }
   table.Print(std::cout);
   std::cout << "\nExpected shape: the three no-sink rows sit at a nanosecond\n"
                "or two (a pointer test / one relaxed load) — that is the\n"
                "entire cost of leaving instrumentation compiled in.\n\n";
 
-  const double overhead_pct = PrintEndToEndTable(smoke, &csv);
+  const double overhead_pct = PrintEndToEndTable(smoke, &csv, &json);
   if (smoke && overhead_pct > kMaxEnabledOverheadPct) {
     std::cerr << "M1 SMOKE FAIL: armed overhead "
               << TablePrinter::Fmt(overhead_pct, 1) << "% exceeds "
               << TablePrinter::Fmt(kMaxEnabledOverheadPct, 1) << "%\n";
     ++failures;
   }
+  EmitAllocFootprint(smoke, &json);
+  if (benchutil::EmitBenchJson(json, args) != 0) ++failures;
   if (failures > 0) {
     std::cerr << "M1 SMOKE FAIL: " << failures
               << " gate(s) exceeded their ceiling\n";

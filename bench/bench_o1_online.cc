@@ -20,8 +20,11 @@
 // storm of coverage decrements or lookups) are timed under the dense
 // triangular backend vs the legacy unordered_map baseline.
 //
-// Results are mirrored to bench_o1_online.csv in the working
-// directory.
+// `--smoke` shortens every trace, skips the m >= 10^4 sweep and the
+// Google Benchmark loops; `--json=FILE` writes the BENCH_o1_online.json
+// trajectory file whose gated metrics are the deterministic churn and
+// quality series (see tools/benchgate.py). Results are mirrored to
+// bench_o1_online.csv in the working directory.
 
 #include <benchmark/benchmark.h>
 
@@ -30,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/schema.h"
 #include "online/assigner.h"
 #include "online/coverage.h"
@@ -47,27 +51,31 @@ using namespace msp;
 
 struct TraceShape {
   std::string name;
+  std::string key;  // metric-name prefix in the bench JSON
   wl::TraceConfig config;
 };
 
-std::vector<TraceShape> MakeShapes() {
+// Smoke shortens every trace (same shapes, same seeds) so the CI leg
+// stays fast; the committed BENCH_ baselines are smoke-generated, so
+// gated metrics compare like with like.
+std::vector<TraceShape> MakeShapes(bool smoke) {
   wl::TraceConfig a2a_small;
   a2a_small.initial_inputs = 40;
-  a2a_small.steps = 400;
+  a2a_small.steps = smoke ? 150 : 400;
   a2a_small.seed = 31;
   wl::TraceConfig a2a_large = a2a_small;
   a2a_large.initial_inputs = 200;
-  a2a_large.steps = 600;
+  a2a_large.steps = smoke ? 200 : 600;
   a2a_large.seed = 32;
   wl::TraceConfig x2y = a2a_small;
   x2y.x2y = true;
   x2y.initial_inputs = 80;
-  x2y.steps = 400;
+  x2y.steps = smoke ? 150 : 400;
   x2y.seed = 33;
   return {
-      {"a2a m0=40 steps=400", a2a_small},
-      {"a2a m0=200 steps=600", a2a_large},
-      {"x2y m0=80 steps=400", x2y},
+      {"a2a m0=40", "a2a_m40", a2a_small},
+      {"a2a m0=200", "a2a_m200", a2a_large},
+      {"x2y m0=80", "x2y_m80", x2y},
   };
 }
 
@@ -120,7 +128,8 @@ ReplayOutcome Replay(const online::UpdateTrace& trace,
   return outcome;
 }
 
-void PrintComparisonTable(CsvWriter* csv) {
+void PrintComparisonTable(bool smoke, CsvWriter* csv,
+                          benchutil::BenchJson* json) {
   TablePrinter table(
       "O1: online strategies — latency, churn, and quality per trace");
   table.SetHeader({"trace", "strategy", "us/update", "p50 us", "p99 us",
@@ -128,7 +137,7 @@ void PrintComparisonTable(CsvWriter* csv) {
   csv->WriteRow({"table", "trace", "strategy", "us_per_update", "p50_us",
                  "p99_us", "inputs_moved", "bytes_moved", "replans",
                  "reducers", "reducers_over_lb"});
-  for (const TraceShape& shape : MakeShapes()) {
+  for (const TraceShape& shape : MakeShapes(smoke)) {
     const online::UpdateTrace trace = wl::GenerateTrace(shape.config);
     for (const Strategy& strategy : MakeStrategies()) {
       const ReplayOutcome outcome = Replay(trace, strategy);
@@ -156,6 +165,22 @@ void PrintComparisonTable(CsvWriter* csv) {
            std::to_string(outcome.totals.replans),
            std::to_string(outcome.quality.live_reducers),
            TablePrinter::Fmt(gap)});
+      // Churn and quality are fully deterministic (seeded traces, no
+      // threads) — gated; latency is trajectory-only.
+      const std::string key = shape.key + "." + strategy.name;
+      json->Add(key + ".bytes_moved",
+                static_cast<double>(outcome.totals.churn.bytes_moved),
+                "bytes");
+      json->Add(key + ".inputs_moved",
+                static_cast<double>(outcome.totals.churn.inputs_moved),
+                "inputs");
+      json->Add(key + ".replans",
+                static_cast<double>(outcome.totals.replans), "replans");
+      json->Add(key + ".reducers",
+                static_cast<double>(outcome.quality.live_reducers),
+                "reducers");
+      json->Add(key + ".mean_update_us", outcome.mean_update_us, "us",
+                "lower", /*gate=*/false);
     }
   }
   table.Print(std::cout);
@@ -393,11 +418,20 @@ BENCHMARK(BM_MinMoveDelta)->Arg(100)->Arg(400);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const benchutil::BenchArgs args = benchutil::ParseBenchArgs(&argc, argv);
+
   CsvWriter csv("bench_o1_online.csv");
-  PrintComparisonTable(&csv);
-  PrintHotPathTable(&csv);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  benchutil::BenchJson json("o1_online");
+  PrintComparisonTable(args.smoke, &csv, &json);
+  // The m = 10,200 coverage sweep seeds ~52M pairs three times —
+  // minutes of work, so the smoke leg skips it (its regressions are
+  // covered by the gated churn series above plus the S1 smoke).
+  if (!args.smoke) PrintHotPathTable(&csv);
+  if (benchutil::EmitBenchJson(json, args) != 0) return 1;
+  if (!args.smoke) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
   return 0;
 }

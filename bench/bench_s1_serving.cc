@@ -11,8 +11,11 @@
 //    triangular pair-coverage array vs the legacy unordered_map
 //    baseline, comparing p50/p99 repair latency across all shards.
 //
-// Results are mirrored to bench_s1_serving.csv in the working
-// directory.
+// `--smoke` shortens the workloads and skips the Google Benchmark
+// loops; `--json=FILE` writes the BENCH_s1_serving.json trajectory
+// file (gated metric: the processed-update accounting; throughput and
+// latency ride along ungated). Results are mirrored to
+// bench_s1_serving.csv in the working directory.
 
 #include <benchmark/benchmark.h>
 
@@ -20,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "online/assigner.h"
 #include "online/coverage.h"
 #include "online/trace.h"
@@ -99,9 +103,10 @@ ServeOutcome RunWorkload(const std::vector<online::UpdateTrace>& traces,
   return outcome;
 }
 
-void PrintScalingTable(CsvWriter* csv) {
+void PrintScalingTable(bool smoke, CsvWriter* csv,
+                       benchutil::BenchJson* json) {
   const auto traces = MakeWorkload(/*instances=*/8, /*initial=*/60,
-                                   /*steps=*/300);
+                                   smoke ? 120 : 300);
   TablePrinter table(
       "S1: serving throughput vs shard count (8 instances, batch=8)");
   table.SetHeader({"shards", "updates", "seconds", "updates/s", "speedup"});
@@ -128,6 +133,15 @@ void PrintScalingTable(CsvWriter* csv) {
                    TablePrinter::Fmt(outcome.seconds, 3),
                    TablePrinter::Fmt(rate, 0),
                    TablePrinter::Fmt(speedup, 2)});
+    const std::string key = "scaling.shards" + std::to_string(shards);
+    // The processed-update count is workload accounting, not timing —
+    // a drift means updates were dropped or double-counted.
+    json->Add(key + ".updates", static_cast<double>(outcome.updates),
+              "updates");
+    json->Add(key + ".updates_per_s", rate, "updates/s", "higher",
+              /*gate=*/false);
+    json->Add(key + ".p99_us", outcome.p99_us, "us", "lower",
+              /*gate=*/false);
   }
   table.Print(std::cout);
   std::cout
@@ -136,9 +150,9 @@ void PrintScalingTable(CsvWriter* csv) {
          "contend, and the shared planner only serializes escalations.\n\n";
 }
 
-void PrintBackendTable(CsvWriter* csv) {
+void PrintBackendTable(bool smoke, CsvWriter* csv) {
   const auto traces = MakeWorkload(/*instances=*/8, /*initial=*/150,
-                                   /*steps=*/250);
+                                   smoke ? 100 : 250);
   TablePrinter table(
       "S1b: repair latency by coverage backend (4 shards, m0=150)");
   table.SetHeader({"backend", "updates", "p50 us", "p99 us", "seconds"});
@@ -185,11 +199,17 @@ BENCHMARK(BM_ServingReplay)->Arg(1)->Arg(2)->Arg(4)
 }  // namespace
 
 int main(int argc, char** argv) {
+  const benchutil::BenchArgs args = benchutil::ParseBenchArgs(&argc, argv);
+
   CsvWriter csv("bench_s1_serving.csv");
-  PrintScalingTable(&csv);
-  PrintBackendTable(&csv);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  benchutil::BenchJson json("s1_serving");
+  PrintScalingTable(args.smoke, &csv, &json);
+  PrintBackendTable(args.smoke, &csv);
+  if (benchutil::EmitBenchJson(json, args) != 0) return 1;
+  if (!args.smoke) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
   return 0;
 }

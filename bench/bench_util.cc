@@ -1,5 +1,14 @@
 #include "bench_util.h"
 
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <utility>
+
 #include "core/validate.h"
 #include "util/check.h"
 #include "util/table.h"
@@ -58,6 +67,109 @@ std::string RatioString(uint64_t value, uint64_t bound) {
   if (bound == 0) return "-";
   return TablePrinter::Fmt(
       static_cast<double>(value) / static_cast<double>(bound), 2);
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // never expected
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Integral values render exactly (the gated metrics are counts and
+// bytes); everything else gets enough digits to round-trip.
+std::string JsonNumber(double value) {
+  char buf[40];
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<int64_t>(value));
+  } else if (std::isfinite(value)) {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "0");
+  }
+  return buf;
+}
+
+}  // namespace
+
+BenchJson::BenchJson(std::string bench_id)
+    : bench_id_(std::move(bench_id)) {}
+
+void BenchJson::Add(const std::string& name, double value,
+                    const std::string& unit, const std::string& better,
+                    bool gate) {
+  MSP_CHECK(better == "lower" || better == "higher")
+      << name << ": better must be lower|higher";
+  metrics_.push_back({name, value, unit, better, gate});
+}
+
+std::string BenchJson::GitSha() {
+  for (const char* var : {"GITHUB_SHA", "MSP_GIT_SHA"}) {
+    const char* sha = std::getenv(var);
+    if (sha != nullptr && sha[0] != '\0') return sha;
+  }
+  return "unknown";
+}
+
+bool BenchJson::WriteTo(const std::string& path, std::string* error) const {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  out << "{\n  \"bench\": \"" << JsonEscape(bench_id_) << "\",\n"
+      << "  \"schema_version\": 1,\n"
+      << "  \"git_sha\": \"" << JsonEscape(GitSha()) << "\",\n"
+      << "  \"metrics\": [\n";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    const Metric& m = metrics_[i];
+    out << "    {\"name\": \"" << JsonEscape(m.name) << "\", \"value\": "
+        << JsonNumber(m.value) << ", \"unit\": \"" << JsonEscape(m.unit)
+        << "\", \"better\": \"" << m.better << "\", \"gate\": "
+        << (m.gate ? "true" : "false") << "}"
+        << (i + 1 < metrics_.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write failed: " + path;
+    return false;
+  }
+  return true;
+}
+
+BenchArgs ParseBenchArgs(int* argc, char** argv) {
+  BenchArgs args;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      args.json_path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return args;
+}
+
+int EmitBenchJson(const BenchJson& json, const BenchArgs& args) {
+  if (args.json_path.empty()) return 0;
+  std::string error;
+  if (!json.WriteTo(args.json_path, &error)) {
+    std::cerr << "bench json: " << error << "\n";
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace msp::benchutil

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/a2a.h"
 #include "core/bounds.h"
@@ -19,6 +20,57 @@
 #include "core/x2y.h"
 
 namespace msp::benchutil {
+
+/// Accumulates bench metrics and writes the `BENCH_<id>.json`
+/// trajectory file consumed by tools/benchgate.py. The schema is
+/// stable (versioned) so committed baselines stay comparable:
+///
+///   {"bench": "c1_simulator", "schema_version": 1,
+///    "git_sha": "<from GITHUB_SHA / MSP_GIT_SHA, else unknown>",
+///    "metrics": [{"name": "...", "value": 0, "unit": "bytes",
+///                 "better": "lower", "gate": true}, ...]}
+///
+/// Gated metrics participate in the benchgate regression comparison
+/// and must therefore be deterministic (counts, bytes, churn — not
+/// wall-clock). Timing metrics go in with gate=false: tracked for
+/// trend plots, never failed on.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_id);
+
+  /// `better` is "lower" or "higher".
+  void Add(const std::string& name, double value, const std::string& unit,
+           const std::string& better = "lower", bool gate = true);
+
+  /// Writes the file; returns false (with `error`) on I/O failure.
+  bool WriteTo(const std::string& path, std::string* error) const;
+
+  /// GITHUB_SHA, else MSP_GIT_SHA, else "unknown".
+  static std::string GitSha();
+
+ private:
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+    std::string better;
+    bool gate;
+  };
+  std::string bench_id_;
+  std::vector<Metric> metrics_;
+};
+
+/// Common bench flags, stripped from argv in place so Google Benchmark
+/// never sees them: `--smoke` and `--json=FILE`.
+struct BenchArgs {
+  bool smoke = false;
+  std::string json_path;
+};
+BenchArgs ParseBenchArgs(int* argc, char** argv);
+
+/// Writes the trajectory file when --json was given; prints the error
+/// (and returns 1) when the write fails so CI catches a broken path.
+int EmitBenchJson(const BenchJson& json, const BenchArgs& args);
 
 /// Evaluation of one solver against one instance.
 struct SolverEval {

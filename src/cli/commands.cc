@@ -31,7 +31,10 @@
 #include "obs/export.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/flight.h"
+#include "obs/profile.h"
 #include "obs/span.h"
+#include "obs/watchdog.h"
 #include "online/trace.h"
 #include "planner/service.h"
 #include "serving/service.h"
@@ -48,13 +51,17 @@ namespace msp::cli {
 
 namespace {
 
-// Per-invocation observability behind --metrics-out / --trace-out: a
-// registry pre-seeded with the standard cross-subsystem series, plus
-// the process-global tracer armed for the command's duration. The
-// command wires registry() (null when no --metrics-out, so every hot
-// path stays a pointer test) into its config structs, runs, then calls
-// Finish() to dump the files. The destructor disarms the tracer on
-// early-error paths so a failed command never leaves tracing on.
+// Per-invocation observability behind --metrics-out / --trace-out /
+// --profile-out: a registry pre-seeded with the standard
+// cross-subsystem series, plus the process-global tracer armed for the
+// command's duration (either dump of span data arms it). The command
+// wires registry() (null when no --metrics-out, so every hot path
+// stays a pointer test) into its config structs, runs, then calls
+// Finish() to dump the files — for --profile-out that aggregates the
+// span buffer into a call-tree profile (obs/profile.h), writes the
+// collapsed-stack file, and prints the top spans to `err`. The
+// destructor disarms the tracer on early-error paths so a failed
+// command never leaves tracing on.
 class ObsSession {
  public:
   ObsSession() = default;
@@ -64,8 +71,9 @@ class ObsSession {
   void Init(const ArgParser& parser) {
     metrics_path_ = parser.GetString("metrics-out");
     trace_path_ = parser.GetString("trace-out");
+    profile_path_ = parser.GetString("profile-out");
     if (!metrics_path_.empty()) obs::RegisterStandardMetrics(&registry_);
-    if (!trace_path_.empty()) {
+    if (!trace_path_.empty() || !profile_path_.empty()) {
       obs::Tracer::Start();
       tracing_ = true;
     }
@@ -77,7 +85,10 @@ class ObsSession {
   }
 
   // Thread-safe re-dump of the metrics file (`serve --stats-every`).
-  bool WriteMetricsNow(std::string* error) const {
+  // Refreshes the process.* gauges first so every dump carries a
+  // current uptime/RSS/thread-count sample.
+  bool WriteMetricsNow(std::string* error) {
+    obs::SampleProcessMetrics(&registry_);
     return obs::WriteMetricsFile(registry_, metrics_path_, error);
   }
 
@@ -89,9 +100,19 @@ class ObsSession {
     if (tracing_) {
       obs::Tracer::Stop();
       tracing_ = false;
-      if (!obs::WriteTraceFile(trace_path_, &error)) {
+      if (!trace_path_.empty() &&
+          !obs::WriteTraceFile(trace_path_, &error)) {
         err << "error: " << error << "\n";
         ok = false;
+      }
+      if (!profile_path_.empty()) {
+        const obs::Profile profile =
+            obs::Profile::Build(obs::Tracer::Snapshot());
+        if (!obs::WriteProfileFile(profile, profile_path_, &error)) {
+          err << "error: " << error << "\n";
+          ok = false;
+        }
+        profile.PrintTop(15, err);
       }
     }
     if (!metrics_path_.empty() && !WriteMetricsNow(&error)) {
@@ -109,15 +130,19 @@ class ObsSession {
   obs::Registry registry_;
   std::string metrics_path_;
   std::string trace_path_;
+  std::string profile_path_;
   bool tracing_ = false;
 };
 
 // Background thread for `serve --stats-every N`: re-dumps the metrics
 // file every N milliseconds while the serving run is in flight, so an
-// operator can watch gauges move. Stop() (and the destructor) joins.
+// operator can watch gauges move. Stop() (and the destructor) joins
+// the thread and then writes one final dump, so the file always ends
+// on a complete post-run snapshot — including on early-error exits
+// where the run never reached its own Finish() dump.
 class PeriodicMetricsDumper {
  public:
-  PeriodicMetricsDumper(const ObsSession& session, uint64_t interval_ms,
+  PeriodicMetricsDumper(ObsSession& session, uint64_t interval_ms,
                         std::ostream& err)
       : session_(session), interval_ms_(interval_ms), err_(err) {
     thread_ = std::thread([this] { Loop(); });
@@ -133,6 +158,12 @@ class PeriodicMetricsDumper {
     }
     cv_.notify_all();
     thread_.join();
+    std::string error;
+    if (!session_.WriteMetricsNow(&error)) {
+      err_ << "warning: final metrics dump failed: " << error << "\n";
+    } else {
+      dumps_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   uint64_t dumps() const { return dumps_.load(std::memory_order_relaxed); }
@@ -154,7 +185,7 @@ class PeriodicMetricsDumper {
     }
   }
 
-  const ObsSession& session_;
+  ObsSession& session_;
   const uint64_t interval_ms_;
   std::ostream& err_;
   std::mutex mu_;
@@ -904,6 +935,8 @@ int CmdServe(const ArgParser& parser, std::ostream& out, std::ostream& err) {
   const auto fsync_every = parser.GetUint("fsync-every", 32);
   const auto rotate_every = parser.GetUint("rotate-every", 0);
   const auto stats_every = parser.GetUint("stats-every", 0);
+  const auto watchdog_ms = parser.GetUint("watchdog-ms", 0);
+  const std::string watchdog_dump = parser.GetString("watchdog-dump");
   const auto spec = LoadPolicySpec(parser, err);
   if (!spec.has_value()) return 2;
   if (!stats_every) {
@@ -912,6 +945,14 @@ int CmdServe(const ArgParser& parser, std::ostream& out, std::ostream& err) {
   }
   if (*stats_every != 0 && parser.GetString("metrics-out").empty()) {
     err << "error: --stats-every requires --metrics-out=FILE\n";
+    return 2;
+  }
+  if (!watchdog_ms) {
+    err << "error: bad --watchdog-ms\n";
+    return 2;
+  }
+  if (!watchdog_dump.empty() && *watchdog_ms == 0) {
+    err << "error: --watchdog-dump requires --watchdog-ms=N\n";
     return 2;
   }
   if (!instances || !shards || !initial || !steps || !q || !lo || !hi ||
@@ -934,6 +975,41 @@ int CmdServe(const ArgParser& parser, std::ostream& out, std::ostream& err) {
   serving_config.num_shards = static_cast<std::size_t>(*shards);
   serving_config.metrics = obs_session.registry();
   serving::ServingService service(serving_config);
+
+  // The periodic dumper starts before WAL attach so even a run that
+  // fails during setup leaves a final metrics snapshot behind (Stop()
+  // dumps once after joining, on every exit path via the destructor).
+  std::optional<PeriodicMetricsDumper> dumper;
+  if (*stats_every != 0) dumper.emplace(obs_session, *stats_every, err);
+
+  // Stall watchdog over the per-shard worker heartbeats; also hooked
+  // to fatal signals so a crash leaves the same post-mortem dump.
+  std::optional<obs::Watchdog> watchdog;
+  if (*watchdog_ms != 0) {
+    obs::WatchdogOptions wd_options;
+    wd_options.stall_ms = *watchdog_ms;
+    wd_options.dump_path = watchdog_dump;
+    wd_options.metrics = obs_session.registry();
+    std::vector<obs::WatchdogSource> wd_sources;
+    for (std::size_t i = 0; i < service.num_shards(); ++i) {
+      const serving::ShardHeartbeat& hb = service.shard_heartbeat(i);
+      wd_sources.push_back(
+          {"shard-" + std::to_string(i), [&hb] {
+             obs::WatchdogReading reading;
+             reading.last_progress_us =
+                 hb.last_progress_us.load(std::memory_order_relaxed);
+             reading.last_ordinal =
+                 hb.last_ordinal.load(std::memory_order_relaxed);
+             reading.queue_depth =
+                 hb.queue_depth.load(std::memory_order_relaxed);
+             reading.busy = hb.busy.load(std::memory_order_relaxed);
+             return reading;
+           }});
+    }
+    watchdog.emplace(std::move(wd_options), std::move(wd_sources));
+    watchdog->Start();
+    obs::Watchdog::InstallSignalDump(&*watchdog);
+  }
 
   const std::string wal_dir = parser.GetString("wal-dir");
   if (!wal_dir.empty()) {
@@ -965,10 +1041,6 @@ int CmdServe(const ArgParser& parser, std::ostream& out, std::ostream& err) {
     total_events += traces.back().updates.size();
   }
 
-  // Periodic metrics dumps while the shards chew through the streams.
-  std::optional<PeriodicMetricsDumper> dumper;
-  if (*stats_every != 0) dumper.emplace(obs_session, *stats_every, err);
-
   Stopwatch wall;
   for (uint64_t i = 0; i < *instances; ++i) {
     const std::string key = "trace-" + std::to_string(i);
@@ -986,6 +1058,14 @@ int CmdServe(const ArgParser& parser, std::ostream& out, std::ostream& err) {
   service.CheckpointAll();
   service.Flush();
   const double seconds = wall.ElapsedSeconds();
+  if (watchdog.has_value()) {
+    obs::Watchdog::InstallSignalDump(nullptr);
+    watchdog->Stop();
+    if (watchdog->stall_count() > 0) {
+      err << "watchdog: " << watchdog->stall_count()
+          << " stall episode(s) detected\n";
+    }
+  }
   if (dumper.has_value()) {
     dumper->Stop();
     err << "stats: " << dumper->dumps() << " periodic metrics dump(s)\n";
@@ -1413,6 +1493,7 @@ void PrintUsage(std::ostream& out) {
          "             [--portfolio=0|1] [--cache-shards=N]\n"
          "             [--budget-ms=MS] [--repeat=N] [--stats]\n"
          "             [--metrics-out=FILE] [--trace-out=FILE]\n"
+         "             [--profile-out=FILE]\n"
          "             planning service: canonicalize, cache, portfolio\n"
          "  gen-trace  --kind=a2a|x2y [--initial=M] [--steps=N] [--q=Q]\n"
          "             [--shape=mixed|flash-crowd|capacity-oscillation]\n"
@@ -1424,7 +1505,7 @@ void PrintUsage(std::ostream& out) {
          "             [--validate-every=N] [--portfolio=0|1] [--batch=B]\n"
          "             [--coverage=triangular|hash] [--wal-out=FILE]\n"
          "             [--fsync-every=N] [--metrics-out=FILE]\n"
-         "             [--trace-out=FILE]\n"
+         "             [--trace-out=FILE] [--profile-out=FILE]\n"
          "             replay a trace through the online assigner\n"
          "  serve      [--kind=a2a|x2y] [--instances=N] [--shards=N]\n"
          "             [--initial=M] [--steps=N] [--q=Q] [--lo=L] [--hi=H]\n"
@@ -1433,7 +1514,9 @@ void PrintUsage(std::ostream& out) {
          "             [--cooldown=N] [--portfolio=0|1] [--wal-dir=DIR]\n"
          "             [--fsync-every=N] [--rotate-every=N]\n"
          "             [--metrics-out=FILE] [--trace-out=FILE]\n"
+         "             [--profile-out=FILE]\n"
          "             [--stats-every=MS]  (periodic metrics re-dumps)\n"
+         "             [--watchdog-ms=N] [--watchdog-dump=FILE]\n"
          "             replay one trace per instance across serving shards\n"
          "  recover    --wal-dir=DIR [--metrics-out=FILE] "
          "[--trace-out=FILE]\n"
@@ -1450,14 +1533,20 @@ void PrintUsage(std::ostream& out) {
          "             [--policy=...] [--replan-threshold=R] [--every-n=N]\n"
          "             [--cooldown=N] [--oracle-every=N] [--max-rows=N]\n"
          "             [--portfolio=0|1] [--metrics-out=FILE]\n"
-         "             [--trace-out=FILE]\n"
+         "             [--trace-out=FILE] [--profile-out=FILE]\n"
          "             execute a trace on the MapReduce engine and\n"
          "             reconcile predicted vs re-shuffled bytes\n"
          "\n"
          "observability: --metrics-out dumps every registry series at\n"
          "  exit (Prometheus text, or CSV when FILE ends in .csv);\n"
          "  --trace-out writes a Chrome trace-event JSON of the run's\n"
-         "  spans (load in Perfetto / chrome://tracing)\n"
+         "  spans (load in Perfetto / chrome://tracing);\n"
+         "  --profile-out aggregates the same spans into a collapsed-\n"
+         "  stack profile (flamegraph.pl / speedscope) and prints the\n"
+         "  top spans by exclusive time to stderr;\n"
+         "  serve --watchdog-ms=N flags shards stalled >N ms and\n"
+         "  --watchdog-dump=FILE writes a post-mortem JSON (flight-\n"
+         "  recorder rings, heartbeats, metrics) on stall or crash\n"
          "\n"
          "a2a algorithms: auto single-reducer naive-all-pairs "
          "equal-grouping\n"
@@ -1485,19 +1574,21 @@ const std::vector<CommandSpec>& Commands() {
       {"improve", CmdImprove, {"sizes", "q", "schema"}},
       {"plan", CmdPlan,
        {"sizes", "x-sizes", "y-sizes", "q", "cache-shards", "portfolio",
-        "budget-ms", "repeat", "stats", "metrics-out", "trace-out"}},
+        "budget-ms", "repeat", "stats", "metrics-out", "trace-out",
+        "profile-out"}},
       {"gen-trace", CmdGenTrace,
        {"kind", "shape", "initial", "steps", "q", "lo", "hi", "skew",
         "seed", "p-add", "p-remove", "p-resize"}},
       {"online", CmdOnline,
        {"trace", "policy", "replan-threshold", "every-n", "cooldown",
         "validate-every", "portfolio", "batch", "coverage", "wal-out",
-        "fsync-every", "metrics-out", "trace-out"}},
+        "fsync-every", "metrics-out", "trace-out", "profile-out"}},
       {"serve", CmdServe,
        {"kind", "instances", "shards", "initial", "steps", "q", "lo", "hi",
         "skew", "seed", "batch", "stats", "policy", "replan-threshold",
         "every-n", "cooldown", "portfolio", "wal-dir", "fsync-every",
-        "rotate-every", "metrics-out", "trace-out", "stats-every"}},
+        "rotate-every", "metrics-out", "trace-out", "profile-out",
+        "stats-every", "watchdog-ms", "watchdog-dump"}},
       {"recover", CmdRecover, {"wal-dir", "metrics-out", "trace-out"}},
       {"snapshot", CmdSnapshot,
        {"trace", "out", "steps", "batch", "policy", "replan-threshold",
@@ -1507,7 +1598,7 @@ const std::vector<CommandSpec>& Commands() {
       {"simulate", CmdSimulate,
        {"trace", "policy", "replan-threshold", "every-n", "cooldown",
         "shards", "batch", "oracle-every", "max-rows", "portfolio",
-        "csv", "metrics-out", "trace-out"}},
+        "csv", "metrics-out", "trace-out", "profile-out"}},
   };
   return kCommands;
 }

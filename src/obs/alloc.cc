@@ -1,0 +1,128 @@
+#include "obs/alloc.h"
+
+#include <cstdlib>
+#include <new>
+
+// The counting global allocator. Every replaceable operator new form
+// lands in CountedAlloc below; delete forwards straight to free. The
+// counters are plain thread-local integers (no atomics needed: each
+// thread only touches its own), read by ThreadAllocTotals / AllocScope
+// on the same thread.
+//
+// Sanitizer note: ASan/TSan intercept malloc/free, so routing new
+// through malloc keeps heap poisoning and race detection intact; we
+// lose only the sanitizers' own new/delete mismatch annotations, and
+// every form is replaced consistently here.
+
+namespace msp::obs {
+
+namespace {
+
+thread_local uint64_t tl_allocs = 0;
+thread_local uint64_t tl_bytes = 0;
+
+inline void* CountedAlloc(std::size_t size, std::size_t align) noexcept {
+  ++tl_allocs;
+  tl_bytes += size;
+  // malloc(0) may return null; operator new must return a unique
+  // pointer, so allocate at least one byte.
+  if (size == 0) size = 1;
+  if (align > alignof(std::max_align_t)) {
+    // aligned_alloc requires size to be a multiple of the alignment.
+    const std::size_t rounded = (size + align - 1) / align * align;
+    return std::aligned_alloc(align, rounded);
+  }
+  return std::malloc(size);
+}
+
+[[noreturn]] void ThrowBadAlloc() { throw std::bad_alloc(); }
+
+}  // namespace
+
+AllocTotals ThreadAllocTotals() { return {tl_allocs, tl_bytes}; }
+
+bool AllocCountingActive() {
+  const uint64_t before = tl_allocs;
+  // A direct call to the allocation function cannot be elided the way
+  // a new-expression can ([expr.new] allocation elision).
+  void* p = ::operator new(1);
+  ::operator delete(p);
+  return tl_allocs != before;
+}
+
+}  // namespace msp::obs
+
+// --- replaceable global allocation functions ---
+
+void* operator new(std::size_t size) {
+  void* p = msp::obs::CountedAlloc(size, 0);
+  if (p == nullptr) msp::obs::ThrowBadAlloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = msp::obs::CountedAlloc(size, 0);
+  if (p == nullptr) msp::obs::ThrowBadAlloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p =
+      msp::obs::CountedAlloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) msp::obs::ThrowBadAlloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p =
+      msp::obs::CountedAlloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) msp::obs::ThrowBadAlloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return msp::obs::CountedAlloc(size, 0);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return msp::obs::CountedAlloc(size, 0);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return msp::obs::CountedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return msp::obs::CountedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,92 @@
+// Allocation accounting: a counting global allocator plus a scoped
+// ledger (AllocScope) that publishes per-subsystem alloc totals.
+//
+// alloc.cc replaces the global operator new/new[] (all replaceable
+// forms) with thin malloc wrappers that bump two thread-local
+// counters — allocations and requested bytes — before returning.
+// Counting is unconditional and costs two thread-local adds per
+// allocation (~1ns), so there is no "armed" mode to forget; delete is
+// forwarded untouched (the ledger tracks allocation pressure, not
+// live bytes, which keeps cross-thread frees exact by construction).
+//
+// AllocScope is the RAII ledger over those counters: it snapshots the
+// calling thread's totals at construction and, at destruction,
+// publishes the delta into two registry counters
+// (`<subsystem>.alloc_bytes_total` / `<subsystem>.allocs_total`).
+// Components resolve the counter handles once at construction (house
+// metrics contract) and open a scope per hot-path operation:
+//
+//   obs::AllocScope scope(pub_.alloc_bytes, pub_.allocs);
+//   ... repair / plan / delta job ...
+//
+// A scope with null handles still tracks (delta() works — that is
+// what the differential oracle test uses) but publishes nothing.
+// Scopes nest naturally: an inner scope's allocations are part of the
+// outer scope's delta, mirroring how inclusive span time works.
+//
+// The counters measure the allocating thread only: a ThreadPool job
+// spawned inside the scope is charged to the pool thread, not the
+// scope. That is the useful semantics for "is *this* code path
+// allocation-free" — the ROADMAP raw-speed question.
+
+#ifndef MSP_OBS_ALLOC_H_
+#define MSP_OBS_ALLOC_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace msp::obs {
+
+/// Monotone per-thread allocation totals since thread start.
+struct AllocTotals {
+  uint64_t allocs = 0;
+  uint64_t bytes = 0;
+};
+
+/// The calling thread's totals. Cheap (two thread-local reads).
+AllocTotals ThreadAllocTotals();
+
+/// True when the counting allocator is actually linked in. Sanitizer
+/// builds (ASan/TSan) interpose their own operator new ahead of ours,
+/// leaving the counters at zero — exactness tests and overhead gates
+/// consult this and skip rather than report garbage.
+bool AllocCountingActive();
+
+/// RAII allocation ledger for one scope on one thread.
+class AllocScope {
+ public:
+  /// `bytes_total` / `allocs_total` may be null: the scope then only
+  /// tracks (see delta()) without publishing.
+  explicit AllocScope(Counter* bytes_total = nullptr,
+                      Counter* allocs_total = nullptr)
+      : bytes_total_(bytes_total),
+        allocs_total_(allocs_total),
+        start_(ThreadAllocTotals()) {}
+
+  AllocScope(const AllocScope&) = delete;
+  AllocScope& operator=(const AllocScope&) = delete;
+
+  ~AllocScope() {
+    const AllocTotals d = delta();
+    if (bytes_total_ != nullptr && d.bytes > 0) bytes_total_->Inc(d.bytes);
+    if (allocs_total_ != nullptr && d.allocs > 0) {
+      allocs_total_->Inc(d.allocs);
+    }
+  }
+
+  /// Allocations on this thread since the scope opened.
+  AllocTotals delta() const {
+    const AllocTotals now = ThreadAllocTotals();
+    return {now.allocs - start_.allocs, now.bytes - start_.bytes};
+  }
+
+ private:
+  Counter* bytes_total_;
+  Counter* allocs_total_;
+  AllocTotals start_;
+};
+
+}  // namespace msp::obs
+
+#endif  // MSP_OBS_ALLOC_H_

@@ -1,7 +1,12 @@
 #include "obs/export.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <vector>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
 
 #include "obs/span.h"
 #include "util/csv_writer.h"
@@ -101,6 +106,51 @@ void RegisterStandardMetrics(Registry* registry) {
   registry->counter("mr.jobs_total");
   registry->counter("mr.shuffle_bytes_total");
   registry->counter("mr.shuffle_records_total");
+  // Allocation ledgers (obs/alloc.h AllocScope around each hot path).
+  registry->counter("planner.alloc_bytes_total");
+  registry->counter("planner.allocs_total");
+  registry->counter("online.alloc_bytes_total");
+  registry->counter("online.allocs_total");
+  registry->counter("sim.alloc_bytes_total");
+  registry->counter("sim.allocs_total");
+  // Self-diagnosis (obs/watchdog.h).
+  registry->counter("watchdog.stalls_total");
+  // process.* (refreshed by SampleProcessMetrics at each dump)
+  registry->gauge("process.uptime_seconds");
+  registry->gauge("process.rss_bytes");
+  registry->gauge("process.threads");
+}
+
+void SampleProcessMetrics(Registry* registry) {
+  registry->gauge("process.uptime_seconds")
+      ->Set(static_cast<int64_t>(MonotonicMicros() / 1000000));
+  int64_t rss_bytes = 0;
+  int64_t threads = 0;
+#ifdef __linux__
+  {
+    // /proc/self/statm: "size resident shared ..." in pages.
+    std::ifstream statm("/proc/self/statm");
+    uint64_t size_pages = 0;
+    uint64_t resident_pages = 0;
+    if (statm >> size_pages >> resident_pages) {
+      rss_bytes = static_cast<int64_t>(
+          resident_pages *
+          static_cast<uint64_t>(::sysconf(_SC_PAGESIZE)));
+    }
+  }
+  {
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+      if (line.rfind("Threads:", 0) == 0) {
+        threads = std::strtoll(line.c_str() + 8, nullptr, 10);
+        break;
+      }
+    }
+  }
+#endif
+  registry->gauge("process.rss_bytes")->Set(rss_bytes);
+  registry->gauge("process.threads")->Set(threads);
 }
 
 }  // namespace msp::obs

@@ -20,6 +20,12 @@ bool WriteMetricsFile(const Registry& registry, const std::string& path,
 // Writes the tracer's buffered events as Chrome trace-event JSON.
 bool WriteTraceFile(const std::string& path, std::string* error);
 
+// Refreshes the process.* gauges (uptime, RSS, thread count) in
+// `registry`. Called right before each metrics dump so the values are
+// current-at-dump, not current-at-registration. RSS and thread count
+// read /proc/self and stay 0 on platforms without procfs.
+void SampleProcessMetrics(Registry* registry);
+
 }  // namespace msp::obs
 
 #endif  // MSP_OBS_EXPORT_H_

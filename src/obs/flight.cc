@@ -1,0 +1,184 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "obs/span.h"
+
+namespace msp::obs {
+
+namespace {
+
+// One ring slot. The writer fills the payload with relaxed stores and
+// publishes `seq` last (release); a reader that loads seq (acquire)
+// before the payload sees a consistent entry unless the writer lapped
+// it — in which case the entry is torn but still syntactically valid
+// (every field is an atomic word, so there is no UB, just a mixed
+// event; acceptable for a post-mortem).
+struct Slot {
+  std::atomic<uint64_t> seq{0};  // 0 = never written
+  std::atomic<uint64_t> ts_us{0};
+  std::atomic<uint64_t> value{0};
+  std::atomic<uint8_t> kind{0};
+  std::atomic<uint8_t> name_len{0};
+  std::array<std::atomic<char>, kFlightNameBytes> name{};
+};
+
+struct Ring {
+  uint32_t tid = 0;
+  std::atomic<uint64_t> next{0};  // total events written (monotone)
+  std::array<Slot, kFlightRingSize> slots{};
+};
+
+struct Directory {
+  std::mutex mu;
+  std::vector<Ring*> rings;  // leaked: dumps outlive their threads
+};
+
+Directory& Dir() {
+  static Directory* dir = new Directory();
+  return *dir;
+}
+
+Ring* ThreadRing() {
+  thread_local Ring* ring = [] {
+    Ring* r = new Ring();  // leaked by design (see file comment)
+    r->tid = CurrentThreadId();
+    Directory& dir = Dir();
+    std::lock_guard<std::mutex> lock(dir.mu);
+    dir.rings.push_back(r);
+    return r;
+  }();
+  return ring;
+}
+
+const char* KindLabel(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kSpanBegin:
+      return "B";
+    case FlightKind::kSpanEnd:
+      return "E";
+    case FlightKind::kMark:
+      return "M";
+  }
+  return "?";
+}
+
+void AppendEscaped(const std::string& s, std::ostream& out) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';  // names are code literals; control chars can't occur
+      continue;
+    }
+    out << c;
+  }
+}
+
+}  // namespace
+
+void FlightRecorder::Arm() {
+  internal::g_span_flags.fetch_or(internal::kSpanFlagFlight,
+                                  std::memory_order_relaxed);
+}
+
+void FlightRecorder::Disarm() {
+  internal::g_span_flags.fetch_and(~internal::kSpanFlagFlight,
+                                   std::memory_order_relaxed);
+}
+
+bool FlightRecorder::enabled() {
+  return (internal::g_span_flags.load(std::memory_order_relaxed) &
+          internal::kSpanFlagFlight) != 0;
+}
+
+void FlightRecorder::Note(std::string_view name, FlightKind kind,
+                          uint64_t value) {
+  Ring* ring = ThreadRing();
+  const uint64_t n =
+      ring->next.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = ring->slots[(n - 1) & (kFlightRingSize - 1)];
+  slot.ts_us.store(MonotonicMicros(), std::memory_order_relaxed);
+  slot.value.store(value, std::memory_order_relaxed);
+  slot.kind.store(static_cast<uint8_t>(kind), std::memory_order_relaxed);
+  const std::size_t len = std::min(name.size(), kFlightNameBytes);
+  for (std::size_t i = 0; i < len; ++i) {
+    slot.name[i].store(name[i], std::memory_order_relaxed);
+  }
+  slot.name_len.store(static_cast<uint8_t>(len),
+                      std::memory_order_relaxed);
+  slot.seq.store(n, std::memory_order_release);
+}
+
+void FlightRecorder::Mark(std::string_view name, uint64_t value) {
+  if (!enabled()) return;
+  Note(name, FlightKind::kMark, value);
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() {
+  std::vector<Ring*> rings;
+  {
+    Directory& dir = Dir();
+    std::lock_guard<std::mutex> lock(dir.mu);
+    rings = dir.rings;
+  }
+  std::vector<FlightEvent> events;
+  for (Ring* ring : rings) {
+    const uint64_t next = ring->next.load(std::memory_order_relaxed);
+    const uint64_t have =
+        next < kFlightRingSize ? next : kFlightRingSize;
+    // Oldest live entry first.
+    for (uint64_t i = next - have; i < next; ++i) {
+      const Slot& slot = ring->slots[i & (kFlightRingSize - 1)];
+      const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      if (seq == 0) continue;  // writer has not published it yet
+      FlightEvent event;
+      event.seq = seq;
+      event.tid = ring->tid;
+      event.ts_us = slot.ts_us.load(std::memory_order_relaxed);
+      event.value = slot.value.load(std::memory_order_relaxed);
+      event.kind = static_cast<FlightKind>(
+          slot.kind.load(std::memory_order_relaxed));
+      const std::size_t len = std::min<std::size_t>(
+          slot.name_len.load(std::memory_order_relaxed),
+          kFlightNameBytes);
+      event.name.reserve(len);
+      for (std::size_t c = 0; c < len; ++c) {
+        event.name.push_back(slot.name[c].load(std::memory_order_relaxed));
+      }
+      events.push_back(std::move(event));
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.seq < b.seq;
+            });
+  return events;
+}
+
+void FlightRecorder::WriteJson(std::ostream& out) {
+  const std::vector<FlightEvent> events = Snapshot();
+  out << "[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FlightEvent& e = events[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "{\"ts\":" << e.ts_us << ",\"tid\":" << e.tid
+        << ",\"seq\":" << e.seq << ",\"kind\":\"" << KindLabel(e.kind)
+        << "\",\"name\":\"";
+    AppendEscaped(e.name, out);
+    out << "\",\"value\":" << e.value << "}";
+  }
+  out << "\n]";
+}
+
+void FlightRecorder::ResetForTest() {
+  Directory& dir = Dir();
+  std::lock_guard<std::mutex> lock(dir.mu);
+  // Rings stay allocated: other threads may still hold thread_local
+  // pointers into them. They are simply forgotten by future dumps.
+  dir.rings.clear();
+}
+
+}  // namespace msp::obs

@@ -1,0 +1,83 @@
+// Flight recorder: lock-free per-thread ring buffers of recent span
+// and metric events, drained post-mortem by the stall watchdog.
+//
+// Tracing (span.h) answers "what happened" for a whole run but costs
+// a mutex-guarded append per event and unbounded memory. The flight
+// recorder is the black-box complement: each thread owns a fixed ring
+// of the last kFlightRingSize events (span begin/end plus explicit
+// marks), written wait-free with relaxed atomics — safe to leave armed
+// in production — and read racily by whoever is writing the
+// post-mortem dump. A torn entry (overwritten mid-read) is possible by
+// design; the dump is best-effort recent history, not a ledger.
+//
+// Rings are registered in a process-global directory on first use and
+// intentionally leaked at thread exit, so a dump can still show what a
+// dead thread was doing right before the stall.
+
+#ifndef MSP_OBS_FLIGHT_H_
+#define MSP_OBS_FLIGHT_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msp::obs {
+
+/// Events kept per thread; power of two, ~24KB per thread.
+inline constexpr std::size_t kFlightRingSize = 256;
+/// Name bytes kept per event (longer names truncate).
+inline constexpr std::size_t kFlightNameBytes = 48;
+
+enum class FlightKind : uint8_t {
+  kSpanBegin = 0,
+  kSpanEnd = 1,
+  kMark = 2,  // named value sample (heartbeat ordinal, queue depth...)
+};
+
+/// Decoded ring entry as returned by Snapshot.
+struct FlightEvent {
+  std::string name;
+  FlightKind kind = FlightKind::kMark;
+  uint64_t ts_us = 0;
+  uint64_t value = 0;
+  uint32_t tid = 0;  // span.h thread id, shared with the tracer
+  uint64_t seq = 0;  // per-thread sequence number (wrap-aware)
+};
+
+class FlightRecorder {
+ public:
+  /// Arms recording (idempotent). Spans and Mark() then append to the
+  /// calling thread's ring.
+  static void Arm();
+  /// Disarms recording; rings keep their contents for Snapshot.
+  static void Disarm();
+  static bool enabled();
+
+  /// Appends a named value sample to the calling thread's ring.
+  /// Wait-free; a no-op while disarmed.
+  static void Mark(std::string_view name, uint64_t value);
+
+  /// Used by Span begin/end (span.h) when the recorder is armed.
+  static void Note(std::string_view name, FlightKind kind, uint64_t value);
+
+  /// Best-effort copy of every thread's ring, oldest first per thread,
+  /// then merged by timestamp. Safe to call from any thread (including
+  /// a signal handler's last-resort dump: reads are plain relaxed
+  /// loads, no locks beyond the ring directory mutex).
+  static std::vector<FlightEvent> Snapshot();
+
+  /// Renders Snapshot() as a JSON array (one event object per line).
+  static void WriteJson(std::ostream& out);
+
+  /// Drops all registered rings (tests only; not thread-safe against
+  /// concurrent recording).
+  static void ResetForTest();
+};
+
+}  // namespace msp::obs
+
+#endif  // MSP_OBS_FLIGHT_H_

@@ -1,0 +1,196 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <unordered_map>
+
+#include "util/table.h"
+
+namespace msp::obs {
+
+namespace {
+
+/// Open span frame on one thread's replay stack.
+struct Frame {
+  std::size_t node = 0;
+  uint64_t begin_us = 0;
+  uint64_t child_us = 0;  // time attributed to child spans
+};
+
+/// Per-thread replay state.
+struct ThreadState {
+  std::vector<Frame> stack;
+  uint64_t last_ts = 0;
+};
+
+/// Histogram accumulator per node; folded into the snapshots once at
+/// the end (HistogramSnapshot has no public Record).
+struct NodeAccumulator {
+  Histogram latency;
+};
+
+}  // namespace
+
+std::size_t Profile::ChildOf(std::size_t parent, const std::string& name) {
+  auto [it, inserted] = nodes_[parent].children.try_emplace(name, 0);
+  if (!inserted) return it->second;
+  const std::size_t index = nodes_.size();
+  it->second = index;
+  ProfileNode node;
+  node.name = name;
+  node.parent = parent;
+  nodes_.push_back(std::move(node));
+  return index;
+}
+
+Profile Profile::Build(const std::vector<TraceEvent>& events) {
+  Profile profile;
+  ProfileNode root;
+  root.name = "(root)";
+  profile.nodes_.push_back(std::move(root));
+
+  std::unordered_map<uint32_t, ThreadState> threads;
+  // Durations per node, folded into HistogramSnapshots at the end.
+  std::vector<std::unique_ptr<NodeAccumulator>> accumulators;
+  const auto accumulator_for = [&](std::size_t node) -> Histogram& {
+    if (accumulators.size() < profile.nodes_.size()) {
+      accumulators.resize(profile.nodes_.size());
+    }
+    if (accumulators[node] == nullptr) {
+      accumulators[node] = std::make_unique<NodeAccumulator>();
+    }
+    return accumulators[node]->latency;
+  };
+
+  const auto close_frame = [&](ThreadState& state, uint64_t end_ts) {
+    Frame frame = state.stack.back();
+    state.stack.pop_back();
+    const uint64_t duration =
+        end_ts > frame.begin_us ? end_ts - frame.begin_us : 0;
+    ProfileNode& node = profile.nodes_[frame.node];
+    ++node.calls;
+    node.inclusive_us += duration;
+    node.exclusive_us +=
+        duration > frame.child_us ? duration - frame.child_us : 0;
+    accumulator_for(frame.node).Record(duration);
+    if (!state.stack.empty()) {
+      state.stack.back().child_us += duration;
+    }
+  };
+
+  for (const TraceEvent& event : events) {
+    ThreadState& state = threads[event.tid];
+    state.last_ts = std::max(state.last_ts, event.ts_us);
+    if (event.phase == 'B') {
+      const std::size_t parent =
+          state.stack.empty() ? 0 : state.stack.back().node;
+      Frame frame;
+      frame.node = profile.ChildOf(parent, event.name);
+      frame.begin_us = event.ts_us;
+      state.stack.push_back(frame);
+    } else if (event.phase == 'E') {
+      // An E with no open frame means the buffer was cleared mid-span;
+      // nothing to attribute.
+      if (!state.stack.empty()) close_frame(state, event.ts_us);
+    }
+  }
+  // Close frames still open at snapshot time at the thread's last
+  // event, so a live snapshot accounts the time observed so far.
+  for (auto& [tid, state] : threads) {
+    while (!state.stack.empty()) close_frame(state, state.last_ts);
+  }
+
+  // The synthetic root aggregates its children: inclusive = sum of
+  // top-level span time (the reconciliation invariant).
+  for (const auto& [name, child] : profile.nodes_[0].children) {
+    profile.nodes_[0].inclusive_us += profile.nodes_[child].inclusive_us;
+    profile.nodes_[0].calls += profile.nodes_[child].calls;
+  }
+  for (std::size_t i = 0; i < profile.nodes_.size(); ++i) {
+    if (i < accumulators.size() && accumulators[i] != nullptr) {
+      profile.nodes_[i].latency = accumulators[i]->latency.snapshot();
+    }
+  }
+  return profile;
+}
+
+std::string Profile::StackOf(std::size_t index) const {
+  std::vector<const std::string*> names;
+  for (std::size_t at = index; at != 0; at = nodes_[at].parent) {
+    names.push_back(&nodes_[at].name);
+  }
+  std::string stack;
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    if (!stack.empty()) stack.push_back(';');
+    stack += **it;
+  }
+  return stack;
+}
+
+void Profile::WriteCollapsed(std::ostream& out) const {
+  // Depth-first in child-name order, so the file is deterministic for
+  // a given tree regardless of event interleaving across threads.
+  std::vector<std::size_t> pending;
+  for (auto it = nodes_[0].children.rbegin();
+       it != nodes_[0].children.rend(); ++it) {
+    pending.push_back(it->second);
+  }
+  while (!pending.empty()) {
+    const std::size_t index = pending.back();
+    pending.pop_back();
+    const ProfileNode& node = nodes_[index];
+    if (node.exclusive_us > 0) {
+      out << StackOf(index) << " " << node.exclusive_us << "\n";
+    }
+    for (auto it = node.children.rbegin(); it != node.children.rend();
+         ++it) {
+      pending.push_back(it->second);
+    }
+  }
+}
+
+void Profile::PrintTop(std::size_t n, std::ostream& out) const {
+  std::vector<std::size_t> order;
+  for (std::size_t i = 1; i < nodes_.size(); ++i) order.push_back(i);
+  std::sort(order.begin(), order.end(), [this](std::size_t a,
+                                               std::size_t b) {
+    if (nodes_[a].exclusive_us != nodes_[b].exclusive_us) {
+      return nodes_[a].exclusive_us > nodes_[b].exclusive_us;
+    }
+    return StackOf(a) < StackOf(b);
+  });
+  if (order.size() > n) order.resize(n);
+
+  TablePrinter table("profile: top spans by exclusive time (total " +
+                     TablePrinter::Fmt(nodes_[0].inclusive_us) + " us)");
+  table.SetHeader({"span stack", "calls", "incl us", "excl us", "p50 us",
+                   "p99 us"});
+  for (const std::size_t index : order) {
+    const ProfileNode& node = nodes_[index];
+    table.AddRow({StackOf(index), TablePrinter::Fmt(node.calls),
+                  TablePrinter::Fmt(node.inclusive_us),
+                  TablePrinter::Fmt(node.exclusive_us),
+                  TablePrinter::Fmt(node.latency.Percentile(50.0), 1),
+                  TablePrinter::Fmt(node.latency.Percentile(99.0), 1)});
+  }
+  table.Print(out);
+}
+
+bool WriteProfileFile(const Profile& profile, const std::string& path,
+                      std::string* error) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    if (error) *error = "cannot open profile file: " + path;
+    return false;
+  }
+  profile.WriteCollapsed(out);
+  out.flush();
+  if (!out) {
+    if (error) *error = "failed writing profile file: " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace msp::obs

@@ -1,0 +1,95 @@
+// Span-derived call-tree profiler.
+//
+// The tracer (span.h) already records every MSP_SPAN as balanced B/E
+// events with per-thread stacks implied by scoped lifetimes. This
+// module aggregates that event stream — offline, after the run — into
+// a call-tree profile: one node per unique span stack, with call
+// counts, inclusive time (span open to close), exclusive time
+// (inclusive minus time spent in child spans), and a per-node
+// log-bucket histogram of span durations.
+//
+// Two renderings:
+//  * WriteCollapsed — the collapsed-stack format flamegraph tools eat
+//    (`root;planner.plan;planner.portfolio 1234` per line, weight =
+//    exclusive microseconds), exposed as `--profile-out=FILE` on
+//    `mspctl plan|online|serve|simulate`.
+//  * PrintTop — a top-N table (calls, inclusive/exclusive us, p50/p99)
+//    on stderr so the answer to "where did the time go" does not
+//    require leaving the terminal.
+//
+// Invariant the acceptance test pins: the synthetic root's inclusive
+// time equals the sum of all top-level span durations in the trace
+// buffer, and equals the sum of every node's exclusive time — so the
+// collapsed file's total weight reconciles with the trace-event JSON.
+
+#ifndef MSP_OBS_PROFILE_H_
+#define MSP_OBS_PROFILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/span.h"
+
+namespace msp::obs {
+
+/// One node of the call tree: a unique stack of span names. Node 0 is
+/// the synthetic root ("(root)"): it has no calls of its own; its
+/// inclusive time is the sum of its children's.
+struct ProfileNode {
+  std::string name;
+  std::size_t parent = 0;  // root points at itself
+  uint64_t calls = 0;
+  uint64_t inclusive_us = 0;
+  uint64_t exclusive_us = 0;
+  /// Span durations (microseconds) recorded at this node.
+  HistogramSnapshot latency;
+  /// Child node indices by span name, deterministic order.
+  std::map<std::string, std::size_t> children;
+};
+
+class Profile {
+ public:
+  /// Aggregates a tracer event buffer (Tracer::Snapshot()) into the
+  /// call tree. Events are grouped by tid and replayed in buffer
+  /// order; B/E pairs nest per thread by construction. An unmatched E
+  /// (buffer cleared mid-span) is dropped; an unmatched B (snapshot
+  /// taken while the span is still open) is closed at the thread's
+  /// last seen timestamp so a live snapshot still accounts its time.
+  static Profile Build(const std::vector<TraceEvent>& events);
+
+  const std::vector<ProfileNode>& nodes() const { return nodes_; }
+  const ProfileNode& root() const { return nodes_[0]; }
+
+  /// Full stack of a node, root excluded: "planner.plan;planner.solve".
+  std::string StackOf(std::size_t index) const;
+
+  /// Collapsed-stack rendering: one `stack weight` line per node with
+  /// non-zero exclusive time, weight in exclusive microseconds,
+  /// deterministic (depth-first, name order). The weights sum to the
+  /// root's inclusive time.
+  void WriteCollapsed(std::ostream& out) const;
+
+  /// Top-`n` nodes by exclusive time: aligned table with calls,
+  /// inclusive/exclusive microseconds, and p50/p99 span durations.
+  void PrintTop(std::size_t n, std::ostream& out) const;
+
+ private:
+  std::size_t ChildOf(std::size_t parent, const std::string& name);
+
+  std::vector<ProfileNode> nodes_;
+};
+
+/// Builds a profile from the tracer's current buffer and writes the
+/// collapsed-stack file. Returns false and fills `*error` on I/O
+/// failure.
+bool WriteProfileFile(const Profile& profile, const std::string& path,
+                      std::string* error);
+
+}  // namespace msp::obs
+
+#endif  // MSP_OBS_PROFILE_H_

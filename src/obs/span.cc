@@ -5,6 +5,8 @@
 #include <mutex>
 #include <string_view>
 
+#include "obs/flight.h"
+
 namespace msp::obs {
 
 namespace {
@@ -17,12 +19,6 @@ struct TracerState {
 TracerState& State() {
   static TracerState* state = new TracerState();
   return *state;
-}
-
-uint32_t ThreadId() {
-  static std::atomic<uint32_t> next{1};
-  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
-  return id;
 }
 
 void AppendJsonString(std::string_view s, std::string* out) {
@@ -59,6 +55,12 @@ void AppendJsonString(std::string_view s, std::string* out) {
 
 }  // namespace
 
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 uint64_t MonotonicMicros() {
   static const auto start = std::chrono::steady_clock::now();
   return static_cast<uint64_t>(
@@ -74,11 +76,13 @@ void Tracer::Start() {
     state.events.clear();
   }
   MonotonicMicros();  // pin the epoch before the first event
-  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+  internal::g_span_flags.fetch_or(internal::kSpanFlagTrace,
+                                  std::memory_order_relaxed);
 }
 
 void Tracer::Stop() {
-  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+  internal::g_span_flags.fetch_and(~internal::kSpanFlagTrace,
+                                   std::memory_order_relaxed);
 }
 
 std::vector<TraceEvent> Tracer::Snapshot() {
@@ -137,23 +141,31 @@ void Tracer::WriteChromeTrace(std::ostream& out) {
   out << "\n]\n";
 }
 
-void Span::Begin(std::string_view name) {
-  active_ = true;
+void Span::Begin(std::string_view name, uint32_t flags) {
+  active_ = (flags & internal::kSpanFlagTrace) != 0;
+  flight_ = (flags & internal::kSpanFlagFlight) != 0;
   name_ = std::string(name);
+  if (flight_) FlightRecorder::Note(name_, FlightKind::kSpanBegin, 0);
+  if (!active_) return;
   TraceEvent event;
   event.name = name_;
   event.phase = 'B';
   event.ts_us = MonotonicMicros();
-  event.tid = ThreadId();
+  event.tid = CurrentThreadId();
   Tracer::Emit(std::move(event));
 }
 
 void Span::End() {
+  if (flight_) {
+    FlightRecorder::Note(name_, FlightKind::kSpanEnd, 0);
+    flight_ = false;
+  }
+  if (!active_) return;
   TraceEvent event;
   event.name = std::move(name_);
   event.phase = 'E';
   event.ts_us = MonotonicMicros();
-  event.tid = ThreadId();
+  event.tid = CurrentThreadId();
   event.args = std::move(args_);
   Tracer::Emit(std::move(event));
   active_ = false;

@@ -34,9 +34,14 @@
 namespace msp::obs {
 
 namespace internal {
+// Span sink bits. One flags word instead of one atomic per sink keeps
+// the disabled-span fast path a single load + branch even with both
+// the tracer and the flight recorder (flight.h) hanging off Span.
+inline constexpr uint32_t kSpanFlagTrace = 1u << 0;
+inline constexpr uint32_t kSpanFlagFlight = 1u << 1;
 // Namespace-scope so the Span fast path inlines to a load + branch
 // (no function-local-static guard).
-inline constinit std::atomic<bool> g_trace_enabled{false};
+inline constinit std::atomic<uint32_t> g_span_flags{0};
 }  // namespace internal
 
 struct TraceEvent {
@@ -51,6 +56,10 @@ struct TraceEvent {
 // Monotonic microseconds since process start (steady clock).
 uint64_t MonotonicMicros();
 
+// Small sequential id of the calling thread (1, 2, ...), shared by the
+// tracer and the flight recorder so their dumps correlate.
+uint32_t CurrentThreadId();
+
 class Tracer {
  public:
   // Clears any buffered events and enables collection.
@@ -59,7 +68,8 @@ class Tracer {
   // their end events.
   static void Stop();
   static bool enabled() {
-    return internal::g_trace_enabled.load(std::memory_order_relaxed);
+    return (internal::g_span_flags.load(std::memory_order_relaxed) &
+            internal::kSpanFlagTrace) != 0;
   }
 
   // Copies the buffered events (balanced B/E pairs per thread).
@@ -78,15 +88,18 @@ class Tracer {
 class Span {
  public:
   explicit Span(std::string_view name) {
-    if (!Tracer::enabled()) return;
-    Begin(name);
+    const uint32_t flags =
+        internal::g_span_flags.load(std::memory_order_relaxed);
+    if (flags == 0) return;
+    Begin(name, flags);
   }
   ~Span() {
-    if (active_) End();
+    if (active_ || flight_) End();
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
+  // True when the tracer was armed at span begin (args are recorded).
   bool active() const { return active_; }
 
   // Attach an arg to the span's end event. No-ops (and does not
@@ -108,10 +121,11 @@ class Span {
   void Arg(std::string_view key, bool value);
 
  private:
-  void Begin(std::string_view name);
+  void Begin(std::string_view name, uint32_t flags);
   void End();
 
-  bool active_ = false;
+  bool active_ = false;  // tracer sink armed at Begin
+  bool flight_ = false;  // flight-recorder sink armed at Begin
   std::string name_;
   std::vector<std::pair<std::string, std::string>> args_;
 };

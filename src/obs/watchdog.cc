@@ -1,0 +1,240 @@
+#include "obs/watchdog.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/flight.h"
+#include "obs/span.h"
+
+namespace msp::obs {
+
+namespace {
+
+void AppendJson(std::string_view s, std::ostream& out) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+std::atomic<Watchdog*> g_signal_watchdog{nullptr};
+
+const char* SignalName(int signo) {
+  switch (signo) {
+    case SIGABRT:
+      return "SIGABRT";
+    case SIGSEGV:
+      return "SIGSEGV";
+    case SIGBUS:
+      return "SIGBUS";
+    case SIGILL:
+      return "SIGILL";
+    case SIGFPE:
+      return "SIGFPE";
+  }
+  return "signal";
+}
+
+void FatalSignalHandler(int signo) {
+  Watchdog* watchdog =
+      g_signal_watchdog.exchange(nullptr, std::memory_order_acq_rel);
+  if (watchdog != nullptr) {
+    // Best-effort (see header): the process is dying either way.
+    watchdog->DumpNow(std::string("signal:") + SignalName(signo));
+  }
+  std::signal(signo, SIG_DFL);
+  std::raise(signo);
+}
+
+}  // namespace
+
+Watchdog::Watchdog(WatchdogOptions options,
+                   std::vector<WatchdogSource> sources)
+    : options_(std::move(options)), sources_(std::move(sources)) {
+  if (options_.metrics != nullptr) {
+    stalls_total_ = options_.metrics->counter("watchdog.stalls_total");
+  }
+}
+
+Watchdog::~Watchdog() {
+  Stop();
+  // Detach the signal hook if it still points here.
+  Watchdog* self = this;
+  g_signal_watchdog.compare_exchange_strong(self, nullptr,
+                                            std::memory_order_acq_rel);
+}
+
+void Watchdog::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { PollLoop(); });
+}
+
+void Watchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stop_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+void Watchdog::PollLoop() {
+  uint64_t poll_ms = options_.poll_ms;
+  if (poll_ms == 0) poll_ms = options_.stall_ms / 4;
+  if (poll_ms < 10) poll_ms = 10;
+  if (poll_ms > options_.stall_ms && options_.stall_ms > 0) {
+    poll_ms = options_.stall_ms;
+  }
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait_for(lock, std::chrono::milliseconds(poll_ms),
+                     [this] { return stop_; });
+      if (stop_) return;
+    }
+    std::vector<std::string> stalled;
+    if (Detect(&stalled)) {
+      stalls_.fetch_add(1, std::memory_order_relaxed);
+      if (stalls_total_ != nullptr) stalls_total_->Inc();
+      if (!options_.dump_path.empty()) {
+        std::ofstream out(options_.dump_path, std::ios::trunc);
+        if (out) WriteDump("stall", stalled, out);
+      }
+    }
+  }
+}
+
+bool Watchdog::Detect(std::vector<std::string>* stalled) {
+  stalled->clear();
+  const uint64_t now = MonotonicMicros();
+  const uint64_t threshold_us = options_.stall_ms * 1000;
+  for (const WatchdogSource& source : sources_) {
+    const WatchdogReading reading = source.probe();
+    const bool has_work = reading.busy || reading.queue_depth > 0;
+    if (!has_work) continue;
+    const uint64_t idle_us = now > reading.last_progress_us
+                                 ? now - reading.last_progress_us
+                                 : 0;
+    if (idle_us >= threshold_us) stalled->push_back(source.name);
+  }
+  const bool any = !stalled->empty();
+  // Edge trigger: report only the transition into a stall episode.
+  const bool was = in_stall_.exchange(any, std::memory_order_relaxed);
+  return any && !was;
+}
+
+std::vector<std::string> Watchdog::CheckNow() {
+  std::vector<std::string> stalled;
+  if (Detect(&stalled)) {
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    if (stalls_total_ != nullptr) stalls_total_->Inc();
+  }
+  return stalled;
+}
+
+bool Watchdog::DumpNow(std::string_view reason, std::string* error) {
+  if (options_.dump_path.empty()) {
+    if (error) *error = "watchdog has no dump path configured";
+    return false;
+  }
+  std::ofstream out(options_.dump_path, std::ios::trunc);
+  if (!out) {
+    if (error) {
+      *error = "cannot open watchdog dump: " + options_.dump_path;
+    }
+    return false;
+  }
+  std::vector<std::string> stalled;
+  Detect(&stalled);
+  WriteDump(reason, stalled, out);
+  out.flush();
+  if (!out) {
+    if (error) {
+      *error = "failed writing watchdog dump: " + options_.dump_path;
+    }
+    return false;
+  }
+  return true;
+}
+
+void Watchdog::WriteDump(std::string_view reason,
+                         const std::vector<std::string>& stalled,
+                         std::ostream& out) {
+  out << "{\n\"reason\":";
+  AppendJson(reason, out);
+  out << ",\n\"ts_us\":" << MonotonicMicros();
+  out << ",\n\"stall_count\":" << stall_count();
+  out << ",\n\"stalled\":[";
+  for (std::size_t i = 0; i < stalled.size(); ++i) {
+    if (i > 0) out << ",";
+    AppendJson(stalled[i], out);
+  }
+  out << "],\n\"sources\":[";
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    const WatchdogReading reading = sources_[i].probe();
+    out << (i == 0 ? "\n" : ",\n") << "{\"name\":";
+    AppendJson(sources_[i].name, out);
+    out << ",\"busy\":" << (reading.busy ? "true" : "false")
+        << ",\"queue_depth\":" << reading.queue_depth
+        << ",\"last_ordinal\":" << reading.last_ordinal
+        << ",\"last_progress_us\":" << reading.last_progress_us << "}";
+  }
+  out << "\n],\n\"flight\":";
+  FlightRecorder::WriteJson(out);
+  out << ",\n\"metrics\":[";
+  if (options_.metrics != nullptr) {
+    std::vector<std::vector<std::string>> rows;
+    options_.metrics->WriteCsvRows(&rows);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "{\"metric\":";
+      AppendJson(rows[i][0], out);
+      out << ",\"labels\":";
+      AppendJson(rows[i][1], out);
+      out << ",\"field\":";
+      AppendJson(rows[i][2], out);
+      out << ",\"value\":";
+      AppendJson(rows[i][3], out);
+      out << "}";
+    }
+    if (!rows.empty()) out << "\n";
+  }
+  out << "]\n}\n";
+}
+
+void Watchdog::InstallSignalDump(Watchdog* watchdog) {
+  g_signal_watchdog.store(watchdog, std::memory_order_release);
+  if (watchdog == nullptr) return;
+  for (const int signo :
+       {SIGABRT, SIGSEGV, SIGBUS, SIGILL, SIGFPE}) {
+    std::signal(signo, FatalSignalHandler);
+  }
+}
+
+}  // namespace msp::obs

@@ -1,0 +1,128 @@
+// Stall watchdog: a background thread that polls per-shard heartbeats
+// and, when a shard stops making progress while it still has work,
+// writes a post-mortem JSON dump — flight-recorder ring contents,
+// a metrics snapshot, and every source's heartbeat (mailbox depth,
+// last ordinal, microseconds since progress).
+//
+// Detection is edge-triggered: a source counts as stalled when it has
+// work (busy or a non-empty queue) and its last_progress_us is older
+// than the stall threshold. The first poll that sees a non-empty
+// stalled set increments `watchdog.stalls_total` and writes the dump;
+// the watchdog then stays quiet until every source recovers, so a
+// wedged shard produces one dump, not one per poll.
+//
+// InstallSignalDump() additionally hooks fatal signals (SIGABRT,
+// SIGSEGV, SIGBUS, SIGILL, SIGFPE) to write the same dump before the
+// process dies. The handler is deliberately best-effort — it
+// allocates and takes the ring-directory mutex, which is not
+// async-signal-safe — because the alternative on a crashing process
+// is no dump at all; the default action is re-raised afterwards so
+// exit codes and cores are unchanged.
+
+#ifndef MSP_OBS_WATCHDOG_H_
+#define MSP_OBS_WATCHDOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace msp::obs {
+
+/// One probe of a watched component, read from its published atomics.
+struct WatchdogReading {
+  uint64_t last_progress_us = 0;  // MonotonicMicros of last progress
+  uint64_t last_ordinal = 0;      // monotone work counter
+  uint64_t queue_depth = 0;       // pending work items
+  bool busy = false;              // mid-task right now
+};
+
+/// A watched component: a stable name plus a cheap, thread-safe probe.
+struct WatchdogSource {
+  std::string name;
+  std::function<WatchdogReading()> probe;
+};
+
+struct WatchdogOptions {
+  /// A source with work but no progress for this long is stalled.
+  uint64_t stall_ms = 1000;
+  /// Poll period; 0 derives stall_ms / 4, clamped to [10ms, stall_ms].
+  uint64_t poll_ms = 0;
+  /// Post-mortem JSON destination; empty disables dumping (detection
+  /// and the stall counter still run).
+  std::string dump_path;
+  /// Optional sink for `watchdog.stalls_total` and the dump's metrics
+  /// snapshot section.
+  Registry* metrics = nullptr;
+};
+
+class Watchdog {
+ public:
+  /// Does not start polling; call Start().
+  Watchdog(WatchdogOptions options, std::vector<WatchdogSource> sources);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  void Start();
+  /// Stops and joins the poll thread (idempotent; ~Watchdog calls it).
+  void Stop();
+
+  /// Stall episodes detected so far.
+  uint64_t stall_count() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+  /// Runs one detection pass immediately (poll thread not required).
+  /// Returns the names of currently stalled sources.
+  std::vector<std::string> CheckNow();
+
+  /// Writes the post-mortem to `options.dump_path` regardless of stall
+  /// state (also used by the signal hook). False + `*error` on I/O
+  /// failure or when no dump path is configured.
+  bool DumpNow(std::string_view reason, std::string* error = nullptr);
+
+  /// Renders the dump JSON to `out`: reason, stalled names, per-source
+  /// heartbeats, flight-recorder events, metrics snapshot.
+  void WriteDump(std::string_view reason,
+                 const std::vector<std::string>& stalled,
+                 std::ostream& out);
+
+  /// Routes fatal signals to `watchdog->DumpNow("signal:<name>")`,
+  /// then re-raises the default action. Pass nullptr to detach (the
+  /// handlers stay installed but become pass-through). The pointer is
+  /// process-global: the last install wins.
+  static void InstallSignalDump(Watchdog* watchdog);
+
+ private:
+  void PollLoop();
+  /// Detection pass shared by PollLoop and CheckNow. Fills `stalled`
+  /// and returns true when this pass is a new stall episode edge.
+  bool Detect(std::vector<std::string>* stalled);
+
+  const WatchdogOptions options_;
+  const std::vector<WatchdogSource> sources_;
+  Counter* stalls_total_ = nullptr;  // resolved once when metrics set
+
+  std::atomic<uint64_t> stalls_{0};
+  std::atomic<bool> in_stall_{false};  // level state for edge trigger
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace msp::obs
+
+#endif  // MSP_OBS_WATCHDOG_H_

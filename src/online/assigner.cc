@@ -6,6 +6,7 @@
 #include "core/bounds.h"
 #include "core/improve.h"
 #include "core/validate.h"
+#include "obs/alloc.h"
 #include "obs/span.h"
 #include "util/check.h"
 
@@ -87,6 +88,8 @@ OnlineAssigner::OnlineAssigner(const OnlineConfig& config)
     pub_.policy_consults = reg->counter("online.policy_consults_total");
     pub_.repairs = reg->counter("online.repairs_total");
     pub_.replans = reg->counter("online.replans_total");
+    pub_.alloc_bytes = reg->counter("online.alloc_bytes_total");
+    pub_.allocs = reg->counter("online.allocs_total");
   }
 }
 
@@ -101,6 +104,7 @@ UpdateResult OnlineAssigner::Apply(const Update& update) {
 
 UpdateResult OnlineAssigner::ApplyDeferred(const Update& update) {
   obs::Span span("online.update");
+  obs::AllocScope alloc_scope(pub_.alloc_bytes, pub_.allocs);
   UpdateResult result;
   switch (update.kind) {
     case UpdateKind::kAddInput:

@@ -283,6 +283,8 @@ class OnlineAssigner {
     obs::Counter* policy_consults = nullptr;
     obs::Counter* repairs = nullptr;
     obs::Counter* replans = nullptr;
+    obs::Counter* alloc_bytes = nullptr;  // online.alloc_bytes_total
+    obs::Counter* allocs = nullptr;       // online.allocs_total
   };
   Instruments pub_;
   uint64_t updates_since_replan_ = 0;

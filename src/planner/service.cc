@@ -9,6 +9,7 @@
 
 #include "core/a2a.h"
 #include "core/x2y.h"
+#include "obs/alloc.h"
 #include "obs/span.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -54,6 +55,8 @@ PlannerService::PlannerService(const PlannerConfig& config)
     pub_.portfolio_runs = reg->counter("planner.portfolio_runs_total");
     pub_.auto_runs = reg->counter("planner.auto_runs_total");
     pub_.infeasible = reg->counter("planner.infeasible_total");
+    pub_.alloc_bytes = reg->counter("planner.alloc_bytes_total");
+    pub_.allocs = reg->counter("planner.allocs_total");
   }
 }
 
@@ -62,6 +65,9 @@ PlanResult PlannerService::PlanImpl(const Instance& instance,
                                     const PlanOptions& opts,
                                     ThreadPool* pool) {
   obs::Span span("planner.plan");
+  // Charges the planning thread's allocations (canonicalization, cache
+  // rewrite, portfolio orchestration; pool workers self-charge).
+  obs::AllocScope alloc_scope(pub_.alloc_bytes, pub_.allocs);
   Stopwatch watch;
   PlanResult result;
   bool used_portfolio = false;

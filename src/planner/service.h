@@ -162,6 +162,8 @@ class PlannerService {
     obs::Counter* portfolio_runs = nullptr;
     obs::Counter* auto_runs = nullptr;
     obs::Counter* infeasible = nullptr;
+    obs::Counter* alloc_bytes = nullptr;  // planner.alloc_bytes_total
+    obs::Counter* allocs = nullptr;       // planner.allocs_total
   };
   Instruments pub_;
   uint64_t published_evictions_ = 0;  // under stats_mu_

@@ -130,6 +130,18 @@ class ServingService {
   /// Stable shard index of `key` (FNV-1a, platform-independent).
   std::size_t ShardOf(const std::string& key) const;
 
+  /// Shard `i`'s progress heartbeat (lock-free probe for the stall
+  /// watchdog); valid for the service's lifetime.
+  const ShardHeartbeat& shard_heartbeat(std::size_t i) const {
+    return shards_[i]->heartbeat();
+  }
+
+  /// Test-only: wedges shard `i`'s worker by `us` microseconds per
+  /// applied update (see ServingShard::InjectApplyDelayForTest).
+  void InjectApplyDelayForTest(std::size_t i, uint64_t us) {
+    shards_[i]->InjectApplyDelayForTest(us);
+  }
+
   planner::PlannerService& planner() { return *planner_; }
   std::size_t num_shards() const { return shards_.size(); }
 

@@ -1,6 +1,8 @@
 #include "serving/shard.h"
 
+#include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "obs/span.h"
@@ -65,6 +67,7 @@ bool ServingShard::AttachWal(const durability::WalOptions& options,
 }
 
 void ServingShard::StampEnqueue(Task* task) {
+  heartbeat_.queue_depth.fetch_add(1, std::memory_order_relaxed);
   if (metrics_ == nullptr) return;
   task->enqueued_at_us = obs::MonotonicMicros();
   mailbox_depth_->Add(1);
@@ -163,6 +166,10 @@ void ServingShard::WorkerLoop() {
       queue_.pop_front();
       busy_ = true;
     }
+    heartbeat_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+    heartbeat_.busy.store(true, std::memory_order_relaxed);
+    heartbeat_.last_progress_us.store(obs::MonotonicMicros(),
+                                      std::memory_order_relaxed);
     if (metrics_ != nullptr) {
       mailbox_depth_->Sub(1);
       const uint64_t now = obs::MonotonicMicros();
@@ -189,6 +196,9 @@ void ServingShard::WorkerLoop() {
         WalRotate();
       }
     }
+    heartbeat_.busy.store(false, std::memory_order_relaxed);
+    heartbeat_.last_progress_us.store(obs::MonotonicMicros(),
+                                      std::memory_order_relaxed);
     {
       std::unique_lock<std::mutex> lock(mu_);
       busy_ = false;
@@ -338,6 +348,16 @@ void ServingShard::Process(Task& task) {
 
   online::TraceIdTranslator translator(&instance.live_of_trace);
   for (online::Update update : task.updates) {
+    const uint64_t wedge_us =
+        apply_delay_us_.load(std::memory_order_relaxed);
+    if (wedge_us > 0) {
+      // Test-only wedge: stall *between* heartbeats so the watchdog
+      // sees a busy worker whose last_progress_us stops advancing.
+      std::this_thread::sleep_for(std::chrono::microseconds(wedge_us));
+    }
+    heartbeat_.last_ordinal.fetch_add(1, std::memory_order_relaxed);
+    heartbeat_.last_progress_us.store(obs::MonotonicMicros(),
+                                      std::memory_order_relaxed);
     if (instance.translate && !translator.Translate(&update)) {
       ++skipped;
       if (wal_ != nullptr) {

@@ -18,6 +18,7 @@
 #ifndef MSP_SERVING_SHARD_H_
 #define MSP_SERVING_SHARD_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -66,6 +67,18 @@ struct ShardStats {
   /// comparable across batch sizes and policies. Mergeable across
   /// shards via HistogramSnapshot::Merge.
   obs::HistogramSnapshot latency;
+};
+
+/// Worker-progress heartbeat, published with relaxed atomics by the
+/// shard and read lock-free by the stall watchdog (obs/watchdog.h).
+/// `last_progress_us` advances on every task boundary and every
+/// processed update, so a wedged apply shows up as a growing gap even
+/// while `busy` stays true.
+struct ShardHeartbeat {
+  std::atomic<uint64_t> last_progress_us{0};
+  std::atomic<uint64_t> last_ordinal{0};  // events processed (lifetime)
+  std::atomic<uint64_t> queue_depth{0};   // mailbox depth
+  std::atomic<bool> busy{false};          // worker mid-task
 };
 
 /// See the file comment. All public methods are thread-safe; the
@@ -138,6 +151,16 @@ class ServingShard {
 
   std::size_t index() const { return index_; }
 
+  /// Lock-free progress probe for the watchdog; valid for the shard's
+  /// lifetime.
+  const ShardHeartbeat& heartbeat() const { return heartbeat_; }
+
+  /// Makes the worker sleep `us` microseconds before applying every
+  /// update — a deterministic wedge for watchdog tests. 0 disables.
+  void InjectApplyDelayForTest(uint64_t us) {
+    apply_delay_us_.store(us, std::memory_order_relaxed);
+  }
+
  private:
   struct Instance {
     std::unique_ptr<online::OnlineAssigner> assigner;
@@ -192,6 +215,9 @@ class ServingShard {
   obs::Histogram* queue_dwell_ = nullptr;
   obs::Counter* tasks_processed_ = nullptr;
   obs::Counter* updates_skipped_ = nullptr;
+
+  ShardHeartbeat heartbeat_;
+  std::atomic<uint64_t> apply_delay_us_{0};
 
   mutable std::mutex mu_;
   std::condition_variable work_available_;

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/alloc.h"
 #include "obs/span.h"
 
 namespace msp::sim {
@@ -48,12 +49,17 @@ ClusterSimulator::ClusterSimulator(const SimConfig& config)
           .workers = config.shards == 0 ? 1 : config.shards,
           .metrics = config.metrics}) {
   assigner_.SetMoveLog(&plan_);
+  if (obs::Registry* reg = config_.metrics) {
+    alloc_bytes_ = reg->counter("sim.alloc_bytes_total");
+    allocs_ = reg->counter("sim.allocs_total");
+  }
 }
 
 ClusterSimulator::~ClusterSimulator() { assigner_.SetMoveLog(nullptr); }
 
 StepRecord ClusterSimulator::Step(const Update& update) {
   obs::Span span("sim.step");
+  obs::AllocScope alloc_scope(alloc_bytes_, allocs_);
   StepRecord record;
   record.step = ++steps_seen_;
   record.kind = update.kind;

@@ -166,6 +166,9 @@ class ClusterSimulator {
   SimReport report_;
   uint64_t steps_seen_ = 0;
   uint64_t applied_steps_ = 0;
+  /// sim.alloc_* ledger handles (null without a metrics sink).
+  obs::Counter* alloc_bytes_ = nullptr;
+  obs::Counter* allocs_ = nullptr;
 };
 
 }  // namespace msp::sim

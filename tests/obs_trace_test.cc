@@ -208,6 +208,58 @@ TEST(ObsTraceCliTest, StatsEveryRequiresMetricsOut) {
   EXPECT_EQ(RunCli({"serve", "--stats-every=10"}).code, 2);
 }
 
+TEST(ObsTraceCliTest, WatchdogDumpRequiresWatchdogMs) {
+  EXPECT_EQ(RunCli({"serve", "--watchdog-dump=/tmp/x.json"}).code, 2);
+}
+
+// Regression: the periodic dumper starts before WAL attach, so an
+// early CLI error must still join the dumper thread cleanly AND leave
+// a final metrics snapshot behind (Stop() dumps once after the join).
+TEST(ObsTraceCliTest, StatsEveryDumperJoinsAndDumpsOnEarlyWalError) {
+  const std::string metrics_path = TempPath("earlyerr.metrics");
+  std::remove(metrics_path.c_str());
+  // A regular file where --wal-dir expects a directory: AttachWal
+  // fails after the dumper is already running.
+  const std::string bogus_wal = TempPath("earlyerr.notadir");
+  WriteFile(bogus_wal, "not a directory\n");
+  const CommandResult serve = RunCli(
+      {"serve", "--instances=1", "--steps=10", "--stats-every=1000",
+       "--metrics-out", metrics_path.c_str(), "--wal-dir",
+       bogus_wal.c_str()});
+  EXPECT_EQ(serve.code, 2);
+  EXPECT_NE(serve.err.find("cannot attach changelog"), std::string::npos)
+      << serve.err;
+  // The interval (1000ms) never elapsed, so the snapshot on disk can
+  // only come from the final dump on Stop().
+  const std::string metrics = ReadFileToString(metrics_path);
+  EXPECT_NE(metrics.find("serving.tasks_processed_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("process.uptime_seconds"), std::string::npos);
+  std::remove(metrics_path.c_str());
+  std::remove(bogus_wal.c_str());
+}
+
+// The serve shutdown path always re-dumps: even a run whose interval
+// is far longer than the run itself ends with a fresh final snapshot.
+TEST(ObsTraceCliTest, StatsEveryFinalDumpReflectsCompletedRun) {
+  const std::string metrics_path = TempPath("finaldump.metrics");
+  std::remove(metrics_path.c_str());
+  const CommandResult serve = RunCli(
+      {"serve", "--instances=2", "--steps=50", "--stats-every=60000",
+       "--metrics-out", metrics_path.c_str()});
+  ASSERT_EQ(serve.code, 0) << serve.err;
+  // At least the final dump happened (interval dumps: zero).
+  EXPECT_NE(serve.err.find("periodic metrics dump(s)"), std::string::npos);
+  const std::string metrics = ReadFileToString(metrics_path);
+  // The final snapshot saw the whole run, not a mid-run state: all
+  // queued tasks were processed by the time Stop() dumped.
+  EXPECT_NE(metrics.find("serving.tasks_processed_total"),
+            std::string::npos);
+  EXPECT_EQ(metrics.find("serving.tasks_processed_total 0\n"),
+            std::string::npos);
+  std::remove(metrics_path.c_str());
+}
+
 // One registry snapshot must tell the whole simulate story: the
 // engine's re-shuffled bytes (mr.*, labeled by kind) landing next to
 // the assigner's predicted churn (online.*) — and agreeing with the

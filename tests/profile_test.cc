@@ -1,0 +1,291 @@
+// Span-derived profiler tests: call-tree math on synthetic event
+// streams (inclusive/exclusive attribution, multi-thread replay,
+// unmatched-event handling), collapsed-stack determinism, and the
+// ISSUE acceptance scenario — `mspctl online --profile-out` over a
+// 200-step trace producing a collapsed profile whose total weight
+// reconciles with the trace-event JSON's top-level span time within
+// 5% (the two are built from the same buffer, so the gap is zero by
+// construction; the tolerance only covers the text round-trip).
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+#include "gtest/gtest.h"
+#include "obs/profile.h"
+#include "obs/span.h"
+#include "util/flags.h"
+
+namespace msp::obs {
+namespace {
+
+TraceEvent Event(const char* name, char phase, uint64_t ts,
+                 uint32_t tid = 1) {
+  TraceEvent event;
+  event.name = name;
+  event.phase = phase;
+  event.ts_us = ts;
+  event.tid = tid;
+  return event;
+}
+
+// One parent span [0,100] with two children: [10,30] and [40,45].
+std::vector<TraceEvent> NestedEvents() {
+  return {
+      Event("outer", 'B', 0),   Event("inner", 'B', 10),
+      Event("inner", 'E', 30),  Event("inner", 'B', 40),
+      Event("inner", 'E', 45),  Event("outer", 'E', 100),
+  };
+}
+
+const ProfileNode* FindChild(const Profile& profile,
+                             const ProfileNode& parent,
+                             const std::string& name) {
+  const auto it = parent.children.find(name);
+  return it == parent.children.end() ? nullptr
+                                     : &profile.nodes()[it->second];
+}
+
+TEST(ProfileTest, NestedSpansSplitInclusiveAndExclusive) {
+  const Profile profile = Profile::Build(NestedEvents());
+  const ProfileNode* outer = FindChild(profile, profile.root(), "outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->calls, 1u);
+  EXPECT_EQ(outer->inclusive_us, 100u);
+  EXPECT_EQ(outer->exclusive_us, 75u);  // 100 - (20 + 5)
+  const ProfileNode* inner = FindChild(profile, *outer, "inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->calls, 2u);
+  EXPECT_EQ(inner->inclusive_us, 25u);
+  EXPECT_EQ(inner->exclusive_us, 25u);
+  // Root aggregates top-level spans only.
+  EXPECT_EQ(profile.root().inclusive_us, 100u);
+  // Per-node latency histogram saw both inner calls.
+  EXPECT_EQ(inner->latency.count(), 2u);
+  EXPECT_EQ(inner->latency.sum(), 25u);
+}
+
+TEST(ProfileTest, SameNameDifferentStacksAreDistinctNodes) {
+  const std::vector<TraceEvent> events = {
+      Event("a", 'B', 0),  Event("leaf", 'B', 10), Event("leaf", 'E', 20),
+      Event("a", 'E', 30), Event("b", 'B', 40),    Event("leaf", 'B', 50),
+      Event("leaf", 'E', 70), Event("b", 'E', 80),
+  };
+  const Profile profile = Profile::Build(events);
+  const ProfileNode* a = FindChild(profile, profile.root(), "a");
+  const ProfileNode* b = FindChild(profile, profile.root(), "b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  const ProfileNode* leaf_a = FindChild(profile, *a, "leaf");
+  const ProfileNode* leaf_b = FindChild(profile, *b, "leaf");
+  ASSERT_NE(leaf_a, nullptr);
+  ASSERT_NE(leaf_b, nullptr);
+  EXPECT_NE(leaf_a, leaf_b);
+  EXPECT_EQ(leaf_a->inclusive_us, 10u);
+  EXPECT_EQ(leaf_b->inclusive_us, 20u);
+}
+
+TEST(ProfileTest, ThreadsReplayIndependently) {
+  // Interleaved buffer order across two tids must not cross-nest.
+  const std::vector<TraceEvent> events = {
+      Event("t1", 'B', 0, 1),  Event("t2", 'B', 5, 2),
+      Event("t1", 'E', 10, 1), Event("t2", 'E', 25, 2),
+  };
+  const Profile profile = Profile::Build(events);
+  const ProfileNode* t1 = FindChild(profile, profile.root(), "t1");
+  const ProfileNode* t2 = FindChild(profile, profile.root(), "t2");
+  ASSERT_NE(t1, nullptr);
+  ASSERT_NE(t2, nullptr);
+  EXPECT_EQ(t1->inclusive_us, 10u);
+  EXPECT_EQ(t2->inclusive_us, 20u);
+  EXPECT_TRUE(t1->children.empty());
+  EXPECT_EQ(profile.root().inclusive_us, 30u);
+}
+
+TEST(ProfileTest, UnmatchedEndIsDroppedUnmatchedBeginClosesAtLastTs) {
+  const std::vector<TraceEvent> events = {
+      Event("orphan", 'E', 5),   // buffer cleared mid-span: dropped
+      Event("open", 'B', 10),    // still open at snapshot
+      Event("child", 'B', 20), Event("child", 'E', 30),
+  };
+  const Profile profile = Profile::Build(events);
+  EXPECT_EQ(FindChild(profile, profile.root(), "orphan"), nullptr);
+  const ProfileNode* open = FindChild(profile, profile.root(), "open");
+  ASSERT_NE(open, nullptr);
+  // Closed at the thread's last event (ts=30).
+  EXPECT_EQ(open->inclusive_us, 20u);
+  EXPECT_EQ(open->exclusive_us, 10u);
+}
+
+TEST(ProfileTest, CollapsedWeightsSumToRootInclusive) {
+  const Profile profile = Profile::Build(NestedEvents());
+  std::ostringstream out;
+  profile.WriteCollapsed(out);
+  uint64_t sum = 0;
+  std::istringstream in(out.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    sum += std::stoull(line.substr(space + 1));
+  }
+  EXPECT_EQ(sum, profile.root().inclusive_us);
+  // Exact expected rendering (deterministic order, ';' separators).
+  EXPECT_EQ(out.str(), "outer 75\nouter;inner 25\n");
+}
+
+TEST(ProfileTest, PrintTopOrdersByExclusiveTime) {
+  const Profile profile = Profile::Build(NestedEvents());
+  std::ostringstream out;
+  profile.PrintTop(10, out);
+  const std::string table = out.str();
+  const std::size_t outer_at = table.find("outer");
+  const std::size_t inner_at = table.find("outer;inner");
+  ASSERT_NE(outer_at, std::string::npos);
+  ASSERT_NE(inner_at, std::string::npos);
+  EXPECT_LT(outer_at, inner_at);  // 75us exclusive sorts first
+}
+
+TEST(ProfileTest, EmptyEventBufferYieldsEmptyProfile) {
+  const Profile profile = Profile::Build({});
+  EXPECT_EQ(profile.root().inclusive_us, 0u);
+  EXPECT_TRUE(profile.root().children.empty());
+  std::ostringstream out;
+  profile.WriteCollapsed(out);
+  EXPECT_TRUE(out.str().empty());
+}
+
+}  // namespace
+}  // namespace msp::obs
+
+namespace msp::cli {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/msp_profile_" + name;
+}
+
+std::string ReadFileToString(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+struct CommandResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CommandResult RunCli(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "mspctl");
+  const ArgParser parser(static_cast<int>(argv.size()), argv.data());
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = RunCommand(parser, out, err);
+  return {code, out.str(), err.str()};
+}
+
+// The ISSUE acceptance criterion: the collapsed profile's total weight
+// reconciles with the trace-event JSON's top-level span time within 5%.
+TEST(ProfileCliTest, OnlineProfileReconcilesWithTraceJson) {
+  const CommandResult gen =
+      RunCli({"gen-trace", "--kind=a2a", "--initial=16", "--steps=200",
+              "--q=120", "--seed=23"});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+  const std::string trace_path = TempPath("run200.trace");
+  const std::string json_path = TempPath("run200.json");
+  const std::string profile_path = TempPath("run200.collapsed");
+  WriteFile(trace_path, gen.out);
+
+  const CommandResult replay = RunCli(
+      {"online", "--trace", trace_path.c_str(), "--batch=4", "--trace-out",
+       json_path.c_str(), "--profile-out", profile_path.c_str()});
+  ASSERT_EQ(replay.code, 0) << replay.err;
+  // The top-N table went to stderr alongside the replay tables.
+  EXPECT_NE(replay.err.find("profile: top spans"), std::string::npos);
+
+  // Total top-level span time from the trace JSON (per-thread depth
+  // tracking over the one-event-per-line format).
+  uint64_t trace_total = 0;
+  {
+    std::istringstream in(ReadFileToString(json_path));
+    std::string line;
+    std::map<uint64_t, std::size_t> depth;
+    std::map<uint64_t, uint64_t> top_begin;
+    while (std::getline(in, line)) {
+      const auto field = [&line](const char* key) {
+        const std::string needle = std::string("\"") + key + "\":";
+        const std::size_t at = line.find(needle);
+        EXPECT_NE(at, std::string::npos) << line;
+        return std::stoull(line.substr(at + needle.size()));
+      };
+      if (line.find("\"ph\":\"B\"") != std::string::npos) {
+        const uint64_t tid = field("tid");
+        if (++depth[tid] == 1) top_begin[tid] = field("ts");
+      } else if (line.find("\"ph\":\"E\"") != std::string::npos) {
+        const uint64_t tid = field("tid");
+        if (depth[tid]-- == 1) trace_total += field("ts") - top_begin[tid];
+      }
+    }
+  }
+  ASSERT_GT(trace_total, 0u);
+
+  // Total weight of the collapsed profile.
+  uint64_t collapsed_total = 0;
+  std::size_t lines = 0;
+  {
+    std::istringstream in(ReadFileToString(profile_path));
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t space = line.rfind(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      ASSERT_FALSE(line.substr(0, space).empty());
+      collapsed_total += std::stoull(line.substr(space + 1));
+      ++lines;
+    }
+  }
+  ASSERT_GT(lines, 0u);
+
+  const double gap =
+      trace_total > collapsed_total
+          ? static_cast<double>(trace_total - collapsed_total)
+          : static_cast<double>(collapsed_total - trace_total);
+  EXPECT_LE(gap / static_cast<double>(trace_total), 0.05)
+      << "trace=" << trace_total << "us collapsed=" << collapsed_total
+      << "us";
+
+  std::remove(trace_path.c_str());
+  std::remove(json_path.c_str());
+  std::remove(profile_path.c_str());
+}
+
+TEST(ProfileCliTest, ProfileOutWorksWithoutTraceOut) {
+  const CommandResult gen =
+      RunCli({"gen-trace", "--kind=a2a", "--initial=8", "--steps=40",
+              "--q=60", "--seed=5"});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+  const std::string trace_path = TempPath("solo.trace");
+  const std::string profile_path = TempPath("solo.collapsed");
+  WriteFile(trace_path, gen.out);
+  const CommandResult replay =
+      RunCli({"online", "--trace", trace_path.c_str(), "--profile-out",
+              profile_path.c_str()});
+  ASSERT_EQ(replay.code, 0) << replay.err;
+  EXPECT_FALSE(ReadFileToString(profile_path).empty());
+  std::remove(trace_path.c_str());
+  std::remove(profile_path.c_str());
+}
+
+}  // namespace
+}  // namespace msp::cli

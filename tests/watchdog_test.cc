@@ -1,0 +1,369 @@
+// Flight-recorder and stall-watchdog tests: ring semantics (capacity,
+// wraparound, span feed), edge-triggered stall detection over fake
+// heartbeat sources, the wedged-shard scenario from the ISSUE (a
+// sleep-injected apply must produce a post-mortem dump within the
+// deadline, valid JSON, naming the stalled shard), and the
+// fatal-signal dump death test.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/flight.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/watchdog.h"
+#include "online/assigner.h"
+#include "serving/service.h"
+
+namespace msp::obs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/msp_watchdog_" + name;
+}
+
+std::string ReadFileToString(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Minimal structural JSON check: balanced {} / [] outside strings,
+// no trailing garbage. The dumps are machine-read post-mortems, so a
+// truncated or unbalanced file is a real defect.
+bool JsonBalanced(const std::string& text) {
+  if (text.empty()) return false;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  bool seen_any = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+      seen_any = true;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return seen_any && depth == 0 && !in_string;
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::ResetForTest();
+    FlightRecorder::Arm();
+  }
+  void TearDown() override {
+    FlightRecorder::Disarm();
+    FlightRecorder::ResetForTest();
+  }
+};
+
+TEST_F(FlightRecorderTest, MarksAndSpansLandInTheRing) {
+  FlightRecorder::Mark("heartbeat", 7);
+  { Span span("wd.test.span"); }
+  const std::vector<FlightEvent> events = FlightRecorder::Snapshot();
+  bool saw_mark = false;
+  bool saw_begin = false;
+  bool saw_end = false;
+  for (const FlightEvent& event : events) {
+    if (event.name == "heartbeat" && event.kind == FlightKind::kMark &&
+        event.value == 7) {
+      saw_mark = true;
+    }
+    if (event.name == "wd.test.span") {
+      saw_begin |= event.kind == FlightKind::kSpanBegin;
+      saw_end |= event.kind == FlightKind::kSpanEnd;
+    }
+  }
+  EXPECT_TRUE(saw_mark);
+  EXPECT_TRUE(saw_begin);
+  EXPECT_TRUE(saw_end);
+}
+
+TEST_F(FlightRecorderTest, DisarmedRecorderDropsMarks) {
+  FlightRecorder::Disarm();
+  FlightRecorder::Mark("dropped", 1);
+  for (const FlightEvent& event : FlightRecorder::Snapshot()) {
+    EXPECT_NE(event.name, "dropped");
+  }
+}
+
+TEST_F(FlightRecorderTest, RingKeepsOnlyTheMostRecentEvents) {
+  for (uint64_t i = 0; i < kFlightRingSize + 50; ++i) {
+    FlightRecorder::Mark("tick", i);
+  }
+  std::vector<FlightEvent> mine;
+  for (FlightEvent& event : FlightRecorder::Snapshot()) {
+    if (event.name == "tick") mine.push_back(std::move(event));
+  }
+  ASSERT_EQ(mine.size(), kFlightRingSize);
+  // Oldest surviving entry is exactly the one the 50 overwrites spared.
+  EXPECT_EQ(mine.front().value, 50u);
+  EXPECT_EQ(mine.back().value, kFlightRingSize + 49);
+}
+
+TEST_F(FlightRecorderTest, LongNamesTruncateToNameBytes) {
+  const std::string longname(kFlightNameBytes + 20, 'x');
+  FlightRecorder::Mark(longname, 0);
+  bool found = false;
+  for (const FlightEvent& event : FlightRecorder::Snapshot()) {
+    if (event.name == std::string(kFlightNameBytes, 'x')) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FlightRecorderTest, WriteJsonIsBalanced) {
+  FlightRecorder::Mark("needs \"escaping\"\\", 3);
+  std::ostringstream out;
+  FlightRecorder::WriteJson(out);
+  EXPECT_TRUE(JsonBalanced(out.str())) << out.str();
+}
+
+TEST_F(FlightRecorderTest, EachThreadGetsItsOwnRing) {
+  FlightRecorder::Mark("main-thread", 0);
+  std::thread other([] { FlightRecorder::Mark("other-thread", 0); });
+  other.join();
+  bool saw_main = false;
+  bool saw_other = false;
+  uint32_t main_tid = 0;
+  uint32_t other_tid = 0;
+  for (const FlightEvent& event : FlightRecorder::Snapshot()) {
+    if (event.name == "main-thread") {
+      saw_main = true;
+      main_tid = event.tid;
+    }
+    if (event.name == "other-thread") {
+      saw_other = true;
+      other_tid = event.tid;
+    }
+  }
+  ASSERT_TRUE(saw_main);
+  ASSERT_TRUE(saw_other);  // the ring outlived its thread
+  EXPECT_NE(main_tid, other_tid);
+}
+
+// --- watchdog over fake sources ---
+
+struct FakeHeartbeat {
+  std::atomic<uint64_t> last_progress_us{0};
+  std::atomic<uint64_t> queue_depth{0};
+  std::atomic<bool> busy{false};
+};
+
+WatchdogSource SourceOf(const std::string& name, FakeHeartbeat* hb) {
+  return {name, [hb] {
+            WatchdogReading reading;
+            reading.last_progress_us =
+                hb->last_progress_us.load(std::memory_order_relaxed);
+            reading.queue_depth =
+                hb->queue_depth.load(std::memory_order_relaxed);
+            reading.busy = hb->busy.load(std::memory_order_relaxed);
+            return reading;
+          }};
+}
+
+TEST(WatchdogTest, IdleSourceIsNeverStalled) {
+  FakeHeartbeat hb;  // no work: busy=false, queue empty, progress at 0
+  WatchdogOptions options;
+  options.stall_ms = 1;
+  Watchdog watchdog(options, {SourceOf("idle", &hb)});
+  EXPECT_TRUE(watchdog.CheckNow().empty());
+  EXPECT_EQ(watchdog.stall_count(), 0u);
+}
+
+TEST(WatchdogTest, BusySourceWithStaleProgressIsStalledOnce) {
+  FakeHeartbeat hb;
+  hb.busy.store(true);
+  hb.last_progress_us.store(MonotonicMicros());
+  WatchdogOptions options;
+  options.stall_ms = 20;
+  Watchdog watchdog(options, {SourceOf("wedged", &hb)});
+  EXPECT_TRUE(watchdog.CheckNow().empty());  // progress still fresh
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  const std::vector<std::string> stalled = watchdog.CheckNow();
+  ASSERT_EQ(stalled.size(), 1u);
+  EXPECT_EQ(stalled[0], "wedged");
+  EXPECT_EQ(watchdog.stall_count(), 1u);
+  // Edge trigger: still stalled, but not a NEW episode.
+  watchdog.CheckNow();
+  EXPECT_EQ(watchdog.stall_count(), 1u);
+  // Progress resumes, then stalls again: a second episode.
+  hb.last_progress_us.store(MonotonicMicros());
+  EXPECT_TRUE(watchdog.CheckNow().empty());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  watchdog.CheckNow();
+  EXPECT_EQ(watchdog.stall_count(), 2u);
+}
+
+TEST(WatchdogTest, StallIncrementsRegistryCounter) {
+  MonotonicMicros();  // pin the clock epoch before the stale wait
+  FakeHeartbeat hb;
+  hb.queue_depth.store(3);  // queued work counts as work
+  Registry registry;
+  WatchdogOptions options;
+  options.stall_ms = 1;
+  options.metrics = &registry;
+  Watchdog watchdog(options, {SourceOf("s", &hb)});
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_FALSE(watchdog.CheckNow().empty());
+  EXPECT_EQ(registry.counter("watchdog.stalls_total")->value(), 1u);
+}
+
+TEST(WatchdogTest, DumpNowWritesBalancedJsonWithSourcesAndMetrics) {
+  FakeHeartbeat hb;
+  hb.busy.store(true);
+  Registry registry;
+  registry.counter("planner.plans_total")->Inc(5);
+  const std::string dump_path = TempPath("dumpnow.json");
+  WatchdogOptions options;
+  options.stall_ms = 1;
+  options.dump_path = dump_path;
+  options.metrics = &registry;
+  Watchdog watchdog(options, {SourceOf("shard-9", &hb)});
+  std::string error;
+  ASSERT_TRUE(watchdog.DumpNow("test", &error)) << error;
+  const std::string dump = ReadFileToString(dump_path);
+  EXPECT_TRUE(JsonBalanced(dump)) << dump;
+  EXPECT_NE(dump.find("\"reason\":\"test\""), std::string::npos);
+  EXPECT_NE(dump.find("shard-9"), std::string::npos);
+  EXPECT_NE(dump.find("planner.plans_total"), std::string::npos);
+  EXPECT_NE(dump.find("\"flight\":"), std::string::npos);
+  std::remove(dump_path.c_str());
+}
+
+TEST(WatchdogTest, DumpNowFailsWithoutDumpPath) {
+  Watchdog watchdog({}, {});
+  std::string error;
+  EXPECT_FALSE(watchdog.DumpNow("test", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// The ISSUE scenario: a serving shard wedged by a sleep-injected apply
+// must produce a post-mortem dump within the test deadline, the dump
+// must be valid JSON, and it must name the stalled shard.
+TEST(WatchdogServingTest, WedgedShardProducesDumpWithinDeadline) {
+  serving::ServingConfig config;
+  config.num_shards = 2;
+  serving::ServingService service(config);
+
+  const std::string dump_path = TempPath("wedged.json");
+  std::remove(dump_path.c_str());
+  WatchdogOptions options;
+  options.stall_ms = 50;
+  options.poll_ms = 10;
+  options.dump_path = dump_path;
+  std::vector<WatchdogSource> sources;
+  for (std::size_t i = 0; i < service.num_shards(); ++i) {
+    const serving::ShardHeartbeat& hb = service.shard_heartbeat(i);
+    sources.push_back({"shard-" + std::to_string(i), [&hb] {
+                         WatchdogReading reading;
+                         reading.last_progress_us =
+                             hb.last_progress_us.load(
+                                 std::memory_order_relaxed);
+                         reading.last_ordinal = hb.last_ordinal.load(
+                             std::memory_order_relaxed);
+                         reading.queue_depth = hb.queue_depth.load(
+                             std::memory_order_relaxed);
+                         reading.busy =
+                             hb.busy.load(std::memory_order_relaxed);
+                         return reading;
+                       }});
+  }
+  Watchdog watchdog(std::move(options), std::move(sources));
+  watchdog.Start();
+
+  // Wedge every shard (the key routes to one; both sleeping is fine)
+  // hard enough that one update outlasts many stall thresholds.
+  for (std::size_t i = 0; i < service.num_shards(); ++i) {
+    service.InjectApplyDelayForTest(i, 400'000);  // 400ms per update
+  }
+  online::OnlineConfig instance;
+  instance.capacity = 100;
+  service.CreateInstance("wedge", instance);
+  for (int i = 0; i < 3; ++i) {
+    service.Submit("wedge", online::Update::Add(10));
+  }
+
+  // Deadline: well above stall_ms + poll_ms, far below the wedge total.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (watchdog.stall_count() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(watchdog.stall_count(), 1u);
+
+  // Un-wedge so teardown drains quickly, then stop watching before the
+  // shards disappear.
+  for (std::size_t i = 0; i < service.num_shards(); ++i) {
+    service.InjectApplyDelayForTest(i, 0);
+  }
+  watchdog.Stop();
+
+  const std::string dump = ReadFileToString(dump_path);
+  ASSERT_FALSE(dump.empty()) << "no post-mortem dump at " << dump_path;
+  EXPECT_TRUE(JsonBalanced(dump)) << dump;
+  EXPECT_NE(dump.find("\"reason\":\"stall\""), std::string::npos);
+  // The stalled-shard id is named. The wedged key routes to exactly
+  // one shard; accept either id but require one in the stalled list.
+  const std::size_t stalled_at = dump.find("\"stalled\":[\"shard-");
+  EXPECT_NE(stalled_at, std::string::npos) << dump;
+  // Heartbeat details made it into the dump.
+  EXPECT_NE(dump.find("\"queue_depth\":"), std::string::npos);
+  EXPECT_NE(dump.find("\"last_ordinal\":"), std::string::npos);
+
+  service.Flush();
+  std::remove(dump_path.c_str());
+}
+
+TEST(WatchdogDeathTest, FatalSignalWritesPostMortemDump) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string dump_path = TempPath("signal.json");
+  std::remove(dump_path.c_str());
+  // The child installs the hook and aborts; the parent then reads the
+  // dump the child left behind.
+  EXPECT_DEATH(
+      {
+        FakeHeartbeat hb;
+        hb.busy.store(true);
+        WatchdogOptions options;
+        options.stall_ms = 1000;
+        options.dump_path = dump_path;
+        Watchdog watchdog(options, {SourceOf("doomed", &hb)});
+        Watchdog::InstallSignalDump(&watchdog);
+        std::abort();
+      },
+      "");
+  const std::string dump = ReadFileToString(dump_path);
+  ASSERT_FALSE(dump.empty()) << "signal handler left no dump";
+  EXPECT_TRUE(JsonBalanced(dump)) << dump;
+  EXPECT_NE(dump.find("\"reason\":\"signal:SIGABRT\""), std::string::npos);
+  EXPECT_NE(dump.find("doomed"), std::string::npos);
+  std::remove(dump_path.c_str());
+}
+
+}  // namespace
+}  // namespace msp::obs

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Bench-trajectory regression gate.
+
+Compares freshly produced BENCH_<id>.json files (written by the bench
+binaries' --json=FILE flag) against the committed baselines in
+bench/baselines/. Only metrics with "gate": true participate — those
+are deterministic series (counts, bytes, churn), so a >15% drift in
+the "worse" direction is a real regression, not machine noise. Metrics
+with "gate": false are trajectory-only: printed, never failed on.
+
+Usage:
+    benchgate.py --baseline bench/baselines --current build
+    benchgate.py --self-test
+
+Exit status: 0 when every gated metric holds, 1 on any regression,
+missing file, or missing gated metric.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+import tempfile
+
+SCHEMA_VERSION = 1
+DEFAULT_THRESHOLD = 0.15
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {doc.get('schema_version')} "
+            f"(expected {SCHEMA_VERSION})")
+    return doc
+
+
+def regression(base, cur, better):
+    """Relative change in the *worse* direction (negative = improved)."""
+    if base == 0:
+        # An exact-zero baseline (reconciliation gap, mismatch count)
+        # must stay exactly zero; any appearance is a full regression.
+        if cur == base:
+            return 0.0
+        worse = cur > base if better == "lower" else cur < base
+        return float("inf") if worse else 0.0
+    rel = (cur - base) / abs(base)
+    return rel if better == "lower" else -rel
+
+
+def compare(baseline_doc, current_doc, threshold):
+    """Returns (rows, failures) comparing one bench's two documents."""
+    current = {m["name"]: m for m in current_doc.get("metrics", [])}
+    rows = []
+    failures = 0
+    for metric in baseline_doc.get("metrics", []):
+        name = metric["name"]
+        gated = bool(metric.get("gate", False))
+        cur = current.get(name)
+        if cur is None:
+            if gated:
+                rows.append((name, metric["value"], None, None, "MISSING"))
+                failures += 1
+            continue
+        reg = regression(metric["value"], cur["value"],
+                         metric.get("better", "lower"))
+        if not gated:
+            status = "info"
+        elif reg > threshold:
+            status = "FAIL"
+            failures += 1
+        else:
+            status = "ok"
+        rows.append((name, metric["value"], cur["value"], reg, status))
+    return rows, failures
+
+
+def run_gate(baseline_dir, current_dir, threshold, out=sys.stdout):
+    baselines = sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.json")))
+    if not baselines:
+        print(f"benchgate: no baselines under {baseline_dir}", file=out)
+        return 1
+    total_failures = 0
+    for baseline_path in baselines:
+        name = os.path.basename(baseline_path)
+        current_path = os.path.join(current_dir, name)
+        baseline_doc = load(baseline_path)
+        print(f"== {baseline_doc.get('bench', name)} ==", file=out)
+        if not os.path.exists(current_path):
+            print(f"  MISSING current file: {current_path}", file=out)
+            total_failures += 1
+            continue
+        rows, failures = compare(baseline_doc, load(current_path), threshold)
+        total_failures += failures
+        for name_, base, cur, reg, status in rows:
+            if status == "MISSING":
+                print(f"  {status:8} {name_}: gated metric absent "
+                      f"(baseline {base:g})", file=out)
+            else:
+                print(f"  {status:8} {name_}: {base:g} -> {cur:g} "
+                      f"({reg:+.1%})", file=out)
+    if total_failures:
+        print(f"benchgate: {total_failures} failure(s) "
+              f"(threshold {threshold:.0%})", file=out)
+    else:
+        print(f"benchgate: all gated metrics within {threshold:.0%}",
+              file=out)
+    return 1 if total_failures else 0
+
+
+# ---------------------------------------------------------------------
+# Self-test: synthesizes baseline/current pairs — including an injected
+# regression — and asserts the gate's verdict on each. Run as a ctest
+# entry so the gate itself cannot silently rot.
+
+def _doc(bench, metrics):
+    return {
+        "bench": bench,
+        "schema_version": SCHEMA_VERSION,
+        "git_sha": "selftest",
+        "metrics": [
+            {"name": n, "value": v, "unit": "u", "better": b, "gate": g}
+            for (n, v, b, g) in metrics
+        ],
+    }
+
+
+def _write(dirname, bench, metrics):
+    path = os.path.join(dirname, f"BENCH_{bench}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(_doc(bench, metrics), fh)
+
+
+def _scenario(name, baseline_metrics, current_metrics, expect_fail):
+    with tempfile.TemporaryDirectory() as tmp:
+        base_dir = os.path.join(tmp, "base")
+        cur_dir = os.path.join(tmp, "cur")
+        os.mkdir(base_dir)
+        os.mkdir(cur_dir)
+        _write(base_dir, "t1", baseline_metrics)
+        if current_metrics is not None:
+            _write(cur_dir, "t1", current_metrics)
+        with open(os.devnull, "w", encoding="utf-8") as devnull:
+            code = run_gate(base_dir, cur_dir, DEFAULT_THRESHOLD,
+                            out=devnull)
+    ok = (code != 0) == expect_fail
+    verdict = "ok" if ok else "WRONG VERDICT"
+    print(f"  self-test [{name}]: exit={code} "
+          f"expected {'fail' if expect_fail else 'pass'} -> {verdict}")
+    return ok
+
+
+def self_test():
+    print("benchgate self-test:")
+    ok = True
+    # Identical runs pass.
+    metrics = [("a.bytes", 1000.0, "lower", True),
+               ("a.rate", 50.0, "higher", False)]
+    ok &= _scenario("identical", metrics, metrics, expect_fail=False)
+    # Injected +30% regression on a gated lower-is-better metric fails.
+    ok &= _scenario("injected regression", metrics,
+                    [("a.bytes", 1300.0, "lower", True),
+                     ("a.rate", 50.0, "higher", False)],
+                    expect_fail=True)
+    # +30% on an ungated metric is informational only.
+    ok &= _scenario("ungated drift", metrics,
+                    [("a.bytes", 1000.0, "lower", True),
+                     ("a.rate", 20.0, "higher", False)],
+                    expect_fail=False)
+    # An improvement (lower bytes) passes.
+    ok &= _scenario("improvement", metrics,
+                    [("a.bytes", 500.0, "lower", True),
+                     ("a.rate", 50.0, "higher", False)],
+                    expect_fail=False)
+    # Higher-is-better drop fails.
+    ok &= _scenario("throughput drop", [("b.hits", 100.0, "higher", True)],
+                    [("b.hits", 60.0, "higher", True)], expect_fail=True)
+    # Exact-zero baseline must stay zero.
+    ok &= _scenario("zero stays zero", [("c.gap", 0.0, "lower", True)],
+                    [("c.gap", 1.0, "lower", True)], expect_fail=True)
+    ok &= _scenario("zero ok", [("c.gap", 0.0, "lower", True)],
+                    [("c.gap", 0.0, "lower", True)], expect_fail=False)
+    # A gated metric vanishing from the current run fails.
+    ok &= _scenario("missing gated metric", metrics,
+                    [("a.rate", 50.0, "higher", False)], expect_fail=True)
+    # A missing current file fails.
+    ok &= _scenario("missing file", metrics, None, expect_fail=True)
+    print("benchgate self-test:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="bench/baselines",
+                        help="directory holding committed BENCH_*.json")
+    parser.add_argument("--current", default="build",
+                        help="directory holding freshly produced files")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="allowed relative drift (default 0.15)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate's own verdicts and exit")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    return run_gate(args.baseline, args.current, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
