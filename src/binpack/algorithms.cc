@@ -11,49 +11,6 @@ namespace msp::bp {
 
 namespace {
 
-// Segment tree over bin slots storing the maximum residual capacity in
-// a range; supports "find leftmost slot with residual >= w" in
-// O(log n). Slots are created lazily left-to-right, which makes the
-// leftmost-fitting slot exactly FirstFit's target bin.
-class FirstFitTree {
- public:
-  FirstFitTree(std::size_t max_bins, uint64_t capacity)
-      : n_(1), capacity_(capacity) {
-    while (n_ < max_bins) n_ *= 2;
-    // Every slot starts with full residual capacity; bins_used_ tracks
-    // how many slots have actually been opened.
-    tree_.assign(2 * n_, capacity);
-  }
-
-  // Returns the index of the leftmost bin whose residual >= w and
-  // decrements its residual. Opens a new bin if needed.
-  std::size_t Place(uint64_t w) {
-    MSP_CHECK_LE(w, capacity_);
-    std::size_t node = 1;
-    MSP_CHECK_GE(tree_[1], w);
-    while (node < n_) {
-      node *= 2;
-      if (tree_[node] < w) ++node;  // go right
-    }
-    const std::size_t bin = node - n_;
-    tree_[node] -= w;
-    for (node /= 2; node >= 1; node /= 2) {
-      tree_[node] = std::max(tree_[2 * node], tree_[2 * node + 1]);
-      if (node == 1) break;
-    }
-    bins_used_ = std::max(bins_used_, bin + 1);
-    return bin;
-  }
-
-  std::size_t bins_used() const { return bins_used_; }
-
- private:
-  std::size_t n_;
-  uint64_t capacity_;
-  std::size_t bins_used_ = 0;
-  std::vector<uint64_t> tree_;
-};
-
 Packing PackNextFit(const std::vector<uint64_t>& sizes, uint64_t capacity,
                     const std::vector<ItemIndex>& order) {
   Packing packing;
@@ -74,9 +31,9 @@ Packing PackFirstFit(const std::vector<uint64_t>& sizes, uint64_t capacity,
                      const std::vector<ItemIndex>& order) {
   Packing packing;
   packing.capacity = capacity;
-  FirstFitTree tree(std::max<std::size_t>(order.size(), 1), capacity);
+  FirstFitPacker packer(std::max<std::size_t>(order.size(), 1), capacity);
   for (ItemIndex i : order) {
-    const std::size_t bin = tree.Place(sizes[i]);
+    const std::size_t bin = packer.Place(sizes[i]);
     if (bin >= packing.bins.size()) packing.bins.resize(bin + 1);
     packing.bins[bin].push_back(i);
   }
@@ -133,6 +90,65 @@ std::vector<ItemIndex> DecreasingOrder(const std::vector<uint64_t>& sizes) {
 }
 
 }  // namespace
+
+void FirstFitPacker::Reset(std::size_t max_items, uint64_t capacity,
+                           FirstFitDescent descent) {
+  MSP_CHECK_GT(capacity, 0u);
+  n_ = 1;
+  while (n_ < std::max<std::size_t>(max_items, 1)) n_ *= 2;
+  capacity_ = capacity;
+  bins_used_ = 0;
+  descent_ = descent;
+  // Every slot starts with full residual capacity; bins_used_ tracks
+  // how many slots have actually been opened.
+  tree_.assign(2 * n_, capacity);
+}
+
+std::size_t FirstFitPacker::Place(uint64_t w) {
+  // Feasibility is checked once here, off the descent loop.
+  MSP_CHECK_GT(n_, 0u) << "FirstFitPacker used before Reset";
+  MSP_CHECK_LE(w, capacity_);
+  MSP_CHECK_GE(tree_[1], w) << "first-fit tree out of slots";
+  return descent_ == FirstFitDescent::kBranchless ? PlaceBranchless(w)
+                                                  : PlaceBranching(w);
+}
+
+std::size_t FirstFitPacker::PlaceBranchless(uint64_t w) {
+  // Probe: pure arithmetic descent — step right exactly when the left
+  // child cannot fit `w`. The comparison feeds an index computation,
+  // not a conditional jump, so adversarial size streams cannot make
+  // the probe mispredict.
+  std::size_t node = 1;
+  while (node < n_) {
+    node = 2 * node + static_cast<std::size_t>(tree_[2 * node] < w);
+  }
+  const std::size_t bin = node - n_;
+  tree_[node] -= w;
+  // Pull: unconditional bottom-up max refresh, no per-level early-out.
+  for (node >>= 1; node != 0; node >>= 1) {
+    tree_[node] = std::max(tree_[2 * node], tree_[2 * node + 1]);
+  }
+  bins_used_ = std::max(bins_used_, bin + 1);
+  return bin;
+}
+
+std::size_t FirstFitPacker::PlaceBranching(uint64_t w) {
+  // The original data-dependent descent, kept as the benchmark and
+  // differential-test baseline for the branchless probe above.
+  std::size_t node = 1;
+  while (node < n_) {
+    node *= 2;
+    if (tree_[node] < w) ++node;  // go right
+  }
+  const std::size_t bin = node - n_;
+  tree_[node] -= w;
+  for (node /= 2; node >= 1; node /= 2) {
+    tree_[node] = std::max(tree_[2 * node], tree_[2 * node + 1]);
+    if (node == 1) break;
+  }
+  bins_used_ = std::max(bins_used_, bin + 1);
+  return bin;
+}
 
 std::string AlgorithmName(Algorithm algorithm) {
   switch (algorithm) {

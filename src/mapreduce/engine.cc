@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -63,6 +64,14 @@ JobMetrics MapReduceEngine::Run(const KeyValueList& inputs,
   metrics.num_reducers = partitioner.num_reducers();
   Stopwatch total_timer;
 
+  // One pool serves all three phases — Wait() is a reusable barrier —
+  // so a run spawns its workers once, not once per phase; with a
+  // caller-provided pool (config.pool) it spawns none at all.
+  std::optional<ThreadPool> owned_pool;
+  ThreadPool& pool = config_.pool != nullptr
+                         ? *config_.pool
+                         : owned_pool.emplace(config_.num_workers);
+
   // ---- Map phase -------------------------------------------------
   Stopwatch phase_timer;
   const std::size_t num_batches =
@@ -72,7 +81,6 @@ JobMetrics MapReduceEngine::Run(const KeyValueList& inputs,
                 config_.map_batch_size;
   std::vector<KeyValueList> map_outputs(num_batches);
   {
-    ThreadPool pool(config_.num_workers);
     for (std::size_t b = 0; b < num_batches; ++b) {
       pool.Submit([&, b] {
         const std::size_t begin = b * config_.map_batch_size;
@@ -102,7 +110,6 @@ JobMetrics MapReduceEngine::Run(const KeyValueList& inputs,
     // reducer (deterministic order: batch-major, reducer-minor).
     std::vector<std::vector<std::pair<ReducerIndex, KeyValue>>> routed(
         num_batches);
-    ThreadPool pool(config_.num_workers);
     for (std::size_t b = 0; b < num_batches; ++b) {
       pool.Submit([&, b] {
         std::vector<ReducerIndex> targets;
@@ -153,7 +160,6 @@ JobMetrics MapReduceEngine::Run(const KeyValueList& inputs,
   phase_timer.Reset();
   std::vector<KeyValueList> reduce_outputs(num_reducers);
   {
-    ThreadPool pool(config_.num_workers);
     for (std::size_t r = 0; r < num_reducers; ++r) {
       if (groups[r].empty()) continue;
       pool.Submit([&, r] {

@@ -20,13 +20,25 @@
 #include "mapreduce/metrics.h"
 #include "mapreduce/types.h"
 
+namespace msp {
+class ThreadPool;  // util/thread_pool.h
+}
+
 namespace msp::mr {
 
 /// Engine configuration.
 struct EngineConfig {
   /// Worker threads for the map and reduce phases (0 = hardware
-  /// concurrency).
+  /// concurrency). Ignored when `pool` is set.
   std::size_t num_workers = 0;
+  /// Optional caller-owned worker pool. When set, every phase of every
+  /// Run executes on it and the engine spawns no threads of its own —
+  /// batches of small jobs (the cluster simulator's delta re-shuffles)
+  /// amortize worker spin-up across jobs instead of paying it three
+  /// times per Run. Not owned; must outlive the engine's Run calls,
+  /// and concurrent Runs must not share one pool (Wait() is a shared
+  /// barrier).
+  ThreadPool* pool = nullptr;
   /// Reducer capacity q in bytes; when non-zero the engine flags (but
   /// does not abort on) reducers whose delivered bytes exceed it.
   uint64_t reducer_capacity = 0;

@@ -65,6 +65,7 @@ OnlineAssigner::OnlineAssigner(const OnlineConfig& config)
   state_.x2y = config.x2y;
   state_.capacity = config.capacity;
   state_.partner_set = config.partner_set;
+  state_.repair_storage = config.repair_storage;
   state_.cover.Reset(config.coverage, 0);
   if (obs::Registry* reg = config_.metrics) {
     for (const UpdateKind kind :
@@ -206,10 +207,9 @@ UpdateResult OnlineAssigner::SetCapacity(InputSize capacity) {
   return Apply(Update::SetCapacity(capacity));
 }
 
-UpdateResult OnlineAssigner::DoAdd(InputSize size, Side side) {
-  if (size == 0) return Reject("input size must be positive");
-  if (size > state_.capacity) return Reject("input larger than capacity");
-  if (!config_.x2y) side = Side::kX;
+std::string OnlineAssigner::CheckAdd(InputSize size, Side side) const {
+  if (size == 0) return "input size must be positive";
+  if (size > state_.capacity) return "input larger than capacity";
   // Per-pair feasibility: the new input must fit next to its largest
   // (current or future peer on the other side) partner.
   InputSize max_partner = 0;
@@ -218,7 +218,79 @@ UpdateResult OnlineAssigner::DoAdd(InputSize size, Side side) {
     max_partner = std::max(max_partner, state_.sizes[j]);
   }
   if (max_partner > 0 && size + max_partner > state_.capacity) {
-    return Reject("pair would exceed capacity: no reducer could cover it");
+    return "pair would exceed capacity: no reducer could cover it";
+  }
+  return "";
+}
+
+std::string OnlineAssigner::CheckResize(InputId id, InputSize size) const {
+  if (!is_alive(id)) return "unknown or departed input id";
+  if (size == 0) return "input size must be positive";
+  if (size > state_.capacity) return "input larger than capacity";
+  InputSize max_partner = 0;
+  for (InputId j : state_.alive_ids) {
+    if (j == id) continue;
+    if (config_.x2y && state_.sides[j] == state_.sides[id]) continue;
+    max_partner = std::max(max_partner, state_.sizes[j]);
+  }
+  if (max_partner > 0 && size + max_partner > state_.capacity) {
+    return "pair would exceed capacity: no reducer could cover it";
+  }
+  return "";
+}
+
+std::string OnlineAssigner::CheckSetCapacity(InputSize capacity) const {
+  if (capacity == 0) return "capacity must be positive";
+  if (capacity > kMaxCapacity) {
+    return "capacity above the 10^18 limit";
+  }
+  InputSize max_x = 0;
+  InputSize max_y = 0;  // A2A: second-largest overall
+  for (InputId j : state_.alive_ids) {
+    const InputSize w = state_.sizes[j];
+    if (!config_.x2y || state_.sides[j] == Side::kX) {
+      if (!config_.x2y) {
+        if (w >= max_x) {
+          max_y = max_x;
+          max_x = w;
+        } else {
+          max_y = std::max(max_y, w);
+        }
+      } else {
+        max_x = std::max(max_x, w);
+      }
+    } else {
+      max_y = std::max(max_y, w);
+    }
+  }
+  if (std::max(max_x, max_y) > capacity) {
+    return "capacity below an alive input's size";
+  }
+  if (max_x > 0 && max_y > 0 && max_x + max_y > capacity) {
+    return "capacity below the largest required pair";
+  }
+  return "";
+}
+
+std::string OnlineAssigner::CheckUpdate(const Update& update) const {
+  switch (update.kind) {
+    case UpdateKind::kAddInput:
+      return CheckAdd(update.value,
+                      config_.x2y ? update.side : Side::kX);
+    case UpdateKind::kRemoveInput:
+      return is_alive(update.id) ? "" : "unknown or departed input id";
+    case UpdateKind::kResizeInput:
+      return CheckResize(update.id, update.value);
+    case UpdateKind::kSetCapacity:
+      return CheckSetCapacity(update.value);
+  }
+  return "";
+}
+
+UpdateResult OnlineAssigner::DoAdd(InputSize size, Side side) {
+  if (!config_.x2y) side = Side::kX;
+  if (std::string why = CheckAdd(size, side); !why.empty()) {
+    return Reject(std::move(why));
   }
 
   const InputId id = static_cast<InputId>(state_.sizes.size());
@@ -243,17 +315,8 @@ UpdateResult OnlineAssigner::DoRemove(InputId id) {
 }
 
 UpdateResult OnlineAssigner::DoResize(InputId id, InputSize size) {
-  if (!is_alive(id)) return Reject("unknown or departed input id");
-  if (size == 0) return Reject("input size must be positive");
-  if (size > state_.capacity) return Reject("input larger than capacity");
-  InputSize max_partner = 0;
-  for (InputId j : state_.alive_ids) {
-    if (j == id) continue;
-    if (config_.x2y && state_.sides[j] == state_.sides[id]) continue;
-    max_partner = std::max(max_partner, state_.sizes[j]);
-  }
-  if (max_partner > 0 && size + max_partner > state_.capacity) {
-    return Reject("pair would exceed capacity: no reducer could cover it");
+  if (std::string why = CheckResize(id, size); !why.empty()) {
+    return Reject(std::move(why));
   }
   UpdateResult result;
   result.applied = true;
@@ -262,34 +325,8 @@ UpdateResult OnlineAssigner::DoResize(InputId id, InputSize size) {
 }
 
 UpdateResult OnlineAssigner::DoSetCapacity(InputSize capacity) {
-  if (capacity == 0) return Reject("capacity must be positive");
-  if (capacity > kMaxCapacity) {
-    return Reject("capacity above the 10^18 limit");
-  }
-  InputSize max_x = 0;
-  InputSize max_y = 0;  // A2A: second-largest overall
-  for (InputId j : state_.alive_ids) {
-    const InputSize w = state_.sizes[j];
-    if (!config_.x2y || state_.sides[j] == Side::kX) {
-      if (!config_.x2y) {
-        if (w >= max_x) {
-          max_y = max_x;
-          max_x = w;
-        } else {
-          max_y = std::max(max_y, w);
-        }
-      } else {
-        max_x = std::max(max_x, w);
-      }
-    } else {
-      max_y = std::max(max_y, w);
-    }
-  }
-  if (std::max(max_x, max_y) > capacity) {
-    return Reject("capacity below an alive input's size");
-  }
-  if (max_x > 0 && max_y > 0 && max_x + max_y > capacity) {
-    return Reject("capacity below the largest required pair");
+  if (std::string why = CheckSetCapacity(capacity); !why.empty()) {
+    return Reject(std::move(why));
   }
   UpdateResult result;
   result.applied = true;
@@ -350,6 +387,7 @@ bool OnlineAssigner::Seed(const std::vector<InputSize>& sizes,
     state_.x2y = config_.x2y;
     state_.capacity = config_.capacity;
     state_.partner_set = config_.partner_set;
+    state_.repair_storage = config_.repair_storage;
     state_.cover.Reset(config_.coverage, 0);
     if (error != nullptr) *error = why;
     return false;
@@ -382,7 +420,8 @@ UpdateResult OnlineAssigner::Compact() {
 ChurnStats OnlineAssigner::DeployMinMove(const MappingSchema& fresh_live) {
   DeltaDetail detail;
   const ChurnStats churn =
-      MinMoveDelta(state_.sizes, state_.ToSchema(), fresh_live, &detail)
+      MinMoveDelta(state_.sizes, state_.ToSchema(), fresh_live, &detail,
+                   config_.delta_matching)
           .ToChurn();
   // Matched reducers keep their stable identity; created ones get
   // fresh uids, assigned here so the ships below can reference them.

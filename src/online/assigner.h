@@ -73,6 +73,20 @@ struct OnlineConfig {
   /// benchmarks and differential tests. Not captured by snapshots (a
   /// pure performance knob — restored assigners use the default).
   PartnerSetBackend partner_set = PartnerSetBackend::kBitmap;
+  /// Storage strategy of the repair hot path (see repair.h). Pooled
+  /// (the default) keeps scratch vectors and retired reducer buffers
+  /// resident on the LiveState so a steady-state update performs zero
+  /// heap allocations; the heap baseline reallocates per repair (the
+  /// pre-pool behavior) and is kept for benchmarks and differential
+  /// tests. Not captured by snapshots (a pure performance knob).
+  RepairStorage repair_storage = RepairStorage::kPooled;
+  /// Matching backend of the min-move delta deploying escalated
+  /// re-plans (see delta.h). Greedy max-overlap is the fast default;
+  /// the exact Hungarian assignment is the optimal baseline the greedy
+  /// matcher is measured against (O(n^3) in the reducer count — fine
+  /// at replan scale, pointless on the repair path, which never calls
+  /// it). Not captured by snapshots.
+  DeltaMatching delta_matching = DeltaMatching::kGreedy;
   /// When true, a re-plan counts every copy of the fresh schema as
   /// moved (the naive "reassign everything" deployment) instead of the
   /// minimum-move delta. Used by the churn baselines.
@@ -200,6 +214,13 @@ class OnlineAssigner {
   }
   InputSize size_of(InputId id) const { return state_.sizes[id]; }
 
+  /// Pure feasibility check: returns the rejection reason Apply would
+  /// give `update` against the current live state, or an empty string
+  /// when it would be accepted. Mutates nothing — no counters, no
+  /// metrics, no state. The churn-budget layer (budget.h) consults
+  /// this before dry-running an update's repair on a state copy.
+  std::string CheckUpdate(const Update& update) const;
+
   /// Checks the live schema against the ValidateA2A/ValidateX2Y
   /// oracle (on the dense projection of the live instance). Returns
   /// true when valid; fills `*error` otherwise.
@@ -250,6 +271,11 @@ class OnlineAssigner {
   QualitySnapshot QualityFrom(const DenseView& dense) const;
 
   UpdateResult Reject(std::string why);
+  /// Feasibility prefixes of the Do* handlers, shared with
+  /// CheckUpdate. Empty string = the update would be accepted.
+  std::string CheckAdd(InputSize size, Side side) const;
+  std::string CheckResize(InputId id, InputSize size) const;
+  std::string CheckSetCapacity(InputSize capacity) const;
   /// Adds one update's churn to the registry totals (sink attached).
   void PublishChurn(const ChurnStats& churn);
   /// Migrates the live schema to `fresh_live` through the min-move

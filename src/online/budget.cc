@@ -1,0 +1,120 @@
+#include "online/budget.h"
+
+#include <string>
+#include <utility>
+
+#include "online/repair.h"
+#include "util/check.h"
+
+namespace msp::online {
+
+uint64_t ProjectRepairBytes(const OnlineAssigner& assigner,
+                            const Update& update) {
+  MSP_DCHECK(assigner.CheckUpdate(update).empty());
+  LiveState copy = assigner.live_state();
+  copy.move_log = nullptr;  // the recorder belongs to the real state
+  ChurnStats churn;
+  switch (update.kind) {
+    case UpdateKind::kAddInput: {
+      // Mirrors DoAdd: issue the next id, register it, repair.
+      const Side side =
+          assigner.config().x2y ? update.side : Side::kX;
+      const InputId id = static_cast<InputId>(copy.sizes.size());
+      copy.sizes.push_back(update.value);
+      copy.sides.push_back(side);
+      copy.alive.push_back(true);
+      copy.RegisterAlive(id);
+      RepairAdd(&copy, id, &churn);
+      break;
+    }
+    case UpdateKind::kRemoveInput:
+      RepairRemove(&copy, update.id, &churn);
+      break;
+    case UpdateKind::kResizeInput:
+      RepairResize(&copy, update.id, update.value, &churn);
+      break;
+    case UpdateKind::kSetCapacity:
+      RepairCapacity(&copy, update.value, &churn);
+      break;
+  }
+  return churn.bytes_moved;
+}
+
+BudgetedAssigner::BudgetedAssigner(const OnlineConfig& config,
+                                   const BudgetConfig& budget)
+    : budget_(budget), assigner_(config), translator_(&live_of_trace_) {
+  MSP_CHECK_GT(budget_.window_updates, 0u);
+}
+
+BudgetedAssigner::Attempt BudgetedAssigner::ApplyNow(
+    const Update& trace_update) {
+  Update live = trace_update;
+  if (!translator_.Translate(&live)) {
+    // References an unknown or rejected add; applying it would hit an
+    // arbitrary other input.
+    ++rejected_total_;
+    return Attempt::kRejected;
+  }
+  const bool unlimited = budget_.bytes_per_window == 0;
+  // Infeasible updates are not projectable (repair requires a feasible
+  // update); they fall through to ApplyDeferred, which rejects them on
+  // the assigner's own books without shipping a byte.
+  if (!unlimited && assigner_.CheckUpdate(live).empty()) {
+    const uint64_t projected = ProjectRepairBytes(assigner_, live);
+    if (spent_ + projected > budget_.bytes_per_window) {
+      return Attempt::kOverBudget;
+    }
+  }
+  const UpdateResult result = assigner_.ApplyDeferred(live);
+  if (live.kind == UpdateKind::kAddInput) {
+    translator_.RecordAdd(result.applied
+                              ? std::optional<InputId>(result.new_id)
+                              : std::nullopt);
+  }
+  if (!result.applied) {
+    ++rejected_total_;
+    return Attempt::kRejected;
+  }
+  spent_ += result.churn.bytes_moved;
+  MSP_DCHECK(unlimited || spent_ <= budget_.bytes_per_window)
+      << "projection disagreed with the applied repair";
+  return Attempt::kApplied;
+}
+
+SubmitOutcome BudgetedAssigner::Submit(const Update& trace_update) {
+  if (submits_in_window_ >= budget_.window_updates) CloseWindow();
+  ++submits_in_window_;
+  // Strict FIFO: a non-empty queue blocks every later submit, so the
+  // budgeted stream replays in exact submit order.
+  if (!queue_.empty()) {
+    queue_.push_back(trace_update);
+    ++deferred_total_;
+    return SubmitOutcome::kDeferred;
+  }
+  const Attempt attempt = ApplyNow(trace_update);
+  if (attempt == Attempt::kOverBudget) {
+    queue_.push_back(trace_update);
+    ++deferred_total_;
+    return SubmitOutcome::kDeferred;
+  }
+  return attempt == Attempt::kApplied ? SubmitOutcome::kApplied
+                                      : SubmitOutcome::kRejected;
+}
+
+uint64_t BudgetedAssigner::CloseWindow() {
+  ++windows_closed_;
+  submits_in_window_ = 0;
+  spent_ = 0;
+  uint64_t applied = 0;
+  // Drain oldest-first, stopping at the first head that still does not
+  // fit — draining past it would reorder the stream.
+  while (!queue_.empty()) {
+    const Attempt attempt = ApplyNow(queue_.front());
+    if (attempt == Attempt::kOverBudget) break;
+    queue_.pop_front();
+    if (attempt == Attempt::kApplied) ++applied;
+  }
+  return applied;
+}
+
+}  // namespace msp::online

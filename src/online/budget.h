@@ -1,0 +1,131 @@
+// Per-window churn budgets over an OnlineAssigner.
+//
+// A live deployment cannot always afford the repair a stream demands
+// the moment it demands it: re-shuffle bytes compete with the jobs the
+// cluster exists to run. The budget layer bounds that interference —
+// each window of `window_updates` submitted events gets a byte budget,
+// and an update whose *projected* repair churn would push the window
+// over budget is deferred onto a FIFO queue instead of applied. When
+// the window rolls over the budget refreshes and the queue drains,
+// oldest first, while the head still fits.
+//
+// Deferral is strictly FIFO: once one update is queued, every later
+// submit queues behind it. This preserves stream order exactly, so a
+// budgeted replay applies the same updates in the same order as an
+// unbudgeted one — only later — and (with a repair-only policy) lands
+// on the identical final schema once the queue drains. The live schema
+// stays valid the whole time: a deferred update simply has not
+// happened yet as far as the assigner is concerned.
+//
+// Projection is an exact dry-run: the update's repair is executed on a
+// copy of the LiveState (move log detached) and its churn read off the
+// ledger. Repair is deterministic, so projected bytes equal applied
+// bytes — the admission test is exact, never an estimate, and a
+// window's shipped bytes provably never exceed its budget.
+//
+// Submitted events use *trace-side* ids (every `add` numbered in
+// submit order, applied or not), translated through the shared
+// TraceIdTranslator at apply time — the only id space that stays
+// coherent while adds sit in the queue without an assigned live id.
+//
+// Escalated re-plans are not budgeted: the wrapper drives the
+// repair-only ApplyDeferred path, and PolicyCheckpoint (exposed as a
+// passthrough) remains the caller's explicit, separately-accounted
+// decision to pay for a re-plan.
+
+#ifndef MSP_ONLINE_BUDGET_H_
+#define MSP_ONLINE_BUDGET_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "online/assigner.h"
+#include "online/trace.h"
+
+namespace msp::online {
+
+/// Per-window budget configuration.
+struct BudgetConfig {
+  /// Submitted events per budget window (> 0, checked).
+  uint64_t window_updates = 64;
+  /// Shipped-byte budget per window; 0 = unlimited (pass-through:
+  /// nothing is projected, nothing deferred).
+  uint64_t bytes_per_window = 0;
+};
+
+/// Outcome of one submitted event.
+enum class SubmitOutcome : uint8_t {
+  kApplied,   // repaired now; its churn charged to the current window
+  kDeferred,  // queued: over budget, or FIFO-blocked behind the queue
+  kRejected,  // infeasible, or references a rejected/departed add
+};
+
+/// See the file comment. Mutating calls are sequential, like the
+/// assigner's.
+class BudgetedAssigner {
+ public:
+  BudgetedAssigner(const OnlineConfig& config, const BudgetConfig& budget);
+
+  /// Submits the next trace event (trace-side ids, see above). A
+  /// kDeferred outcome is not final — the event may still be rejected
+  /// when it reaches the head of the queue at a later drain.
+  SubmitOutcome Submit(const Update& trace_update);
+
+  /// Ends the current window: refreshes the byte budget and drains
+  /// deferred events in FIFO order while the head fits. Called
+  /// automatically every `window_updates` submits; callers invoke it
+  /// directly to let a quiet stream catch up. Returns the number of
+  /// deferred events applied.
+  uint64_t CloseWindow();
+
+  /// Unbudgeted policy decision over the updates applied so far (see
+  /// OnlineAssigner::PolicyCheckpoint).
+  UpdateResult PolicyCheckpoint() { return assigner_.PolicyCheckpoint(); }
+
+  /// Deferred events currently queued.
+  std::size_t deferred() const { return queue_.size(); }
+  /// Bytes shipped by repairs in the current window (<= the budget).
+  uint64_t window_spent_bytes() const { return spent_; }
+  /// Windows closed so far (auto rollovers + explicit CloseWindow).
+  uint64_t windows_closed() const { return windows_closed_; }
+  /// Lifetime count of kDeferred outcomes.
+  uint64_t deferred_total() const { return deferred_total_; }
+  /// Lifetime count of events dropped as rejected (at submit or at
+  /// drain).
+  uint64_t rejected_total() const { return rejected_total_; }
+
+  OnlineAssigner& assigner() { return assigner_; }
+  const OnlineAssigner& assigner() const { return assigner_; }
+  const BudgetConfig& budget() const { return budget_; }
+
+ private:
+  enum class Attempt : uint8_t { kApplied, kRejected, kOverBudget };
+
+  /// Translates, projects, and (when within budget) applies one
+  /// trace-form event. Never enqueues — callers do.
+  Attempt ApplyNow(const Update& trace_update);
+
+  BudgetConfig budget_;
+  OnlineAssigner assigner_;
+  std::vector<std::optional<InputId>> live_of_trace_;
+  TraceIdTranslator translator_;
+  std::deque<Update> queue_;  // trace-form, strict submit order
+  uint64_t submits_in_window_ = 0;
+  uint64_t spent_ = 0;
+  uint64_t windows_closed_ = 0;
+  uint64_t deferred_total_ = 0;
+  uint64_t rejected_total_ = 0;
+};
+
+/// Exact dry-run of `update`'s repair (live-id form, must pass
+/// CheckUpdate) on a copy of `assigner`'s live state; returns the
+/// repair's shipped bytes without touching the assigner. Exposed for
+/// tests and policy experiments.
+uint64_t ProjectRepairBytes(const OnlineAssigner& assigner,
+                            const Update& update);
+
+}  // namespace msp::online
+
+#endif  // MSP_ONLINE_BUDGET_H_

@@ -1,6 +1,7 @@
 #include "online/delta.h"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 
 #include "util/check.h"
@@ -14,6 +15,106 @@ struct Candidate {
   uint32_t from = 0;
   uint32_t to = 0;
 };
+
+constexpr uint32_t kNoMatch = ~uint32_t{0};
+
+// Greedy maximum-overlap matching, deterministic tie-breaks. Returns
+// match_of_new: `to` reducer index -> matched `from` index (kNoMatch
+// when the reducer shares bytes with no available partner).
+std::vector<uint32_t> GreedyMatch(std::size_t num_old, std::size_t num_new,
+                                  std::vector<Candidate> candidates) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.overlap != b.overlap) return a.overlap > b.overlap;
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  std::vector<uint32_t> match_of_new(num_new, kNoMatch);
+  std::vector<bool> old_taken(num_old, false);
+  for (const Candidate& c : candidates) {
+    if (old_taken[c.from] || match_of_new[c.to] != kNoMatch) continue;
+    old_taken[c.from] = true;
+    match_of_new[c.to] = c.from;
+  }
+  return match_of_new;
+}
+
+// Exact maximum-overlap matching: the Hungarian algorithm (shortest
+// augmenting paths with potentials, O(N^3) for N = max(|old|, |new|))
+// over the dense overlap matrix, padded square with zeros so every
+// reducer may also stay unmatched at zero gain. Maximizing the total
+// retained overlap bytes minimizes the shipped bytes exactly — the
+// optimal baseline for the greedy matcher. Matches retaining zero
+// bytes are reported as unmatched (identical semantics to greedy,
+// which never pairs non-overlapping reducers).
+std::vector<uint32_t> HungarianMatch(std::size_t num_old,
+                                     std::size_t num_new,
+                                     const std::vector<Candidate>& candidates) {
+  const std::size_t n = std::max(num_old, num_new);
+  std::vector<uint32_t> match_of_new(num_new, kNoMatch);
+  if (n == 0) return match_of_new;
+  // weight[t * n + f] = overlap bytes of (`to` t, `from` f); zero on
+  // non-overlapping and padded slots.
+  std::vector<int64_t> weight(n * n, 0);
+  for (const Candidate& c : candidates) {
+    weight[static_cast<std::size_t>(c.to) * n + c.from] =
+        static_cast<int64_t>(c.overlap);
+  }
+  // Minimize cost = -overlap with row/column potentials (1-indexed;
+  // column 0 is the virtual start of each augmenting path).
+  const int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
+  std::vector<int64_t> u(n + 1, 0);
+  std::vector<int64_t> v(n + 1, 0);
+  std::vector<std::size_t> row_of_col(n + 1, 0);
+  std::vector<std::size_t> prev_col(n + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    row_of_col[0] = i;
+    std::size_t j0 = 0;
+    std::vector<int64_t> min_reduced(n + 1, kInf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      const std::size_t i0 = row_of_col[j0];
+      int64_t delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const int64_t cur =
+            -weight[(i0 - 1) * n + (j - 1)] - u[i0] - v[j];
+        if (cur < min_reduced[j]) {
+          min_reduced[j] = cur;
+          prev_col[j] = j0;
+        }
+        if (min_reduced[j] < delta) {
+          delta = min_reduced[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j] != 0) {
+          u[row_of_col[j]] += delta;
+          v[j] -= delta;
+        } else {
+          min_reduced[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (row_of_col[j0] != 0);
+    do {
+      const std::size_t j1 = prev_col[j0];
+      row_of_col[j0] = row_of_col[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  for (std::size_t j = 1; j <= n; ++j) {
+    const std::size_t t = row_of_col[j] - 1;  // row: `to` reducer
+    const std::size_t f = j - 1;              // column: `from` reducer
+    if (t < num_new && f < num_old && weight[t * n + f] > 0) {
+      match_of_new[t] = static_cast<uint32_t>(f);
+    }
+  }
+  return match_of_new;
+}
 
 std::vector<Reducer> SortedReducers(const MappingSchema& schema) {
   std::vector<Reducer> reducers = schema.reducers;
@@ -47,7 +148,7 @@ void Difference(const std::vector<InputSize>& sizes, const Reducer& a,
 
 DeltaStats MinMoveDelta(const std::vector<InputSize>& sizes,
                         const MappingSchema& from, const MappingSchema& to,
-                        DeltaDetail* detail) {
+                        DeltaDetail* detail, DeltaMatching matching) {
   const std::vector<Reducer> old_reducers = SortedReducers(from);
   const std::vector<Reducer> new_reducers = SortedReducers(to);
   DeltaStats delta;
@@ -85,19 +186,17 @@ DeltaStats MinMoveDelta(const std::vector<InputSize>& sizes,
     touched.clear();
   }
 
-  // Greedy maximum-overlap matching, deterministic tie-breaks.
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) {
-              if (a.overlap != b.overlap) return a.overlap > b.overlap;
-              if (a.from != b.from) return a.from < b.from;
-              return a.to < b.to;
-            });
-  std::vector<uint32_t> match_of_new(new_reducers.size(), ~uint32_t{0});
+  const std::vector<uint32_t> match_of_new =
+      matching == DeltaMatching::kHungarian
+          ? HungarianMatch(old_reducers.size(), new_reducers.size(),
+                           candidates)
+          : GreedyMatch(old_reducers.size(), new_reducers.size(),
+                        std::move(candidates));
   std::vector<bool> old_taken(old_reducers.size(), false);
-  for (const Candidate& c : candidates) {
-    if (old_taken[c.from] || match_of_new[c.to] != ~uint32_t{0}) continue;
-    old_taken[c.from] = true;
-    match_of_new[c.to] = c.from;
+  for (const uint32_t f : match_of_new) {
+    if (f == kNoMatch) continue;
+    MSP_DCHECK(!old_taken[f]);
+    old_taken[f] = true;
     ++delta.reducers_matched;
   }
 

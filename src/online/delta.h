@@ -9,10 +9,14 @@
 // only the symmetric difference of each matched pair, plus wholly new
 // or wholly retired reducers, counts as churn.
 //
-// The matching is a deterministic greedy maximum-overlap pairing (the
-// exact assignment problem is overkill here — overlaps are computed
-// through an inverted input index, so the cost is proportional to the
-// number of co-occurring reducer pairs, not |old| x |new|).
+// The matching is a deterministic greedy maximum-overlap pairing by
+// default — overlaps are computed through an inverted input index, so
+// the cost is proportional to the number of co-occurring reducer
+// pairs, not |old| x |new|. An exact Hungarian assignment backend
+// (O(n^3) in the reducer count) is kept as the optimal baseline: it
+// maximizes total retained overlap, hence provably minimizes shipped
+// bytes, and the greedy matcher's gap is measured against it in the
+// differential tests and bench_o1_online.
 
 #ifndef MSP_ONLINE_DELTA_H_
 #define MSP_ONLINE_DELTA_H_
@@ -25,6 +29,15 @@
 #include "online/repair.h"
 
 namespace msp::online {
+
+/// Matching backend of the min-move delta. Greedy pairs reducers by
+/// descending shared bytes (near-optimal, linear in co-occurrences);
+/// Hungarian solves the assignment problem exactly (max total overlap
+/// = min shipped bytes) and serves as the honest optimal baseline the
+/// greedy matcher is measured against. Both are deterministic, and
+/// both migrate to the *same* final schema — only which copies ship
+/// (and so the churn charged) differs.
+enum class DeltaMatching : uint8_t { kGreedy = 0, kHungarian = 1 };
 
 /// Churn implied by migrating the live assignment `from` to `to`.
 struct DeltaStats {
@@ -67,7 +80,8 @@ struct DeltaDetail {
 /// ship/drop plan consistent with the returned stats.
 DeltaStats MinMoveDelta(const std::vector<InputSize>& sizes,
                         const MappingSchema& from, const MappingSchema& to,
-                        DeltaDetail* detail = nullptr);
+                        DeltaDetail* detail = nullptr,
+                        DeltaMatching matching = DeltaMatching::kGreedy);
 
 }  // namespace msp::online
 

@@ -14,6 +14,14 @@ bool Contains(const Reducer& reducer, InputId id) {
   return std::binary_search(reducer.begin(), reducer.end(), id);
 }
 
+// Selects the scratch the repair call tree works in: the persistent
+// LiveState-resident one (pooled mode) or a fresh per-call local (heap
+// baseline). One code path, two memory provenances — decisions are
+// identical either way.
+RepairScratch* ActiveScratch(LiveState* s, RepairScratch* local) {
+  return s->repair_storage == RepairStorage::kPooled ? &s->scratch : local;
+}
+
 // True when the reducer covers at least one required pair.
 bool CoversAnything(const LiveState& s, const Reducer& reducer) {
   if (!s.x2y) return reducer.size() >= 2;
@@ -63,9 +71,17 @@ bool RemoveCopy(LiveState* s, std::size_t r, InputId id, ChurnStats* churn) {
   return true;
 }
 
-// Appends a fresh, empty reducer slot with a new stable uid.
+// Appends a fresh, empty reducer slot with a new stable uid. Pooled
+// storage recycles a retired membership buffer (capacity retained)
+// when one is available; the heap baseline never pools, so the free
+// list stays empty and this always constructs.
 std::size_t CreateReducer(LiveState* s, ChurnStats* churn) {
-  s->reducers.emplace_back();
+  if (!s->reducer_pool.empty()) {
+    s->reducers.push_back(std::move(s->reducer_pool.back()));
+    s->reducer_pool.pop_back();
+  } else {
+    s->reducers.emplace_back();
+  }
   s->loads.push_back(0);
   s->reducer_uids.push_back(s->next_reducer_uid++);
   ++churn->reducers_created;
@@ -81,11 +97,22 @@ void DestroyReducer(LiveState* s, std::size_t r, ChurnStats* churn) {
   ++churn->reducers_destroyed;
 }
 
-// Erases the empty reducer slots left behind by DestroyReducer.
+// Erases the empty reducer slots left behind by DestroyReducer. In
+// pooled mode the emptied slots' membership buffers are harvested into
+// the free list *before* the move-compaction would overwrite (and
+// free) them; by the trailing resize every dying slot is buffer-less,
+// so nothing is returned to the allocator.
 void Compact(LiveState* s) {
+  const bool pooled = s->repair_storage == RepairStorage::kPooled;
   std::size_t out = 0;
   for (std::size_t r = 0; r < s->reducers.size(); ++r) {
-    if (s->reducers[r].empty()) continue;
+    if (s->reducers[r].empty()) {
+      if (pooled && s->reducers[r].capacity() > 0) {
+        s->reducer_pool.push_back(std::move(s->reducers[r]));
+        s->reducers[r].clear();
+      }
+      continue;
+    }
     if (out != r) {
       s->reducers[out] = std::move(s->reducers[r]);
       s->loads[out] = s->loads[r];
@@ -139,7 +166,7 @@ void UnionAndOverlap(const LiveState& s, const Reducer& a, const Reducer& b,
 // maximizing overlap minimizes churn. Only reducers at most half full
 // are folded — heavier merges buy one reducer for a lot of movement.
 void AbsorbShrunken(LiveState* s, const std::vector<std::size_t>& candidates,
-                    ChurnStats* churn) {
+                    RepairScratch* sc, ChurnStats* churn) {
   for (std::size_t r : candidates) {
     const Reducer& reducer = s->reducers[r];
     if (reducer.empty() || !CoversAnything(*s, reducer)) continue;
@@ -163,7 +190,9 @@ void AbsorbShrunken(LiveState* s, const std::vector<std::size_t>& candidates,
       }
     }
     if (best == s->reducers.size()) continue;
-    const Reducer members = s->reducers[r];  // copy: AddCopy mutates state
+    // Working copy: AddCopy mutates the reducer being folded.
+    Reducer& members = sc->members;
+    members.assign(s->reducers[r].begin(), s->reducers[r].end());
     for (InputId member : members) {
       if (!Contains(s->reducers[best], member)) {
         AddCopy(s, best, member, churn);
@@ -181,15 +210,18 @@ void AbsorbShrunken(LiveState* s, const std::vector<std::size_t>& candidates,
 // iteration (Drain) is canonicalized by the caller's sort.
 class PartnerSet {
  public:
-  explicit PartnerSet(const LiveState& s) : backend_(s.partner_set) {
+  /// The bitmap lives in `sc` (persistent in pooled mode, per-call in
+  /// the heap baseline); the hash backend always owns its table.
+  PartnerSet(const LiveState& s, RepairScratch* sc)
+      : backend_(s.partner_set), bits_(&sc->partner_bits) {
     if (backend_ == PartnerSetBackend::kBitmap) {
-      bits_.assign(s.num_alive(), 0);
+      bits_->assign(s.num_alive(), 0);
     }
   }
 
   void Insert(const LiveState& s, InputId id) {
     if (backend_ == PartnerSetBackend::kBitmap) {
-      uint8_t& bit = bits_[s.alive_pos[id]];
+      uint8_t& bit = (*bits_)[s.alive_pos[id]];
       count_ += bit == 0 ? 1 : 0;
       bit = 1;
       return;
@@ -199,14 +231,14 @@ class PartnerSet {
 
   bool Contains(const LiveState& s, InputId id) const {
     if (backend_ == PartnerSetBackend::kBitmap) {
-      return bits_[s.alive_pos[id]] != 0;
+      return (*bits_)[s.alive_pos[id]] != 0;
     }
     return hash_.count(id) > 0;
   }
 
   void Erase(const LiveState& s, InputId id) {
     if (backend_ == PartnerSetBackend::kBitmap) {
-      uint8_t& bit = bits_[s.alive_pos[id]];
+      uint8_t& bit = (*bits_)[s.alive_pos[id]];
       count_ -= bit != 0 ? 1 : 0;
       bit = 0;
       return;
@@ -216,28 +248,27 @@ class PartnerSet {
 
   bool empty() const { return count_ == 0; }
 
-  /// Moves the remaining members out (unspecified order — callers must
-  /// impose a total order before acting on them).
-  std::vector<InputId> Drain(const LiveState& s) {
-    std::vector<InputId> rest;
-    rest.reserve(count_);
+  /// Moves the remaining members into `rest` (unspecified order —
+  /// callers must impose a total order before acting on them).
+  void Drain(const LiveState& s, std::vector<InputId>* rest) {
+    rest->clear();
+    rest->reserve(count_);
     if (backend_ == PartnerSetBackend::kBitmap) {
-      for (std::size_t rank = 0; rank < bits_.size(); ++rank) {
-        if (bits_[rank] != 0) rest.push_back(s.alive_ids[rank]);
+      for (std::size_t rank = 0; rank < bits_->size(); ++rank) {
+        if ((*bits_)[rank] != 0) rest->push_back(s.alive_ids[rank]);
       }
-      bits_.assign(bits_.size(), 0);
+      bits_->assign(bits_->size(), 0);
     } else {
-      rest.assign(hash_.begin(), hash_.end());
+      rest->assign(hash_.begin(), hash_.end());
       hash_.clear();
     }
     count_ = 0;
-    return rest;
   }
 
  private:
   PartnerSetBackend backend_;
   std::size_t count_ = 0;
-  std::vector<uint8_t> bits_;  // by alive rank
+  std::vector<uint8_t>* bits_;  // by alive rank; not owned
   std::unordered_set<InputId> hash_;
 };
 
@@ -246,14 +277,15 @@ class PartnerSet {
 // contain uncovered partners, then spawn new reducers seeded with `id`
 // plus first-fit-decreasing bins of the remaining partners.
 void CoverStar(LiveState* s, InputId id, PartnerSet* uncovered,
-               ChurnStats* churn) {
+               RepairScratch* sc, ChurnStats* churn) {
   if (uncovered->empty()) return;
   const InputSize w = s->sizes[id];
 
   // Phase 1 — fill: visit reducers in decreasing order of how many
   // uncovered partners they hold (counts go stale as we place copies,
   // so each visit re-checks before committing).
-  std::vector<std::pair<std::size_t, std::size_t>> order;  // (count, idx)
+  std::vector<std::pair<std::size_t, std::size_t>>& order = sc->order;
+  order.clear();
   for (std::size_t r = 0; r < s->reducers.size(); ++r) {
     if (s->loads[r] + w > s->capacity) continue;
     if (Contains(s->reducers[r], id)) continue;
@@ -284,11 +316,13 @@ void CoverStar(LiveState* s, InputId id, PartnerSet* uncovered,
   // Phase 2 — spawn: pack the partners that remain into bins of
   // residual capacity q - w (FFD), one new reducer per bin, each
   // seeded with `id`.
-  std::vector<InputId> rest = uncovered->Drain(*s);
+  std::vector<InputId>& rest = sc->rest;
+  uncovered->Drain(*s, &rest);
   std::sort(rest.begin(), rest.end(), [&](InputId a, InputId b) {
     return s->sizes[a] != s->sizes[b] ? s->sizes[a] > s->sizes[b] : a < b;
   });
-  std::vector<std::size_t> bins;
+  std::vector<std::size_t>& bins = sc->bins;
+  bins.clear();
   for (InputId p : rest) {
     std::size_t target = s->reducers.size();
     for (std::size_t bin : bins) {
@@ -383,27 +417,32 @@ void LiveState::RebuildDerived() {
 void RepairAdd(LiveState* s, InputId id, ChurnStats* churn) {
   MSP_CHECK(s != nullptr && churn != nullptr);
   MSP_CHECK(s->alive[id]);
-  PartnerSet uncovered(*s);
+  RepairScratch local;
+  RepairScratch* sc = ActiveScratch(s, &local);
+  PartnerSet uncovered(*s, sc);
   for (InputId j : s->alive_ids) {
     if (j != id && s->IsPartner(id, j)) uncovered.Insert(*s, j);
   }
-  CoverStar(s, id, &uncovered, churn);
+  CoverStar(s, id, &uncovered, sc, churn);
 }
 
 void RepairRemove(LiveState* s, InputId id, ChurnStats* churn) {
   MSP_CHECK(s != nullptr && churn != nullptr);
   MSP_CHECK(s->alive[id]);
+  RepairScratch local;
+  RepairScratch* sc = ActiveScratch(s, &local);
   s->alive[id] = false;
   // Strip the copies while `id` still holds an alive rank: the
   // coverage decrements key off it, and unregistering swap-pops the
   // rank's (by then all-zero) counter row.
-  std::vector<std::size_t> affected;
+  std::vector<std::size_t>& affected = sc->affected;
+  affected.clear();
   for (std::size_t r = 0; r < s->reducers.size(); ++r) {
     if (RemoveCopy(s, r, id, churn)) affected.push_back(r);
   }
   s->UnregisterAlive(id);
   PruneUseless(s, affected, churn);
-  AbsorbShrunken(s, affected, churn);
+  AbsorbShrunken(s, affected, sc, churn);
   Compact(s);
 }
 
@@ -413,8 +452,11 @@ void RepairResize(LiveState* s, InputId id, InputSize new_size,
   MSP_CHECK(s->alive[id]);
   const InputSize old_size = s->sizes[id];
   if (new_size == old_size) return;
+  RepairScratch local;
+  RepairScratch* sc = ActiveScratch(s, &local);
   s->sizes[id] = new_size;
-  std::vector<std::size_t> holding;
+  std::vector<std::size_t>& holding = sc->affected;
+  holding.clear();
   for (std::size_t r = 0; r < s->reducers.size(); ++r) {
     if (!Contains(s->reducers[r], id)) continue;
     s->loads[r] = s->loads[r] - old_size + new_size;
@@ -423,13 +465,14 @@ void RepairResize(LiveState* s, InputId id, InputSize new_size,
   if (new_size < old_size) {
     // Loads only shrank; the schema stays valid. The lighter reducers
     // may now fold into partners.
-    AbsorbShrunken(s, holding, churn);
+    AbsorbShrunken(s, holding, sc, churn);
     Compact(s);
     return;
   }
   // Growth: evict the resized input from reducers it overflows, then
   // re-cover the pairs that lost their last meeting point.
-  std::vector<std::size_t> evicted_from;
+  std::vector<std::size_t>& evicted_from = sc->evicted;
+  evicted_from.clear();
   for (std::size_t r : holding) {
     if (s->loads[r] > s->capacity) {
       RemoveCopy(s, r, id, churn);
@@ -437,13 +480,13 @@ void RepairResize(LiveState* s, InputId id, InputSize new_size,
     }
   }
   PruneUseless(s, evicted_from, churn);
-  PartnerSet uncovered(*s);
+  PartnerSet uncovered(*s, sc);
   for (InputId j : s->alive_ids) {
     if (j != id && s->IsPartner(id, j) && s->CoverCount(id, j) == 0) {
       uncovered.Insert(*s, j);
     }
   }
-  CoverStar(s, id, &uncovered, churn);
+  CoverStar(s, id, &uncovered, sc, churn);
   Compact(s);
 }
 
@@ -455,8 +498,12 @@ void RepairCapacity(LiveState* s, InputSize new_capacity, ChurnStats* churn) {
   // Evict members from overflowing reducers: cheapest first, i.e. the
   // member whose pairs here are mostly covered elsewhere; ties prefer
   // the largest size (frees the most room per eviction).
-  std::vector<std::pair<InputId, InputId>> lost;
-  std::vector<std::size_t> touched;
+  RepairScratch local;
+  RepairScratch* sc = ActiveScratch(s, &local);
+  std::vector<std::pair<InputId, InputId>>& lost = sc->lost;
+  lost.clear();
+  std::vector<std::size_t>& touched = sc->affected;
+  touched.clear();
   for (std::size_t r = 0; r < s->reducers.size(); ++r) {
     bool evicted_any = false;
     while (s->loads[r] > new_capacity) {

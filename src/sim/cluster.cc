@@ -13,6 +13,7 @@
 #include "mapreduce/job.h"
 #include "mapreduce/schema_partitioner.h"
 #include "mapreduce/types.h"
+#include "util/thread_pool.h"
 
 namespace msp::sim {
 
@@ -51,6 +52,17 @@ class PairWitnessReducer : public mr::GroupReducer {
 };
 
 }  // namespace
+
+SimulatedCluster::~SimulatedCluster() = default;
+
+ThreadPool* SimulatedCluster::WorkerPool() const {
+  if (!config_.persistent_pool) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(
+        std::max<std::size_t>(config_.workers, 1));
+  }
+  return pool_.get();
+}
 
 SimulatedCluster::Outcome SimulatedCluster::Execute(
     const ReshufflePlan& plan) {
@@ -119,6 +131,7 @@ SimulatedCluster::Outcome SimulatedCluster::Execute(
 
   mr::EngineConfig engine_config;
   engine_config.num_workers = config_.workers;
+  engine_config.pool = WorkerPool();
   const mr::MapReduceEngine engine(engine_config);
   const mr::RoutingPartitioner partitioner(
       std::move(routes), static_cast<mr::ReducerIndex>(dense_of_uid.size()));
@@ -224,6 +237,7 @@ bool SimulatedCluster::OracleCheck(const LiveState& state,
   mr::EngineConfig engine_config;
   engine_config.num_workers = config_.workers;
   engine_config.reducer_capacity = state.capacity;
+  engine_config.pool = WorkerPool();
   const mr::MapReduceEngine engine(engine_config);
   const mr::SchemaPartitioner partitioner(dense_schema, ordered.size());
   mr::KeyValueList witnesses;

@@ -25,12 +25,17 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 
 #include "mapreduce/metrics.h"
 #include "online/moves.h"
 #include "online/repair.h"
+
+namespace msp {
+class ThreadPool;  // util/thread_pool.h
+}
 
 namespace msp::sim {
 
@@ -51,6 +56,12 @@ class SimulatedCluster {
     /// publishes mr.* series (kind="reshuffle" for Execute jobs,
     /// kind="oracle" for OracleCheck jobs). Not owned; may be null.
     obs::Registry* metrics = nullptr;
+    /// Keep one worker pool alive across engine jobs. A step's delta
+    /// re-shuffle is a tiny job, so thread spin-up dominates it; the
+    /// persistent pool pays that cost once per cluster instead of
+    /// three times per job. Off = the seed behavior (each engine run
+    /// spawns and joins its own workers), kept for benchmarks.
+    bool persistent_pool = true;
   };
 
   /// Outcome of executing one re-shuffle plan.
@@ -63,6 +74,7 @@ class SimulatedCluster {
   };
 
   explicit SimulatedCluster(Config config) : config_(config) {}
+  ~SimulatedCluster();  // out of line: pool_ sees ThreadPool complete
 
   /// Applies `plan` in order to the placement and executes the ships
   /// as one engine job (no job when the plan ships nothing). The
@@ -90,7 +102,15 @@ class SimulatedCluster {
   std::size_t num_reducers() const { return hosted_.size(); }
 
  private:
+  /// The shared engine pool (lazily spawned), or null when
+  /// Config::persistent_pool is off. `mutable` because OracleCheck is
+  /// logically const but still runs its job on the shared workers;
+  /// callers already serialize Execute/OracleCheck, matching the
+  /// one-Run-at-a-time contract of EngineConfig::pool.
+  ThreadPool* WorkerPool() const;
+
   Config config_;
+  mutable std::unique_ptr<ThreadPool> pool_;
   /// uid -> hosted input copies. Ordered so iteration (and with it
   /// every failure message) is deterministic.
   std::map<uint64_t, std::set<InputId>> hosted_;

@@ -131,5 +131,42 @@ TEST(DifferentialTest, FfdMatchesReferenceOnDecreasingOrder) {
   }
 }
 
+// The branchless probe (arithmetic descent) must place every item in
+// exactly the bin the original branching descent picks — same inputs,
+// same placements, item for item.
+TEST(BinpackDifferentialTest, BranchlessDescentMatchesBranching) {
+  Rng rng(123);
+  for (int round = 0; round < 20; ++round) {
+    const uint64_t capacity = 10 + rng.UniformInt(300);
+    const std::size_t n = 1 + rng.UniformInt(500);
+    FirstFitPacker branchless(n, capacity, FirstFitDescent::kBranchless);
+    FirstFitPacker branching(n, capacity, FirstFitDescent::kBranching);
+    for (std::size_t i = 0; i < n; ++i) {
+      const uint64_t w = 1 + rng.UniformInt(capacity);
+      ASSERT_EQ(branchless.Place(w), branching.Place(w))
+          << "round " << round << " item " << i;
+    }
+    ASSERT_EQ(branchless.bins_used(), branching.bins_used());
+  }
+}
+
+// Reset re-arms the packer without forgetting its tree buffer: a
+// reused packer must behave exactly like a freshly constructed one.
+TEST(BinpackDifferentialTest, ResetReplaysLikeFresh) {
+  Rng rng(7);
+  FirstFitPacker reused(1, 1);
+  for (int round = 0; round < 10; ++round) {
+    const uint64_t capacity = 10 + rng.UniformInt(100);
+    const std::size_t n = 1 + rng.UniformInt(200);
+    reused.Reset(n, capacity);
+    FirstFitPacker fresh(n, capacity);
+    for (std::size_t i = 0; i < n; ++i) {
+      const uint64_t w = 1 + rng.UniformInt(capacity);
+      ASSERT_EQ(reused.Place(w), fresh.Place(w));
+    }
+    ASSERT_EQ(reused.bins_used(), fresh.bins_used());
+  }
+}
+
 }  // namespace
 }  // namespace msp::bp

@@ -1,0 +1,193 @@
+// Differential tests for the repair-path storage backends: the pooled
+// (allocation-free) storage must make exactly the decisions of the
+// heap baseline on every trace shape, and a warmed-up pooled assigner
+// must execute a steady-state repair window without touching the heap
+// at all — the claim is gated on the assigner's own published
+// allocation counters, with the heap baseline proving on the same
+// window that the gate measures something.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/alloc.h"
+#include "obs/metrics.h"
+#include "online/assigner.h"
+#include "online/policy.h"
+#include "online/repair.h"
+#include "online/trace.h"
+#include "workload/updates.h"
+
+namespace msp::online {
+namespace {
+
+OnlineConfig NeverReplanConfig(InputSize capacity, bool x2y,
+                               RepairStorage storage) {
+  OnlineConfig config;
+  config.x2y = x2y;
+  config.capacity = capacity;
+  config.policy = std::make_shared<NeverReplanPolicy>();
+  config.repair_storage = storage;
+  return config;
+}
+
+std::vector<wl::TraceConfig> Shapes(std::size_t steps) {
+  std::vector<wl::TraceConfig> shapes;
+  uint64_t seed = 17;
+  for (const wl::TraceShape shape :
+       {wl::TraceShape::kMixed, wl::TraceShape::kFlashCrowd,
+        wl::TraceShape::kCapacityOscillation}) {
+    for (const bool x2y : {false, true}) {
+      wl::TraceConfig config;
+      config.shape = shape;
+      config.x2y = x2y;
+      config.initial_inputs = 24;
+      config.steps = steps;
+      config.capacity = 100;
+      config.lo = 2;
+      config.hi = 40;
+      config.seed = seed++;
+      shapes.push_back(config);
+    }
+  }
+  return shapes;
+}
+
+// Pooled and heap storage share one repair code path — only the memory
+// provenance differs — so every update must produce identical results
+// and identical live schemas, step for step.
+TEST(RepairStorageTest, PooledMatchesHeapOnGeneratedTraces) {
+  for (const wl::TraceConfig& shape : Shapes(200)) {
+    const UpdateTrace trace = wl::GenerateTrace(shape);
+    OnlineAssigner pooled(NeverReplanConfig(trace.initial_capacity,
+                                            trace.x2y,
+                                            RepairStorage::kPooled));
+    OnlineAssigner heap(NeverReplanConfig(trace.initial_capacity,
+                                          trace.x2y, RepairStorage::kHeap));
+    std::vector<std::optional<InputId>> pooled_ids, heap_ids;
+    TraceIdTranslator pooled_translator(&pooled_ids);
+    TraceIdTranslator heap_translator(&heap_ids);
+    for (const Update& update : trace.updates) {
+      Update pooled_live = update;
+      Update heap_live = update;
+      const bool pooled_known = pooled_translator.Translate(&pooled_live);
+      const bool heap_known = heap_translator.Translate(&heap_live);
+      ASSERT_EQ(pooled_known, heap_known);
+      if (!pooled_known) continue;
+      const UpdateResult a = pooled.ApplyDeferred(pooled_live);
+      const UpdateResult b = heap.ApplyDeferred(heap_live);
+      if (pooled_live.kind == UpdateKind::kAddInput) {
+        pooled_translator.RecordAdd(a.applied ? a.new_id : std::nullopt);
+        heap_translator.RecordAdd(b.applied ? b.new_id : std::nullopt);
+      }
+      ASSERT_EQ(a.applied, b.applied) << "shape seed " << shape.seed;
+      ASSERT_EQ(a.churn, b.churn) << "shape seed " << shape.seed;
+      ASSERT_EQ(pooled.Schema().reducers, heap.Schema().reducers)
+          << "shape seed " << shape.seed;
+    }
+    EXPECT_EQ(pooled.totals().churn, heap.totals().churn);
+  }
+}
+
+// Drives `assigner` through a deterministic steady-state repair window
+// and returns the allocation count the assigner published for it.
+// The window oscillates the sizes of a fixed set of inputs: every
+// update repairs (evictions, re-covers, reducer churn) but the id
+// space, the alive set, and the load scale all stay fixed — exactly
+// the regime the pooled storage promises to serve allocation-free.
+uint64_t AllocsOverWindow(OnlineAssigner* assigner, obs::Counter* allocs,
+                          const std::vector<InputId>& ids,
+                          std::size_t cycles) {
+  const uint64_t before = allocs->value();
+  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+    for (const InputId id : ids) {
+      const InputSize size = (cycle % 2 == 0) ? 3 : 2;
+      const UpdateResult result =
+          assigner->ApplyDeferred(Update::Resize(id, size));
+      // A rejection would allocate its error string and poison the
+      // measurement; this window must stay rejection-free.
+      EXPECT_TRUE(result.applied) << result.error;
+    }
+  }
+  return allocs->value() - before;
+}
+
+struct WarmedAssigner {
+  std::unique_ptr<OnlineAssigner> assigner;
+  std::vector<InputId> ids;  // oscillation targets, all alive
+};
+
+// Builds an assigner with the given storage, replays a 300-step mixed
+// trace as warm-up, then runs enough oscillation cycles to push every
+// scratch buffer and the reducer pool to their high-water marks.
+WarmedAssigner WarmUp(RepairStorage storage, obs::Registry* registry) {
+  wl::TraceConfig shape;
+  shape.shape = wl::TraceShape::kMixed;
+  shape.initial_inputs = 24;
+  shape.steps = 300;
+  shape.capacity = 100;
+  shape.lo = 2;
+  shape.hi = 40;
+  shape.seed = 17;
+  const UpdateTrace trace = wl::GenerateTrace(shape);
+
+  OnlineConfig config = NeverReplanConfig(trace.initial_capacity,
+                                          trace.x2y, storage);
+  config.metrics = registry;
+  WarmedAssigner warmed;
+  warmed.assigner = std::make_unique<OnlineAssigner>(config);
+  std::vector<std::optional<InputId>> live_of_trace;
+  TraceIdTranslator translator(&live_of_trace);
+  for (const Update& update : trace.updates) {
+    Update live = update;
+    if (!translator.Translate(&live)) continue;
+    const UpdateResult result = warmed.assigner->ApplyDeferred(live);
+    if (live.kind == UpdateKind::kAddInput) {
+      translator.RecordAdd(result.applied ? result.new_id : std::nullopt);
+    }
+  }
+
+  const LiveState& state = warmed.assigner->live_state();
+  warmed.ids.assign(state.alive_ids.begin(), state.alive_ids.end());
+  std::sort(warmed.ids.begin(), warmed.ids.end());
+  warmed.ids.resize(std::min<std::size_t>(warmed.ids.size(), 8));
+  return warmed;
+}
+
+TEST(RepairStorageTest, SteadyStateRepairIsAllocationFree) {
+  if (!obs::AllocCountingActive()) {
+    GTEST_SKIP() << "counting allocator interposed (sanitizer build)";
+  }
+  obs::Registry registry;
+  obs::Counter* allocs = registry.counter("online.allocs_total");
+  WarmedAssigner warmed = WarmUp(RepairStorage::kPooled, &registry);
+  ASSERT_GE(warmed.ids.size(), 4u);
+  // First pass reaches the oscillation's high-water marks...
+  AllocsOverWindow(warmed.assigner.get(), allocs, warmed.ids, 20);
+  // ...after which the steady state is allocation-free: not "few", not
+  // "amortized" — zero heap traffic across 160 repairing updates.
+  EXPECT_EQ(
+      AllocsOverWindow(warmed.assigner.get(), allocs, warmed.ids, 20), 0u);
+}
+
+// The same window on the heap baseline must allocate — otherwise the
+// zero above would be vacuous (a gate that cannot fail gates nothing).
+TEST(RepairStorageTest, HeapBaselineAllocatesOnTheSameWindow) {
+  if (!obs::AllocCountingActive()) {
+    GTEST_SKIP() << "counting allocator interposed (sanitizer build)";
+  }
+  obs::Registry registry;
+  obs::Counter* allocs = registry.counter("online.allocs_total");
+  WarmedAssigner warmed = WarmUp(RepairStorage::kHeap, &registry);
+  ASSERT_GE(warmed.ids.size(), 4u);
+  AllocsOverWindow(warmed.assigner.get(), allocs, warmed.ids, 20);
+  EXPECT_GT(
+      AllocsOverWindow(warmed.assigner.get(), allocs, warmed.ids, 20), 0u);
+}
+
+}  // namespace
+}  // namespace msp::online
