@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <fstream>
 #include <mutex>
 #include <optional>
@@ -25,7 +26,9 @@
 #include "core/validate.h"
 #include "core/x2y.h"
 #include "online/assigner.h"
+#include "online/budget.h"
 #include "online/coverage.h"
+#include "online/delta.h"
 #include "online/policy.h"
 #include "online/snapshot.h"
 #include "obs/export.h"
@@ -37,6 +40,7 @@
 #include "obs/watchdog.h"
 #include "online/trace.h"
 #include "planner/service.h"
+#include "rpc/server.h"
 #include "serving/service.h"
 #include "sim/simulator.h"
 #include "util/csv_writer.h"
@@ -624,6 +628,37 @@ std::optional<online::PolicySpec> LoadPolicySpec(const ArgParser& parser,
   return spec;
 }
 
+// serve --listen stop flag, set by SIGINT/SIGTERM so a foreground
+// server drains gracefully on Ctrl-C.
+std::atomic<bool> g_serve_stop{false};
+void ServeStopHandler(int) { g_serve_stop.store(true); }
+
+// Reads --matching into a min-move delta backend selection.
+std::optional<online::DeltaMatching> LoadMatching(const ArgParser& parser,
+                                                  std::ostream& err) {
+  const std::string name = parser.GetString("matching", "greedy");
+  if (name == "greedy") return online::DeltaMatching::kGreedy;
+  if (name == "hungarian") return online::DeltaMatching::kHungarian;
+  err << "error: unknown --matching '" << name << "' (greedy|hungarian)\n";
+  return std::nullopt;
+}
+
+// Reads --churn-budget/--budget-window into a per-window budget
+// (budget.h). bytes 0 = unbudgeted.
+std::optional<online::BudgetConfig> LoadBudget(const ArgParser& parser,
+                                               std::ostream& err) {
+  const auto bytes = parser.GetUint("churn-budget", 0);
+  const auto window = parser.GetUint("budget-window", 64);
+  if (!bytes || !window || *window == 0) {
+    err << "error: bad --churn-budget/--budget-window (window > 0)\n";
+    return std::nullopt;
+  }
+  online::BudgetConfig budget;
+  budget.bytes_per_window = *bytes;
+  budget.window_updates = *window;
+  return budget;
+}
+
 // Reads --coverage into a LiveState backend selection.
 std::optional<online::PairCoverage::Backend> LoadCoverage(
     const ArgParser& parser, std::ostream& err) {
@@ -820,6 +855,91 @@ int PrintReplayReport(const online::OnlineAssigner& assigner,
   return 0;
 }
 
+// The budgeted variant of the `online` replay: every event goes
+// through a BudgetedAssigner so each window of --budget-window submits
+// ships at most --churn-budget repair bytes (over-budget events defer
+// FIFO and drain at window rollovers). The report proves the contract:
+// the maximum observed window spend, sampled after every submit and
+// every drain, against the configured budget. Exit 1 when the budget
+// was exceeded (never expected — that would be a budget.h bug) or the
+// final schema fails the oracle.
+int ReplayTraceBudgeted(const online::UpdateTrace& trace,
+                        const online::OnlineConfig& config,
+                        const online::BudgetConfig& budget,
+                        std::size_t batch, uint64_t validate_every,
+                        ObsSession& obs_session, std::ostream& out,
+                        std::ostream& err) {
+  online::BudgetedAssigner budgeted(config, budget);
+  const std::size_t window = batch == 0 ? 1 : batch;
+  obs::Registry* registry = obs_session.registry();
+  obs::Histogram* repair_latency =
+      registry == nullptr ? nullptr
+                          : registry->histogram("online.repair_latency_us");
+  ReplayStats stats;
+  uint64_t max_window_spend = 0;
+  uint64_t applied_now = 0;
+  std::size_t step = 0;
+  for (const online::Update& update : trace.updates) {
+    ++step;
+    Stopwatch watch;
+    const online::SubmitOutcome outcome = budgeted.Submit(update);
+    const uint64_t us = watch.ElapsedMicros();
+    max_window_spend =
+        std::max(max_window_spend, budgeted.window_spent_bytes());
+    if (outcome == online::SubmitOutcome::kApplied) {
+      ++applied_now;
+      stats.repair_us.push_back(static_cast<double>(us));
+      if (repair_latency != nullptr) repair_latency->Record(us);
+      if (budgeted.assigner().pending_decision_updates() >= window) {
+        budgeted.PolicyCheckpoint();
+      }
+    }
+    if (validate_every != 0 && step % validate_every == 0) {
+      std::string validate_error;
+      if (!budgeted.assigner().ValidateNow(&validate_error)) {
+        err << "INVALID schema after step " << step << ": "
+            << validate_error << "\n";
+        return 1;
+      }
+    }
+  }
+  // End of stream: refresh the window while the deferred queue makes
+  // progress (a head that fits in no whole window stays pending).
+  while (budgeted.deferred() > 0 && budgeted.CloseWindow() > 0) {
+    max_window_spend =
+        std::max(max_window_spend, budgeted.window_spent_bytes());
+  }
+  if (budgeted.assigner().pending_decision_updates() > 0) {
+    budgeted.PolicyCheckpoint();
+  }
+
+  const bool respected = max_window_spend <= budget.bytes_per_window;
+  TablePrinter table("churn budget");
+  table.SetHeader({"metric", "value"});
+  table.AddRow(
+      {"bytes per window", TablePrinter::Fmt(budget.bytes_per_window)});
+  table.AddRow(
+      {"window updates", TablePrinter::Fmt(budget.window_updates)});
+  table.AddRow(
+      {"windows closed", TablePrinter::Fmt(budgeted.windows_closed())});
+  table.AddRow({"applied at submit", TablePrinter::Fmt(applied_now)});
+  table.AddRow(
+      {"deferred total", TablePrinter::Fmt(budgeted.deferred_total())});
+  table.AddRow({"still pending",
+                TablePrinter::Fmt(
+                    static_cast<uint64_t>(budgeted.deferred()))});
+  table.AddRow(
+      {"max window spend", TablePrinter::Fmt(max_window_spend)});
+  table.Print(err);
+  err << "budget: max window spend " << max_window_spend
+      << (respected ? " <= " : " EXCEEDS ") << budget.bytes_per_window
+      << " bytes per window\n";
+
+  if (!obs_session.Finish(err)) return 2;
+  const int code = PrintReplayReport(budgeted.assigner(), stats, out, err);
+  return code == 0 && !respected ? 1 : code;
+}
+
 // online — replay an update trace through the OnlineAssigner and
 // report churn, repair-vs-replan counts, and live quality against the
 // lower bounds. Every intermediate schema is checked against the
@@ -834,13 +954,19 @@ int CmdOnline(const ArgParser& parser, std::ostream& out, std::ostream& err) {
   if (!spec.has_value()) return 2;
   const auto coverage = LoadCoverage(parser, err);
   if (!coverage.has_value()) return 2;
+  const auto matching = LoadMatching(parser, err);
+  if (!matching.has_value()) return 2;
+  const auto budget = LoadBudget(parser, err);
+  if (!budget.has_value()) return 2;
   const auto validate_every = parser.GetUint("validate-every", 1);
   const auto portfolio = parser.GetUint("portfolio", 0);
+  const auto matching_gap = parser.GetUint("matching-gap", 0);
   const auto batch = parser.GetUint("batch", 0);
   const auto fsync_every = parser.GetUint("fsync-every", 32);
-  if (!validate_every || !portfolio || !batch || !fsync_every) {
-    err << "error: bad --validate-every/--portfolio/--batch/"
-           "--fsync-every\n";
+  if (!validate_every || !portfolio || !matching_gap || !batch ||
+      !fsync_every) {
+    err << "error: bad --validate-every/--portfolio/--matching-gap/"
+           "--batch/--fsync-every\n";
     return 2;
   }
 
@@ -852,11 +978,24 @@ int CmdOnline(const ArgParser& parser, std::ostream& out, std::ostream& err) {
   config.capacity = trace->initial_capacity;
   config.policy_spec = *spec;
   config.coverage = *coverage;
+  config.delta_matching = *matching;
+  config.measure_matching_gap = *matching_gap != 0;
   config.plan_options.use_portfolio = *portfolio != 0;
   config.metrics = obs_session.registry();
 
   std::unique_ptr<durability::ChangelogWriter> wal;
   const std::string wal_out = parser.GetString("wal-out");
+  if (budget->bytes_per_window > 0) {
+    if (!wal_out.empty()) {
+      err << "error: --churn-budget is incompatible with --wal-out (the "
+             "changelog records events at apply time in submit order, "
+             "which budget deferral would reorder)\n";
+      return 2;
+    }
+    return ReplayTraceBudgeted(*trace, config, *budget,
+                               static_cast<std::size_t>(*batch),
+                               *validate_every, obs_session, out, err);
+  }
   if (!wal_out.empty()) {
     durability::ChangelogWriterOptions wal_options;
     wal_options.fsync_every_n = *fsync_every;
@@ -939,6 +1078,15 @@ int CmdServe(const ArgParser& parser, std::ostream& out, std::ostream& err) {
   const std::string watchdog_dump = parser.GetString("watchdog-dump");
   const auto spec = LoadPolicySpec(parser, err);
   if (!spec.has_value()) return 2;
+  const auto matching = LoadMatching(parser, err);
+  if (!matching.has_value()) return 2;
+  const auto budget = LoadBudget(parser, err);
+  if (!budget.has_value()) return 2;
+  const auto matching_gap = parser.GetUint("matching-gap", 0);
+  if (!matching_gap) {
+    err << "error: bad --matching-gap\n";
+    return 2;
+  }
   if (!stats_every) {
     err << "error: bad --stats-every\n";
     return 2;
@@ -974,6 +1122,7 @@ int CmdServe(const ArgParser& parser, std::ostream& out, std::ostream& err) {
   serving::ServingConfig serving_config;
   serving_config.num_shards = static_cast<std::size_t>(*shards);
   serving_config.metrics = obs_session.registry();
+  serving_config.default_budget = *budget;
   serving::ServingService service(serving_config);
 
   // The periodic dumper starts before WAL attach so even a run that
@@ -1024,6 +1173,85 @@ int CmdServe(const ArgParser& parser, std::ostream& out, std::ostream& err) {
     }
   }
 
+  // --listen switches serve from replay mode to network mode: no
+  // traces are generated; the RPC front door accepts remote
+  // CreateInstance/Submit/Query/Stats until --serve-ms elapses (0 =
+  // until SIGINT/SIGTERM), then drains and prints the usual tables.
+  if (parser.Has("listen")) {
+    const auto listen = parser.GetUint("listen", 0);
+    const auto serve_ms = parser.GetUint("serve-ms", 0);
+    const auto max_depth = parser.GetUint("max-depth", 256);
+    if (!listen || !serve_ms || !max_depth || *listen > 65535 ||
+        *max_depth == 0) {
+      err << "error: bad --listen/--serve-ms/--max-depth "
+             "(listen <= 65535, max-depth > 0)\n";
+      return 2;
+    }
+    rpc::RpcServerOptions rpc_options;
+    rpc_options.service = &service;
+    rpc_options.port = static_cast<uint16_t>(*listen);
+    rpc_options.max_mailbox_depth = *max_depth;
+    rpc_options.metrics = obs_session.registry();
+    rpc::RpcServer server(rpc_options);
+    std::string rpc_error;
+    if (!server.Start(&rpc_error)) {
+      err << "error: cannot start rpc server: " << rpc_error << "\n";
+      return 2;
+    }
+    out << "rpc: listening on 127.0.0.1:" << server.port() << "\n"
+        << std::flush;
+
+    g_serve_stop.store(false);
+    std::signal(SIGINT, ServeStopHandler);
+    std::signal(SIGTERM, ServeStopHandler);
+    Stopwatch uptime;
+    while (!g_serve_stop.load(std::memory_order_relaxed) &&
+           (*serve_ms == 0 ||
+            uptime.ElapsedSeconds() * 1000.0 <
+                static_cast<double>(*serve_ms))) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+
+    server.Shutdown();
+    service.CheckpointAll();
+    service.Flush();
+    if (watchdog.has_value()) {
+      obs::Watchdog::InstallSignalDump(nullptr);
+      watchdog->Stop();
+    }
+    if (dumper.has_value()) dumper->Stop();
+
+    const rpc::RpcServerCounters rpc_counters = server.counters();
+    err << "rpc: connections=" << rpc_counters.connections_opened
+        << " requests=" << rpc_counters.requests
+        << " responses=" << rpc_counters.responses
+        << " overloaded=" << rpc_counters.overloaded
+        << " errors=" << rpc_counters.errors
+        << " frame-errors=" << rpc_counters.frame_errors << "\n";
+    service.PrintStats(err);
+    if (parser.Has("stats")) service.planner().PrintStats(err);
+
+    bool all_valid = true;
+    service.ForEachInstance([&](const std::string& key,
+                                const online::OnlineAssigner& assigner) {
+      std::string validate_error;
+      const bool valid = assigner.ValidateNow(&validate_error);
+      all_valid = all_valid && valid;
+      out << "instance=" << key << " shard=" << service.ShardOf(key)
+          << " inputs=" << assigner.num_inputs()
+          << " reducers=" << assigner.Schema().num_reducers()
+          << " valid=" << (valid ? "yes" : "NO") << "\n";
+      if (!valid) {
+        err << "INVALID instance '" << key << "': " << validate_error
+            << "\n";
+      }
+    });
+    if (!obs_session.Finish(err)) return 2;
+    return all_valid ? 0 : 1;
+  }
+
   trace_config.initial_inputs = static_cast<std::size_t>(*initial);
   trace_config.steps = static_cast<std::size_t>(*steps);
   trace_config.capacity = *q;
@@ -1048,6 +1276,8 @@ int CmdServe(const ArgParser& parser, std::ostream& out, std::ostream& err) {
     config.x2y = traces[i].x2y;
     config.capacity = traces[i].initial_capacity;
     config.policy_spec = *spec;
+    config.delta_matching = *matching;
+    config.measure_matching_gap = *matching_gap != 0;
     config.plan_options.use_portfolio = *portfolio != 0;
     service.CreateInstance(key, config, /*translate_trace_ids=*/true);
     service.SubmitBatch(key, std::move(traces[i].updates),
@@ -1504,7 +1734,13 @@ void PrintUsage(std::ostream& out) {
          "             [--replan-threshold=R] [--every-n=N] [--cooldown=N]\n"
          "             [--validate-every=N] [--portfolio=0|1] [--batch=B]\n"
          "             [--coverage=triangular|hash] [--wal-out=FILE]\n"
-         "             [--fsync-every=N] [--metrics-out=FILE]\n"
+         "             [--fsync-every=N] [--matching=greedy|hungarian]\n"
+         "             [--matching-gap=0|1]   (measure greedy-vs-exact\n"
+         "             deploy gap; feeds the drift policy)\n"
+         "             [--churn-budget=BYTES] [--budget-window=N]\n"
+         "             (cap repair bytes shipped per window of N events;\n"
+         "             over-budget events defer FIFO)\n"
+         "             [--metrics-out=FILE]\n"
          "             [--trace-out=FILE] [--profile-out=FILE]\n"
          "             replay a trace through the online assigner\n"
          "  serve      [--kind=a2a|x2y] [--instances=N] [--shards=N]\n"
@@ -1517,7 +1753,13 @@ void PrintUsage(std::ostream& out) {
          "             [--profile-out=FILE]\n"
          "             [--stats-every=MS]  (periodic metrics re-dumps)\n"
          "             [--watchdog-ms=N] [--watchdog-dump=FILE]\n"
+         "             [--churn-budget=BYTES] [--budget-window=N]\n"
+         "             [--matching=greedy|hungarian] [--matching-gap=0|1]\n"
          "             replay one trace per instance across serving shards\n"
+         "             --listen=PORT serves the RPC front door instead\n"
+         "             (0 = ephemeral; prints the bound port), with\n"
+         "             [--serve-ms=MS] (0 = until SIGINT/SIGTERM) and\n"
+         "             [--max-depth=N] mailbox admission threshold\n"
          "  recover    --wal-dir=DIR [--metrics-out=FILE] "
          "[--trace-out=FILE]\n"
          "             crash-recover a serve run from its changelogs\n"
@@ -1582,13 +1824,16 @@ const std::vector<CommandSpec>& Commands() {
       {"online", CmdOnline,
        {"trace", "policy", "replan-threshold", "every-n", "cooldown",
         "validate-every", "portfolio", "batch", "coverage", "wal-out",
-        "fsync-every", "metrics-out", "trace-out", "profile-out"}},
+        "fsync-every", "churn-budget", "budget-window", "matching",
+        "matching-gap", "metrics-out", "trace-out", "profile-out"}},
       {"serve", CmdServe,
        {"kind", "instances", "shards", "initial", "steps", "q", "lo", "hi",
         "skew", "seed", "batch", "stats", "policy", "replan-threshold",
         "every-n", "cooldown", "portfolio", "wal-dir", "fsync-every",
-        "rotate-every", "metrics-out", "trace-out", "profile-out",
-        "stats-every", "watchdog-ms", "watchdog-dump"}},
+        "rotate-every", "churn-budget", "budget-window", "matching",
+        "matching-gap", "listen", "serve-ms", "max-depth", "metrics-out",
+        "trace-out", "profile-out", "stats-every", "watchdog-ms",
+        "watchdog-dump"}},
       {"recover", CmdRecover, {"wal-dir", "metrics-out", "trace-out"}},
       {"snapshot", CmdSnapshot,
        {"trace", "out", "steps", "batch", "policy", "replan-threshold",

@@ -418,11 +418,27 @@ UpdateResult OnlineAssigner::Compact() {
 }
 
 ChurnStats OnlineAssigner::DeployMinMove(const MappingSchema& fresh_live) {
+  const MappingSchema current = state_.ToSchema();
   DeltaDetail detail;
-  const ChurnStats churn =
-      MinMoveDelta(state_.sizes, state_.ToSchema(), fresh_live, &detail,
-                   config_.delta_matching)
-          .ToChurn();
+  const DeltaStats delta = MinMoveDelta(state_.sizes, current, fresh_live,
+                                        &detail, config_.delta_matching);
+  const ChurnStats churn = delta.ToChurn();
+  if (config_.measure_matching_gap) {
+    // One extra matching with the other backend. Both land on the same
+    // final schema; only the shipped bytes differ, and Hungarian is
+    // provably minimal, so greedy - hungarian >= 0 up to ties.
+    const bool greedy_deployed =
+        config_.delta_matching == DeltaMatching::kGreedy;
+    const DeltaStats other = MinMoveDelta(
+        state_.sizes, current, fresh_live, nullptr,
+        greedy_deployed ? DeltaMatching::kHungarian : DeltaMatching::kGreedy);
+    const uint64_t greedy_bytes =
+        greedy_deployed ? delta.bytes_moved : other.bytes_moved;
+    const uint64_t exact_bytes =
+        greedy_deployed ? other.bytes_moved : delta.bytes_moved;
+    last_matching_gap_bytes_ =
+        greedy_bytes > exact_bytes ? greedy_bytes - exact_bytes : 0;
+  }
   // Matched reducers keep their stable identity; created ones get
   // fresh uids, assigned here so the ships below can reference them.
   std::vector<uint64_t> uids(fresh_live.num_reducers());
@@ -470,6 +486,7 @@ void OnlineAssigner::MaybeReplan(UpdateResult* result) {
   for (InputSize load : state_.loads) signals.live_communication += load;
   signals.updates_since_replan = updates_since_replan_;
   signals.last_fresh_reducers = last_fresh_reducers_;
+  signals.matching_gap_bytes = last_matching_gap_bytes_;
   // The dense rebuild and lower bounds are the expensive part of the
   // signals; compute them only for policies that read them, and keep
   // the view for the Plan call below.

@@ -87,6 +87,15 @@ struct OnlineConfig {
   /// at replan scale, pointless on the repair path, which never calls
   /// it). Not captured by snapshots.
   DeltaMatching delta_matching = DeltaMatching::kGreedy;
+  /// When true, every deployed re-plan runs BOTH matching backends and
+  /// records how many bytes the greedy pairing over-ships relative to
+  /// the exact Hungarian assignment (exposed via
+  /// `last_matching_gap_bytes()` and fed to the escalation policy as
+  /// `PolicySignals::matching_gap_bytes`). Costs one extra O(n^3)
+  /// matching per deploy — cheap at replan cadence, so serving hosts
+  /// can leave it on to let drift policies discount deploy-cost noise.
+  /// Not captured by snapshots (a measurement knob, like the backends).
+  bool measure_matching_gap = false;
   /// When true, a re-plan counts every copy of the fresh schema as
   /// moved (the naive "reassign everything" deployment) instead of the
   /// minimum-move delta. Used by the churn baselines.
@@ -248,6 +257,14 @@ class OnlineAssigner {
   /// sequentially and never reused).
   InputId next_id() const { return static_cast<InputId>(state_.sizes.size()); }
 
+  /// Bytes the greedy min-move matching over-shipped vs the exact
+  /// Hungarian assignment on the last deployed re-plan (0 until one
+  /// deploys, and always 0 unless `OnlineConfig::measure_matching_gap`
+  /// is set). The drift policy reads this through PolicySignals.
+  uint64_t last_matching_gap_bytes() const {
+    return last_matching_gap_bytes_;
+  }
+
   /// Applied updates not yet covered by a policy decision. Batched
   /// replays checkpoint when this reaches their window size, so window
   /// alignment survives snapshot/restore and task re-framing.
@@ -320,6 +337,9 @@ class OnlineAssigner {
   /// Reducer count the last planner consult produced (deployed or
   /// not); 0 until the first consult. Feeds the hysteresis policy.
   uint64_t last_fresh_reducers_ = 0;
+  /// Greedy-vs-Hungarian over-shipping of the last deployed re-plan;
+  /// see OnlineConfig::measure_matching_gap.
+  uint64_t last_matching_gap_bytes_ = 0;
 };
 
 }  // namespace msp::online

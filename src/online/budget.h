@@ -53,6 +53,8 @@ struct BudgetConfig {
   /// Shipped-byte budget per window; 0 = unlimited (pass-through:
   /// nothing is projected, nothing deferred).
   uint64_t bytes_per_window = 0;
+
+  bool operator==(const BudgetConfig&) const = default;
 };
 
 /// Outcome of one submitted event.

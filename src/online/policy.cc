@@ -23,13 +23,19 @@ DriftThresholdPolicy::DriftThresholdPolicy(double reducer_drift,
 bool DriftThresholdPolicy::ShouldReplan(const PolicySignals& s) const {
   if (s.updates_since_replan >= max_updates_) return true;
   // Bounds of 0 mean "too small to bound": nothing to drift from.
+  // The measured matching gap (greedy deploy over-shipping vs the
+  // exact assignment) raises the communication bar: when deploys
+  // overpay by G bytes, communication drift must clear the threshold
+  // by more than G before another deploy is worth that surcharge. At
+  // gap 0 this is exactly the ungapped test.
   const bool drifted =
       (s.lb_reducers > 0 &&
        static_cast<double>(s.live_reducers) >
            reducer_drift_ * static_cast<double>(s.lb_reducers)) ||
       (s.lb_communication > 0 &&
        static_cast<double>(s.live_communication) >
-           comm_drift_ * static_cast<double>(s.lb_communication));
+           comm_drift_ * static_cast<double>(s.lb_communication) +
+               static_cast<double>(s.matching_gap_bytes));
   if (!drifted) return false;
   // Hysteresis: the last consult's fresh plan is remembered. While the
   // live schema is no worse than it, the gap to the lower bound is

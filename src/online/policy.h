@@ -44,6 +44,15 @@ struct PolicySignals {
   /// drift trigger is structural (the solver's own approximation gap),
   /// not repair decay.
   uint64_t last_fresh_reducers = 0;
+  /// Measured greedy-vs-Hungarian matching gap (bytes the greedy
+  /// min-move delta over-shipped relative to the exact assignment) of
+  /// the last *deployed* re-plan; 0 until one deploys, and always 0
+  /// unless `OnlineConfig::measure_matching_gap` is on. A nonzero gap
+  /// means deployments pay more migration churn than the schemas
+  /// justify, so drift policies treat it as extra slack before paying
+  /// for another one. Both matchings land on the same final schema —
+  /// the gap is deploy-cost noise, never live-quality drift.
+  uint64_t matching_gap_bytes = 0;
 };
 
 /// Decides, after each locally-repaired update, whether the assigner

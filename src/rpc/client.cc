@@ -1,0 +1,103 @@
+#include "rpc/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace msp::rpc {
+
+RpcClient::~RpcClient() { Close(); }
+
+bool RpcClient::Fail(std::string* error, std::string why) {
+  if (error != nullptr) *error = std::move(why);
+  Close();
+  return false;
+}
+
+bool RpcClient::Connect(const std::string& host, uint16_t port,
+                        std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Fail(error, std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Fail(error, "bad host '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Fail(error, std::string("connect: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  in_.clear();
+  return true;
+}
+
+void RpcClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  in_.clear();
+}
+
+bool RpcClient::SendRaw(std::string_view bytes, std::string* error) {
+  if (fd_ < 0) return Fail(error, "not connected");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Fail(error, std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool RpcClient::Send(const Request& request, std::string* error) {
+  return SendRaw(EncodeFrame(EncodeRequest(request)), error);
+}
+
+bool RpcClient::Recv(Response* response, std::string* error) {
+  if (fd_ < 0) return Fail(error, "not connected");
+  char buf[64 * 1024];
+  while (true) {
+    std::size_t frame_size = 0;
+    std::string_view payload;
+    std::string frame_error;
+    const FrameStatus status =
+        DecodeFrame(in_, &frame_size, &payload, &frame_error);
+    if (status == FrameStatus::kBad) {
+      return Fail(error, "bad frame: " + frame_error);
+    }
+    if (status == FrameStatus::kFrame) {
+      const bool ok = DecodeResponse(payload, response, &frame_error);
+      in_.erase(0, frame_size);
+      if (!ok) return Fail(error, "bad response: " + frame_error);
+      return true;
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return Fail(error, "server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Fail(error, std::string("recv: ") + std::strerror(errno));
+    }
+    in_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+bool RpcClient::Call(const Request& request, Response* response,
+                     std::string* error) {
+  return Send(request, error) && Recv(response, error);
+}
+
+}  // namespace msp::rpc

@@ -1,0 +1,76 @@
+// RpcClient — a minimal blocking client for the framed protocol.
+//
+// One client owns one TCP connection. Call() writes one request frame
+// and blocks for its response; Send()/Recv() split the two halves so a
+// caller can pipeline several requests before collecting responses
+// (the server answers in request order per connection). Not
+// thread-safe: one client per thread, exactly like the load generator
+// (bench_r1_rpc) and the socket tests use it.
+//
+//   rpc::RpcClient client;
+//   std::string error;
+//   if (!client.Connect("127.0.0.1", port, &error)) ...;
+//   rpc::Request request;
+//   request.type = rpc::MsgType::kSubmit;
+//   request.key = "tenant-7";
+//   request.updates.push_back(online::Update::Add(30));
+//   rpc::Response response;
+//   if (!client.Call(request, &response, &error)) ...;  // io/frame error
+//
+// Any transport or framing failure poisons the connection: every later
+// call fails fast until Connect() is called again.
+
+#ifndef MSP_RPC_CLIENT_H_
+#define MSP_RPC_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rpc/protocol.h"
+
+namespace msp::rpc {
+
+class RpcClient {
+ public:
+  RpcClient() = default;
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Opens a blocking TCP connection (closing any previous one).
+  bool Connect(const std::string& host, uint16_t port,
+               std::string* error = nullptr);
+
+  /// Closes the connection (idempotent).
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Writes one request frame. False (with `*error`) on io failure.
+  bool Send(const Request& request, std::string* error = nullptr);
+
+  /// Blocks for the next response frame. False on io/frame failure or
+  /// orderly server close.
+  bool Recv(Response* response, std::string* error = nullptr);
+
+  /// Send + Recv. The response's req_id echoing `request.req_id` is
+  /// the caller's to check (it always matches on a compliant server
+  /// when calls are not pipelined).
+  bool Call(const Request& request, Response* response,
+            std::string* error = nullptr);
+
+  /// Writes raw bytes to the socket — deliberately bypasses the frame
+  /// codec so tests can inject torn or corrupted frames.
+  bool SendRaw(std::string_view bytes, std::string* error = nullptr);
+
+ private:
+  bool Fail(std::string* error, std::string why);
+
+  int fd_ = -1;
+  std::string in_;  // buffered bytes past the last decoded frame
+};
+
+}  // namespace msp::rpc
+
+#endif  // MSP_RPC_CLIENT_H_

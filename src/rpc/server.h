@@ -1,0 +1,205 @@
+// RpcServer — the network front door over a ServingService.
+//
+// A single epoll event-loop thread owns a non-blocking listen socket
+// on 127.0.0.1 and every accepted connection. Clients speak the framed
+// binary protocol (protocol.h); each decoded request is routed into
+// the ServingService the server fronts:
+//
+//  * CreateInstance / Submit / SubmitBatch enqueue onto the key's
+//    shard mailbox and are acked the moment they are enqueued (the
+//    serving layer's FIFO order then guarantees apply order). Acking
+//    at enqueue is what makes admission control meaningful: the reply
+//    is *admitted*, not *applied* — Query or Stats observes the apply.
+//  * Query posts a ServingShard::EnqueueInspect probe; the callback
+//    runs on the shard worker (ordered after every earlier submit of
+//    that key) and hands the finished response back to the event loop
+//    through a completion queue + eventfd wake. The connection may
+//    pipeline past an in-flight query; responses still leave in
+//    request order (per-connection responses are serialized through
+//    one write buffer, and a query parks the writer until it lands).
+//  * Stats snapshots the service counters + per-shard heartbeats.
+//
+// Admission control — the backpressure contract: before enqueueing
+// work for shard s, the server reads the shard's lock-free heartbeat
+// mailbox depth. At or above `max_mailbox_depth` the request is NOT
+// enqueued; a typed kOverloaded response (observed depth + limit) goes
+// back instead. A wedged shard therefore surfaces as overload verdicts
+// at the admission edge, never as unbounded queue growth inside the
+// server or the shard.
+//
+// Framing errors (bad magic/version/checksum, oversized length) close
+// the connection: a desynchronized byte stream cannot be re-trusted.
+// Malformed payloads inside a valid frame get a kError response and
+// the connection stays usable.
+//
+// Shutdown() drains gracefully: stop accepting, stop reading, flush
+// the service (every admitted task applies, every in-flight query
+// completes), write out every pending response, then close. Safe to
+// call concurrently with a live fleet of clients; idempotent.
+
+#ifndef MSP_RPC_SERVER_H_
+#define MSP_RPC_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "rpc/protocol.h"
+#include "serving/service.h"
+
+namespace msp::rpc {
+
+struct RpcServerOptions {
+  /// The service this server fronts. Required; not owned. Must outlive
+  /// the server.
+  serving::ServingService* service = nullptr;
+  /// TCP port on 127.0.0.1; 0 = ephemeral (read the bound port back
+  /// via port()).
+  uint16_t port = 0;
+  /// Admission-control threshold: a request targeting a shard whose
+  /// mailbox depth is at or above this is bounced with kOverloaded.
+  uint64_t max_mailbox_depth = 256;
+  /// Frame-payload cap for this server (<= kMaxFramePayload).
+  uint32_t max_frame_payload = kMaxFramePayload;
+  /// Optional metrics sink for the rpc.* series.
+  obs::Registry* metrics = nullptr;
+};
+
+/// Counter snapshot of one server (exact; all counters are owned by
+/// the event loop or bumped under the completion mutex).
+struct RpcServerCounters {
+  uint64_t connections_opened = 0;
+  uint64_t connections_closed = 0;
+  uint64_t requests = 0;        // well-formed requests decoded
+  uint64_t responses = 0;       // responses fully written
+  uint64_t overloaded = 0;      // admission bounces
+  uint64_t errors = 0;          // kError responses sent
+  uint64_t frame_errors = 0;    // connections dropped for bad framing
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+};
+
+/// See the file comment. Start/Shutdown are called from any thread;
+/// everything else runs on the internal event-loop thread.
+class RpcServer {
+ public:
+  explicit RpcServer(const RpcServerOptions& options);
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Binds, listens, and starts the event loop. Returns false with
+  /// `*error` on socket failure (the server is then inert).
+  bool Start(std::string* error = nullptr);
+
+  /// The bound port (after a successful Start).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain, then stop (see the file comment). Idempotent.
+  void Shutdown();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Counter snapshot (callable from any thread).
+  RpcServerCounters counters() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    std::string in;          // unconsumed inbound bytes
+    std::string out;         // pending outbound bytes
+    std::size_t out_off = 0; // already-written prefix of `out`
+    bool want_write = false; // EPOLLOUT currently armed
+    bool read_closed = false;
+    /// Response-order slots: one per request whose response is not yet
+    /// in `out`, front = oldest. A query occupies a pending slot until
+    /// its shard-worker completion lands; responses behind it park in
+    /// their slots so the client sees strict request-order responses.
+    struct Slot {
+      uint64_t slot_id = 0;
+      bool ready = false;
+      std::string frame;  // encoded response, valid when ready
+    };
+    std::deque<Slot> slots;
+    uint64_t next_slot_id = 1;
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    uint64_t slot_id = 0;
+    std::string frame;  // fully-encoded response frame
+  };
+
+  void Loop();
+  void AcceptReady();
+  void ReadReady(Connection* conn);
+  void WriteReady(Connection* conn);
+  void HandlePayload(Connection* conn, std::string_view payload);
+  void HandleRequest(Connection* conn, const Request& request);
+  Response AdmitOrOverload(const std::string& key, uint64_t cost,
+                           uint64_t req_id, std::uint32_t* shard_out);
+  Response BuildStats(uint64_t req_id) const;
+  /// Queues one encoded response on the connection, respecting the
+  /// in-order slot rule, and arms EPOLLOUT.
+  void SendFrame(Connection* conn, std::string frame);
+  /// Moves every leading ready slot into the write buffer.
+  void FlushSlots(Connection* conn);
+  void UpdateInterest(Connection* conn);
+  void CloseConnection(Connection* conn);
+  void DrainCompletions();
+  /// Post-Flush() drain used by Shutdown: writes every buffered byte
+  /// with a bounded timeout, blocking on poll instead of epoll.
+  void FlushAllAndClose();
+
+  RpcServerOptions options_;
+  serving::ServingService* service_ = nullptr;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: completions + shutdown wakeups
+  uint16_t port_ = 0;
+
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  bool started_ = false;
+
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+
+  mutable std::mutex completion_mu_;
+  std::vector<Completion> completions_;  // guarded by completion_mu_
+
+  mutable std::mutex counters_mu_;
+  RpcServerCounters counters_;  // guarded by counters_mu_
+
+  /// Per-shard admission counters, mirrored into StatsResult.
+  std::vector<std::atomic<uint64_t>> shard_accepted_;
+  std::vector<std::atomic<uint64_t>> shard_overloaded_;
+
+  /// rpc.* registry handles (null without a sink).
+  obs::Counter* m_connections_ = nullptr;
+  obs::Gauge* m_active_ = nullptr;
+  obs::Counter* m_requests_ = nullptr;
+  obs::Counter* m_responses_ = nullptr;
+  obs::Counter* m_overloaded_ = nullptr;
+  obs::Counter* m_frame_errors_ = nullptr;
+  obs::Counter* m_bytes_read_ = nullptr;
+  obs::Counter* m_bytes_written_ = nullptr;
+  obs::Histogram* m_handle_us_ = nullptr;
+  std::vector<obs::Counter*> m_shard_accepted_;
+  std::vector<obs::Counter*> m_shard_overloaded_;
+};
+
+}  // namespace msp::rpc
+
+#endif  // MSP_RPC_SERVER_H_

@@ -43,7 +43,8 @@ ServingService::ServingService(const ServingConfig& config)
                    ? config.planner_service
                    : std::make_shared<planner::PlannerService>(
                          SharedPlannerConfig(config))),
-      metrics_(config.metrics) {
+      metrics_(config.metrics),
+      default_budget_(config.default_budget) {
   MSP_CHECK_GT(config.num_shards, 0u) << "ServingConfig.num_shards";
   shards_.reserve(config.num_shards);
   for (std::size_t i = 0; i < config.num_shards; ++i) {
@@ -96,11 +97,12 @@ bool ServingService::AttachWal(const durability::WalOptions& options,
   return true;
 }
 
-void ServingService::CreateInstance(const std::string& key,
-                                    online::OnlineConfig config,
-                                    bool translate_trace_ids) {
+void ServingService::CreateInstance(
+    const std::string& key, online::OnlineConfig config,
+    bool translate_trace_ids, std::optional<online::BudgetConfig> budget) {
   shards_[ShardOf(key)]->CreateInstance(key, std::move(config),
-                                        translate_trace_ids);
+                                        translate_trace_ids,
+                                        budget.value_or(default_budget_));
 }
 
 void ServingService::Submit(const std::string& key,
@@ -112,6 +114,11 @@ void ServingService::SubmitBatch(const std::string& key,
                                  std::vector<online::Update> updates,
                                  std::size_t batch_size) {
   shards_[ShardOf(key)]->Enqueue(key, std::move(updates), batch_size);
+}
+
+void ServingService::Inspect(const std::string& key,
+                             ServingShard::InspectFn fn) {
+  shards_[ShardOf(key)]->EnqueueInspect(key, std::move(fn));
 }
 
 void ServingService::CheckpointAll() {
@@ -136,6 +143,8 @@ ServingStats ServingService::stats() const {
     stats.total.skipped += s.skipped;
     stats.total.repairs += s.repairs;
     stats.total.replans += s.replans;
+    stats.total.budget_deferred_total += s.budget_deferred_total;
+    stats.total.budget_pending += s.budget_pending;
     stats.total.churn += s.churn;
     stats.total.wal_records += s.wal_records;
     stats.total.wal_bytes += s.wal_bytes;
@@ -190,6 +199,13 @@ void ServingService::PrintStats(std::ostream& out) const {
   if (stats.total.skipped > 0) {
     churn.AddRow({"events skipped (bad id)",
                   TablePrinter::Fmt(stats.total.skipped)});
+  }
+  if (stats.total.budget_deferred_total > 0 ||
+      stats.total.budget_pending > 0) {
+    churn.AddRow({"events deferred (budget)",
+                  TablePrinter::Fmt(stats.total.budget_deferred_total)});
+    churn.AddRow({"still pending (budget)",
+                  TablePrinter::Fmt(stats.total.budget_pending)});
   }
   churn.Print(out);
 

@@ -33,13 +33,16 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "durability/wal.h"
 #include "online/assigner.h"
+#include "online/budget.h"
 #include "planner/service.h"
 #include "serving/shard.h"
+#include "util/check.h"
 
 namespace msp::serving {
 
@@ -58,6 +61,12 @@ struct ServingConfig {
   /// was supplied pre-built), attached WALs, and instances created
   /// through the service.
   obs::Registry* metrics = nullptr;
+  /// Default per-instance churn budget (budget.h). `bytes_per_window`
+  /// 0 = unbudgeted. Applied to every CreateInstance that does not
+  /// pass its own budget; requires translate_trace_ids on those
+  /// instances and is ignored (with a warning) once a WAL is attached
+  /// — see ServingShard::CreateInstance.
+  online::BudgetConfig default_budget;
 };
 
 /// Aggregate of the per-shard counters.
@@ -89,8 +98,12 @@ class ServingService {
   /// Registers `key` on its shard. `config.shared_planner` is replaced
   /// by the service's planner. `translate_trace_ids` enables the
   /// update-trace id translation for replayed traces (see shard.h).
+  /// `budget` overrides the service-wide default churn budget for this
+  /// instance (nullopt = use `ServingConfig::default_budget`).
   void CreateInstance(const std::string& key, online::OnlineConfig config,
-                      bool translate_trace_ids = false);
+                      bool translate_trace_ids = false,
+                      std::optional<online::BudgetConfig> budget =
+                          std::nullopt);
 
   /// Enqueues one event for `key` (one policy decision per update).
   void Submit(const std::string& key, const online::Update& update);
@@ -109,6 +122,12 @@ class ServingService {
 
   /// Blocks until every shard's mailbox is drained.
   void Flush();
+
+  /// Queues an instance probe on `key`'s shard, ordered after every
+  /// earlier Submit of that key; `fn` runs on the shard worker thread
+  /// with a filled InstanceProbe (found=false for unknown keys). See
+  /// ServingShard::EnqueueInspect for the callback rules.
+  void Inspect(const std::string& key, ServingShard::InspectFn fn);
 
   /// Per-shard and aggregate counters.
   ServingStats stats() const;
@@ -131,14 +150,20 @@ class ServingService {
   std::size_t ShardOf(const std::string& key) const;
 
   /// Shard `i`'s progress heartbeat (lock-free probe for the stall
-  /// watchdog); valid for the service's lifetime.
+  /// watchdog); valid for the service's lifetime. `i` is
+  /// bounds-checked: the watchdog and the RPC admission path poll this
+  /// from other threads, where a silent out-of-range read would be UB
+  /// that never crashes near its cause.
   const ShardHeartbeat& shard_heartbeat(std::size_t i) const {
+    MSP_CHECK_LT(i, shards_.size()) << "shard_heartbeat index";
     return shards_[i]->heartbeat();
   }
 
   /// Test-only: wedges shard `i`'s worker by `us` microseconds per
   /// applied update (see ServingShard::InjectApplyDelayForTest).
+  /// Bounds-checked like shard_heartbeat.
   void InjectApplyDelayForTest(std::size_t i, uint64_t us) {
+    MSP_CHECK_LT(i, shards_.size()) << "InjectApplyDelayForTest index";
     shards_[i]->InjectApplyDelayForTest(us);
   }
 
@@ -148,6 +173,7 @@ class ServingService {
  private:
   std::shared_ptr<planner::PlannerService> planner_;
   obs::Registry* metrics_ = nullptr;
+  online::BudgetConfig default_budget_;
   std::vector<std::unique_ptr<ServingShard>> shards_;
 };
 

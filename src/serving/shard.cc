@@ -75,7 +75,10 @@ void ServingShard::StampEnqueue(Task* task) {
 
 void ServingShard::CreateInstance(std::string key,
                                   online::OnlineConfig config,
-                                  bool translate_trace_ids) {
+                                  bool translate_trace_ids,
+                                  online::BudgetConfig budget) {
+  MSP_CHECK(budget.bytes_per_window == 0 || translate_trace_ids)
+      << "churn budgets submit trace-side ids and need translation";
   Task task;
   task.create = true;
   task.key = std::move(key);
@@ -85,6 +88,7 @@ void ServingShard::CreateInstance(std::string key,
   // a different one into the instance config.
   if (task.config.metrics == nullptr) task.config.metrics = metrics_;
   task.translate = translate_trace_ids;
+  task.budget = budget;
   StampEnqueue(&task);
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -122,6 +126,20 @@ void ServingShard::EnqueueCheckpointAll() {
   work_available_.notify_one();
 }
 
+void ServingShard::EnqueueInspect(std::string key, InspectFn fn) {
+  MSP_CHECK(fn != nullptr);
+  Task task;
+  task.key = std::move(key);
+  task.inspect = std::move(fn);
+  StampEnqueue(&task);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.enqueued_tasks;
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
 void ServingShard::Flush() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_.wait(lock, [this] { return queue_.empty() && !busy_; });
@@ -147,8 +165,47 @@ void ServingShard::ForEachInstance(
   MSP_CHECK(queue_.empty() && !busy_)
       << "ForEachInstance requires a quiescent shard (call Flush first)";
   for (const auto& [key, instance] : instances_) {
-    fn(key, *instance.assigner);
+    fn(key, instance.live());
   }
+}
+
+void ServingShard::ReconcileBudgeted(Instance* instance) {
+  const online::OnlineTotals& now = instance->live().totals();
+  const online::OnlineTotals& base = instance->pub_totals;
+  const uint64_t wrapper_rejected = instance->budgeted->rejected_total();
+  const uint64_t deferred_total = instance->budgeted->deferred_total();
+  const uint64_t pending = instance->budgeted->deferred();
+  // Translation failures bump only the wrapper's rejected counter; the
+  // assigner's own books carry the infeasible ones. The difference is
+  // what the unbudgeted path counts as "skipped".
+  const uint64_t skipped_delta = (wrapper_rejected -
+                                  instance->pub_wrapper_rejected) -
+                                 (now.rejected - base.rejected);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stats_.updates += now.updates - base.updates;
+    stats_.rejected += now.rejected - base.rejected;
+    stats_.skipped += skipped_delta;
+    stats_.repairs += now.repairs - base.repairs;
+    stats_.replans += now.replans - base.replans;
+    stats_.churn.inputs_moved +=
+        now.churn.inputs_moved - base.churn.inputs_moved;
+    stats_.churn.inputs_dropped +=
+        now.churn.inputs_dropped - base.churn.inputs_dropped;
+    stats_.churn.bytes_moved += now.churn.bytes_moved - base.churn.bytes_moved;
+    stats_.churn.reducers_created +=
+        now.churn.reducers_created - base.churn.reducers_created;
+    stats_.churn.reducers_destroyed +=
+        now.churn.reducers_destroyed - base.churn.reducers_destroyed;
+    stats_.budget_deferred_total +=
+        deferred_total - instance->pub_deferred_total;
+    stats_.budget_pending += pending;
+    stats_.budget_pending -= instance->pub_pending;
+  }
+  instance->pub_totals = now;
+  instance->pub_wrapper_rejected = wrapper_rejected;
+  instance->pub_deferred_total = deferred_total;
+  instance->pub_pending = pending;
 }
 
 void ServingShard::WorkerLoop() {
@@ -235,7 +292,7 @@ void ServingShard::WalRotate() {
     cursor.next_event = instance.event_seq;
     cursor.live_of_trace = instance.live_of_trace;
     entry.snapshot = online::SnapshotCodec::Serialize(
-        *instance.assigner, cursor, wal_->epoch() + 1);
+        instance.live(), cursor, wal_->epoch() + 1);
     entries.push_back(std::move(entry));
   }
   std::string error;
@@ -258,8 +315,21 @@ void ServingShard::Process(Task& task) {
   if (span.active() && !task.key.empty()) span.Arg("key", task.key);
   if (task.create) {
     Instance instance;
-    instance.assigner =
-        std::make_unique<online::OnlineAssigner>(task.config);
+    if (task.budget.bytes_per_window > 0 && wal_ != nullptr) {
+      // Durability wins: the changelog records events at apply time in
+      // ack order, which a deferral queue would silently violate.
+      MSP_LOG(Warning) << "shard " << index_ << ": churn budget for '"
+                       << task.key
+                       << "' ignored — the shard logs to a WAL";
+      task.budget.bytes_per_window = 0;
+    }
+    if (task.budget.bytes_per_window > 0) {
+      instance.budgeted = std::make_unique<online::BudgetedAssigner>(
+          task.config, task.budget);
+    } else {
+      instance.assigner =
+          std::make_unique<online::OnlineAssigner>(task.config);
+    }
     instance.translate = task.translate;
     if (wal_ != nullptr) {
       // A re-created key keeps its record ordinal: replay then knows
@@ -282,6 +352,17 @@ void ServingShard::Process(Task& task) {
     uint64_t replans = 0;
     online::ChurnStats churn;
     for (auto& [key, instance] : instances_) {
+      if (instance.budgeted != nullptr) {
+        // End of stream: refresh the budget window by window while the
+        // deferred queue makes progress (a head that fits in no whole
+        // window stays queued and is reported as pending).
+        while (instance.budgeted->deferred() > 0 &&
+               instance.budgeted->CloseWindow() > 0) {
+        }
+        instance.budgeted->PolicyCheckpoint();
+        ReconcileBudgeted(&instance);
+        continue;
+      }
       const online::UpdateResult decision =
           instance.assigner->PolicyCheckpoint();
       if (decision.applied) {
@@ -304,6 +385,25 @@ void ServingShard::Process(Task& task) {
     return;
   }
 
+  if (task.inspect != nullptr) {
+    InstanceProbe probe;
+    const auto probe_it = instances_.find(task.key);
+    if (probe_it != instances_.end()) {
+      const Instance& instance = probe_it->second;
+      const online::OnlineAssigner& live = instance.live();
+      probe.found = true;
+      probe.inputs = live.num_inputs();
+      probe.reducers = live.live_state().reducers.size();
+      probe.capacity = live.capacity();
+      probe.applied = live.totals().updates;
+      probe.rejected = live.totals().rejected;
+      probe.deferred_pending =
+          instance.budgeted != nullptr ? instance.budgeted->deferred() : 0;
+    }
+    task.inspect(probe);
+    return;
+  }
+
   const auto it = instances_.find(task.key);
   if (it == instances_.end()) {
     // Updates for a never-created key have nowhere to go; surface the
@@ -316,7 +416,38 @@ void ServingShard::Process(Task& task) {
     return;
   }
   Instance& instance = it->second;
-  online::OnlineAssigner& assigner = *instance.assigner;
+  online::OnlineAssigner& assigner = instance.live();
+
+  if (instance.budgeted != nullptr) {
+    // Budgeted instances: the wrapper owns translation, projection,
+    // and the deferral queue; shard counters reconcile from the
+    // assigner's own books afterwards (the wrapper may drain deferred
+    // events mid-loop at window rollovers).
+    const std::size_t bwindow = task.batch_size == 0 ? 1 : task.batch_size;
+    for (const online::Update& update : task.updates) {
+      const uint64_t wedge_us =
+          apply_delay_us_.load(std::memory_order_relaxed);
+      if (wedge_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(wedge_us));
+      }
+      heartbeat_.last_ordinal.fetch_add(1, std::memory_order_relaxed);
+      heartbeat_.last_progress_us.store(obs::MonotonicMicros(),
+                                        std::memory_order_relaxed);
+      Stopwatch watch;
+      const online::SubmitOutcome outcome =
+          instance.budgeted->Submit(update);
+      if (outcome == online::SubmitOutcome::kApplied) {
+        apply_latency_->RecordMicros(
+            static_cast<double>(watch.ElapsedMicros()));
+        if (assigner.pending_decision_updates() >= bwindow) {
+          instance.budgeted->PolicyCheckpoint();
+        }
+      }
+    }
+    if (span.active()) span.Arg("updates", task.updates.size());
+    ReconcileBudgeted(&instance);
+    return;
+  }
 
   // Local tallies, merged under the lock once at the end of the task.
   uint64_t applied = 0;

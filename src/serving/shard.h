@@ -34,6 +34,7 @@
 #include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "online/assigner.h"
+#include "online/budget.h"
 #include "online/trace.h"
 #include "planner/service.h"
 
@@ -50,6 +51,9 @@ struct ShardStats {
   uint64_t skipped = 0;    // events targeting unknown/rejected trace ids
   uint64_t repairs = 0;    // policy decisions absorbed by local repair
   uint64_t replans = 0;    // policy escalations
+  /// Churn-budget counters (all zero without budgeted instances).
+  uint64_t budget_deferred_total = 0;  // lifetime deferred outcomes
+  uint64_t budget_pending = 0;         // events queued right now
   online::ChurnStats churn;
   /// Durability counters (all zero when the shard has no WAL).
   uint64_t wal_records = 0;    // changelog records appended (lifetime)
@@ -119,8 +123,17 @@ class ServingShard {
   /// `translate_trace_ids` enables the update-trace id translation:
   /// remove/resize targets are mapped through the add history, and
   /// events referencing unknown or rejected adds are counted skipped.
+  /// `budget.bytes_per_window` > 0 wraps the instance's assigner in a
+  /// BudgetedAssigner (budget.h): each window of submitted events gets
+  /// a shipped-byte budget and over-budget events are deferred FIFO,
+  /// drained at window rollovers and at EnqueueCheckpointAll. Budgets
+  /// require translate_trace_ids (the wrapper submits trace-side ids;
+  /// checked) and are ignored with a warning on a WAL-attached shard —
+  /// durability logs at apply time, which a deferral queue would
+  /// reorder out from under the ack discipline.
   void CreateInstance(std::string key, online::OnlineConfig config,
-                      bool translate_trace_ids);
+                      bool translate_trace_ids,
+                      online::BudgetConfig budget = {});
 
   /// Appends a window of events for `key`. `batch_size` 0 or 1 applies
   /// them one policy decision per update; larger windows go through
@@ -134,8 +147,30 @@ class ServingShard {
 
   /// Queues one policy decision for every instance with pending
   /// updates (end-of-stream flush, mirroring the final checkpoint of
-  /// an unbatched replay).
+  /// an unbatched replay). Budgeted instances drain their deferred
+  /// queue first (window by window, while progress is possible).
   void EnqueueCheckpointAll();
+
+  /// Data-only snapshot of one instance, filled by the worker for an
+  /// Inspect callback.
+  struct InstanceProbe {
+    bool found = false;
+    uint64_t inputs = 0;
+    uint64_t reducers = 0;
+    uint64_t capacity = 0;
+    uint64_t applied = 0;           // lifetime applied updates
+    uint64_t rejected = 0;          // lifetime rejected updates
+    uint64_t deferred_pending = 0;  // budget queue occupancy
+  };
+  using InspectFn = std::function<void(const InstanceProbe&)>;
+
+  /// Queues `fn` behind every task enqueued before it; the worker
+  /// fills an InstanceProbe for `key` (found=false when unknown) and
+  /// invokes the callback *on the worker thread*. Keep callbacks short
+  /// and never re-enter the shard from one — the mailbox is stalled
+  /// while it runs. This is how the RPC front door answers Query
+  /// requests ordered after earlier submits of the same key.
+  void EnqueueInspect(std::string key, InspectFn fn);
 
   /// Blocks until every queued task has been processed.
   void Flush();
@@ -163,13 +198,30 @@ class ServingShard {
 
  private:
   struct Instance {
+    /// Exactly one of these owns the live assigner: `budgeted` when a
+    /// churn budget was configured, else `assigner`.
     std::unique_ptr<online::OnlineAssigner> assigner;
+    std::unique_ptr<online::BudgetedAssigner> budgeted;
     bool translate = false;
     std::vector<std::optional<InputId>> live_of_trace;
     /// Per-key changelog record ordinal (see durability/changelog.h).
     /// Advanced by every processed event, logged with each record, and
     /// restored from the snapshot cursor on recovery.
     uint64_t event_seq = 0;
+    /// Budgeted instances account through OnlineTotals deltas (the
+    /// wrapper applies deferred events at times the task loop cannot
+    /// see); these are the baselines already folded into stats_.
+    online::OnlineTotals pub_totals;
+    uint64_t pub_wrapper_rejected = 0;
+    uint64_t pub_deferred_total = 0;
+    uint64_t pub_pending = 0;
+
+    online::OnlineAssigner& live() {
+      return budgeted != nullptr ? budgeted->assigner() : *assigner;
+    }
+    const online::OnlineAssigner& live() const {
+      return budgeted != nullptr ? budgeted->assigner() : *assigner;
+    }
   };
 
   struct Task {
@@ -178,6 +230,8 @@ class ServingShard {
     std::string key;
     online::OnlineConfig config;  // create only
     bool translate = false;       // create only
+    online::BudgetConfig budget;  // create only
+    InspectFn inspect;            // non-null: probe `key`, no updates
     std::vector<online::Update> updates;
     std::size_t batch_size = 0;
     /// Enqueue timestamp (MonotonicMicros), stamped only when a
@@ -187,6 +241,10 @@ class ServingShard {
 
   void WorkerLoop();
   void Process(Task& task);
+  /// Worker-only: folds a budgeted instance's books (assigner totals +
+  /// wrapper counters) into stats_ as deltas against the instance's
+  /// published baselines, then advances the baselines. Locks mu_.
+  void ReconcileBudgeted(Instance* instance);
   /// Mailbox-side bookkeeping shared by every enqueue path (mu_ NOT
   /// held): dwell stamp + depth gauge.
   void StampEnqueue(Task* task);

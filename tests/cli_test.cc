@@ -780,5 +780,87 @@ TEST(CommandsTest, RecoverRejectsBadInvocations) {
   EXPECT_EQ(RunCli({"recover", "--frob=1"}).code, 2);  // unknown flag
 }
 
+// Satellite proof for the churn-budget wiring: a budgeted replay must
+// report its window accounting and the max window spend must respect
+// the configured byte budget (the command exits non-zero otherwise).
+TEST(CommandsTest, OnlineChurnBudgetReplayRespectsTheWindowBudget) {
+  const CommandResult trace =
+      RunCli({"gen-trace", "--kind=a2a", "--initial=12", "--steps=120",
+              "--q=80", "--seed=21"});
+  ASSERT_EQ(trace.code, 0) << trace.err;
+  const std::string trace_path = TempPath("budget.trace");
+  WriteFile(trace_path, trace.out);
+
+  const CommandResult replay =
+      RunCli({"online", "--trace", trace_path.c_str(),
+              "--churn-budget=2000", "--budget-window=16"});
+  ASSERT_EQ(replay.code, 0) << replay.err;
+  EXPECT_NE(replay.err.find("churn budget"), std::string::npos);
+  EXPECT_NE(replay.err.find("budget: max window spend"), std::string::npos);
+  EXPECT_NE(replay.err.find(" <= 2000 bytes per window"), std::string::npos);
+  EXPECT_EQ(replay.err.find("EXCEEDS"), std::string::npos);
+  EXPECT_NE(replay.out.find("mapping-schema v1"), std::string::npos);
+  std::remove(trace_path.c_str());
+}
+
+TEST(CommandsTest, OnlineBudgetAndMatchingRejectBadInvocations) {
+  const CommandResult trace =
+      RunCli({"gen-trace", "--kind=a2a", "--initial=10", "--steps=30",
+              "--q=60", "--seed=4"});
+  ASSERT_EQ(trace.code, 0) << trace.err;
+  const std::string trace_path = TempPath("budget-bad.trace");
+  WriteFile(trace_path, trace.out);
+
+  // Budgets re-order applies relative to the WAL's apply-before-log
+  // contract, so the combination is refused outright.
+  const std::string wal_out = TempPath("budget-wal.bin");
+  EXPECT_EQ(RunCli({"online", "--trace", trace_path.c_str(),
+                    "--churn-budget=1000", "--wal-out", wal_out.c_str()})
+                .code,
+            2);
+  EXPECT_EQ(RunCli({"online", "--trace", trace_path.c_str(),
+                    "--churn-budget=1000", "--budget-window=0"})
+                .code,
+            2);
+  EXPECT_EQ(RunCli({"online", "--trace", trace_path.c_str(),
+                    "--matching=bogus"})
+                .code,
+            2);
+  // The listen/serve-ms knobs belong to `serve`, not `online`.
+  EXPECT_EQ(RunCli({"online", "--trace", trace_path.c_str(), "--listen=0"})
+                .code,
+            2);
+
+  // The hungarian matching plus gap measurement is a valid replay.
+  const CommandResult hungarian =
+      RunCli({"online", "--trace", trace_path.c_str(),
+              "--matching=hungarian", "--matching-gap=1"});
+  EXPECT_EQ(hungarian.code, 0) << hungarian.err;
+  EXPECT_NE(hungarian.out.find("mapping-schema v1"), std::string::npos);
+  std::remove(trace_path.c_str());
+}
+
+TEST(CommandsTest, ServeListenBringsUpTheRpcFrontDoor) {
+  const CommandResult result =
+      RunCli({"serve", "--listen=0", "--serve-ms=100", "--shards=2",
+              "--instances=2", "--initial=10", "--steps=20"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("rpc: listening on 127.0.0.1:"),
+            std::string::npos);
+  EXPECT_NE(result.err.find("rpc: connections=0"), std::string::npos);
+}
+
+TEST(CommandsTest, ServeRejectsBadRpcAndBudgetOptions) {
+  EXPECT_EQ(RunCli({"serve", "--listen=0", "--serve-ms=50",
+                    "--max-depth=0"})
+                .code,
+            2);
+  EXPECT_EQ(RunCli({"serve", "--listen=99999", "--serve-ms=50"}).code, 2);
+  EXPECT_EQ(RunCli({"serve", "--matching=bogus"}).code, 2);
+  EXPECT_EQ(RunCli({"serve", "--churn-budget=100", "--budget-window=0"})
+                .code,
+            2);
+}
+
 }  // namespace
 }  // namespace msp::cli

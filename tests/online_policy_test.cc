@@ -8,7 +8,9 @@
 #include <string>
 
 #include "gtest/gtest.h"
+#include "core/schema_io.h"
 #include "online/assigner.h"
+#include "online/delta.h"
 #include "online/policy.h"
 #include "online/trace.h"
 #include "workload/updates.h"
@@ -146,6 +148,125 @@ TEST(DriftPolicyHysteresisTest, CooldownCutsPlannerConsultsOnReplay) {
   EXPECT_LE(consults_with * 4, consults_without)
       << "cooldown=16 consulted " << consults_with << " of "
       << consults_without;
+}
+
+// The measured greedy-vs-Hungarian deploy gap enters the comm-drift
+// test as additive slack. Differential pin: at gap 0 the decision must
+// be bit-identical to the ungapped formula over a dense sweep of
+// signal combinations — the gap wiring must be invisible until a
+// deploy actually over-ships.
+TEST(DriftPolicyMatchingGapTest, ZeroGapMatchesTheUngappedFormulaExactly) {
+  const double reducer_drift = 1.5;
+  const double comm_drift = 2.0;
+  const DriftThresholdPolicy policy(reducer_drift, comm_drift,
+                                    /*max_updates=*/1 << 20,
+                                    /*cooldown=*/0);
+  for (const uint64_t lb_comm : {uint64_t{0}, uint64_t{50}, uint64_t{100}}) {
+    for (uint64_t live_comm = 0; live_comm <= 300; live_comm += 7) {
+      for (const uint64_t live_reducers :
+           {uint64_t{10}, uint64_t{14}, uint64_t{16}, uint64_t{25}}) {
+        PolicySignals signals;
+        signals.num_inputs = 20;
+        signals.lb_reducers = 10;
+        signals.live_reducers = live_reducers;
+        signals.lb_communication = lb_comm;
+        signals.live_communication = live_comm;
+        signals.matching_gap_bytes = 0;
+        const bool reducers_drifted =
+            static_cast<double>(live_reducers) >
+            reducer_drift * static_cast<double>(signals.lb_reducers);
+        const bool comm_drifted =
+            lb_comm > 0 && static_cast<double>(live_comm) >
+                               comm_drift * static_cast<double>(lb_comm);
+        EXPECT_EQ(policy.ShouldReplan(signals),
+                  reducers_drifted || comm_drifted)
+            << "lb_comm=" << lb_comm << " live_comm=" << live_comm
+            << " live_reducers=" << live_reducers;
+      }
+    }
+  }
+}
+
+TEST(DriftPolicyMatchingGapTest, GapSuppressesCommDriftButNotReducerDrift) {
+  const DriftThresholdPolicy policy(/*reducer_drift=*/1.5,
+                                    /*comm_drift=*/2.0,
+                                    /*max_updates=*/1 << 20,
+                                    /*cooldown=*/0);
+  PolicySignals signals;
+  signals.num_inputs = 20;
+  signals.lb_reducers = 10;
+  signals.live_reducers = 10;       // no reducer drift
+  signals.lb_communication = 100;
+  signals.live_communication = 230; // 30 bytes past the 2.0x threshold
+
+  // Ungapped, the communication drift fires...
+  EXPECT_TRUE(policy.ShouldReplan(signals));
+  // ...a gap that swallows the overshoot suppresses it: the last
+  // deploy over-shipped more than this drift is worth...
+  signals.matching_gap_bytes = 30;
+  EXPECT_FALSE(policy.ShouldReplan(signals));
+  // ...and drift past threshold + gap fires again.
+  signals.live_communication = 231;
+  EXPECT_TRUE(policy.ShouldReplan(signals));
+
+  // Reducer drift is quality, not deploy cost: no gap may mute it.
+  signals.live_reducers = 16;
+  signals.matching_gap_bytes = 1 << 30;
+  EXPECT_TRUE(policy.ShouldReplan(signals));
+}
+
+// End-to-end wiring of the measurement knob: a Hungarian-deployed
+// replay must stay oracle-valid and land on the exact same schema as
+// the greedy-deployed one (the matching only redistributes ship cost,
+// never the final assignment), and the gap accessor reads 0 unless
+// the knob is on.
+TEST(DriftPolicyMatchingGapTest, HungarianAndGreedyDeploysLandOnSameSchema) {
+  wl::TraceConfig tconfig;
+  tconfig.x2y = false;
+  tconfig.initial_inputs = 20;
+  tconfig.steps = 120;
+  tconfig.seed = 7;
+  const UpdateTrace trace = wl::GenerateTrace(tconfig);
+
+  const auto replay = [&](DeltaMatching matching, bool measure,
+                          uint64_t* gap) {
+    OnlineConfig config;
+    config.x2y = trace.x2y;
+    config.capacity = trace.initial_capacity;
+    config.policy_spec.name = "every-n";
+    config.policy_spec.every_n = 8;
+    config.plan_options.use_portfolio = false;
+    config.delta_matching = matching;
+    config.measure_matching_gap = measure;
+    OnlineAssigner assigner(config);
+    for (const Update& update : trace.updates) {
+      const UpdateResult result = assigner.ApplyDeferred(update);
+      EXPECT_TRUE(result.applied) << result.error;
+      if (assigner.pending_decision_updates() >= 8) {
+        assigner.PolicyCheckpoint();
+      }
+    }
+    assigner.PolicyCheckpoint();
+    EXPECT_TRUE(assigner.ValidateNow());
+    if (gap != nullptr) *gap = assigner.last_matching_gap_bytes();
+    return SchemaToText(assigner.Schema());
+  };
+
+  uint64_t unmeasured_gap = 42;
+  const std::string greedy =
+      replay(DeltaMatching::kGreedy, /*measure=*/false, &unmeasured_gap);
+  EXPECT_EQ(unmeasured_gap, 0u) << "gap measured with the knob off";
+
+  uint64_t measured_gap = 0;
+  const std::string greedy_measured =
+      replay(DeltaMatching::kGreedy, /*measure=*/true, &measured_gap);
+  const std::string hungarian =
+      replay(DeltaMatching::kHungarian, /*measure=*/true, nullptr);
+
+  EXPECT_EQ(greedy, greedy_measured)
+      << "measuring the gap must not change any decision";
+  EXPECT_EQ(greedy, hungarian)
+      << "matching backends deploy the same schema";
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "gtest/gtest.h"
 #include "online/assigner.h"
 #include "online/trace.h"
+#include "online/budget.h"
 #include "serving/service.h"
 #include "workload/updates.h"
 
@@ -274,6 +275,110 @@ TEST(ServingServiceTest, ConcurrencyStressStaysOracleValid) {
   EXPECT_TRUE(service.ValidateAll(&error)) << error;
   EXPECT_EQ(service.stats().total.updates, expected);
   EXPECT_EQ(service.stats().total.rejected, 0u);
+}
+
+// The service-wide default churn budget (ServingConfig::default_budget)
+// must reproduce a direct BudgetedAssigner replay exactly: same final
+// schema, same deferral books, surfaced through the shard stats.
+TEST(ServingServiceTest, DefaultChurnBudgetMatchesDirectBudgetedReplay) {
+  const UpdateTrace trace = MakeTrace(false, 91, 250);
+  online::BudgetConfig budget;
+  budget.window_updates = 16;
+  budget.bytes_per_window = 400;
+
+  // Direct reference with the shard's per-event window semantics
+  // (batch_size 0 => checkpoint after every applied submit).
+  online::BudgetedAssigner ref(InstanceConfig(trace), budget);
+  for (const Update& update : trace.updates) {
+    const online::SubmitOutcome outcome = ref.Submit(update);
+    if (outcome == online::SubmitOutcome::kApplied &&
+        ref.assigner().pending_decision_updates() >= 1) {
+      ref.PolicyCheckpoint();
+    }
+  }
+  while (ref.deferred() > 0 && ref.CloseWindow() > 0) {
+  }
+  ref.PolicyCheckpoint();
+
+  ServingConfig config;
+  config.num_shards = 2;
+  config.default_budget = budget;
+  ServingService service(config);
+  service.CreateInstance("budgeted", InstanceConfig(trace),
+                         /*translate_trace_ids=*/true);
+  service.SubmitBatch("budgeted", trace.updates);
+  service.CheckpointAll();
+  service.Flush();
+
+  const ServingStats stats = service.stats();
+  EXPECT_GT(stats.total.budget_deferred_total, 0u)
+      << "budget never bound: pick a tighter bytes_per_window";
+  EXPECT_EQ(stats.total.budget_deferred_total, ref.deferred_total());
+  EXPECT_EQ(stats.total.budget_pending, ref.deferred());
+  EXPECT_EQ(stats.total.updates, ref.assigner().totals().updates);
+
+  std::string served;
+  service.ForEachInstance(
+      [&](const std::string&, const OnlineAssigner& assigner) {
+        served = SchemaToText(assigner.Schema());
+      });
+  EXPECT_EQ(served, SchemaToText(ref.assigner().Schema()));
+}
+
+// A per-instance budget passed to CreateInstance overrides the
+// service default — here an explicit unbudgeted config opts one
+// instance out while its sibling inherits the tight default.
+TEST(ServingServiceTest, PerInstanceBudgetOverridesTheDefault) {
+  const UpdateTrace trace = MakeTrace(false, 92, 200);
+  ServingConfig config;
+  config.num_shards = 2;
+  config.default_budget.window_updates = 16;
+  config.default_budget.bytes_per_window = 300;
+  ServingService service(config);
+
+  // Two keys pinned to different shards, so the per-shard stats can
+  // attribute the deferral counters unambiguously.
+  std::string capped = "capped-0";
+  for (int i = 0; service.ShardOf(capped) != 0 && i < 64; ++i) {
+    capped = "capped-" + std::to_string(i);
+  }
+  std::string uncapped = "uncapped-0";
+  for (int i = 0; service.ShardOf(uncapped) != 1 && i < 64; ++i) {
+    uncapped = "uncapped-" + std::to_string(i);
+  }
+  ASSERT_EQ(service.ShardOf(capped), 0u);
+  ASSERT_EQ(service.ShardOf(uncapped), 1u);
+
+  service.CreateInstance(capped, InstanceConfig(trace),
+                         /*translate_trace_ids=*/true);
+  service.CreateInstance(uncapped, InstanceConfig(trace),
+                         /*translate_trace_ids=*/true,
+                         online::BudgetConfig{});  // bytes 0 = unbudgeted
+  service.SubmitBatch(capped, trace.updates);
+  service.SubmitBatch(uncapped, trace.updates);
+  service.CheckpointAll();
+  service.Flush();
+
+  const ServingStats stats = service.stats();
+  EXPECT_GT(stats.shards[0].budget_deferred_total, 0u);
+  EXPECT_EQ(stats.shards[1].budget_deferred_total, 0u);
+  EXPECT_EQ(stats.shards[1].budget_pending, 0u);
+  std::string error;
+  EXPECT_TRUE(service.ValidateAll(&error)) << error;
+}
+
+// The lock-free probes are polled cross-thread by the watchdog and the
+// RPC admission path; an out-of-range index must die loudly at the
+// call site instead of reading out of bounds.
+TEST(ServingServiceDeathTest, OutOfRangeShardProbesDie) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ServingConfig config;
+  config.num_shards = 2;
+  ServingService service(config);
+  EXPECT_DEATH(service.shard_heartbeat(config.num_shards),
+               "shard_heartbeat index");
+  EXPECT_DEATH(service.InjectApplyDelayForTest(config.num_shards, 1),
+               "InjectApplyDelayForTest index");
 }
 
 }  // namespace
